@@ -1,0 +1,139 @@
+// Experiment E1 — Theorem 1 / Figure 3.
+//
+// Reproduces the adversarial lower-bound construction: a job set that forces
+// any deterministic non-clairvoyant scheduler toward makespan ratio
+// K + 1 - 1/Pmax while a clairvoyant scheduler achieves T* = K + m*PK - 1.
+//
+// Table 1: ratio vs m (convergence to the bound) for fixed K, P.
+// Table 2: ratio across (K, P) at large m — the bound surface.
+// Table 3: other non-clairvoyant schedulers against the same adversary.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "sched/greedy_cp.hpp"
+#include "util/ascii_plot.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "workload/adversary.hpp"
+
+namespace krad {
+namespace {
+
+void table1_convergence() {
+  print_banner(std::cout, "E1.1  Ratio vs m  (K = 2, P = {2, 4}; bound = 2.75)");
+  Table table({"m", "n_jobs", "T*", "T(K-RAD)", "proof_floor", "ratio",
+               "bound", "gap%"});
+  std::vector<double> xs, ys;
+  for (int m : {1, 2, 4, 8, 16, 32, 64}) {
+    auto inst = make_adversary({2, 4}, m, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    const double ratio = static_cast<double>(result.makespan) /
+                         static_cast<double>(inst.optimal_makespan);
+    table.row()
+        .cell(static_cast<std::int64_t>(m))
+        .cell(static_cast<std::uint64_t>(inst.jobs.size()))
+        .cell(inst.optimal_makespan)
+        .cell(result.makespan)
+        .cell(inst.adversarial_makespan)
+        .cell(ratio)
+        .cell(inst.ratio_bound)
+        .cell(100.0 * (inst.ratio_bound - ratio) / inst.ratio_bound, 2);
+    bench::check(result.makespan == inst.adversarial_makespan,
+                 "K-RAD should land exactly on the proof floor (m=" +
+                     std::to_string(m) + ")");
+    bench::check(ratio <= inst.ratio_bound + 1e-9,
+                 "ratio must not exceed the bound");
+    xs.push_back(std::log2(m));
+    ys.push_back(ratio);
+  }
+  table.print(std::cout);
+  PlotOptions plot;
+  plot.title = "ratio vs log2(m)  (---- = bound 2.75)";
+  plot.show_reference = true;
+  plot.reference = 2.75;
+  std::cout << '\n' << ascii_plot(xs, ys, plot);
+  std::cout << "shape check: ratio increases with m and approaches the bound\n";
+}
+
+void table2_bound_surface() {
+  print_banner(std::cout, "E1.2  Bound surface across (K, Pmax) at m = 16");
+  Table table({"K", "P_vector", "T*", "T(K-RAD)", "ratio", "bound=K+1-1/Pmax"});
+  const std::vector<std::vector<int>> machines = {
+      {2, 2},    {2, 4},    {4, 4},       {8, 8},       {2, 2, 2},
+      {2, 2, 4}, {4, 4, 8}, {2, 2, 2, 2}, {2, 2, 4, 8},
+  };
+  for (const auto& procs : machines) {
+    auto inst = make_adversary(procs, 16, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    const double ratio = static_cast<double>(result.makespan) /
+                         static_cast<double>(inst.optimal_makespan);
+    std::string pvec = "{";
+    for (std::size_t i = 0; i < procs.size(); ++i)
+      pvec += (i ? "," : "") + std::to_string(procs[i]);
+    pvec += "}";
+    table.row()
+        .cell(static_cast<std::uint64_t>(procs.size()))
+        .cell(pvec)
+        .cell(inst.optimal_makespan)
+        .cell(result.makespan)
+        .cell(ratio)
+        .cell(inst.ratio_bound);
+    bench::check(ratio <= inst.ratio_bound + 1e-9,
+                 "ratio exceeds bound for " + pvec);
+    bench::check(ratio >= 0.85 * inst.ratio_bound,
+                 "ratio should approach the bound at m = 16 for " + pvec);
+  }
+  table.print(std::cout);
+}
+
+void table3_other_schedulers() {
+  print_banner(
+      std::cout,
+      "E1.3  Other schedulers vs the adversary (K = 2, P = {2,4}, m = 8)");
+  Table table({"scheduler", "T", "ratio_vs_T*", "note"});
+  auto base = make_adversary({2, 4}, 8, SelectionPolicy::kCriticalPathLast);
+  const Work tstar = base.optimal_makespan;
+
+  auto run = [&](KScheduler& sched, SelectionPolicy policy,
+                 const std::string& note) {
+    auto inst = make_adversary({2, 4}, 8, policy);
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    table.row()
+        .cell(sched.name())
+        .cell(result.makespan)
+        .cell(static_cast<double>(result.makespan) / static_cast<double>(tstar))
+        .cell(note);
+    return result.makespan;
+  };
+
+  GreedyCp greedy;
+  const Work greedy_t =
+      run(greedy, SelectionPolicy::kCriticalPathFirst, "clairvoyant comparator");
+  bench::check(greedy_t == tstar, "GREEDY-CP must achieve T* on the adversary");
+
+  KRad krad_sched;
+  run(krad_sched, SelectionPolicy::kCriticalPathLast, "non-clairvoyant, trapped");
+  KEqui equi;
+  run(equi, SelectionPolicy::kCriticalPathLast, "non-clairvoyant, trapped");
+  KRoundRobin rr;
+  run(rr, SelectionPolicy::kCriticalPathLast, "non-clairvoyant, trapped");
+  RandomAllot random(1234);
+  run(random, SelectionPolicy::kRandom, "randomized: Theorem 1 does not bind it");
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "K-RAD reproduction - E1: Theorem 1 adversarial lower bound\n";
+  krad::table1_convergence();
+  krad::table2_bound_surface();
+  krad::table3_other_schedulers();
+  return krad::bench::finish("bench_adversary");
+}

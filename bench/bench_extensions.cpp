@@ -1,0 +1,257 @@
+// Experiment E12 — extensions beyond the paper (DESIGN.md section 5).
+//
+// E12.1  Performance heterogeneity: the speed engine with per-processor
+//        speeds; speed-blind vs fastest-to-greediest assignment (the paper's
+//        concluding challenge, explored empirically).
+// E12.2  History-based feedback desires (A-GREEDY-style requests) around
+//        K-RAD: waste and makespan vs the instantaneous-parallelism oracle,
+//        across quantum lengths.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "feedback/feedback.hpp"
+#include "hetero/speed_engine.hpp"
+#include "jobs/profile_job.hpp"
+#include "jobs/unfolding_job.hpp"
+#include "util/stats.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+JobSet skewed_jobs(Category k, std::size_t seq, std::size_t wide, Rng& rng) {
+  JobSet set(k);
+  for (std::size_t i = 0; i < seq; ++i) {
+    std::vector<Phase> phases(1);
+    phases[0].parts.push_back({static_cast<Category>(i % k),
+                               rng.uniform_int(20, 80), 1});
+    set.add(std::make_unique<ProfileJob>(std::move(phases), k));
+  }
+  for (std::size_t i = 0; i < wide; ++i) {
+    std::vector<Phase> phases(1);
+    for (Category a = 0; a < k; ++a)
+      phases[0].parts.push_back({a, rng.uniform_int(200, 600), 64});
+    set.add(std::make_unique<ProfileJob>(std::move(phases), k));
+  }
+  return set;
+}
+
+void e12_speeds() {
+  print_banner(std::cout,
+               "E12.1  Speed heterogeneity: blind vs fastest-to-greediest "
+               "assignment under K-RAD (counts unchanged)");
+  Table table({"speed_profile", "assignment", "makespan", "LB", "T/LB",
+               "wasted_speed"});
+  struct ProfileCase {
+    std::string name;
+    std::vector<int> speeds;
+  };
+  const ProfileCase cases[] = {
+      {"uniform{1x8}", {1, 1, 1, 1, 1, 1, 1, 1}},
+      {"one_fast{8,1x7}", {8, 1, 1, 1, 1, 1, 1, 1}},
+      {"two_tier{4x4,1x4}", {4, 4, 4, 4, 1, 1, 1, 1}},
+      {"extreme{16,1x7}", {16, 1, 1, 1, 1, 1, 1, 1}},
+  };
+  for (const auto& c : cases) {
+    for (SpeedAssignment assignment :
+         {SpeedAssignment::kBlind, SpeedAssignment::kFastestToGreediest}) {
+      Rng rng(1212);
+      JobSet set = skewed_jobs(1, 6, 2, rng);
+      SpeedMachineConfig machine;
+      machine.speeds = {c.speeds};
+      const Work lb = speed_makespan_lower_bound(set, machine);
+      KRad sched;
+      const auto result = simulate_speeds(set, sched, machine, assignment);
+      table.row()
+          .cell(c.name)
+          .cell(to_string(assignment))
+          .cell(result.base.makespan)
+          .cell(lb)
+          .cell(static_cast<double>(result.base.makespan) /
+                static_cast<double>(lb))
+          .cell(result.wasted_speed[0]);
+      bench::check(result.base.makespan >= lb,
+                   "speed LB violated for " + c.name);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "shape check: waste drops (and makespan never grows) when the "
+               "fast processors chase the greediest desires; at uniform "
+               "speeds the two assignments coincide\n";
+}
+
+void e12_feedback_quantum() {
+  print_banner(std::cout,
+               "E12.2  Feedback desires: quantum length vs waste and "
+               "makespan (vs instantaneous-parallelism K-RAD)");
+  Table table({"desire_source", "quantum", "makespan", "vs_oracle",
+               "alloc_waste", "waste_frac"});
+  Rng rng(1313);
+  RandomDagJobParams params;
+  params.num_categories = 2;
+  params.min_size = 40;
+  params.max_size = 200;
+  JobSet set = make_dag_job_set(params, 16, rng);
+  const MachineConfig machine{{8, 8}};
+
+  KRad oracle;
+  const SimResult base = simulate(set, oracle, machine);
+  table.row()
+      .cell("instantaneous")
+      .cell("-")
+      .cell(base.makespan)
+      .cell(1.0)
+      .cell(base.allotted[0] + base.allotted[1] - base.executed_work[0] -
+            base.executed_work[1])
+      .cell(1.0 - allotment_efficiency(base), 3);
+
+  for (Time quantum : {1, 2, 4, 8, 16, 32}) {
+    set.reset_all();
+    FeedbackParams fp;
+    fp.quantum = quantum;
+    FeedbackScheduler sched(std::make_unique<KRad>(), fp);
+    const SimResult result = simulate(set, sched, machine);
+    table.row()
+        .cell("feedback")
+        .cell(quantum)
+        .cell(result.makespan)
+        .cell(static_cast<double>(result.makespan) /
+              static_cast<double>(base.makespan))
+        .cell(result.allotted[0] + result.allotted[1] -
+              result.executed_work[0] - result.executed_work[1])
+        .cell(1.0 - allotment_efficiency(result), 3);
+    bench::check(result.makespan < 4 * base.makespan,
+                 "feedback ramp overhead exploded at quantum " +
+                     std::to_string(quantum));
+  }
+  table.print(std::cout);
+  std::cout << "shape check: short quanta track the oracle closely (more "
+               "updates) at similar waste; very long quanta react slowly and "
+               "stretch the makespan\n";
+}
+
+void e12_feedback_rho() {
+  print_banner(std::cout, "E12.3  Feedback responsiveness rho (quantum = 4)");
+  Table table({"rho", "makespan", "vs_oracle", "waste_frac"});
+  Rng rng(1414);
+  RandomDagJobParams params;
+  params.num_categories = 1;
+  params.min_size = 60;
+  params.max_size = 240;
+  JobSet set = make_dag_job_set(params, 12, rng);
+  const MachineConfig machine{{16}};
+  KRad oracle;
+  const SimResult base = simulate(set, oracle, machine);
+  for (double rho : {1.2, 1.5, 2.0, 4.0}) {
+    set.reset_all();
+    FeedbackParams fp;
+    fp.quantum = 4;
+    fp.rho = rho;
+    FeedbackScheduler sched(std::make_unique<KRad>(), fp);
+    const SimResult result = simulate(set, sched, machine);
+    table.row()
+        .cell(rho, 1)
+        .cell(result.makespan)
+        .cell(static_cast<double>(result.makespan) /
+              static_cast<double>(base.makespan))
+        .cell(1.0 - allotment_efficiency(result), 3);
+  }
+  table.print(std::cout);
+}
+
+void e12_unfolding() {
+  print_banner(std::cout,
+               "E12.4  Dynamically unfolding jobs (structure revealed only "
+               "at execution): Theorem 3 post-hoc across seeds");
+  Table table({"seed", "jobs", "tasks_unfolded", "max_span", "T", "LB(posthoc)",
+               "T/LB", "bound"});
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    JobSet set(2);
+    for (int i = 0; i < 8; ++i)
+      set.add(std::make_unique<UnfoldingJob>(
+          2, 0, random_spawner(2, 1, 3, 0.95), /*max_depth=*/10,
+          /*max_tasks=*/50000, "unfold-" + std::to_string(i),
+          seed * 100 + static_cast<std::uint64_t>(i)));
+    const MachineConfig machine{{4, 4}};
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    // Work/span are exact only after completion; bounds are post-hoc.
+    const auto bounds = makespan_bounds(set, machine);
+    Work tasks = 0, max_span = 0;
+    for (JobId id = 0; id < set.size(); ++id) {
+      tasks += set.job(id).total_work();
+      max_span = std::max(max_span, set.job(id).span());
+    }
+    const double ratio = makespan_ratio(result, bounds);
+    table.row()
+        .cell(seed)
+        .cell(static_cast<std::uint64_t>(set.size()))
+        .cell(tasks)
+        .cell(max_span)
+        .cell(result.makespan)
+        .cell(bounds.lower_bound())
+        .cell(ratio)
+        .cell(machine.makespan_bound());
+    bench::check(ratio <= machine.makespan_bound() + 1e-9,
+                 "Theorem 3 violated on unfolding workload");
+  }
+  table.print(std::cout);
+  std::cout << "shape check: even when no one (including the jobs) knows the "
+               "future structure, K-RAD's guarantee holds\n";
+}
+
+void e12_decision_period() {
+  print_banner(std::cout,
+               "E12.5  Amortised scheduling decisions: quality vs decision "
+               "period (K-RAD, heavy batch)");
+  Table table({"decision_period", "makespan", "vs_period1", "mean_resp",
+               "vs_period1_resp"});
+  Rng rng(1515);
+  RandomProfileJobParams params;
+  params.num_categories = 2;
+  params.max_phases = 5;
+  params.max_phase_work = 200;
+  params.max_parallelism = 12;
+  JobSet set = make_profile_job_set(params, 40, rng);
+  const MachineConfig machine{{6, 6}};
+  double base_makespan = 0.0, base_resp = 0.0;
+  for (Time period : {1, 2, 4, 8, 16, 32}) {
+    set.reset_all();
+    KRad sched;
+    SimOptions options;
+    options.decision_period = period;
+    const SimResult result = simulate(set, sched, machine, options);
+    if (period == 1) {
+      base_makespan = static_cast<double>(result.makespan);
+      base_resp = result.mean_response;
+    }
+    table.row()
+        .cell(period)
+        .cell(result.makespan)
+        .cell(static_cast<double>(result.makespan) / base_makespan)
+        .cell(result.mean_response, 1)
+        .cell(result.mean_response / base_resp);
+    bench::check(static_cast<double>(result.makespan) <= 2.0 * base_makespan,
+                 "stale allotments should not double the makespan here");
+  }
+  table.print(std::cout);
+  std::cout << "shape check: short periods track the per-step model; long "
+               "periods pay for stale allotments (idle processors between "
+               "decisions)\n";
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "K-RAD reproduction - E12: extensions (performance "
+               "heterogeneity, feedback desires, unfolding jobs, decision "
+               "period)\n";
+  krad::e12_speeds();
+  krad::e12_feedback_quantum();
+  krad::e12_feedback_rho();
+  krad::e12_unfolding();
+  krad::e12_decision_period();
+  return krad::bench::finish("bench_extensions");
+}

@@ -1,0 +1,104 @@
+// Experiment E7 — system comparison: every scheduler on shared scenarios,
+// reporting makespan, mean response, utilization and allocation efficiency.
+// The paper's qualitative claims to reproduce:
+//   * K-RAD matches the clairvoyant baseline within (K + 1 - 1/Pmax),
+//   * desire-blind EQUI wastes allocation,
+//   * pure RR cannot exploit parallelism,
+//   * FCFS has good makespan but poor mean response on skewed batches.
+
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sched/srpt.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad {
+namespace {
+
+struct Entry {
+  std::string name;
+  std::unique_ptr<KScheduler> sched;
+};
+
+std::vector<Entry> all_schedulers() {
+  std::vector<Entry> entries;
+  entries.push_back({"K-RAD", std::make_unique<KRad>()});
+  entries.push_back({"K-DEQ", std::make_unique<KDeqOnly>()});
+  entries.push_back({"K-EQUI", std::make_unique<KEqui>()});
+  entries.push_back({"K-RR", std::make_unique<KRoundRobin>()});
+  entries.push_back({"FCFS", std::make_unique<Fcfs>()});
+  entries.push_back({"RANDOM", std::make_unique<RandomAllot>(42)});
+  entries.push_back({"GREEDY-CP*", std::make_unique<GreedyCp>()});
+  entries.push_back({"SRPT*", std::make_unique<Srpt>()});
+  return entries;
+}
+
+void faceoff(const std::string& title, Scenario& s) {
+  print_banner(std::cout, title);
+  const auto bounds = makespan_bounds(s.jobs, s.machine);
+  Table table({"scheduler", "makespan", "T/LB", "mean_resp", "max_resp",
+               "max_stretch", "alloc_eff", "util_0"});
+  double krad_makespan = 0.0;
+  double greedy_makespan = 0.0;
+  for (auto& entry : all_schedulers()) {
+    s.jobs.reset_all();
+    const SimResult result = simulate(s.jobs, *entry.sched, s.machine);
+    Time max_resp = 0;
+    for (Time r : result.response) max_resp = std::max(max_resp, r);
+    table.row()
+        .cell(entry.name)
+        .cell(result.makespan)
+        .cell(makespan_ratio(result, bounds))
+        .cell(result.mean_response, 1)
+        .cell(max_resp)
+        .cell(max_stretch(result, s.jobs), 1)
+        .cell(allotment_efficiency(result))
+        .cell(result.utilization[0], 2);
+    if (entry.name == "K-RAD")
+      krad_makespan = static_cast<double>(result.makespan);
+    if (entry.name == "GREEDY-CP*")
+      greedy_makespan = static_cast<double>(result.makespan);
+  }
+  table.print(std::cout);
+  std::cout << "(* = clairvoyant)\n";
+  bench::check(
+      krad_makespan <= s.machine.makespan_bound() * greedy_makespan + 1e-9,
+      "K-RAD exceeded its bound relative to the clairvoyant baseline");
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "K-RAD reproduction - E7: scheduler faceoff\n";
+  {
+    auto s = krad::scenario_cpu_io(24, 7001);
+    krad::faceoff("E7.1  cpu-io workstation: 24 DAG jobs, P = {8, 4}, batched",
+                  s);
+  }
+  {
+    auto s = krad::scenario_hpc_node(40, 6.0, 7002);
+    krad::faceoff(
+        "E7.2  hpc-node: 40 profile jobs, P = {16, 4, 2}, Poisson arrivals", s);
+  }
+  {
+    auto s = krad::scenario_heavy_batch(2, 4, 60, 7003);
+    krad::faceoff("E7.3  heavy batch: 60 profile jobs, K = 2, P = 4/cat", s);
+  }
+  {
+    auto s = krad::scenario_light_batch(3, 16, 10, 7004);
+    krad::faceoff("E7.4  light batch: 10 profile jobs, K = 3, P = 16/cat", s);
+  }
+  {
+    auto s = krad::scenario_homogeneous(16, 32, 7005);
+    krad::faceoff("E7.5  homogeneous: 32 DAG jobs, K = 1, P = 16", s);
+  }
+  return krad::bench::finish("bench_faceoff");
+}

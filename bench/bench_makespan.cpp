@@ -1,0 +1,162 @@
+// Experiments E2 + E3 — Theorem 3 and Lemma 2.
+//
+// E2: K-RAD's makespan against the paper's lower bounds over random DAG and
+//     profile workloads, three arrival regimes, K = 1..5.  The measured ratio
+//     T / LB upper-bounds the true competitive ratio; Theorem 3 says it never
+//     exceeds K + 1 - 1/Pmax.
+// E3: Lemma 2's explicit no-idle-interval inequality
+//     T <= Sum_alpha T1/P_alpha + (1 - 1/Pmax) max_i (T_inf + r).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad {
+namespace {
+
+struct SweepRow {
+  std::string label;
+  RunningStats ratio;
+  double bound = 0.0;
+};
+
+void e2_dag_sweep() {
+  print_banner(std::cout,
+               "E2.1  Makespan ratio T/LB, random K-DAG jobs, 20 trials/row");
+  Table table({"K", "P/cat", "jobs", "arrivals", "ratio_mean", "ratio_max",
+               "bound"});
+  Rng rng(2026);
+  const char* arrival_names[] = {"batched", "poisson", "bursty"};
+  for (Category k : {1u, 2u, 3u, 5u}) {
+    for (int procs : {2, 8}) {
+      for (int arrivals = 0; arrivals < 3; ++arrivals) {
+        MachineConfig machine;
+        machine.processors.assign(k, procs);
+        RunningStats stats;
+        for (int trial = 0; trial < 20; ++trial) {
+          RandomDagJobParams params;
+          params.num_categories = k;
+          params.min_size = 8;
+          params.max_size = 80;
+          const std::size_t jobs = 12;
+          JobSet set = make_dag_job_set(params, jobs, rng);
+          if (arrivals == 1)
+            apply_releases(set, poisson_releases(jobs, 5.0, rng));
+          if (arrivals == 2) apply_releases(set, bursty_releases(jobs, 4, 12));
+          const auto bounds = makespan_bounds(set, machine);
+          KRad sched;
+          const SimResult result = simulate(set, sched, machine);
+          stats.add(makespan_ratio(result, bounds));
+        }
+        table.row()
+            .cell(static_cast<std::uint64_t>(k))
+            .cell(procs)
+            .cell(static_cast<std::uint64_t>(12))
+            .cell(arrival_names[arrivals])
+            .cell(stats.mean())
+            .cell(stats.max())
+            .cell(machine.makespan_bound());
+        bench::check(stats.max() <= machine.makespan_bound() + 1e-9,
+                     "Theorem 3 violated in E2.1");
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "shape check: every ratio_max is below its bound; typical "
+               "ratios are far below (the bound is worst-case)\n";
+}
+
+void e2_profile_sweep() {
+  print_banner(std::cout,
+               "E2.2  Makespan ratio, profile jobs (large work volumes)");
+  Table table({"K", "P/cat", "jobs", "ratio_mean", "ratio_max", "bound"});
+  Rng rng(777);
+  for (Category k : {1u, 2u, 4u}) {
+    for (int procs : {4, 16}) {
+      MachineConfig machine;
+      machine.processors.assign(k, procs);
+      RunningStats stats;
+      for (int trial = 0; trial < 10; ++trial) {
+        RandomProfileJobParams params;
+        params.num_categories = k;
+        params.max_phases = 8;
+        params.max_phase_work = 500;
+        params.max_parallelism = 2 * procs;
+        const std::size_t jobs = 30;
+        JobSet set = make_profile_job_set(params, jobs, rng);
+        apply_releases(set, poisson_releases(jobs, 8.0, rng));
+        const auto bounds = makespan_bounds(set, machine);
+        KRad sched;
+        const SimResult result = simulate(set, sched, machine);
+        stats.add(makespan_ratio(result, bounds));
+      }
+      table.row()
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(procs)
+          .cell(static_cast<std::uint64_t>(30))
+          .cell(stats.mean())
+          .cell(stats.max())
+          .cell(machine.makespan_bound());
+      bench::check(stats.max() <= machine.makespan_bound() + 1e-9,
+                   "Theorem 3 violated in E2.2");
+    }
+  }
+  table.print(std::cout);
+}
+
+void e3_lemma2() {
+  print_banner(std::cout,
+               "E3  Lemma 2: T <= Sum T1/P + (1 - 1/Pmax) max(T_inf + r), "
+               "no idle intervals");
+  Table table({"K", "P/cat", "jobs", "T", "lemma2_rhs", "slack%", "idle_steps"});
+  Rng rng(31337);
+  for (Category k : {1u, 2u, 3u}) {
+    for (int procs : {2, 4, 8}) {
+      MachineConfig machine;
+      machine.processors.assign(k, procs);
+      RandomDagJobParams params;
+      params.num_categories = k;
+      params.min_size = 10;
+      params.max_size = 100;
+      JobSet set = make_dag_job_set(params, 16, rng);
+      // Short stagger keeps the machine busy (no idle intervals) while
+      // exercising the release term of the bound.
+      for (JobId id = 0; id < set.size(); ++id)
+        set.set_release(id, static_cast<Time>(id / 4));
+      const auto bounds = makespan_bounds(set, machine);
+      KRad sched;
+      const SimResult result = simulate(set, sched, machine);
+      table.row()
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(procs)
+          .cell(static_cast<std::uint64_t>(16))
+          .cell(result.makespan)
+          .cell(bounds.lemma2_rhs, 1)
+          .cell(100.0 * (bounds.lemma2_rhs - static_cast<double>(result.makespan)) /
+                    bounds.lemma2_rhs,
+                1)
+          .cell(result.idle_steps);
+      if (result.idle_steps == 0)
+        bench::check(static_cast<double>(result.makespan) <=
+                         bounds.lemma2_rhs + 1e-9,
+                     "Lemma 2 violated");
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "K-RAD reproduction - E2/E3: Theorem 3 makespan competitiveness"
+               " and Lemma 2\n";
+  krad::e2_dag_sweep();
+  krad::e2_profile_sweep();
+  krad::e3_lemma2();
+  return krad::bench::finish("bench_makespan");
+}

@@ -1,0 +1,132 @@
+// Experiment E11 — exact-optimal cross-validation on tiny instances.
+//
+// For instances small enough to solve exactly (<= ~20 vertices) we verify
+// the full chain the competitive analysis relies on:
+//   LB <= OPT <= T(K-RAD) <= (K + 1 - 1/Pmax) * OPT        (makespan)
+//   LB_R <= OPT_R <= R(K-RAD)                              (total response)
+// and report how tight the paper's lower bounds are against the true OPT.
+
+#include <iostream>
+
+#include "bounds/optimal.hpp"
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+void makespan_chain() {
+  print_banner(std::cout,
+               "E11.1  LB <= OPT <= K-RAD <= bound*OPT on tiny instances");
+  Table table({"trial", "K", "V", "LB", "OPT", "K-RAD", "KRAD/OPT", "bound",
+               "LB/OPT"});
+  Rng rng(1101);
+  RunningStats tightness;
+  int solved = 0;
+  for (int trial = 0; solved < 24 && trial < 200; ++trial) {
+    const Category k = rng.chance(0.5) ? 1 : 2;
+    JobSet set(k);
+    std::size_t vertices = 0;
+    const auto njobs = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    for (std::size_t i = 0; i < njobs && vertices < 14; ++i) {
+      RandomDagJobParams params;
+      params.num_categories = k;
+      params.min_size = 2;
+      params.max_size = 6;
+      auto job = make_random_dag_job(params, rng, "tiny");
+      vertices += static_cast<std::size_t>(job->total_work());
+      set.add(std::move(job));
+    }
+    MachineConfig machine;
+    machine.processors.assign(k, static_cast<int>(rng.uniform_int(1, 3)));
+
+    OptimalLimits limits;
+    limits.max_vertices = 18;
+    const auto opt = optimal_makespan(set, machine, limits);
+    if (!opt.has_value() || *opt == 0) continue;
+    ++solved;
+    const auto bounds = makespan_bounds(set, machine);
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    const double vs_opt = static_cast<double>(result.makespan) /
+                          static_cast<double>(*opt);
+    const double lb_tightness = static_cast<double>(bounds.lower_bound()) /
+                                static_cast<double>(*opt);
+    tightness.add(lb_tightness);
+    table.row()
+        .cell(static_cast<std::int64_t>(solved))
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(static_cast<std::uint64_t>(vertices))
+        .cell(bounds.lower_bound())
+        .cell(*opt)
+        .cell(result.makespan)
+        .cell(vs_opt)
+        .cell(machine.makespan_bound())
+        .cell(lb_tightness);
+    bench::check(bounds.lower_bound() <= *opt, "LB exceeded OPT");
+    bench::check(result.makespan >= *opt, "K-RAD beat OPT (impossible)");
+    bench::check(vs_opt <= machine.makespan_bound() + 1e-9,
+                 "Theorem 3 violated against true OPT");
+  }
+  table.print(std::cout);
+  std::cout << "LB tightness vs true OPT: mean = "
+            << format_double(tightness.mean()) << ", min = "
+            << format_double(tightness.min()) << " (1.0 = exact)\n";
+}
+
+void response_chain() {
+  print_banner(std::cout,
+               "E11.2  Total response: LB_R <= OPT_R <= R(K-RAD), tiny batched "
+               "instances");
+  Table table({"trial", "K", "V", "LB_R", "OPT_R", "R(K-RAD)", "KRAD/OPT"});
+  Rng rng(1102);
+  int solved = 0;
+  for (int trial = 0; solved < 16 && trial < 200; ++trial) {
+    const Category k = 1;
+    JobSet set(k);
+    std::size_t vertices = 0;
+    const auto njobs = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    for (std::size_t i = 0; i < njobs && vertices < 12; ++i) {
+      RandomDagJobParams params;
+      params.num_categories = k;
+      params.min_size = 1;
+      params.max_size = 5;
+      auto job = make_random_dag_job(params, rng, "tiny");
+      vertices += static_cast<std::size_t>(job->total_work());
+      set.add(std::move(job));
+    }
+    MachineConfig machine{{static_cast<int>(rng.uniform_int(1, 2))}};
+    OptimalLimits limits;
+    limits.max_vertices = 14;
+    const auto opt = optimal_total_response(set, machine, limits);
+    if (!opt.has_value() || *opt == 0) continue;
+    ++solved;
+    const auto bounds = response_bounds(set, machine);
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    table.row()
+        .cell(static_cast<std::int64_t>(solved))
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(static_cast<std::uint64_t>(vertices))
+        .cell(bounds.total_lower_bound(), 1)
+        .cell(*opt)
+        .cell(result.total_response)
+        .cell(static_cast<double>(result.total_response) /
+              static_cast<double>(*opt));
+    bench::check(bounds.total_lower_bound() <= static_cast<double>(*opt) + 1e-9,
+                 "response LB exceeded OPT");
+    bench::check(result.total_response >= *opt, "K-RAD beat response OPT");
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "K-RAD reproduction - E11: exact-optimal validation\n";
+  krad::makespan_chain();
+  krad::response_chain();
+  return krad::bench::finish("bench_optimal_validation");
+}

@@ -1,0 +1,108 @@
+// Experiment E10 — engine and scheduler micro-performance (google-benchmark).
+// Not a paper experiment; establishes that the simulator scales to the sweep
+// sizes the other benches use (steps/second vs jobs and K, DEQ decision
+// cost, full run throughput).
+
+#include <benchmark/benchmark.h>
+
+#include "core/deq.hpp"
+#include "core/krad.hpp"
+#include "sim/engine.hpp"
+#include "workload/adversary.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad {
+namespace {
+
+void BM_DeqAllot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<DeqEntry> entries;
+  for (std::size_t i = 0; i < n; ++i)
+    entries.push_back({i, rng.uniform_int(1, 64)});
+  std::vector<Work> out(n, 0);
+  for (auto _ : state) {
+    deq_allot(entries, static_cast<int>(n) * 2, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DeqAllot)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KRadDecision(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<Category>(state.range(1));
+  MachineConfig machine;
+  machine.processors.assign(k, 16);
+  KRad sched;
+  sched.reset(machine, jobs);
+  Rng rng(2);
+  std::vector<JobView> views;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    JobView view;
+    view.id = static_cast<JobId>(j);
+    for (Category a = 0; a < k; ++a)
+      view.desire.push_back(rng.uniform_int(0, 32));
+    views.push_back(std::move(view));
+  }
+  Allotment out(jobs, std::vector<Work>(k, 0));
+  Time t = 1;
+  for (auto _ : state) {
+    for (auto& row : out) std::fill(row.begin(), row.end(), 0);
+    sched.allot(t++, views, nullptr, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_KRadDecision)->Args({16, 2})->Args({256, 2})->Args({256, 8});
+
+void BM_EngineDagWorkload(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(3);
+    RandomDagJobParams params;
+    params.num_categories = 2;
+    params.min_size = 20;
+    params.max_size = 60;
+    JobSet set = make_dag_job_set(params, jobs, rng);
+    MachineConfig machine{{8, 8}};
+    KRad sched;
+    state.ResumeTiming();
+    const SimResult result = simulate(set, sched, machine);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_EngineDagWorkload)->Arg(16)->Arg(128);
+
+void BM_EngineProfileWorkload(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario s = scenario_heavy_batch(3, 8, jobs, 4);
+    KRad sched;
+    state.ResumeTiming();
+    const SimResult result = simulate(s.jobs, sched, s.machine);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_EngineProfileWorkload)->Arg(64)->Arg(512);
+
+void BM_AdversaryInstance(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto inst = make_adversary({2, 4}, m, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    state.ResumeTiming();
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_AdversaryInstance)->Arg(4)->Arg(32);
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,131 @@
+// Experiment E4 — Theorem 5: mean response time under light workload.
+//
+// Precondition |J(alpha, t)| <= P_alpha (at most P_alpha alpha-active jobs at
+// any time) is guaranteed by using n <= min_alpha P_alpha batched jobs; in
+// this regime K-RAD never enters a round-robin cycle and behaves exactly as
+// per-category DEQ.  Theorem 5: mean response <= (2K + 1 - 2K/(n+1)) * OPT.
+// We also verify the proof's Inequality (5) directly and that K-RAD and
+// DEQ-only produce identical schedules here.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "sched/kdeq_only.hpp"
+#include "util/stats.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+void e4_ratio_sweep() {
+  print_banner(std::cout,
+               "E4.1  Light-load mean response ratio, 15 trials per row");
+  Table table({"K", "P/cat", "jobs", "ratio_mean", "ratio_max",
+               "bound=2K+1-2K/(n+1)"});
+  Rng rng(4040);
+  struct Row {
+    Category k;
+    int procs;
+    std::size_t jobs;
+  };
+  const Row rows[] = {{1, 8, 4},  {1, 16, 12}, {2, 8, 6},  {2, 32, 24},
+                      {3, 8, 8},  {3, 16, 12}, {4, 8, 8},  {5, 16, 10}};
+  for (const Row& row : rows) {
+    MachineConfig machine;
+    machine.processors.assign(row.k, row.procs);
+    RunningStats stats;
+    for (int trial = 0; trial < 15; ++trial) {
+      JobSet set = make_light_load_set(machine, row.jobs, 10, 400, 6, rng);
+      const auto bounds = response_bounds(set, machine);
+      KRad sched;
+      const SimResult result = simulate(set, sched, machine);
+      stats.add(response_ratio(result, bounds, set.size()));
+
+      // Proof Inequality (5): R(J) <= (2 - 2/(n+1)) Sum swa + T_inf.
+      const double n = static_cast<double>(set.size());
+      const double rhs = (2.0 - 2.0 / (n + 1.0)) * bounds.sum_swa +
+                         static_cast<double>(bounds.aggregate_span);
+      bench::check(static_cast<double>(result.total_response) <= rhs + 1e-9,
+                   "Theorem 5 Inequality (5) violated");
+    }
+    const double bound = machine.response_bound_light(row.jobs);
+    table.row()
+        .cell(static_cast<std::uint64_t>(row.k))
+        .cell(row.procs)
+        .cell(static_cast<std::uint64_t>(row.jobs))
+        .cell(stats.mean())
+        .cell(stats.max())
+        .cell(bound);
+    bench::check(stats.max() <= bound + 1e-9, "Theorem 5 ratio bound violated");
+  }
+  table.print(std::cout);
+  std::cout << "shape check: ratios sit well below the bound and grow mildly "
+               "with K\n";
+}
+
+void e4_krad_equals_deq() {
+  print_banner(std::cout,
+               "E4.2  Under light load K-RAD degenerates to DEQ (identical "
+               "completions)");
+  Rng rng(555);
+  Table table({"K", "P/cat", "jobs", "identical_runs"});
+  for (Category k : {1u, 2u, 3u}) {
+    const int procs = 8;
+    MachineConfig machine;
+    machine.processors.assign(k, procs);
+    int identical = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      JobSet set = make_light_load_set(machine, 6, 5, 200, 5, rng);
+      KRad krad_sched;
+      const SimResult a = simulate(set, krad_sched, machine);
+      set.reset_all();
+      KDeqOnly deq;
+      const SimResult b = simulate(set, deq, machine);
+      if (a.completion == b.completion) ++identical;
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(procs)
+        .cell(static_cast<std::uint64_t>(6))
+        .cell(std::to_string(identical) + "/" + std::to_string(trials));
+    bench::check(identical == trials,
+                 "K-RAD must equal DEQ under light load (K=" +
+                     std::to_string(k) + ")");
+  }
+  table.print(std::cout);
+}
+
+void e4_bound_vs_n() {
+  print_banner(std::cout, "E4.3  Bound tightening with n (K = 2, P = 32)");
+  Table table({"jobs", "ratio", "bound", "LB_mean_response", "measured"});
+  Rng rng(909);
+  MachineConfig machine{{32, 32}};
+  for (std::size_t jobs : {2u, 4u, 8u, 16u, 32u}) {
+    JobSet set = make_light_load_set(machine, jobs, 20, 300, 5, rng);
+    const auto bounds = response_bounds(set, machine);
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    const double ratio = response_ratio(result, bounds, jobs);
+    table.row()
+        .cell(static_cast<std::uint64_t>(jobs))
+        .cell(ratio)
+        .cell(machine.response_bound_light(jobs))
+        .cell(bounds.mean_lower_bound(jobs), 1)
+        .cell(result.mean_response, 1);
+    bench::check(ratio <= machine.response_bound_light(jobs) + 1e-9,
+                 "Theorem 5 violated in E4.3");
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "K-RAD reproduction - E4: Theorem 5 light-load mean response\n";
+  krad::e4_ratio_sweep();
+  krad::e4_krad_equals_deq();
+  krad::e4_bound_vs_n();
+  return krad::bench::finish("bench_response_light");
+}

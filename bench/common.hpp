@@ -1,0 +1,35 @@
+#pragma once
+// Shared helpers for the experiment binaries.  Each bench prints paper-style
+// tables; PASS/FAIL markers make the reproduction status machine-greppable.
+
+#include <iostream>
+#include <string>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+
+namespace krad::bench {
+
+inline int g_failures = 0;
+
+/// Record a bound check; prints FAIL with context when violated.
+inline void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_failures;
+    std::cout << "  [FAIL] " << what << '\n';
+  }
+}
+
+inline int finish(const std::string& name) {
+  if (g_failures == 0) {
+    std::cout << "\n[PASS] " << name << ": all bound checks satisfied\n";
+    return 0;
+  }
+  std::cout << "\n[FAIL] " << name << ": " << g_failures
+            << " bound check(s) violated\n";
+  return 1;
+}
+
+}  // namespace krad::bench

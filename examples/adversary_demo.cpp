@@ -1,0 +1,74 @@
+// Walkthrough of the paper's Theorem 1 adversary (Figure 3), end to end:
+// builds the instance, shows its structure, runs the clairvoyant scheduler
+// and K-RAD against it, and prints the competitive-ratio arithmetic.
+
+#include <iostream>
+
+#include "core/krad.hpp"
+#include "dag/analysis.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "workload/adversary.hpp"
+
+int main() {
+  using namespace krad;
+
+  const std::vector<int> procs{2, 3, 4};  // K = 3, Pmax = P_K = 4
+  const int m = 4;
+
+  std::cout << "Theorem 1 adversary: K = " << procs.size() << ", P = {2,3,4}, "
+            << "m = " << m << "\n\n";
+
+  auto inst = make_adversary(procs, m, SelectionPolicy::kCriticalPathLast);
+  const auto& big = dynamic_cast<const DagJob&>(
+      inst.jobs.job(static_cast<JobId>(inst.jobs.size() - 1)));
+
+  std::cout << "job set: " << inst.jobs.size() - 1
+            << " singleton jobs (one 1-task each) + the structured job:\n  "
+            << big.dag().summary() << "\n";
+  std::cout << "structured job levels (per-category work):\n";
+  for (Category a = 0; a < 3; ++a)
+    std::cout << "  category " << a << ": " << big.work(a) << " tasks\n";
+  std::cout << "critical path length: " << big.span() << " = K + m*PK - 1\n\n";
+
+  // The clairvoyant scheduler pipelines the levels.
+  GreedyCp greedy;
+  const SimResult opt = simulate(inst.jobs, greedy, inst.machine);
+  std::cout << "clairvoyant GREEDY-CP (critical-path-first): makespan = "
+            << opt.makespan << " (formula: " << inst.optimal_makespan << ")\n";
+
+  // K-RAD, with the adversary executing critical tasks last, serialises.
+  inst = make_adversary(procs, m, SelectionPolicy::kCriticalPathLast);
+  KRad krad_sched;
+  const SimResult online = simulate(inst.jobs, krad_sched, inst.machine);
+  std::cout << "non-clairvoyant K-RAD vs adversary:         makespan = "
+            << online.makespan << " (proof floor: "
+            << inst.adversarial_makespan << ")\n\n";
+
+  const double ratio = static_cast<double>(online.makespan) /
+                       static_cast<double>(opt.makespan);
+  std::cout << "competitive ratio: " << format_double(ratio)
+            << "  ->  K + 1 - 1/Pmax = " << format_double(inst.ratio_bound)
+            << " as m grows\n\n";
+
+  Table table({"m", "T*", "T(K-RAD)", "ratio"});
+  for (int mm : {1, 2, 4, 8, 16}) {
+    auto sweep = make_adversary(procs, mm, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    const SimResult r = simulate(sweep.jobs, sched, sweep.machine);
+    table.row()
+        .cell(static_cast<std::int64_t>(mm))
+        .cell(sweep.optimal_makespan)
+        .cell(r.makespan)
+        .cell(static_cast<double>(r.makespan) /
+              static_cast<double>(sweep.optimal_makespan));
+  }
+  table.print(std::cout);
+  std::cout << "\nwhy it works: the scheduler cannot distinguish the "
+               "structured job's critical 1-task\nfrom the singleton 1-tasks, "
+               "so the adversary makes it wait through a full round-robin\n"
+               "cycle before each level unlocks; the clairvoyant scheduler "
+               "pipelines all K levels.\n";
+  return 0;
+}

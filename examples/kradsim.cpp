@@ -1,0 +1,263 @@
+// kradsim — command-line driver for the simulator.
+//
+//   kradsim [options]
+//     --scheduler NAME   krad (default) | deq | equi | rr | fcfs | random |
+//                        greedy | srpt
+//     --machine P1,P2,.. processors per category       (default 8,4)
+//     --workload KIND    dag (default) | profile | adversary
+//     --jobs N           job count for dag/profile     (default 16)
+//     --m M              adversary strength            (default 8)
+//     --arrivals SPEC    batched (default) | poisson:MEANGAP | bursty:SIZE,GAP
+//     --dag-file PATH    schedule K-DAGs from files (repeatable; overrides
+//                        --workload/--jobs; categories from --machine)
+//     --seed S           RNG seed                      (default 42)
+//     --gantt            print the ASCII schedule
+//     --validate         check the schedule against the paper's definition
+//     --csv              per-job results as CSV
+//     --json             result summary as JSON
+//     --svg PATH         write an SVG Gantt chart of the schedule
+//     --workload-file F  profile workload from a spec file (see
+//                        workload/spec.hpp; its machine line wins)
+//
+// Examples:
+//   kradsim --scheduler krad --machine 8,4 --jobs 24 --arrivals poisson:5
+//   kradsim --workload adversary --machine 2,4 --m 16
+//   kradsim --dag-file my.kdag --machine 4 --gantt --validate
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "dag/io.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sched/srpt.hpp"
+#include "sim/engine.hpp"
+#include "sim/export.hpp"
+#include "sim/svg.hpp"
+#include "sim/validator.hpp"
+#include "workload/spec.hpp"
+#include "util/table.hpp"
+#include "workload/adversary.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace krad;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "kradsim: " << error << "\n\n";
+  std::cerr <<
+      "usage: kradsim [--scheduler NAME] [--machine P1,P2,..]\n"
+      "               [--workload dag|profile|adversary] [--jobs N] [--m M]\n"
+      "               [--arrivals batched|poisson:G|bursty:S,G]\n"
+      "               [--dag-file PATH]... [--seed S]\n"
+      "               [--gantt] [--validate] [--csv]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+std::unique_ptr<KScheduler> make_scheduler(const std::string& name,
+                                           std::uint64_t seed) {
+  if (name == "krad") return std::make_unique<KRad>();
+  if (name == "deq") return std::make_unique<KDeqOnly>();
+  if (name == "equi") return std::make_unique<KEqui>();
+  if (name == "rr") return std::make_unique<KRoundRobin>();
+  if (name == "fcfs") return std::make_unique<Fcfs>();
+  if (name == "random") return std::make_unique<RandomAllot>(seed);
+  if (name == "greedy") return std::make_unique<GreedyCp>();
+  if (name == "srpt") return std::make_unique<Srpt>();
+  usage("unknown scheduler '" + name + "'");
+}
+
+std::vector<int> parse_machine(const std::string& spec) {
+  std::vector<int> procs;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token = spec.substr(pos, comma - pos);
+    try {
+      procs.push_back(std::stoi(token));
+    } catch (...) {
+      usage("bad --machine token '" + token + "'");
+    }
+    if (procs.back() < 1) usage("processor counts must be >= 1");
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (procs.empty()) usage("empty --machine");
+  return procs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheduler_name = "krad";
+  std::string machine_spec = "8,4";
+  std::string workload = "dag";
+  std::string arrivals = "batched";
+  std::vector<std::string> dag_files;
+  std::string workload_file;
+  std::string svg_path;
+  std::size_t num_jobs = 16;
+  int m = 8;
+  std::uint64_t seed = 42;
+  bool want_gantt = false, want_validate = false, want_csv = false;
+  bool want_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--scheduler") scheduler_name = next();
+    else if (arg == "--machine") machine_spec = next();
+    else if (arg == "--workload") workload = next();
+    else if (arg == "--arrivals") arrivals = next();
+    else if (arg == "--dag-file") dag_files.push_back(next());
+    else if (arg == "--workload-file") workload_file = next();
+    else if (arg == "--svg") svg_path = next();
+    else if (arg == "--jobs") num_jobs = std::stoul(next());
+    else if (arg == "--m") m = std::stoi(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--gantt") want_gantt = true;
+    else if (arg == "--validate") want_validate = true;
+    else if (arg == "--csv") want_csv = true;
+    else if (arg == "--json") want_json = true;
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage("unknown option '" + arg + "'");
+  }
+
+  Rng rng(seed);
+  MachineConfig machine;
+  machine.processors = parse_machine(machine_spec);
+
+  // A workload file defines its own machine (and K).
+  WorkloadSpec file_spec;
+  if (!workload_file.empty()) {
+    std::ifstream in(workload_file);
+    if (!in) usage("cannot open workload file '" + workload_file + "'");
+    try {
+      file_spec = parse_workload(in);
+    } catch (const std::runtime_error& error) {
+      usage(error.what());
+    }
+    machine = file_spec.machine;
+  }
+  const auto k = static_cast<Category>(machine.categories());
+
+  // Build the job set.
+  JobSet jobs(k);
+  if (!workload_file.empty()) {
+    jobs = std::move(file_spec.jobs);
+  } else if (!dag_files.empty()) {
+    for (const std::string& path : dag_files) {
+      std::ifstream in(path);
+      if (!in) usage("cannot open dag file '" + path + "'");
+      KDag dag = parse_kdag(in);
+      if (dag.num_categories() != k)
+        usage("dag file '" + path + "' has K = " +
+              std::to_string(dag.num_categories()) + " but machine has K = " +
+              std::to_string(k));
+      jobs.add(std::make_unique<DagJob>(std::move(dag), SelectionPolicy::kFifo,
+                                        path));
+    }
+  } else if (workload == "dag") {
+    RandomDagJobParams params;
+    params.num_categories = k;
+    jobs = make_dag_job_set(params, num_jobs, rng);
+  } else if (workload == "profile") {
+    RandomProfileJobParams params;
+    params.num_categories = k;
+    params.max_parallelism = 2 * machine.pmax();
+    jobs = make_profile_job_set(params, num_jobs, rng);
+  } else if (workload == "adversary") {
+    auto inst = make_adversary(machine.processors, m,
+                               SelectionPolicy::kCriticalPathLast);
+    jobs = std::move(inst.jobs);
+    std::cout << "adversary instance: T* = " << inst.optimal_makespan
+              << ", proof floor = " << inst.adversarial_makespan
+              << ", bound = " << format_double(inst.ratio_bound) << "\n";
+  } else {
+    usage("unknown workload '" + workload + "'");
+  }
+
+  // Arrivals.
+  if (arrivals != "batched") {
+    if (arrivals.rfind("poisson:", 0) == 0) {
+      const double gap = std::stod(arrivals.substr(8));
+      apply_releases(jobs, poisson_releases(jobs.size(), gap, rng));
+    } else if (arrivals.rfind("bursty:", 0) == 0) {
+      const std::string rest = arrivals.substr(7);
+      const auto comma = rest.find(',');
+      if (comma == std::string::npos) usage("bursty needs SIZE,GAP");
+      apply_releases(jobs,
+                     bursty_releases(jobs.size(),
+                                     std::stoul(rest.substr(0, comma)),
+                                     std::stol(rest.substr(comma + 1))));
+    } else {
+      usage("unknown arrivals '" + arrivals + "'");
+    }
+  }
+
+  // Run.
+  auto scheduler = make_scheduler(scheduler_name, seed);
+  SimOptions options;
+  options.record_trace = want_gantt || want_validate || !svg_path.empty();
+  const SimResult result = simulate(jobs, *scheduler, machine, options);
+
+  // Report.
+  std::cout << "scheduler  : " << scheduler->name() << "\n"
+            << "machine    : K = " << k << ", P = {";
+  for (Category a = 0; a < k; ++a)
+    std::cout << (a ? "," : "") << machine.processors[a];
+  std::cout << "}\njobs       : " << jobs.size() << "\n";
+  const auto bounds = makespan_bounds(jobs, machine);
+  std::cout << "makespan   : " << result.makespan << " (LB " << bounds.lower_bound()
+            << ", ratio " << format_double(makespan_ratio(result, bounds))
+            << ", Theorem 3 bound " << format_double(machine.makespan_bound())
+            << ")\n"
+            << "mean resp  : " << format_double(result.mean_response, 2) << "\n"
+            << "utilization:";
+  for (Category a = 0; a < k; ++a)
+    std::cout << " cat" << a << "=" << format_double(result.utilization[a], 2);
+  std::cout << "\n";
+
+  if (want_csv) {
+    Table table({"job", "name", "release", "completion", "response"});
+    for (JobId id = 0; id < jobs.size(); ++id)
+      table.row()
+          .cell(static_cast<std::uint64_t>(id))
+          .cell(jobs.job(id).name())
+          .cell(jobs.release(id))
+          .cell(result.completion[id])
+          .cell(result.response[id]);
+    std::cout << "\n" << table.csv();
+  }
+  if (want_json) std::cout << "\n" << to_json(result) << "\n";
+  if (want_gantt) std::cout << "\n" << result.trace->gantt(machine, 160);
+  if (!svg_path.empty()) {
+    std::ofstream out(svg_path);
+    if (!out) usage("cannot write svg file '" + svg_path + "'");
+    out << to_svg(*result.trace, machine);
+    std::cout << "svg written to " << svg_path << "\n";
+  }
+  if (want_validate) {
+    const auto violations = validate_schedule(jobs, machine, *result.trace);
+    std::cout << "\nvalidation: "
+              << (violations.empty() ? "VALID" : "INVALID") << "\n";
+    for (const auto& violation : violations)
+      std::cout << "  " << violation << "\n";
+    if (!violations.empty()) return 1;
+  }
+  return 0;
+}

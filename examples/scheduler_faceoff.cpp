@@ -1,0 +1,82 @@
+// Compare every scheduler in the library on one mixed workload and print a
+// ranked table.  Shows how to drive multiple schedulers over the same job
+// set with reset_all().
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sched/srpt.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace krad;
+
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  Rng rng(seed);
+
+  // Workload: 30 mixed DAG jobs over K = 2 (compute, io) with bursty
+  // arrivals — a contended but not pathological mix.
+  RandomDagJobParams params;
+  params.num_categories = 2;
+  params.min_size = 10;
+  params.max_size = 120;
+  JobSet jobs = make_dag_job_set(params, 30, rng);
+  apply_releases(jobs, bursty_releases(30, 6, 10));
+  const MachineConfig machine{{8, 4}};
+  const auto bounds = makespan_bounds(jobs, machine);
+
+  struct Row {
+    std::string name;
+    SimResult result;
+  };
+  std::vector<Row> rows;
+
+  auto run = [&](std::unique_ptr<KScheduler> sched) {
+    jobs.reset_all();
+    rows.push_back({sched->name(), simulate(jobs, *sched, machine)});
+  };
+  run(std::make_unique<KRad>());
+  run(std::make_unique<KDeqOnly>());
+  run(std::make_unique<KEqui>());
+  run(std::make_unique<KRoundRobin>());
+  run(std::make_unique<Fcfs>());
+  run(std::make_unique<RandomAllot>(seed));
+  run(std::make_unique<GreedyCp>());
+  run(std::make_unique<Srpt>());
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.result.mean_response < b.result.mean_response;
+  });
+
+  std::cout << "seed " << seed << ": 30 DAG jobs, K = 2, P = {8, 4}, bursty "
+               "arrivals\nranked by mean response time:\n\n";
+  Table table({"rank", "scheduler", "mean_resp", "makespan", "T/LB",
+               "alloc_eff"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.row()
+        .cell(static_cast<std::uint64_t>(i + 1))
+        .cell(rows[i].name)
+        .cell(rows[i].result.mean_response, 1)
+        .cell(rows[i].result.makespan)
+        .cell(makespan_ratio(rows[i].result, bounds))
+        .cell(allotment_efficiency(rows[i].result));
+  }
+  table.print(std::cout);
+  std::cout << "\nGREEDY-CP is clairvoyant (sees remaining spans); all others "
+               "see only instantaneous desires.\nTheorem 3 bound for K-RAD: "
+               "T/LB <= " << format_double(machine.makespan_bound()) << "\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md.
+#
+#   scripts/run_experiments.sh [build-dir] [results-dir]
+#
+# Builds (if needed), runs the test suite, then every bench binary, teeing
+# each output into the results directory.  Exits non-zero if any bench's
+# internal bound checks fail.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+mkdir -p "$RESULTS_DIR"
+
+echo "== tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure | tee "$RESULTS_DIR/ctest.txt" | tail -2
+
+status=0
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  name="$(basename "$bench")"
+  echo "== $name"
+  if ! "$bench" > "$RESULTS_DIR/$name.txt" 2>&1; then
+    echo "   FAILED (see $RESULTS_DIR/$name.txt)"
+    status=1
+  else
+    grep -E "^\[PASS\]|benchmark" "$RESULTS_DIR/$name.txt" | tail -1 || true
+  fi
+done
+
+echo
+echo "outputs in $RESULTS_DIR/"
+exit "$status"

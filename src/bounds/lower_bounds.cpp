@@ -1,0 +1,72 @@
+#include "bounds/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bounds/squashed.hpp"
+
+namespace krad {
+
+Work MakespanBounds::lower_bound() const {
+  return std::max(release_plus_span,
+                  static_cast<Work>(std::ceil(work_over_p - 1e-9)));
+}
+
+MakespanBounds makespan_bounds(const JobSet& set, const MachineConfig& machine) {
+  MakespanBounds bounds;
+  bounds.release_plus_span = set.max_release_plus_span();
+  double sum_work_over_p = 0.0;
+  for (Category alpha = 0; alpha < machine.categories(); ++alpha) {
+    const double term = static_cast<double>(set.total_work(alpha)) /
+                        static_cast<double>(machine.processors[alpha]);
+    bounds.work_over_p = std::max(bounds.work_over_p, term);
+    sum_work_over_p += term;
+  }
+  const int pmax = machine.pmax();
+  bounds.lemma2_rhs =
+      sum_work_over_p +
+      (1.0 - 1.0 / static_cast<double>(std::max(1, pmax))) *
+          static_cast<double>(bounds.release_plus_span);
+  return bounds;
+}
+
+double ResponseBounds::total_lower_bound() const {
+  return std::max(static_cast<double>(aggregate_span), max_swa);
+}
+
+double ResponseBounds::mean_lower_bound(std::size_t n) const {
+  if (n == 0) return 0.0;
+  return total_lower_bound() / static_cast<double>(n);
+}
+
+ResponseBounds response_bounds(const JobSet& set, const MachineConfig& machine) {
+  if (!set.batched())
+    throw std::logic_error(
+        "response_bounds: the paper's response-time bounds assume batched jobs");
+  ResponseBounds bounds;
+  bounds.aggregate_span = set.aggregate_span();
+  for (Category alpha = 0; alpha < machine.categories(); ++alpha) {
+    const auto works = set.works(alpha);
+    const double swa =
+        squashed_work_area(works, machine.processors[alpha]);
+    bounds.max_swa = std::max(bounds.max_swa, swa);
+    bounds.sum_swa += swa;
+  }
+  return bounds;
+}
+
+double makespan_ratio(const SimResult& result, const MakespanBounds& bounds) {
+  const Work lb = bounds.lower_bound();
+  if (lb <= 0) return 0.0;
+  return static_cast<double>(result.makespan) / static_cast<double>(lb);
+}
+
+double response_ratio(const SimResult& result, const ResponseBounds& bounds,
+                      std::size_t n) {
+  const double lb = bounds.mean_lower_bound(n);
+  if (lb <= 0.0) return 0.0;
+  return result.mean_response / lb;
+}
+
+}  // namespace krad

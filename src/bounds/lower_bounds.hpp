@@ -1,0 +1,53 @@
+#pragma once
+// The paper's lower bounds on the optimal clairvoyant scheduler, and the
+// bound expressions the theorems compare against.
+//
+// Makespan (Section 4), arbitrary release times:
+//   T*(J) >= max_i (r(Ji) + T\infty(Ji))
+//   T*(J) >= max_alpha T1(J, alpha) / P_alpha
+//
+// Total response time (Section 6), batched jobs:
+//   R*(J) >= T\infty(J)                      (aggregate span)
+//   R*(J) >= max_alpha swa(J, alpha)         (squashed work area)
+//
+// Because these lower-bound the (uncomputable) optimum, ratios measured
+// against them UPPER-bound the true competitive ratios, keeping the bench
+// checks sound.
+
+#include "jobs/job_set.hpp"
+#include "sim/metrics.hpp"
+
+namespace krad {
+
+struct MakespanBounds {
+  Work release_plus_span = 0;  ///< max_i (r_i + span_i)
+  double work_over_p = 0.0;    ///< max_alpha T1(J, alpha)/P_alpha
+  /// Integral lower bound on T*(J).
+  Work lower_bound() const;
+  /// Lemma 2 right-hand side for a given machine (filled by compute).
+  double lemma2_rhs = 0.0;
+};
+
+MakespanBounds makespan_bounds(const JobSet& set, const MachineConfig& machine);
+
+struct ResponseBounds {
+  Work aggregate_span = 0;       ///< T\infty(J)
+  double max_swa = 0.0;          ///< max_alpha swa(J, alpha)
+  double sum_swa = 0.0;          ///< Sum_alpha swa(J, alpha) (Theorem 5 RHS part)
+  /// Lower bound on the optimal TOTAL response time R*(J).
+  double total_lower_bound() const;
+  /// Lower bound on the optimal MEAN response time.
+  double mean_lower_bound(std::size_t n) const;
+};
+
+/// Requires a batched job set (all releases zero) — the theorems' setting.
+ResponseBounds response_bounds(const JobSet& set, const MachineConfig& machine);
+
+/// Measured-makespan competitive ratio against the makespan lower bound.
+double makespan_ratio(const SimResult& result, const MakespanBounds& bounds);
+
+/// Measured-mean-response ratio against the response lower bound.
+double response_ratio(const SimResult& result, const ResponseBounds& bounds,
+                      std::size_t n);
+
+}  // namespace krad

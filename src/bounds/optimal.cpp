@@ -1,0 +1,208 @@
+#include "bounds/optimal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace krad {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+struct Instance {
+  std::size_t num_vertices = 0;
+  std::vector<Category> category;    // per global vertex
+  std::vector<Mask> predecessors;    // per global vertex
+  std::vector<Mask> job_mask;        // per job
+  std::vector<int> processors;       // per category
+  Mask full = 0;
+};
+
+Instance build_instance(const JobSet& set, const MachineConfig& machine,
+                        const OptimalLimits& limits, bool& too_big) {
+  if (!set.batched())
+    throw std::logic_error("optimal search requires a batched job set");
+  Instance inst;
+  inst.processors = machine.processors;
+  std::size_t total = 0;
+  for (JobId id = 0; id < set.size(); ++id) {
+    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(id));
+    if (dag_job == nullptr)
+      throw std::logic_error("optimal search requires DagJob-backed sets");
+    total += dag_job->dag().num_vertices();
+  }
+  if (total > limits.max_vertices || total > 63) {
+    too_big = true;
+    return inst;
+  }
+  too_big = false;
+  inst.num_vertices = total;
+  inst.category.resize(total);
+  inst.predecessors.assign(total, 0);
+  inst.job_mask.assign(set.size(), 0);
+  std::size_t offset = 0;
+  for (JobId id = 0; id < set.size(); ++id) {
+    const KDag& dag = dynamic_cast<const DagJob&>(set.job(id)).dag();
+    for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+      inst.category[offset + v] = dag.category(v);
+      inst.job_mask[id] |= Mask{1} << (offset + v);
+      for (VertexId succ : dag.successors(v))
+        inst.predecessors[offset + succ] |= Mask{1} << (offset + v);
+    }
+    offset += dag.num_vertices();
+  }
+  inst.full = total == 64 ? ~Mask{0} : (Mask{1} << total) - 1;
+  return inst;
+}
+
+/// Enumerate all maximal executions from `mask`; calls visit(next_mask).
+/// Returns false if the move count exceeded the limit.
+template <typename Visit>
+bool enumerate_moves(const Instance& inst, Mask mask,
+                     const OptimalLimits& limits, Visit&& visit) {
+  const auto k = inst.processors.size();
+  std::vector<std::vector<std::size_t>> ready(k);
+  for (std::size_t v = 0; v < inst.num_vertices; ++v) {
+    const Mask bit = Mask{1} << v;
+    if ((mask & bit) == 0 && (inst.predecessors[v] & mask) == inst.predecessors[v])
+      ready[inst.category[v]].push_back(v);
+  }
+
+  // Per-category combinations of exactly min(P, |ready|) tasks.
+  std::vector<std::vector<Mask>> choices(k);
+  std::size_t product = 1;
+  for (std::size_t a = 0; a < k; ++a) {
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(inst.processors[a]),
+                              ready[a].size());
+    if (take == 0) {
+      choices[a].push_back(0);
+      continue;
+    }
+    // Generate C(|ready|, take) subsets.
+    std::vector<std::size_t> idx(take);
+    for (std::size_t i = 0; i < take; ++i) idx[i] = i;
+    for (;;) {
+      Mask m = 0;
+      for (std::size_t i : idx) m |= Mask{1} << ready[a][i];
+      choices[a].push_back(m);
+      if (choices[a].size() > limits.max_moves) return false;
+      // next combination
+      std::size_t i = take;
+      while (i-- > 0) {
+        if (idx[i] != i + ready[a].size() - take) {
+          ++idx[i];
+          for (std::size_t j = i + 1; j < take; ++j) idx[j] = idx[j - 1] + 1;
+          break;
+        }
+        if (i == 0) goto done;
+      }
+      continue;
+    done:
+      break;
+    }
+    product *= choices[a].size();
+    if (product > limits.max_moves) return false;
+  }
+
+  // Cross product.
+  std::vector<std::size_t> pick(k, 0);
+  for (;;) {
+    Mask next = mask;
+    for (std::size_t a = 0; a < k; ++a) next |= choices[a][pick[a]];
+    visit(next);
+    std::size_t a = 0;
+    for (; a < k; ++a) {
+      if (++pick[a] < choices[a].size()) break;
+      pick[a] = 0;
+    }
+    if (a == k) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Work> optimal_makespan(const JobSet& set,
+                                     const MachineConfig& machine,
+                                     const OptimalLimits& limits) {
+  bool too_big = false;
+  const Instance inst = build_instance(set, machine, limits, too_big);
+  if (too_big) return std::nullopt;
+  if (inst.num_vertices == 0) return Work{0};
+
+  // BFS over masks: optimal makespan = fewest steps to reach the full mask.
+  std::unordered_map<Mask, Work> dist;
+  dist.reserve(1024);
+  std::queue<Mask> frontier;
+  dist[0] = 0;
+  frontier.push(0);
+  bool overflow = false;
+  while (!frontier.empty()) {
+    const Mask mask = frontier.front();
+    frontier.pop();
+    const Work d = dist[mask];
+    if (mask == inst.full) return d;
+    const bool ok = enumerate_moves(inst, mask, limits, [&](Mask next) {
+      if (next == mask) return;  // no progress possible (cannot happen)
+      if (dist.emplace(next, d + 1).second) frontier.push(next);
+    });
+    if (!ok || dist.size() > limits.max_states) {
+      overflow = true;
+      break;
+    }
+  }
+  if (overflow) return std::nullopt;
+  // Unreachable full mask would mean a malformed dag; seal() prevents cycles.
+  const auto it = dist.find(inst.full);
+  return it == dist.end() ? std::optional<Work>{} : std::optional<Work>{it->second};
+}
+
+std::optional<Work> optimal_total_response(const JobSet& set,
+                                           const MachineConfig& machine,
+                                           const OptimalLimits& limits) {
+  bool too_big = false;
+  const Instance inst = build_instance(set, machine, limits, too_big);
+  if (too_big) return std::nullopt;
+  if (inst.num_vertices == 0) return Work{0};
+
+  auto unfinished = [&](Mask mask) {
+    Work count = 0;
+    for (const Mask jm : inst.job_mask)
+      if ((mask & jm) != jm) ++count;
+    return count;
+  };
+
+  // Dijkstra: edge (mask -> next) costs `unfinished(mask)`, i.e. every job
+  // unfinished at the start of the step accrues one step of response time.
+  using Entry = std::pair<Work, Mask>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::unordered_map<Mask, Work> dist;
+  dist[0] = 0;
+  heap.push({0, 0});
+  while (!heap.empty()) {
+    const auto [d, mask] = heap.top();
+    heap.pop();
+    const auto found = dist.find(mask);
+    if (found != dist.end() && found->second < d) continue;
+    if (mask == inst.full) return d;
+    const Work step_cost = unfinished(mask);
+    const bool ok = enumerate_moves(inst, mask, limits, [&](Mask next) {
+      if (next == mask) return;
+      const Work nd = d + step_cost;
+      const auto it = dist.find(next);
+      if (it == dist.end() || nd < it->second) {
+        dist[next] = nd;
+        heap.push({nd, next});
+      }
+    });
+    if (!ok || dist.size() > limits.max_states) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace krad

@@ -1,0 +1,38 @@
+#pragma once
+// Exact optimal schedules for tiny instances, by exhaustive state-space
+// search over executed-vertex bitmasks.  Used to cross-validate the paper's
+// lower bounds (LB <= OPT) and the measured competitive ratios
+// (OPT <= K-RAD <= bound * OPT) on instances small enough to solve.
+//
+// Scope: batched DagJob sets with at most 63 vertices in total (practically
+// ~20).  Executing a maximal set of ready tasks each step is without loss of
+// generality for both makespan and total response time (running extra unit
+// tasks can only advance the state), so moves enumerate, per category, every
+// choice of min(P_alpha, ready_alpha) ready tasks.
+
+#include <cstdint>
+#include <optional>
+
+#include "jobs/job_set.hpp"
+
+namespace krad {
+
+struct OptimalLimits {
+  std::size_t max_vertices = 24;      ///< refuse larger instances
+  std::size_t max_states = 4'000'000; ///< memo/visited cap
+  std::size_t max_moves = 200'000;    ///< per-state move cap
+};
+
+/// Minimum possible makespan, or nullopt if the instance exceeds the limits.
+/// Throws std::logic_error for non-batched or non-DagJob sets.
+std::optional<Work> optimal_makespan(const JobSet& set,
+                                     const MachineConfig& machine,
+                                     const OptimalLimits& limits = {});
+
+/// Minimum possible TOTAL response time (sum over jobs of completion time),
+/// or nullopt if the instance exceeds the limits.
+std::optional<Work> optimal_total_response(const JobSet& set,
+                                           const MachineConfig& machine,
+                                           const OptimalLimits& limits = {});
+
+}  // namespace krad

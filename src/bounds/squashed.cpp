@@ -1,0 +1,25 @@
+#include "bounds/squashed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krad {
+
+Work squashed_sum(std::span<const Work> values) {
+  std::vector<Work> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto m = static_cast<Work>(sorted.size());
+  Work sum = 0;
+  for (Work i = 0; i < m; ++i)
+    sum += (m - i) * sorted[static_cast<std::size_t>(i)];
+  return sum;
+}
+
+double squashed_work_area(std::span<const Work> works, int processors) {
+  if (processors <= 0)
+    throw std::logic_error("squashed_work_area: non-positive processors");
+  return static_cast<double>(squashed_sum(works)) /
+         static_cast<double>(processors);
+}
+
+}  // namespace krad

@@ -1,0 +1,21 @@
+#pragma once
+// Squashed sums and squashed work areas (paper Definitions 4 and 5), the
+// ingredients of the mean-response-time lower bounds.
+
+#include <span>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// sq-sum(<a_i>) = Sum_i (m - i + 1) * a_f(i) with a_f ascending
+/// (Definition 4): the smallest element receives the largest multiplier.
+/// Equivalently the minimum over all permutations (Equation 4).
+Work squashed_sum(std::span<const Work> values);
+
+/// Squashed alpha-work area swa(J, alpha) = sq-sum(<T1(Ji, alpha)>) / P_alpha
+/// (Definition 5).  Returned as a double because the division is real-valued.
+double squashed_work_area(std::span<const Work> works, int processors);
+
+}  // namespace krad

@@ -1,0 +1,60 @@
+#include "bounds/step_accounting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krad {
+
+StepAccounting account_steps(const JobSet& set, const MachineConfig& machine,
+                             const SimResult& result) {
+  if (result.trace == nullptr || result.trace->steps().empty())
+    throw std::logic_error("account_steps: trace with step records required");
+
+  const auto k = machine.categories();
+  StepAccounting acc;
+  acc.per_job.resize(set.size());
+  acc.deprived_but_not_full.assign(k, 0);
+  acc.fully_allotted_steps.assign(k, 0);
+
+  for (JobId id = 0; id < set.size(); ++id) {
+    acc.per_job[id].before_release = set.release(id);
+    acc.per_job[id].completion = result.completion[id];
+  }
+
+  for (const StepRecord& step : result.trace->steps()) {
+    // Category-level occupancy, counted in USED processor-steps
+    // min(allot, desire): the proof's claim is that P_alpha units of
+    // alpha-work complete on every alpha-deprived step (a desire-blind
+    // scheduler like EQUI can allot everything yet waste it).
+    std::vector<Work> used(k, 0);
+    std::vector<bool> any_deprived(k, false);
+    for (std::size_t j = 0; j < step.active.size(); ++j) {
+      for (Category a = 0; a < k; ++a) {
+        used[a] += std::min(step.allot[j][a], step.desire[j][a]);
+        if (step.allot[j][a] < step.desire[j][a]) any_deprived[a] = true;
+      }
+    }
+    for (Category a = 0; a < k; ++a) {
+      if (used[a] == machine.processors[a]) ++acc.fully_allotted_steps[a];
+      if (any_deprived[a] && used[a] < machine.processors[a])
+        ++acc.deprived_but_not_full[a];
+    }
+
+    // Job-level classification, only while the job is incomplete.
+    for (std::size_t j = 0; j < step.active.size(); ++j) {
+      const JobId id = step.active[j];
+      if (step.t > result.completion[id]) continue;
+      bool satisfied = true;
+      for (Category a = 0; a < k; ++a)
+        if (step.allot[j][a] < step.desire[j][a]) satisfied = false;
+      if (satisfied) {
+        ++acc.per_job[id].satisfied;
+      } else {
+        ++acc.per_job[id].deprived;
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace krad

@@ -1,0 +1,51 @@
+#pragma once
+// Per-step accounting of satisfied/deprived status — the bookkeeping the
+// paper's proofs perform, recomputed from a recorded trace so the proof's
+// intermediate quantities can be checked empirically.
+//
+// For a job Ji at step t and category alpha (paper, Section 3):
+//   alpha-satisfied  iff a(Ji, alpha, t) = d(Ji, alpha, t),
+//   alpha-deprived   iff a(Ji, alpha, t) < d(Ji, alpha, t),
+//   forall-satisfied iff alpha-satisfied for every alpha,
+//   exists-deprived  otherwise.
+//
+// Lemma 2's decomposition for the last-finishing job Jk:
+//   T(J) = |R(Jk)| + |S(Jk)| + |D(Jk)|,   |S(Jk)| <= T_inf(Jk),
+// and on every alpha-deprived step the category is fully allotted.
+
+#include <vector>
+
+#include "jobs/job_set.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace krad {
+
+struct JobStepCounts {
+  /// Steps before the job's release (paper's R set).
+  Time before_release = 0;
+  /// Steps (release, completion] where the job was forall-satisfied.
+  Time satisfied = 0;
+  /// Steps (release, completion] where the job was exists-deprived.
+  Time deprived = 0;
+  /// Completion time.
+  Time completion = 0;
+};
+
+struct StepAccounting {
+  std::vector<JobStepCounts> per_job;
+  /// Per category: number of steps with at least one alpha-deprived job
+  /// where FEWER than P_alpha units of alpha-work were executed.  Must be
+  /// zero for DEQ-family schedulers — Lemma 2's proof relies on it; a
+  /// desire-blind scheduler (EQUI) violates it by wasting allotments.
+  std::vector<Time> deprived_but_not_full;
+  /// Per category: steps where exactly P_alpha units of alpha-work ran.
+  std::vector<Time> fully_allotted_steps;
+};
+
+/// Recompute the proof quantities from a recorded trace.  The trace must
+/// contain step records (SimOptions::record_trace).
+StepAccounting account_steps(const JobSet& set, const MachineConfig& machine,
+                             const SimResult& result);
+
+}  // namespace krad

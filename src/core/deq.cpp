@@ -1,0 +1,60 @@
+#include "core/deq.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+void deq_allot(std::span<const DeqEntry> entries, int processors,
+               std::vector<Work>& out) {
+  std::vector<DeqEntry> live;
+  live.reserve(entries.size());
+  for (const DeqEntry& entry : entries) {
+    if (entry.desire > 0) {
+      live.push_back(entry);
+    } else if (entry.slot < out.size()) {
+      out[entry.slot] = 0;
+    }
+  }
+
+  Work remaining = processors;
+  // Each round either satisfies-and-removes at least one job (S nonempty) or
+  // splits the remaining processors and stops, so this terminates in at most
+  // |live| rounds; total cost O(|live|^2) worst case, fine at P <= |live|.
+  while (!live.empty() && remaining > 0) {
+    const auto count = static_cast<Work>(live.size());
+    // S = { Ji : d(Ji) <= pool / count }, compared exactly against the
+    // round's starting pool (mirrors Figure 2's recursion level).
+    const Work pool = remaining;
+    bool any_satisfied = false;
+    std::vector<DeqEntry> deprived;
+    deprived.reserve(live.size());
+    for (const DeqEntry& entry : live) {
+      if (entry.desire * count <= pool) {
+        out[entry.slot] = entry.desire;
+        remaining -= entry.desire;
+        any_satisfied = true;
+      } else {
+        deprived.push_back(entry);
+      }
+    }
+    if (!any_satisfied) {
+      // Everyone is deprived: split remaining processors as evenly as the
+      // integers allow, extra +1 units to the earliest jobs in queue order.
+      const Work share = remaining / count;
+      Work extra = remaining % count;
+      for (const DeqEntry& entry : deprived) {
+        Work allot = share;
+        if (extra > 0) {
+          ++allot;
+          --extra;
+        }
+        out[entry.slot] = allot;
+      }
+      return;
+    }
+    live = std::move(deprived);
+  }
+  for (const DeqEntry& entry : live) out[entry.slot] = 0;
+}
+
+}  // namespace krad

@@ -1,0 +1,31 @@
+#pragma once
+// Dynamic equi-partitioning (DEQ) allotment — Figure 2's DEQ sub-procedure
+// with the standard integral refinement.
+//
+// Given jobs with positive desires and P processors, DEQ gives every job
+// whose desire is at most the fair share P/|Q| exactly its desire, removes
+// those jobs, and recurses on the remainder; when no job's desire fits under
+// the fair share, the remaining (deprived) jobs split P as evenly as
+// integers allow (floor(P/|Q|) each, +1 for the first P mod |Q| jobs in
+// queue order).  The comparison d <= P/|Q| is done exactly in integers
+// (d * |Q| <= P), avoiding floating-point drift.
+
+#include <span>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+struct DeqEntry {
+  std::size_t slot;  ///< caller-defined output index
+  Work desire;       ///< > 0
+};
+
+/// Compute DEQ allotments.  `entries` is processed in the given (queue)
+/// order; allotments are written to out[entry.slot].  Entries with
+/// non-positive desire receive 0.  P >= 0.
+void deq_allot(std::span<const DeqEntry> entries, int processors,
+               std::vector<Work>& out);
+
+}  // namespace krad

@@ -1,0 +1,18 @@
+#include "core/krad.hpp"
+
+namespace krad {
+
+void KRad::reset(const MachineConfig& machine, std::size_t num_jobs) {
+  machine_ = machine;
+  rads_.assign(machine.categories(), Rad{});
+  for (Category alpha = 0; alpha < machine.categories(); ++alpha)
+    rads_[alpha].reset(alpha, num_jobs);
+}
+
+void KRad::allot(Time /*now*/, std::span<const JobView> active,
+                 const ClairvoyantView* /*clair*/, Allotment& out) {
+  for (Category alpha = 0; alpha < rads_.size(); ++alpha)
+    rads_[alpha].allot(active, machine_.processors[alpha], out);
+}
+
+}  // namespace krad

@@ -1,0 +1,48 @@
+#include "core/rad.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+void Rad::reset(Category alpha, std::size_t num_jobs) {
+  alpha_ = alpha;
+  state_.reset(num_jobs);
+}
+
+void Rad::allot(std::span<const JobView> active, int processors,
+                Allotment& out) {
+  q_.clear();
+  q_prime_.clear();
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    const JobView& view = active[j];
+    if (view.desire[alpha_] <= 0) continue;
+    if (state_.marked(view.id)) {
+      q_prime_.emplace_back(j, view.id);
+    } else {
+      q_.emplace_back(j, view.id);
+    }
+  }
+
+  const auto p = static_cast<std::size_t>(std::max(0, processors));
+  if (q_.size() > p) {
+    round_robin_allot(q_, processors, alpha_, state_, out);
+    return;
+  }
+
+  // Cycle completes this step: top Q up from Q' (so processors are not
+  // wasted), equi-partition, and unmark everyone for the next cycle.
+  const std::size_t moved = std::min(q_prime_.size(), p - q_.size());
+  q_.insert(q_.end(), q_prime_.begin(),
+            q_prime_.begin() + static_cast<std::ptrdiff_t>(moved));
+
+  deq_entries_.clear();
+  for (const auto& [slot, id] : q_)
+    deq_entries_.push_back(DeqEntry{slot, active[slot].desire[alpha_]});
+  deq_out_.assign(active.size(), 0);
+  deq_allot(deq_entries_, processors, deq_out_);
+  for (const auto& [slot, id] : q_) out[slot][alpha_] = deq_out_[slot];
+
+  state_.unmark_all();
+}
+
+}  // namespace krad

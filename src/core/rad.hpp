@@ -1,0 +1,46 @@
+#pragma once
+// RAD — the per-category scheduler of Figure 2, combining space-sharing DEQ
+// (light load) with time-sharing batched round-robin (heavy load).
+//
+// Each step, for its category alpha:
+//   Q  = unmarked alpha-active jobs (not yet scheduled this RR cycle),
+//   Q' = marked alpha-active jobs;
+//   if |Q| > P: ROUND-ROBIN(Q, P)            -- cycle continues
+//   else: move min(|Q'|, P - |Q|) jobs from Q' to Q;
+//         DEQ(Q, P); unmark all               -- cycle completes
+//
+// Under persistent light load (|J(alpha,t)| <= P_alpha) every step takes the
+// DEQ branch and RAD degenerates to pure DEQ, the regime of Theorem 5.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/deq.hpp"
+#include "core/round_robin.hpp"
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class Rad {
+ public:
+  void reset(Category alpha, std::size_t num_jobs);
+
+  /// Compute this category's allotments for the active jobs.  `active` is in
+  /// JobId order (the queue order); out[j][alpha] is written for every j.
+  void allot(std::span<const JobView> active, int processors, Allotment& out);
+
+  /// True while a round-robin cycle is in progress (some jobs marked).
+  bool cycle_open() const { return state_.num_marked() > 0; }
+
+ private:
+  Category alpha_ = 0;
+  RoundRobinState state_;
+  // Scratch buffers reused across steps to avoid per-step allocation.
+  std::vector<std::pair<std::size_t, JobId>> q_;        // unmarked alpha-active
+  std::vector<std::pair<std::size_t, JobId>> q_prime_;  // marked alpha-active
+  std::vector<DeqEntry> deq_entries_;
+  std::vector<Work> deq_out_;
+};
+
+}  // namespace krad

@@ -1,0 +1,24 @@
+#include "core/round_robin.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+std::size_t RoundRobinState::num_marked() const {
+  return static_cast<std::size_t>(
+      std::count(marked_.begin(), marked_.end(), true));
+}
+
+void round_robin_allot(std::span<const std::pair<std::size_t, JobId>> queue,
+                       int processors, Category alpha, RoundRobinState& state,
+                       std::vector<std::vector<Work>>& out) {
+  const std::size_t take =
+      std::min(queue.size(), static_cast<std::size_t>(std::max(0, processors)));
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto [slot, id] = queue[i];
+    out[slot][alpha] = 1;
+    state.mark(id);
+  }
+}
+
+}  // namespace krad

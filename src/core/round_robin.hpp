@@ -1,0 +1,39 @@
+#pragma once
+// ROUND-ROBIN sub-procedure and cycle state (Figure 2).
+//
+// Within one RR cycle, every alpha-active job must be scheduled exactly once
+// before any job is scheduled twice.  A mark records "already scheduled in
+// the current cycle".  The paper's prose and pseudo-code disagree on which
+// queue is called Q; we follow the pseudo-code: Q = unmarked alpha-active
+// jobs (not yet scheduled this cycle), Q' = marked ones.
+
+#include <span>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// Per-category mark state for the round-robin cycle.
+class RoundRobinState {
+ public:
+  void reset(std::size_t num_jobs) { marked_.assign(num_jobs, false); }
+
+  bool marked(JobId id) const { return marked_.at(id); }
+  void mark(JobId id) { marked_.at(id) = true; }
+  void unmark_all() { marked_.assign(marked_.size(), false); }
+
+  std::size_t num_marked() const;
+
+ private:
+  std::vector<bool> marked_;
+};
+
+/// ROUND-ROBIN(alpha, t, Q, P): give one processor to each of the first P
+/// jobs of Q (queue order) and mark them.  `queue` holds (active-index,
+/// JobId) pairs; allotments are written to out[active-index][alpha].
+void round_robin_allot(std::span<const std::pair<std::size_t, JobId>> queue,
+                       int processors, Category alpha, RoundRobinState& state,
+                       std::vector<std::vector<Work>>& out);
+
+}  // namespace krad

@@ -1,0 +1,60 @@
+#pragma once
+// Scheduler interface.
+//
+// The engine presents, each step, the set of active (released, uncompleted)
+// jobs and their per-category desires d(Ji, alpha, t); the scheduler answers
+// with per-category allotments a(Ji, alpha, t).  Non-clairvoyance is enforced
+// by the interface: the default view carries nothing but desires.  Schedulers
+// that declare themselves clairvoyant additionally receive remaining spans
+// and remaining works (the offline information the paper's optimal scheduler
+// has), so the type of information each algorithm uses is explicit.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// One active job's observable state at the current step.
+struct JobView {
+  JobId id = kInvalidJob;
+  /// d(Ji, alpha, t) for alpha = 0..K-1.
+  std::vector<Work> desire;
+};
+
+/// Extra per-job information available only to clairvoyant schedulers,
+/// parallel to the active-job span.
+struct ClairvoyantView {
+  std::vector<Work> remaining_span;                // per active job
+  std::vector<std::vector<Work>> remaining_work;   // per active job, per cat
+  std::vector<Time> release;                       // per active job
+};
+
+/// Allotments for one step: allot[j][alpha] for active job index j (NOT JobId;
+/// positions mirror the active span passed to allot()).
+using Allotment = std::vector<std::vector<Work>>;
+
+class KScheduler {
+ public:
+  virtual ~KScheduler() = default;
+
+  /// Called once before a simulation run.
+  virtual void reset(const MachineConfig& machine, std::size_t num_jobs) = 0;
+
+  /// Compute allotments for the current step.  `active` is sorted by JobId.
+  /// `clair` is non-null iff clairvoyant() is true.  Must write
+  /// out[j][alpha] for every active index j and category alpha; entries are
+  /// pre-zeroed by the engine.  Per category, the sum of allotments must not
+  /// exceed P_alpha (the validator checks this).
+  virtual void allot(Time now, std::span<const JobView> active,
+                     const ClairvoyantView* clair, Allotment& out) = 0;
+
+  /// Whether the scheduler wants the ClairvoyantView.
+  virtual bool clairvoyant() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace krad

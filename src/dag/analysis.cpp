@@ -1,0 +1,55 @@
+#include "dag/analysis.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+std::vector<Work> earliest_levels(const KDag& dag) {
+  std::vector<Work> level(dag.num_vertices(), 1);
+  for (VertexId v : dag.topological_order())
+    for (VertexId succ : dag.successors(v))
+      level[succ] = std::max(level[succ], level[v] + 1);
+  return level;
+}
+
+std::vector<std::vector<Work>> unlimited_parallelism_profile(const KDag& dag) {
+  const auto levels = earliest_levels(dag);
+  std::vector<std::vector<Work>> profile(
+      static_cast<std::size_t>(dag.span()),
+      std::vector<Work>(dag.num_categories(), 0));
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    ++profile[static_cast<std::size_t>(levels[v] - 1)][dag.category(v)];
+  return profile;
+}
+
+Work max_parallelism(const KDag& dag, Category alpha) {
+  Work best = 0;
+  for (const auto& level : unlimited_parallelism_profile(dag))
+    best = std::max(best, level[alpha]);
+  return best;
+}
+
+double average_parallelism(const KDag& dag) {
+  if (dag.span() == 0) return 0.0;
+  return static_cast<double>(dag.total_work()) / static_cast<double>(dag.span());
+}
+
+std::string to_dot(const KDag& dag, const std::string& name) {
+  // A qualitative palette; categories beyond the palette wrap around.
+  static const char* kColors[] = {"#4477aa", "#ee6677", "#228833",
+                                  "#ccbb44", "#66ccee", "#aa3377"};
+  constexpr std::size_t kNumColors = sizeof kColors / sizeof kColors[0];
+  std::string out = "digraph " + name + " {\n  node [style=filled];\n";
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+    out += "  v" + std::to_string(v) + " [fillcolor=\"" +
+           kColors[dag.category(v) % kNumColors] + "\" label=\"" +
+           std::to_string(v) + ":c" + std::to_string(dag.category(v)) + "\"];\n";
+  }
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    for (VertexId succ : dag.successors(v))
+      out += "  v" + std::to_string(v) + " -> v" + std::to_string(succ) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace krad

@@ -1,0 +1,32 @@
+#pragma once
+// Structural analysis helpers over sealed K-DAGs.
+
+#include <string>
+#include <vector>
+
+#include "dag/kdag.hpp"
+
+namespace krad {
+
+/// Earliest possible execution step of each vertex with unlimited processors
+/// (1-based: sources are at level 1).  Equivalently 1 + length of the longest
+/// path from any source to the vertex.
+std::vector<Work> earliest_levels(const KDag& dag);
+
+/// Per-category instantaneous parallelism of the unlimited-processor
+/// (level-synchronous) execution: profile[level-1][alpha] = number of
+/// alpha-vertices whose earliest level equals `level`.
+std::vector<std::vector<Work>> unlimited_parallelism_profile(const KDag& dag);
+
+/// Maximum instantaneous alpha-parallelism over the unlimited-processor
+/// execution; an upper bound on the alpha-desire the job can ever express
+/// under any schedule that is never starved.
+Work max_parallelism(const KDag& dag, Category alpha);
+
+/// Average parallelism T1 / T\infty (0 for empty dag).
+double average_parallelism(const KDag& dag);
+
+/// Graphviz dot rendering (categories become node colors); for docs/examples.
+std::string to_dot(const KDag& dag, const std::string& name = "kdag");
+
+}  // namespace krad

@@ -1,0 +1,296 @@
+#include "dag/builders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krad {
+
+KDag single_task(Category category, Category num_categories) {
+  KDag dag(num_categories);
+  dag.add_vertex(category);
+  dag.seal();
+  return dag;
+}
+
+KDag category_chain(const std::vector<Category>& pattern, std::size_t length,
+                    Category num_categories) {
+  if (pattern.empty() || length == 0)
+    throw std::logic_error("category_chain: empty pattern or length");
+  KDag dag(num_categories);
+  VertexId prev = kInvalidVertex;
+  for (std::size_t i = 0; i < length; ++i) {
+    const VertexId v = dag.add_vertex(pattern[i % pattern.size()]);
+    if (prev != kInvalidVertex) dag.add_edge(prev, v);
+    prev = v;
+  }
+  dag.seal();
+  return dag;
+}
+
+KDag fork_join(const std::vector<Category>& pattern, std::size_t phases,
+               std::size_t width, Category num_categories) {
+  if (pattern.empty() || phases == 0 || width == 0)
+    throw std::logic_error("fork_join: degenerate shape");
+  KDag dag(num_categories);
+  VertexId join = kInvalidVertex;
+  for (std::size_t p = 0; p < phases; ++p) {
+    const Category cat = pattern[p % pattern.size()];
+    std::vector<VertexId> forks;
+    forks.reserve(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      const VertexId v = dag.add_vertex(cat);
+      if (join != kInvalidVertex) dag.add_edge(join, v);
+      forks.push_back(v);
+    }
+    const VertexId next_join = dag.add_vertex(cat);
+    for (VertexId v : forks) dag.add_edge(v, next_join);
+    join = next_join;
+  }
+  dag.seal();
+  return dag;
+}
+
+KDag map_reduce(std::size_t mappers, std::size_t reducers, Category map_cat,
+                Category reduce_cat, Category num_categories) {
+  if (mappers == 0 || reducers == 0)
+    throw std::logic_error("map_reduce: degenerate shape");
+  KDag dag(num_categories);
+  std::vector<VertexId> maps, reduces;
+  for (std::size_t i = 0; i < mappers; ++i) maps.push_back(dag.add_vertex(map_cat));
+  for (std::size_t i = 0; i < reducers; ++i)
+    reduces.push_back(dag.add_vertex(reduce_cat));
+  for (VertexId m : maps)
+    for (VertexId r : reduces) dag.add_edge(m, r);
+  const VertexId sink = dag.add_vertex(reduce_cat);
+  for (VertexId r : reduces) dag.add_edge(r, sink);
+  dag.seal();
+  return dag;
+}
+
+KDag layered_random(const LayeredParams& params, Rng& rng) {
+  if (params.layers == 0 || params.min_width == 0 ||
+      params.max_width < params.min_width || params.num_categories == 0)
+    throw std::logic_error("layered_random: invalid parameters");
+
+  KDag dag(params.num_categories);
+  std::vector<VertexId> prev_layer;
+  for (std::size_t layer = 0; layer < params.layers; ++layer) {
+    const auto width = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(params.min_width),
+                        static_cast<std::int64_t>(params.max_width)));
+    const bool fixed_cat = !params.layer_categories.empty();
+    const Category layer_cat =
+        fixed_cat
+            ? params.layer_categories[layer % params.layer_categories.size()]
+            : 0;
+    std::vector<VertexId> cur_layer;
+    cur_layer.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const Category cat =
+          fixed_cat ? layer_cat
+                    : static_cast<Category>(rng.uniform_int(
+                          0, static_cast<std::int64_t>(params.num_categories) - 1));
+      const VertexId v = dag.add_vertex(cat);
+      if (!prev_layer.empty()) {
+        bool linked = false;
+        for (VertexId p : prev_layer) {
+          if (rng.chance(params.edge_probability)) {
+            dag.add_edge(p, v);
+            linked = true;
+          }
+        }
+        if (!linked) {
+          // Guarantee at least one predecessor so the layer structure is the
+          // true level structure (keeps span = #layers).
+          dag.add_edge(prev_layer[rng.index(prev_layer.size())], v);
+        }
+      }
+      cur_layer.push_back(v);
+    }
+    prev_layer = std::move(cur_layer);
+  }
+  dag.seal();
+  return dag;
+}
+
+namespace {
+
+// Recursive series-parallel composition over an interval of new vertices.
+// Returns {source, sink} of the sub-dag built inside `dag`.
+std::pair<VertexId, VertexId> build_sp(KDag& dag, std::size_t budget,
+                                       Category num_categories, Rng& rng) {
+  auto random_cat = [&] {
+    return static_cast<Category>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_categories) - 1));
+  };
+  if (budget <= 1) {
+    const VertexId v = dag.add_vertex(random_cat());
+    return {v, v};
+  }
+  if (rng.chance(0.5)) {
+    // Series: left then right.
+    const std::size_t left = 1 + rng.index(budget - 1);
+    auto [ls, lt] = build_sp(dag, left, num_categories, rng);
+    auto [rs, rt] = build_sp(dag, budget - left, num_categories, rng);
+    dag.add_edge(lt, rs);
+    return {ls, rt};
+  }
+  // Parallel: fresh source/sink around 2..4 branches.
+  const VertexId source = dag.add_vertex(random_cat());
+  const VertexId sink = dag.add_vertex(random_cat());
+  std::size_t remaining = budget >= 2 ? budget - 2 : 0;
+  const std::size_t branches =
+      std::max<std::size_t>(2, std::min<std::size_t>(4, remaining));
+  for (std::size_t b = 0; b < branches; ++b) {
+    const std::size_t share =
+        (b + 1 == branches) ? remaining : (remaining > 0 ? 1 + rng.index(remaining) : 0);
+    remaining -= std::min(share, remaining);
+    if (share == 0) {
+      dag.add_edge(source, sink);
+      continue;
+    }
+    auto [bs, bt] = build_sp(dag, share, num_categories, rng);
+    dag.add_edge(source, bs);
+    dag.add_edge(bt, sink);
+  }
+  return {source, sink};
+}
+
+}  // namespace
+
+KDag series_parallel(std::size_t size_budget, Category num_categories, Rng& rng) {
+  if (size_budget == 0 || num_categories == 0)
+    throw std::logic_error("series_parallel: invalid parameters");
+  KDag dag(num_categories);
+  build_sp(dag, size_budget, num_categories, rng);
+  dag.seal();
+  return dag;
+}
+
+KDag grid_wavefront(std::size_t rows, std::size_t cols,
+                    const std::vector<Category>& pattern,
+                    Category num_categories) {
+  if (rows == 0 || cols == 0 || pattern.empty())
+    throw std::logic_error("grid_wavefront: degenerate shape");
+  KDag dag(num_categories);
+  std::vector<VertexId> grid(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const Category cat = pattern[(i + j) % pattern.size()];
+      const VertexId v = dag.add_vertex(cat);
+      grid[i * cols + j] = v;
+      if (i > 0) dag.add_edge(grid[(i - 1) * cols + j], v);
+      if (j > 0) dag.add_edge(grid[i * cols + (j - 1)], v);
+    }
+  }
+  dag.seal();
+  return dag;
+}
+
+KDag tree_reduction(std::size_t leaves, Category leaf_cat, Category reduce_cat,
+                    Category num_categories) {
+  if (leaves == 0) throw std::logic_error("tree_reduction: no leaves");
+  KDag dag(num_categories);
+  std::vector<VertexId> level;
+  level.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i)
+    level.push_back(dag.add_vertex(leaf_cat));
+  while (level.size() > 1) {
+    std::vector<VertexId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const VertexId parent = dag.add_vertex(reduce_cat);
+      dag.add_edge(level[i], parent);
+      if (i + 1 < level.size()) dag.add_edge(level[i + 1], parent);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  dag.seal();
+  return dag;
+}
+
+KDag figure1_example() {
+  // Ten vertices over three categories, interleaving computation (0),
+  // I/O (1) and communication (2), mirroring the flavour of Figure 1.
+  KDag dag(3);
+  const VertexId a = dag.add_vertex(0);  // root: compute
+  const VertexId b = dag.add_vertex(1);  // I/O read
+  const VertexId c = dag.add_vertex(0);  // compute
+  const VertexId d = dag.add_vertex(2);  // communicate
+  const VertexId e = dag.add_vertex(0);  // compute
+  const VertexId f = dag.add_vertex(1);  // I/O
+  const VertexId g = dag.add_vertex(2);  // communicate
+  const VertexId h = dag.add_vertex(0);  // compute
+  const VertexId i = dag.add_vertex(0);  // compute
+  const VertexId j = dag.add_vertex(1);  // final I/O write
+  dag.add_edge(a, b);
+  dag.add_edge(a, c);
+  dag.add_edge(b, d);
+  dag.add_edge(b, e);
+  dag.add_edge(c, e);
+  dag.add_edge(c, f);
+  dag.add_edge(d, g);
+  dag.add_edge(e, g);
+  dag.add_edge(e, h);
+  dag.add_edge(f, h);
+  dag.add_edge(g, i);
+  dag.add_edge(h, i);
+  dag.add_edge(i, j);
+  dag.seal();
+  return dag;
+}
+
+KDag adversary_job(const std::vector<int>& processors, int m) {
+  const auto k = static_cast<Category>(processors.size());
+  if (k == 0 || m < 1) throw std::logic_error("adversary_job: invalid parameters");
+  for (int p : processors)
+    if (p < 1) throw std::logic_error("adversary_job: non-positive processors");
+  const long long pk = processors.back();
+
+  KDag dag(k);
+  if (k == 1) {
+    // Degenerate single-category adversary: mP(P-1)+1 parallel tasks, the
+    // critical one followed by a chain of mP-1.
+    const long long parallel = static_cast<long long>(m) * pk * (pk - 1) + 1;
+    VertexId critical = kInvalidVertex;
+    for (long long i = 0; i < parallel; ++i) {
+      const VertexId v = dag.add_vertex(0);
+      if (i == 0) critical = v;
+    }
+    if (m * pk - 1 > 0)
+      dag.add_chain(0, static_cast<std::size_t>(m * pk - 1), critical);
+    dag.seal();
+    return dag;
+  }
+
+  // Level 1: the root (category 0), on the critical path.
+  VertexId critical = dag.add_vertex(0);
+  // Levels 2..K-1 (categories 1..K-2): m * P_alpha * P_K tasks hanging off the
+  // previous level's critical task; the first becomes the new critical task.
+  for (Category alpha = 1; alpha + 1 < k; ++alpha) {
+    const long long count = static_cast<long long>(m) * processors[alpha] * pk;
+    VertexId next_critical = kInvalidVertex;
+    for (long long i = 0; i < count; ++i) {
+      const VertexId v = dag.add_vertex(alpha);
+      dag.add_edge(critical, v);
+      if (i == 0) next_critical = v;
+    }
+    critical = next_critical;
+  }
+  // Level K (category K-1): m*PK*(PK-1) + 1 tasks; the first heads a chain of
+  // m*PK - 1 additional tasks.
+  const long long level_k = static_cast<long long>(m) * pk * (pk - 1) + 1;
+  VertexId chain_head = kInvalidVertex;
+  for (long long i = 0; i < level_k; ++i) {
+    const VertexId v = dag.add_vertex(k - 1);
+    dag.add_edge(critical, v);
+    if (i == 0) chain_head = v;
+  }
+  if (m * pk - 1 > 0)
+    dag.add_chain(k - 1, static_cast<std::size_t>(m * pk - 1), chain_head);
+  dag.seal();
+  return dag;
+}
+
+}  // namespace krad

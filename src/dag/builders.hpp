@@ -1,0 +1,89 @@
+#pragma once
+// Constructors for the K-DAG families used by tests, examples and benches.
+// All builders return sealed graphs.
+
+#include <vector>
+
+#include "dag/kdag.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+
+/// A single unit task of the given category.
+KDag single_task(Category category, Category num_categories);
+
+/// A chain of `length` tasks whose categories cycle through `pattern`
+/// (job-shop style chain when pattern = 0,1,...,K-1).
+KDag category_chain(const std::vector<Category>& pattern, std::size_t length,
+                    Category num_categories);
+
+/// Classic fork-join: `phases` rounds; round p forks `width` parallel tasks of
+/// category pattern[p % pattern.size()], joined by a single task of the same
+/// category before the next round.
+KDag fork_join(const std::vector<Category>& pattern, std::size_t phases,
+               std::size_t width, Category num_categories);
+
+/// Map-reduce: `mappers` parallel tasks of category map_cat feeding `reducers`
+/// tasks of category reduce_cat (complete bipartite dependency), with a final
+/// sink of category reduce_cat.
+KDag map_reduce(std::size_t mappers, std::size_t reducers, Category map_cat,
+                Category reduce_cat, Category num_categories);
+
+/// Parameters for random layered K-DAGs.
+struct LayeredParams {
+  std::size_t layers = 8;
+  std::size_t min_width = 1;
+  std::size_t max_width = 8;
+  /// Probability of an edge between consecutive-layer vertex pairs; each
+  /// vertex beyond layer 1 is guaranteed at least one predecessor.
+  double edge_probability = 0.3;
+  Category num_categories = 2;
+  /// If non-empty, per-layer category override: layer L uses
+  /// layer_categories[L % size].  Empty = uniform random category per vertex.
+  std::vector<Category> layer_categories;
+};
+
+/// Random layered DAG: vertices arranged in layers, edges only between
+/// consecutive layers, guaranteeing a connected precedence structure.
+KDag layered_random(const LayeredParams& params, Rng& rng);
+
+/// Random series-parallel DAG via recursive composition; `size_budget` bounds
+/// vertex count.  Categories drawn uniformly at random.
+KDag series_parallel(std::size_t size_budget, Category num_categories, Rng& rng);
+
+/// 2-D wavefront (classic HPC stencil dependency): an R x C grid where cell
+/// (i, j) depends on (i-1, j) and (i, j-1).  Categories alternate by
+/// anti-diagonal through `pattern` (so categories are interleaved along the
+/// critical path).  Span = R + C - 1, max parallelism = min(R, C).
+KDag grid_wavefront(std::size_t rows, std::size_t cols,
+                    const std::vector<Category>& pattern,
+                    Category num_categories);
+
+/// Binary-tree reduction: `leaves` tasks of category leaf_cat combined
+/// pairwise by reduce_cat tasks up to a single root.  leaves must be >= 1.
+KDag tree_reduction(std::size_t leaves, Category leaf_cat, Category reduce_cat,
+                    Category num_categories);
+
+/// The example 3-DAG in the spirit of the paper's Figure 1: three task types
+/// interleaved across a small precedence structure (10 vertices).
+KDag figure1_example();
+
+/// The adversarial job Ji of the paper's Figure 3 (Theorem 1).
+///
+/// Level 1: one 1-task (the root, on the critical path).
+/// Levels alpha = 2..K-1: m * P[alpha-1] * PK alpha-tasks, every one depending
+///   on the critical task of the previous level.
+/// Level K: m * PK * (PK - 1) + 1 K-tasks depending on the critical task of
+///   level K-1, one of which (the critical one) is followed by a chain of
+///   m * PK - 1 further K-tasks.
+///
+/// Critical path length: K + m*PK - 1.
+///
+/// For K = 1 the construction degenerates to m*P*(P-1) + 1 parallel 1-tasks
+/// with a chain of m*P - 1 after the critical one (span m*P, the classic
+/// 2 - 1/P adversary).
+///
+/// `processors` must have size K >= 1 and positive entries; m >= 1.
+KDag adversary_job(const std::vector<int>& processors, int m);
+
+}  // namespace krad

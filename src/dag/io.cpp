@@ -1,0 +1,83 @@
+#include "dag/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace krad {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("kdag parse error at line " + std::to_string(line) +
+                           ": " + message);
+}
+
+}  // namespace
+
+KDag parse_kdag(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  KDag dag;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank/comment line
+
+    if (keyword == "kdag") {
+      if (have_header) fail(line_no, "duplicate header");
+      long long categories = 0;
+      if (!(tokens >> categories) || categories < 1)
+        fail(line_no, "expected 'kdag <num_categories >= 1>'");
+      dag = KDag(static_cast<Category>(categories));
+      have_header = true;
+    } else if (keyword == "v") {
+      if (!have_header) fail(line_no, "vertex before header");
+      long long category = -1;
+      if (!(tokens >> category) || category < 0 ||
+          category >= static_cast<long long>(dag.num_categories()))
+        fail(line_no, "expected 'v <category in [0, K)>'");
+      dag.add_vertex(static_cast<Category>(category));
+    } else if (keyword == "e") {
+      if (!have_header) fail(line_no, "edge before header");
+      long long from = -1, to = -1;
+      if (!(tokens >> from >> to) || from < 0 || to < 0 ||
+          from >= static_cast<long long>(dag.num_vertices()) ||
+          to >= static_cast<long long>(dag.num_vertices()) || from == to)
+        fail(line_no, "expected 'e <from> <to>' over declared vertices");
+      dag.add_edge(static_cast<VertexId>(from), static_cast<VertexId>(to));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+    std::string extra;
+    if (tokens >> extra) fail(line_no, "trailing tokens");
+  }
+  if (!have_header) fail(line_no, "missing 'kdag <K>' header");
+  try {
+    dag.seal();
+  } catch (const std::logic_error& error) {
+    throw std::runtime_error(std::string("kdag parse error: ") + error.what());
+  }
+  return dag;
+}
+
+KDag parse_kdag_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_kdag(in);
+}
+
+std::string serialize_kdag(const KDag& dag) {
+  std::string out = "kdag " + std::to_string(dag.num_categories()) + "\n";
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    out += "v " + std::to_string(dag.category(v)) + "\n";
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    for (VertexId succ : dag.successors(v))
+      out += "e " + std::to_string(v) + " " + std::to_string(succ) + "\n";
+  return out;
+}
+
+}  // namespace krad

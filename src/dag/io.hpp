@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text serialisation of K-DAGs, so workloads can be described in
+// files and fed to the CLI driver (examples/kradsim_cli.cpp).
+//
+// Format (line-oriented, '#' starts a comment):
+//   kdag <num_categories>
+//   v <category>          # one per vertex; ids assigned in order from 0
+//   e <from> <to>         # precedence edge
+//
+// Example — a 2-category diamond:
+//   kdag 2
+//   v 0
+//   v 1
+//   v 1
+//   v 0
+//   e 0 1
+//   e 0 2
+//   e 1 3
+//   e 2 3
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/kdag.hpp"
+
+namespace krad {
+
+/// Parse a K-DAG from text.  Throws std::runtime_error with a line number on
+/// malformed input; the returned dag is sealed (so cycles are also errors).
+KDag parse_kdag(std::istream& in);
+KDag parse_kdag_string(const std::string& text);
+
+/// Serialise; parse_kdag(serialize_kdag(d)) reproduces the dag.
+std::string serialize_kdag(const KDag& dag);
+
+}  // namespace krad

@@ -1,0 +1,141 @@
+#include "dag/kdag.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace krad {
+
+VertexId KDag::add_vertex(Category category) {
+  if (sealed_) throw std::logic_error("KDag::add_vertex: graph is sealed");
+  if (category >= num_categories_)
+    throw std::logic_error("KDag::add_vertex: category out of range");
+  categories_.push_back(category);
+  out_edges_.emplace_back();
+  in_degree_.push_back(0);
+  return static_cast<VertexId>(categories_.size() - 1);
+}
+
+void KDag::add_edge(VertexId u, VertexId v) {
+  if (sealed_) throw std::logic_error("KDag::add_edge: graph is sealed");
+  if (u >= num_vertices() || v >= num_vertices() || u == v)
+    throw std::logic_error("KDag::add_edge: invalid endpoints");
+  out_edges_[u].push_back(v);
+  ++in_degree_[v];
+  ++num_edges_;
+}
+
+std::pair<VertexId, VertexId> KDag::add_chain(Category category,
+                                              std::size_t length,
+                                              VertexId after) {
+  if (length == 0) throw std::logic_error("KDag::add_chain: empty chain");
+  const VertexId first = add_vertex(category);
+  if (after != kInvalidVertex) add_edge(after, first);
+  VertexId prev = first;
+  for (std::size_t i = 1; i < length; ++i) {
+    const VertexId next = add_vertex(category);
+    add_edge(prev, next);
+    prev = next;
+  }
+  return {first, prev};
+}
+
+void KDag::seal() {
+  if (sealed_) return;
+
+  // Kahn topological sort (doubles as cycle detection).
+  const std::size_t n = num_vertices();
+  topo_.clear();
+  topo_.reserve(n);
+  std::vector<std::size_t> indeg = in_degree_;
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v)
+    if (indeg[v] == 0) frontier.push_back(v);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.back();
+    frontier.pop_back();
+    topo_.push_back(v);
+    for (VertexId succ : out_edges_[v])
+      if (--indeg[succ] == 0) frontier.push_back(succ);
+  }
+  if (topo_.size() != n) throw std::logic_error("KDag::seal: cycle detected");
+
+  work_per_category_.assign(num_categories_, 0);
+  for (Category c : categories_) ++work_per_category_[c];
+
+  // Critical-path length from each vertex (counting the vertex): reverse
+  // topological sweep.
+  cp_length_.assign(n, 1);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const VertexId v = *it;
+    Work best = 0;
+    for (VertexId succ : out_edges_[v]) best = std::max(best, cp_length_[succ]);
+    cp_length_[v] = best + 1;
+  }
+  span_ = 0;
+  for (VertexId v = 0; v < n; ++v)
+    if (in_degree_[v] == 0) span_ = std::max(span_, cp_length_[v]);
+
+  sealed_ = true;
+}
+
+std::span<const VertexId> KDag::successors(VertexId v) const {
+  return out_edges_.at(v);
+}
+
+Work KDag::work(Category category) const {
+  require_sealed("work");
+  return work_per_category_.at(category);
+}
+
+std::span<const VertexId> KDag::topological_order() const {
+  require_sealed("topological_order");
+  return topo_;
+}
+
+std::vector<VertexId> KDag::sources() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    if (in_degree_[v] == 0) result.push_back(v);
+  return result;
+}
+
+bool KDag::precedes(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<VertexId> stack{u};
+  seen[u] = true;
+  while (!stack.empty()) {
+    const VertexId cur = stack.back();
+    stack.pop_back();
+    for (VertexId succ : out_edges_[cur]) {
+      if (succ == v) return true;
+      if (!seen[succ]) {
+        seen[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+std::string KDag::summary() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "KDag{V=%zu E=%zu K=%u span=%lld work=[",
+                num_vertices(), num_edges_, num_categories_,
+                static_cast<long long>(span_));
+  std::string out = buffer;
+  for (Category c = 0; c < num_categories_; ++c) {
+    if (c != 0) out += ',';
+    out += std::to_string(sealed_ ? work_per_category_[c] : -1);
+  }
+  out += "]}";
+  return out;
+}
+
+void KDag::require_sealed(const char* what) const {
+  if (!sealed_)
+    throw std::logic_error(std::string("KDag::") + what + ": graph not sealed");
+}
+
+}  // namespace krad

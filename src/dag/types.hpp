@@ -1,0 +1,76 @@
+#pragma once
+// Fundamental identifiers shared across the library.
+//
+// The paper's model (Section 2): processors and tasks are classified into K
+// categories; a task of category alpha runs only on an alpha-processor; each
+// task takes exactly one time step.  Categories are 0-based internally
+// (paper uses 1..K).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace krad {
+
+/// Resource/task category index, 0-based; the paper's alpha in {1..K} maps to
+/// {0..K-1} here.
+using Category = std::uint32_t;
+
+/// Vertex identifier within a single job's K-DAG.
+using VertexId = std::uint32_t;
+
+/// Job identifier: index of the job within its JobSet.
+using JobId = std::uint32_t;
+
+/// Discrete time step.  Steps are 1-based during simulation (the paper's
+/// schedule maps vertices to {1, 2, ...}); 0 marks "before the schedule".
+using Time = std::int64_t;
+
+/// Amount of work (number of unit-time tasks).
+using Work = std::int64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Number of processors per category: P[alpha] = P_alpha.
+struct MachineConfig {
+  std::vector<int> processors;
+
+  std::size_t categories() const noexcept { return processors.size(); }
+  int at(Category a) const { return processors.at(a); }
+
+  /// P_max = max_alpha P_alpha (0 for an empty machine).
+  int pmax() const noexcept {
+    int best = 0;
+    for (int p : processors) best = best > p ? best : p;
+    return best;
+  }
+
+  /// Total processors across categories.
+  int total() const noexcept {
+    int sum = 0;
+    for (int p : processors) sum += p;
+    return sum;
+  }
+
+  /// Theorem 1 / Theorem 3 makespan competitive bound: K + 1 - 1/Pmax.
+  double makespan_bound() const noexcept {
+    const double k = static_cast<double>(categories());
+    const int pm = pmax();
+    return pm == 0 ? 0.0 : k + 1.0 - 1.0 / static_cast<double>(pm);
+  }
+
+  /// Theorem 6 mean-response bound for n batched jobs: 4K + 1 - 4K/(n+1).
+  double response_bound(std::size_t n_jobs) const noexcept {
+    const double k = static_cast<double>(categories());
+    return 4.0 * k + 1.0 - 4.0 * k / (static_cast<double>(n_jobs) + 1.0);
+  }
+
+  /// Theorem 5 light-load mean-response bound: 2K + 1 - 2K/(n+1).
+  double response_bound_light(std::size_t n_jobs) const noexcept {
+    const double k = static_cast<double>(categories());
+    return 2.0 * k + 1.0 - 2.0 * k / (static_cast<double>(n_jobs) + 1.0);
+  }
+};
+
+}  // namespace krad

@@ -1,0 +1,91 @@
+#include "feedback/feedback.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace krad {
+
+FeedbackScheduler::FeedbackScheduler(std::unique_ptr<KScheduler> inner,
+                                     FeedbackParams params)
+    : inner_(std::move(inner)), params_(params) {
+  if (inner_ == nullptr)
+    throw std::logic_error("FeedbackScheduler: null inner scheduler");
+  if (params_.quantum < 1 || params_.rho <= 1.0 || params_.delta <= 0.0 ||
+      params_.delta > 1.0 || params_.initial_request < 1)
+    throw std::logic_error("FeedbackScheduler: invalid parameters");
+}
+
+void FeedbackScheduler::reset(const MachineConfig& machine,
+                              std::size_t num_jobs) {
+  machine_ = machine;
+  inner_->reset(machine, num_jobs);
+  const auto k = machine.categories();
+  requests_.assign(num_jobs, std::vector<Work>(k, params_.initial_request));
+  granted_.assign(num_jobs, std::vector<Work>(k, 0));
+  usable_.assign(num_jobs, std::vector<Work>(k, 0));
+  deprived_.assign(num_jobs, std::vector<bool>(k, false));
+  quantum_start_.assign(num_jobs, -1);
+}
+
+void FeedbackScheduler::quantum_update(JobId id) {
+  const auto k = machine_.categories();
+  for (Category a = 0; a < k; ++a) {
+    Work& request = requests_[id][a];
+    if (granted_[id][a] > 0 && !deprived_[id][a]) {
+      const double usage = static_cast<double>(usable_[id][a]) /
+                           static_cast<double>(granted_[id][a]);
+      if (usage >= params_.delta) {
+        request = std::min<Work>(
+            params_.max_request,
+            static_cast<Work>(std::llround(static_cast<double>(request) *
+                                           params_.rho)));
+      } else {
+        request = std::max<Work>(
+            1, static_cast<Work>(std::llround(static_cast<double>(request) /
+                                              params_.rho)));
+      }
+    }
+    // Deprived quantum: keep the request (A-GREEDY's "deprived" rule).
+    granted_[id][a] = 0;
+    usable_[id][a] = 0;
+    deprived_[id][a] = false;
+  }
+}
+
+void FeedbackScheduler::allot(Time now, std::span<const JobView> active,
+                              const ClairvoyantView* clair, Allotment& out) {
+  // Quantum boundaries are per job (aligned to first sighting), so newly
+  // released jobs get a full quantum before their first update.
+  for (const JobView& view : active) {
+    if (quantum_start_[view.id] < 0) quantum_start_[view.id] = now;
+    if (now - quantum_start_[view.id] >= params_.quantum) {
+      quantum_update(view.id);
+      quantum_start_[view.id] = now;
+    }
+  }
+
+  // Present requests to the inner scheduler instead of true desires.  A job
+  // with true desire 0 in a category keeps request visibility 0 so inner
+  // queues see the same active sets (alpha-activity is observable: an idle
+  // job requests nothing).
+  filtered_.assign(active.begin(), active.end());
+  for (JobView& view : filtered_)
+    for (Category a = 0; a < machine_.categories(); ++a)
+      if (view.desire[a] > 0) view.desire[a] = requests_[view.id][a];
+
+  inner_->allot(now, filtered_, clair, out);
+
+  // Cap grants by the request and account the quantum statistics.
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    const JobId id = active[j].id;
+    for (Category a = 0; a < machine_.categories(); ++a) {
+      out[j][a] = std::min(out[j][a], filtered_[j].desire[a]);
+      granted_[id][a] += out[j][a];
+      usable_[id][a] += std::min(out[j][a], active[j].desire[a]);
+      if (out[j][a] < filtered_[j].desire[a]) deprived_[id][a] = true;
+    }
+  }
+}
+
+}  // namespace krad

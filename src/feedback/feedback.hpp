@@ -1,0 +1,67 @@
+#pragma once
+// History-based desire feedback — the A-GREEDY-style estimator from the RAD
+// lineage (He, Hsu, Leiserson: "Provably efficient two-level adaptive
+// scheduling").  The paper's K-RAD observes the true instantaneous
+// parallelism d(Ji, alpha, t); a deployed system often cannot, and instead
+// lets each job REQUEST processors, adjusting the request between scheduling
+// quanta with multiplicative feedback:
+//
+//   at each quantum boundary (every L steps), per job and category:
+//     deprived in the last quantum (allot < request) -> request unchanged;
+//     satisfied and efficient (usage >= delta)       -> request *= rho;
+//     satisfied and inefficient (usage < delta)      -> request /= rho.
+//
+// FeedbackScheduler wraps any count-based KScheduler: the inner scheduler
+// sees the REQUESTS instead of true desires, and grants are capped by the
+// request.  Jobs still execute min(grant, true desire); the gap is measured
+// waste.  With instantaneous feedback disabled the wrapper reproduces the
+// inner scheduler exactly (request = true desire), which tests rely on.
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+struct FeedbackParams {
+  Time quantum = 8;          ///< L: steps between desire re-estimation
+  double rho = 2.0;          ///< multiplicative responsiveness (> 1)
+  double delta = 0.8;        ///< utilization threshold in (0, 1]
+  Work initial_request = 1;  ///< first-quantum request per category
+  Work max_request = 1 << 20;
+};
+
+class FeedbackScheduler final : public KScheduler {
+ public:
+  FeedbackScheduler(std::unique_ptr<KScheduler> inner, FeedbackParams params);
+
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  bool clairvoyant() const override { return inner_->clairvoyant(); }
+  std::string name() const override {
+    return inner_->name() + "+feedback";
+  }
+
+  /// Current request of a job (test/diagnostic accessor).
+  Work request(JobId id, Category alpha) const {
+    return requests_.at(id).at(alpha);
+  }
+
+ private:
+  void quantum_update(JobId id);
+
+  std::unique_ptr<KScheduler> inner_;
+  FeedbackParams params_;
+  MachineConfig machine_;
+
+  std::vector<std::vector<Work>> requests_;     // [job][cat]
+  // Per-quantum accumulators.
+  std::vector<std::vector<Work>> granted_;      // processor-steps granted
+  std::vector<std::vector<Work>> usable_;       // min(grant, desire) sums
+  std::vector<std::vector<bool>> deprived_;     // granted < requested at any step
+  std::vector<Time> quantum_start_;             // per job
+  std::vector<JobView> filtered_;               // scratch
+};
+
+}  // namespace krad

@@ -1,0 +1,188 @@
+#include "hetero/speed_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace krad {
+
+const char* to_string(SpeedAssignment assignment) {
+  switch (assignment) {
+    case SpeedAssignment::kBlind: return "speed-blind";
+    case SpeedAssignment::kFastestToGreediest: return "fastest-to-greediest";
+  }
+  return "?";
+}
+
+SpeedSimResult simulate_speeds(JobSet& set, KScheduler& scheduler,
+                               const SpeedMachineConfig& machine,
+                               SpeedAssignment assignment, Time max_steps) {
+  const auto counts = machine.counts();
+  const auto k = static_cast<Category>(counts.categories());
+  if (set.num_categories() != k)
+    throw std::logic_error("simulate_speeds: category mismatch");
+  for (Category a = 0; a < k; ++a) {
+    if (machine.speeds[a].empty())
+      throw std::logic_error("simulate_speeds: empty category");
+    for (int s : machine.speeds[a])
+      if (s < 1) throw std::logic_error("simulate_speeds: speed < 1");
+  }
+
+  // Per category, processor indices sorted by descending speed (for the
+  // fastest-to-greediest policy).
+  std::vector<std::vector<std::size_t>> by_speed(k);
+  for (Category a = 0; a < k; ++a) {
+    by_speed[a].resize(machine.speeds[a].size());
+    std::iota(by_speed[a].begin(), by_speed[a].end(), 0u);
+    std::stable_sort(by_speed[a].begin(), by_speed[a].end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return machine.speeds[a][x] > machine.speeds[a][y];
+                     });
+  }
+
+  const std::size_t n = set.size();
+  SpeedSimResult out;
+  SimResult& result = out.base;
+  result.completion.assign(n, 0);
+  result.response.assign(n, 0);
+  result.executed_work.assign(k, 0);
+  result.allotted.assign(k, 0);
+  result.utilization.assign(k, 0.0);
+  out.wasted_speed.assign(k, 0);
+  if (n == 0) return out;
+
+  scheduler.reset(counts, n);
+
+  std::vector<JobId> pending(n);
+  for (JobId i = 0; i < n; ++i) pending[i] = i;
+  std::stable_sort(pending.begin(), pending.end(), [&](JobId a, JobId b) {
+    return set.release(a) < set.release(b);
+  });
+  std::size_t next_pending = 0;
+
+  std::vector<JobId> active;
+  std::vector<JobView> views;
+  Allotment allot;
+  ClairvoyantView clair;
+  const bool wants_clair = scheduler.clairvoyant();
+
+  Time t = 1;
+  std::size_t finished = 0;
+  while (finished < n) {
+    while (next_pending < n && set.release(pending[next_pending]) < t)
+      active.push_back(pending[next_pending++]);
+    if (active.empty()) {
+      const Time next_t = set.release(pending[next_pending]) + 1;
+      result.idle_steps += next_t - t;
+      t = next_t;
+      continue;
+    }
+    std::sort(active.begin(), active.end());
+
+    views.clear();
+    for (JobId id : active) {
+      JobView view;
+      view.id = id;
+      view.desire.resize(k);
+      for (Category a = 0; a < k; ++a) view.desire[a] = set.job(id).desire(a);
+      views.push_back(std::move(view));
+    }
+    const ClairvoyantView* clair_ptr = nullptr;
+    if (wants_clair) {
+      clair.remaining_span.clear();
+      clair.remaining_work.clear();
+      clair.release.clear();
+      for (JobId id : active) {
+        clair.remaining_span.push_back(set.job(id).remaining_span());
+        std::vector<Work> rem(k);
+        for (Category a = 0; a < k; ++a) rem[a] = set.job(id).remaining_work(a);
+        clair.remaining_work.push_back(std::move(rem));
+        clair.release.push_back(set.release(id));
+      }
+      clair_ptr = &clair;
+    }
+
+    allot.assign(active.size(), std::vector<Work>(k, 0));
+    scheduler.allot(t, views, clair_ptr, allot);
+
+    // Map counted allotments to concrete processors, then execute.
+    for (Category a = 0; a < k; ++a) {
+      Work total = 0;
+      for (std::size_t j = 0; j < active.size(); ++j) total += allot[j][a];
+      if (total > counts.processors[a])
+        throw std::logic_error("simulate_speeds: over-allocation by " +
+                               scheduler.name());
+      result.allotted[a] += total;
+
+      // Job visit order for processor hand-out.
+      std::vector<std::size_t> job_order(active.size());
+      std::iota(job_order.begin(), job_order.end(), 0u);
+      if (assignment == SpeedAssignment::kFastestToGreediest) {
+        std::stable_sort(job_order.begin(), job_order.end(),
+                         [&](std::size_t x, std::size_t y) {
+                           return views[x].desire[a] > views[y].desire[a];
+                         });
+      }
+
+      std::size_t next_proc = 0;  // index into by_speed[a] / identity order
+      for (std::size_t j : job_order) {
+        Work speed_given = 0;
+        for (Work c = 0; c < allot[j][a]; ++c) {
+          const std::size_t proc =
+              assignment == SpeedAssignment::kFastestToGreediest
+                  ? by_speed[a][next_proc]
+                  : next_proc;
+          speed_given += machine.speeds[a][proc];
+          ++next_proc;
+        }
+        if (speed_given == 0) continue;
+        const Work done = set.job(active[j]).execute(a, speed_given, nullptr);
+        result.executed_work[a] += done;
+        out.wasted_speed[a] += speed_given - done;
+      }
+    }
+
+    for (std::size_t j = 0; j < active.size();) {
+      Job& job = set.job(active[j]);
+      job.advance();
+      if (job.finished()) {
+        const JobId id = active[j];
+        result.completion[id] = t;
+        result.response[id] = t - set.release(id);
+        result.makespan = std::max(result.makespan, t);
+        ++finished;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(j));
+      } else {
+        ++j;
+      }
+    }
+    ++result.busy_steps;
+    if (result.busy_steps > max_steps)
+      throw std::runtime_error("simulate_speeds: exceeded max_steps");
+    ++t;
+  }
+
+  for (const Time r : result.response) result.total_response += r;
+  result.mean_response =
+      static_cast<double>(result.total_response) / static_cast<double>(n);
+  for (Category a = 0; a < k; ++a) {
+    const double denom =
+        static_cast<double>(machine.total_speed(a)) *
+        static_cast<double>(std::max<Time>(1, result.busy_steps));
+    result.utilization[a] = static_cast<double>(result.executed_work[a]) / denom;
+  }
+  return out;
+}
+
+Work speed_makespan_lower_bound(const JobSet& set,
+                                const SpeedMachineConfig& machine) {
+  Work bound = set.max_release_plus_span();
+  for (Category a = 0; a < machine.categories(); ++a) {
+    const Work speed = machine.total_speed(a);
+    const Work work = set.total_work(a);
+    bound = std::max(bound, (work + speed - 1) / speed);
+  }
+  return bound;
+}
+
+}  // namespace krad

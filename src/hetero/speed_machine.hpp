@@ -1,0 +1,64 @@
+#pragma once
+// Performance heterogeneity — the paper's concluding challenge ("machines
+// with both general-purpose processors of different speed and special-
+// purpose processors with different functionality").
+//
+// Model: each alpha-processor p has an integer speed s(alpha, p) >= 1 and
+// executes up to s READY alpha-tasks per step (throughput heterogeneity).
+// Tasks enabled during a step still become ready only at the next step, so
+// the critical-path lower bound max_i (r_i + T_inf(Ji)) is unchanged, while
+// the work bound becomes T1(J, alpha) / S_alpha with S_alpha the total
+// category speed.
+
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+struct SpeedMachineConfig {
+  /// speeds[alpha][p] = speed of the p-th alpha-processor (>= 1).
+  std::vector<std::vector<int>> speeds;
+
+  std::size_t categories() const noexcept { return speeds.size(); }
+
+  /// Processor-count view (what a count-based KScheduler sees).
+  MachineConfig counts() const {
+    MachineConfig machine;
+    for (const auto& category : speeds)
+      machine.processors.push_back(static_cast<int>(category.size()));
+    return machine;
+  }
+
+  /// S_alpha: aggregate speed of a category.
+  Work total_speed(Category alpha) const {
+    Work sum = 0;
+    for (int s : speeds.at(alpha)) sum += s;
+    return sum;
+  }
+
+  /// A homogeneous machine (all speeds 1) with the given counts; the speed
+  /// engine then coincides exactly with the base engine.
+  static SpeedMachineConfig uniform(const MachineConfig& machine) {
+    SpeedMachineConfig config;
+    for (int p : machine.processors)
+      config.speeds.emplace_back(static_cast<std::size_t>(p), 1);
+    return config;
+  }
+};
+
+/// How counted allotments are mapped onto concrete (speed-carrying)
+/// processors each step.
+enum class SpeedAssignment {
+  /// Ignore speeds: processors in index order to jobs in id order.  The
+  /// baseline a functional-heterogeneity-only scheduler would get.
+  kBlind,
+  /// Fastest processors to the jobs with the largest unmet desire, one
+  /// processor at a time (greedy matching); reduces wasted speed when jobs'
+  /// desires are skewed.
+  kFastestToGreediest,
+};
+
+const char* to_string(SpeedAssignment assignment);
+
+}  // namespace krad

@@ -1,0 +1,87 @@
+#pragma once
+// Runtime job interface used by the simulation engine.
+//
+// A job exposes exactly what the paper's model allows a non-clairvoyant
+// scheduler to observe (through the engine): its instantaneous alpha-desire
+// d(Ji, alpha, t) = number of ready alpha-tasks.  The offline accessors
+// (work/span/remaining_*) exist for lower-bound computation and clairvoyant
+// baselines; the scheduler interface never sees them.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// Receiver for per-task execution events (used for trace recording and
+/// schedule validation).  `vertex` is meaningful for DAG-backed jobs; profile
+/// jobs report synthetic monotone ids.
+class TaskSink {
+ public:
+  virtual ~TaskSink() = default;
+  virtual void on_task(VertexId vertex, Category category) = 0;
+};
+
+class Job {
+ public:
+  virtual ~Job() = default;
+
+  /// Instantaneous alpha-parallelism: number of ready alpha-tasks now.
+  virtual Work desire(Category alpha) const = 0;
+
+  /// Execute up to `count` ready alpha-tasks during the current step.
+  /// Returns the number actually executed (= min(count, desire(alpha))).
+  /// Tasks enabled by these executions become ready only after advance().
+  virtual Work execute(Category alpha, Work count, TaskSink* sink) = 0;
+
+  /// End-of-step hook: promote newly enabled tasks to ready.
+  virtual void advance() = 0;
+
+  virtual bool finished() const = 0;
+
+  // --- offline accessors (bounds, clairvoyant baselines, reporting) ---
+
+  /// T1(Ji, alpha): total alpha-work of the job.
+  virtual Work work(Category alpha) const = 0;
+
+  /// T\infty(Ji): span (critical-path length in vertices).
+  virtual Work span() const = 0;
+
+  /// Span of the not-yet-executed portion (used by clairvoyant GreedyCp).
+  virtual Work remaining_span() const = 0;
+
+  /// Remaining alpha-work.
+  virtual Work remaining_work(Category alpha) const = 0;
+
+  virtual Category num_categories() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Total work across categories.
+  Work total_work() const {
+    Work sum = 0;
+    for (Category a = 0; a < num_categories(); ++a) sum += work(a);
+    return sum;
+  }
+
+  /// Total remaining work across categories.
+  Work total_remaining_work() const {
+    Work sum = 0;
+    for (Category a = 0; a < num_categories(); ++a) sum += remaining_work(a);
+    return sum;
+  }
+
+  /// Total desire across categories; an uncompleted job always has >= 1
+  /// (paper, Section 3) once all enabled tasks are promoted.
+  Work total_desire() const {
+    Work sum = 0;
+    for (Category a = 0; a < num_categories(); ++a) sum += desire(a);
+    return sum;
+  }
+};
+
+using JobPtr = std::unique_ptr<Job>;
+
+}  // namespace krad

@@ -1,0 +1,128 @@
+#include "jobs/profile_job.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krad {
+
+Work Phase::span() const noexcept {
+  Work best = 0;
+  for (const PhasePart& part : parts) {
+    const Work chains = std::max<Work>(1, part.parallelism);
+    best = std::max(best, (part.work + chains - 1) / chains);
+  }
+  return best;
+}
+
+ProfileJob::ProfileJob(std::vector<Phase> phases, Category num_categories,
+                       std::string name)
+    : phases_(std::move(phases)), name_(std::move(name)) {
+  if (num_categories == 0)
+    throw std::logic_error("ProfileJob: zero categories");
+  work_.assign(num_categories, 0);
+  for (const Phase& phase : phases_) {
+    std::vector<bool> seen(num_categories, false);
+    for (const PhasePart& part : phase.parts) {
+      if (part.category >= num_categories)
+        throw std::logic_error("ProfileJob: category out of range");
+      if (part.work <= 0 || part.parallelism <= 0)
+        throw std::logic_error("ProfileJob: non-positive work or parallelism");
+      if (seen[part.category])
+        throw std::logic_error("ProfileJob: duplicate category within a phase");
+      seen[part.category] = true;
+      work_[part.category] += part.work;
+    }
+    if (phase.parts.empty())
+      throw std::logic_error("ProfileJob: empty phase");
+    span_ += phase.span();
+  }
+  suffix_span_.assign(phases_.size() + 1, 0);
+  for (std::size_t p = phases_.size(); p-- > 0;)
+    suffix_span_[p] = suffix_span_[p + 1] + phases_[p].span();
+  reset();
+}
+
+void ProfileJob::reset() {
+  remaining_ = work_;
+  task_counter_ = 0;
+  enter_phase(0);
+}
+
+void ProfileJob::enter_phase(std::size_t p) {
+  phase_ = p;
+  phase_remaining_.assign(work_.size(), 0);
+  phase_parallelism_.assign(work_.size(), 0);
+  if (p >= phases_.size()) return;
+  for (const PhasePart& part : phases_[p].parts) {
+    phase_remaining_[part.category] = part.work;
+    phase_parallelism_[part.category] = part.parallelism;
+  }
+}
+
+bool ProfileJob::phase_done() const noexcept {
+  for (Work w : phase_remaining_)
+    if (w > 0) return false;
+  return true;
+}
+
+Work ProfileJob::desire(Category alpha) const {
+  if (phase_ >= phases_.size()) return 0;
+  return std::min(phase_remaining_.at(alpha), phase_parallelism_.at(alpha));
+}
+
+Work ProfileJob::execute(Category alpha, Work count, TaskSink* sink) {
+  if (count < 0) throw std::logic_error("ProfileJob::execute: negative count");
+  const Work done = std::min(count, desire(alpha));
+  phase_remaining_[alpha] -= done;
+  remaining_[alpha] -= done;
+  if (sink != nullptr)
+    for (Work i = 0; i < done; ++i)
+      sink->on_task(static_cast<VertexId>(task_counter_++), alpha);
+  return done;
+}
+
+void ProfileJob::advance() {
+  // Phase barriers resolve at step boundaries, matching the DAG semantics
+  // where tasks enabled during a step become ready only at the next step.
+  if (phase_ < phases_.size() && phase_done()) enter_phase(phase_ + 1);
+}
+
+bool ProfileJob::finished() const { return phase_ >= phases_.size(); }
+
+Work ProfileJob::remaining_span() const {
+  if (phase_ >= phases_.size()) return 0;
+  // Remaining span = remaining span of the current phase + later phases.
+  Work current = 0;
+  for (Category a = 0; a < work_.size(); ++a) {
+    if (phase_parallelism_[a] <= 0) continue;
+    const Work rem = phase_remaining_[a];
+    current = std::max(current,
+                       (rem + phase_parallelism_[a] - 1) / phase_parallelism_[a]);
+  }
+  return current + suffix_span_[phase_ + 1];
+}
+
+Work ProfileJob::remaining_work(Category alpha) const {
+  return remaining_.at(alpha);
+}
+
+std::string ProfileJob::describe_phases() const {
+  // Built with repeated += (not chained +) to sidestep a GCC 12 -Wrestrict
+  // false positive on temporary-string concatenation.
+  std::string out;
+  for (const Phase& phase : phases_) {
+    out += "phase";
+    for (const PhasePart& part : phase.parts) {
+      out += ' ';
+      out += std::to_string(part.category);
+      out += ':';
+      out += std::to_string(part.work);
+      out += ':';
+      out += std::to_string(part.parallelism);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace krad

@@ -1,0 +1,129 @@
+#include "jobs/unfolding_job.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krad {
+
+UnfoldingJob::UnfoldingJob(Category num_categories, Category root_category,
+                           Spawner spawner, Work max_depth, Work max_tasks,
+                           std::string name, std::uint64_t seed)
+    : root_category_(root_category),
+      spawner_(std::move(spawner)),
+      max_depth_(max_depth),
+      max_tasks_(max_tasks),
+      name_(std::move(name)),
+      seed_(seed) {
+  if (num_categories == 0 || root_category >= num_categories)
+    throw std::logic_error("UnfoldingJob: bad categories");
+  if (spawner_ == nullptr) throw std::logic_error("UnfoldingJob: null spawner");
+  if (max_depth_ < 1 || max_tasks_ < 1)
+    throw std::logic_error("UnfoldingJob: non-positive caps");
+  spawned_.assign(num_categories, 0);
+  executed_.assign(num_categories, 0);
+  ready_.assign(num_categories, {});
+  reset();
+}
+
+void UnfoldingJob::reset() {
+  for (auto& queue : ready_) queue.clear();
+  enabled_.clear();
+  std::fill(spawned_.begin(), spawned_.end(), 0);
+  std::fill(executed_.begin(), executed_.end(), 0);
+  total_spawned_ = 0;
+  total_executed_ = 0;
+  max_depth_seen_ = 0;
+  next_vertex_ = 0;
+  spawn_root();
+}
+
+void UnfoldingJob::spawn_root() {
+  std::uint64_t state = seed_ ^ 0x6a09e667f3bcc909ULL;
+  enqueue(Task{splitmix64(state), 1, root_category_});
+}
+
+void UnfoldingJob::enqueue(Task task) {
+  ready_[task.category].push_back(task);
+  ++spawned_[task.category];
+  ++total_spawned_;
+  max_depth_seen_ = std::max(max_depth_seen_, task.depth);
+}
+
+Work UnfoldingJob::desire(Category alpha) const {
+  return static_cast<Work>(ready_.at(alpha).size());
+}
+
+Work UnfoldingJob::execute(Category alpha, Work count, TaskSink* sink) {
+  if (count < 0) throw std::logic_error("UnfoldingJob::execute: negative count");
+  auto& queue = ready_.at(alpha);
+  Work done = 0;
+  while (done < count && !queue.empty()) {
+    const Task task = queue.front();
+    queue.pop_front();
+    ++executed_[alpha];
+    ++total_executed_;
+    if (sink != nullptr) sink->on_task(next_vertex_++, alpha);
+    ++done;
+
+    if (task.depth >= max_depth_) continue;
+    // The spawner sees a private stream derived from the structural seed;
+    // child seeds come from an independent derivation so spawner-internal
+    // draws cannot perturb the subtree identities.
+    Rng decision_rng(task.seed);
+    const std::vector<Category> children =
+        spawner_(task.category, task.depth, decision_rng);
+    std::uint64_t child_state = task.seed ^ 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const std::uint64_t child_seed = splitmix64(child_state);
+      if (total_spawned_ + static_cast<Work>(enabled_.size()) >= max_tasks_)
+        break;
+      if (children[i] >= spawned_.size())
+        throw std::logic_error("UnfoldingJob: spawner returned bad category");
+      enabled_.push_back(Task{child_seed, task.depth + 1, children[i]});
+    }
+  }
+  return done;
+}
+
+void UnfoldingJob::advance() {
+  for (const Task& task : enabled_) enqueue(task);
+  enabled_.clear();
+}
+
+bool UnfoldingJob::finished() const {
+  return total_executed_ == total_spawned_ && enabled_.empty();
+}
+
+Work UnfoldingJob::remaining_span() const {
+  Work best = 0;
+  for (const auto& queue : ready_)
+    for (const Task& task : queue)
+      best = std::max(best, max_depth_ - task.depth + 1);
+  for (const Task& task : enabled_)
+    best = std::max(best, max_depth_ - task.depth + 1);
+  return best;
+}
+
+Work UnfoldingJob::remaining_work(Category alpha) const {
+  return spawned_.at(alpha) - executed_.at(alpha);
+}
+
+Spawner random_spawner(Category k, int min_children, int max_children,
+                       double continue_prob) {
+  if (k == 0 || min_children < 0 || max_children < min_children)
+    throw std::logic_error("random_spawner: bad parameters");
+  return [k, min_children, max_children, continue_prob](
+             Category /*category*/, Work depth, Rng& rng) {
+    std::vector<Category> children;
+    // Geometric damping with depth keeps expected tree size finite.
+    const double p = continue_prob / (1.0 + 0.15 * static_cast<double>(depth));
+    if (!rng.chance(p)) return children;
+    const auto count = static_cast<int>(rng.uniform_int(min_children, max_children));
+    for (int i = 0; i < count; ++i)
+      children.push_back(static_cast<Category>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1)));
+    return children;
+  };
+}
+
+}  // namespace krad

@@ -1,0 +1,28 @@
+#pragma once
+// FCFS — first-come-first-served with full allocation: jobs ordered by
+// release time (ties by id) receive as many processors of each category as
+// they desire before later jobs see any.  The classic space-sharing batch
+// policy; good makespan on uniform work, terrible response time for short
+// jobs stuck behind long ones.
+
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class Fcfs final : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  /// Release times are public information (jobs announce themselves on
+  /// arrival), but FCFS consumes them through the clairvoyant view for
+  /// interface simplicity.
+  bool clairvoyant() const override { return true; }
+  std::string name() const override { return "FCFS"; }
+
+ private:
+  MachineConfig machine_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace krad

@@ -1,0 +1,29 @@
+#pragma once
+// GREEDY-CP — clairvoyant list scheduler used as the offline comparator.
+//
+// Jobs are ordered by remaining critical-path length (longest first); each
+// category's processors are handed out greedily down that order, capped at
+// each job's desire.  It is work-conserving (no alpha-processor idles while
+// an alpha-task is ready) and drives the critical path, so on structured
+// instances (notably the Figure 3 adversary with CriticalPathFirst task
+// selection) it attains the optimal clairvoyant makespan; in general it
+// upper-bounds OPT and is used as the strong baseline in the faceoffs.
+
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class GreedyCp final : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  bool clairvoyant() const override { return true; }
+  std::string name() const override { return "GREEDY-CP"; }
+
+ private:
+  MachineConfig machine_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace krad

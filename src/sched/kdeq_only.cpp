@@ -1,0 +1,24 @@
+#include "sched/kdeq_only.hpp"
+
+namespace krad {
+
+void KDeqOnly::reset(const MachineConfig& machine, std::size_t /*num_jobs*/) {
+  machine_ = machine;
+}
+
+void KDeqOnly::allot(Time /*now*/, std::span<const JobView> active,
+                     const ClairvoyantView* /*clair*/, Allotment& out) {
+  for (Category alpha = 0; alpha < machine_.categories(); ++alpha) {
+    entries_.clear();
+    for (std::size_t j = 0; j < active.size(); ++j)
+      if (active[j].desire[alpha] > 0)
+        entries_.push_back(DeqEntry{j, active[j].desire[alpha]});
+    if (entries_.empty()) continue;
+    scratch_.assign(active.size(), 0);
+    deq_allot(entries_, machine_.processors[alpha], scratch_);
+    for (const DeqEntry& entry : entries_)
+      out[entry.slot][alpha] = scratch_[entry.slot];
+  }
+}
+
+}  // namespace krad

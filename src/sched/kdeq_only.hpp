@@ -1,0 +1,27 @@
+#pragma once
+// K-DEQ — dynamic equi-partitioning with NO round-robin fallback (RAD minus
+// RR).  Under light load it is identical to K-RAD; once |J(alpha, t)| exceeds
+// P_alpha it degenerates to "one processor to the first P_alpha alpha-active
+// jobs in id order", persistently starving later jobs.  This is the ablation
+// showing why RAD needs the RR component for heavy-load response time
+// (Theorem 6 vs. unbounded starvation).
+
+#include "core/deq.hpp"
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class KDeqOnly final : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  std::string name() const override { return "K-DEQ"; }
+
+ private:
+  MachineConfig machine_;
+  std::vector<DeqEntry> entries_;
+  std::vector<Work> scratch_;
+};
+
+}  // namespace krad

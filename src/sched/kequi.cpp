@@ -1,0 +1,34 @@
+#include "sched/kequi.hpp"
+
+#include <vector>
+
+namespace krad {
+
+void KEqui::reset(const MachineConfig& machine, std::size_t /*num_jobs*/) {
+  machine_ = machine;
+}
+
+void KEqui::allot(Time /*now*/, std::span<const JobView> active,
+                  const ClairvoyantView* /*clair*/, Allotment& out) {
+  std::vector<std::size_t> alpha_active;
+  for (Category alpha = 0; alpha < machine_.categories(); ++alpha) {
+    alpha_active.clear();
+    for (std::size_t j = 0; j < active.size(); ++j)
+      if (active[j].desire[alpha] > 0) alpha_active.push_back(j);
+    if (alpha_active.empty()) continue;
+    const auto p = static_cast<Work>(machine_.processors[alpha]);
+    const auto n = static_cast<Work>(alpha_active.size());
+    const Work share = p / n;
+    Work extra = p % n;
+    for (std::size_t j : alpha_active) {
+      Work allot = share;
+      if (extra > 0) {
+        ++allot;
+        --extra;
+      }
+      out[j][alpha] = allot;  // may exceed desire: the surplus is wasted
+    }
+  }
+}
+
+}  // namespace krad

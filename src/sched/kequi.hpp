@@ -1,0 +1,24 @@
+#pragma once
+// K-EQUI — per-category equi-partitioning that IGNORES desires, the
+// K-resource generalisation of Edmonds et al.'s EQUI ((2+sqrt(3))-competitive
+// mean response for K = 1).  Each alpha-active job receives an equal integral
+// share of the alpha-processors whether it can use them or not; the surplus
+// over the job's desire is wasted, which is exactly the inefficiency DEQ
+// fixes and the faceoff benches demonstrate.
+
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class KEqui final : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  std::string name() const override { return "K-EQUI"; }
+
+ private:
+  MachineConfig machine_;
+};
+
+}  // namespace krad

@@ -1,0 +1,54 @@
+#include "sched/kround_robin.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+void KRoundRobin::reset(const MachineConfig& machine, std::size_t num_jobs) {
+  machine_ = machine;
+  queues_.assign(machine.categories(), {});
+  enqueued_.assign(machine.categories(),
+                   std::vector<bool>(num_jobs, false));
+}
+
+void KRoundRobin::allot(Time /*now*/, std::span<const JobView> active,
+                        const ClairvoyantView* /*clair*/, Allotment& out) {
+  for (Category alpha = 0; alpha < machine_.categories(); ++alpha) {
+    auto& queue = queues_[alpha];
+    auto& enq = enqueued_[alpha];
+
+    // Index active jobs and enqueue newly alpha-active ones (id order).
+    std::vector<std::int32_t> slot_of(enq.size(), -1);
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      const JobView& view = active[j];
+      if (view.desire[alpha] <= 0) continue;
+      slot_of[view.id] = static_cast<std::int32_t>(j);
+      if (!enq[view.id]) {
+        enq[view.id] = true;
+        queue.push_back(view.id);
+      }
+    }
+
+    // Serve the front of the rotation, skipping (and dropping) jobs that are
+    // no longer alpha-active; served jobs requeue at the tail.
+    int remaining = machine_.processors[alpha];
+    std::size_t scanned = 0;
+    const std::size_t limit = queue.size();
+    std::vector<JobId> requeue;
+    while (remaining > 0 && scanned < limit && !queue.empty()) {
+      const JobId id = queue.front();
+      queue.pop_front();
+      ++scanned;
+      if (slot_of[id] < 0) {
+        enq[id] = false;  // inactive: drop; re-enqueues at tail when it returns
+        continue;
+      }
+      out[static_cast<std::size_t>(slot_of[id])][alpha] = 1;
+      requeue.push_back(id);
+      --remaining;
+    }
+    for (JobId id : requeue) queue.push_back(id);
+  }
+}
+
+}  // namespace krad

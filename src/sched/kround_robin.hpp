@@ -1,0 +1,32 @@
+#pragma once
+// K-RR — pure time-sharing round-robin per category (Motwani et al.'s RR,
+// 2-competitive mean response for sequential jobs, generalised per category).
+// Every alpha-active job gets at most one alpha-processor per step; a
+// persistent rotating queue serves the front P_alpha jobs and requeues them
+// at the tail, so over any window service counts differ by at most one.
+// Unlike RAD, processors beyond one-per-job are never handed out, so
+// parallel jobs are crippled under light load — the ablation benches
+// quantify this.
+
+#include <deque>
+
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class KRoundRobin final : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  std::string name() const override { return "K-RR"; }
+
+ private:
+  MachineConfig machine_;
+  // Per category: rotation order of jobs ever seen alpha-active, plus a
+  // membership flag so new arrivals enqueue exactly once.
+  std::vector<std::deque<JobId>> queues_;
+  std::vector<std::vector<bool>> enqueued_;
+};
+
+}  // namespace krad

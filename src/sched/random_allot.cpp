@@ -1,0 +1,30 @@
+#include "sched/random_allot.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+void RandomAllot::reset(const MachineConfig& machine, std::size_t /*num_jobs*/) {
+  machine_ = machine;
+  rng_.reseed(seed_);
+}
+
+void RandomAllot::allot(Time /*now*/, std::span<const JobView> active,
+                        const ClairvoyantView* /*clair*/, Allotment& out) {
+  order_.resize(active.size());
+  for (std::size_t j = 0; j < active.size(); ++j) order_[j] = j;
+  rng_.shuffle(order_);
+  for (Category alpha = 0; alpha < machine_.categories(); ++alpha) {
+    Work remaining = machine_.processors[alpha];
+    for (std::size_t j : order_) {
+      if (remaining <= 0) break;
+      const Work give = std::min(remaining, active[j].desire[alpha]);
+      if (give > 0) {
+        out[j][alpha] = give;
+        remaining -= give;
+      }
+    }
+  }
+}
+
+}  // namespace krad

@@ -1,0 +1,29 @@
+#pragma once
+// RANDOM — each step, visit alpha-active jobs in a fresh random order and
+// hand each its full desire while processors remain.  A randomized
+// work-conserving sanity baseline: it side-steps the deterministic
+// lower-bound adversary (Theorem 1 applies to deterministic algorithms) at
+// the price of no fairness guarantee.
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+
+class RandomAllot final : public KScheduler {
+ public:
+  explicit RandomAllot(std::uint64_t seed = 0xC0FFEE) : seed_(seed), rng_(seed) {}
+
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  std::string name() const override { return "RANDOM"; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  MachineConfig machine_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace krad

@@ -1,0 +1,39 @@
+#include "sched/srpt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace krad {
+
+void Srpt::reset(const MachineConfig& machine, std::size_t /*num_jobs*/) {
+  machine_ = machine;
+}
+
+void Srpt::allot(Time /*now*/, std::span<const JobView> active,
+                 const ClairvoyantView* clair, Allotment& out) {
+  if (clair == nullptr) throw std::logic_error("Srpt: clairvoyant view required");
+  order_.resize(active.size());
+  for (std::size_t j = 0; j < active.size(); ++j) order_[j] = j;
+  auto remaining_total = [&](std::size_t j) {
+    Work sum = 0;
+    for (Work w : clair->remaining_work[j]) sum += w;
+    return sum;
+  };
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remaining_total(a) < remaining_total(b);
+                   });
+  for (Category alpha = 0; alpha < machine_.categories(); ++alpha) {
+    Work remaining = machine_.processors[alpha];
+    for (std::size_t j : order_) {
+      if (remaining <= 0) break;
+      const Work give = std::min(remaining, active[j].desire[alpha]);
+      if (give > 0) {
+        out[j][alpha] = give;
+        remaining -= give;
+      }
+    }
+  }
+}
+
+}  // namespace krad

@@ -1,0 +1,25 @@
+#pragma once
+// SRPT — clairvoyant shortest-remaining-processing-time: jobs ordered by
+// total remaining work (ascending), each handed its full per-category desire
+// while processors remain.  The classic mean-response-time heuristic; used
+// as a strong clairvoyant response-time baseline next to GREEDY-CP's
+// makespan orientation.
+
+#include "core/scheduler.hpp"
+
+namespace krad {
+
+class Srpt final : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  bool clairvoyant() const override { return true; }
+  std::string name() const override { return "SRPT"; }
+
+ private:
+  MachineConfig machine_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace krad

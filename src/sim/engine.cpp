@@ -1,0 +1,217 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace krad {
+
+namespace {
+
+/// TaskSink that stamps engine context (time, job, processor) onto events.
+class RecordingSink final : public TaskSink {
+ public:
+  explicit RecordingSink(ScheduleTrace& trace) : trace_(&trace) {}
+
+  void begin_step(Time t, std::size_t categories) {
+    t_ = t;
+    next_proc_.assign(categories, 0);
+  }
+  void set_job(JobId job) { job_ = job; }
+
+  void on_task(VertexId vertex, Category category) override {
+    trace_->add_event(TaskEvent{t_, job_, category, vertex,
+                                next_proc_[category]++});
+  }
+
+ private:
+  ScheduleTrace* trace_;
+  Time t_ = 0;
+  JobId job_ = kInvalidJob;
+  std::vector<int> next_proc_;
+};
+
+}  // namespace
+
+SimResult simulate(JobSet& set, KScheduler& scheduler,
+                   const MachineConfig& machine, const SimOptions& options) {
+  const auto k = static_cast<Category>(machine.categories());
+  if (set.num_categories() != k)
+    throw std::logic_error("simulate: job set / machine category mismatch");
+  for (int p : machine.processors)
+    if (p < 1) throw std::logic_error("simulate: category with no processors");
+
+  const std::size_t n = set.size();
+  SimResult result;
+  result.completion.assign(n, 0);
+  result.response.assign(n, 0);
+  result.executed_work.assign(k, 0);
+  result.allotted.assign(k, 0);
+  result.utilization.assign(k, 0.0);
+  if (n == 0) return result;
+
+  scheduler.reset(machine, n);
+
+  std::shared_ptr<ScheduleTrace> trace;
+  std::unique_ptr<RecordingSink> sink;
+  if (options.record_trace) {
+    trace = std::make_shared<ScheduleTrace>();
+    sink = std::make_unique<RecordingSink>(*trace);
+  }
+
+  // Jobs not yet released, ordered by release time (ascending, stable by id).
+  std::vector<JobId> pending(n);
+  for (JobId i = 0; i < n; ++i) pending[i] = i;
+  std::stable_sort(pending.begin(), pending.end(), [&](JobId a, JobId b) {
+    return set.release(a) < set.release(b);
+  });
+  std::size_t next_pending = 0;
+
+  std::vector<JobId> active;
+  std::vector<JobView> views;
+  Allotment allot;
+  ClairvoyantView clair;
+  const bool wants_clair = scheduler.clairvoyant();
+  if (options.decision_period < 1)
+    throw std::logic_error("simulate: decision_period must be >= 1");
+  Allotment held;                 // allotment being reused between decisions
+  std::vector<JobId> held_active; // active set the held allotment was made for
+  Time steps_since_decision = 0;
+
+  Time t = 1;
+  std::size_t finished_count = 0;
+  while (finished_count < n) {
+    // Admit releases: job available from step r + 1, i.e. active iff r < t.
+    while (next_pending < n && set.release(pending[next_pending]) < t) {
+      active.push_back(pending[next_pending]);
+      ++next_pending;
+    }
+    if (active.empty()) {
+      // Idle interval: fast-forward to the next release.
+      if (next_pending >= n)
+        throw std::logic_error("simulate: no active or pending jobs left");
+      const Time next_t = set.release(pending[next_pending]) + 1;
+      result.idle_steps += next_t - t;
+      t = next_t;
+      continue;
+    }
+    std::sort(active.begin(), active.end());
+
+    // Build views.
+    views.clear();
+    views.reserve(active.size());
+    for (JobId id : active) {
+      JobView view;
+      view.id = id;
+      view.desire.resize(k);
+      const Job& job = set.job(id);
+      for (Category a = 0; a < k; ++a) view.desire[a] = job.desire(a);
+      views.push_back(std::move(view));
+    }
+    const ClairvoyantView* clair_ptr = nullptr;
+    if (wants_clair) {
+      clair.remaining_span.clear();
+      clair.remaining_work.clear();
+      clair.release.clear();
+      for (JobId id : active) {
+        const Job& job = set.job(id);
+        clair.remaining_span.push_back(job.remaining_span());
+        std::vector<Work> rem(k);
+        for (Category a = 0; a < k; ++a) rem[a] = job.remaining_work(a);
+        clair.remaining_work.push_back(std::move(rem));
+        clair.release.push_back(set.release(id));
+      }
+      clair_ptr = &clair;
+    }
+
+    // Allot: ask the scheduler, or reuse the held allotment between
+    // decision points (clamped to current desires, which only shrinks it,
+    // so capacity stays respected).
+    allot.assign(active.size(), std::vector<Work>(k, 0));
+    const bool decide = steps_since_decision == 0 ||
+                        steps_since_decision >= options.decision_period ||
+                        active != held_active;
+    if (decide) {
+      scheduler.allot(t, views, clair_ptr, allot);
+      held = allot;
+      held_active = active;
+      steps_since_decision = 1;
+    } else {
+      for (std::size_t j = 0; j < active.size(); ++j)
+        for (Category a = 0; a < k; ++a)
+          allot[j][a] = std::min(held[j][a], views[j].desire[a]);
+      ++steps_since_decision;
+    }
+
+    // Enforce the machine capacity invariant.
+    for (Category a = 0; a < k; ++a) {
+      Work sum = 0;
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        if (allot[j][a] < 0)
+          throw std::logic_error("simulate: negative allotment from " +
+                                 scheduler.name());
+        sum += allot[j][a];
+      }
+      if (sum > machine.processors[a])
+        throw std::logic_error("simulate: category over-allocated by " +
+                               scheduler.name());
+      result.allotted[a] += sum;
+    }
+
+    // Execute.
+    if (sink) sink->begin_step(t, k);
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      Job& job = set.job(active[j]);
+      if (sink) sink->set_job(active[j]);
+      for (Category a = 0; a < k; ++a) {
+        if (allot[j][a] <= 0) continue;
+        const Work done = job.execute(a, allot[j][a], sink.get());
+        result.executed_work[a] += done;
+      }
+    }
+    if (trace) {
+      StepRecord record;
+      record.t = t;
+      record.active = active;
+      for (const JobView& view : views) record.desire.push_back(view.desire);
+      record.allot = allot;
+      trace->add_step(std::move(record));
+    }
+
+    // Advance and collect completions.
+    for (std::size_t j = 0; j < active.size();) {
+      Job& job = set.job(active[j]);
+      job.advance();
+      if (job.finished()) {
+        const JobId id = active[j];
+        result.completion[id] = t;
+        result.response[id] = t - set.release(id);
+        result.makespan = std::max(result.makespan, t);
+        ++finished_count;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(j));
+      } else {
+        ++j;
+      }
+    }
+
+    ++result.busy_steps;
+    if (result.busy_steps > options.max_steps)
+      throw std::runtime_error("simulate: exceeded max_steps with scheduler " +
+                               scheduler.name());
+    ++t;
+  }
+
+  for (const Time r : result.response) result.total_response += r;
+  result.mean_response =
+      static_cast<double>(result.total_response) / static_cast<double>(n);
+  for (Category a = 0; a < k; ++a) {
+    const double denom = static_cast<double>(machine.processors[a]) *
+                         static_cast<double>(std::max<Time>(1, result.busy_steps));
+    result.utilization[a] =
+        static_cast<double>(result.executed_work[a]) / denom;
+  }
+  result.trace = trace;
+  return result;
+}
+
+}  // namespace krad

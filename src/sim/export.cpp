@@ -1,0 +1,95 @@
+#include "sim/export.hpp"
+
+#include <cstdio>
+#include <type_traits>
+
+namespace krad {
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  out += buffer;
+}
+
+template <typename T>
+void append_array(std::string& out, const std::vector<T>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    if constexpr (std::is_floating_point_v<T>) {
+      append_number(out, values[i]);
+    } else {
+      out += std::to_string(values[i]);
+    }
+  }
+  out += ']';
+}
+
+void append_matrix(std::string& out, const std::vector<std::vector<Work>>& m) {
+  out += '[';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i != 0) out += ',';
+    append_array(out, m[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string to_json(const SimResult& result) {
+  std::string out = "{";
+  out += "\"makespan\":" + std::to_string(result.makespan);
+  out += ",\"busy_steps\":" + std::to_string(result.busy_steps);
+  out += ",\"idle_steps\":" + std::to_string(result.idle_steps);
+  out += ",\"total_response\":" + std::to_string(result.total_response);
+  out += ",\"mean_response\":";
+  append_number(out, result.mean_response);
+  out += ",\"executed_work\":";
+  append_array(out, result.executed_work);
+  out += ",\"allotted\":";
+  append_array(out, result.allotted);
+  out += ",\"utilization\":";
+  append_array(out, result.utilization);
+  out += ",\"jobs\":[";
+  for (std::size_t i = 0; i < result.completion.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"id\":" + std::to_string(i) +
+           ",\"completion\":" + std::to_string(result.completion[i]) +
+           ",\"response\":" + std::to_string(result.response[i]) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(const ScheduleTrace& trace, const MachineConfig& machine) {
+  std::string out = "{\"machine\":";
+  append_array(out, machine.processors);
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    const TaskEvent& event = trace.events()[i];
+    if (i != 0) out += ',';
+    out += "{\"t\":" + std::to_string(event.t) +
+           ",\"job\":" + std::to_string(event.job) +
+           ",\"cat\":" + std::to_string(event.category) +
+           ",\"vertex\":" + std::to_string(event.vertex) +
+           ",\"proc\":" + std::to_string(event.proc) + "}";
+  }
+  out += "],\"steps\":[";
+  for (std::size_t i = 0; i < trace.steps().size(); ++i) {
+    const StepRecord& step = trace.steps()[i];
+    if (i != 0) out += ',';
+    out += "{\"t\":" + std::to_string(step.t) + ",\"active\":";
+    append_array(out, step.active);
+    out += ",\"desire\":";
+    append_matrix(out, step.desire);
+    out += ",\"allot\":";
+    append_matrix(out, step.allot);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace krad

@@ -1,0 +1,28 @@
+#pragma once
+// JSON export of simulation results and schedule traces, for downstream
+// analysis/visualisation tooling (and the kradsim --json flag).
+//
+// The writer emits a small, stable schema:
+//
+//   result: { "makespan": N, "busy_steps": N, "idle_steps": N,
+//             "total_response": N, "mean_response": X,
+//             "executed_work": [..], "allotted": [..], "utilization": [..],
+//             "jobs": [ {"id": i, "completion": N, "response": N}, .. ] }
+//
+//   trace:  { "machine": [P0, P1, ..],
+//             "events": [ {"t":N,"job":N,"cat":N,"vertex":N,"proc":N}, .. ],
+//             "steps":  [ {"t":N,"active":[..],
+//                          "desire":[[..],..], "allot":[[..],..]}, .. ] }
+
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace krad {
+
+std::string to_json(const SimResult& result);
+
+std::string to_json(const ScheduleTrace& trace, const MachineConfig& machine);
+
+}  // namespace krad

@@ -1,0 +1,75 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "jobs/job_set.hpp"
+#include "sim/trace.hpp"
+
+namespace krad {
+
+std::string summarize(const SimResult& result, const std::string& label) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "%-12s makespan=%-8lld mean_response=%-10.2f busy=%lld idle=%lld",
+                label.c_str(), static_cast<long long>(result.makespan),
+                result.mean_response, static_cast<long long>(result.busy_steps),
+                static_cast<long long>(result.idle_steps));
+  std::string out = buffer;
+  out += " util=[";
+  for (std::size_t a = 0; a < result.utilization.size(); ++a) {
+    if (a != 0) out += ',';
+    std::snprintf(buffer, sizeof buffer, "%.2f", result.utilization[a]);
+    out += buffer;
+  }
+  out += ']';
+  return out;
+}
+
+std::vector<double> stretches(const SimResult& result, const JobSet& set) {
+  std::vector<double> out;
+  out.reserve(set.size());
+  for (JobId id = 0; id < set.size(); ++id) {
+    const auto span = static_cast<double>(std::max<Work>(1, set.job(id).span()));
+    out.push_back(static_cast<double>(result.response[id]) / span);
+  }
+  return out;
+}
+
+double max_stretch(const SimResult& result, const JobSet& set) {
+  double best = 0.0;
+  for (double s : stretches(result, set)) best = std::max(best, s);
+  return best;
+}
+
+double mean_stretch(const SimResult& result, const JobSet& set) {
+  const auto values = stretches(result, set);
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : values) sum += s;
+  return sum / static_cast<double>(values.size());
+}
+
+double jain_fairness(const SimResult& result, const JobSet& set) {
+  const auto values = stretches(result, set);
+  if (values.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double s : values) {
+    sum += s;
+    sum_sq += s * s;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double allotment_efficiency(const SimResult& result) {
+  Work allotted = 0;
+  Work executed = 0;
+  for (Work w : result.allotted) allotted += w;
+  for (Work w : result.executed_work) executed += w;
+  if (allotted == 0) return 1.0;
+  return static_cast<double>(executed) / static_cast<double>(allotted);
+}
+
+}  // namespace krad

@@ -1,0 +1,60 @@
+#pragma once
+// Result of one simulation run and derived performance metrics.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+class ScheduleTrace;
+
+struct SimResult {
+  /// T(J): last step at which any task executed (0 for an empty set).
+  Time makespan = 0;
+  /// Completion time per job, T(Ji).
+  std::vector<Time> completion;
+  /// Response time per job, R(Ji) = T(Ji) - r(Ji).
+  std::vector<Time> response;
+  /// R(J) = Sum_i R(Ji).
+  Work total_response = 0;
+  /// Mean response time R(J)/|J| (0 for an empty set).
+  double mean_response = 0.0;
+  /// Executed task units per category (== total alpha-work when complete).
+  std::vector<Work> executed_work;
+  /// Allotted processor-steps per category (>= executed; the difference is
+  /// allocation waste, e.g. under EQUI).
+  std::vector<Work> allotted;
+  /// Steps in which at least one job was active.
+  Time busy_steps = 0;
+  /// Steps skipped because no job was active (idle intervals, Section 5).
+  Time idle_steps = 0;
+  /// Per-category utilization: executed_work / (P_alpha * busy_steps).
+  std::vector<double> utilization;
+  /// Present iff SimOptions::record_trace.
+  std::shared_ptr<const ScheduleTrace> trace;
+};
+
+/// One-line human-readable summary for examples and bench logs.
+std::string summarize(const SimResult& result, const std::string& label);
+
+class JobSet;
+
+/// Per-job stretch: response time divided by the job's span (its minimum
+/// possible response on any machine).  Always >= 1 for completed jobs;
+/// fairness-sensitive schedulers keep the maximum small.
+std::vector<double> stretches(const SimResult& result, const JobSet& set);
+double max_stretch(const SimResult& result, const JobSet& set);
+double mean_stretch(const SimResult& result, const JobSet& set);
+
+/// Jain's fairness index over per-job stretches:
+/// (Sum s_i)^2 / (n * Sum s_i^2); 1.0 = perfectly even, 1/n = one job hogs.
+double jain_fairness(const SimResult& result, const JobSet& set);
+
+/// Fraction of allotted processor-steps actually used (1.0 when nothing was
+/// wasted; < 1 under desire-blind policies such as K-EQUI).
+double allotment_efficiency(const SimResult& result);
+
+}  // namespace krad

@@ -1,0 +1,136 @@
+#include "sim/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace krad {
+
+namespace {
+
+/// Deterministic, well-spread job colors via the golden-angle hue walk.
+std::string job_color(JobId id) {
+  const double hue = std::fmod(137.507764 * static_cast<double>(id), 360.0);
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "hsl(%.1f,62%%,58%%)", hue);
+  return buffer;
+}
+
+std::string rect(int x, int y, int w, int h, const std::string& fill,
+                 const std::string& title = "") {
+  std::string out = "<rect x='" + std::to_string(x);
+  out += "' y='" + std::to_string(y);
+  out += "' width='" + std::to_string(w);
+  out += "' height='" + std::to_string(h);
+  out += "' fill='" + fill;
+  out += "' stroke='white' stroke-width='0.5'>";
+  if (!title.empty()) {
+    out += "<title>";
+    out += title;
+    out += "</title>";
+  }
+  out += "</rect>";
+  return out;
+}
+
+std::string text(int x, int y, const std::string& content, int size = 11) {
+  std::string out = "<text x='" + std::to_string(x);
+  out += "' y='" + std::to_string(y);
+  out += "' font-size='" + std::to_string(size);
+  out += "' font-family='sans-serif'>";
+  out += content;
+  out += "</text>";
+  return out;
+}
+
+}  // namespace
+
+std::string to_svg(const ScheduleTrace& trace, const MachineConfig& machine,
+                   const SvgOptions& options) {
+  Time horizon = 0;
+  std::set<JobId> jobs;
+  for (const TaskEvent& event : trace.events()) {
+    horizon = std::max(horizon, event.t);
+    jobs.insert(event.job);
+  }
+  horizon = std::min(horizon, options.max_steps);
+
+  const int left = 60;
+  const int top = 8;
+  const int grid_width =
+      static_cast<int>(horizon) * options.cell_width;
+
+  // Layout: per-category band y offsets.
+  std::vector<int> band_y(machine.categories());
+  int y = top;
+  for (Category a = 0; a < machine.categories(); ++a) {
+    band_y[a] = y + 14;  // leave room for the band label
+    y = band_y[a] + machine.processors[a] * options.cell_height +
+        options.band_gap;
+  }
+  const int legend_y = y;
+  const int height =
+      legend_y + (options.legend ? 24 + 16 * ((static_cast<int>(jobs.size()) + 7) / 8)
+                                 : 0);
+  const int width = left + grid_width + 16;
+
+  char header[160];
+  std::snprintf(header, sizeof header,
+                "<svg xmlns='http://www.w3.org/2000/svg' width='%d' "
+                "height='%d' viewBox='0 0 %d %d'>",
+                width, height, width, height);
+  std::string out = header;
+  out += "<rect width='100%' height='100%' fill='#fafafa'/>";
+
+  for (Category a = 0; a < machine.categories(); ++a) {
+    std::string label = "cat ";
+    label += std::to_string(a);
+    label += " (P=";
+    label += std::to_string(machine.processors[a]);
+    label += ')';
+    out += text(4, band_y[a] - 3, label);
+    // Row guides.
+    for (int p = 0; p < machine.processors[a]; ++p)
+      out += rect(left, band_y[a] + p * options.cell_height, grid_width,
+                  options.cell_height, "#eeeeee");
+  }
+
+  for (const TaskEvent& event : trace.events()) {
+    if (event.t > horizon) continue;
+    const int x = left + static_cast<int>(event.t - 1) * options.cell_width;
+    const int ty = band_y[event.category] + event.proc * options.cell_height;
+    out += rect(x, ty, options.cell_width, options.cell_height,
+                job_color(event.job),
+                "job " + std::to_string(event.job) + " v" +
+                    std::to_string(event.vertex) + " t=" +
+                    std::to_string(event.t));
+  }
+
+  // Time axis ticks every 10 steps.
+  for (Time t = 0; t <= horizon; t += 10)
+    out += text(left + static_cast<int>(t) * options.cell_width,
+                legend_y - options.band_gap + 12, std::to_string(t), 9);
+
+  if (options.legend) {
+    int lx = left;
+    int ly = legend_y + 8;
+    int in_row = 0;
+    for (JobId id : jobs) {
+      out += rect(lx, ly, 10, 10, job_color(id));
+      std::string tag = "j";
+      tag += std::to_string(id);
+      out += text(lx + 13, ly + 9, tag, 9);
+      lx += 52;
+      if (++in_row == 8) {
+        in_row = 0;
+        lx = left;
+        ly += 16;
+      }
+    }
+  }
+  out += "</svg>";
+  return out;
+}
+
+}  // namespace krad

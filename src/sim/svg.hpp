@@ -1,0 +1,24 @@
+#pragma once
+// SVG rendering of a recorded schedule: one horizontal band per category,
+// one row per processor, one rectangle per executed task, colored by job.
+// Self-contained SVG 1.1 output (no external CSS), suitable for inclusion in
+// reports or viewing in a browser.
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace krad {
+
+struct SvgOptions {
+  int cell_width = 12;    ///< pixels per time step
+  int cell_height = 14;   ///< pixels per processor row
+  int band_gap = 18;      ///< vertical gap between category bands
+  Time max_steps = 400;   ///< truncate beyond this horizon
+  bool legend = true;     ///< per-job color swatches at the bottom
+};
+
+std::string to_svg(const ScheduleTrace& trace, const MachineConfig& machine,
+                   const SvgOptions& options = {});
+
+}  // namespace krad

@@ -1,0 +1,46 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace krad {
+
+namespace {
+
+char job_glyph(JobId id) {
+  static const char* kGlyphs =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kGlyphs[id % 62];
+}
+
+}  // namespace
+
+std::string ScheduleTrace::gantt(const MachineConfig& machine,
+                                 std::size_t max_width) const {
+  Time horizon = 0;
+  for (const TaskEvent& event : events_) horizon = std::max(horizon, event.t);
+  const auto width =
+      std::min<std::size_t>(static_cast<std::size_t>(horizon), max_width);
+
+  std::string out;
+  for (Category alpha = 0; alpha < machine.categories(); ++alpha) {
+    const auto p = static_cast<std::size_t>(machine.processors[alpha]);
+    std::vector<std::string> grid(p, std::string(width, '.'));
+    for (const TaskEvent& event : events_) {
+      if (event.category != alpha) continue;
+      const auto col = static_cast<std::size_t>(event.t - 1);
+      if (col >= width) continue;
+      if (event.proc >= 0 && static_cast<std::size_t>(event.proc) < p)
+        grid[static_cast<std::size_t>(event.proc)][col] = job_glyph(event.job);
+    }
+    out += "category " + std::to_string(alpha) + " (P=" + std::to_string(p) +
+           ")\n";
+    for (std::size_t row = 0; row < p; ++row)
+      out += "  p" + std::to_string(row) + " |" + grid[row] + "|\n";
+  }
+  if (static_cast<std::size_t>(horizon) > width)
+    out += "  (truncated at step " + std::to_string(width) + " of " +
+           std::to_string(horizon) + ")\n";
+  return out;
+}
+
+}  // namespace krad

@@ -1,0 +1,49 @@
+#pragma once
+// Full schedule recording chi = (tau, pi_1, ..., pi_K) plus per-step desire
+// and allotment matrices.  Enables the independent validity check of the
+// paper's Section 2 definitions and Gantt visualisation; recording is
+// optional because large sweeps do not need it.
+
+#include <string>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// One executed task: tau(v) = t, pi_cat(v) = proc.
+struct TaskEvent {
+  Time t = 0;
+  JobId job = kInvalidJob;
+  Category category = 0;
+  VertexId vertex = kInvalidVertex;  ///< job-local vertex id
+  int proc = -1;                     ///< 0-based processor within category
+};
+
+/// Scheduler-facing view of one step (for fairness/invariant tests).
+struct StepRecord {
+  Time t = 0;
+  std::vector<JobId> active;               // ascending
+  std::vector<std::vector<Work>> desire;   // [active index][category]
+  std::vector<std::vector<Work>> allot;    // [active index][category]
+};
+
+class ScheduleTrace {
+ public:
+  void add_event(const TaskEvent& event) { events_.push_back(event); }
+  void add_step(StepRecord record) { steps_.push_back(std::move(record)); }
+
+  const std::vector<TaskEvent>& events() const noexcept { return events_; }
+  const std::vector<StepRecord>& steps() const noexcept { return steps_; }
+
+  /// ASCII Gantt chart: one block per category, rows = processors,
+  /// columns = steps, cells = job ids (mod 62, as [0-9a-zA-Z], '.' = idle).
+  /// `max_width` caps the number of columns rendered.
+  std::string gantt(const MachineConfig& machine, std::size_t max_width = 120) const;
+
+ private:
+  std::vector<TaskEvent> events_;
+  std::vector<StepRecord> steps_;
+};
+
+}  // namespace krad

@@ -1,0 +1,100 @@
+#include "sim/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace krad {
+
+namespace {
+
+std::string describe(const TaskEvent& event) {
+  std::ostringstream os;
+  os << "job " << event.job << " vertex " << event.vertex << " cat "
+     << event.category << " t=" << event.t << " proc=" << event.proc;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> validate_schedule(const JobSet& set,
+                                           const MachineConfig& machine,
+                                           const ScheduleTrace& trace,
+                                           std::size_t max_violations) {
+  std::vector<std::string> violations;
+  auto report = [&](const std::string& message) {
+    if (violations.size() < max_violations) violations.push_back(message);
+  };
+
+  // tau per job vertex.
+  std::vector<std::map<VertexId, Time>> tau(set.size());
+  // processor occupancy per (category, t, proc).
+  std::set<std::tuple<Category, Time, int>> booked;
+
+  for (const TaskEvent& event : trace.events()) {
+    if (event.job >= set.size()) {
+      report("event for unknown job: " + describe(event));
+      continue;
+    }
+    if (event.category >= machine.categories() || event.proc < 0 ||
+        event.proc >= machine.processors[event.category]) {
+      report("event outside machine: " + describe(event));
+      continue;
+    }
+    if (event.t <= set.release(event.job))
+      report("task before release: " + describe(event));
+    if (!tau[event.job].emplace(event.vertex, event.t).second)
+      report("vertex executed twice: " + describe(event));
+    if (!booked.emplace(event.category, event.t, event.proc).second)
+      report("processor double-booked: " + describe(event));
+  }
+
+  for (JobId id = 0; id < set.size(); ++id) {
+    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(id));
+    if (dag_job == nullptr) continue;  // profile jobs: coverage check only
+    const KDag& dag = dag_job->dag();
+    const auto& times = tau[id];
+    if (times.size() != dag.num_vertices())
+      report("job " + std::to_string(id) + ": executed " +
+             std::to_string(times.size()) + " of " +
+             std::to_string(dag.num_vertices()) + " vertices");
+    for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+      const auto it_v = times.find(v);
+      if (it_v == times.end()) continue;
+      for (VertexId succ : dag.successors(v)) {
+        const auto it_s = times.find(succ);
+        if (it_s != times.end() && it_s->second <= it_v->second)
+          report("precedence violated: job " + std::to_string(id) + " " +
+                 std::to_string(v) + "->" + std::to_string(succ));
+      }
+    }
+  }
+
+  // Category correctness of each event against the dag.
+  for (const TaskEvent& event : trace.events()) {
+    if (event.job >= set.size()) continue;
+    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(event.job));
+    if (dag_job == nullptr) continue;
+    if (event.vertex < dag_job->dag().num_vertices() &&
+        dag_job->dag().category(event.vertex) != event.category)
+      report("category mismatch: " + describe(event));
+  }
+
+  // Per-step capacity from the scheduler-facing records.
+  for (const StepRecord& step : trace.steps()) {
+    for (Category a = 0; a < machine.categories(); ++a) {
+      Work sum = 0;
+      for (const auto& per_job : step.allot)
+        sum += a < per_job.size() ? per_job[a] : 0;
+      if (sum > machine.processors[a])
+        report("step " + std::to_string(step.t) + ": category " +
+               std::to_string(a) + " over-allotted (" + std::to_string(sum) +
+               " > " + std::to_string(machine.processors[a]) + ")");
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace krad

@@ -1,0 +1,28 @@
+#pragma once
+// Independent validity check of a recorded schedule against the paper's
+// Section 2 definition: a valid schedule chi = (tau, pi_1..pi_K)
+//   * executes every vertex of every job exactly once,
+//   * respects precedence: u < v  =>  tau(u) < tau(v),
+//   * never double-books a processor: tau(u) = tau(v) and pi(u) = pi(v)
+//     only if u = v,
+//   * runs alpha-tasks on alpha-processors with indices < P_alpha,
+//   * starts no task before its job's release time,
+//   * never allots more than P_alpha processors per category per step.
+//
+// Works on DagJob-backed sets (the vertex ids in the trace refer to the
+// job's K-DAG).  Returns human-readable violations; empty = valid.
+
+#include <string>
+#include <vector>
+
+#include "jobs/job_set.hpp"
+#include "sim/trace.hpp"
+
+namespace krad {
+
+std::vector<std::string> validate_schedule(const JobSet& set,
+                                           const MachineConfig& machine,
+                                           const ScheduleTrace& trace,
+                                           std::size_t max_violations = 20);
+
+}  // namespace krad

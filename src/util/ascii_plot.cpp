@@ -1,0 +1,77 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace krad {
+
+std::string ascii_plot(std::span<const double> xs, std::span<const double> ys,
+                       const PlotOptions& options) {
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return out + "  (no data)\n";
+
+  double x_lo = xs[0], x_hi = xs[0], y_lo = ys[0], y_hi = ys[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    x_lo = std::min(x_lo, xs[i]);
+    x_hi = std::max(x_hi, xs[i]);
+    y_lo = std::min(y_lo, ys[i]);
+    y_hi = std::max(y_hi, ys[i]);
+  }
+  if (options.show_reference) {
+    y_lo = std::min(y_lo, options.reference);
+    y_hi = std::max(y_hi, options.reference);
+  }
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  // A little headroom so extreme points are not glued to the frame.
+  const double y_pad = 0.05 * (y_hi - y_lo);
+  y_lo -= y_pad;
+  y_hi += y_pad;
+
+  const std::size_t w = std::max<std::size_t>(8, options.width);
+  const std::size_t h = std::max<std::size_t>(4, options.height);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto col_of = [&](double x) {
+    const double f = (x - x_lo) / (x_hi - x_lo);
+    return std::min(w - 1, static_cast<std::size_t>(f * static_cast<double>(w - 1) + 0.5));
+  };
+  auto row_of = [&](double y) {
+    const double f = (y - y_lo) / (y_hi - y_lo);
+    const auto from_bottom =
+        std::min(h - 1, static_cast<std::size_t>(f * static_cast<double>(h - 1) + 0.5));
+    return h - 1 - from_bottom;
+  };
+
+  if (options.show_reference) {
+    const std::size_t r = row_of(options.reference);
+    for (std::size_t c = 0; c < w; ++c) grid[r][c] = '-';
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    grid[row_of(ys[i])][col_of(xs[i])] = options.marker;
+
+  char label[64];
+  std::snprintf(label, sizeof label, "%10.3f |", y_hi);
+  out += label;
+  out += grid[0] + "\n";
+  for (std::size_t r = 1; r + 1 < h; ++r) out += "           |" + grid[r] + "\n";
+  std::snprintf(label, sizeof label, "%10.3f |", y_lo);
+  out += label;
+  out += grid[h - 1] + "\n";
+  out += "           +" + std::string(w, '-') + "\n";
+  char lo_label[32], hi_label[32];
+  std::snprintf(lo_label, sizeof lo_label, "%-.4g", x_lo);
+  std::snprintf(hi_label, sizeof hi_label, "%.4g", x_hi);
+  std::string axis = "            ";
+  axis += lo_label;
+  const std::size_t target = 12 + w - std::char_traits<char>::length(hi_label);
+  if (axis.size() < target) axis.append(target - axis.size(), ' ');
+  axis += hi_label;
+  out += axis + "\n";
+  return out;
+}
+
+}  // namespace krad

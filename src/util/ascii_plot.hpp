@@ -1,0 +1,28 @@
+#pragma once
+// Minimal ASCII scatter/line plots for bench output (e.g. the convergence of
+// the adversary's competitive ratio toward K + 1 - 1/Pmax).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace krad {
+
+struct PlotOptions {
+  std::size_t width = 60;   ///< plot-area columns
+  std::size_t height = 14;  ///< plot-area rows
+  std::string title;
+  char marker = '*';
+  /// Optional horizontal reference line (e.g. a proven bound); drawn with
+  /// '-' when enabled.
+  bool show_reference = false;
+  double reference = 0.0;
+};
+
+/// Plot y against x.  Points outside the (auto-scaled) range are clamped to
+/// the border.  Returns a multi-line string ending in '\n'; empty input
+/// produces a stub plot with the title only.
+std::string ascii_plot(std::span<const double> xs, std::span<const double> ys,
+                       const PlotOptions& options = {});
+
+}  // namespace krad

@@ -1,0 +1,55 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace krad {
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  unsigned want = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (want == 0) want = 1;
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(want, total));
+
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic scheduling via a shared atomic counter: sweep iterations have
+  // very uneven cost (different instance sizes), so static chunking would
+  // leave threads idle.
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::atomic<int> error_guard{0};
+
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end || failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          if (error_guard.fetch_add(1) == 0) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace krad

@@ -1,0 +1,25 @@
+#pragma once
+// Fork-join parallelism for experiment sweeps.
+//
+// The simulator itself is deterministic and single-threaded (a step-accurate
+// discrete-time model); the *sweeps* over seeds/parameters are embarrassingly
+// parallel.  parallel_for runs a closure over an index range on
+// hardware_concurrency threads with static chunking.  Determinism is
+// preserved as long as each index writes only to its own slot and derives
+// its randomness from its index (never from shared RNG state).
+//
+// Exceptions thrown by the closure are captured and the first one is
+// rethrown on the calling thread after all workers join.
+
+#include <cstddef>
+#include <functional>
+
+namespace krad {
+
+/// Invoke fn(i) for every i in [begin, end), on up to `threads` threads
+/// (0 = hardware concurrency).  Blocks until all invocations complete.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace krad

@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace krad {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Lemire-style rejection: reject the biased low region.
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::int64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 60.0) {
+    const double limit = std::exp(-mean);
+    std::int64_t count = -1;
+    double product = 1.0;
+    do {
+      product *= uniform();
+      ++count;
+    } while (product > limit);
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double value = normal(mean, std::sqrt(mean)) + 0.5;
+  return value < 0.0 ? 0 : static_cast<std::int64_t>(value);
+}
+
+std::int64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::int64_t>::max();
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; one value per call keeps the generator state trajectory simple
+  // (no cached spare that would make stream position depend on call history).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+}  // namespace krad

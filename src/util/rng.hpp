@@ -1,0 +1,111 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution because
+// the distributions are not guaranteed to produce identical streams across
+// standard-library implementations; experiment reproducibility requires
+// bit-exact streams from a seed.  xoshiro256** (Blackman & Vigna) seeded via
+// splitmix64 is small, fast and has well-understood statistical quality.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace krad {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Unbiased (rejection sampling).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    // 53 high-quality bits -> double mantissa.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 60 to stay O(1)).
+  std::int64_t poisson(double mean) noexcept;
+
+  /// Geometric number of failures before first success; p in (0, 1].
+  std::int64_t geometric(double p) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Fisher-Yates shuffle with this generator (stable across platforms).
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index for a container of given size (> 0).
+  std::size_t index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  /// Derive an independent child generator (for per-job streams).
+  Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace krad

@@ -1,0 +1,69 @@
+#pragma once
+// Small statistics helpers used by metrics collection and experiment reports.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace krad {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Half-width of the normal-approximation confidence interval for the
+  /// mean: z * s / sqrt(n).  Default z = 1.96 (95%).  0 for n < 2.
+  double mean_ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order statistics).
+/// `q` in [0, 1].  Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow and
+/// underflow counters.  Used by experiment reports to show ratio spreads.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  const std::vector<std::size_t>& bins() const noexcept { return counts_; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+
+  /// Render as compact ASCII bars, one line per non-empty bin.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace krad

@@ -1,0 +1,102 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace krad {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  cells_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : cells_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto pad = [](std::string s, std::size_t w) {
+    s.resize(std::max(s.size(), w), ' ');
+    return s;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += pad(headers_[c], widths[c]);
+    out += (c + 1 == headers_.size()) ? "\n" : "  ";
+  }
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c], '-');
+    out += (c + 1 == headers_.size()) ? "\n" : "  ";
+  }
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < r.size() ? r[c] : std::string();
+      out += pad(text, widths[c]);
+      out += (c + 1 == headers_.size()) ? "\n" : "  ";
+    }
+  }
+  return out;
+}
+
+std::string Table::csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char ch : s) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += escape(headers_[c]);
+    out += (c + 1 == headers_.size()) ? "\n" : ",";
+  }
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += escape(c < r.size() ? r[c] : std::string());
+      out += (c + 1 == headers_.size()) ? "\n" : ",";
+    }
+  }
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace krad

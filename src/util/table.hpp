@@ -1,0 +1,55 @@
+#pragma once
+// Column-aligned ASCII tables and CSV output for experiment reports.
+//
+// The bench binaries print paper-style tables; keeping the rendering here
+// makes every experiment's output uniform and lets tests assert on structure.
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace krad {
+
+/// A cell is always stored as text; helpers format numerics consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row.  Cells are appended with `cell` overloads.
+  Table& row();
+  Table& cell(const std::string& text);
+  Table& cell(const char* text);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  /// Fixed-precision floating point (default three decimals).
+  Table& cell(double value, int precision = 3);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   K   Pmax  ratio   bound
+  ///   --  ----  ------  ------
+  ///   2   4     2.61    2.75
+  std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with fixed precision (shared by Table and ad-hoc output).
+std::string format_double(double value, int precision = 3);
+
+/// Print a section banner used between experiment phases in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace krad

@@ -1,0 +1,44 @@
+#include "workload/adversary.hpp"
+
+#include <stdexcept>
+
+#include "dag/builders.hpp"
+
+namespace krad {
+
+AdversaryInstance make_adversary(const std::vector<int>& processors, int m,
+                                 SelectionPolicy policy) {
+  if (processors.size() < 2 || m < 1)
+    throw std::logic_error(
+        "make_adversary: needs K >= 2 and m >= 1 (for K = 1 the paper's "
+        "2 - 1/P bound comes from a different construction; see Brecht et "
+        "al., and the formulas below assume the level pipeline exists)");
+  const auto k = static_cast<Category>(processors.size());
+  const long long pk = processors.back();
+  for (int p : processors)
+    if (p < 1 || p > pk)
+      throw std::logic_error(
+          "make_adversary: processors.back() must be the maximum (P_K = Pmax)");
+
+  AdversaryInstance inst;
+  inst.machine.processors = processors;
+  inst.jobs = JobSet(k);
+
+  const long long n = static_cast<long long>(m) * processors.front() * pk;
+  for (long long i = 0; i + 1 < n; ++i)
+    inst.jobs.add(std::make_unique<DagJob>(single_task(0, k),
+                                           SelectionPolicy::kFifo,
+                                           "single-" + std::to_string(i)));
+  // The structured job goes last: deterministic queue-ordered schedulers
+  // reach its lone ready 1-task only after n - 1 singleton tasks.
+  inst.jobs.add(std::make_unique<DagJob>(adversary_job(processors, m), policy,
+                                         "adversary-big"));
+
+  inst.optimal_makespan = static_cast<Work>(k) + static_cast<Work>(m) * pk - 1;
+  inst.adversarial_makespan = static_cast<Work>(m) * k * pk +
+                              static_cast<Work>(m) * pk - m;
+  inst.ratio_bound = inst.machine.makespan_bound();
+  return inst;
+}
+
+}  // namespace krad

@@ -1,0 +1,42 @@
+#pragma once
+// The Theorem 1 / Figure 3 adversarial instance.
+//
+// Job set J with n = m * P_1 * P_K jobs: n - 1 singleton jobs of one 1-task
+// each, plus the multi-level job Ji of dag::adversary_job.  The adversary
+// additionally controls (a) the order in which deterministic schedulers meet
+// the jobs — Ji is placed LAST so queue-ordered policies reach its critical
+// root latest — and (b) which ready tasks execute within Ji, via the task
+// selection policy (kCriticalPathLast realises the proof's "critical-path
+// tasks always execute last among ready tasks").
+//
+// Against this instance:
+//   optimal clairvoyant makespan  T* = K + m*P_K - 1,
+//   any deterministic non-clairvoyant scheduler can be forced to
+//   T >= m*K*P_K + m*P_K - m, giving ratio -> K + 1 - 1/Pmax as m grows.
+
+#include "jobs/job_set.hpp"
+
+namespace krad {
+
+struct AdversaryInstance {
+  JobSet jobs;
+  MachineConfig machine;
+  /// T* = K + m*P_K - 1 (the clairvoyant schedule of Theorem 1's proof).
+  Work optimal_makespan = 0;
+  /// The adversarial floor m*K*P_K + m*P_K - m from the proof.
+  Work adversarial_makespan = 0;
+  /// K + 1 - 1/Pmax.
+  double ratio_bound = 0.0;
+};
+
+/// Build the instance.  Requires K >= 2 (the K = 1 degenerate form of the
+/// dag builder does not realise these formulas: with a single category the
+/// singleton work joins the big job's work and the work-based lower bound
+/// dominates T*).  `processors[k-1]` must be the maximum (the proof takes
+/// P_K = Pmax WLOG; we require it rather than permute silently).  `policy`
+/// is applied to the big job (singletons have a single task, so their
+/// policy is irrelevant).
+AdversaryInstance make_adversary(const std::vector<int>& processors, int m,
+                                 SelectionPolicy policy);
+
+}  // namespace krad

@@ -1,0 +1,41 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+
+namespace krad {
+
+std::vector<Time> batched_releases(std::size_t count) {
+  return std::vector<Time>(count, 0);
+}
+
+std::vector<Time> poisson_releases(std::size_t count, double mean_gap,
+                                   Rng& rng) {
+  std::vector<Time> releases;
+  releases.reserve(count);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    releases.push_back(static_cast<Time>(std::llround(clock)));
+    clock += rng.exponential(mean_gap);
+  }
+  return releases;
+}
+
+std::vector<Time> bursty_releases(std::size_t count, std::size_t burst_size,
+                                  Time gap) {
+  std::vector<Time> releases;
+  releases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    releases.push_back(static_cast<Time>(i / (burst_size == 0 ? 1 : burst_size)) *
+                       gap);
+  return releases;
+}
+
+std::vector<Time> uniform_releases(std::size_t count, Time horizon, Rng& rng) {
+  std::vector<Time> releases;
+  releases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    releases.push_back(rng.uniform_int(0, horizon));
+  return releases;
+}
+
+}  // namespace krad

@@ -1,0 +1,29 @@
+#pragma once
+// Release-time processes.  The theorems split by setting: makespan results
+// allow arbitrary release times; response-time results assume batched jobs.
+// These helpers stamp release times onto freshly generated job sets.
+
+#include <vector>
+
+#include "dag/types.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+
+/// All zeros (batched).
+std::vector<Time> batched_releases(std::size_t count);
+
+/// Poisson process: exponential inter-arrival gaps with the given mean,
+/// rounded to integer steps; first job at time 0.
+std::vector<Time> poisson_releases(std::size_t count, double mean_gap, Rng& rng);
+
+/// Bursty: jobs arrive in bursts of `burst_size`, bursts separated by
+/// `gap` steps (a deterministic stress pattern with idle intervals when the
+/// gap exceeds the drain time).
+std::vector<Time> bursty_releases(std::size_t count, std::size_t burst_size,
+                                  Time gap);
+
+/// Uniform over [0, horizon].
+std::vector<Time> uniform_releases(std::size_t count, Time horizon, Rng& rng);
+
+}  // namespace krad

@@ -1,0 +1,185 @@
+#include "workload/random_jobs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dag/builders.hpp"
+
+namespace krad {
+
+const char* to_string(DagShape shape) {
+  switch (shape) {
+    case DagShape::kLayered: return "layered";
+    case DagShape::kForkJoin: return "fork-join";
+    case DagShape::kChain: return "chain";
+    case DagShape::kSeriesParallel: return "series-parallel";
+    case DagShape::kMapReduce: return "map-reduce";
+    case DagShape::kWavefront: return "wavefront";
+    case DagShape::kTreeReduction: return "tree-reduction";
+    case DagShape::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Category> random_pattern(Category k, Rng& rng) {
+  std::vector<Category> pattern;
+  const auto length = static_cast<std::size_t>(rng.uniform_int(1, 2 * k));
+  for (std::size_t i = 0; i < length; ++i)
+    pattern.push_back(static_cast<Category>(
+        rng.uniform_int(0, static_cast<std::int64_t>(k) - 1)));
+  return pattern;
+}
+
+}  // namespace
+
+JobPtr make_random_dag_job(const RandomDagJobParams& params, Rng& rng,
+                           const std::string& name) {
+  if (params.num_categories == 0 || params.min_size == 0 ||
+      params.max_size < params.min_size)
+    throw std::logic_error("make_random_dag_job: invalid parameters");
+  DagShape shape = params.shape;
+  if (shape == DagShape::kMixed) {
+    constexpr DagShape kAll[] = {DagShape::kLayered,   DagShape::kForkJoin,
+                                 DagShape::kChain,     DagShape::kSeriesParallel,
+                                 DagShape::kMapReduce, DagShape::kWavefront,
+                                 DagShape::kTreeReduction};
+    shape = kAll[rng.index(std::size(kAll))];
+  }
+  const auto size = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.min_size),
+                      static_cast<std::int64_t>(params.max_size)));
+  const Category k = params.num_categories;
+  KDag dag;
+  switch (shape) {
+    case DagShape::kLayered: {
+      LayeredParams lp;
+      lp.num_categories = k;
+      lp.max_width = std::max<std::size_t>(2, size / 4);
+      lp.layers = std::max<std::size_t>(
+          2, size / std::max<std::size_t>(1, (1 + lp.max_width) / 2));
+      lp.edge_probability = rng.uniform(0.15, 0.6);
+      dag = layered_random(lp, rng);
+      break;
+    }
+    case DagShape::kForkJoin: {
+      const std::size_t width =
+          std::max<std::size_t>(2, static_cast<std::size_t>(rng.uniform_int(
+                                       2, static_cast<std::int64_t>(
+                                              std::max<std::size_t>(2, size / 3)))));
+      const std::size_t phases = std::max<std::size_t>(1, size / (width + 1));
+      dag = fork_join(random_pattern(k, rng), phases, width, k);
+      break;
+    }
+    case DagShape::kChain:
+      dag = category_chain(random_pattern(k, rng), size, k);
+      break;
+    case DagShape::kSeriesParallel:
+      dag = series_parallel(size, k, rng);
+      break;
+    case DagShape::kMapReduce: {
+      const std::size_t mappers = std::max<std::size_t>(1, size * 2 / 3);
+      const std::size_t reducers = std::max<std::size_t>(1, size - mappers);
+      const auto map_cat = static_cast<Category>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      const auto reduce_cat = static_cast<Category>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      dag = map_reduce(mappers, reducers, map_cat, reduce_cat, k);
+      break;
+    }
+    case DagShape::kWavefront: {
+      const auto rows = static_cast<std::size_t>(
+          rng.uniform_int(2, std::max<std::int64_t>(
+                                 2, static_cast<std::int64_t>(size) / 3)));
+      const std::size_t cols = std::max<std::size_t>(2, size / rows);
+      dag = grid_wavefront(rows, cols, random_pattern(k, rng), k);
+      break;
+    }
+    case DagShape::kTreeReduction: {
+      const std::size_t leaves = std::max<std::size_t>(2, size / 2);
+      const auto leaf_cat = static_cast<Category>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      const auto reduce_cat = static_cast<Category>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      dag = tree_reduction(leaves, leaf_cat, reduce_cat, k);
+      break;
+    }
+    case DagShape::kMixed:
+      throw std::logic_error("unreachable");
+  }
+  return std::make_unique<DagJob>(std::move(dag), params.policy, name, rng());
+}
+
+JobPtr make_random_profile_job(const RandomProfileJobParams& params, Rng& rng,
+                               const std::string& name) {
+  if (params.num_categories == 0 || params.min_phases == 0 ||
+      params.max_phases < params.min_phases || params.min_phase_work < 1 ||
+      params.max_phase_work < params.min_phase_work ||
+      params.max_parallelism < 1)
+    throw std::logic_error("make_random_profile_job: invalid parameters");
+  const auto phases = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.min_phases),
+                      static_cast<std::int64_t>(params.max_phases)));
+  std::vector<Phase> sequence;
+  sequence.reserve(phases);
+  for (std::size_t p = 0; p < phases; ++p) {
+    Phase phase;
+    for (Category a = 0; a < params.num_categories; ++a) {
+      if (!rng.chance(params.category_density)) continue;
+      PhasePart part;
+      part.category = a;
+      part.work = rng.uniform_int(params.min_phase_work, params.max_phase_work);
+      part.parallelism = rng.uniform_int(1, params.max_parallelism);
+      phase.parts.push_back(part);
+    }
+    if (phase.parts.empty()) {
+      PhasePart part;
+      part.category = static_cast<Category>(rng.uniform_int(
+          0, static_cast<std::int64_t>(params.num_categories) - 1));
+      part.work = rng.uniform_int(params.min_phase_work, params.max_phase_work);
+      part.parallelism = rng.uniform_int(1, params.max_parallelism);
+      phase.parts.push_back(part);
+    }
+    sequence.push_back(std::move(phase));
+  }
+  return std::make_unique<ProfileJob>(std::move(sequence), params.num_categories,
+                                      name);
+}
+
+JobSet make_dag_job_set(const RandomDagJobParams& params, std::size_t count,
+                        Rng& rng) {
+  JobSet set(params.num_categories);
+  for (std::size_t i = 0; i < count; ++i)
+    set.add(make_random_dag_job(params, rng, "dag-" + std::to_string(i)));
+  return set;
+}
+
+JobSet make_profile_job_set(const RandomProfileJobParams& params,
+                            std::size_t count, Rng& rng) {
+  JobSet set(params.num_categories);
+  for (std::size_t i = 0; i < count; ++i)
+    set.add(make_random_profile_job(params, rng, "prof-" + std::to_string(i)));
+  return set;
+}
+
+JobSet make_light_load_set(const MachineConfig& machine, std::size_t count,
+                           Work min_phase_work, Work max_phase_work,
+                           std::size_t max_phases, Rng& rng) {
+  int pmin = machine.processors.empty() ? 0 : machine.processors.front();
+  for (int p : machine.processors) pmin = std::min(pmin, p);
+  if (count > static_cast<std::size_t>(std::max(0, pmin)))
+    throw std::logic_error(
+        "make_light_load_set: count must not exceed min_alpha P_alpha so that "
+        "|J(alpha, t)| <= P_alpha holds at every step (Theorem 5 regime)");
+  RandomProfileJobParams params;
+  params.num_categories = static_cast<Category>(machine.categories());
+  params.min_phases = 1;
+  params.max_phases = std::max<std::size_t>(1, max_phases);
+  params.min_phase_work = min_phase_work;
+  params.max_phase_work = max_phase_work;
+  params.max_parallelism = std::max<Work>(1, 2 * machine.pmax());
+  return make_profile_job_set(params, count, rng);
+}
+
+}  // namespace krad

@@ -1,0 +1,76 @@
+#pragma once
+// Random job and job-set generators for the experiment sweeps.
+//
+// Two job families:
+//   * DAG jobs (explicit K-DAGs: layered, fork-join, chains, series-parallel,
+//     map-reduce) — structurally faithful, used when traces/validation or
+//     fine-grained precedence matters;
+//   * profile jobs (phase sequences) — scale to large work volumes, used for
+//     the big response-time and load sweeps.
+
+#include <vector>
+
+#include "jobs/job_set.hpp"
+#include "jobs/profile_job.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+
+enum class DagShape {
+  kLayered,
+  kForkJoin,
+  kChain,
+  kSeriesParallel,
+  kMapReduce,
+  kWavefront,
+  kTreeReduction,
+  kMixed,  ///< uniformly random among the above
+};
+
+const char* to_string(DagShape shape);
+
+struct RandomDagJobParams {
+  Category num_categories = 2;
+  DagShape shape = DagShape::kMixed;
+  /// Approximate vertex budget per job (exact size varies by shape).
+  std::size_t min_size = 8;
+  std::size_t max_size = 64;
+  SelectionPolicy policy = SelectionPolicy::kFifo;
+};
+
+JobPtr make_random_dag_job(const RandomDagJobParams& params, Rng& rng,
+                           const std::string& name);
+
+struct RandomProfileJobParams {
+  Category num_categories = 2;
+  std::size_t min_phases = 1;
+  std::size_t max_phases = 6;
+  Work min_phase_work = 1;
+  Work max_phase_work = 200;
+  Work max_parallelism = 32;
+  /// Probability that a phase touches any given category (at least one is
+  /// always chosen).
+  double category_density = 0.6;
+};
+
+JobPtr make_random_profile_job(const RandomProfileJobParams& params, Rng& rng,
+                               const std::string& name);
+
+/// A batched set of `count` random DAG jobs.
+JobSet make_dag_job_set(const RandomDagJobParams& params, std::size_t count,
+                        Rng& rng);
+
+/// A batched set of `count` random profile jobs.
+JobSet make_profile_job_set(const RandomProfileJobParams& params,
+                            std::size_t count, Rng& rng);
+
+/// A batched profile-job set guaranteed to keep the system under light load
+/// for the given machine: at most P_alpha jobs ever desire category alpha at
+/// once — the Theorem 5 regime.  Achieved by giving every job work in every
+/// category of every phase (so |J(alpha, t)| <= n <= min_alpha P_alpha) and
+/// requiring count <= min_alpha P_alpha.
+JobSet make_light_load_set(const MachineConfig& machine, std::size_t count,
+                           Work min_phase_work, Work max_phase_work,
+                           std::size_t max_phases, Rng& rng);
+
+}  // namespace krad

@@ -1,0 +1,92 @@
+#include "workload/scenarios.hpp"
+
+#include <stdexcept>
+
+#include "workload/arrivals.hpp"
+
+namespace krad {
+
+void apply_releases(JobSet& set, const std::vector<Time>& releases) {
+  if (releases.size() != set.size())
+    throw std::logic_error("apply_releases: size mismatch");
+  for (JobId id = 0; id < set.size(); ++id) set.set_release(id, releases[id]);
+}
+
+Scenario scenario_cpu_io(std::size_t num_jobs, std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = "cpu-io";
+  scenario.machine.processors = {8, 4};
+  RandomDagJobParams params;
+  params.num_categories = 2;
+  params.shape = DagShape::kMixed;
+  params.min_size = 10;
+  params.max_size = 80;
+  scenario.jobs = make_dag_job_set(params, num_jobs, rng);
+  return scenario;
+}
+
+Scenario scenario_hpc_node(std::size_t num_jobs, double mean_gap,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = "hpc-node";
+  scenario.machine.processors = {16, 4, 2};
+  RandomProfileJobParams params;
+  params.num_categories = 3;
+  params.min_phases = 2;
+  params.max_phases = 8;
+  params.min_phase_work = 4;
+  params.max_phase_work = 400;
+  params.max_parallelism = 24;
+  scenario.jobs = make_profile_job_set(params, num_jobs, rng);
+  apply_releases(scenario.jobs, poisson_releases(num_jobs, mean_gap, rng));
+  return scenario;
+}
+
+Scenario scenario_heavy_batch(Category k, int procs_per_cat,
+                              std::size_t num_jobs, std::uint64_t seed) {
+  if (num_jobs <= static_cast<std::size_t>(procs_per_cat))
+    throw std::logic_error("scenario_heavy_batch: needs more jobs than processors");
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = "heavy-batch";
+  scenario.machine.processors.assign(k, procs_per_cat);
+  RandomProfileJobParams params;
+  params.num_categories = k;
+  params.min_phases = 1;
+  params.max_phases = 5;
+  params.min_phase_work = 1;
+  params.max_phase_work = 120;
+  params.max_parallelism = 2 * procs_per_cat;
+  scenario.jobs = make_profile_job_set(params, num_jobs, rng);
+  return scenario;
+}
+
+Scenario scenario_light_batch(Category k, int procs_per_cat,
+                              std::size_t num_jobs, std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = "light-batch";
+  scenario.machine.processors.assign(k, procs_per_cat);
+  scenario.jobs =
+      make_light_load_set(scenario.machine, num_jobs, 10, 500, 6, rng);
+  return scenario;
+}
+
+Scenario scenario_homogeneous(int processors, std::size_t num_jobs,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = "homogeneous";
+  scenario.machine.processors = {processors};
+  RandomDagJobParams params;
+  params.num_categories = 1;
+  params.shape = DagShape::kMixed;
+  params.min_size = 8;
+  params.max_size = 120;
+  scenario.jobs = make_dag_job_set(params, num_jobs, rng);
+  return scenario;
+}
+
+}  // namespace krad

@@ -1,0 +1,43 @@
+#pragma once
+// Named end-to-end scenarios: a machine plus a job set, reusable across
+// benches, examples and integration tests.  Every scenario is deterministic
+// given its seed.
+
+#include <string>
+
+#include "jobs/job_set.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+
+struct Scenario {
+  std::string name;
+  MachineConfig machine;
+  JobSet jobs;
+};
+
+/// Apply a release-time vector to a job set (sizes must match).
+void apply_releases(JobSet& set, const std::vector<Time>& releases);
+
+/// "CPU + I/O" workstation: K = 2 (compute, io), mixed DAG jobs, batched.
+Scenario scenario_cpu_io(std::size_t num_jobs, std::uint64_t seed);
+
+/// "CPU + vector + I/O" HPC node: K = 3, profile jobs, Poisson arrivals.
+Scenario scenario_hpc_node(std::size_t num_jobs, double mean_gap,
+                           std::uint64_t seed);
+
+/// Heavy-load batched profile set: many more jobs than processors in every
+/// category (Theorem 6 regime).
+Scenario scenario_heavy_batch(Category k, int procs_per_cat,
+                              std::size_t num_jobs, std::uint64_t seed);
+
+/// Light-load batched profile set (Theorem 5 regime).
+Scenario scenario_light_batch(Category k, int procs_per_cat,
+                              std::size_t num_jobs, std::uint64_t seed);
+
+/// Homogeneous machine (K = 1) with mixed DAG jobs, batched — the classic
+/// RAD setting used by the K = 1 response-time experiment.
+Scenario scenario_homogeneous(int processors, std::size_t num_jobs,
+                              std::uint64_t seed);
+
+}  // namespace krad

@@ -1,0 +1,135 @@
+#include "workload/spec.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "jobs/profile_job.hpp"
+
+namespace krad {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("workload parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+/// Parse "cat:work:par" into a PhasePart.
+PhasePart parse_part(const std::string& token, std::size_t line, Category k) {
+  PhasePart part;
+  long long cat = -1, work = -1, par = -1;
+  char c1 = 0, c2 = 0;
+  std::istringstream in(token);
+  if (!(in >> cat >> c1 >> work >> c2 >> par) || c1 != ':' || c2 != ':')
+    fail(line, "expected cat:work:parallelism, got '" + token + "'");
+  std::string extra;
+  if (in >> extra) fail(line, "trailing characters in '" + token + "'");
+  if (cat < 0 || cat >= static_cast<long long>(k))
+    fail(line, "category out of range in '" + token + "'");
+  if (work < 1 || par < 1) fail(line, "work and parallelism must be >= 1");
+  part.category = static_cast<Category>(cat);
+  part.work = work;
+  part.parallelism = par;
+  return part;
+}
+
+struct PendingJob {
+  std::string name;
+  Time release = 0;
+  std::vector<Phase> phases;
+  std::size_t line = 0;
+};
+
+}  // namespace
+
+WorkloadSpec parse_workload(std::istream& in) {
+  WorkloadSpec spec;
+  bool have_machine = false;
+  std::vector<PendingJob> pending;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;
+
+    if (keyword == "machine") {
+      if (have_machine) fail(line_no, "duplicate machine line");
+      int p = 0;
+      while (tokens >> p) {
+        if (p < 1) fail(line_no, "processor counts must be >= 1");
+        spec.machine.processors.push_back(p);
+      }
+      if (spec.machine.processors.empty())
+        fail(line_no, "machine needs at least one category");
+      have_machine = true;
+    } else if (keyword == "job") {
+      if (!have_machine) fail(line_no, "job before machine line");
+      PendingJob job;
+      job.line = line_no;
+      if (!(tokens >> job.name >> job.release) || job.release < 0)
+        fail(line_no, "expected 'job <name> <release >= 0>'");
+      pending.push_back(std::move(job));
+    } else if (keyword == "phase") {
+      if (pending.empty()) fail(line_no, "phase before any job");
+      Phase phase;
+      std::string token;
+      const auto k = static_cast<Category>(spec.machine.categories());
+      while (tokens >> token)
+        phase.parts.push_back(parse_part(token, line_no, k));
+      if (phase.parts.empty()) fail(line_no, "empty phase");
+      pending.back().phases.push_back(std::move(phase));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_machine) fail(line_no, "missing machine line");
+
+  spec.jobs = JobSet(static_cast<Category>(spec.machine.categories()));
+  for (auto& job : pending) {
+    if (job.phases.empty())
+      fail(job.line, "job '" + job.name + "' has no phases");
+    try {
+      spec.jobs.add(
+          std::make_unique<ProfileJob>(
+              std::move(job.phases),
+              static_cast<Category>(spec.machine.categories()), job.name),
+          job.release);
+    } catch (const std::logic_error& error) {
+      fail(job.line, std::string("job '") + job.name + "': " + error.what());
+    }
+  }
+  return spec;
+}
+
+WorkloadSpec parse_workload_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_workload(in);
+}
+
+std::string serialize_workload(const WorkloadSpec& spec) {
+  std::string out = "machine";
+  for (int p : spec.machine.processors) {
+    out += ' ';
+    out += std::to_string(p);
+  }
+  out += '\n';
+  for (JobId id = 0; id < spec.jobs.size(); ++id) {
+    const auto* job = dynamic_cast<const ProfileJob*>(&spec.jobs.job(id));
+    if (job == nullptr)
+      throw std::logic_error("serialize_workload: only ProfileJob supported");
+    out += "job ";
+    out += job->name();
+    out += ' ';
+    out += std::to_string(spec.jobs.release(id));
+    out += '\n';
+    out += job->describe_phases();
+  }
+  return out;
+}
+
+}  // namespace krad

@@ -1,0 +1,36 @@
+#pragma once
+// Text format for user-defined profile workloads (consumed by kradsim
+// --workload-file and usable as a library API).
+//
+// Line-oriented; '#' starts a comment:
+//
+//   machine 8 4 2              # P per category (defines K)
+//   job etl 0                  # job <name> <release-time>
+//   phase 0:100:8 1:20:2       # cat:work:parallelism parts (one per cat)
+//   phase 1:50:4
+//   job query 5
+//   phase 0:3:1
+//
+// Every job needs at least one phase; categories must fit the machine.
+
+#include <iosfwd>
+#include <string>
+
+#include "jobs/job_set.hpp"
+
+namespace krad {
+
+struct WorkloadSpec {
+  MachineConfig machine;
+  JobSet jobs;
+};
+
+/// Parse; throws std::runtime_error with a line number on malformed input.
+WorkloadSpec parse_workload(std::istream& in);
+WorkloadSpec parse_workload_string(const std::string& text);
+
+/// Serialise a profile-job workload back to the text format (jobs must be
+/// ProfileJob-backed).
+std::string serialize_workload(const WorkloadSpec& spec);
+
+}  // namespace krad

@@ -1,0 +1,129 @@
+// Tests for the Theorem 1 / Figure 3 adversarial instance: the clairvoyant
+// schedule achieves T* = K + m*P_K - 1, K-RAD against the adversary lands
+// exactly on the proof's floor m*K*P_K + m*P_K - m, and the measured ratio
+// approaches K + 1 - 1/Pmax as m grows.
+
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sim/engine.hpp"
+#include "sim/validator.hpp"
+#include "workload/adversary.hpp"
+
+namespace krad {
+namespace {
+
+TEST(Adversary, InstanceShape) {
+  const auto inst = make_adversary({2, 4}, 3, SelectionPolicy::kCriticalPathLast);
+  EXPECT_EQ(inst.jobs.size(), 3u * 2 * 4);  // n = m * P1 * PK
+  EXPECT_TRUE(inst.jobs.batched());
+  EXPECT_EQ(inst.optimal_makespan, 2 + 3 * 4 - 1);
+  EXPECT_EQ(inst.adversarial_makespan, 3 * 2 * 4 + 3 * 4 - 3);
+  EXPECT_DOUBLE_EQ(inst.ratio_bound, 2 + 1 - 1.0 / 4.0);
+}
+
+TEST(Adversary, RejectsInvalid) {
+  EXPECT_THROW(make_adversary({4}, 2, SelectionPolicy::kFifo), std::logic_error);
+  EXPECT_THROW(make_adversary({4, 2}, 2, SelectionPolicy::kFifo),
+               std::logic_error);  // PK must be Pmax
+  EXPECT_THROW(make_adversary({2, 4}, 0, SelectionPolicy::kFifo),
+               std::logic_error);
+}
+
+TEST(Adversary, LowerBoundsMatchProofQuantities) {
+  const auto inst = make_adversary({2, 3, 4}, 2, SelectionPolicy::kCriticalPathLast);
+  const auto bounds = makespan_bounds(inst.jobs, inst.machine);
+  // Span of the big job = K + m*PK - 1 = T*; work/P = m*PK per category.
+  EXPECT_EQ(bounds.release_plus_span, inst.optimal_makespan);
+  EXPECT_DOUBLE_EQ(bounds.work_over_p, 2.0 * 4.0);
+  EXPECT_EQ(bounds.lower_bound(), inst.optimal_makespan);
+}
+
+TEST(Adversary, ClairvoyantGreedyAchievesOptimal) {
+  for (int m : {1, 2, 4}) {
+    auto inst = make_adversary({2, 4}, m, SelectionPolicy::kCriticalPathFirst);
+    GreedyCp sched;
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    EXPECT_EQ(result.makespan, inst.optimal_makespan) << "m=" << m;
+  }
+}
+
+TEST(Adversary, ClairvoyantGreedyAchievesOptimalK3) {
+  auto inst = make_adversary({2, 2, 3}, 2, SelectionPolicy::kCriticalPathFirst);
+  GreedyCp sched;
+  const SimResult result = simulate(inst.jobs, sched, inst.machine);
+  EXPECT_EQ(result.makespan, inst.optimal_makespan);
+}
+
+TEST(Adversary, KRadLandsExactlyOnTheFloor) {
+  for (int m : {1, 2, 3}) {
+    auto inst = make_adversary({2, 4}, m, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    EXPECT_EQ(result.makespan, inst.adversarial_makespan) << "m=" << m;
+  }
+}
+
+TEST(Adversary, KRadFloorAcrossKAndP) {
+  struct Case {
+    std::vector<int> procs;
+    int m;
+  };
+  const Case cases[] = {
+      {{2, 2}, 2},       {{3, 4}, 2},       {{2, 2, 2}, 2},
+      {{1, 2, 4}, 1},    {{2, 3, 4, 4}, 1},
+  };
+  for (const Case& c : cases) {
+    auto inst = make_adversary(c.procs, c.m, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    EXPECT_EQ(result.makespan, inst.adversarial_makespan)
+        << "K=" << c.procs.size() << " m=" << c.m;
+  }
+}
+
+TEST(Adversary, RatioApproachesBoundAsMGrows) {
+  const std::vector<int> procs{2, 4};
+  double previous = 0.0;
+  for (int m : {1, 2, 4, 8, 16}) {
+    auto inst = make_adversary(procs, m, SelectionPolicy::kCriticalPathLast);
+    KRad sched;
+    const SimResult result = simulate(inst.jobs, sched, inst.machine);
+    const double ratio = static_cast<double>(result.makespan) /
+                         static_cast<double>(inst.optimal_makespan);
+    // Monotone in m, always below the bound, converging towards it.
+    EXPECT_LE(ratio, inst.ratio_bound + 1e-9);
+    EXPECT_GE(ratio, previous - 1e-9);
+    previous = ratio;
+  }
+  // At m = 16 the ratio should be within 10% of K + 1 - 1/Pmax = 2.75.
+  EXPECT_GT(previous, 0.9 * (2 + 1 - 1.0 / 4.0));
+}
+
+TEST(Adversary, ScheduleIsValidUnderAdversarialPressure) {
+  auto inst = make_adversary({2, 3}, 2, SelectionPolicy::kCriticalPathLast);
+  KRad sched;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(inst.jobs, sched, inst.machine, options);
+  const auto violations =
+      validate_schedule(inst.jobs, inst.machine, *result.trace);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(Adversary, CriticalPathFirstEscapesTheTrap) {
+  // Same instance, but the job runs its critical tasks first: K-RAD still
+  // pays the round-robin delay on level 1, but the level-K chain overlaps
+  // the parallel work, shaving ~m*PK steps off the floor.
+  auto trapped = make_adversary({2, 4}, 4, SelectionPolicy::kCriticalPathLast);
+  auto escaped = make_adversary({2, 4}, 4, SelectionPolicy::kCriticalPathFirst);
+  KRad s1, s2;
+  const SimResult bad = simulate(trapped.jobs, s1, trapped.machine);
+  const SimResult good = simulate(escaped.jobs, s2, escaped.machine);
+  EXPECT_LT(good.makespan, bad.makespan);
+}
+
+}  // namespace
+}  // namespace krad

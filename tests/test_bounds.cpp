@@ -1,0 +1,169 @@
+// Tests for squashed sums, the paper's lower bounds, and the bound formulas
+// in MachineConfig.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/lower_bounds.hpp"
+#include "bounds/squashed.hpp"
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+namespace {
+
+TEST(SquashedSum, Definition4Example) {
+  // ascending 1,2,3 with multipliers 3,2,1: 3*1 + 2*2 + 1*3 = 10.
+  const std::vector<Work> values{3, 1, 2};
+  EXPECT_EQ(squashed_sum(values), 10);
+}
+
+TEST(SquashedSum, EmptyAndSingle) {
+  EXPECT_EQ(squashed_sum(std::vector<Work>{}), 0);
+  EXPECT_EQ(squashed_sum(std::vector<Work>{7}), 7);
+}
+
+TEST(SquashedSum, PermutationInvariant) {
+  Rng rng(4);
+  std::vector<Work> values{5, 9, 1, 3, 3, 8};
+  const Work expected = squashed_sum(values);
+  for (int i = 0; i < 10; ++i) {
+    rng.shuffle(values);
+    EXPECT_EQ(squashed_sum(values), expected);
+  }
+}
+
+TEST(SquashedSum, IsMinimumOverPermutations) {
+  // Equation (4): the ascending order minimises Sum (m - i + 1) a_g(i).
+  const std::vector<Work> values{4, 1, 7};
+  const Work sq = squashed_sum(values);
+  std::vector<std::size_t> perm{0, 1, 2};
+  do {
+    Work total = 0;
+    const Work m = 3;
+    for (Work i = 0; i < m; ++i)
+      total += (m - i) * values[perm[static_cast<std::size_t>(i)]];
+    EXPECT_GE(total, sq);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(SquashedWorkArea, DividesByProcessors) {
+  const std::vector<Work> works{2, 4};
+  // sq-sum = 2*2 + 1*4 = 8; / 4 processors = 2.
+  EXPECT_DOUBLE_EQ(squashed_work_area(works, 4), 2.0);
+  EXPECT_THROW(squashed_work_area(works, 0), std::logic_error);
+}
+
+TEST(MakespanBounds, TwoComponents) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 10, 2)), 5);
+  set.add(std::make_unique<DagJob>(fork_join({1}, 2, 6, 2)), 0);
+  const MachineConfig machine{{2, 3}};
+  const auto bounds = makespan_bounds(set, machine);
+  EXPECT_EQ(bounds.release_plus_span, 15);  // 5 + 10
+  // category-0 work: 10; category-1 work: 14 -> max(10/2, 14/3) = 5.
+  EXPECT_DOUBLE_EQ(bounds.work_over_p, 5.0);
+  EXPECT_EQ(bounds.lower_bound(), 15);
+}
+
+TEST(MakespanBounds, CeilingOnWorkTerm) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 1, 6, 1)));  // 7 tasks span 2
+  const MachineConfig machine{{3}};
+  const auto bounds = makespan_bounds(set, machine);
+  // 7/3 = 2.33 -> integral LB 3 > span 2.
+  EXPECT_EQ(bounds.lower_bound(), 3);
+}
+
+TEST(MakespanBounds, Lemma2RhsFormula) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0, 1}, 8, 2)));
+  const MachineConfig machine{{2, 4}};
+  const auto bounds = makespan_bounds(set, machine);
+  // works: 4, 4 -> sum 4/2 + 4/4 = 3; span+release = 8; Pmax = 4.
+  EXPECT_NEAR(bounds.lemma2_rhs, 3.0 + 0.75 * 8.0, 1e-12);
+}
+
+TEST(ResponseBounds, AggregateAndSquashed) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 3, 1)));
+  set.add(std::make_unique<DagJob>(category_chain({0}, 5, 1)));
+  const MachineConfig machine{{2}};
+  const auto bounds = response_bounds(set, machine);
+  EXPECT_EQ(bounds.aggregate_span, 8);
+  // sq-sum{3,5} = 2*3 + 1*5 = 11; swa = 5.5.
+  EXPECT_DOUBLE_EQ(bounds.max_swa, 5.5);
+  EXPECT_DOUBLE_EQ(bounds.sum_swa, 5.5);
+  EXPECT_DOUBLE_EQ(bounds.total_lower_bound(), 8.0);
+  EXPECT_DOUBLE_EQ(bounds.mean_lower_bound(2), 4.0);
+}
+
+TEST(ResponseBounds, RequiresBatched) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)), 3);
+  EXPECT_THROW(response_bounds(set, MachineConfig{{1}}), std::logic_error);
+}
+
+TEST(ResponseBounds, MaxSwaAcrossCategories) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 4, 2)));
+  set.add(std::make_unique<DagJob>(category_chain({1}, 6, 2)));
+  const MachineConfig machine{{1, 2}};
+  const auto bounds = response_bounds(set, machine);
+  // cat0 works {4,0}: sq-sum = 2*0+1*4 = 4 -> 4/1 = 4.
+  // cat1 works {0,6}: sq-sum = 6 -> 6/2 = 3.
+  EXPECT_DOUBLE_EQ(bounds.max_swa, 4.0);
+  EXPECT_DOUBLE_EQ(bounds.sum_swa, 7.0);
+}
+
+TEST(MachineConfig, BoundFormulas) {
+  MachineConfig machine{{2, 8, 4}};
+  EXPECT_EQ(machine.pmax(), 8);
+  EXPECT_EQ(machine.total(), 14);
+  EXPECT_DOUBLE_EQ(machine.makespan_bound(), 3.0 + 1.0 - 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(machine.response_bound(9), 13.0 - 12.0 / 10.0);
+  EXPECT_DOUBLE_EQ(machine.response_bound_light(9), 7.0 - 6.0 / 10.0);
+}
+
+TEST(Ratios, AgainstSimulatedRun) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 6, 1)));
+  KRad sched;
+  const MachineConfig machine{{2}};
+  const SimResult result = simulate(set, sched, machine);
+  const auto mb = makespan_bounds(set, machine);
+  EXPECT_DOUBLE_EQ(makespan_ratio(result, mb), 1.0);  // chain: LB = span = T
+  set.reset_all();
+  const auto rb = response_bounds(set, machine);
+  const SimResult again = simulate(set, sched, machine);
+  EXPECT_DOUBLE_EQ(response_ratio(again, rb, set.size()), 1.0);
+}
+
+// Cross-validation: the makespan lower bound never exceeds any simulated
+// scheduler's makespan (property over random instances).
+TEST(MakespanBounds, NeverExceedSimulated) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    JobSet set(2);
+    LayeredParams params;
+    params.layers = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    params.max_width = 6;
+    params.num_categories = 2;
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    for (std::size_t i = 0; i < count; ++i)
+      set.add(std::make_unique<DagJob>(layered_random(params, rng)),
+              rng.uniform_int(0, 10));
+    const MachineConfig machine{{static_cast<int>(rng.uniform_int(1, 4)),
+                                 static_cast<int>(rng.uniform_int(1, 4))}};
+    const auto bounds = makespan_bounds(set, machine);
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    EXPECT_GE(result.makespan, bounds.lower_bound()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace krad

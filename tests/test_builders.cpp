@@ -1,0 +1,212 @@
+// Tests for the K-DAG builders, including the Figure 3 adversary structure.
+
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/builders.hpp"
+
+namespace krad {
+namespace {
+
+TEST(Builders, SingleTask) {
+  const KDag dag = single_task(1, 3);
+  EXPECT_EQ(dag.num_vertices(), 1u);
+  EXPECT_EQ(dag.span(), 1);
+  EXPECT_EQ(dag.work(1), 1);
+  EXPECT_EQ(dag.work(0), 0);
+}
+
+TEST(Builders, CategoryChainCyclesPattern) {
+  const KDag dag = category_chain({0, 1, 2}, 7, 3);
+  EXPECT_EQ(dag.num_vertices(), 7u);
+  EXPECT_EQ(dag.span(), 7);
+  EXPECT_EQ(dag.work(0), 3);  // positions 0, 3, 6
+  EXPECT_EQ(dag.work(1), 2);
+  EXPECT_EQ(dag.work(2), 2);
+}
+
+TEST(Builders, ForkJoinShape) {
+  const KDag dag = fork_join({0, 1}, 2, 4, 2);
+  // Each phase: 4 forks + 1 join = 5 vertices; 2 phases = 10.
+  EXPECT_EQ(dag.num_vertices(), 10u);
+  EXPECT_EQ(dag.span(), 4);  // fork,join,fork,join
+  EXPECT_EQ(dag.work(0), 5);
+  EXPECT_EQ(dag.work(1), 5);
+  EXPECT_EQ(max_parallelism(dag, 0), 4);
+}
+
+TEST(Builders, MapReduceShape) {
+  const KDag dag = map_reduce(6, 3, 0, 1, 2);
+  EXPECT_EQ(dag.num_vertices(), 10u);  // 6 + 3 + sink
+  EXPECT_EQ(dag.work(0), 6);
+  EXPECT_EQ(dag.work(1), 4);
+  EXPECT_EQ(dag.span(), 3);
+}
+
+TEST(Builders, LayeredRandomRespectsParams) {
+  Rng rng(1);
+  LayeredParams params;
+  params.layers = 6;
+  params.min_width = 2;
+  params.max_width = 5;
+  params.num_categories = 3;
+  const KDag dag = layered_random(params, rng);
+  EXPECT_EQ(dag.span(), 6);  // every vertex beyond layer 1 has a predecessor
+  EXPECT_GE(dag.num_vertices(), 12u);
+  EXPECT_LE(dag.num_vertices(), 30u);
+}
+
+TEST(Builders, LayeredRandomPerLayerCategories) {
+  Rng rng(2);
+  LayeredParams params;
+  params.layers = 4;
+  params.num_categories = 2;
+  params.layer_categories = {0, 1};
+  const KDag dag = layered_random(params, rng);
+  const auto levels = earliest_levels(dag);
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    EXPECT_EQ(dag.category(v), static_cast<Category>((levels[v] - 1) % 2));
+}
+
+TEST(Builders, LayeredRandomDeterministicInSeed) {
+  LayeredParams params;
+  params.layers = 5;
+  params.num_categories = 2;
+  Rng rng_a(99), rng_b(99);
+  const KDag a = layered_random(params, rng_a);
+  const KDag b = layered_random(params, rng_b);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.span(), b.span());
+}
+
+TEST(Builders, SeriesParallelWithinBudget) {
+  Rng rng(3);
+  for (std::size_t budget : {1u, 2u, 5u, 20u, 100u}) {
+    const KDag dag = series_parallel(budget, 3, rng);
+    EXPECT_GE(dag.num_vertices(), 1u);
+    // Parallel composition adds source/sink nodes, allow some slack.
+    EXPECT_LE(dag.num_vertices(), 3 * budget + 2);
+    EXPECT_GE(dag.span(), 1);
+  }
+}
+
+TEST(Builders, Figure1ExampleIsAThreeDag) {
+  const KDag dag = figure1_example();
+  EXPECT_EQ(dag.num_categories(), 3u);
+  EXPECT_EQ(dag.num_vertices(), 10u);
+  EXPECT_GT(dag.work(0), 0);
+  EXPECT_GT(dag.work(1), 0);
+  EXPECT_GT(dag.work(2), 0);
+  EXPECT_EQ(dag.span(), 6);  // a-c-e-h-i-j
+}
+
+TEST(Builders, GridWavefront) {
+  const KDag dag = grid_wavefront(3, 4, {0, 1}, 2);
+  EXPECT_EQ(dag.num_vertices(), 12u);
+  EXPECT_EQ(dag.span(), 3 + 4 - 1);
+  // Edges: (rows-1)*cols + rows*(cols-1) = 2*4 + 3*3 = 17.
+  EXPECT_EQ(dag.num_edges(), 17u);
+  // Longest anti-diagonal has min(rows, cols) = 3 cells, all one category;
+  // both categories own at least one full-size diagonal here.
+  EXPECT_EQ(max_parallelism(dag, 0), 3);
+  EXPECT_EQ(max_parallelism(dag, 1), 3);
+  // Anti-diagonal category pattern: (0,0) cat 0, (0,1)/(1,0) cat 1.
+  EXPECT_EQ(dag.category(0), 0u);
+  EXPECT_EQ(dag.category(1), 1u);
+}
+
+TEST(Builders, GridWavefrontSingleRow) {
+  const KDag dag = grid_wavefront(1, 5, {0}, 1);
+  EXPECT_EQ(dag.span(), 5);  // degenerates to a chain
+  EXPECT_EQ(dag.num_edges(), 4u);
+}
+
+TEST(Builders, TreeReduction) {
+  const KDag dag = tree_reduction(8, 0, 1, 2);
+  // 8 leaves + 4 + 2 + 1 internal = 15 vertices, span = 4.
+  EXPECT_EQ(dag.num_vertices(), 15u);
+  EXPECT_EQ(dag.work(0), 8);
+  EXPECT_EQ(dag.work(1), 7);
+  EXPECT_EQ(dag.span(), 4);
+}
+
+TEST(Builders, TreeReductionOddLeaves) {
+  const KDag dag = tree_reduction(5, 0, 0, 1);
+  // levels: 5 -> 3 -> 2 -> 1: 5 + 3 + 2 + 1 = 11 vertices.
+  EXPECT_EQ(dag.num_vertices(), 11u);
+  EXPECT_EQ(dag.span(), 4);
+}
+
+TEST(Builders, TreeReductionSingleLeaf) {
+  const KDag dag = tree_reduction(1, 0, 0, 1);
+  EXPECT_EQ(dag.num_vertices(), 1u);
+  EXPECT_EQ(dag.span(), 1);
+}
+
+// --- Figure 3 adversary structure ---
+
+TEST(AdversaryJob, StructureK3) {
+  const std::vector<int> procs{2, 3, 4};
+  const int m = 2;
+  const KDag dag = adversary_job(procs, m);
+  const long long pk = 4;
+  // work per category: level1 = 1; level2 = m*P2*PK = 2*3*4 = 24;
+  // level3 = m*PK*(PK-1)+1 + (m*PK - 1) = 2*4*3+1 + 7 = 32.
+  EXPECT_EQ(dag.work(0), 1);
+  EXPECT_EQ(dag.work(1), 2 * 3 * 4);
+  EXPECT_EQ(dag.work(2), 2 * 4 * 3 + 1 + (2 * 4 - 1));
+  // span = K + m*PK - 1 = 3 + 8 - 1 = 10.
+  EXPECT_EQ(dag.span(), 3 + m * pk - 1);
+}
+
+TEST(AdversaryJob, SpanFormulaAcrossParams) {
+  for (int m : {1, 2, 5}) {
+    for (const auto& procs :
+         {std::vector<int>{2}, std::vector<int>{2, 2}, std::vector<int>{2, 3, 4},
+          std::vector<int>{1, 1, 2, 8}}) {
+      const KDag dag = adversary_job(procs, m);
+      const auto k = static_cast<Work>(procs.size());
+      const Work pk = procs.back();
+      if (procs.size() == 1) {
+        EXPECT_EQ(dag.span(), m * pk) << "m=" << m;
+      } else {
+        EXPECT_EQ(dag.span(), k + m * pk - 1) << "m=" << m << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(AdversaryJob, K1Degenerate) {
+  const KDag dag = adversary_job({3}, 2);
+  // m*P*(P-1)+1 parallel + chain of m*P-1: 2*3*2+1 + 5 = 18 vertices.
+  EXPECT_EQ(dag.num_vertices(), 18u);
+  EXPECT_EQ(dag.span(), 6);  // m*P
+}
+
+TEST(AdversaryJob, LevelKWorkBalancesToMPk2) {
+  // Total K-work = m*PK*(PK-1)+1 + m*PK-1 = m*PK^2: exactly m*PK steps of
+  // PK processors, as the proof's pipeline requires.
+  const std::vector<int> procs{2, 4};
+  const int m = 3;
+  const KDag dag = adversary_job(procs, m);
+  EXPECT_EQ(dag.work(1), static_cast<Work>(m) * 4 * 4);
+}
+
+TEST(AdversaryJob, InvalidParamsRejected) {
+  EXPECT_THROW(adversary_job({}, 1), std::logic_error);
+  EXPECT_THROW(adversary_job({2, 3}, 0), std::logic_error);
+  EXPECT_THROW(adversary_job({0, 3}, 1), std::logic_error);
+}
+
+TEST(Builders, DegenerateShapesRejected) {
+  EXPECT_THROW(category_chain({}, 3, 1), std::logic_error);
+  EXPECT_THROW(category_chain({0}, 0, 1), std::logic_error);
+  EXPECT_THROW(fork_join({0}, 0, 2, 1), std::logic_error);
+  EXPECT_THROW(map_reduce(0, 1, 0, 0, 1), std::logic_error);
+  Rng rng(1);
+  EXPECT_THROW(series_parallel(0, 1, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,168 @@
+// Unit tests for the K-DAG model and its structural analysis.
+
+#include <gtest/gtest.h>
+
+#include "dag/analysis.hpp"
+#include "dag/kdag.hpp"
+
+namespace krad {
+namespace {
+
+KDag diamond() {
+  // a -> {b, c} -> d, categories 0,1,1,2.
+  KDag dag(3);
+  const auto a = dag.add_vertex(0);
+  const auto b = dag.add_vertex(1);
+  const auto c = dag.add_vertex(1);
+  const auto d = dag.add_vertex(2);
+  dag.add_edge(a, b);
+  dag.add_edge(a, c);
+  dag.add_edge(b, d);
+  dag.add_edge(c, d);
+  dag.seal();
+  return dag;
+}
+
+TEST(KDag, EmptyGraph) {
+  KDag dag(2);
+  dag.seal();
+  EXPECT_EQ(dag.num_vertices(), 0u);
+  EXPECT_EQ(dag.span(), 0);
+  EXPECT_EQ(dag.work(0), 0);
+  EXPECT_EQ(dag.work(1), 0);
+}
+
+TEST(KDag, DiamondStructure) {
+  const KDag dag = diamond();
+  EXPECT_EQ(dag.num_vertices(), 4u);
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_EQ(dag.span(), 3);
+  EXPECT_EQ(dag.work(0), 1);
+  EXPECT_EQ(dag.work(1), 2);
+  EXPECT_EQ(dag.work(2), 1);
+  EXPECT_EQ(dag.total_work(), 4);
+}
+
+TEST(KDag, CpLengths) {
+  const KDag dag = diamond();
+  EXPECT_EQ(dag.cp_length(0), 3);
+  EXPECT_EQ(dag.cp_length(1), 2);
+  EXPECT_EQ(dag.cp_length(2), 2);
+  EXPECT_EQ(dag.cp_length(3), 1);
+}
+
+TEST(KDag, TopologicalOrderRespectsEdges) {
+  const KDag dag = diamond();
+  const auto topo = dag.topological_order();
+  std::vector<std::size_t> position(dag.num_vertices());
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    for (VertexId succ : dag.successors(v))
+      EXPECT_LT(position[v], position[succ]);
+}
+
+TEST(KDag, Precedes) {
+  const KDag dag = diamond();
+  EXPECT_TRUE(dag.precedes(0, 3));
+  EXPECT_TRUE(dag.precedes(0, 1));
+  EXPECT_FALSE(dag.precedes(1, 2));
+  EXPECT_FALSE(dag.precedes(3, 0));
+  EXPECT_FALSE(dag.precedes(2, 2));
+}
+
+TEST(KDag, Sources) {
+  const KDag dag = diamond();
+  EXPECT_EQ(dag.sources(), std::vector<VertexId>{0});
+}
+
+TEST(KDag, CycleDetection) {
+  KDag dag(1);
+  const auto a = dag.add_vertex(0);
+  const auto b = dag.add_vertex(0);
+  dag.add_edge(a, b);
+  dag.add_edge(b, a);
+  EXPECT_THROW(dag.seal(), std::logic_error);
+}
+
+TEST(KDag, SelfEdgeRejected) {
+  KDag dag(1);
+  const auto a = dag.add_vertex(0);
+  EXPECT_THROW(dag.add_edge(a, a), std::logic_error);
+}
+
+TEST(KDag, CategoryOutOfRangeRejected) {
+  KDag dag(2);
+  EXPECT_THROW(dag.add_vertex(2), std::logic_error);
+}
+
+TEST(KDag, MutationAfterSealRejected) {
+  KDag dag = diamond();
+  EXPECT_THROW(dag.add_vertex(0), std::logic_error);
+  EXPECT_THROW(dag.add_edge(0, 1), std::logic_error);
+}
+
+TEST(KDag, AnalysisBeforeSealRejected) {
+  KDag dag(1);
+  dag.add_vertex(0);
+  EXPECT_THROW((void)dag.work(0), std::logic_error);
+  EXPECT_THROW((void)dag.topological_order(), std::logic_error);
+}
+
+TEST(KDag, AddChainLinksAndCounts) {
+  KDag dag(2);
+  const auto root = dag.add_vertex(0);
+  const auto [first, last] = dag.add_chain(1, 4, root);
+  dag.seal();
+  EXPECT_EQ(dag.num_vertices(), 5u);
+  EXPECT_EQ(dag.span(), 5);
+  EXPECT_TRUE(dag.precedes(root, first));
+  EXPECT_TRUE(dag.precedes(first, last));
+}
+
+TEST(Analysis, EarliestLevelsDiamond) {
+  const KDag dag = diamond();
+  const auto levels = earliest_levels(dag);
+  EXPECT_EQ(levels[0], 1);
+  EXPECT_EQ(levels[1], 2);
+  EXPECT_EQ(levels[2], 2);
+  EXPECT_EQ(levels[3], 3);
+}
+
+TEST(Analysis, UnlimitedProfile) {
+  const KDag dag = diamond();
+  const auto profile = unlimited_parallelism_profile(dag);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0], (std::vector<Work>{1, 0, 0}));
+  EXPECT_EQ(profile[1], (std::vector<Work>{0, 2, 0}));
+  EXPECT_EQ(profile[2], (std::vector<Work>{0, 0, 1}));
+}
+
+TEST(Analysis, MaxParallelism) {
+  const KDag dag = diamond();
+  EXPECT_EQ(max_parallelism(dag, 0), 1);
+  EXPECT_EQ(max_parallelism(dag, 1), 2);
+  EXPECT_EQ(max_parallelism(dag, 2), 1);
+}
+
+TEST(Analysis, AverageParallelism) {
+  const KDag dag = diamond();
+  EXPECT_DOUBLE_EQ(average_parallelism(dag), 4.0 / 3.0);
+}
+
+TEST(Analysis, DotExportMentionsAllVertices) {
+  const KDag dag = diamond();
+  const std::string dot = to_dot(dag);
+  for (VertexId v = 0; v < dag.num_vertices(); ++v)
+    EXPECT_NE(dot.find("v" + std::to_string(v)), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(KDag, SummaryMentionsCounts) {
+  const KDag dag = diamond();
+  const std::string s = dag.summary();
+  EXPECT_NE(s.find("V=4"), std::string::npos);
+  EXPECT_NE(s.find("span=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,81 @@
+// Tests for the K-DAG text format parser/serialiser.
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/io.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+namespace {
+
+TEST(DagIo, ParseDiamond) {
+  const KDag dag = parse_kdag_string(
+      "kdag 2\n"
+      "v 0\nv 1\nv 1\nv 0\n"
+      "e 0 1\ne 0 2\ne 1 3\ne 2 3\n");
+  EXPECT_EQ(dag.num_vertices(), 4u);
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_EQ(dag.span(), 3);
+  EXPECT_EQ(dag.work(0), 2);
+  EXPECT_EQ(dag.work(1), 2);
+}
+
+TEST(DagIo, CommentsAndBlankLines) {
+  const KDag dag = parse_kdag_string(
+      "# a comment\n"
+      "kdag 1  # trailing comment\n"
+      "\n"
+      "v 0\n"
+      "v 0 # another\n"
+      "e 0 1\n");
+  EXPECT_EQ(dag.num_vertices(), 2u);
+  EXPECT_EQ(dag.span(), 2);
+}
+
+TEST(DagIo, RoundTrip) {
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    LayeredParams params;
+    params.layers = 5;
+    params.max_width = 5;
+    params.num_categories = 3;
+    const KDag original = layered_random(params, rng);
+    const KDag parsed = parse_kdag_string(serialize_kdag(original));
+    EXPECT_EQ(parsed.num_vertices(), original.num_vertices());
+    EXPECT_EQ(parsed.num_edges(), original.num_edges());
+    EXPECT_EQ(parsed.span(), original.span());
+    for (Category a = 0; a < 3; ++a)
+      EXPECT_EQ(parsed.work(a), original.work(a));
+    for (VertexId v = 0; v < original.num_vertices(); ++v)
+      EXPECT_EQ(parsed.category(v), original.category(v));
+  }
+}
+
+TEST(DagIo, Errors) {
+  EXPECT_THROW(parse_kdag_string(""), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("v 0\n"), std::runtime_error);  // no header
+  EXPECT_THROW(parse_kdag_string("kdag 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("kdag 1\nkdag 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("kdag 1\nv 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("kdag 1\nv 0\ne 0 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("kdag 1\nv 0\ne 0 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("kdag 1\nfrob\n"), std::runtime_error);
+  EXPECT_THROW(parse_kdag_string("kdag 1\nv 0 0\n"), std::runtime_error);
+  // Cycle is caught by seal().
+  EXPECT_THROW(
+      parse_kdag_string("kdag 1\nv 0\nv 0\ne 0 1\ne 1 0\n"),
+      std::runtime_error);
+}
+
+TEST(DagIo, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse_kdag_string("kdag 2\nv 0\nv 9\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,173 @@
+// Tests for the integral DEQ allotment, including a property check against a
+// rational reference implementation of Figure 2's recursion.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/deq.hpp"
+#include "util/rng.hpp"
+
+namespace krad {
+namespace {
+
+std::vector<Work> run_deq(const std::vector<Work>& desires, int p) {
+  std::vector<DeqEntry> entries;
+  for (std::size_t i = 0; i < desires.size(); ++i)
+    entries.push_back({i, desires[i]});
+  std::vector<Work> out(desires.size(), -1);
+  deq_allot(entries, p, out);
+  return out;
+}
+
+TEST(Deq, EmptyQueue) {
+  EXPECT_TRUE(run_deq({}, 8).empty());
+}
+
+TEST(Deq, AllSatisfiedWhenDesiresFit) {
+  EXPECT_EQ(run_deq({2, 3, 1}, 8), (std::vector<Work>{2, 3, 1}));
+}
+
+TEST(Deq, EqualSplitWhenAllGreedy) {
+  EXPECT_EQ(run_deq({10, 10, 10}, 9), (std::vector<Work>{3, 3, 3}));
+}
+
+TEST(Deq, RemainderGoesToEarlierJobs) {
+  EXPECT_EQ(run_deq({10, 10, 10}, 10), (std::vector<Work>{4, 3, 3}));
+  EXPECT_EQ(run_deq({10, 10, 10}, 11), (std::vector<Work>{4, 4, 3}));
+}
+
+TEST(Deq, SmallDesiresSatisfiedThenRestSplit) {
+  // Fair share 10/3 = 3.33; job0 (desire 3) satisfied; remaining 7 split
+  // between the two deprived jobs.
+  EXPECT_EQ(run_deq({3, 10, 10}, 10), (std::vector<Work>{3, 4, 3}));
+}
+
+TEST(Deq, RecursiveSatisfactionCascades) {
+  // share 12/4=3: job{1} satisfied; then share 11/3=3.67: job{3} satisfied;
+  // then 8/2=4: both {5,9} deprived -> 4,4.
+  EXPECT_EQ(run_deq({1, 3, 5, 9}, 12), (std::vector<Work>{1, 3, 4, 4}));
+}
+
+TEST(Deq, PaperExactShareComparison) {
+  // d * |Q| <= P boundary: d=3, |Q|=3, P=9 -> 3*3 <= 9, satisfied exactly.
+  EXPECT_EQ(run_deq({3, 3, 3}, 9), (std::vector<Work>{3, 3, 3}));
+  // P=8: 3*3 > 8 -> all deprived, split 3,3,2.
+  EXPECT_EQ(run_deq({3, 3, 3}, 8), (std::vector<Work>{3, 3, 2}));
+}
+
+TEST(Deq, MoreJobsThanProcessorsGivesFirstPOne) {
+  EXPECT_EQ(run_deq({5, 5, 5, 5, 5}, 3), (std::vector<Work>{1, 1, 1, 0, 0}));
+}
+
+TEST(Deq, ZeroAndNegativeDesiresGetNothing) {
+  EXPECT_EQ(run_deq({0, 4, 0, 2}, 8), (std::vector<Work>{0, 4, 0, 2}));
+}
+
+TEST(Deq, ZeroProcessors) {
+  EXPECT_EQ(run_deq({3, 1}, 0), (std::vector<Work>{0, 0}));
+}
+
+TEST(Deq, SingleJobGetsMinOfDesireAndP) {
+  EXPECT_EQ(run_deq({5}, 8), (std::vector<Work>{5}));
+  EXPECT_EQ(run_deq({12}, 8), (std::vector<Work>{8}));
+}
+
+// Reference implementation: Figure 2's recursion with exact rational share.
+void reference_deq(std::vector<std::pair<std::size_t, Work>> q, Work p,
+                   std::vector<Work>& out) {
+  if (q.empty() || p <= 0) {
+    for (auto& [slot, d] : q) out[slot] = 0;
+    return;
+  }
+  std::vector<std::pair<std::size_t, Work>> s, rest;
+  for (auto& e : q)
+    (e.second * static_cast<Work>(q.size()) <= p ? s : rest).push_back(e);
+  if (s.empty()) {
+    const Work share = p / static_cast<Work>(q.size());
+    Work extra = p % static_cast<Work>(q.size());
+    for (auto& [slot, d] : q) {
+      out[slot] = share + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+    }
+    return;
+  }
+  Work used = 0;
+  for (auto& [slot, d] : s) {
+    out[slot] = d;
+    used += d;
+  }
+  reference_deq(rest, p - used, out);
+}
+
+TEST(Deq, MatchesReferenceRecursionOnRandomInputs) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const int p = static_cast<int>(rng.uniform_int(0, 20));
+    std::vector<Work> desires(n);
+    for (auto& d : desires) d = rng.uniform_int(0, 15);
+    const auto got = run_deq(desires, p);
+    std::vector<Work> expected(n, 0);
+    std::vector<std::pair<std::size_t, Work>> q;
+    for (std::size_t i = 0; i < n; ++i)
+      if (desires[i] > 0) q.emplace_back(i, desires[i]);
+    reference_deq(std::move(q), p, expected);
+    EXPECT_EQ(got, expected) << "trial " << trial << " p=" << p;
+  }
+}
+
+// --- DEQ invariants, property-style ---
+
+class DeqProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeqProperty, Invariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    const int p = static_cast<int>(rng.uniform_int(1, 32));
+    std::vector<Work> desires(n);
+    for (auto& d : desires) d = rng.uniform_int(0, 40);
+    const auto allot = run_deq(desires, p);
+
+    Work total = 0;
+    Work min_deprived = std::numeric_limits<Work>::max();
+    Work max_deprived = 0;
+    bool any_deprived = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Never exceeds desire, never negative.
+      ASSERT_LE(allot[i], std::max<Work>(desires[i], 0));
+      ASSERT_GE(allot[i], 0);
+      total += allot[i];
+      if (desires[i] > 0 && allot[i] < desires[i]) {
+        any_deprived = true;
+        min_deprived = std::min(min_deprived, allot[i]);
+        max_deprived = std::max(max_deprived, allot[i]);
+      }
+    }
+    // Capacity respected.
+    ASSERT_LE(total, p);
+    const Work total_desire =
+        std::accumulate(desires.begin(), desires.end(), Work{0});
+    if (any_deprived) {
+      // Work-conserving whenever someone is deprived.
+      ASSERT_EQ(total, std::min<Work>(p, total_desire));
+      // Deprived jobs are within one processor of each other (equalized).
+      ASSERT_LE(max_deprived - min_deprived, 1);
+      // No satisfied job received more than any deprived job + 1.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (desires[i] > 0 && allot[i] == desires[i]) {
+          ASSERT_LE(allot[i], max_deprived + 1);
+        }
+      }
+    } else {
+      // Everyone satisfied.
+      ASSERT_EQ(total, total_desire);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeqProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace krad

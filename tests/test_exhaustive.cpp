@@ -1,0 +1,112 @@
+// Exhaustive verification on the space of ALL tiny instances.
+//
+// Every labelled DAG on v <= 4 vertices can be written with forward edges
+// only (vertex i -> j requires i < j), so enumerating all 2^(v(v-1)/2) edge
+// masks x 2^v two-colourings covers every 2-category K-DAG shape up to
+// isomorphism and more.  For each instance and several machines we check the
+// complete chain the paper's results assert:
+//
+//     LB <= OPT <= T(K-RAD) <= (K + 1 - 1/Pmax) * OPT     (makespan)
+//     LB_R <= OPT_R <= R(K-RAD)                           (total response)
+//
+// Single-job instances are covered exhaustively; two-job instances by a
+// deterministic stride over the pair space.
+
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "bounds/optimal.hpp"
+#include "core/krad.hpp"
+#include "sim/engine.hpp"
+
+namespace krad {
+namespace {
+
+/// Build the dag for (vertices, edge_mask, colour_mask); edges i->j with
+/// i < j are ordered (0,1),(0,2),(1,2),(0,3),(1,3),(2,3),...
+KDag build_tiny(std::size_t vertices, unsigned edge_mask, unsigned colour_mask) {
+  KDag dag(2);
+  for (std::size_t v = 0; v < vertices; ++v)
+    dag.add_vertex((colour_mask >> v) & 1u);
+  unsigned bit = 0;
+  for (std::size_t j = 1; j < vertices; ++j)
+    for (std::size_t i = 0; i < j; ++i, ++bit)
+      if ((edge_mask >> bit) & 1u)
+        dag.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+  dag.seal();
+  return dag;
+}
+
+void check_instance(JobSet& set, const MachineConfig& machine,
+                    const std::string& label) {
+  const auto opt = optimal_makespan(set, machine);
+  ASSERT_TRUE(opt.has_value()) << label;
+  const auto bounds = makespan_bounds(set, machine);
+  ASSERT_LE(bounds.lower_bound(), *opt) << label;
+
+  KRad sched;
+  const SimResult result = simulate(set, sched, machine);
+  ASSERT_GE(result.makespan, *opt) << label;
+  ASSERT_LE(static_cast<double>(result.makespan),
+            machine.makespan_bound() * static_cast<double>(*opt) + 1e-9)
+      << label;
+
+  set.reset_all();
+  const auto opt_r = optimal_total_response(set, machine);
+  ASSERT_TRUE(opt_r.has_value()) << label;
+  const auto rb = response_bounds(set, machine);
+  ASSERT_LE(rb.total_lower_bound(), static_cast<double>(*opt_r) + 1e-9) << label;
+  const SimResult r2 = simulate(set, sched, machine);
+  ASSERT_GE(r2.total_response, *opt_r) << label;
+}
+
+class ExhaustiveTiny : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveTiny, SingleJobAllShapes) {
+  // GetParam selects the machine; iterate every (edges, colours) instance.
+  const int which = GetParam();
+  const MachineConfig machines[] = {
+      MachineConfig{{1, 1}}, MachineConfig{{2, 1}}, MachineConfig{{2, 2}}};
+  const MachineConfig& machine = machines[which];
+  constexpr std::size_t kVertices = 4;
+  constexpr unsigned kEdgeMasks = 1u << (kVertices * (kVertices - 1) / 2);
+  constexpr unsigned kColours = 1u << kVertices;
+  for (unsigned edges = 0; edges < kEdgeMasks; ++edges) {
+    for (unsigned colours = 0; colours < kColours; ++colours) {
+      JobSet set(2);
+      set.add(std::make_unique<DagJob>(build_tiny(kVertices, edges, colours)));
+      check_instance(set, machine,
+                     "edges=" + std::to_string(edges) +
+                         " colours=" + std::to_string(colours));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, ExhaustiveTiny, ::testing::Values(0, 1, 2));
+
+TEST(ExhaustiveTiny, TwoJobPairsStrided) {
+  // Pair space is (64 * 16)^2; walk it with a coprime stride for coverage of
+  // 150 deterministic, well-spread pairs on 3-vertex jobs.
+  constexpr std::size_t kVertices = 3;
+  constexpr unsigned kEdgeMasks = 1u << 3;
+  constexpr unsigned kColours = 1u << kVertices;
+  constexpr unsigned kSpace = kEdgeMasks * kColours;  // 64 per job
+  const MachineConfig machine{{2, 1}};
+  unsigned state = 17;
+  for (int trial = 0; trial < 150; ++trial) {
+    state = (state * 2654435761u + 12345u);  // Knuth LCG-ish walk
+    const unsigned a = (state >> 8) % kSpace;
+    const unsigned b = (state >> 20) % kSpace;
+    JobSet set(2);
+    set.add(std::make_unique<DagJob>(
+        build_tiny(kVertices, a % kEdgeMasks, a / kEdgeMasks)));
+    set.add(std::make_unique<DagJob>(
+        build_tiny(kVertices, b % kEdgeMasks, b / kEdgeMasks)));
+    check_instance(set, machine, "pair " + std::to_string(trial));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace krad

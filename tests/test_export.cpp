@@ -1,0 +1,162 @@
+// Tests for JSON export and the ASCII plot helper.
+
+#include <gtest/gtest.h>
+
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "sim/engine.hpp"
+#include "sim/export.hpp"
+#include "sim/svg.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace krad {
+namespace {
+
+bool balanced(const std::string& text) {
+  int depth_braces = 0, depth_brackets = 0;
+  for (char c : text) {
+    if (c == '{') ++depth_braces;
+    if (c == '}') --depth_braces;
+    if (c == '[') ++depth_brackets;
+    if (c == ']') --depth_brackets;
+    if (depth_braces < 0 || depth_brackets < 0) return false;
+  }
+  return depth_braces == 0 && depth_brackets == 0;
+}
+
+SimResult run_sample(JobSet& set, bool trace) {
+  KRad sched;
+  SimOptions options;
+  options.record_trace = trace;
+  return simulate(set, sched, MachineConfig{{2, 2}}, options);
+}
+
+TEST(JsonExport, ResultSchema) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0, 1}, 6, 2)));
+  set.add(std::make_unique<DagJob>(single_task(0, 2)), 3);
+  const SimResult result = run_sample(set, false);
+  const std::string json = to_json(result);
+  EXPECT_TRUE(balanced(json)) << json;
+  for (const char* key :
+       {"\"makespan\":", "\"busy_steps\":", "\"idle_steps\":",
+        "\"total_response\":", "\"mean_response\":", "\"executed_work\":",
+        "\"utilization\":", "\"jobs\":", "\"completion\":", "\"response\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  EXPECT_NE(json.find("\"makespan\":" + std::to_string(result.makespan)),
+            std::string::npos);
+  // Two job objects.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"id\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(JsonExport, TraceSchema) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0, 1}, 4, 2)));
+  const SimResult result = run_sample(set, true);
+  const std::string json = to_json(*result.trace, MachineConfig{{2, 2}});
+  EXPECT_TRUE(balanced(json)) << json;
+  EXPECT_NE(json.find("\"machine\":[2,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":["), std::string::npos);
+  EXPECT_NE(json.find("\"steps\":["), std::string::npos);
+  EXPECT_NE(json.find("\"vertex\":"), std::string::npos);
+  EXPECT_NE(json.find("\"allot\":"), std::string::npos);
+  // 4 events for a 4-task chain.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"proc\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(JsonExport, EmptyResult) {
+  SimResult result;
+  const std::string json = to_json(result);
+  EXPECT_TRUE(balanced(json));
+  EXPECT_NE(json.find("\"jobs\":[]"), std::string::npos);
+}
+
+TEST(SvgExport, WellFormedAndCoversEvents) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(fork_join({0, 1}, 2, 3, 2)));
+  KRad sched;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(set, sched, MachineConfig{{2, 2}}, options);
+  const MachineConfig machine{{2, 2}};
+  const std::string svg = to_svg(*result.trace, machine);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("cat 0 (P=2)"), std::string::npos);
+  EXPECT_NE(svg.find("cat 1 (P=2)"), std::string::npos);
+  // One task rect per event (plus background/guide/legend rects).
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_GE(rects, result.trace->events().size());
+  // Tooltips mention at least the first job.
+  EXPECT_NE(svg.find("<title>job 0"), std::string::npos);
+}
+
+TEST(SvgExport, TruncationHonorsMaxSteps) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 40, 1)));
+  KRad sched;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(set, sched, MachineConfig{{1}}, options);
+  SvgOptions svg_options;
+  svg_options.max_steps = 10;
+  const std::string svg = to_svg(*result.trace, MachineConfig{{1}}, svg_options);
+  // Only steps 1..10 are rendered -> no tooltip for t=11.
+  EXPECT_EQ(svg.find("t=11"), std::string::npos);
+  EXPECT_NE(svg.find("t=10"), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersPointsAndReference) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{1.0, 2.0, 2.5, 2.7};
+  PlotOptions options;
+  options.title = "convergence";
+  options.show_reference = true;
+  options.reference = 2.75;
+  const std::string plot = ascii_plot(xs, ys, options);
+  EXPECT_NE(plot.find("convergence"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("---"), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  // Reference extends the y-range: top label should reflect ~2.75 + pad.
+  EXPECT_NE(plot.find("2.8"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyInput) {
+  PlotOptions options;
+  options.title = "nothing";
+  const std::string plot = ascii_plot({}, {}, options);
+  EXPECT_NE(plot.find("nothing"), std::string::npos);
+  EXPECT_NE(plot.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeries) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  const std::string plot = ascii_plot(xs, ys);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePoint) {
+  const std::vector<double> xs{7};
+  const std::vector<double> ys{3};
+  const std::string plot = ascii_plot(xs, ys);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krad

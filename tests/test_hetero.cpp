@@ -1,0 +1,200 @@
+// Tests for the performance-heterogeneity extension: speed machines, the
+// speed engine's equivalence to the base engine at uniform speed 1, lower
+// bounds under speeds, and the assignment-policy comparison.
+
+#include <gtest/gtest.h>
+
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "hetero/speed_engine.hpp"
+#include "sched/greedy_cp.hpp"
+#include "jobs/profile_job.hpp"
+#include "sim/engine.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+TEST(SpeedMachine, CountsAndTotals) {
+  SpeedMachineConfig machine;
+  machine.speeds = {{1, 2, 4}, {8}};
+  EXPECT_EQ(machine.categories(), 2u);
+  EXPECT_EQ(machine.counts().processors, (std::vector<int>{3, 1}));
+  EXPECT_EQ(machine.total_speed(0), 7);
+  EXPECT_EQ(machine.total_speed(1), 8);
+}
+
+TEST(SpeedMachine, UniformFromCounts) {
+  const auto machine = SpeedMachineConfig::uniform(MachineConfig{{3, 2}});
+  EXPECT_EQ(machine.total_speed(0), 3);
+  EXPECT_EQ(machine.total_speed(1), 2);
+}
+
+TEST(SpeedEngine, UniformSpeedMatchesBaseEngine) {
+  Rng rng(91);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomDagJobParams params;
+    params.num_categories = 2;
+    JobSet set = make_dag_job_set(params, 8, rng);
+    const MachineConfig counts{{3, 2}};
+    KRad a;
+    const SimResult base = simulate(set, a, counts);
+    set.reset_all();
+    KRad b;
+    const auto speed = simulate_speeds(set, b, SpeedMachineConfig::uniform(counts),
+                                       SpeedAssignment::kBlind);
+    EXPECT_EQ(base.makespan, speed.base.makespan) << "trial " << trial;
+    EXPECT_EQ(base.completion, speed.base.completion);
+    EXPECT_EQ(speed.wasted_speed, (std::vector<Work>{0, 0}));
+  }
+}
+
+TEST(SpeedEngine, FasterMachineFinishesSooner) {
+  JobSet set(1);
+  std::vector<Phase> phases(1);
+  phases[0].parts.push_back({0, 120, 8});
+  set.add(std::make_unique<ProfileJob>(std::move(phases), 1));
+
+  SpeedMachineConfig slow;
+  slow.speeds = {{1, 1}};
+  KRad a;
+  const auto r_slow =
+      simulate_speeds(set, a, slow, SpeedAssignment::kBlind);
+
+  set.reset_all();
+  SpeedMachineConfig fast;
+  fast.speeds = {{4, 4}};
+  KRad b;
+  const auto r_fast =
+      simulate_speeds(set, b, fast, SpeedAssignment::kBlind);
+  EXPECT_LT(r_fast.base.makespan, r_slow.base.makespan);
+  // 120 units, desire 8, two speed-4 processors: 8 units/step -> 15 steps.
+  EXPECT_EQ(r_fast.base.makespan, 15);
+  EXPECT_EQ(r_slow.base.makespan, 60);
+}
+
+TEST(SpeedEngine, LowerBoundHolds) {
+  Rng rng(92);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDagJobParams params;
+    params.num_categories = 2;
+    JobSet set = make_dag_job_set(params, 6, rng);
+    SpeedMachineConfig machine;
+    machine.speeds = {{1, 2, 4}, {2, 2}};
+    const Work lb = speed_makespan_lower_bound(set, machine);
+    KRad sched;
+    const auto result =
+        simulate_speeds(set, sched, machine, SpeedAssignment::kBlind);
+    EXPECT_GE(result.base.makespan, lb) << "trial " << trial;
+  }
+}
+
+TEST(SpeedEngine, SpanBoundUnchangedByThroughputModel) {
+  // A pure chain cannot be accelerated by fast processors: one ready task
+  // per step regardless of speed (throughput heterogeneity preserves the
+  // critical-path bound).
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 12, 1)));
+  SpeedMachineConfig machine;
+  machine.speeds = {{8, 8}};
+  KRad sched;
+  const auto result =
+      simulate_speeds(set, sched, machine, SpeedAssignment::kBlind);
+  EXPECT_EQ(result.base.makespan, 12);
+}
+
+TEST(SpeedEngine, FastestToGreediestReducesWaste) {
+  // One hungry job (desire 16) + 3 sequential jobs (desire 1) on processors
+  // {8, 1, 1, 1}: blind assignment in id order can hand the speed-8
+  // processor to a desire-1 job (7 units wasted); fastest-to-greediest
+  // gives it to the hungry job.
+  auto build = [] {
+    JobSet set(1);
+    for (int i = 0; i < 3; ++i) {
+      std::vector<Phase> phases(1);
+      phases[0].parts.push_back({0, 40, 1});
+      set.add(std::make_unique<ProfileJob>(std::move(phases), 1,
+                                           "seq-" + std::to_string(i)));
+    }
+    std::vector<Phase> hungry(1);
+    hungry[0].parts.push_back({0, 400, 16});
+    set.add(std::make_unique<ProfileJob>(std::move(hungry), 1, "hungry"));
+    return set;
+  };
+  SpeedMachineConfig machine;
+  machine.speeds = {{8, 1, 1, 1}};
+
+  JobSet blind_set = build();
+  KRad a;
+  const auto blind =
+      simulate_speeds(blind_set, a, machine, SpeedAssignment::kBlind);
+  JobSet aware_set = build();
+  KRad b;
+  const auto aware = simulate_speeds(aware_set, b, machine,
+                                     SpeedAssignment::kFastestToGreediest);
+  EXPECT_LT(aware.wasted_speed[0], blind.wasted_speed[0]);
+  EXPECT_LE(aware.base.makespan, blind.base.makespan);
+}
+
+TEST(SpeedEngine, HandlesReleaseTimesAndIdleGaps) {
+  JobSet set(1);
+  std::vector<Phase> a(1), b(1);
+  a[0].parts.push_back({0, 16, 4});
+  b[0].parts.push_back({0, 16, 4});
+  set.add(std::make_unique<ProfileJob>(std::move(a), 1), 0);
+  set.add(std::make_unique<ProfileJob>(std::move(b), 1), 50);
+  SpeedMachineConfig machine;
+  machine.speeds = {{2, 2}};
+  KRad sched;
+  const auto result =
+      simulate_speeds(set, sched, machine, SpeedAssignment::kBlind);
+  // Job 0: 16 units at 4/step = 4 steps; job 1 identical after release 50.
+  EXPECT_EQ(result.base.completion[0], 4);
+  EXPECT_EQ(result.base.completion[1], 54);
+  EXPECT_EQ(result.base.response[1], 4);
+  EXPECT_GT(result.base.idle_steps, 0);
+}
+
+TEST(SpeedEngine, ClairvoyantSchedulerWorks) {
+  Rng rng(93);
+  RandomDagJobParams params;
+  params.num_categories = 2;
+  JobSet set = make_dag_job_set(params, 5, rng);
+  SpeedMachineConfig machine;
+  machine.speeds = {{2, 1}, {4}};
+  GreedyCp sched;
+  const auto result =
+      simulate_speeds(set, sched, machine, SpeedAssignment::kFastestToGreediest);
+  EXPECT_GE(result.base.makespan, speed_makespan_lower_bound(set, machine));
+  for (JobId id = 0; id < set.size(); ++id)
+    EXPECT_EQ(set.job(id).total_remaining_work(), 0);
+}
+
+TEST(SpeedEngine, RejectsBadConfigs) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  KRad sched;
+  SpeedMachineConfig empty_cat;
+  empty_cat.speeds = {{}};
+  EXPECT_THROW(
+      simulate_speeds(set, sched, empty_cat, SpeedAssignment::kBlind),
+      std::logic_error);
+  SpeedMachineConfig zero_speed;
+  zero_speed.speeds = {{0}};
+  EXPECT_THROW(
+      simulate_speeds(set, sched, zero_speed, SpeedAssignment::kBlind),
+      std::logic_error);
+  SpeedMachineConfig wrong_k;
+  wrong_k.speeds = {{1}, {1}};
+  EXPECT_THROW(simulate_speeds(set, sched, wrong_k, SpeedAssignment::kBlind),
+               std::logic_error);
+}
+
+TEST(SpeedEngine, ToStringNames) {
+  EXPECT_STREQ(to_string(SpeedAssignment::kBlind), "speed-blind");
+  EXPECT_STREQ(to_string(SpeedAssignment::kFastestToGreediest),
+               "fastest-to-greediest");
+}
+
+}  // namespace
+}  // namespace krad

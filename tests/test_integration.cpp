@@ -1,0 +1,257 @@
+// End-to-end integration tests: all schedulers on shared scenarios,
+// cross-scheduler dominance relations, conservation identities, and the
+// qualitative behaviours the paper's design arguments predict.
+
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "jobs/profile_job.hpp"
+#include "jobs/unfolding_job.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sim/engine.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad {
+namespace {
+
+SimResult rerun(JobSet& set, KScheduler& sched, const MachineConfig& machine) {
+  set.reset_all();
+  return simulate(set, sched, machine);
+}
+
+TEST(Integration, AllSchedulersCompleteAllWork) {
+  Scenario s = scenario_cpu_io(12, 71);
+  KRad krad_s;
+  KEqui equi;
+  KRoundRobin rr;
+  KDeqOnly deq;
+  GreedyCp greedy;
+  Fcfs fcfs;
+  RandomAllot random;
+  const Work w0 = s.jobs.total_work(0);
+  const Work w1 = s.jobs.total_work(1);
+  for (KScheduler* sched :
+       std::initializer_list<KScheduler*>{&krad_s, &equi, &rr, &deq, &greedy,
+                                          &fcfs, &random}) {
+    const SimResult result = rerun(s.jobs, *sched, s.machine);
+    EXPECT_EQ(result.executed_work[0], w0) << sched->name();
+    EXPECT_EQ(result.executed_work[1], w1) << sched->name();
+    for (JobId id = 0; id < s.jobs.size(); ++id)
+      EXPECT_GT(result.completion[id], 0) << sched->name();
+  }
+}
+
+TEST(Integration, MakespanLowerBoundHoldsForEveryScheduler) {
+  Scenario s = scenario_cpu_io(10, 72);
+  const auto bounds = makespan_bounds(s.jobs, s.machine);
+  KRad krad_s;
+  KEqui equi;
+  KRoundRobin rr;
+  GreedyCp greedy;
+  for (KScheduler* sched :
+       std::initializer_list<KScheduler*>{&krad_s, &equi, &rr, &greedy}) {
+    const SimResult result = rerun(s.jobs, *sched, s.machine);
+    EXPECT_GE(result.makespan, bounds.lower_bound()) << sched->name();
+  }
+}
+
+TEST(Integration, KRadTracksClairvoyantGreedyWithinBound) {
+  // K-RAD (non-clairvoyant) must stay within (K + 1 - 1/Pmax) of GREEDY-CP
+  // (clairvoyant), since GREEDY-CP >= OPT >= LB.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Scenario s = scenario_cpu_io(14, seed);
+    KRad krad_s;
+    GreedyCp greedy;
+    const SimResult ours = rerun(s.jobs, krad_s, s.machine);
+    const SimResult base = rerun(s.jobs, greedy, s.machine);
+    EXPECT_LE(static_cast<double>(ours.makespan),
+              s.machine.makespan_bound() * static_cast<double>(base.makespan) +
+                  1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Integration, EquiWastesProcessorsDeqDoesNot) {
+  // EQUI hands low-desire jobs their full share; DEQ reassigns the surplus.
+  Scenario s = scenario_cpu_io(6, 73);
+  KRad krad_s;
+  KEqui equi;
+  const SimResult ours = rerun(s.jobs, krad_s, s.machine);
+  const SimResult theirs = rerun(s.jobs, equi, s.machine);
+  EXPECT_DOUBLE_EQ(allotment_efficiency(ours), 1.0);
+  EXPECT_LT(allotment_efficiency(theirs), 1.0);
+}
+
+TEST(Integration, DeqOnlyStarvesUnderHeavyLoad) {
+  // The RAD-minus-RR ablation: with many more sequential jobs than
+  // processors, DEQ-only serves the first P jobs to completion before the
+  // rest start, so the LAST job's response matches K-RAD's but the spread
+  // of completions is extreme; mean response of K-RAD (time-shared) is
+  // within the proven bound while DEQ-only's maximum response stays pinned
+  // at the makespan for the tail jobs.
+  JobSet set(1);
+  for (int i = 0; i < 12; ++i)
+    set.add(std::make_unique<DagJob>(category_chain({0}, 20, 1)));
+  const MachineConfig machine{{2}};
+  KRad krad_s;
+  KDeqOnly deq;
+  const SimResult fair = rerun(set, krad_s, machine);
+  const SimResult unfair = rerun(set, deq, machine);
+  // Identical total work and makespan (both are work-conserving here)...
+  EXPECT_EQ(fair.makespan, unfair.makespan);
+  // ...but DEQ-only finishes the first two jobs at step 20 while K-RAD
+  // round-robins everyone: its earliest completion is far later.
+  const Time fair_first =
+      *std::min_element(fair.completion.begin(), fair.completion.end());
+  const Time unfair_first =
+      *std::min_element(unfair.completion.begin(), unfair.completion.end());
+  EXPECT_EQ(unfair_first, 20);
+  EXPECT_GT(fair_first, 3 * 20);
+}
+
+TEST(Integration, RoundRobinOnlyHurtsParallelJobs) {
+  // A single highly parallel job on many processors: K-RR gives it one
+  // processor (time sharing only), K-RAD gives it everything.
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 4, 16, 1)));
+  const MachineConfig machine{{16}};
+  KRad krad_s;
+  KRoundRobin rr;
+  const SimResult good = rerun(set, krad_s, machine);
+  const SimResult bad = rerun(set, rr, machine);
+  EXPECT_EQ(good.makespan, set.job(0).span());
+  EXPECT_EQ(bad.makespan, set.job(0).total_work());  // one task per step
+}
+
+TEST(Integration, FcfsGoodMakespanBadMeanResponse) {
+  // One long job followed by many short ones, batched: FCFS runs the long
+  // job first and the short jobs wait; K-RAD time-shares.
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 60, 1),
+                                   SelectionPolicy::kFifo, "long"));
+  for (int i = 0; i < 6; ++i)
+    set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{2}};
+  KRad krad_s;
+  Fcfs fcfs;
+  const SimResult fair = rerun(set, krad_s, machine);
+  const SimResult greedy_order = rerun(set, fcfs, machine);
+  EXPECT_LT(fair.mean_response, greedy_order.mean_response);
+}
+
+TEST(Integration, PoissonArrivalsAllSchedulersValid) {
+  Scenario s = scenario_hpc_node(20, 4.0, 74);
+  KRad krad_s;
+  KEqui equi;
+  KRoundRobin rr;
+  GreedyCp greedy;
+  RandomAllot random;
+  for (KScheduler* sched : std::initializer_list<KScheduler*>{
+           &krad_s, &equi, &rr, &greedy, &random}) {
+    const SimResult result = rerun(s.jobs, *sched, s.machine);
+    EXPECT_GT(result.makespan, 0) << sched->name();
+    for (JobId id = 0; id < s.jobs.size(); ++id)
+      EXPECT_GE(result.response[id], 1) << sched->name();
+  }
+}
+
+TEST(Integration, HomogeneousRadBeatsEquiOnSkewedWork) {
+  // The K = 1 headline: RAD's 3-competitive mean response vs EQUI's
+  // 2 + sqrt(3).  On a skewed batch (one parallel hog + many short chains)
+  // DEQ-based RAD finishes the short jobs quickly.
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 10, 32, 1),
+                                   SelectionPolicy::kFifo, "hog"));
+  for (int i = 0; i < 7; ++i)
+    set.add(std::make_unique<DagJob>(category_chain({0}, 4, 1)));
+  const MachineConfig machine{{8}};
+  KRad krad_s;
+  KEqui equi;
+  const SimResult rad = rerun(set, krad_s, machine);
+  const SimResult eq = rerun(set, equi, machine);
+  EXPECT_LE(rad.mean_response, eq.mean_response);
+}
+
+TEST(Integration, ResetAllEnablesIdenticalReruns) {
+  Scenario s = scenario_cpu_io(9, 75);
+  KRad sched;
+  const SimResult a = rerun(s.jobs, sched, s.machine);
+  const SimResult b = rerun(s.jobs, sched, s.machine);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completion, b.completion);
+}
+
+TEST(Integration, MixedJobTypesInOneSet) {
+  // DagJob + ProfileJob + UnfoldingJob coexisting in one schedule; all
+  // complete, work conservation holds, Theorem 3 checked post-hoc.
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(fork_join({0, 1}, 3, 5, 2)), 0);
+  std::vector<Phase> phases(2);
+  phases[0].parts = {{0, 60, 6}};
+  phases[1].parts = {{1, 30, 3}};
+  set.add(std::make_unique<ProfileJob>(std::move(phases), 2), 2);
+  set.add(std::make_unique<UnfoldingJob>(2, 0, random_spawner(2, 1, 2, 0.9),
+                                         8, 10000, "unfold", 5),
+          4);
+  const MachineConfig machine{{4, 3}};
+  KRad sched;
+  const SimResult result = simulate(set, sched, machine);
+  for (JobId id = 0; id < set.size(); ++id) {
+    EXPECT_GT(result.completion[id], 0);
+    EXPECT_EQ(set.job(id).total_remaining_work(), 0);
+  }
+  const auto bounds = makespan_bounds(set, machine);  // exact post-run
+  EXPECT_LE(static_cast<double>(result.makespan),
+            machine.makespan_bound() * static_cast<double>(bounds.lower_bound()) +
+                1e-9);
+  // And the whole mixed set reruns identically after reset.
+  set.reset_all();
+  const SimResult again = simulate(set, sched, machine);
+  EXPECT_EQ(result.completion, again.completion);
+}
+
+TEST(Integration, RoundRobinFairUnderChurn) {
+  // Jobs arriving and finishing at different times: the rotating queue must
+  // keep serving everyone (no job starves while others complete around it).
+  JobSet set(1);
+  for (int i = 0; i < 10; ++i)
+    set.add(std::make_unique<DagJob>(
+                category_chain({0}, static_cast<std::size_t>(4 + 3 * i), 1)),
+            i / 2);
+  KRoundRobin sched;
+  const MachineConfig machine{{2}};
+  const SimResult result = simulate(set, sched, machine);
+  // Work conservation: 2 processors, busy throughout.
+  Work total = 0;
+  for (JobId id = 0; id < set.size(); ++id) total += set.job(id).work(0);
+  EXPECT_EQ(result.executed_work[0], total);
+  // No job's response exceeds what serving it once per full rotation costs.
+  for (JobId id = 0; id < set.size(); ++id)
+    EXPECT_LE(result.response[id],
+              static_cast<Time>(set.job(id).work(0)) * 5 + 10)
+        << "job " << id;
+}
+
+TEST(Integration, LargeHeavyBatchRunsFast) {
+  // Smoke test at scale: 400 profile jobs, K = 3; finishes and respects
+  // Theorem 6's bound.
+  Scenario s = scenario_heavy_batch(3, 4, 400, 76);
+  const auto bounds = response_bounds(s.jobs, s.machine);
+  KRad sched;
+  const SimResult result = simulate(s.jobs, sched, s.machine);
+  EXPECT_LE(result.mean_response,
+            s.machine.response_bound(400) *
+                    bounds.mean_lower_bound(400) +
+                1e-9);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,170 @@
+// Tests for the exact optimal search: hand-checkable instances, consistency
+// with the lower bounds (LB <= OPT), and dominance over simulated schedulers
+// (OPT <= any scheduler's result).
+
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "bounds/optimal.hpp"
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sim/engine.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+TEST(OptimalMakespan, SingleChain) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 5, 1)));
+  const auto opt = optimal_makespan(set, MachineConfig{{4}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 5);
+}
+
+TEST(OptimalMakespan, ParallelTasksPackPerfectly) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 1, 5, 1)));  // 5 forks + join
+  const auto opt = optimal_makespan(set, MachineConfig{{5}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 2);
+  const auto opt2 = optimal_makespan(set, MachineConfig{{2}});
+  ASSERT_TRUE(opt2.has_value());
+  EXPECT_EQ(*opt2, 4);  // ceil(5/2) + join
+}
+
+TEST(OptimalMakespan, TwoCategories) {
+  // Chain 0 -> 1 -> 0 plus an independent category-1 task: with one
+  // processor each, the category-1 steps can overlap.
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0, 1, 0}, 3, 2)));
+  set.add(std::make_unique<DagJob>(single_task(1, 2)));
+  const auto opt = optimal_makespan(set, MachineConfig{{1, 1}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 3);
+}
+
+TEST(OptimalMakespan, ChoiceOfTasksMatters) {
+  // Two jobs on P = 1: a chain of 2 and a single task.  OPT = 3 regardless
+  // of order, but the search must consider both interleavings.
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 2, 1)));
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const auto opt = optimal_makespan(set, MachineConfig{{1}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 3);
+}
+
+TEST(OptimalMakespan, EmptySet) {
+  JobSet set(1);
+  const auto opt = optimal_makespan(set, MachineConfig{{1}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 0);
+}
+
+TEST(OptimalMakespan, TooLargeReturnsNullopt) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 10, 10, 1)));
+  OptimalLimits limits;
+  limits.max_vertices = 20;
+  EXPECT_FALSE(optimal_makespan(set, MachineConfig{{2}}, limits).has_value());
+}
+
+TEST(OptimalMakespan, RequiresBatchedAndDagJobs) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)), 3);
+  EXPECT_THROW(optimal_makespan(set, MachineConfig{{1}}), std::logic_error);
+}
+
+TEST(OptimalResponse, ShortestJobFirstWins) {
+  // Chain 3 + single task on P = 1: SJF: single at t=1 (R=1), chain at 2..4
+  // (R=4): total 5.  Reverse order: 3 + 4 = 7.
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 3, 1)));
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const auto opt = optimal_total_response(set, MachineConfig{{1}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 5);
+}
+
+TEST(OptimalResponse, ParallelMachineBothFinishFast) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const auto opt = optimal_total_response(set, MachineConfig{{2}});
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 2);  // both complete at step 1
+}
+
+// Property sweep: LB <= OPT <= simulated scheduler, and the theorems' bound
+// OPT-relative form T(KRAD) <= (K + 1 - 1/Pmax) * OPT on tiny instances.
+class OptimalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalProperty, SandwichAndTheorem3OnTinyInstances) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Category k = rng.chance(0.5) ? 1 : 2;
+    JobSet set(k);
+    std::size_t budget = 12;
+    while (budget > 2) {
+      const auto size = static_cast<std::size_t>(
+          rng.uniform_int(1, std::min<std::int64_t>(6, static_cast<std::int64_t>(budget))));
+      RandomDagJobParams params;
+      params.num_categories = k;
+      params.min_size = size;
+      params.max_size = size;
+      set.add(make_random_dag_job(params, rng, "tiny"));
+      budget -= std::min(budget, size + 2);
+    }
+    if (set.empty()) continue;
+    MachineConfig machine;
+    machine.processors.assign(k, 0);
+    for (auto& p : machine.processors) p = static_cast<int>(rng.uniform_int(1, 3));
+
+    const auto opt = optimal_makespan(set, machine);
+    if (!opt.has_value()) continue;  // exceeded limits; skip
+    const auto bounds = makespan_bounds(set, machine);
+    EXPECT_LE(bounds.lower_bound(), *opt) << "LB must not exceed OPT";
+
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    EXPECT_GE(result.makespan, *opt) << "no scheduler beats OPT";
+    EXPECT_LE(static_cast<double>(result.makespan),
+              machine.makespan_bound() * static_cast<double>(*opt) + 1e-9)
+        << "Theorem 3 violated on a tiny instance";
+
+    set.reset_all();
+    const auto opt_r = optimal_total_response(set, machine);
+    if (opt_r.has_value()) {
+      const SimResult r2 = simulate(set, sched, machine);
+      EXPECT_GE(r2.total_response, *opt_r);
+      const auto rb = response_bounds(set, machine);
+      EXPECT_LE(rb.total_lower_bound(),
+                static_cast<double>(*opt_r) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(OptimalResponse, GreedyCpNeverBeatsOptimal) {
+  Rng rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    JobSet set(1);
+    const auto jobs = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    for (std::size_t i = 0; i < jobs; ++i)
+      set.add(std::make_unique<DagJob>(
+          category_chain({0}, static_cast<std::size_t>(rng.uniform_int(1, 3)), 1)));
+    const MachineConfig machine{{2}};
+    const auto opt = optimal_total_response(set, machine);
+    ASSERT_TRUE(opt.has_value());
+    GreedyCp sched;
+    const SimResult result = simulate(set, sched, machine);
+    EXPECT_GE(result.total_response, *opt);
+  }
+}
+
+}  // namespace
+}  // namespace krad

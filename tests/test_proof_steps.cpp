@@ -1,0 +1,183 @@
+// Per-step validation of the intermediate inequalities inside the paper's
+// proofs, computed by driving the scheduler manually and tracking the exact
+// quantities the induction arguments use:
+//
+//   Lemma 4 consequence (Theorem 5, step (3), Case 2): on any step with
+//   alpha-deprived jobs under DEQ (light load),
+//       Delta swa(alpha) >= (|JD(alpha, t)| + 1) / 2.
+//
+//   Theorem 5, step (2): the aggregate span decreases by at least the
+//   number of forall-satisfied jobs each step.
+//
+//   Theorem 5, step (4) assembled: Delta r <= c * Sum_alpha Delta swa(alpha)
+//   + Delta T_inf with c = 2 - 2/(n_t + 1), summed over the run, yields
+//   Inequality (5); we check the per-step form directly.
+
+#include <gtest/gtest.h>
+
+#include "bounds/squashed.hpp"
+#include "core/krad.hpp"
+#include "sim/engine.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+/// Snapshot of per-job remaining alpha-works and spans.
+struct Snapshot {
+  std::vector<std::vector<Work>> remaining;  // [job][cat]
+  std::vector<Work> span;                    // remaining span per job
+  std::vector<bool> done;
+};
+
+Snapshot snapshot(const JobSet& set) {
+  Snapshot snap;
+  const Category k = set.num_categories();
+  for (JobId id = 0; id < set.size(); ++id) {
+    std::vector<Work> rem(k);
+    for (Category a = 0; a < k; ++a) rem[a] = set.job(id).remaining_work(a);
+    snap.remaining.push_back(std::move(rem));
+    snap.span.push_back(set.job(id).remaining_span());
+    snap.done.push_back(set.job(id).finished());
+  }
+  return snap;
+}
+
+double swa_of(const Snapshot& snap, Category alpha, int processors) {
+  std::vector<Work> works;
+  for (std::size_t i = 0; i < snap.remaining.size(); ++i)
+    if (!snap.done[i]) works.push_back(snap.remaining[i][alpha]);
+  if (works.empty()) return 0.0;
+  return squashed_work_area(works, processors);
+}
+
+Work total_span(const Snapshot& snap) {
+  Work sum = 0;
+  for (std::size_t i = 0; i < snap.span.size(); ++i)
+    if (!snap.done[i]) sum += snap.span[i];
+  return sum;
+}
+
+/// Drive one manual K-RAD run under light load and validate the per-step
+/// inequalities.  Returns steps executed.
+Time run_and_check(JobSet& set, const MachineConfig& machine,
+                   bool check_lemma4) {
+  const Category k = set.num_categories();
+  KRad sched;
+  sched.reset(machine, set.size());
+  Time t = 1;
+  Time guard = 0;
+  while (true) {
+    std::vector<JobView> views;
+    std::vector<JobId> active;
+    for (JobId id = 0; id < set.size(); ++id) {
+      if (set.job(id).finished()) continue;
+      active.push_back(id);
+      JobView view;
+      view.id = id;
+      view.desire.resize(k);
+      for (Category a = 0; a < k; ++a) view.desire[a] = set.job(id).desire(a);
+      views.push_back(std::move(view));
+    }
+    if (active.empty()) break;
+
+    const Snapshot before = snapshot(set);
+    const auto n_t = static_cast<double>(active.size());
+
+    Allotment allot(active.size(), std::vector<Work>(k, 0));
+    sched.allot(t, views, nullptr, allot);
+
+    // Classify and execute.
+    std::vector<Work> deprived_count(k, 0);
+    Work satisfied_jobs = 0;
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      bool all_satisfied = true;
+      for (Category a = 0; a < k; ++a) {
+        if (allot[j][a] < views[j].desire[a]) {
+          ++deprived_count[a];
+          all_satisfied = false;
+        }
+        set.job(active[j]).execute(a, allot[j][a], nullptr);
+      }
+      if (all_satisfied) ++satisfied_jobs;
+    }
+    for (JobId id : active) set.job(id).advance();
+    const Snapshot after = snapshot(set);
+
+    // Theorem 5 step (2): aggregate span drops by >= |JS(t)|.
+    const Work delta_span = total_span(before) - total_span(after);
+    EXPECT_GE(delta_span, satisfied_jobs) << "step " << t;
+
+    // Lemma 4 consequence, per category with deprived jobs.
+    double sum_delta_swa = 0.0;
+    for (Category a = 0; a < k; ++a) {
+      const double delta =
+          swa_of(before, a, machine.processors[a]) -
+          swa_of(after, a, machine.processors[a]);
+      sum_delta_swa += delta;
+      if (check_lemma4 && deprived_count[a] > 0) {
+        // The paper's (real-share DEQ) bound is (|JD|+1)/2 exactly; our
+        // integral DEQ deviates from the real share by < 1 per job with a
+        // zero sum, which perturbs the squashed sum by < n_t, i.e. swa by
+        // < n_t / P_alpha <= 1 under light load.
+        EXPECT_GE(delta + 1.0 + 1e-9,
+                  (static_cast<double>(deprived_count[a]) + 1.0) / 2.0)
+            << "step " << t << " category " << a;
+      }
+      EXPECT_GE(delta, -1e-9) << "swa must never increase";
+    }
+
+    if (check_lemma4) {
+      // Theorem 5 step (4): Delta r = n_t <= c * Sum Delta swa + Delta span,
+      // with the same integral-DEQ tolerance per category.
+      const double c = 2.0 - 2.0 / (n_t + 1.0);
+      const double tolerance = c * static_cast<double>(k);
+      EXPECT_LE(n_t, c * sum_delta_swa + static_cast<double>(delta_span) +
+                         tolerance + 1e-9)
+          << "step " << t;
+    }
+
+    ++t;
+    if (++guard > 100000) {
+      ADD_FAILURE() << "runaway simulation";
+      break;
+    }
+  }
+  return t - 1;
+}
+
+class ProofSteps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProofSteps, Theorem5PerStepInequalitiesUnderLightLoad) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    MachineConfig machine;
+    const Category k = rng.chance(0.5) ? 1 : 2;
+    machine.processors.assign(k, static_cast<int>(rng.uniform_int(4, 12)));
+    const auto jobs = static_cast<std::size_t>(
+        rng.uniform_int(2, machine.processors[0]));
+    JobSet set = make_light_load_set(machine, jobs, 5, 120, 4, rng);
+    run_and_check(set, machine, /*check_lemma4=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProofSteps,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(ProofSteps, SpanDecreaseHoldsUnderHeavyLoadToo) {
+  // The span inequality (step 2) does not need light load; check it under
+  // heavy load where the RR path is active (the Lemma 4 delta-swa bound is
+  // a light-load/DEQ fact, so it is not asserted here).
+  Rng rng(77);
+  MachineConfig machine{{3}};
+  RandomProfileJobParams params;
+  params.num_categories = 1;
+  params.max_phases = 3;
+  params.max_phase_work = 40;
+  params.max_parallelism = 6;
+  JobSet set = make_profile_job_set(params, 12, rng);
+  run_and_check(set, machine, /*check_lemma4=*/false);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,234 @@
+// Tests for the RAD per-category scheduler (Figure 2) and K-RAD composition:
+// DEQ regime under light load, round-robin cycles under heavy load, marking
+// fairness, and the transition between the regimes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/krad.hpp"
+
+namespace krad {
+namespace {
+
+/// Build JobViews from a desire matrix (row = job, col = category).
+std::vector<JobView> views(const std::vector<std::vector<Work>>& desires) {
+  std::vector<JobView> result;
+  for (std::size_t i = 0; i < desires.size(); ++i)
+    result.push_back(JobView{static_cast<JobId>(i), desires[i]});
+  return result;
+}
+
+Allotment zeroed(std::size_t jobs, std::size_t k) {
+  return Allotment(jobs, std::vector<Work>(k, 0));
+}
+
+TEST(KRad, LightLoadEqualsDeq) {
+  MachineConfig machine{{4}};
+  KRad sched;
+  sched.reset(machine, 3);
+  auto v = views({{10}, {1}, {10}});
+  auto out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  // DEQ: job1 satisfied (1), remaining 3 split between the greedy pair.
+  EXPECT_EQ(out[0][0], 2);
+  EXPECT_EQ(out[1][0], 1);
+  EXPECT_EQ(out[2][0], 1);
+  EXPECT_FALSE(sched.cycle_open(0));
+}
+
+TEST(KRad, HeavyLoadRoundRobinOneEach) {
+  MachineConfig machine{{2}};
+  KRad sched;
+  sched.reset(machine, 5);
+  auto v = views({{3}, {3}, {3}, {3}, {3}});
+  auto out = zeroed(5, 1);
+  sched.allot(1, v, nullptr, out);
+  // 5 unmarked > P=2: first two get one processor each and are marked.
+  EXPECT_EQ(out[0][0], 1);
+  EXPECT_EQ(out[1][0], 1);
+  EXPECT_EQ(out[2][0], 0);
+  EXPECT_TRUE(sched.cycle_open(0));
+}
+
+TEST(KRad, RoundRobinCycleServesEveryoneOnce) {
+  // 5 jobs, 2 processors: steps serve {0,1}, {2,3}, then |Q|=1 <= 2 completes
+  // the cycle with job 4 plus one recycled job.
+  MachineConfig machine{{2}};
+  KRad sched;
+  sched.reset(machine, 5);
+  std::vector<int> served(5, 0);
+  auto desires = std::vector<std::vector<Work>>(5, std::vector<Work>{3});
+  for (int step = 1; step <= 3; ++step) {
+    auto v = views(desires);
+    auto out = zeroed(5, 1);
+    sched.allot(step, v, nullptr, out);
+    for (std::size_t i = 0; i < 5; ++i)
+      served[i] += static_cast<int>(out[i][0]);
+  }
+  // After one full cycle (3 steps with 2 processors = 6 slots for 5 jobs),
+  // every job was served at least once, at most twice.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(served[i], 1) << "job " << i << " starved in the RR cycle";
+    EXPECT_LE(served[i], 2);
+  }
+  EXPECT_EQ(std::accumulate(served.begin(), served.end(), 0), 6);
+  // Cycle completed -> marks cleared.
+  EXPECT_FALSE(sched.cycle_open(0));
+}
+
+TEST(KRad, CycleCompletionStepUsesDeq) {
+  // 3 jobs, P=2: step 1 serves jobs {0,1} via RR; step 2 has Q={2} (|Q|<=P)
+  // so job 2 plus one recycled job split the processors via DEQ.
+  MachineConfig machine{{2}};
+  KRad sched;
+  sched.reset(machine, 3);
+  auto desires = std::vector<std::vector<Work>>(3, std::vector<Work>{5});
+  {
+    auto v = views(desires);
+    auto out = zeroed(3, 1);
+    sched.allot(1, v, nullptr, out);
+    EXPECT_EQ(out[0][0], 1);
+    EXPECT_EQ(out[1][0], 1);
+    EXPECT_EQ(out[2][0], 0);
+  }
+  {
+    auto v = views(desires);
+    auto out = zeroed(3, 1);
+    sched.allot(2, v, nullptr, out);
+    // Job 2 (unmarked) is in Q; one of {0,1} is moved in from Q'.
+    EXPECT_EQ(out[2][0], 1);
+    EXPECT_EQ(out[0][0] + out[1][0], 1);
+    EXPECT_FALSE(sched.cycle_open(0));
+  }
+}
+
+TEST(KRad, NoWastedProcessorsOnCycleCompletion) {
+  // 1 unmarked job with big desire, P=4: the job should get all 4 (work
+  // conservation via DEQ on the completion step).
+  MachineConfig machine{{4}};
+  KRad sched;
+  sched.reset(machine, 1);
+  auto v = views({{9}});
+  auto out = zeroed(1, 1);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_EQ(out[0][0], 4);
+}
+
+TEST(KRad, InactiveJobsIgnored) {
+  MachineConfig machine{{4}};
+  KRad sched;
+  sched.reset(machine, 3);
+  auto v = views({{0}, {7}, {0}});
+  auto out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_EQ(out[0][0], 0);
+  EXPECT_EQ(out[1][0], 4);
+  EXPECT_EQ(out[2][0], 0);
+}
+
+TEST(KRad, CategoriesAreIndependent) {
+  // Category 0 heavy (RR), category 1 light (DEQ), same jobs.
+  MachineConfig machine{{1, 4}};
+  KRad sched;
+  sched.reset(machine, 3);
+  auto v = views({{2, 2}, {2, 2}, {2, 0}});
+  auto out = zeroed(3, 2);
+  sched.allot(1, v, nullptr, out);
+  // Category 0: 3 active > 1 proc -> RR gives job 0 one processor.
+  EXPECT_EQ(out[0][0] + out[1][0] + out[2][0], 1);
+  EXPECT_TRUE(sched.cycle_open(0));
+  // Category 1: 2 active <= 4 -> DEQ satisfies both.
+  EXPECT_EQ(out[0][1], 2);
+  EXPECT_EQ(out[1][1], 2);
+  EXPECT_FALSE(sched.cycle_open(1));
+}
+
+TEST(KRad, MarksPersistAcrossInactivity) {
+  // A job marked in a cycle that goes alpha-inactive and returns while the
+  // cycle is still open must not be served twice in that cycle.
+  MachineConfig machine{{1}};
+  KRad sched;
+  sched.reset(machine, 3);
+  // Step 1: all three active -> job 0 served & marked.
+  {
+    auto v = views({{1}, {1}, {1}});
+    auto out = zeroed(3, 1);
+    sched.allot(1, v, nullptr, out);
+    EXPECT_EQ(out[0][0], 1);
+  }
+  // Step 2: job 0 inactive; jobs 1, 2 active -> |Q| = 2 > 1 -> serve job 1.
+  {
+    auto v = views({{0}, {1}, {1}});
+    auto out = zeroed(3, 1);
+    sched.allot(2, v, nullptr, out);
+    EXPECT_EQ(out[1][0], 1);
+    EXPECT_EQ(out[0][0], 0);
+  }
+  // Step 3: job 0 active again, job 2 still unserved. Q = {2}, Q' = {0, 1}.
+  // |Q| = 1 <= 1 -> job 2 served (cycle completes).
+  {
+    auto v = views({{1}, {1}, {1}});
+    auto out = zeroed(3, 1);
+    sched.allot(3, v, nullptr, out);
+    EXPECT_EQ(out[2][0], 1);
+    EXPECT_EQ(out[0][0], 0);
+    EXPECT_EQ(out[1][0], 0);
+    EXPECT_FALSE(sched.cycle_open(0));
+  }
+}
+
+TEST(KRad, LongRunFairnessBound) {
+  // 7 jobs with persistent desire on 3 processors; over 21 steps the spread
+  // of service counts stays bounded (no starvation, no runaway favourite).
+  MachineConfig machine{{3}};
+  KRad sched;
+  sched.reset(machine, 7);
+  std::vector<Work> served(7, 0);
+  auto desires = std::vector<std::vector<Work>>(7, std::vector<Work>{2});
+  constexpr int kSteps = 21;
+  for (int step = 1; step <= kSteps; ++step) {
+    auto v = views(desires);
+    auto out = zeroed(7, 1);
+    sched.allot(step, v, nullptr, out);
+    Work total = 0;
+    for (std::size_t i = 0; i < 7; ++i) {
+      served[i] += out[i][0];
+      total += out[i][0];
+    }
+    EXPECT_LE(total, 3);
+  }
+  const auto [lo, hi] = std::minmax_element(served.begin(), served.end());
+  EXPECT_GE(*lo, 7);        // everyone served at least once per cycle
+  EXPECT_LE(*hi - *lo, 7);  // spread bounded by the cycle top-ups
+}
+
+TEST(KRad, ZeroDesireEverywhereAllotsNothing) {
+  MachineConfig machine{{2, 2}};
+  KRad sched;
+  sched.reset(machine, 2);
+  auto v = views({{0, 0}, {0, 0}});
+  auto out = zeroed(2, 2);
+  sched.allot(1, v, nullptr, out);
+  for (const auto& row : out)
+    for (Work w : row) EXPECT_EQ(w, 0);
+}
+
+TEST(KRad, ResetClearsMarks) {
+  MachineConfig machine{{1}};
+  KRad sched;
+  sched.reset(machine, 3);
+  auto v = views({{1}, {1}, {1}});
+  auto out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_TRUE(sched.cycle_open(0));
+  sched.reset(machine, 3);
+  EXPECT_FALSE(sched.cycle_open(0));
+  out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_EQ(out[0][0], 1);  // back to the start of a cycle
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,304 @@
+// Tests for the baseline schedulers: K-EQUI, K-RR, K-DEQ-only, GREEDY-CP,
+// FCFS, RANDOM.
+
+#include <gtest/gtest.h>
+
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sched/srpt.hpp"
+
+namespace krad {
+namespace {
+
+std::vector<JobView> views(const std::vector<std::vector<Work>>& desires) {
+  std::vector<JobView> result;
+  for (std::size_t i = 0; i < desires.size(); ++i)
+    result.push_back(JobView{static_cast<JobId>(i), desires[i]});
+  return result;
+}
+
+Allotment zeroed(std::size_t jobs, std::size_t k) {
+  return Allotment(jobs, std::vector<Work>(k, 0));
+}
+
+Work column_sum(const Allotment& out, Category alpha) {
+  Work sum = 0;
+  for (const auto& row : out) sum += row[alpha];
+  return sum;
+}
+
+// --- K-EQUI ---
+
+TEST(KEqui, EqualSharesIgnoreDesire) {
+  MachineConfig machine{{9}};
+  KEqui sched;
+  sched.reset(machine, 3);
+  auto v = views({{1}, {100}, {5}});
+  auto out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  // 9/3 = 3 each, regardless of desire: job 0 wastes 2.
+  EXPECT_EQ(out[0][0], 3);
+  EXPECT_EQ(out[1][0], 3);
+  EXPECT_EQ(out[2][0], 3);
+}
+
+TEST(KEqui, RemainderToEarlierJobs) {
+  MachineConfig machine{{8}};
+  KEqui sched;
+  sched.reset(machine, 3);
+  auto v = views({{10}, {10}, {10}});
+  auto out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_EQ(out[0][0], 3);
+  EXPECT_EQ(out[1][0], 3);
+  EXPECT_EQ(out[2][0], 2);
+}
+
+TEST(KEqui, OnlyAlphaActiveJobsShare) {
+  MachineConfig machine{{6, 6}};
+  KEqui sched;
+  sched.reset(machine, 3);
+  auto v = views({{4, 0}, {4, 9}, {0, 9}});
+  auto out = zeroed(3, 2);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_EQ(out[0][0], 3);
+  EXPECT_EQ(out[1][0], 3);
+  EXPECT_EQ(out[2][0], 0);
+  EXPECT_EQ(out[0][1], 0);
+  EXPECT_EQ(out[1][1], 3);
+  EXPECT_EQ(out[2][1], 3);
+}
+
+// --- K-RR ---
+
+TEST(KRoundRobin, OneProcessorPerJob) {
+  MachineConfig machine{{8}};
+  KRoundRobin sched;
+  sched.reset(machine, 3);
+  auto v = views({{5}, {5}, {5}});
+  auto out = zeroed(3, 1);
+  sched.allot(1, v, nullptr, out);
+  // Pure time-sharing: never more than one processor per job.
+  for (const auto& row : out) EXPECT_LE(row[0], 1);
+  EXPECT_EQ(column_sum(out, 0), 3);
+}
+
+TEST(KRoundRobin, CyclesThroughAllJobs) {
+  MachineConfig machine{{2}};
+  KRoundRobin sched;
+  sched.reset(machine, 5);
+  auto desires = std::vector<std::vector<Work>>(5, std::vector<Work>{1});
+  std::vector<Work> served(5, 0);
+  for (int step = 1; step <= 5; ++step) {
+    auto v = views(desires);
+    auto out = zeroed(5, 1);
+    sched.allot(step, v, nullptr, out);
+    EXPECT_EQ(column_sum(out, 0), 2);
+    for (std::size_t i = 0; i < 5; ++i) served[i] += out[i][0];
+  }
+  // 10 service slots over 5 jobs: every job exactly twice.
+  for (Work s : served) EXPECT_EQ(s, 2);
+}
+
+// --- K-DEQ-only ---
+
+TEST(KDeqOnly, LightLoadMatchesDeq) {
+  MachineConfig machine{{4}};
+  KDeqOnly sched;
+  sched.reset(machine, 2);
+  auto v = views({{1}, {9}});
+  auto out = zeroed(2, 1);
+  sched.allot(1, v, nullptr, out);
+  EXPECT_EQ(out[0][0], 1);
+  EXPECT_EQ(out[1][0], 3);
+}
+
+TEST(KDeqOnly, HeavyLoadStarvesTail) {
+  // The ablation behaviour: with more jobs than processors and no marks,
+  // the same first-P jobs are served every step.
+  MachineConfig machine{{2}};
+  KDeqOnly sched;
+  sched.reset(machine, 4);
+  auto desires = std::vector<std::vector<Work>>(4, std::vector<Work>{1});
+  for (int step = 1; step <= 3; ++step) {
+    auto v = views(desires);
+    auto out = zeroed(4, 1);
+    sched.allot(step, v, nullptr, out);
+    EXPECT_EQ(out[0][0], 1);
+    EXPECT_EQ(out[1][0], 1);
+    EXPECT_EQ(out[2][0], 0);
+    EXPECT_EQ(out[3][0], 0);
+  }
+}
+
+// --- GREEDY-CP ---
+
+TEST(GreedyCp, RequiresClairvoyantView) {
+  MachineConfig machine{{2}};
+  GreedyCp sched;
+  sched.reset(machine, 1);
+  auto v = views({{1}});
+  auto out = zeroed(1, 1);
+  EXPECT_TRUE(sched.clairvoyant());
+  EXPECT_THROW(sched.allot(1, v, nullptr, out), std::logic_error);
+}
+
+TEST(GreedyCp, PrioritizesLongRemainingSpan) {
+  MachineConfig machine{{3}};
+  GreedyCp sched;
+  sched.reset(machine, 2);
+  auto v = views({{3}, {3}});
+  ClairvoyantView clair;
+  clair.remaining_span = {2, 10};
+  clair.remaining_work = {{3}, {3}};
+  clair.release = {0, 0};
+  auto out = zeroed(2, 1);
+  sched.allot(1, v, &clair, out);
+  EXPECT_EQ(out[1][0], 3);  // long job first, fully satisfied
+  EXPECT_EQ(out[0][0], 0);  // nothing left
+}
+
+TEST(GreedyCp, WorkConserving) {
+  MachineConfig machine{{5}};
+  GreedyCp sched;
+  sched.reset(machine, 2);
+  auto v = views({{2}, {2}});
+  ClairvoyantView clair;
+  clair.remaining_span = {4, 4};
+  clair.remaining_work = {{2}, {2}};
+  clair.release = {0, 0};
+  auto out = zeroed(2, 1);
+  sched.allot(1, v, &clair, out);
+  EXPECT_EQ(column_sum(out, 0), 4);  // min(P, total desire)
+}
+
+// --- FCFS ---
+
+TEST(Fcfs, EarlierReleaseServedFirst) {
+  MachineConfig machine{{4}};
+  Fcfs sched;
+  sched.reset(machine, 2);
+  auto v = views({{4}, {4}});
+  ClairvoyantView clair;
+  clair.remaining_span = {1, 1};
+  clair.remaining_work = {{4}, {4}};
+  clair.release = {7, 2};
+  auto out = zeroed(2, 1);
+  sched.allot(8, v, &clair, out);
+  EXPECT_EQ(out[1][0], 4);  // released earlier
+  EXPECT_EQ(out[0][0], 0);
+}
+
+TEST(Fcfs, SpillsToNextJob) {
+  MachineConfig machine{{6}};
+  Fcfs sched;
+  sched.reset(machine, 2);
+  auto v = views({{4}, {4}});
+  ClairvoyantView clair;
+  clair.remaining_span = {1, 1};
+  clair.remaining_work = {{4}, {4}};
+  clair.release = {0, 0};
+  auto out = zeroed(2, 1);
+  sched.allot(1, v, &clair, out);
+  EXPECT_EQ(out[0][0], 4);
+  EXPECT_EQ(out[1][0], 2);
+}
+
+// --- RANDOM ---
+
+TEST(RandomAllot, CapacityAndDesireRespected) {
+  MachineConfig machine{{3, 2}};
+  RandomAllot sched(99);
+  sched.reset(machine, 4);
+  for (int step = 1; step <= 50; ++step) {
+    auto v = views({{2, 1}, {2, 0}, {0, 3}, {1, 1}});
+    auto out = zeroed(4, 2);
+    sched.allot(step, v, nullptr, out);
+    for (Category a = 0; a < 2; ++a) {
+      EXPECT_LE(column_sum(out, a), machine.processors[a]);
+      for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_GE(out[j][a], 0);
+        EXPECT_LE(out[j][a], v[j].desire[a]);
+      }
+    }
+    // Work-conserving: category 0 has total desire 5 >= 3.
+    EXPECT_EQ(column_sum(out, 0), 3);
+  }
+}
+
+TEST(RandomAllot, DeterministicInSeed) {
+  MachineConfig machine{{2}};
+  RandomAllot a(5), b(5);
+  a.reset(machine, 3);
+  b.reset(machine, 3);
+  for (int step = 1; step <= 20; ++step) {
+    auto v = views({{1}, {1}, {1}});
+    auto out_a = zeroed(3, 1);
+    auto out_b = zeroed(3, 1);
+    a.allot(step, v, nullptr, out_a);
+    b.allot(step, v, nullptr, out_b);
+    EXPECT_EQ(out_a, out_b);
+  }
+}
+
+// --- SRPT ---
+
+TEST(Srpt, ShortestRemainingWorkFirst) {
+  MachineConfig machine{{2}};
+  Srpt sched;
+  sched.reset(machine, 2);
+  auto v = views({{2}, {2}});
+  ClairvoyantView clair;
+  clair.remaining_span = {5, 5};
+  clair.remaining_work = {{50}, {3}};
+  clair.release = {0, 0};
+  auto out = zeroed(2, 1);
+  sched.allot(1, v, &clair, out);
+  EXPECT_EQ(out[1][0], 2);  // short job first
+  EXPECT_EQ(out[0][0], 0);
+}
+
+TEST(Srpt, SumsRemainingWorkAcrossCategories) {
+  MachineConfig machine{{1, 1}};
+  Srpt sched;
+  sched.reset(machine, 2);
+  auto v = views({{1, 1}, {1, 1}});
+  ClairvoyantView clair;
+  clair.remaining_span = {1, 1};
+  clair.remaining_work = {{4, 4}, {9, 1}};  // totals 8 vs 10
+  clair.release = {0, 0};
+  auto out = zeroed(2, 2);
+  sched.allot(1, v, &clair, out);
+  EXPECT_EQ(out[0][0], 1);
+  EXPECT_EQ(out[0][1], 1);
+}
+
+TEST(Srpt, RequiresClairvoyantView) {
+  MachineConfig machine{{1}};
+  Srpt sched;
+  sched.reset(machine, 1);
+  auto v = views({{1}});
+  auto out = zeroed(1, 1);
+  EXPECT_THROW(sched.allot(1, v, nullptr, out), std::logic_error);
+}
+
+TEST(SchedulerNames, AreDistinct) {
+  KEqui equi;
+  KRoundRobin rr;
+  KDeqOnly deq;
+  GreedyCp greedy;
+  Fcfs fcfs;
+  RandomAllot random;
+  Srpt srpt;
+  std::set<std::string> names{equi.name(),   rr.name(),   deq.name(),
+                              greedy.name(), fcfs.name(), random.name(),
+                              srpt.name()};
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace krad

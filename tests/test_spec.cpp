@@ -1,0 +1,120 @@
+// Tests for the workload-spec text format.
+
+#include <gtest/gtest.h>
+
+#include "core/krad.hpp"
+#include "jobs/profile_job.hpp"
+#include "sim/engine.hpp"
+#include "workload/spec.hpp"
+
+namespace krad {
+namespace {
+
+constexpr const char* kSample =
+    "# demo workload\n"
+    "machine 8 4\n"
+    "job etl 0\n"
+    "phase 0:100:8 1:20:2\n"
+    "phase 1:50:4\n"
+    "job query 5\n"
+    "phase 0:3:1\n";
+
+TEST(WorkloadSpec, ParsesSample) {
+  const WorkloadSpec spec = parse_workload_string(kSample);
+  EXPECT_EQ(spec.machine.processors, (std::vector<int>{8, 4}));
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  EXPECT_EQ(spec.jobs.job(0).name(), "etl");
+  EXPECT_EQ(spec.jobs.release(1), 5);
+  EXPECT_EQ(spec.jobs.job(0).work(0), 100);
+  EXPECT_EQ(spec.jobs.job(0).work(1), 70);
+  EXPECT_EQ(spec.jobs.job(1).total_work(), 3);
+  const auto& etl = dynamic_cast<const ProfileJob&>(spec.jobs.job(0));
+  EXPECT_EQ(etl.num_phases(), 2u);
+}
+
+TEST(WorkloadSpec, ParsedWorkloadRuns) {
+  WorkloadSpec spec = parse_workload_string(kSample);
+  KRad sched;
+  const SimResult result = simulate(spec.jobs, sched, spec.machine);
+  EXPECT_GT(result.makespan, 0);
+  EXPECT_EQ(result.executed_work[0], 103);
+  EXPECT_EQ(result.executed_work[1], 70);
+}
+
+TEST(WorkloadSpec, RoundTrip) {
+  const WorkloadSpec original = parse_workload_string(kSample);
+  const std::string text = serialize_workload(original);
+  const WorkloadSpec reparsed = parse_workload_string(text);
+  EXPECT_EQ(reparsed.machine.processors, original.machine.processors);
+  ASSERT_EQ(reparsed.jobs.size(), original.jobs.size());
+  for (JobId id = 0; id < original.jobs.size(); ++id) {
+    EXPECT_EQ(reparsed.jobs.release(id), original.jobs.release(id));
+    EXPECT_EQ(reparsed.jobs.job(id).total_work(),
+              original.jobs.job(id).total_work());
+    EXPECT_EQ(reparsed.jobs.job(id).span(), original.jobs.job(id).span());
+    EXPECT_EQ(reparsed.jobs.job(id).name(), original.jobs.job(id).name());
+  }
+}
+
+TEST(WorkloadSpec, Errors) {
+  EXPECT_THROW(parse_workload_string(""), std::runtime_error);
+  EXPECT_THROW(parse_workload_string("job a 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_workload_string("machine\n"), std::runtime_error);
+  EXPECT_THROW(parse_workload_string("machine 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_workload_string("machine 2\nmachine 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_string("machine 2\nphase 0:1:1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_string("machine 2\njob a 0\n"),
+               std::runtime_error);  // no phases
+  EXPECT_THROW(parse_workload_string("machine 2\njob a -1\nphase 0:1:1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_string("machine 2\njob a 0\nphase 5:1:1\n"),
+               std::runtime_error);  // bad category
+  EXPECT_THROW(parse_workload_string("machine 2\njob a 0\nphase 0:0:1\n"),
+               std::runtime_error);  // zero work
+  EXPECT_THROW(parse_workload_string("machine 2\njob a 0\nphase 0-1-1\n"),
+               std::runtime_error);  // bad separator
+  EXPECT_THROW(parse_workload_string("machine 2\nfrobnicate\n"),
+               std::runtime_error);
+  // Duplicate category within a phase is rejected by ProfileJob validation.
+  EXPECT_THROW(
+      parse_workload_string("machine 2\njob a 0\nphase 0:1:1 0:2:1\n"),
+      std::runtime_error);
+}
+
+TEST(WorkloadSpec, ErrorCarriesLineNumber) {
+  try {
+    parse_workload_string("machine 2\njob a 0\nphase 9:1:1\n");
+    FAIL();
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Metrics, JainFairnessBounds) {
+  // Even completions -> index 1; one hog -> approaches 1/n.
+  JobSet even(1);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Phase> phases(1);
+    phases[0].parts.push_back({0, 6, 1});
+    even.add(std::make_unique<ProfileJob>(std::move(phases), 1));
+  }
+  KRad sched;
+  const SimResult balanced = simulate(even, sched, MachineConfig{{4}});
+  EXPECT_NEAR(jain_fairness(balanced, even), 1.0, 1e-9);
+
+  JobSet skew(1);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Phase> phases(1);
+    phases[0].parts.push_back({0, 6, 1});
+    skew.add(std::make_unique<ProfileJob>(std::move(phases), 1));
+  }
+  // One processor: completions 6, 12, 18, 24-ish under time sharing.
+  const SimResult unbalanced = simulate(skew, sched, MachineConfig{{1}});
+  EXPECT_LT(jain_fairness(unbalanced, skew), 1.0);
+  EXPECT_GT(jain_fairness(unbalanced, skew), 0.25);
+}
+
+}  // namespace
+}  // namespace krad

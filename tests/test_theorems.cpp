@@ -1,0 +1,236 @@
+// Empirical validation of every bound proved in the paper:
+//   Lemma 2      - no-idle makespan bound (Inequality (2)),
+//   Theorem 3    - (K + 1 - 1/Pmax)-competitive makespan, arbitrary releases,
+//   Theorem 5    - light-load batched mean response, incl. Inequality (5),
+//   Theorem 6    - heavy-load batched mean response,
+//   K = 1 case   - (3 - 2/(n+1))-competitive mean response.
+//
+// Ratios are measured against the paper's lower bounds on OPT, so
+// "measured <= bound" is implied by the theorems; a failure here is a real
+// bug in either the scheduler or the bound computation.
+
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "sim/engine.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad {
+namespace {
+
+struct TheoremCase {
+  std::uint64_t seed;
+  Category k;
+  int procs;
+  std::size_t jobs;
+};
+
+std::string case_name(const ::testing::TestParamInfo<TheoremCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_K" +
+         std::to_string(info.param.k) + "_P" + std::to_string(info.param.procs) +
+         "_n" + std::to_string(info.param.jobs);
+}
+
+// --- Theorem 3 (+ Lemma 2 when batched) over DAG jobs with releases ---
+
+class Theorem3Dag : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem3Dag, MakespanWithinBound) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  RandomDagJobParams jp;
+  jp.num_categories = param.k;
+  jp.min_size = 6;
+  jp.max_size = 60;
+  for (int arrivals = 0; arrivals < 3; ++arrivals) {
+    JobSet set = make_dag_job_set(jp, param.jobs, rng);
+    if (arrivals == 1)
+      apply_releases(set, poisson_releases(param.jobs, 6.0, rng));
+    if (arrivals == 2) apply_releases(set, bursty_releases(param.jobs, 4, 15));
+    MachineConfig machine;
+    machine.processors.assign(param.k, param.procs);
+
+    const auto bounds = makespan_bounds(set, machine);
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+
+    EXPECT_GE(result.makespan, bounds.lower_bound());
+    EXPECT_LE(static_cast<double>(result.makespan),
+              machine.makespan_bound() * static_cast<double>(bounds.lower_bound()) +
+                  1e-9)
+        << "Theorem 3 violated (arrivals mode " << arrivals << ")";
+
+    if (result.idle_steps == 0) {
+      EXPECT_LE(static_cast<double>(result.makespan), bounds.lemma2_rhs + 1e-9)
+          << "Lemma 2 violated (arrivals mode " << arrivals << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Dag,
+    ::testing::Values(TheoremCase{1, 1, 4, 10}, TheoremCase{2, 2, 3, 12},
+                      TheoremCase{3, 2, 8, 6}, TheoremCase{4, 3, 2, 15},
+                      TheoremCase{5, 3, 5, 8}, TheoremCase{6, 4, 4, 10},
+                      TheoremCase{7, 5, 2, 20}, TheoremCase{8, 2, 16, 25}),
+    case_name);
+
+// --- Theorem 3 over profile jobs (larger work volumes) ---
+
+class Theorem3Profile : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem3Profile, MakespanWithinBound) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  RandomProfileJobParams jp;
+  jp.num_categories = param.k;
+  jp.max_phases = 6;
+  jp.max_phase_work = 300;
+  jp.max_parallelism = 2 * param.procs;
+  JobSet set = make_profile_job_set(jp, param.jobs, rng);
+  apply_releases(set, poisson_releases(param.jobs, 10.0, rng));
+  MachineConfig machine;
+  machine.processors.assign(param.k, param.procs);
+
+  const auto bounds = makespan_bounds(set, machine);
+  KRad sched;
+  const SimResult result = simulate(set, sched, machine);
+  EXPECT_GE(result.makespan, bounds.lower_bound());
+  EXPECT_LE(static_cast<double>(result.makespan),
+            machine.makespan_bound() * static_cast<double>(bounds.lower_bound()) +
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Profile,
+    ::testing::Values(TheoremCase{11, 1, 8, 30}, TheoremCase{12, 2, 4, 40},
+                      TheoremCase{13, 3, 6, 25}, TheoremCase{14, 4, 3, 30}),
+    case_name);
+
+// --- Theorem 5: light load (|J(alpha,t)| <= P_alpha throughout) ---
+
+class Theorem5Light : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem5Light, MeanResponseWithinLightBound) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  MachineConfig machine;
+  machine.processors.assign(param.k, param.procs);
+  JobSet set = make_light_load_set(machine, param.jobs, 5, 200, 5, rng);
+
+  const auto bounds = response_bounds(set, machine);
+  KRad sched;
+  const SimResult result = simulate(set, sched, machine);
+
+  const double bound = machine.response_bound_light(set.size());
+  EXPECT_LE(result.mean_response,
+            bound * bounds.mean_lower_bound(set.size()) + 1e-9)
+      << "Theorem 5 ratio bound violated";
+
+  // Inequality (5) directly: R(J) <= (2 - 2/(n+1)) * Sum_alpha swa + T_inf.
+  const double n = static_cast<double>(set.size());
+  const double rhs =
+      (2.0 - 2.0 / (n + 1.0)) * bounds.sum_swa +
+      static_cast<double>(bounds.aggregate_span);
+  EXPECT_LE(static_cast<double>(result.total_response), rhs + 1e-9)
+      << "Theorem 5 Inequality (5) violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem5Light,
+    ::testing::Values(TheoremCase{21, 1, 8, 6}, TheoremCase{22, 2, 6, 5},
+                      TheoremCase{23, 2, 16, 16}, TheoremCase{24, 3, 4, 4},
+                      TheoremCase{25, 4, 8, 8}, TheoremCase{26, 1, 32, 20}),
+    case_name);
+
+// --- Theorem 6: heavy load, batched ---
+
+class Theorem6Heavy : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem6Heavy, MeanResponseWithinGeneralBound) {
+  const auto& param = GetParam();
+  Scenario s = scenario_heavy_batch(param.k, param.procs, param.jobs,
+                                    param.seed);
+  const auto bounds = response_bounds(s.jobs, s.machine);
+  KRad sched;
+  const SimResult result = simulate(s.jobs, sched, s.machine);
+  const double bound = s.machine.response_bound(s.jobs.size());
+  EXPECT_LE(result.mean_response,
+            bound * bounds.mean_lower_bound(s.jobs.size()) + 1e-9)
+      << "Theorem 6 violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem6Heavy,
+    ::testing::Values(TheoremCase{31, 1, 2, 30}, TheoremCase{32, 2, 3, 25},
+                      TheoremCase{33, 2, 2, 60}, TheoremCase{34, 3, 4, 40},
+                      TheoremCase{35, 4, 2, 50}, TheoremCase{36, 1, 8, 100}),
+    case_name);
+
+// --- K = 1: RAD is (3 - 2/(n+1))-competitive for batched mean response ---
+
+class HomogeneousResponse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HomogeneousResponse, ThreeCompetitive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const int procs = static_cast<int>(rng.uniform_int(2, 16));
+    const auto jobs = static_cast<std::size_t>(rng.uniform_int(2, 24));
+    RandomDagJobParams jp;
+    jp.num_categories = 1;
+    jp.min_size = 4;
+    jp.max_size = 80;
+    JobSet set = make_dag_job_set(jp, jobs, rng);
+    const MachineConfig machine{{procs}};
+    const auto bounds = response_bounds(set, machine);
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    const double n = static_cast<double>(jobs);
+    const double bound = 3.0 - 2.0 / (n + 1.0);
+    EXPECT_LE(result.mean_response, bound * bounds.mean_lower_bound(jobs) + 1e-9)
+        << "procs=" << procs << " jobs=" << jobs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomogeneousResponse,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+// --- adversarial task-selection policies must not break the bounds ---
+
+class PolicyRobustness : public ::testing::TestWithParam<SelectionPolicy> {};
+
+TEST_P(PolicyRobustness, Theorem3HoldsUnderAllPolicies) {
+  Rng rng(99);
+  RandomDagJobParams jp;
+  jp.num_categories = 2;
+  jp.policy = GetParam();
+  jp.min_size = 6;
+  jp.max_size = 50;
+  JobSet set = make_dag_job_set(jp, 12, rng);
+  const MachineConfig machine{{3, 3}};
+  const auto bounds = makespan_bounds(set, machine);
+  KRad sched;
+  const SimResult result = simulate(set, sched, machine);
+  EXPECT_LE(static_cast<double>(result.makespan),
+            machine.makespan_bound() * static_cast<double>(bounds.lower_bound()) +
+                1e-9)
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyRobustness,
+    ::testing::Values(SelectionPolicy::kFifo, SelectionPolicy::kLifo,
+                      SelectionPolicy::kCriticalPathFirst,
+                      SelectionPolicy::kCriticalPathLast,
+                      SelectionPolicy::kRandom),
+    [](const auto& param_info) {
+      std::string name = to_string(param_info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace krad

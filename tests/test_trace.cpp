@@ -1,0 +1,129 @@
+// Tests for schedule traces and the Gantt renderer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace krad {
+namespace {
+
+SimResult traced_run(JobSet& set, const MachineConfig& machine) {
+  KRad sched;
+  SimOptions options;
+  options.record_trace = true;
+  return simulate(set, sched, machine, options);
+}
+
+TEST(Trace, EventsCoverExactlyTheWork) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(fork_join({0, 1}, 2, 3, 2)));
+  set.add(std::make_unique<DagJob>(category_chain({1}, 5, 2)));
+  const MachineConfig machine{{3, 2}};
+  const SimResult result = traced_run(set, machine);
+  EXPECT_EQ(result.trace->events().size(),
+            static_cast<std::size_t>(set.total_work(0) + set.total_work(1)));
+}
+
+TEST(Trace, EventTimesAreNonDecreasing) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 3, 4, 1)));
+  const SimResult result = traced_run(set, MachineConfig{{2}});
+  Time last = 0;
+  for (const TaskEvent& event : result.trace->events()) {
+    EXPECT_GE(event.t, last);
+    last = event.t;
+  }
+}
+
+TEST(Trace, ProcessorsDenseFromZeroEachStep) {
+  // Within one (step, category) the engine assigns processors 0..n-1.
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(fork_join({0}, 2, 5, 1)));
+  const SimResult result = traced_run(set, MachineConfig{{3}});
+  std::map<Time, std::vector<int>> by_step;
+  for (const TaskEvent& event : result.trace->events())
+    by_step[event.t].push_back(event.proc);
+  for (auto& [t, procs] : by_step) {
+    std::sort(procs.begin(), procs.end());
+    for (std::size_t i = 0; i < procs.size(); ++i)
+      EXPECT_EQ(procs[i], static_cast<int>(i)) << "step " << t;
+  }
+}
+
+TEST(Trace, StepRecordsMatchEngineInvariants) {
+  JobSet set(2);
+  for (int i = 0; i < 6; ++i)
+    set.add(std::make_unique<DagJob>(category_chain({0, 1}, 8, 2)));
+  const MachineConfig machine{{2, 2}};
+  const SimResult result = traced_run(set, machine);
+  for (const StepRecord& step : result.trace->steps()) {
+    ASSERT_EQ(step.active.size(), step.desire.size());
+    ASSERT_EQ(step.active.size(), step.allot.size());
+    EXPECT_TRUE(std::is_sorted(step.active.begin(), step.active.end()));
+    for (std::size_t j = 0; j < step.active.size(); ++j)
+      for (Category a = 0; a < 2; ++a) {
+        EXPECT_GE(step.allot[j][a], 0);
+        // K-RAD never allots beyond desire.
+        EXPECT_LE(step.allot[j][a], step.desire[j][a]);
+      }
+  }
+}
+
+TEST(Trace, StepTimesStrictlyIncreaseAcrossBusySteps) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)), 0);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)), 5);
+  const SimResult result = traced_run(set, MachineConfig{{1}});
+  ASSERT_EQ(result.trace->steps().size(), 2u);
+  EXPECT_EQ(result.trace->steps()[0].t, 1);
+  EXPECT_EQ(result.trace->steps()[1].t, 6);  // idle gap skipped
+}
+
+TEST(Gantt, GridDimensionsMatchMachine) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(category_chain({0, 1}, 6, 2)));
+  const MachineConfig machine{{3, 2}};
+  const SimResult result = traced_run(set, machine);
+  const std::string gantt = result.trace->gantt(machine);
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '|'),
+            2 * (3 + 2));  // two frame bars per processor row
+  EXPECT_NE(gantt.find("category 0 (P=3)"), std::string::npos);
+  EXPECT_NE(gantt.find("category 1 (P=2)"), std::string::npos);
+}
+
+TEST(Gantt, TruncationNotice) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 50, 1)));
+  const SimResult result = traced_run(set, MachineConfig{{1}});
+  const std::string gantt = result.trace->gantt(MachineConfig{{1}}, 10);
+  EXPECT_NE(gantt.find("truncated at step 10 of 50"), std::string::npos);
+}
+
+TEST(Gantt, JobGlyphsAppear) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 3, 1)));
+  set.add(std::make_unique<DagJob>(category_chain({0}, 3, 1)));
+  const SimResult result = traced_run(set, MachineConfig{{2}});
+  const std::string gantt = result.trace->gantt(MachineConfig{{2}});
+  EXPECT_NE(gantt.find('0'), std::string::npos);
+  EXPECT_NE(gantt.find('1'), std::string::npos);
+}
+
+TEST(Gantt, IdleCellsDotted) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{4}};
+  const SimResult result = traced_run(set, machine);
+  const std::string gantt = result.trace->gantt(machine);
+  // One task on four processors for one step: three idle cells.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '.'), 3);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,178 @@
+// Tests for dynamically unfolding jobs: structural determinism across
+// schedulers and execution orders, accounting exactness at completion,
+// caps, and theorem compliance on unfolding workloads.
+
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "jobs/unfolding_job.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sim/engine.hpp"
+
+namespace krad {
+namespace {
+
+std::unique_ptr<UnfoldingJob> make_job(Category k, std::uint64_t seed,
+                                       Work max_depth = 8,
+                                       Work max_tasks = 100000) {
+  return std::make_unique<UnfoldingJob>(k, /*root=*/0,
+                                        random_spawner(k, 1, 3, 0.9), max_depth,
+                                        max_tasks, "unfold", seed);
+}
+
+TEST(UnfoldingJob, RootOnlyInitially) {
+  auto job = make_job(2, 7);
+  EXPECT_EQ(job->desire(0), 1);
+  EXPECT_EQ(job->desire(1), 0);
+  EXPECT_EQ(job->total_spawned(), 1);
+  EXPECT_FALSE(job->finished());
+}
+
+TEST(UnfoldingJob, ChildrenAppearOnlyAfterAdvance) {
+  auto job = make_job(1, 7);
+  job->execute(0, 1, nullptr);
+  EXPECT_EQ(job->desire(0), 0);  // children pending
+  job->advance();
+  // Spawner with continue_prob 0.9 at depth 1 very likely spawned children,
+  // but either way accounting must be consistent.
+  EXPECT_EQ(job->total_spawned() - 1, job->desire(0));
+}
+
+TEST(UnfoldingJob, RunsToCompletionAndAccountsExactly) {
+  JobSet set(2);
+  set.add(make_job(2, 11));
+  KRad sched;
+  const SimResult result = simulate(set, sched, MachineConfig{{4, 4}});
+  const auto& job = dynamic_cast<const UnfoldingJob&>(set.job(0));
+  EXPECT_TRUE(job.finished());
+  EXPECT_EQ(result.executed_work[0] + result.executed_work[1],
+            job.total_spawned());
+  EXPECT_EQ(job.work(0) + job.work(1), job.total_spawned());
+  EXPECT_LE(job.span(), job.depth_limit());
+  EXPECT_GE(job.span(), 1);
+  EXPECT_EQ(job.remaining_span(), 0);
+  EXPECT_EQ(job.total_remaining_work(), 0);
+}
+
+TEST(UnfoldingJob, StructureIdenticalAcrossSchedulers) {
+  // The unfolded tree must be a pure function of the seed, not of the
+  // execution order the scheduler induces.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    std::vector<Work> totals;
+    std::vector<Work> spans;
+    KRad krad_sched;
+    KEqui equi;
+    KRoundRobin rr;
+    KScheduler* scheds[] = {&krad_sched, &equi, &rr};
+    for (KScheduler* sched : scheds) {
+      JobSet set(2);
+      set.add(make_job(2, seed));
+      simulate(set, *sched, MachineConfig{{3, 2}});
+      const auto& job = dynamic_cast<const UnfoldingJob&>(set.job(0));
+      totals.push_back(job.total_spawned());
+      spans.push_back(job.span());
+    }
+    EXPECT_EQ(totals[0], totals[1]) << "seed " << seed;
+    EXPECT_EQ(totals[0], totals[2]) << "seed " << seed;
+    EXPECT_EQ(spans[0], spans[1]) << "seed " << seed;
+    EXPECT_EQ(spans[0], spans[2]) << "seed " << seed;
+  }
+}
+
+TEST(UnfoldingJob, ResetReproducesTheSameTree) {
+  JobSet set(2);
+  set.add(make_job(2, 21));
+  KRad sched;
+  simulate(set, sched, MachineConfig{{2, 2}});
+  const Work first_total =
+      dynamic_cast<const UnfoldingJob&>(set.job(0)).total_spawned();
+  set.reset_all();
+  EXPECT_EQ(dynamic_cast<const UnfoldingJob&>(set.job(0)).total_spawned(), 1);
+  const SimResult again = simulate(set, sched, MachineConfig{{2, 2}});
+  EXPECT_EQ(dynamic_cast<const UnfoldingJob&>(set.job(0)).total_spawned(),
+            first_total);
+  EXPECT_GT(again.makespan, 0);
+}
+
+TEST(UnfoldingJob, DepthCapBindsSpan) {
+  // A deterministic always-binary spawner (random_spawner damps its
+  // continue probability with depth, so it cannot guarantee a full tree).
+  auto binary = [](Category, Work, Rng&) { return std::vector<Category>{0, 0}; };
+  JobSet set(1);
+  set.add(std::make_unique<UnfoldingJob>(1, 0, binary,
+                                         /*max_depth=*/5, /*max_tasks=*/100000,
+                                         "deep", 3));
+  KRad sched;
+  simulate(set, sched, MachineConfig{{64}});
+  const auto& job = dynamic_cast<const UnfoldingJob&>(set.job(0));
+  EXPECT_LE(job.span(), 5);
+  // Full binary unfolding to depth 5 with continue_prob 1: 2^5 - 1 = 31.
+  EXPECT_EQ(job.total_spawned(), 31);
+}
+
+TEST(UnfoldingJob, TaskBudgetCapsSize) {
+  JobSet set(1);
+  set.add(std::make_unique<UnfoldingJob>(1, 0, random_spawner(1, 3, 3, 1.0),
+                                         /*max_depth=*/30, /*max_tasks=*/500,
+                                         "capped", 9));
+  KRad sched;
+  const SimResult result = simulate(set, sched, MachineConfig{{8}});
+  const auto& job = dynamic_cast<const UnfoldingJob&>(set.job(0));
+  EXPECT_LE(job.total_spawned(), 500);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(UnfoldingJob, RemainingSpanIsUpperBoundEstimate) {
+  auto job = make_job(1, 31, /*max_depth=*/6);
+  EXPECT_EQ(job->remaining_span(), 6);  // root at depth 1, budget 6
+  job->execute(0, 1, nullptr);
+  job->advance();
+  if (!job->finished()) {
+    EXPECT_LE(job->remaining_span(), 5);
+  }
+}
+
+TEST(UnfoldingJob, RejectsBadConstruction) {
+  EXPECT_THROW(UnfoldingJob(0, 0, random_spawner(1, 1, 1, 0.5), 3, 10),
+               std::logic_error);
+  EXPECT_THROW(UnfoldingJob(1, 1, random_spawner(1, 1, 1, 0.5), 3, 10),
+               std::logic_error);
+  EXPECT_THROW(UnfoldingJob(1, 0, nullptr, 3, 10), std::logic_error);
+  EXPECT_THROW(UnfoldingJob(1, 0, random_spawner(1, 1, 1, 0.5), 0, 10),
+               std::logic_error);
+  EXPECT_THROW(random_spawner(1, 3, 2, 0.5), std::logic_error);
+}
+
+TEST(UnfoldingJob, Theorem3HoldsPostHoc) {
+  // Bounds computed AFTER the run (when work/span are exact) must satisfy
+  // Theorem 3 — the scheduler was non-clairvoyant throughout.
+  for (std::uint64_t seed : {41u, 42u, 43u}) {
+    JobSet set(2);
+    for (int i = 0; i < 6; ++i) set.add(make_job(2, seed * 10 + i));
+    const MachineConfig machine{{3, 3}};
+    KRad sched;
+    const SimResult result = simulate(set, sched, machine);
+    const auto bounds = makespan_bounds(set, machine);  // exact post-run
+    EXPECT_GE(result.makespan, bounds.lower_bound());
+    EXPECT_LE(static_cast<double>(result.makespan),
+              machine.makespan_bound() *
+                      static_cast<double>(bounds.lower_bound()) +
+                  1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(UnfoldingJob, SpawnerCategoryValidation) {
+  auto bad_spawner = [](Category, Work, Rng&) {
+    return std::vector<Category>{7};  // out of range
+  };
+  JobSet set(1);
+  set.add(std::make_unique<UnfoldingJob>(1, 0, bad_spawner, 4, 100, "bad", 1));
+  KRad sched;
+  EXPECT_THROW(simulate(set, sched, MachineConfig{{2}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,318 @@
+// Unit tests for util: deterministic RNG, statistics, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace krad {
+namespace {
+
+TEST(Rng, DeterministicStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  const auto first = rng();
+  rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformIntInRangeAndCoversRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // lo >= hi clamps to lo
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - 600);
+    EXPECT_LT(c, kDraws / 10 + 600);
+  }
+}
+
+TEST(Rng, UniformDoubleBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(13);
+  RunningStats small, large;
+  for (int i = 0; i < 20000; ++i) small.add(static_cast<double>(rng.poisson(3.0)));
+  for (int i = 0; i < 20000; ++i) large.add(static_cast<double>(rng.poisson(80.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 0.5);
+}
+
+TEST(Rng, GeometricMeanMatchesFormula) {
+  Rng rng(19);
+  RunningStats stats;
+  const double p = 0.25;
+  for (int i = 0; i < 40000; ++i)
+    stats.add(static_cast<double>(rng.geometric(p)));
+  // Mean of failures-before-success = (1-p)/p = 3.
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_GE(stats.min(), 0.0);
+  EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng rng(23);
+  Rng child = rng.split();
+  EXPECT_NE(rng(), child());
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10, 10);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, ConfidenceInterval) {
+  RunningStats stats;
+  EXPECT_EQ(stats.mean_ci_halfwidth(), 0.0);
+  stats.add(1.0);
+  EXPECT_EQ(stats.mean_ci_halfwidth(), 0.0);  // n < 2
+  for (int i = 0; i < 99; ++i) stats.add(i % 2 == 0 ? 0.0 : 2.0);
+  // hw = 1.96 * s / 10; s ~ 1.0 for the alternating series.
+  EXPECT_NEAR(stats.mean_ci_halfwidth(), 1.96 * stats.stddev() / 10.0, 1e-12);
+  EXPECT_GT(stats.mean_ci_halfwidth(), 0.0);
+  EXPECT_LT(stats.mean_ci_halfwidth(2.58), 0.3);
+  EXPECT_GT(stats.mean_ci_halfwidth(2.58), stats.mean_ci_halfwidth(1.96));
+}
+
+TEST(Percentile, Basics) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 0.9), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 0.5), 2.0);  // interpolation
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(-1.0);
+  hist.add(0.0);
+  hist.add(1.9);
+  hist.add(2.0);
+  hist.add(9.99);
+  hist.add(10.0);
+  hist.add(100.0);
+  EXPECT_EQ(hist.total(), 7u);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.bins()[0], 2u);  // 0.0 and 1.9
+  EXPECT_EQ(hist.bins()[1], 1u);  // 2.0
+  EXPECT_EQ(hist.bins()[4], 1u);  // 9.99
+  EXPECT_DOUBLE_EQ(hist.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(1), 4.0);
+  EXPECT_FALSE(hist.render().empty());
+}
+
+TEST(Table, RenderAlignsColumns) {
+  Table table({"name", "value"});
+  table.row().cell("short").cell(1);
+  table.row().cell("a-much-longer-name").cell(12345);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Header and rule and two rows -> four lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.columns(), 3u);
+  EXPECT_EQ(table.rows(), 0u);
+  table.row().cell(1).cell(2).cell(3);
+  table.row().cell("x");  // short row is padded on render
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_NE(table.render().find('x'), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table table({"x"});
+  table.row().cell(3.14159, 2);
+  EXPECT_NE(table.render().find("3.14"), std::string::npos);
+  EXPECT_EQ(table.render().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"a", "b"});
+  table.row().cell("plain").cell("with,comma");
+  table.row().cell("with\"quote").cell("x");
+  const std::string csv = table.csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(0, kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  constexpr std::size_t kCount = 500;
+  auto compute = [&](unsigned threads) {
+    std::vector<double> out(kCount);
+    parallel_for(
+        0, kCount,
+        [&](std::size_t i) {
+          Rng rng(1000 + i);  // per-index seed: determinism by construction
+          out[i] = rng.uniform();
+        },
+        threads);
+    return out;
+  };
+  const auto serial = compute(1);
+  const auto four = compute(4);
+  const auto many = compute(32);
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, many);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 42) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, UnevenWorkStillCompletes) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 64, [&](std::size_t i) {
+    // Skewed cost: index 0 does 1000x the work of the rest.
+    volatile double sink = 0;
+    const std::size_t reps = i == 0 ? 100000 : 100;
+    for (std::size_t r = 0; r < reps; ++r)
+      sink = sink + static_cast<double>(r);
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,195 @@
+// Tests for the independent schedule validator, including detection of
+// deliberately corrupted traces.
+
+#include <gtest/gtest.h>
+
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sim/engine.hpp"
+#include "sim/validator.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad {
+namespace {
+
+JobSet mixed_set(std::uint64_t seed, std::size_t count, Category k) {
+  Rng rng(seed);
+  RandomDagJobParams params;
+  params.num_categories = k;
+  params.min_size = 5;
+  params.max_size = 40;
+  return make_dag_job_set(params, count, rng);
+}
+
+SimResult run_traced(JobSet& set, KScheduler& sched, const MachineConfig& m) {
+  SimOptions options;
+  options.record_trace = true;
+  return simulate(set, sched, m, options);
+}
+
+TEST(Validator, KRadScheduleIsValid) {
+  JobSet set = mixed_set(1, 8, 2);
+  KRad sched;
+  const MachineConfig machine{{3, 2}};
+  const SimResult result = run_traced(set, sched, machine);
+  const auto violations = validate_schedule(set, machine, *result.trace);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(Validator, EverySchedulerProducesValidSchedules) {
+  const MachineConfig machine{{3, 2, 2}};
+  KRad krad_sched;
+  KEqui equi;
+  KRoundRobin rr;
+  KDeqOnly deq;
+  GreedyCp greedy;
+  Fcfs fcfs;
+  RandomAllot random;
+  KScheduler* scheds[] = {&krad_sched, &equi, &rr, &deq, &greedy, &fcfs, &random};
+  for (KScheduler* sched : scheds) {
+    JobSet set = mixed_set(42, 10, 3);
+    const SimResult result = run_traced(set, *sched, machine);
+    const auto violations = validate_schedule(set, machine, *result.trace);
+    EXPECT_TRUE(violations.empty())
+        << sched->name() << ": " << violations.front();
+  }
+}
+
+TEST(Validator, ValidWithReleaseTimes) {
+  JobSet set = mixed_set(3, 6, 2);
+  for (JobId id = 0; id < set.size(); ++id)
+    set.set_release(id, static_cast<Time>(id) * 3);
+  KRad sched;
+  const MachineConfig machine{{2, 2}};
+  const SimResult result = run_traced(set, sched, machine);
+  const auto violations = validate_schedule(set, machine, *result.trace);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(Validator, DetectsPrecedenceViolation) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 2, 1)));
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  // Execute the chain out of order.
+  trace.add_event(TaskEvent{1, 0, 0, 1, 0});
+  trace.add_event(TaskEvent{2, 0, 0, 0, 0});
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("precedence"), std::string::npos);
+}
+
+TEST(Validator, DetectsDoubleBookedProcessor) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{1, 0, 0, 0, 0});
+  trace.add_event(TaskEvent{1, 1, 0, 0, 0});  // same (cat, t, proc)
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("double-booked"), std::string::npos);
+}
+
+TEST(Validator, DetectsVertexExecutedTwice) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{2}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{1, 0, 0, 0, 0});
+  trace.add_event(TaskEvent{2, 0, 0, 0, 1});
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST(Validator, DetectsMissingVertices) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(category_chain({0}, 3, 1)));
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{1, 0, 0, 0, 0});
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("executed 1 of 3"), std::string::npos);
+}
+
+TEST(Validator, DetectsExecutionBeforeRelease) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)), 5);
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{3, 0, 0, 0, 0});  // t=3 <= release 5
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("before release"), std::string::npos);
+}
+
+TEST(Validator, DetectsOutOfRangeProcessor) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{1, 0, 0, 0, 7});
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("outside machine"), std::string::npos);
+}
+
+TEST(Validator, DetectsCategoryMismatch) {
+  JobSet set(2);
+  set.add(std::make_unique<DagJob>(single_task(0, 2)));
+  const MachineConfig machine{{1, 1}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{1, 0, 1, 0, 0});  // vertex 0 is category 0
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST(Validator, DetectsOverAllottedStepRecord) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  trace.add_event(TaskEvent{1, 0, 0, 0, 0});
+  StepRecord record;
+  record.t = 1;
+  record.active = {0};
+  record.desire = {{5}};
+  record.allot = {{5}};  // P = 1
+  trace.add_step(std::move(record));
+  const auto violations = validate_schedule(set, machine, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("over-allotted"), std::string::npos);
+}
+
+TEST(Validator, ViolationCapRespected) {
+  JobSet set(1);
+  set.add(std::make_unique<DagJob>(single_task(0, 1)));
+  const MachineConfig machine{{1}};
+  ScheduleTrace trace;
+  for (int i = 0; i < 100; ++i)
+    trace.add_event(TaskEvent{1, 0, 0, 0, 99});
+  const auto violations = validate_schedule(set, machine, trace, 5);
+  EXPECT_EQ(violations.size(), 5u);
+}
+
+TEST(Validator, GanttRendersNonEmpty) {
+  JobSet set = mixed_set(9, 3, 2);
+  KRad sched;
+  const MachineConfig machine{{2, 2}};
+  const SimResult result = run_traced(set, sched, machine);
+  const std::string gantt = result.trace->gantt(machine);
+  EXPECT_NE(gantt.find("category 0"), std::string::npos);
+  EXPECT_NE(gantt.find("category 1"), std::string::npos);
+  EXPECT_NE(gantt.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krad

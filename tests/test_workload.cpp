@@ -1,0 +1,183 @@
+// Tests for workload generation: random job sets, arrival processes, light
+// load guarantees, scenarios.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/krad.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/random_jobs.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad {
+namespace {
+
+TEST(RandomJobs, DagJobSetSizesWithinBounds) {
+  Rng rng(1);
+  RandomDagJobParams params;
+  params.num_categories = 3;
+  params.min_size = 10;
+  params.max_size = 50;
+  JobSet set = make_dag_job_set(params, 20, rng);
+  EXPECT_EQ(set.size(), 20u);
+  EXPECT_TRUE(set.batched());
+  for (JobId id = 0; id < set.size(); ++id) {
+    EXPECT_GE(set.job(id).total_work(), 1);
+    EXPECT_GE(set.job(id).span(), 1);
+    EXPECT_LE(set.job(id).span(), set.job(id).total_work());
+  }
+}
+
+TEST(RandomJobs, EveryShapeBuilds) {
+  Rng rng(2);
+  for (DagShape shape :
+       {DagShape::kLayered, DagShape::kForkJoin, DagShape::kChain,
+        DagShape::kSeriesParallel, DagShape::kMapReduce, DagShape::kWavefront,
+        DagShape::kTreeReduction, DagShape::kMixed}) {
+    RandomDagJobParams params;
+    params.num_categories = 2;
+    params.shape = shape;
+    params.min_size = 6;
+    params.max_size = 30;
+    for (int i = 0; i < 5; ++i) {
+      const JobPtr job = make_random_dag_job(params, rng, to_string(shape));
+      EXPECT_GE(job->total_work(), 1) << to_string(shape);
+    }
+  }
+}
+
+TEST(RandomJobs, DeterministicInSeed) {
+  RandomDagJobParams params;
+  params.num_categories = 2;
+  Rng a(9), b(9);
+  JobSet sa = make_dag_job_set(params, 10, a);
+  JobSet sb = make_dag_job_set(params, 10, b);
+  for (JobId id = 0; id < 10; ++id) {
+    EXPECT_EQ(sa.job(id).total_work(), sb.job(id).total_work());
+    EXPECT_EQ(sa.job(id).span(), sb.job(id).span());
+  }
+}
+
+TEST(RandomJobs, ProfileSetRespectsParams) {
+  Rng rng(3);
+  RandomProfileJobParams params;
+  params.num_categories = 2;
+  params.min_phases = 2;
+  params.max_phases = 4;
+  params.min_phase_work = 5;
+  params.max_phase_work = 50;
+  params.max_parallelism = 8;
+  JobSet set = make_profile_job_set(params, 15, rng);
+  EXPECT_EQ(set.size(), 15u);
+  for (JobId id = 0; id < set.size(); ++id) {
+    const auto& job = dynamic_cast<const ProfileJob&>(set.job(id));
+    EXPECT_GE(job.num_phases(), 2u);
+    EXPECT_LE(job.num_phases(), 4u);
+    EXPECT_GE(job.total_work(), 5);
+  }
+}
+
+TEST(RandomJobs, LightLoadSetStaysLight) {
+  // Simulate under K-RAD with trace and assert |J(alpha, t)| <= P_alpha at
+  // every recorded step — the precondition of Theorem 5.
+  Rng rng(4);
+  const MachineConfig machine{{6, 4}};
+  JobSet set = make_light_load_set(machine, 4, 5, 80, 4, rng);
+  KRad sched;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(set, sched, machine, options);
+  for (const StepRecord& step : result.trace->steps()) {
+    for (Category a = 0; a < 2; ++a) {
+      Work active = 0;
+      for (const auto& desires : step.desire)
+        if (desires[a] > 0) ++active;
+      EXPECT_LE(active, machine.processors[a]);
+    }
+  }
+}
+
+TEST(RandomJobs, LightLoadRejectsTooManyJobs) {
+  Rng rng(5);
+  const MachineConfig machine{{3, 8}};
+  EXPECT_THROW(make_light_load_set(machine, 4, 1, 10, 3, rng),
+               std::logic_error);
+}
+
+TEST(Arrivals, Batched) {
+  const auto r = batched_releases(5);
+  EXPECT_EQ(r, (std::vector<Time>{0, 0, 0, 0, 0}));
+}
+
+TEST(Arrivals, PoissonMonotoneAndStartsAtZero) {
+  Rng rng(6);
+  const auto r = poisson_releases(100, 4.0, rng);
+  EXPECT_EQ(r.front(), 0);
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+  // Mean gap approximately 4.
+  EXPECT_NEAR(static_cast<double>(r.back()) / 99.0, 4.0, 1.5);
+}
+
+TEST(Arrivals, Bursty) {
+  const auto r = bursty_releases(7, 3, 10);
+  EXPECT_EQ(r, (std::vector<Time>{0, 0, 0, 10, 10, 10, 20}));
+}
+
+TEST(Arrivals, UniformWithinHorizon) {
+  Rng rng(7);
+  const auto r = uniform_releases(200, 50, rng);
+  for (Time t : r) {
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, 50);
+  }
+}
+
+TEST(Scenarios, CpuIoBuildsAndRuns) {
+  Scenario s = scenario_cpu_io(6, 1);
+  EXPECT_EQ(s.machine.categories(), 2u);
+  KRad sched;
+  const SimResult result = simulate(s.jobs, sched, s.machine);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(Scenarios, HpcNodeHasArrivals) {
+  Scenario s = scenario_hpc_node(10, 5.0, 2);
+  EXPECT_EQ(s.machine.categories(), 3u);
+  EXPECT_FALSE(s.jobs.batched());
+  KRad sched;
+  const SimResult result = simulate(s.jobs, sched, s.machine);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(Scenarios, HeavyBatchHasMoreJobsThanProcessors) {
+  Scenario s = scenario_heavy_batch(2, 3, 20, 3);
+  EXPECT_EQ(s.jobs.size(), 20u);
+  EXPECT_TRUE(s.jobs.batched());
+  EXPECT_THROW(scenario_heavy_batch(2, 30, 20, 3), std::logic_error);
+}
+
+TEST(Scenarios, LightBatchRuns) {
+  Scenario s = scenario_light_batch(2, 8, 6, 4);
+  KRad sched;
+  const SimResult result = simulate(s.jobs, sched, s.machine);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(Scenarios, HomogeneousIsK1) {
+  Scenario s = scenario_homogeneous(16, 8, 5);
+  EXPECT_EQ(s.machine.categories(), 1u);
+  KRad sched;
+  const SimResult result = simulate(s.jobs, sched, s.machine);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(Scenarios, ApplyReleasesMismatchedSizeRejected) {
+  Scenario s = scenario_cpu_io(3, 6);
+  EXPECT_THROW(apply_releases(s.jobs, {0, 1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace krad
