@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faceoff.dir/bench_faceoff.cpp.o"
+  "CMakeFiles/bench_faceoff.dir/bench_faceoff.cpp.o.d"
+  "bench_faceoff"
+  "bench_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homogeneous.dir/bench_homogeneous.cpp.o"
+  "CMakeFiles/bench_homogeneous.dir/bench_homogeneous.cpp.o.d"
+  "bench_homogeneous"
+  "bench_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

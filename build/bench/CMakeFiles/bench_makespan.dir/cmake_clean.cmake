@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_makespan.dir/bench_makespan.cpp.o"
+  "CMakeFiles/bench_makespan.dir/bench_makespan.cpp.o.d"
+  "bench_makespan"
+  "bench_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

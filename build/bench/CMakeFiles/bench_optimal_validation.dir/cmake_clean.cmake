@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_validation.dir/bench_optimal_validation.cpp.o"
+  "CMakeFiles/bench_optimal_validation.dir/bench_optimal_validation.cpp.o.d"
+  "bench_optimal_validation"
+  "bench_optimal_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_response_heavy.dir/bench_response_heavy.cpp.o"
+  "CMakeFiles/bench_response_heavy.dir/bench_response_heavy.cpp.o.d"
+  "bench_response_heavy"
+  "bench_response_heavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_response_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

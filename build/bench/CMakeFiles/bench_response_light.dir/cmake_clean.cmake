@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_response_light.dir/bench_response_light.cpp.o"
+  "CMakeFiles/bench_response_light.dir/bench_response_light.cpp.o.d"
+  "bench_response_light"
+  "bench_response_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_response_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adversary_demo.cpp" "examples/CMakeFiles/example_adversary_demo.dir/adversary_demo.cpp.o" "gcc" "examples/CMakeFiles/example_adversary_demo.dir/adversary_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

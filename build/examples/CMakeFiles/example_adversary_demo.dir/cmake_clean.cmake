@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adversary_demo.dir/adversary_demo.cpp.o"
+  "CMakeFiles/example_adversary_demo.dir/adversary_demo.cpp.o.d"
+  "example_adversary_demo"
+  "example_adversary_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adversary_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_unfolding.dir/dynamic_unfolding.cpp.o"
+  "CMakeFiles/example_dynamic_unfolding.dir/dynamic_unfolding.cpp.o.d"
+  "example_dynamic_unfolding"
+  "example_dynamic_unfolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gantt.dir/gantt.cpp.o"
+  "CMakeFiles/example_gantt.dir/gantt.cpp.o.d"
+  "example_gantt"
+  "example_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_pipeline.dir/heterogeneous_pipeline.cpp.o"
+  "CMakeFiles/example_heterogeneous_pipeline.dir/heterogeneous_pipeline.cpp.o.d"
+  "example_heterogeneous_pipeline"
+  "example_heterogeneous_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scheduler_faceoff.dir/scheduler_faceoff.cpp.o"
+  "CMakeFiles/example_scheduler_faceoff.dir/scheduler_faceoff.cpp.o.d"
+  "example_scheduler_faceoff"
+  "example_scheduler_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scheduler_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

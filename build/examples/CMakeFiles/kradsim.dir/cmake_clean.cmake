@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kradsim.dir/kradsim.cpp.o"
+  "CMakeFiles/kradsim.dir/kradsim.cpp.o.d"
+  "kradsim"
+  "kradsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kradsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

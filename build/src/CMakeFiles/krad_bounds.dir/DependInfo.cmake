@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/lower_bounds.cpp" "src/CMakeFiles/krad_bounds.dir/bounds/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/krad_bounds.dir/bounds/lower_bounds.cpp.o.d"
+  "/root/repo/src/bounds/optimal.cpp" "src/CMakeFiles/krad_bounds.dir/bounds/optimal.cpp.o" "gcc" "src/CMakeFiles/krad_bounds.dir/bounds/optimal.cpp.o.d"
+  "/root/repo/src/bounds/squashed.cpp" "src/CMakeFiles/krad_bounds.dir/bounds/squashed.cpp.o" "gcc" "src/CMakeFiles/krad_bounds.dir/bounds/squashed.cpp.o.d"
+  "/root/repo/src/bounds/step_accounting.cpp" "src/CMakeFiles/krad_bounds.dir/bounds/step_accounting.cpp.o" "gcc" "src/CMakeFiles/krad_bounds.dir/bounds/step_accounting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

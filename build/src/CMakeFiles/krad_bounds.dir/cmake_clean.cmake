@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_bounds.dir/bounds/lower_bounds.cpp.o"
+  "CMakeFiles/krad_bounds.dir/bounds/lower_bounds.cpp.o.d"
+  "CMakeFiles/krad_bounds.dir/bounds/optimal.cpp.o"
+  "CMakeFiles/krad_bounds.dir/bounds/optimal.cpp.o.d"
+  "CMakeFiles/krad_bounds.dir/bounds/squashed.cpp.o"
+  "CMakeFiles/krad_bounds.dir/bounds/squashed.cpp.o.d"
+  "CMakeFiles/krad_bounds.dir/bounds/step_accounting.cpp.o"
+  "CMakeFiles/krad_bounds.dir/bounds/step_accounting.cpp.o.d"
+  "libkrad_bounds.a"
+  "libkrad_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deq.cpp" "src/CMakeFiles/krad_core.dir/core/deq.cpp.o" "gcc" "src/CMakeFiles/krad_core.dir/core/deq.cpp.o.d"
+  "/root/repo/src/core/krad.cpp" "src/CMakeFiles/krad_core.dir/core/krad.cpp.o" "gcc" "src/CMakeFiles/krad_core.dir/core/krad.cpp.o.d"
+  "/root/repo/src/core/rad.cpp" "src/CMakeFiles/krad_core.dir/core/rad.cpp.o" "gcc" "src/CMakeFiles/krad_core.dir/core/rad.cpp.o.d"
+  "/root/repo/src/core/round_robin.cpp" "src/CMakeFiles/krad_core.dir/core/round_robin.cpp.o" "gcc" "src/CMakeFiles/krad_core.dir/core/round_robin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

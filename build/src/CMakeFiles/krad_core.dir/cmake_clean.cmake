@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_core.dir/core/deq.cpp.o"
+  "CMakeFiles/krad_core.dir/core/deq.cpp.o.d"
+  "CMakeFiles/krad_core.dir/core/krad.cpp.o"
+  "CMakeFiles/krad_core.dir/core/krad.cpp.o.d"
+  "CMakeFiles/krad_core.dir/core/rad.cpp.o"
+  "CMakeFiles/krad_core.dir/core/rad.cpp.o.d"
+  "CMakeFiles/krad_core.dir/core/round_robin.cpp.o"
+  "CMakeFiles/krad_core.dir/core/round_robin.cpp.o.d"
+  "libkrad_core.a"
+  "libkrad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/analysis.cpp" "src/CMakeFiles/krad_dag.dir/dag/analysis.cpp.o" "gcc" "src/CMakeFiles/krad_dag.dir/dag/analysis.cpp.o.d"
+  "/root/repo/src/dag/builders.cpp" "src/CMakeFiles/krad_dag.dir/dag/builders.cpp.o" "gcc" "src/CMakeFiles/krad_dag.dir/dag/builders.cpp.o.d"
+  "/root/repo/src/dag/io.cpp" "src/CMakeFiles/krad_dag.dir/dag/io.cpp.o" "gcc" "src/CMakeFiles/krad_dag.dir/dag/io.cpp.o.d"
+  "/root/repo/src/dag/kdag.cpp" "src/CMakeFiles/krad_dag.dir/dag/kdag.cpp.o" "gcc" "src/CMakeFiles/krad_dag.dir/dag/kdag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_dag.dir/dag/analysis.cpp.o"
+  "CMakeFiles/krad_dag.dir/dag/analysis.cpp.o.d"
+  "CMakeFiles/krad_dag.dir/dag/builders.cpp.o"
+  "CMakeFiles/krad_dag.dir/dag/builders.cpp.o.d"
+  "CMakeFiles/krad_dag.dir/dag/io.cpp.o"
+  "CMakeFiles/krad_dag.dir/dag/io.cpp.o.d"
+  "CMakeFiles/krad_dag.dir/dag/kdag.cpp.o"
+  "CMakeFiles/krad_dag.dir/dag/kdag.cpp.o.d"
+  "libkrad_dag.a"
+  "libkrad_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

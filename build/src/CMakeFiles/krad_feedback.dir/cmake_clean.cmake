@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_feedback.dir/feedback/feedback.cpp.o"
+  "CMakeFiles/krad_feedback.dir/feedback/feedback.cpp.o.d"
+  "libkrad_feedback.a"
+  "libkrad_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_hetero.dir/hetero/speed_engine.cpp.o"
+  "CMakeFiles/krad_hetero.dir/hetero/speed_engine.cpp.o.d"
+  "libkrad_hetero.a"
+  "libkrad_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

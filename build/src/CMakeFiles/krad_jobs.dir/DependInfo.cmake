@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jobs/dag_job.cpp" "src/CMakeFiles/krad_jobs.dir/jobs/dag_job.cpp.o" "gcc" "src/CMakeFiles/krad_jobs.dir/jobs/dag_job.cpp.o.d"
+  "/root/repo/src/jobs/job_set.cpp" "src/CMakeFiles/krad_jobs.dir/jobs/job_set.cpp.o" "gcc" "src/CMakeFiles/krad_jobs.dir/jobs/job_set.cpp.o.d"
+  "/root/repo/src/jobs/profile_job.cpp" "src/CMakeFiles/krad_jobs.dir/jobs/profile_job.cpp.o" "gcc" "src/CMakeFiles/krad_jobs.dir/jobs/profile_job.cpp.o.d"
+  "/root/repo/src/jobs/unfolding_job.cpp" "src/CMakeFiles/krad_jobs.dir/jobs/unfolding_job.cpp.o" "gcc" "src/CMakeFiles/krad_jobs.dir/jobs/unfolding_job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

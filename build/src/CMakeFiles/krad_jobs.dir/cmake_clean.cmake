@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_jobs.dir/jobs/dag_job.cpp.o"
+  "CMakeFiles/krad_jobs.dir/jobs/dag_job.cpp.o.d"
+  "CMakeFiles/krad_jobs.dir/jobs/job_set.cpp.o"
+  "CMakeFiles/krad_jobs.dir/jobs/job_set.cpp.o.d"
+  "CMakeFiles/krad_jobs.dir/jobs/profile_job.cpp.o"
+  "CMakeFiles/krad_jobs.dir/jobs/profile_job.cpp.o.d"
+  "CMakeFiles/krad_jobs.dir/jobs/unfolding_job.cpp.o"
+  "CMakeFiles/krad_jobs.dir/jobs/unfolding_job.cpp.o.d"
+  "libkrad_jobs.a"
+  "libkrad_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fcfs.cpp" "src/CMakeFiles/krad_sched.dir/sched/fcfs.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/fcfs.cpp.o.d"
+  "/root/repo/src/sched/greedy_cp.cpp" "src/CMakeFiles/krad_sched.dir/sched/greedy_cp.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/greedy_cp.cpp.o.d"
+  "/root/repo/src/sched/kdeq_only.cpp" "src/CMakeFiles/krad_sched.dir/sched/kdeq_only.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/kdeq_only.cpp.o.d"
+  "/root/repo/src/sched/kequi.cpp" "src/CMakeFiles/krad_sched.dir/sched/kequi.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/kequi.cpp.o.d"
+  "/root/repo/src/sched/kround_robin.cpp" "src/CMakeFiles/krad_sched.dir/sched/kround_robin.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/kround_robin.cpp.o.d"
+  "/root/repo/src/sched/random_allot.cpp" "src/CMakeFiles/krad_sched.dir/sched/random_allot.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/random_allot.cpp.o.d"
+  "/root/repo/src/sched/srpt.cpp" "src/CMakeFiles/krad_sched.dir/sched/srpt.cpp.o" "gcc" "src/CMakeFiles/krad_sched.dir/sched/srpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_sched.dir/sched/fcfs.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/fcfs.cpp.o.d"
+  "CMakeFiles/krad_sched.dir/sched/greedy_cp.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/greedy_cp.cpp.o.d"
+  "CMakeFiles/krad_sched.dir/sched/kdeq_only.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/kdeq_only.cpp.o.d"
+  "CMakeFiles/krad_sched.dir/sched/kequi.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/kequi.cpp.o.d"
+  "CMakeFiles/krad_sched.dir/sched/kround_robin.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/kround_robin.cpp.o.d"
+  "CMakeFiles/krad_sched.dir/sched/random_allot.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/random_allot.cpp.o.d"
+  "CMakeFiles/krad_sched.dir/sched/srpt.cpp.o"
+  "CMakeFiles/krad_sched.dir/sched/srpt.cpp.o.d"
+  "libkrad_sched.a"
+  "libkrad_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

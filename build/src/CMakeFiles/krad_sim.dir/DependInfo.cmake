@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/krad_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/krad_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/export.cpp" "src/CMakeFiles/krad_sim.dir/sim/export.cpp.o" "gcc" "src/CMakeFiles/krad_sim.dir/sim/export.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/krad_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/krad_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/svg.cpp" "src/CMakeFiles/krad_sim.dir/sim/svg.cpp.o" "gcc" "src/CMakeFiles/krad_sim.dir/sim/svg.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/krad_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/krad_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/validator.cpp" "src/CMakeFiles/krad_sim.dir/sim/validator.cpp.o" "gcc" "src/CMakeFiles/krad_sim.dir/sim/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/krad_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/krad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

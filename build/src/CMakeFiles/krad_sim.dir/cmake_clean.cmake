@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/krad_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/krad_sim.dir/sim/export.cpp.o"
+  "CMakeFiles/krad_sim.dir/sim/export.cpp.o.d"
+  "CMakeFiles/krad_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/krad_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/krad_sim.dir/sim/svg.cpp.o"
+  "CMakeFiles/krad_sim.dir/sim/svg.cpp.o.d"
+  "CMakeFiles/krad_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/krad_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/krad_sim.dir/sim/validator.cpp.o"
+  "CMakeFiles/krad_sim.dir/sim/validator.cpp.o.d"
+  "libkrad_sim.a"
+  "libkrad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_util.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/krad_util.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/krad_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/krad_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/krad_util.dir/util/rng.cpp.o"
+  "CMakeFiles/krad_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/krad_util.dir/util/stats.cpp.o"
+  "CMakeFiles/krad_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/krad_util.dir/util/table.cpp.o"
+  "CMakeFiles/krad_util.dir/util/table.cpp.o.d"
+  "libkrad_util.a"
+  "libkrad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

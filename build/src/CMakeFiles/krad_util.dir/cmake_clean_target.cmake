@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkrad_util.a"
+)

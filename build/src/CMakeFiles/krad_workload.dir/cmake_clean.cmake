@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krad_workload.dir/workload/adversary.cpp.o"
+  "CMakeFiles/krad_workload.dir/workload/adversary.cpp.o.d"
+  "CMakeFiles/krad_workload.dir/workload/arrivals.cpp.o"
+  "CMakeFiles/krad_workload.dir/workload/arrivals.cpp.o.d"
+  "CMakeFiles/krad_workload.dir/workload/random_jobs.cpp.o"
+  "CMakeFiles/krad_workload.dir/workload/random_jobs.cpp.o.d"
+  "CMakeFiles/krad_workload.dir/workload/scenarios.cpp.o"
+  "CMakeFiles/krad_workload.dir/workload/scenarios.cpp.o.d"
+  "CMakeFiles/krad_workload.dir/workload/spec.cpp.o"
+  "CMakeFiles/krad_workload.dir/workload/spec.cpp.o.d"
+  "libkrad_workload.a"
+  "libkrad_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krad_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

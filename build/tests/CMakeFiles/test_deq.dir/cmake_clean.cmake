@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deq.dir/test_deq.cpp.o"
+  "CMakeFiles/test_deq.dir/test_deq.cpp.o.d"
+  "test_deq"
+  "test_deq.pdb"
+  "test_deq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feedback.dir/test_feedback.cpp.o"
+  "CMakeFiles/test_feedback.dir/test_feedback.cpp.o.d"
+  "test_feedback"
+  "test_feedback.pdb"
+  "test_feedback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

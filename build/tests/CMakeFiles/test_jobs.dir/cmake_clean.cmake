@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jobs.dir/test_jobs.cpp.o"
+  "CMakeFiles/test_jobs.dir/test_jobs.cpp.o.d"
+  "test_jobs"
+  "test_jobs.pdb"
+  "test_jobs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proof_steps.dir/test_proof_steps.cpp.o"
+  "CMakeFiles/test_proof_steps.dir/test_proof_steps.cpp.o.d"
+  "test_proof_steps"
+  "test_proof_steps.pdb"
+  "test_proof_steps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proof_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

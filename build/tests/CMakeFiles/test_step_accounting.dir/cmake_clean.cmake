@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_step_accounting.dir/test_step_accounting.cpp.o"
+  "CMakeFiles/test_step_accounting.dir/test_step_accounting.cpp.o.d"
+  "test_step_accounting"
+  "test_step_accounting.pdb"
+  "test_step_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_step_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unfolding.dir/test_unfolding.cpp.o"
+  "CMakeFiles/test_unfolding.dir/test_unfolding.cpp.o.d"
+  "test_unfolding"
+  "test_unfolding.pdb"
+  "test_unfolding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_builders[1]_include.cmake")
+include("/root/repo/build/tests/test_jobs[1]_include.cmake")
+include("/root/repo/build/tests/test_deq[1]_include.cmake")
+include("/root/repo/build/tests/test_rad[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_validator[1]_include.cmake")
+include("/root/repo/build/tests/test_bounds[1]_include.cmake")
+include("/root/repo/build/tests/test_optimal[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_adversary[1]_include.cmake")
+include("/root/repo/build/tests/test_theorems[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_step_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero[1]_include.cmake")
+include("/root/repo/build/tests/test_feedback[1]_include.cmake")
+include("/root/repo/build/tests/test_dag_io[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_proof_steps[1]_include.cmake")
+include("/root/repo/build/tests/test_unfolding[1]_include.cmake")
+include("/root/repo/build/tests/test_exhaustive[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
