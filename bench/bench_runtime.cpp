@@ -1,0 +1,137 @@
+// Scheduling overhead vs quantum length on the live executor.
+//
+// The simulator charges the scheduler nothing; a live system pays
+// KScheduler::allot once per quantum.  Short quanta track desire changes
+// tightly but pay the overhead often; long quanta amortise it at the cost of
+// allocation staleness.  This bench runs one fixed heterogeneous workload in
+// wall-clock mode across a quantum-length sweep and reports the measured
+// curve: quanta used, mean in-scheduler time per quantum, the overhead
+// fraction of the quantum budget, and end-to-end wall time.
+//
+// A virtual-clock run (quantum = 0) anchors the curve: it is the fastest the
+// executor can go, bounded only by task execution and barrier cost.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "dag/builders.hpp"
+#include "runtime/executor.hpp"
+
+namespace {
+
+using namespace krad;
+
+std::atomic<std::uint64_t> g_sink{0};
+
+// ~2-3 us of real work per task at typical clock rates.
+void spin_task() {
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  for (int i = 0; i < 1200; ++i) {
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+  }
+  g_sink.fetch_add(h, std::memory_order_relaxed);
+}
+
+Executor build_workload(ExecutorOptions options) {
+  Executor executor(MachineConfig{{4, 2, 2}}, options);
+  Rng rng(42);
+  for (int i = 0; i < 8; ++i) {
+    LayeredParams params;
+    params.layers = 10;
+    params.max_width = 6;
+    params.num_categories = 3;
+    auto job = std::make_unique<RuntimeJob>(layered_random(params, rng),
+                                            "job-" + std::to_string(i));
+    job->set_all_tasks(spin_task);
+    executor.submit(std::move(job), /*release=*/i / 2);
+  }
+  return executor;
+}
+
+}  // namespace
+
+int main() {
+  using namespace krad;
+  using krad::bench::check;
+
+  print_banner(std::cout, "runtime executor: scheduling overhead vs quantum length");
+
+  Table table({"quantum_us", "busy_q", "sched_us/q", "overhead_%", "barrier_us/q",
+               "wall_ms"});
+
+  // Virtual-clock anchor.
+  double virtual_wall_ms = 0.0;
+  {
+    ExecutorOptions options;
+    options.record_trace = false;
+    Executor executor = build_workload(options);
+    KRad scheduler;
+    const RuntimeResult r = executor.run(scheduler);
+    virtual_wall_ms = r.wall_seconds * 1e3;
+    double barrier_us = 0.0;
+    for (const QuantumStats& q : r.quanta)
+      barrier_us += static_cast<double>(q.barrier_ns) / 1e3;
+    barrier_us /= static_cast<double>(r.quanta.size());
+    table.row()
+        .cell("0 (virtual)")
+        .cell(r.busy_quanta)
+        .cell(r.mean_schedule_overhead_ns / 1e3, 2)
+        .cell(100.0 * r.mean_schedule_overhead_ns / r.mean_quantum_ns, 2)
+        .cell(barrier_us, 2)
+        .cell(r.wall_seconds * 1e3, 1);
+    check(r.busy_quanta > 0, "virtual run executed quanta");
+  }
+
+  Time reference_quanta = 0;
+  for (const long quantum_us : {50L, 200L, 500L, 2000L}) {
+    ExecutorOptions options;
+    options.clock = ClockMode::kWall;
+    options.quantum_length = std::chrono::microseconds{quantum_us};
+    options.record_trace = false;
+    Executor executor = build_workload(options);
+    KRad scheduler;
+    const RuntimeResult r = executor.run(scheduler);
+    double barrier_us = 0.0;
+    for (const QuantumStats& q : r.quanta)
+      barrier_us += static_cast<double>(q.barrier_ns) / 1e3;
+    barrier_us /= static_cast<double>(r.quanta.size());
+    table.row()
+        .cell(static_cast<std::int64_t>(quantum_us))
+        .cell(r.busy_quanta)
+        .cell(r.mean_schedule_overhead_ns / 1e3, 2)
+        .cell(100.0 * r.mean_schedule_overhead_ns /
+                  static_cast<double>(quantum_us * 1000),
+              2)
+        .cell(barrier_us, 2)
+        .cell(r.wall_seconds * 1e3, 1);
+
+    if (reference_quanta == 0) reference_quanta = r.busy_quanta;
+    // Allotment counts are clock-independent (every quantum is a full
+    // barrier); only the racy promote order of concurrently finishing tasks
+    // can nudge later desires, so quanta may drift slightly but not scale
+    // with the quantum length.
+    const double drift =
+        static_cast<double>(r.busy_quanta > reference_quanta
+                                ? r.busy_quanta - reference_quanta
+                                : reference_quanta - r.busy_quanta) /
+        static_cast<double>(reference_quanta);
+    check(drift <= 0.25,
+          "busy quanta roughly stable across quantum lengths (got " +
+              std::to_string(r.busy_quanta) + ", reference " +
+              std::to_string(reference_quanta) + ")");
+    check(r.wall_seconds * 1e3 >= virtual_wall_ms * 0.5,
+          "wall pacing not faster than the virtual anchor");
+  }
+
+  table.print(std::cout);
+  std::cout << "\nreading the curve: overhead_% = mean allot() time / quantum "
+               "budget; pick the\nshortest quantum whose overhead share is "
+               "acceptable — longer only adds staleness.\n";
+  return krad::bench::finish("bench_runtime");
+}

@@ -1,0 +1,180 @@
+// Live runtime demo: the paper's K-RAD driving REAL threads, not the
+// discrete-time simulator.
+//
+// A 3-category machine (CPU cores, vector units, I/O channels) is realised
+// as three worker pools; jobs are K-DAGs whose vertices carry actual task
+// closures.  Each scheduling quantum the executor collects instantaneous
+// per-category desires, asks the unmodified KScheduler for allotments, and
+// admits at most a(Ji, alpha) ready alpha-tasks per job — the same contract
+// the simulator enforces, now with wall-clock concurrency.
+//
+// Demonstrates:
+//   * the quantum loop on worker pools (virtual and wall clocks),
+//   * the recorded live trace passing the Section-2 validator unchanged,
+//   * the a <= d invariant of DEQ-based schedulers on a live run,
+//   * A-GREEDY desire feedback (src/feedback) layered over the executor.
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "runtime/executor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace krad;
+
+constexpr Category kCpu = 0, kVec = 1, kIo = 2;
+
+// A small amount of genuine work per task, so threads really compute.
+std::atomic<std::uint64_t> g_checksum{0};
+std::atomic<std::int64_t> g_tasks_run{0};
+
+void busy_task(std::uint64_t salt) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ salt;
+  for (int i = 0; i < 2000; ++i) {
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+  }
+  g_checksum.fetch_add(h, std::memory_order_relaxed);
+  g_tasks_run.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Heterogeneous pipeline jobs: ingest (I/O) -> parse fan-out (CPU) ->
+/// vectorized kernel (VEC) -> reduce (CPU) -> write (I/O).
+std::unique_ptr<RuntimeJob> make_pipeline(int index) {
+  KDag dag(3);
+  const auto [in_first, in_last] = dag.add_chain(kIo, 2);
+  std::vector<VertexId> parsed;
+  for (int i = 0; i < 6 + index % 3; ++i) {
+    const VertexId p = dag.add_vertex(kCpu);
+    dag.add_edge(in_last, p);
+    const VertexId v = dag.add_vertex(kVec);
+    dag.add_edge(p, v);
+    parsed.push_back(v);
+  }
+  const VertexId reduce = dag.add_vertex(kCpu);
+  for (VertexId v : parsed) dag.add_edge(v, reduce);
+  const VertexId write = dag.add_vertex(kIo);
+  dag.add_edge(reduce, write);
+  dag.seal();
+
+  auto job = std::make_unique<RuntimeJob>(
+      std::move(dag), "pipeline-" + std::to_string(index));
+  job->set_all_tasks([index] { busy_task(static_cast<std::uint64_t>(index)); });
+  return job;
+}
+
+std::unique_ptr<RuntimeJob> make_wavefront(int index) {
+  KDag dag = grid_wavefront(5, 5, {kCpu, kVec, kCpu}, 3);
+  auto job = std::make_unique<RuntimeJob>(
+      std::move(dag), "wavefront-" + std::to_string(index));
+  job->set_all_tasks(
+      [index] { busy_task(0xabcdull * static_cast<std::uint64_t>(index)); });
+  return job;
+}
+
+Executor build_workload(ExecutorOptions options) {
+  Executor executor(MachineConfig{{4, 2, 2}}, options);
+  for (int i = 0; i < 6; ++i)
+    executor.submit(make_pipeline(i), /*release=*/i);
+  for (int i = 0; i < 3; ++i)
+    executor.submit(make_wavefront(i), /*release=*/2 * i);
+  return executor;
+}
+
+void report(const char* label, const Executor& executor,
+            const RuntimeResult& result) {
+  Table table({"run", "makespan", "busy_q", "cpu_util", "vec_util", "io_util",
+               "sched_us/q", "wall_ms"});
+  table.row()
+      .cell(label)
+      .cell(result.makespan)
+      .cell(result.busy_quanta)
+      .cell(result.utilization[kCpu], 2)
+      .cell(result.utilization[kVec], 2)
+      .cell(result.utilization[kIo], 2)
+      .cell(result.mean_schedule_overhead_ns / 1e3, 1)
+      .cell(result.wall_seconds * 1e3, 1);
+  table.print(std::cout);
+
+  if (result.trace == nullptr) return;
+  const auto violations = validate_schedule(
+      std::span<const TraceJobInfo>(executor.validation_inputs()),
+      executor.machine(), *result.trace);
+  if (violations.empty()) {
+    std::cout << "  validator: OK (precedence, capacity, booking, release "
+                 "all hold on the live trace)\n";
+  } else {
+    for (const auto& v : violations) std::cout << "  [VIOLATION] " << v << '\n';
+  }
+
+  // DEQ never grants a job more than it asked for: a(Ji,alpha) <= d(Ji,alpha).
+  bool bounded = true;
+  for (const StepRecord& step : result.trace->steps())
+    for (std::size_t j = 0; j < step.allot.size(); ++j)
+      for (std::size_t a = 0; a < step.allot[j].size(); ++a)
+        if (step.allot[j][a] > step.desire[j][a]) bounded = false;
+  std::cout << (bounded ? "  allotment <= desire at every quantum\n"
+                        : "  [VIOLATION] allotment exceeded desire\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace krad;
+
+  std::cout << "K-RAD as a live scheduler on threaded worker pools\n"
+            << "machine: 4 CPU + 2 VEC + 2 I/O workers, 9 pipeline/wavefront "
+               "jobs, staggered releases\n\n";
+
+  // 1. Full speed: virtual-clock quanta, one thread per modelled processor.
+  {
+    Executor executor = build_workload({});
+    KRad krad_sched;
+    const RuntimeResult result = executor.run(krad_sched);
+    report("K-RAD / virtual clock", executor, result);
+    std::cout << "  tasks executed on worker threads: " << g_tasks_run.load()
+              << " (checksum " << std::hex << g_checksum.load() << std::dec
+              << ")\n\n";
+  }
+
+  // 2. Wall-clock pacing: each quantum lasts at least 200us; the scheduler
+  //    runs once per quantum, so overhead amortises over the quantum length.
+  {
+    ExecutorOptions options;
+    options.clock = ClockMode::kWall;
+    options.quantum_length = std::chrono::microseconds{200};
+    Executor executor = build_workload(options);
+    KRad krad_sched;
+    const RuntimeResult result = executor.run(krad_sched);
+    report("K-RAD / wall 200us", executor, result);
+    std::cout << '\n';
+  }
+
+  // 3. Feedback-estimated desires: the scheduler sees A-GREEDY requests
+  //    (grown/shrunk by observed utilization) instead of true ready counts —
+  //    the deployable configuration when desires are not observable.
+  {
+    ExecutorOptions options;
+    options.feedback = FeedbackParams{};
+    Executor executor = build_workload(options);
+    KRad krad_sched;
+    const RuntimeResult result = executor.run(krad_sched);
+    Table table({"run", "makespan", "busy_q", "wall_ms"});
+    table.row()
+        .cell("K-RAD+feedback / virtual")
+        .cell(result.makespan)
+        .cell(result.busy_quanta)
+        .cell(result.wall_seconds * 1e3, 1);
+    table.print(std::cout);
+    std::cout << "  (the scheduler saw multiplicative A-GREEDY requests, not "
+                 "true ready counts;\n   utilization-driven estimation is "
+                 "what a deployed system runs on)\n";
+  }
+  return 0;
+}

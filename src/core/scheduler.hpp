@@ -1,13 +1,17 @@
 #pragma once
 // Scheduler interface.
 //
-// The engine presents, each step, the set of active (released, uncompleted)
-// jobs and their per-category desires d(Ji, alpha, t); the scheduler answers
-// with per-category allotments a(Ji, alpha, t).  Non-clairvoyance is enforced
-// by the interface: the default view carries nothing but desires.  Schedulers
-// that declare themselves clairvoyant additionally receive remaining spans
-// and remaining works (the offline information the paper's optimal scheduler
-// has), so the type of information each algorithm uses is explicit.
+// The driver — the discrete-time engine (sim/engine.hpp) or the live
+// executor (runtime/executor.hpp) — presents, each step/quantum, the set of
+// active (released, uncompleted) jobs and their per-category desires
+// d(Ji, alpha, t); the scheduler answers with per-category allotments
+// a(Ji, alpha, t).  Non-clairvoyance is enforced by the interface: the
+// default view carries nothing but desires.  Schedulers that declare
+// themselves clairvoyant additionally receive remaining spans and remaining
+// works (the offline information the paper's optimal scheduler has), so the
+// type of information each algorithm uses is explicit.  Implementations may
+// assume single-threaded invocation: both drivers call allot() from one
+// scheduling thread.
 
 #include <span>
 #include <string>

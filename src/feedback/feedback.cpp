@@ -8,7 +8,12 @@ namespace krad {
 
 FeedbackScheduler::FeedbackScheduler(std::unique_ptr<KScheduler> inner,
                                      FeedbackParams params)
-    : inner_(std::move(inner)), params_(params) {
+    : FeedbackScheduler(inner.get(), params) {
+  owned_ = std::move(inner);
+}
+
+FeedbackScheduler::FeedbackScheduler(KScheduler* inner, FeedbackParams params)
+    : inner_(inner), params_(params) {
   if (inner_ == nullptr)
     throw std::logic_error("FeedbackScheduler: null inner scheduler");
   if (params_.quantum < 1 || params_.rho <= 1.0 || params_.delta <= 0.0 ||

@@ -35,6 +35,10 @@ class FeedbackScheduler final : public KScheduler {
  public:
   FeedbackScheduler(std::unique_ptr<KScheduler> inner, FeedbackParams params);
 
+  /// Non-owning variant: `inner` must outlive this wrapper.  Used by the
+  /// runtime executor, which layers feedback over a caller-owned scheduler.
+  FeedbackScheduler(KScheduler* inner, FeedbackParams params);
+
   void reset(const MachineConfig& machine, std::size_t num_jobs) override;
   void allot(Time now, std::span<const JobView> active,
              const ClairvoyantView* clair, Allotment& out) override;
@@ -51,7 +55,8 @@ class FeedbackScheduler final : public KScheduler {
  private:
   void quantum_update(JobId id);
 
-  std::unique_ptr<KScheduler> inner_;
+  std::unique_ptr<KScheduler> owned_;  // empty for the non-owning ctor
+  KScheduler* inner_ = nullptr;
   FeedbackParams params_;
   MachineConfig machine_;
 

@@ -1,0 +1,51 @@
+#include "runtime/clock.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace krad {
+
+const char* to_string(ClockMode mode) {
+  switch (mode) {
+    case ClockMode::kVirtual: return "virtual";
+    case ClockMode::kWall: return "wall";
+  }
+  return "?";
+}
+
+QuantumClock::QuantumClock(ClockMode mode, std::chrono::microseconds min_quantum)
+    : mode_(mode), min_quantum_(min_quantum) {
+  if (min_quantum_.count() < 0)
+    throw std::logic_error("QuantumClock: negative quantum length");
+}
+
+void QuantumClock::start() {
+  now_ = 1;
+  start_ = Steady::now();
+  deadline_ = start_ + min_quantum_;
+}
+
+void QuantumClock::advance() {
+  if (mode_ == ClockMode::kWall && min_quantum_.count() > 0) {
+    std::this_thread::sleep_until(deadline_);
+    const auto current = Steady::now();
+    deadline_ += min_quantum_;
+    // Overrun (tasks outlasted the quantum): restart pacing from now rather
+    // than bursting through the backlog of missed deadlines.
+    if (deadline_ < current) deadline_ = current + min_quantum_;
+  }
+  ++now_;
+}
+
+void QuantumClock::skip_to(Time to) {
+  if (to < now_) throw std::logic_error("QuantumClock: skip_to into the past");
+  now_ = to;
+  if (mode_ == ClockMode::kWall) deadline_ = Steady::now() + min_quantum_;
+}
+
+std::chrono::nanoseconds QuantumClock::elapsed() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Steady::now() -
+                                                              start_);
+}
+
+}  // namespace krad

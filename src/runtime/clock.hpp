@@ -1,0 +1,67 @@
+#pragma once
+// Quantum clock for the runtime executor.
+//
+// The paper's model is a unit-step synchronous schedule: at each step every
+// allotted processor executes exactly one task.  The executor approximates a
+// step with a *quantum*: admit tasks, run them to completion on real threads,
+// then advance.  Two modes:
+//
+//   * kVirtual — quanta are pure counters; the executor advances as fast as
+//     tasks complete.  Used for the determinism cross-check (bit-exact
+//     against the discrete-time simulator) and for running closure DAGs at
+//     full speed.
+//   * kWall — each quantum additionally has a minimum wall-clock duration;
+//     if the admitted tasks finish early the clock sleeps out the remainder,
+//     so quantum boundaries approximate a fixed-length step and scheduler
+//     invocation overhead is amortised over the quantum length (the
+//     trade-off bench_runtime measures).
+
+#include <chrono>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+enum class ClockMode { kVirtual, kWall };
+
+const char* to_string(ClockMode mode);
+
+class QuantumClock {
+ public:
+  explicit QuantumClock(
+      ClockMode mode = ClockMode::kVirtual,
+      std::chrono::microseconds min_quantum = std::chrono::microseconds{0});
+
+  /// Begin a run: quantum counter at 1 (steps are 1-based, as in the sim).
+  void start();
+
+  /// Index of the quantum currently executing.
+  Time now() const noexcept { return now_; }
+
+  /// End of a busy quantum: in wall mode sleep until the quantum's minimum
+  /// duration has elapsed, then advance the counter.
+  void advance();
+
+  /// Idle fast-forward (no active jobs): jump the counter without sleeping.
+  /// `to` must be >= now().
+  void skip_to(Time to);
+
+  /// Wall-clock time since start().
+  std::chrono::nanoseconds elapsed() const;
+
+  ClockMode mode() const noexcept { return mode_; }
+  std::chrono::microseconds min_quantum() const noexcept {
+    return min_quantum_;
+  }
+
+ private:
+  using Steady = std::chrono::steady_clock;
+
+  ClockMode mode_;
+  std::chrono::microseconds min_quantum_;
+  Time now_ = 1;
+  Steady::time_point start_{};
+  Steady::time_point deadline_{};
+};
+
+}  // namespace krad

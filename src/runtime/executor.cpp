@@ -1,0 +1,245 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/worker_pool.hpp"
+
+namespace krad {
+
+namespace {
+
+std::int64_t ns_between(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+Executor::Executor(MachineConfig machine, ExecutorOptions options)
+    : machine_(std::move(machine)), options_(options) {
+  if (machine_.categories() == 0)
+    throw std::logic_error("Executor: machine with no categories");
+  for (int p : machine_.processors)
+    if (p < 1) throw std::logic_error("Executor: category with no processors");
+}
+
+JobId Executor::submit(std::unique_ptr<RuntimeJob> job, Time release) {
+  if (ran_) throw std::logic_error("Executor: submit after run");
+  if (job == nullptr) throw std::logic_error("Executor: null job");
+  if (job->dag().num_categories() != machine_.categories())
+    throw std::logic_error("Executor: job / machine category mismatch");
+  if (release < 0) throw std::logic_error("Executor: negative release");
+  jobs_.push_back(std::move(job));
+  releases_.push_back(release);
+  return static_cast<JobId>(jobs_.size() - 1);
+}
+
+std::vector<TraceJobInfo> Executor::validation_inputs() const {
+  std::vector<TraceJobInfo> infos;
+  infos.reserve(jobs_.size());
+  for (JobId id = 0; id < jobs_.size(); ++id)
+    infos.push_back(TraceJobInfo{&jobs_[id]->dag(), releases_[id]});
+  return infos;
+}
+
+RuntimeResult Executor::run(KScheduler& scheduler) {
+  using SteadyClock = std::chrono::steady_clock;
+  if (ran_)
+    throw std::logic_error("Executor::run: jobs already consumed by a run");
+  ran_ = true;
+
+  // Optional A-GREEDY desire estimation layered over the caller's scheduler.
+  KScheduler* sched = &scheduler;
+  std::unique_ptr<FeedbackScheduler> feedback;
+  if (options_.feedback) {
+    feedback = std::make_unique<FeedbackScheduler>(&scheduler,
+                                                   *options_.feedback);
+    sched = feedback.get();
+  }
+
+  const auto k = static_cast<Category>(machine_.categories());
+  const std::size_t n = jobs_.size();
+  RuntimeResult result;
+  result.completion.assign(n, 0);
+  result.response.assign(n, 0);
+  result.executed_work.assign(k, 0);
+  result.allotted.assign(k, 0);
+  result.utilization.assign(k, 0.0);
+  if (n == 0) return result;
+
+  sched->reset(machine_, n);
+  RuntimeObserver observer(machine_, options_.record_trace);
+
+  std::vector<std::unique_ptr<WorkerPool>> pools;
+  if (!options_.inline_execution) {
+    pools.reserve(k);
+    for (Category a = 0; a < k; ++a) {
+      const std::size_t threads =
+          options_.threads_per_category != 0
+              ? options_.threads_per_category
+              : static_cast<std::size_t>(machine_.processors[a]);
+      pools.push_back(
+          std::make_unique<WorkerPool>(threads, "cat" + std::to_string(a)));
+    }
+  }
+
+  // Jobs not yet released, by release time (ascending, stable by id) —
+  // the same admission order as the simulator.
+  std::vector<JobId> pending(n);
+  for (JobId i = 0; i < n; ++i) pending[i] = i;
+  std::stable_sort(pending.begin(), pending.end(), [&](JobId a, JobId b) {
+    return releases_[a] < releases_[b];
+  });
+  std::size_t next_pending = 0;
+
+  std::vector<JobId> active;
+  std::vector<JobView> views;
+  Allotment allot;
+  ClairvoyantView clair;
+  const bool wants_clair = sched->clairvoyant();
+
+  QuantumClock clock(options_.clock, options_.quantum_length);
+  clock.start();
+
+  std::size_t finished_count = 0;
+  while (finished_count < n) {
+    const Time t = clock.now();
+    while (next_pending < n && releases_[pending[next_pending]] < t) {
+      active.push_back(pending[next_pending]);
+      ++next_pending;
+    }
+    if (active.empty()) {
+      if (next_pending >= n)
+        throw std::logic_error("Executor: no active or pending jobs left");
+      const Time next_t = releases_[pending[next_pending]] + 1;
+      result.idle_quanta += next_t - t;
+      clock.skip_to(next_t);
+      continue;
+    }
+    std::sort(active.begin(), active.end());
+    const auto quantum_begin = SteadyClock::now();
+
+    // Observable state: true instantaneous desires.
+    views.clear();
+    views.reserve(active.size());
+    for (JobId id : active) {
+      JobView view;
+      view.id = id;
+      view.desire.resize(k);
+      for (Category a = 0; a < k; ++a) view.desire[a] = jobs_[id]->desire(a);
+      views.push_back(std::move(view));
+    }
+    const ClairvoyantView* clair_ptr = nullptr;
+    if (wants_clair) {
+      clair.remaining_span.clear();
+      clair.remaining_work.clear();
+      clair.release.clear();
+      for (JobId id : active) {
+        clair.remaining_span.push_back(jobs_[id]->remaining_span());
+        std::vector<Work> rem(k);
+        for (Category a = 0; a < k; ++a) rem[a] = jobs_[id]->remaining_work(a);
+        clair.remaining_work.push_back(std::move(rem));
+        clair.release.push_back(releases_[id]);
+      }
+      clair_ptr = &clair;
+    }
+
+    // Scheduling decision (timed: this is the overhead a real system pays
+    // every quantum).
+    allot.assign(active.size(), std::vector<Work>(k, 0));
+    const auto sched_begin = SteadyClock::now();
+    sched->allot(t, views, clair_ptr, allot);
+    const auto sched_end = SteadyClock::now();
+
+    // Capacity invariant before anything is enqueued.
+    for (Category a = 0; a < k; ++a) {
+      Work sum = 0;
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        if (allot[j][a] < 0)
+          throw std::logic_error("Executor: negative allotment from " +
+                                 sched->name());
+        sum += allot[j][a];
+      }
+      if (sum > machine_.processors[a])
+        throw std::logic_error("Executor: category over-allocated by " +
+                               sched->name());
+      result.allotted[a] += sum;
+    }
+
+    // Admission + dispatch: at most min(a, d) ready alpha-tasks per job.
+    observer.begin_quantum(t);
+    const auto barrier_begin = SteadyClock::now();
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      const JobId id = active[j];
+      RuntimeJob* job = jobs_[id].get();
+      for (Category a = 0; a < k; ++a) {
+        const Work admit = std::min(allot[j][a], views[j].desire[a]);
+        for (Work i = 0; i < admit; ++i) {
+          const VertexId v = job->pop_ready(a);
+          observer.record_admission(id, a, v);
+          if (options_.inline_execution)
+            job->run_task(v);
+          else
+            pools[a]->submit([job, v] { job->run_task(v); });
+        }
+        result.executed_work[a] += admit;
+      }
+    }
+    // Quantum barrier: every admitted task completes before desires are
+    // recomputed, so a quantum behaves like one synchronous unit step.
+    if (!options_.inline_execution)
+      for (auto& pool : pools) pool->wait_idle();
+    const auto barrier_end = SteadyClock::now();
+
+    {
+      std::vector<std::vector<Work>> desires;
+      desires.reserve(views.size());
+      for (const JobView& view : views) desires.push_back(view.desire);
+      observer.record_step(active, std::move(desires), allot);
+    }
+
+    // End of quantum: promote enabled tasks, collect completions.
+    for (std::size_t j = 0; j < active.size();) {
+      const JobId id = active[j];
+      jobs_[id]->promote_enabled();
+      if (jobs_[id]->finished()) {
+        result.completion[id] = t;
+        result.response[id] = t - releases_[id];
+        result.makespan = std::max(result.makespan, t);
+        ++finished_count;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(j));
+      } else {
+        ++j;
+      }
+    }
+
+    ++result.busy_quanta;
+    if (result.busy_quanta > options_.max_quanta)
+      throw std::runtime_error("Executor: exceeded max_quanta with scheduler " +
+                               sched->name());
+    clock.advance();
+    observer.end_quantum(ns_between(sched_begin, sched_end),
+                         ns_between(barrier_begin, barrier_end),
+                         ns_between(quantum_begin, SteadyClock::now()));
+  }
+
+  for (Category a = 0; a < k; ++a) {
+    const double denom =
+        static_cast<double>(machine_.processors[a]) *
+        static_cast<double>(std::max<Time>(1, result.busy_quanta));
+    result.utilization[a] =
+        static_cast<double>(result.executed_work[a]) / denom;
+  }
+  result.wall_seconds =
+      static_cast<double>(clock.elapsed().count()) / 1e9;
+  result.mean_schedule_overhead_ns = observer.mean_schedule_ns();
+  result.mean_quantum_ns = observer.mean_quantum_ns();
+  result.quanta = observer.quanta();
+  result.trace = observer.trace();
+  return result;
+}
+
+}  // namespace krad

@@ -1,0 +1,102 @@
+#pragma once
+// Quantum-based live executor — runs RuntimeJobs (K-DAGs of real task
+// closures) on K worker pools, one per resource category, driven by any
+// unmodified KScheduler (K-RAD, K-DEQ, K-EQUI, clairvoyant baselines, ...).
+//
+// Each quantum — the runtime analogue of the paper's unit step:
+//   1. jobs released before the current quantum are active;
+//   2. per-job per-category desires (ready alpha-task counts, or the
+//      feedback wrapper's A-GREEDY requests) go to the scheduler, which
+//      returns allotments with Sum_i a(Ji, alpha) <= P_alpha;
+//   3. admission control dispatches min(a(Ji, alpha), d(Ji, alpha)) ready
+//      alpha-tasks per job to the alpha pool; the quantum barrier waits for
+//      all of them;
+//   4. newly enabled tasks are promoted, completions recorded, the clock
+//      advances (sleeping out the quantum remainder in wall mode).
+//
+// The observer records the run in the simulator's trace shape, so
+// validate_schedule checks the same Section-2 invariants (capacity,
+// precedence, no double-booking, release times) on live runs.
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "feedback/feedback.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/observer.hpp"
+#include "runtime/runtime_job.hpp"
+#include "sim/validator.hpp"
+
+namespace krad {
+
+struct ExecutorOptions {
+  ClockMode clock = ClockMode::kVirtual;
+  /// Minimum quantum duration in wall mode (ignored in virtual mode).
+  std::chrono::microseconds quantum_length{1000};
+  /// Record the full schedule trace (events + per-quantum matrices).
+  bool record_trace = true;
+  /// Run task closures inline on the executor thread, in admission order,
+  /// instead of dispatching to worker pools.  Fully deterministic: with a
+  /// virtual clock this reproduces sim::simulate step for step.
+  bool inline_execution = false;
+  /// Worker threads per category pool; 0 = P_alpha (one thread per
+  /// modelled processor, the faithful configuration).
+  unsigned threads_per_category = 0;
+  /// When set, wrap the scheduler in FeedbackScheduler: desires presented
+  /// to it are A-GREEDY-style requests instead of true ready counts.
+  std::optional<FeedbackParams> feedback;
+  /// Abort (throw std::runtime_error) past this many busy quanta.
+  Time max_quanta = 50'000'000;
+};
+
+/// Outcome of one executor run; quantum-counted fields are directly
+/// comparable to the simulator's SimResult step counts.
+struct RuntimeResult {
+  Time makespan = 0;             ///< last busy quantum index
+  std::vector<Time> completion;  ///< per job, quantum of completion
+  std::vector<Time> response;    ///< completion - release, in quanta
+  std::vector<Work> executed_work;  ///< tasks run per category
+  std::vector<Work> allotted;       ///< allotted processor-quanta per category
+  Time busy_quanta = 0;
+  Time idle_quanta = 0;
+  std::vector<double> utilization;  ///< executed / (P_alpha * busy_quanta)
+  double wall_seconds = 0.0;
+  double mean_schedule_overhead_ns = 0.0;  ///< mean time in KScheduler::allot
+  double mean_quantum_ns = 0.0;
+  std::vector<QuantumStats> quanta;  ///< per busy quantum, in order
+  std::shared_ptr<const ScheduleTrace> trace;  ///< iff record_trace
+};
+
+class Executor {
+ public:
+  explicit Executor(MachineConfig machine, ExecutorOptions options = {});
+
+  /// Register a job released at quantum r (r = 0: active from quantum 1).
+  /// Must be called before run().
+  JobId submit(std::unique_ptr<RuntimeJob> job, Time release = 0);
+
+  std::size_t size() const noexcept { return jobs_.size(); }
+  const RuntimeJob& job(JobId id) const { return *jobs_.at(id); }
+  Time release(JobId id) const { return releases_.at(id); }
+  const MachineConfig& machine() const noexcept { return machine_; }
+
+  /// Run every submitted job to completion.  Single-shot: the jobs are
+  /// consumed; a second call throws.  Task closure exceptions propagate
+  /// (first one wins) after the in-flight quantum drains.
+  RuntimeResult run(KScheduler& scheduler);
+
+  /// Per-job validation facts for validate_schedule on a recorded trace.
+  std::vector<TraceJobInfo> validation_inputs() const;
+
+ private:
+  MachineConfig machine_;
+  ExecutorOptions options_;
+  std::vector<std::unique_ptr<RuntimeJob>> jobs_;
+  std::vector<Time> releases_;
+  bool ran_ = false;
+};
+
+}  // namespace krad

@@ -1,0 +1,59 @@
+#include "runtime/observer.hpp"
+
+namespace krad {
+
+RuntimeObserver::RuntimeObserver(const MachineConfig& machine,
+                                 bool record_trace)
+    : next_proc_(machine.categories(), 0) {
+  if (record_trace) trace_ = std::make_shared<ScheduleTrace>();
+}
+
+void RuntimeObserver::begin_quantum(Time quantum) {
+  current_ = quantum;
+  admitted_this_quantum_ = 0;
+  next_proc_.assign(next_proc_.size(), 0);
+}
+
+int RuntimeObserver::record_admission(JobId job, Category category,
+                                      VertexId vertex) {
+  const int proc = next_proc_.at(category)++;
+  ++admitted_this_quantum_;
+  if (trace_)
+    trace_->add_event(TaskEvent{current_, job, category, vertex, proc});
+  return proc;
+}
+
+void RuntimeObserver::record_step(std::vector<JobId> active,
+                                  std::vector<std::vector<Work>> desire,
+                                  std::vector<std::vector<Work>> allot) {
+  if (!trace_) return;
+  StepRecord record;
+  record.t = current_;
+  record.active = std::move(active);
+  record.desire = std::move(desire);
+  record.allot = std::move(allot);
+  trace_->add_step(std::move(record));
+}
+
+void RuntimeObserver::end_quantum(std::int64_t schedule_ns,
+                                  std::int64_t barrier_ns,
+                                  std::int64_t total_ns) {
+  stats_.push_back(QuantumStats{current_, admitted_this_quantum_, schedule_ns,
+                                barrier_ns, total_ns});
+}
+
+double RuntimeObserver::mean_schedule_ns() const {
+  if (stats_.empty()) return 0.0;
+  std::int64_t sum = 0;
+  for (const QuantumStats& q : stats_) sum += q.schedule_ns;
+  return static_cast<double>(sum) / static_cast<double>(stats_.size());
+}
+
+double RuntimeObserver::mean_quantum_ns() const {
+  if (stats_.empty()) return 0.0;
+  std::int64_t sum = 0;
+  for (const QuantumStats& q : stats_) sum += q.total_ns;
+  return static_cast<double>(sum) / static_cast<double>(stats_.size());
+}
+
+}  // namespace krad

@@ -1,0 +1,68 @@
+#pragma once
+// Per-quantum instrumentation of a live executor run, recorded in the same
+// shape as the simulator's ScheduleTrace so sim/validator.cpp and the
+// Gantt/export tooling work on live runs unchanged.  Additionally records
+// what only a real runtime has: wall-clock duration per quantum and the
+// time spent inside the scheduler (the overhead bench_runtime plots against
+// quantum length).
+//
+// All methods are called from the executor thread only; worker threads never
+// touch the observer.  Task events are recorded at admission, where the
+// executor assigns the processor index within the category — admission
+// control guarantees at most P_alpha alpha-tasks per quantum, so indices
+// 0..P_alpha-1 never collide (the validator's double-booking check).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dag/types.hpp"
+#include "sim/trace.hpp"
+
+namespace krad {
+
+/// Wall-clock accounting for one busy quantum.
+struct QuantumStats {
+  Time quantum = 0;
+  Work admitted = 0;            ///< tasks dispatched this quantum
+  std::int64_t schedule_ns = 0; ///< time inside KScheduler::allot
+  std::int64_t barrier_ns = 0;  ///< dispatch + wait for admitted tasks
+  std::int64_t total_ns = 0;    ///< full quantum wall duration
+};
+
+class RuntimeObserver {
+ public:
+  RuntimeObserver(const MachineConfig& machine, bool record_trace);
+
+  void begin_quantum(Time quantum);
+
+  /// One task admitted; assigns and returns the 0-based processor index
+  /// within its category for this quantum.
+  int record_admission(JobId job, Category category, VertexId vertex);
+
+  /// Scheduler-facing view of the quantum (desires and allotments in active
+  /// order, as in the simulator's StepRecord).
+  void record_step(std::vector<JobId> active,
+                   std::vector<std::vector<Work>> desire,
+                   std::vector<std::vector<Work>> allot);
+
+  void end_quantum(std::int64_t schedule_ns, std::int64_t barrier_ns,
+                   std::int64_t total_ns);
+
+  const std::vector<QuantumStats>& quanta() const noexcept { return stats_; }
+
+  /// Null unless constructed with record_trace.
+  std::shared_ptr<const ScheduleTrace> trace() const noexcept { return trace_; }
+
+  double mean_schedule_ns() const;
+  double mean_quantum_ns() const;
+
+ private:
+  std::shared_ptr<ScheduleTrace> trace_;  // null when not recording
+  std::vector<int> next_proc_;            // per category, reset each quantum
+  std::vector<QuantumStats> stats_;
+  Time current_ = 0;
+  Work admitted_this_quantum_ = 0;
+};
+
+}  // namespace krad

@@ -1,0 +1,93 @@
+#include "runtime/runtime_job.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace krad {
+
+RuntimeJob::RuntimeJob(KDag dag, std::string name)
+    : dag_(std::move(dag)), name_(std::move(name)) {
+  if (!dag_.sealed()) throw std::logic_error("RuntimeJob: dag must be sealed");
+  tasks_.resize(dag_.num_vertices());
+  ready_.resize(dag_.num_categories());
+  remaining_work_.resize(dag_.num_categories());
+  for (Category a = 0; a < dag_.num_categories(); ++a)
+    remaining_work_[a] = dag_.work(a);
+  ready_cp_count_.assign(static_cast<std::size_t>(dag_.span()) + 1, 0);
+  pending_in_degree_ = std::vector<std::atomic<std::uint32_t>>(dag_.num_vertices());
+  for (VertexId v = 0; v < dag_.num_vertices(); ++v)
+    pending_in_degree_[v].store(static_cast<std::uint32_t>(dag_.in_degree(v)),
+                                std::memory_order_relaxed);
+  // Sources become ready in vertex-id order, matching DagJob::reset.
+  for (VertexId v = 0; v < dag_.num_vertices(); ++v)
+    if (dag_.in_degree(v) == 0) make_ready(v);
+}
+
+void RuntimeJob::set_task(VertexId v, TaskFn fn) {
+  tasks_.at(v) = std::move(fn);
+}
+
+void RuntimeJob::set_all_tasks(const TaskFn& fn) {
+  for (TaskFn& task : tasks_) task = fn;
+}
+
+void RuntimeJob::make_ready(VertexId v) {
+  ready_[dag_.category(v)].push_back(v);
+  const auto cp = static_cast<std::size_t>(dag_.cp_length(v));
+  ++ready_cp_count_[cp];
+  if (static_cast<Work>(cp) > remaining_span_cache_)
+    remaining_span_cache_ = static_cast<Work>(cp);
+}
+
+Work RuntimeJob::desire(Category alpha) const {
+  return static_cast<Work>(ready_.at(alpha).size());
+}
+
+VertexId RuntimeJob::pop_ready(Category alpha) {
+  auto& queue = ready_.at(alpha);
+  if (queue.empty())
+    throw std::logic_error("RuntimeJob: pop_ready on empty category");
+  const VertexId v = queue.front();
+  queue.pop_front();
+  --ready_cp_count_[static_cast<std::size_t>(dag_.cp_length(v))];
+  --remaining_work_[alpha];
+  ++admitted_;
+  return v;
+}
+
+void RuntimeJob::run_task(VertexId v) {
+  if (const TaskFn& task = tasks_[v]) task();
+  // Release successors.  acq_rel: the decrement that reaches zero must
+  // observe all predecessors' closure effects, and the executor's promote
+  // (after the quantum barrier) must observe the push.
+  for (VertexId succ : dag_.successors(v)) {
+    if (pending_in_degree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(enabled_mu_);
+      newly_enabled_.push_back(succ);
+    }
+  }
+}
+
+void RuntimeJob::promote_enabled() {
+  std::lock_guard<std::mutex> lock(enabled_mu_);
+  for (VertexId v : newly_enabled_) make_ready(v);
+  newly_enabled_.clear();
+}
+
+bool RuntimeJob::finished() const noexcept {
+  return admitted_ == static_cast<Work>(dag_.num_vertices());
+}
+
+Work RuntimeJob::remaining_work(Category alpha) const {
+  return remaining_work_.at(alpha);
+}
+
+Work RuntimeJob::remaining_span() const {
+  // Same lazy histogram walk as DagJob::remaining_span.
+  auto& cache = const_cast<RuntimeJob*>(this)->remaining_span_cache_;
+  while (cache > 0 && ready_cp_count_[static_cast<std::size_t>(cache)] == 0)
+    --cache;
+  return cache;
+}
+
+}  // namespace krad

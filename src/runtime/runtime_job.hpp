@@ -1,0 +1,91 @@
+#pragma once
+// A job the live executor can run: a K-DAG whose vertices carry real task
+// closures, plus the ready-set bookkeeping the quantum loop needs.
+//
+// Division of labour mirrors Job/engine in the simulator: the scheduler
+// decides HOW MANY ready alpha-tasks of the job run in a quantum (its
+// allotment), the job decides WHICH ready tasks those are — here always FIFO
+// order, matching DagJob's SelectionPolicy::kFifo so that a single-threaded
+// virtual-clock run is bit-identical to sim::simulate (the determinism
+// cross-check in tests/test_runtime_determinism.cpp).
+//
+// Thread-safety contract: ready queues, desires and admission methods are
+// touched only by the executor thread.  Worker threads call only run_task(),
+// which executes the closure and performs the atomic in-degree decrement of
+// successors; vertices that hit in-degree zero are buffered under a mutex
+// and promoted to ready by the executor at the quantum barrier
+// (promote_enabled), exactly like the simulator's end-of-step advance().
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dag/kdag.hpp"
+
+namespace krad {
+
+/// A task body run on a worker thread.  Must not call back into the executor
+/// or the job's executor-side interface.
+using TaskFn = std::function<void()>;
+
+class RuntimeJob {
+ public:
+  /// The dag must be sealed.  Vertices default to a no-op closure.
+  explicit RuntimeJob(KDag dag, std::string name = "runtime-job");
+
+  /// Attach the closure run when vertex v executes.
+  void set_task(VertexId v, TaskFn fn);
+  /// Attach one shared closure to every vertex (e.g. a calibrated spin).
+  void set_all_tasks(const TaskFn& fn);
+
+  // --- executor-thread interface -------------------------------------
+
+  /// d(J, alpha): number of ready alpha-tasks.
+  Work desire(Category alpha) const;
+  /// Admit the FIFO-first ready alpha-vertex (desire(alpha) must be > 0).
+  VertexId pop_ready(Category alpha);
+  /// Promote vertices enabled since the last call (quantum barrier; all
+  /// admitted tasks of the quantum must have completed).
+  void promote_enabled();
+  /// All vertices admitted (== completed once the quantum barrier passed).
+  bool finished() const noexcept;
+  Work admitted() const noexcept { return admitted_; }
+
+  // Clairvoyant accessors (same definitions as DagJob).
+  Work remaining_work(Category alpha) const;
+  Work remaining_span() const;
+
+  // --- worker-thread interface ---------------------------------------
+
+  /// Run vertex v's closure, then release its successors via atomic
+  /// in-degree decrement.  Safe to call concurrently for distinct vertices.
+  void run_task(VertexId v);
+
+  const KDag& dag() const noexcept { return dag_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  void make_ready(VertexId v);
+
+  KDag dag_;
+  std::string name_;
+  std::vector<TaskFn> tasks_;
+
+  // Executor-side state.
+  std::vector<std::deque<VertexId>> ready_;  // per category, FIFO
+  std::vector<Work> remaining_work_;
+  std::vector<Work> ready_cp_count_;  // histogram of cp_length among ready
+  Work remaining_span_cache_ = 0;
+  Work admitted_ = 0;
+
+  // Worker-shared state.
+  std::vector<std::atomic<std::uint32_t>> pending_in_degree_;
+  std::mutex enabled_mu_;
+  std::vector<VertexId> newly_enabled_;
+};
+
+}  // namespace krad

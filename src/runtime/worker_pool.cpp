@@ -1,0 +1,72 @@
+#include "runtime/worker_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace krad {
+
+WorkerPool::WorkerPool(std::size_t threads, std::string name)
+    : name_(std::move(name)) {
+  if (threads < 1) throw std::logic_error("WorkerPool: needs >= 1 thread");
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::logic_error("WorkerPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t WorkerPool::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --in_flight_;
+    ++completed_;
+    if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+}  // namespace krad

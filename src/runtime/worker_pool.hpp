@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size worker pool for one resource category.
+//
+// Each category alpha owns its own pool of threads pulling from one shared
+// queue — the live analogue of the paper's P_alpha identical
+// alpha-processors.  The executor's quantum loop submits at most P_alpha
+// closures per quantum (admission control enforces the capacity invariant
+// before anything is enqueued), then blocks on wait_idle() — the quantum
+// barrier that makes a batch of unit tasks behave like one synchronous step.
+//
+// The first exception thrown by a task is captured; wait_idle() rethrows it
+// on the calling thread after the barrier (remaining queued tasks still run,
+// so the pool stays consistent and the executor can unwind cleanly).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace krad {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (must be >= 1).  `name` is for diagnostics.
+  explicit WorkerPool(std::size_t threads, std::string name = "pool");
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue one task.  Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is running, then rethrow the
+  /// first captured task exception, if any (clearing it).
+  void wait_idle();
+
+  std::size_t threads() const noexcept { return threads_.size(); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Tasks executed over the pool's lifetime (diagnostics).
+  std::size_t completed() const;
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  std::size_t completed_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace krad

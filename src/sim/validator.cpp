@@ -18,7 +18,7 @@ std::string describe(const TaskEvent& event) {
 
 }  // namespace
 
-std::vector<std::string> validate_schedule(const JobSet& set,
+std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,
                                            const MachineConfig& machine,
                                            const ScheduleTrace& trace,
                                            std::size_t max_violations) {
@@ -28,12 +28,12 @@ std::vector<std::string> validate_schedule(const JobSet& set,
   };
 
   // tau per job vertex.
-  std::vector<std::map<VertexId, Time>> tau(set.size());
+  std::vector<std::map<VertexId, Time>> tau(jobs.size());
   // processor occupancy per (category, t, proc).
   std::set<std::tuple<Category, Time, int>> booked;
 
   for (const TaskEvent& event : trace.events()) {
-    if (event.job >= set.size()) {
+    if (event.job >= jobs.size()) {
       report("event for unknown job: " + describe(event));
       continue;
     }
@@ -42,7 +42,7 @@ std::vector<std::string> validate_schedule(const JobSet& set,
       report("event outside machine: " + describe(event));
       continue;
     }
-    if (event.t <= set.release(event.job))
+    if (event.t <= jobs[event.job].release)
       report("task before release: " + describe(event));
     if (!tau[event.job].emplace(event.vertex, event.t).second)
       report("vertex executed twice: " + describe(event));
@@ -50,19 +50,18 @@ std::vector<std::string> validate_schedule(const JobSet& set,
       report("processor double-booked: " + describe(event));
   }
 
-  for (JobId id = 0; id < set.size(); ++id) {
-    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(id));
-    if (dag_job == nullptr) continue;  // profile jobs: coverage check only
-    const KDag& dag = dag_job->dag();
+  for (JobId id = 0; id < jobs.size(); ++id) {
+    const KDag* dag = jobs[id].dag;
+    if (dag == nullptr) continue;  // non-DAG jobs: coverage check only
     const auto& times = tau[id];
-    if (times.size() != dag.num_vertices())
+    if (times.size() != dag->num_vertices())
       report("job " + std::to_string(id) + ": executed " +
              std::to_string(times.size()) + " of " +
-             std::to_string(dag.num_vertices()) + " vertices");
-    for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+             std::to_string(dag->num_vertices()) + " vertices");
+    for (VertexId v = 0; v < dag->num_vertices(); ++v) {
       const auto it_v = times.find(v);
       if (it_v == times.end()) continue;
-      for (VertexId succ : dag.successors(v)) {
+      for (VertexId succ : dag->successors(v)) {
         const auto it_s = times.find(succ);
         if (it_s != times.end() && it_s->second <= it_v->second)
           report("precedence violated: job " + std::to_string(id) + " " +
@@ -73,11 +72,11 @@ std::vector<std::string> validate_schedule(const JobSet& set,
 
   // Category correctness of each event against the dag.
   for (const TaskEvent& event : trace.events()) {
-    if (event.job >= set.size()) continue;
-    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(event.job));
-    if (dag_job == nullptr) continue;
-    if (event.vertex < dag_job->dag().num_vertices() &&
-        dag_job->dag().category(event.vertex) != event.category)
+    if (event.job >= jobs.size()) continue;
+    const KDag* dag = jobs[event.job].dag;
+    if (dag == nullptr) continue;
+    if (event.vertex < dag->num_vertices() &&
+        dag->category(event.vertex) != event.category)
       report("category mismatch: " + describe(event));
   }
 
@@ -95,6 +94,21 @@ std::vector<std::string> validate_schedule(const JobSet& set,
   }
 
   return violations;
+}
+
+std::vector<std::string> validate_schedule(const JobSet& set,
+                                           const MachineConfig& machine,
+                                           const ScheduleTrace& trace,
+                                           std::size_t max_violations) {
+  std::vector<TraceJobInfo> infos;
+  infos.reserve(set.size());
+  for (JobId id = 0; id < set.size(); ++id) {
+    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(id));
+    infos.push_back(TraceJobInfo{dag_job ? &dag_job->dag() : nullptr,
+                                 set.release(id)});
+  }
+  return validate_schedule(std::span<const TraceJobInfo>(infos), machine,
+                           trace, max_violations);
 }
 
 }  // namespace krad

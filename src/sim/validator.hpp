@@ -9,16 +9,35 @@
 //   * starts no task before its job's release time,
 //   * never allots more than P_alpha processors per category per step.
 //
-// Works on DagJob-backed sets (the vertex ids in the trace refer to the
-// job's K-DAG).  Returns human-readable violations; empty = valid.
+// Two entry points: the JobSet overload works on DagJob-backed simulator
+// runs; the TraceJobInfo overload validates any trace in the same shape —
+// in particular the live runtime executor's (runtime/observer.hpp), so a
+// real threaded run is held to the same invariants as a simulated one.
+// Returns human-readable violations; empty = valid.
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "dag/kdag.hpp"
 #include "jobs/job_set.hpp"
 #include "sim/trace.hpp"
 
 namespace krad {
+
+/// One job's validation-relevant facts, for traces not produced by a JobSet
+/// run.  A null dag skips the coverage/precedence/category checks for that
+/// job (e.g. profile jobs); machine-bounds, release, double-booking and
+/// per-step capacity checks always apply.
+struct TraceJobInfo {
+  const KDag* dag = nullptr;
+  Time release = 0;
+};
+
+std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,
+                                           const MachineConfig& machine,
+                                           const ScheduleTrace& trace,
+                                           std::size_t max_violations = 20);
 
 std::vector<std::string> validate_schedule(const JobSet& set,
                                            const MachineConfig& machine,
