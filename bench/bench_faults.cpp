@@ -1,0 +1,209 @@
+// Fault tolerance under K-RAD: makespan inflation vs failure rate and retry
+// policy, plus processor-loss degradation (see docs/FAULTS.md).
+//
+// The paper's bounds assume every unit task executes exactly once.  With a
+// per-attempt failure probability p each task costs ~1/(1-p) attempts in
+// expectation, and a failed attempt still burns its processor-step, so the
+// fault-free Lemma 2 lower bound max(span, work/P) stays a valid floor while
+// the achieved makespan inflates.  This bench sweeps p x retry policy on one
+// fixed workload (deterministic seeded injection — rerunning reproduces the
+// table bit for bit), reports inflation over the fault-free run and the
+// ratio to the fault-free lower bound, and validates a traced faulty run
+// against the Section 2 schedule invariants.  A capacity-loss scenario
+// (half of category 0 down for a window mid-run) exercises
+// degradation-aware scheduling: K-RAD sees the shrunken machine via
+// set_capacity and the validator checks per-step sums against the
+// effective capacity.  Results also land in BENCH_faults.json.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "dag/builders.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_job.hpp"
+#include "fault/injector.hpp"
+#include "sim/validator.hpp"
+
+namespace {
+
+using namespace krad;
+
+constexpr Category kCategories = 3;
+const MachineConfig kMachine{{4, 2, 2}};
+
+JobSet build_jobs(const FaultInjector* injector, const RetryPolicy& policy) {
+  JobSet set(kCategories);
+  Rng rng(7);
+  for (int i = 0; i < 8; ++i) {
+    LayeredParams params;
+    params.layers = 12;
+    params.max_width = 6;
+    params.num_categories = kCategories;
+    add_faulty(set, layered_random(params, rng), injector, policy,
+               /*release=*/i / 2);
+  }
+  return set;
+}
+
+struct PolicyCase {
+  std::string label;
+  RetryPolicy policy;
+};
+
+}  // namespace
+
+int main() {
+  using krad::bench::check;
+
+  print_banner(std::cout, "fault injection: makespan inflation vs failure rate");
+
+  // Fault-free anchor (null injector; the policy is irrelevant).
+  const RetryPolicy no_retry;
+  JobSet baseline_set = build_jobs(nullptr, no_retry);
+  const MakespanBounds bounds = makespan_bounds(baseline_set, kMachine);
+  KRad scheduler;
+  const SimResult baseline = simulate(baseline_set, scheduler, kMachine);
+  const auto baseline_makespan = static_cast<double>(baseline.makespan);
+  check(baseline.makespan >= bounds.lower_bound(),
+        "fault-free makespan respects the Lemma 2 floor");
+
+  const std::vector<PolicyCase> policies = {
+      {"retry-now",
+       RetryPolicy{/*max_attempts=*/10, /*backoff_base=*/0, /*backoff_cap=*/64,
+                   ExhaustionAction::kFailFast}},
+      {"retry-backoff",
+       RetryPolicy{/*max_attempts=*/10, /*backoff_base=*/1, /*backoff_cap=*/8,
+                   ExhaustionAction::kFailFast}},
+      {"drop-job",
+       RetryPolicy{/*max_attempts=*/2, /*backoff_base=*/0, /*backoff_cap=*/64,
+                   ExhaustionAction::kDropJob}},
+  };
+
+  krad::bench::JsonReport report("bench_faults");
+  Table table({"policy", "fail_prob", "makespan", "inflation", "vs_lower",
+               "failed", "retries", "completed"});
+
+  for (const PolicyCase& pc : policies) {
+    for (const double p : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+      FaultPlan plan;
+      plan.seed = 1234;
+      plan.failure_prob.assign(kCategories, p);
+      const FaultInjector injector(plan, kMachine);
+      JobSet set = build_jobs(p > 0.0 ? &injector : nullptr, pc.policy);
+      KRad krad_sched;
+      const SimResult r = simulate(set, krad_sched, kMachine);
+
+      std::size_t completed = 0;
+      for (const JobOutcome outcome : r.outcome)
+        if (outcome == JobOutcome::kCompleted) ++completed;
+      const double inflation =
+          static_cast<double>(r.makespan) / baseline_makespan;
+      const double vs_lower = static_cast<double>(r.makespan) /
+                              static_cast<double>(bounds.lower_bound());
+
+      table.row()
+          .cell(pc.label)
+          .cell(p, 2)
+          .cell(r.makespan)
+          .cell(inflation, 3)
+          .cell(vs_lower, 3)
+          .cell(r.failed_attempts)
+          .cell(r.retries)
+          .cell(static_cast<std::int64_t>(completed));
+
+      report.begin_row(pc.label);
+      report.add("fail_prob", p);
+      report.add("makespan", static_cast<long long>(r.makespan));
+      report.add("inflation", inflation);
+      report.add("vs_lower_bound", vs_lower);
+      report.add("failed_attempts", static_cast<long long>(r.failed_attempts));
+      report.add("retries", static_cast<long long>(r.retries));
+      report.add("completed", static_cast<long long>(completed));
+
+      if (p == 0.0) {
+        check(r.makespan == baseline.makespan,
+              pc.label + ": p=0 reproduces the fault-free run");
+        check(r.failed_attempts == 0, pc.label + ": p=0 injects nothing");
+      } else {
+        // Dropped jobs take their remaining work with them, so only the
+        // retry-to-completion policies can never shorten the schedule.
+        if (pc.policy.on_exhausted != ExhaustionAction::kDropJob)
+          check(r.makespan >= baseline.makespan,
+                pc.label + ": failures never shorten the schedule");
+        check(r.failed_attempts > 0,
+              pc.label + ": p=" + std::to_string(p) + " injects failures");
+      }
+      check(r.outcome.size() == set.size(), "outcome recorded for every job");
+      if (pc.policy.on_exhausted != ExhaustionAction::kDropJob)
+        check(completed == r.outcome.size(),
+              pc.label + ": retries eventually complete every job");
+    }
+  }
+  table.print(std::cout);
+
+  // Traced faulty run through the independent validator: retries and burned
+  // slots must still satisfy the Section 2 schedule invariants.
+  {
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.failure_prob.assign(kCategories, 0.1);
+    const FaultInjector injector(plan, kMachine);
+    const RetryPolicy policy{/*max_attempts=*/10, /*backoff_base=*/1,
+                             /*backoff_cap=*/8, ExhaustionAction::kFailFast};
+    JobSet set = build_jobs(&injector, policy);
+    KRad krad_sched;
+    SimOptions options;
+    options.record_trace = true;
+    const SimResult r = simulate(set, krad_sched, kMachine, options);
+    const auto violations = validate_schedule(set, kMachine, *r.trace);
+    for (const std::string& violation : violations)
+      std::cout << "  [violation] " << violation << '\n';
+    check(violations.empty(), "faulty trace passes validate_schedule");
+    check(r.retries > 0, "traced run exercised retries");
+  }
+
+  // Capacity loss: half of category 0 down over a mid-run window.  The
+  // scheduler must respect the shrunken machine (the engine throws if not)
+  // and the makespan can only grow.
+  {
+    print_banner(std::cout, "processor loss: 2 of 4 cat-0 processors down");
+    FaultPlan plan;
+    plan.capacity_events = {{/*t=*/10, /*category=*/0, /*delta=*/-2},
+                            {/*t=*/30, /*category=*/0, /*delta=*/+2}};
+    JobSet set = build_jobs(nullptr, no_retry);
+    KRad krad_sched;
+    SimOptions options;
+    options.record_trace = true;
+    options.fault_plan = &plan;
+    const SimResult r = simulate(set, krad_sched, kMachine, options);
+    const auto violations = validate_schedule(set, kMachine, *r.trace);
+    for (const std::string& violation : violations)
+      std::cout << "  [violation] " << violation << '\n';
+    check(violations.empty(), "degraded trace passes validate_schedule");
+    check(r.makespan >= baseline.makespan,
+          "losing processors never shortens the schedule");
+    std::cout << "  fault-free makespan " << baseline.makespan
+              << ", degraded makespan " << r.makespan << '\n';
+
+    report.begin_row("capacity-loss");
+    report.add("makespan", static_cast<long long>(r.makespan));
+    report.add("inflation", static_cast<double>(r.makespan) /
+                                baseline_makespan);
+
+    // The outage window must show shrunken per-step allotments in cat 0.
+    Work worst = 0;
+    for (const StepRecord& step : r.trace->steps()) {
+      if (step.t < 10 || step.t >= 30) continue;
+      Work sum = 0;
+      for (const auto& per_job : step.allot) sum += per_job[0];
+      worst = std::max(worst, sum);
+    }
+    check(worst <= 2, "category 0 never exceeds degraded capacity in outage");
+  }
+
+  report.write("BENCH_faults.json");
+  return krad::bench::finish("bench_faults");
+}

@@ -1,9 +1,15 @@
 #pragma once
 // Shared helpers for the experiment binaries.  Each bench prints paper-style
 // tables; PASS/FAIL markers make the reproduction status machine-greppable.
+// JsonReport additionally emits the measured rows as a stable JSON file
+// (BENCH_<name>.json) for downstream tooling.
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bounds/lower_bounds.hpp"
 #include "core/krad.hpp"
@@ -31,5 +37,57 @@ inline int finish(const std::string& name) {
             << " bound check(s) violated\n";
   return 1;
 }
+
+/// Machine-readable bench output: ordered rows of key/value pairs, written
+/// as one stable JSON document.  Values are stored as preformatted strings;
+/// add() escapes nothing, so keys must be plain identifiers.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Start a new row (e.g. one sweep point).
+  void begin_row(const std::string& label) {
+    rows_.emplace_back(label, std::vector<std::pair<std::string, std::string>>{});
+  }
+
+  void add(const std::string& key, double value) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    rows_.back().second.emplace_back(key, buffer);
+  }
+  void add(const std::string& key, long long value) {
+    rows_.back().second.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, const std::string& text) {
+    rows_.back().second.emplace_back(key, "\"" + text + "\"");
+  }
+
+  /// Write { "bench": .., "rows": [ {"label": .., k: v, ..}, .. ] }.
+  /// Returns false (and reports on stdout) if the file cannot be written.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cout << "  [warn] could not write " << path << '\n';
+      return false;
+    }
+    out << "{\"bench\":\"" << bench_ << "\",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) out << ',';
+      out << "{\"label\":\"" << rows_[i].first << "\"";
+      for (const auto& [key, value] : rows_[i].second)
+        out << ",\"" << key << "\":" << value;
+      out << '}';
+    }
+    out << "]}\n";
+    std::cout << "  wrote " << path << '\n';
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, std::string>>>>
+      rows_;
+};
 
 }  // namespace krad::bench

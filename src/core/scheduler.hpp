@@ -55,6 +55,14 @@ class KScheduler {
   virtual void allot(Time now, std::span<const JobView> active,
                      const ClairvoyantView* clair, Allotment& out) = 0;
 
+  /// Capacity-change hook: the driver calls this when the machine's
+  /// effective capacity changes mid-run (processor loss or recovery, see
+  /// src/fault/).  `effective` has the same number of categories as the
+  /// machine passed to reset(); subsequent allot() calls must respect the
+  /// new per-category limits.  Default: ignore (correct only for schedulers
+  /// that never read processor counts).
+  virtual void set_capacity(const MachineConfig& effective) { (void)effective; }
+
   /// Whether the scheduler wants the ClairvoyantView.
   virtual bool clairvoyant() const { return false; }
 

@@ -1,0 +1,73 @@
+#pragma once
+// Cooperative cancellation for live runs.
+//
+// A CancellationSource is the owner-side handle: cancel() flips a shared
+// atomic flag from any thread.  CancellationToken is the cheap observer-side
+// copy handed to the executor (abort the run between quanta, returning a
+// partial RuntimeResult) and to cancellable task closures, optionally
+// tightened with a wall deadline (with_deadline) so a long-running
+// cooperative task can bail out when its per-attempt budget expires.
+// A default-constructed token never requests a stop.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace krad {
+
+class CancellationSource;
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the source was cancelled or the deadline (if any) passed.
+  bool stop_requested() const noexcept {
+    if (flag_ && flag_->load(std::memory_order_acquire)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() > deadline_;
+  }
+
+  /// Copy of this token that additionally expires at `deadline` (kept if
+  /// already earlier than an existing one).
+  CancellationToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) const {
+    CancellationToken token = *this;
+    if (!token.has_deadline_ || deadline < token.deadline_) {
+      token.deadline_ = deadline;
+      token.has_deadline_ = true;
+    }
+    return token;
+  }
+
+  /// Whether this token is connected to a source (deadline-only and default
+  /// tokens are not).
+  bool cancellable() const noexcept { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Request a stop.  Thread-safe, idempotent.
+  void cancel() noexcept { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace krad

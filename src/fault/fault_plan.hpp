@@ -1,0 +1,59 @@
+#pragma once
+// Declarative fault scenario shared by the simulator and the live runtime.
+//
+// A FaultPlan is pure data: per-category task-failure probabilities, exact
+// scripted (job, vertex, attempt) failures, and a timeline of processor
+// loss/recovery events.  Both execution backends derive identical failure
+// decisions from the same plan through FaultInjector (fault/injector.hpp),
+// so a seeded scenario replays bit-identically in sim::simulate and in an
+// inline virtual-clock Executor run — the determinism contract
+// tests/test_runtime_determinism.cpp enforces.
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// An exact failure: attempt `attempt` (1-based) of job-local vertex
+/// `vertex` of job `job` fails, regardless of the probabilistic layer.
+struct ScriptedFault {
+  JobId job = kInvalidJob;
+  VertexId vertex = kInvalidVertex;
+  int attempt = 1;
+};
+
+/// At step/quantum t the capacity of `category` changes by `delta`
+/// processors (negative = loss, positive = recovery).  The effective
+/// capacity is clamped to [0, nominal P_alpha]: the runtime sizes its worker
+/// pools at the nominal machine, so "growth" only ever restores lost
+/// capacity.
+struct CapacityEvent {
+  Time t = 0;
+  Category category = 0;
+  int delta = 0;
+};
+
+struct FaultPlan {
+  /// Seed for the counter-based failure hash (see FaultInjector::fails).
+  std::uint64_t seed = 1;
+  /// Per-category probability that any single task attempt fails.  Shorter
+  /// than K is padded with zeros; empty = no probabilistic failures.
+  std::vector<double> failure_prob;
+  std::vector<ScriptedFault> scripted;
+  /// Processor loss/recovery timeline; need not be sorted.
+  std::vector<CapacityEvent> capacity_events;
+
+  bool has_task_faults() const noexcept {
+    if (!scripted.empty()) return true;
+    for (double p : failure_prob)
+      if (p > 0.0) return true;
+    return false;
+  }
+  bool has_capacity_events() const noexcept {
+    return !capacity_events.empty();
+  }
+};
+
+}  // namespace krad

@@ -1,0 +1,83 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace krad {
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             const MachineConfig& nominal)
+    : seed_(plan.seed), nominal_(nominal.processors), current_(nominal_) {
+  const std::size_t k = nominal.categories();
+  if (plan.failure_prob.size() > k)
+    throw std::logic_error("FaultInjector: more probabilities than categories");
+  prob_.assign(k, 0.0);
+  for (std::size_t a = 0; a < plan.failure_prob.size(); ++a) {
+    const double p = plan.failure_prob[a];
+    if (p < 0.0 || p > 1.0)
+      throw std::logic_error("FaultInjector: failure probability outside [0,1]");
+    prob_[a] = p;
+    if (p > 0.0) has_task_faults_ = true;
+  }
+  scripted_.reserve(plan.scripted.size());
+  for (const ScriptedFault& f : plan.scripted) {
+    if (f.attempt < 1)
+      throw std::logic_error("FaultInjector: scripted attempt must be >= 1");
+    scripted_.emplace_back(f.job, f.vertex, f.attempt);
+  }
+  std::sort(scripted_.begin(), scripted_.end());
+  if (!scripted_.empty()) has_task_faults_ = true;
+  events_ = plan.capacity_events;
+  for (const CapacityEvent& event : events_)
+    if (event.category >= k)
+      throw std::logic_error("FaultInjector: capacity event category out of range");
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const CapacityEvent& a, const CapacityEvent& b) {
+                     return a.t < b.t;
+                   });
+}
+
+bool FaultInjector::fails(JobId job, VertexId vertex, Category category,
+                          int attempt) const {
+  if (std::binary_search(scripted_.begin(), scripted_.end(),
+                         std::make_tuple(job, vertex, attempt)))
+    return true;
+  const double p = category < prob_.size() ? prob_[category] : 0.0;
+  if (p <= 0.0) return false;
+  // Counter-based hash: three splitmix64 rounds over the identifying triple.
+  std::uint64_t state = seed_ ^ (0x6a09e667f3bcc909ULL + job);
+  std::uint64_t h = splitmix64(state);
+  state ^= 0xbb67ae8584caa73bULL + vertex + (h << 6);
+  h = splitmix64(state);
+  state ^= 0x3c6ef372fe94f82bULL + static_cast<std::uint64_t>(attempt) + (h << 6);
+  h = splitmix64(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+void FaultInjector::apply(const CapacityEvent& event,
+                          std::vector<int>& capacity) const {
+  const auto a = static_cast<std::size_t>(event.category);
+  capacity[a] = std::clamp(capacity[a] + event.delta, 0, nominal_[a]);
+}
+
+const std::vector<int>& FaultInjector::capacity(Time t) {
+  if (t < last_query_)
+    throw std::logic_error("FaultInjector::capacity: time moved backwards");
+  last_query_ = t;
+  while (cursor_ < events_.size() && events_[cursor_].t <= t)
+    apply(events_[cursor_++], current_);
+  return current_;
+}
+
+std::vector<int> FaultInjector::capacity_at(Time t) const {
+  std::vector<int> capacity = nominal_;
+  for (const CapacityEvent& event : events_) {
+    if (event.t > t) break;
+    apply(event, capacity);
+  }
+  return capacity;
+}
+
+}  // namespace krad

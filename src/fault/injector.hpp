@@ -1,0 +1,61 @@
+#pragma once
+// Deterministic realisation of a FaultPlan.
+//
+// Failure decisions are COUNTER-BASED, not stream-based: fails(job, vertex,
+// attempt) hashes the identifying triple with the plan seed instead of
+// drawing from a sequential RNG.  The verdict for a given attempt therefore
+// does not depend on execution order, which is what lets the discrete-time
+// simulator and the runtime executor - which interleave work differently -
+// agree on every failure, and lets two injectors built from the same plan
+// behave identically.
+//
+// Capacity events are folded into a per-step effective capacity vector,
+// clamped to [0, nominal P_alpha].  capacity(t) is cursor-based for the
+// monotone per-step queries of the engines; capacity_at(t) recomputes from
+// scratch for random access (validator, tests).
+
+#include <tuple>
+#include <vector>
+
+#include "dag/types.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace krad {
+
+class FaultInjector {
+ public:
+  /// Validates the plan against the machine (probabilities in [0, 1],
+  /// event categories in range); throws std::logic_error otherwise.
+  FaultInjector(const FaultPlan& plan, const MachineConfig& nominal);
+
+  /// Whether attempt `attempt` (1-based) of (job, vertex) fails.  Pure:
+  /// identical across calls, instances and backends.
+  bool fails(JobId job, VertexId vertex, Category category,
+             int attempt) const;
+
+  /// Effective capacity vector at step t; t must be non-decreasing across
+  /// calls (the engines' clocks only move forward).
+  const std::vector<int>& capacity(Time t);
+
+  /// Random-access variant of capacity(t) (validator and tests).
+  std::vector<int> capacity_at(Time t) const;
+
+  bool has_task_faults() const noexcept { return has_task_faults_; }
+  bool has_capacity_events() const noexcept { return !events_.empty(); }
+  const std::vector<int>& nominal() const noexcept { return nominal_; }
+
+ private:
+  void apply(const CapacityEvent& event, std::vector<int>& capacity) const;
+
+  std::uint64_t seed_;
+  std::vector<double> prob_;  // padded to K
+  bool has_task_faults_ = false;
+  std::vector<std::tuple<JobId, VertexId, int>> scripted_;  // sorted
+  std::vector<CapacityEvent> events_;                       // sorted by t
+  std::vector<int> nominal_;
+  std::vector<int> current_;
+  std::size_t cursor_ = 0;
+  Time last_query_ = 0;
+};
+
+}  // namespace krad

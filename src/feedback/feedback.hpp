@@ -42,6 +42,10 @@ class FeedbackScheduler final : public KScheduler {
   void reset(const MachineConfig& machine, std::size_t num_jobs) override;
   void allot(Time now, std::span<const JobView> active,
              const ClairvoyantView* clair, Allotment& out) override;
+  void set_capacity(const MachineConfig& effective) override {
+    machine_ = effective;
+    inner_->set_capacity(effective);
+  }
   bool clairvoyant() const override { return inner_->clairvoyant(); }
   std::string name() const override {
     return inner_->name() + "+feedback";

@@ -15,6 +15,57 @@
 
 namespace krad {
 
+/// Terminal state of a job after a run (see docs/FAULTS.md).
+enum class JobOutcome {
+  kCompleted,  ///< every task executed successfully
+  kFailed,     ///< retries exhausted under ExhaustionAction::kFailJob
+  kDropped,    ///< retries exhausted under ExhaustionAction::kDropJob
+  kCancelled,  ///< run aborted (runtime CancellationSource) before completion
+};
+
+inline const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kDropped: return "dropped";
+    case JobOutcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Kinds of fault-layer events a job or driver can report (mirrored into the
+/// trace as FaultEvent records; see sim/trace.hpp).
+enum class FaultKind {
+  kTaskFailure,     ///< one attempt of a task failed (injected or thrown)
+  kTaskTimeout,     ///< attempt exceeded its wall deadline (runtime only)
+  kRetryScheduled,  ///< failed task re-queued after a backoff
+  kJobFailed,       ///< retries exhausted, job terminally failed
+  kJobDropped,      ///< retries exhausted, job dropped from the run
+  kCapacityChange,  ///< effective P_alpha changed (processor loss/recovery)
+};
+
+inline const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTaskFailure: return "task-failure";
+    case FaultKind::kTaskTimeout: return "task-timeout";
+    case FaultKind::kRetryScheduled: return "retry";
+    case FaultKind::kJobFailed: return "job-failed";
+    case FaultKind::kJobDropped: return "job-dropped";
+    case FaultKind::kCapacityChange: return "capacity-change";
+  }
+  return "?";
+}
+
+/// One fault-layer incident reported by a job to its sink; the engine stamps
+/// time and job id when recording it into the trace.
+struct FaultNotice {
+  FaultKind kind = FaultKind::kTaskFailure;
+  VertexId vertex = kInvalidVertex;
+  Category category = 0;
+  int attempt = 0;          ///< 1-based attempt number that failed
+  Time retry_delay = 0;     ///< backoff in steps (kRetryScheduled only)
+};
+
 /// Receiver for per-task execution events (used for trace recording and
 /// schedule validation).  `vertex` is meaningful for DAG-backed jobs; profile
 /// jobs report synthetic monotone ids.
@@ -22,6 +73,10 @@ class TaskSink {
  public:
   virtual ~TaskSink() = default;
   virtual void on_task(VertexId vertex, Category category) = 0;
+  /// Fault-layer incident (failed attempt, retry, job abandonment).  A failed
+  /// attempt still occupies a processor for the step, so recording sinks
+  /// should account for it when assigning processor indices.
+  virtual void on_fault(const FaultNotice& /*notice*/) {}
 };
 
 class Job {
@@ -40,6 +95,14 @@ class Job {
   virtual void advance() = 0;
 
   virtual bool finished() const = 0;
+
+  /// Terminal state once finished(); kCompleted unless a fault layer
+  /// abandoned the job (FaultyDagJob, runtime executor).
+  virtual JobOutcome outcome() const { return JobOutcome::kCompleted; }
+
+  /// Restore the job to its initial state for a rerun; return false if the
+  /// job type does not support it (JobSet::reset_all then throws).
+  virtual bool try_reset() { return false; }
 
   // --- offline accessors (bounds, clairvoyant baselines, reporting) ---
 

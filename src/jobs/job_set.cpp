@@ -63,7 +63,7 @@ void JobSet::reset_all() {
       profile_job->reset();
     } else if (auto* unfolding_job = dynamic_cast<UnfoldingJob*>(job.get())) {
       unfolding_job->reset();
-    } else {
+    } else if (!job->try_reset()) {
       throw std::logic_error("JobSet::reset_all: job type is not resettable");
     }
   }

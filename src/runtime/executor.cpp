@@ -1,9 +1,11 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "fault/injector.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace krad {
@@ -16,7 +18,44 @@ std::int64_t ns_between(std::chrono::steady_clock::time_point from,
       .count();
 }
 
+/// One dispatched (not injected-failed) attempt of the current quantum,
+/// in admission order.  `proc` was reserved at admission; whether the
+/// attempt succeeded is known only after the quantum barrier.
+struct PendingAttempt {
+  JobId id = kInvalidJob;
+  RuntimeJob* job = nullptr;
+  VertexId vertex = kInvalidVertex;
+  Category category = 0;
+  int attempt = 0;
+  int proc = -1;
+};
+
+/// Worker-side failure report: index into the pending-attempt vector plus
+/// the failure kind (closure threw, or overran the deadline).
+struct AttemptFailure {
+  std::size_t seq = 0;
+  FaultKind kind = FaultKind::kTaskFailure;
+};
+
+std::string limit_message(Time quanta, const std::string& scheduler,
+                          const std::vector<JobProgress>& progress) {
+  std::size_t unfinished = 0;
+  for (const JobProgress& p : progress)
+    if (!p.finished) ++unfinished;
+  return "Executor: exceeded max_quanta (" + std::to_string(quanta) +
+         " busy quanta) with scheduler " + scheduler + "; " +
+         std::to_string(unfinished) + " of " +
+         std::to_string(progress.size()) + " job(s) unfinished";
+}
+
 }  // namespace
+
+QuantaLimitError::QuantaLimitError(Time quanta,
+                                   std::vector<JobProgress> progress,
+                                   const std::string& scheduler)
+    : std::runtime_error(limit_message(quanta, scheduler, progress)),
+      quanta_(quanta),
+      progress_(std::move(progress)) {}
 
 Executor::Executor(MachineConfig machine, ExecutorOptions options)
     : machine_(std::move(machine)), options_(options) {
@@ -24,6 +63,8 @@ Executor::Executor(MachineConfig machine, ExecutorOptions options)
     throw std::logic_error("Executor: machine with no categories");
   for (int p : machine_.processors)
     if (p < 1) throw std::logic_error("Executor: category with no processors");
+  if (options_.retry.max_attempts < 1)
+    throw std::logic_error("Executor: retry.max_attempts must be >= 1");
 }
 
 JobId Executor::submit(std::unique_ptr<RuntimeJob> job, Time release) {
@@ -40,8 +81,17 @@ JobId Executor::submit(std::unique_ptr<RuntimeJob> job, Time release) {
 std::vector<TraceJobInfo> Executor::validation_inputs() const {
   std::vector<TraceJobInfo> infos;
   infos.reserve(jobs_.size());
-  for (JobId id = 0; id < jobs_.size(); ++id)
-    infos.push_back(TraceJobInfo{&jobs_[id]->dag(), releases_[id]});
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    TraceJobInfo info;
+    info.dag = &jobs_[id]->dag();
+    info.release = releases_[id];
+    // After a faulted/cancelled run, abandoned jobs have not executed all
+    // vertices; skip only the coverage check for them.
+    info.expect_complete =
+        !ran_ || (jobs_[id]->finished() &&
+                  jobs_[id]->outcome() == JobOutcome::kCompleted);
+    infos.push_back(info);
+  }
   return infos;
 }
 
@@ -50,6 +100,17 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   if (ran_)
     throw std::logic_error("Executor::run: jobs already consumed by a run");
   ran_ = true;
+
+  const auto k = static_cast<Category>(machine_.categories());
+  const std::size_t n = jobs_.size();
+  RuntimeResult result;
+  result.completion.assign(n, 0);
+  result.response.assign(n, 0);
+  result.executed_work.assign(k, 0);
+  result.allotted.assign(k, 0);
+  result.utilization.assign(k, 0.0);
+  // Nothing submitted: a zeroed result, without touching the scheduler.
+  if (n == 0) return result;
 
   // Optional A-GREEDY desire estimation layered over the caller's scheduler.
   KScheduler* sched = &scheduler;
@@ -60,18 +121,20 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     sched = feedback.get();
   }
 
-  const auto k = static_cast<Category>(machine_.categories());
-  const std::size_t n = jobs_.size();
-  RuntimeResult result;
-  result.completion.assign(n, 0);
-  result.response.assign(n, 0);
-  result.executed_work.assign(k, 0);
-  result.allotted.assign(k, 0);
-  result.utilization.assign(k, 0.0);
-  if (n == 0) return result;
-
   sched->reset(machine_, n);
   RuntimeObserver observer(machine_, options_.record_trace);
+
+  // Fault layer (docs/FAULTS.md).  Fault mode reroutes admission through
+  // attempt tracking; without it the fast path below is untouched.
+  const bool fault_mode =
+      options_.fault_plan != nullptr || options_.task_deadline.has_value();
+  std::optional<FaultInjector> injector;
+  if (options_.fault_plan != nullptr)
+    injector.emplace(*options_.fault_plan, machine_);
+  const bool degrading = injector && injector->has_capacity_events();
+  std::vector<int> effective = machine_.processors;
+  if (degrading) observer.init_capacity(effective);
+  const RetryPolicy& retry = options_.retry;
 
   std::vector<std::unique_ptr<WorkerPool>> pools;
   if (!options_.inline_execution) {
@@ -101,12 +164,23 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   ClairvoyantView clair;
   const bool wants_clair = sched->clairvoyant();
 
+  // Per-quantum fault bookkeeping (reused across quanta).
+  std::vector<PendingAttempt> attempts;
+  std::vector<AttemptFailure> failures;
+  std::mutex failures_mu;
+  std::optional<TaskFailedError> fatal;
+
   QuantumClock clock(options_.clock, options_.quantum_length);
   clock.start();
 
   std::size_t finished_count = 0;
   while (finished_count < n) {
     const Time t = clock.now();
+    // Cooperative run abort: stop between quanta, return a partial result.
+    if (options_.cancellation.stop_requested()) {
+      result.aborted = true;
+      break;
+    }
     while (next_pending < n && releases_[pending[next_pending]] < t) {
       active.push_back(pending[next_pending]);
       ++next_pending;
@@ -121,6 +195,18 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     }
     std::sort(active.begin(), active.end());
     const auto quantum_begin = SteadyClock::now();
+    observer.begin_quantum(t);
+
+    // Apply capacity events before the scheduler decides: it must see the
+    // degraded (or recovered) machine this quantum.
+    if (degrading) {
+      const std::vector<int>& cap = injector->capacity(t);
+      if (cap != effective) {
+        effective = cap;
+        sched->set_capacity(MachineConfig{effective});
+        observer.set_capacity(effective);
+      }
+    }
 
     // Observable state: true instantaneous desires.
     views.clear();
@@ -154,7 +240,8 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     sched->allot(t, views, clair_ptr, allot);
     const auto sched_end = SteadyClock::now();
 
-    // Capacity invariant before anything is enqueued.
+    // Capacity invariant before anything is enqueued, against the
+    // effective (possibly degraded) machine.
     for (Category a = 0; a < k; ++a) {
       Work sum = 0;
       for (std::size_t j = 0; j < active.size(); ++j) {
@@ -163,29 +250,117 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                                  sched->name());
         sum += allot[j][a];
       }
-      if (sum > machine_.processors[a])
+      if (sum > effective[a])
         throw std::logic_error("Executor: category over-allocated by " +
                                sched->name());
       result.allotted[a] += sum;
     }
 
     // Admission + dispatch: at most min(a, d) ready alpha-tasks per job.
-    observer.begin_quantum(t);
     const auto barrier_begin = SteadyClock::now();
-    for (std::size_t j = 0; j < active.size(); ++j) {
-      const JobId id = active[j];
-      RuntimeJob* job = jobs_[id].get();
-      for (Category a = 0; a < k; ++a) {
-        const Work admit = std::min(allot[j][a], views[j].desire[a]);
-        for (Work i = 0; i < admit; ++i) {
-          const VertexId v = job->pop_ready(a);
-          observer.record_admission(id, a, v);
-          if (options_.inline_execution)
-            job->run_task(v);
-          else
-            pools[a]->submit([job, v] { job->run_task(v); });
+    if (!fault_mode) {
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        const JobId id = active[j];
+        RuntimeJob* job = jobs_[id].get();
+        for (Category a = 0; a < k; ++a) {
+          const Work admit = std::min(allot[j][a], views[j].desire[a]);
+          for (Work i = 0; i < admit; ++i) {
+            const VertexId v = job->pop_ready(a);
+            observer.record_admission(id, a, v);
+            if (options_.inline_execution)
+              job->run_task(v);
+            else
+              pools[a]->submit([job, v] { job->run_task(v); });
+          }
+          result.executed_work[a] += admit;
         }
-        result.executed_work[a] += admit;
+      }
+    } else {
+      // Fault mode: every admission is an attempt.  Injected failures are
+      // decided and handled inline (the slot is burned, the vertex retries
+      // or the job is abandoned — mirroring FaultyDagJob::execute, so the
+      // sim twin replays identically); closure outcomes are resolved after
+      // the barrier.  TaskEvents are deferred until success is known.
+      attempts.clear();
+      failures.clear();
+      for (std::size_t j = 0; j < active.size() && !fatal; ++j) {
+        const JobId id = active[j];
+        RuntimeJob* job = jobs_[id].get();
+        for (Category a = 0; a < k && !fatal; ++a) {
+          // Live desire, not the view: an abandon earlier this quantum
+          // empties the queues (the simulator's execute() likewise finds
+          // nothing to pop after an abandon).
+          const Work admit = std::min(allot[j][a], job->desire(a));
+          for (Work i = 0; i < admit; ++i) {
+            const VertexId v = job->pop_ready(a);
+            const int attempt = job->register_attempt(v);
+            const int proc = observer.reserve_proc(a);
+            if (injector && injector->fails(id, v, a, attempt)) {
+              ++result.failed_attempts;
+              observer.record_fault(FaultEvent{0, id, FaultKind::kTaskFailure,
+                                               v, a, attempt, proc, 0, {}});
+              if (attempt >= retry.max_attempts) {
+                switch (retry.on_exhausted) {
+                  case ExhaustionAction::kFailFast:
+                    // Unwind only after the barrier: dispatched closures
+                    // still reference the jobs.
+                    fatal.emplace(id, v, a, attempt);
+                    break;
+                  case ExhaustionAction::kFailJob:
+                    observer.record_fault(FaultEvent{0, id,
+                                                     FaultKind::kJobFailed, v,
+                                                     a, attempt, -1, 0, {}});
+                    job->abandon(JobOutcome::kFailed);
+                    break;
+                  case ExhaustionAction::kDropJob:
+                    observer.record_fault(FaultEvent{0, id,
+                                                     FaultKind::kJobDropped, v,
+                                                     a, attempt, -1, 0, {}});
+                    job->abandon(JobOutcome::kDropped);
+                    break;
+                }
+                break;  // job abandoned (or run failing): stop admitting it
+              }
+              const Time delay = retry_backoff(retry, attempt);
+              observer.record_fault(FaultEvent{0, id,
+                                               FaultKind::kRetryScheduled, v,
+                                               a, attempt, -1, delay, {}});
+              job->requeue(v, delay);
+              ++result.retries;
+              continue;
+            }
+            const std::size_t seq = attempts.size();
+            attempts.push_back(PendingAttempt{id, job, v, a, attempt, proc});
+            auto body = [job, v, seq, &failures, &failures_mu,
+                         deadline = options_.task_deadline,
+                         run_token = options_.cancellation] {
+              const auto start = SteadyClock::now();
+              CancellationToken token = run_token;
+              if (deadline) token = token.with_deadline(start + *deadline);
+              bool failed = false;
+              FaultKind kind = FaultKind::kTaskFailure;
+              try {
+                job->run_closure(v, token);
+                if (deadline && SteadyClock::now() - start > *deadline) {
+                  failed = true;
+                  kind = FaultKind::kTaskTimeout;
+                }
+              } catch (...) {
+                failed = true;
+              }
+              if (!failed) {
+                job->release_successors(v);
+              } else {
+                std::lock_guard<std::mutex> lock(failures_mu);
+                failures.push_back(AttemptFailure{seq, kind});
+              }
+            };
+            if (options_.inline_execution)
+              body();
+            else
+              pools[a]->submit(std::move(body));
+          }
+        }
       }
     }
     // Quantum barrier: every admitted task completes before desires are
@@ -193,6 +368,60 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     if (!options_.inline_execution)
       for (auto& pool : pools) pool->wait_idle();
     const auto barrier_end = SteadyClock::now();
+    if (fatal) throw *fatal;
+
+    if (fault_mode) {
+      // Resolve dispatched attempts in admission order: successes become
+      // TaskEvents on their reserved slots, failures go through the retry
+      // policy exactly like injected ones.
+      std::sort(failures.begin(), failures.end(),
+                [](const AttemptFailure& a, const AttemptFailure& b) {
+                  return a.seq < b.seq;
+                });
+      std::size_t next_failure = 0;
+      for (std::size_t seq = 0; seq < attempts.size(); ++seq) {
+        const PendingAttempt& pa = attempts[seq];
+        const bool failed = next_failure < failures.size() &&
+                            failures[next_failure].seq == seq;
+        if (!failed) {
+          observer.record_task(pa.id, pa.category, pa.vertex, pa.proc);
+          ++result.executed_work[pa.category];
+          continue;
+        }
+        const FaultKind kind = failures[next_failure++].kind;
+        ++result.failed_attempts;
+        if (kind == FaultKind::kTaskTimeout) ++result.timeouts;
+        observer.record_fault(FaultEvent{0, pa.id, kind, pa.vertex,
+                                         pa.category, pa.attempt, pa.proc, 0,
+                                         {}});
+        if (pa.attempt >= retry.max_attempts) {
+          switch (retry.on_exhausted) {
+            case ExhaustionAction::kFailFast:
+              throw TaskFailedError(pa.id, pa.vertex, pa.category, pa.attempt);
+            case ExhaustionAction::kFailJob:
+              observer.record_fault(FaultEvent{0, pa.id, FaultKind::kJobFailed,
+                                               pa.vertex, pa.category,
+                                               pa.attempt, -1, 0, {}});
+              pa.job->abandon(JobOutcome::kFailed);
+              break;
+            case ExhaustionAction::kDropJob:
+              observer.record_fault(FaultEvent{0, pa.id, FaultKind::kJobDropped,
+                                               pa.vertex, pa.category,
+                                               pa.attempt, -1, 0, {}});
+              pa.job->abandon(JobOutcome::kDropped);
+              break;
+          }
+        } else {
+          const Time delay = retry_backoff(retry, pa.attempt);
+          observer.record_fault(FaultEvent{0, pa.id,
+                                           FaultKind::kRetryScheduled,
+                                           pa.vertex, pa.category, pa.attempt,
+                                           -1, delay, {}});
+          pa.job->requeue(pa.vertex, delay);
+          ++result.retries;
+        }
+      }
+    }
 
     {
       std::vector<std::vector<Work>> desires;
@@ -217,14 +446,27 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     }
 
     ++result.busy_quanta;
-    if (result.busy_quanta > options_.max_quanta)
-      throw std::runtime_error("Executor: exceeded max_quanta with scheduler " +
-                               sched->name());
+    if (result.busy_quanta > options_.max_quanta) {
+      std::vector<JobProgress> progress;
+      progress.reserve(n);
+      for (JobId i = 0; i < n; ++i)
+        progress.push_back(
+            JobProgress{i, jobs_[i]->admitted(),
+                        static_cast<Work>(jobs_[i]->dag().num_vertices()),
+                        jobs_[i]->finished()});
+      throw QuantaLimitError(result.busy_quanta, std::move(progress),
+                             sched->name());
+    }
     clock.advance();
     observer.end_quantum(ns_between(sched_begin, sched_end),
                          ns_between(barrier_begin, barrier_end),
                          ns_between(quantum_begin, SteadyClock::now()));
   }
+
+  result.outcome.assign(n, JobOutcome::kCompleted);
+  for (JobId i = 0; i < n; ++i)
+    result.outcome[i] =
+        jobs_[i]->finished() ? jobs_[i]->outcome() : JobOutcome::kCancelled;
 
   for (Category a = 0; a < k; ++a) {
     const double denom =

@@ -21,9 +21,13 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "fault/cancellation.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/retry.hpp"
 #include "feedback/feedback.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/observer.hpp"
@@ -48,8 +52,32 @@ struct ExecutorOptions {
   /// When set, wrap the scheduler in FeedbackScheduler: desires presented
   /// to it are A-GREEDY-style requests instead of true ready counts.
   std::optional<FeedbackParams> feedback;
-  /// Abort (throw std::runtime_error) past this many busy quanta.
+  /// Abort (throw QuantaLimitError) past this many busy quanta.
   Time max_quanta = 50'000'000;
+
+  // --- fault tolerance (docs/FAULTS.md) --------------------------------
+  // Fault mode is active when a fault plan or a task deadline is set; the
+  // fault-free path is bit-identical to an executor without these options.
+
+  /// Deterministic fault plan (must outlive the run): seeded task-failure
+  /// injection plus processor loss/recovery events.  With a virtual clock
+  /// and inline execution the run replays bit-identically, and matches
+  /// sim::simulate over FaultyDagJobs built on the same plan.
+  const FaultPlan* fault_plan = nullptr;
+  /// Applied to every failed attempt — injected, thrown by the closure, or
+  /// timed out — while fault mode is active.
+  RetryPolicy retry;
+  /// Per-attempt wall deadline for task closures.  An attempt whose closure
+  /// runs longer counts as failed (kTaskTimeout) and is retried under the
+  /// policy; cancellation-aware closures receive a token that expires at
+  /// the deadline so they can stop early.  Side effects of a timed-out
+  /// attempt are NOT rolled back (at-least-once semantics).
+  std::optional<std::chrono::microseconds> task_deadline;
+  /// Run-level cooperative cancellation, checked between quanta: once the
+  /// source is cancelled, run() returns a partial RuntimeResult with
+  /// aborted = true and unfinished jobs marked kCancelled.  The token is
+  /// also forwarded to cancellation-aware closures.
+  CancellationToken cancellation;
 };
 
 /// Outcome of one executor run; quantum-counted fields are directly
@@ -68,6 +96,45 @@ struct RuntimeResult {
   double mean_quantum_ns = 0.0;
   std::vector<QuantumStats> quanta;  ///< per busy quantum, in order
   std::shared_ptr<const ScheduleTrace> trace;  ///< iff record_trace
+
+  /// True when the run was cancelled between quanta (partial result:
+  /// completion/response of unfinished jobs stay 0).
+  bool aborted = false;
+  /// Terminal outcome per job: kCompleted, kFailed / kDropped (retry
+  /// exhaustion under the matching policy), or kCancelled (aborted run).
+  std::vector<JobOutcome> outcome;
+  /// Fault-layer counters (all zero in fault-free runs).
+  Work failed_attempts = 0;  ///< attempts that failed (any cause)
+  Work retries = 0;          ///< failed attempts that were re-queued
+  Work timeouts = 0;         ///< failed attempts caused by task_deadline
+};
+
+/// Snapshot of one job's progress, carried by QuantaLimitError.
+struct JobProgress {
+  JobId job = kInvalidJob;
+  Work admitted = 0;   ///< vertices admitted so far
+  Work total = 0;      ///< vertices in the job's dag
+  bool finished = false;
+};
+
+/// Thrown by Executor::run when busy quanta exceed ExecutorOptions::
+/// max_quanta — a livelocked scheduler, or an unrecovered capacity outage
+/// (zero effective processors make quanta tick without progress).
+class QuantaLimitError : public std::runtime_error {
+ public:
+  QuantaLimitError(Time quanta, std::vector<JobProgress> progress,
+                   const std::string& scheduler);
+
+  /// Busy quanta executed when the limit tripped.
+  Time quanta() const noexcept { return quanta_; }
+  /// Per-job progress at abort time, indexed by JobId.
+  const std::vector<JobProgress>& progress() const noexcept {
+    return progress_;
+  }
+
+ private:
+  Time quanta_;
+  std::vector<JobProgress> progress_;
 };
 
 class Executor {
@@ -84,8 +151,10 @@ class Executor {
   const MachineConfig& machine() const noexcept { return machine_; }
 
   /// Run every submitted job to completion.  Single-shot: the jobs are
-  /// consumed; a second call throws.  Task closure exceptions propagate
-  /// (first one wins) after the in-flight quantum drains.
+  /// consumed; a second call throws.  Without fault mode, task closure
+  /// exceptions propagate (first one wins) after the in-flight quantum
+  /// drains; with a fault plan or task deadline set they count as failed
+  /// attempts and go through the retry policy instead.
   RuntimeResult run(KScheduler& scheduler);
 
   /// Per-job validation facts for validate_schedule on a recorded trace.

@@ -23,6 +23,33 @@ int RuntimeObserver::record_admission(JobId job, Category category,
   return proc;
 }
 
+int RuntimeObserver::reserve_proc(Category category) {
+  ++admitted_this_quantum_;
+  return next_proc_.at(category)++;
+}
+
+void RuntimeObserver::record_task(JobId job, Category category, VertexId vertex,
+                                  int proc) {
+  if (trace_)
+    trace_->add_event(TaskEvent{current_, job, category, vertex, proc});
+}
+
+void RuntimeObserver::record_fault(FaultEvent event) {
+  if (!trace_) return;
+  event.t = current_;
+  trace_->add_fault(std::move(event));
+}
+
+void RuntimeObserver::set_capacity(std::vector<int> effective) {
+  capacity_ = std::move(effective);
+  if (!trace_) return;
+  FaultEvent event;
+  event.t = current_;
+  event.kind = FaultKind::kCapacityChange;
+  event.capacity = capacity_;
+  trace_->add_fault(std::move(event));
+}
+
 void RuntimeObserver::record_step(std::vector<JobId> active,
                                   std::vector<std::vector<Work>> desire,
                                   std::vector<std::vector<Work>> allot) {
@@ -32,6 +59,7 @@ void RuntimeObserver::record_step(std::vector<JobId> active,
   record.active = std::move(active);
   record.desire = std::move(desire);
   record.allot = std::move(allot);
+  record.capacity = capacity_;
   trace_->add_step(std::move(record));
 }
 

@@ -40,6 +40,30 @@ class RuntimeObserver {
   /// within its category for this quantum.
   int record_admission(JobId job, Category category, VertexId vertex);
 
+  // --- fault-mode interface (see docs/FAULTS.md) ----------------------
+  // Under a fault plan the executor splits admission in two: the processor
+  // index is reserved when the task is admitted, but the TaskEvent is only
+  // recorded once the attempt is known to have succeeded (failed attempts
+  // become FaultEvents on the reserved slot instead — the validator treats
+  // both as occupying the processor).
+
+  /// Reserve the next processor index in `category` for this quantum.
+  int reserve_proc(Category category);
+  /// Record a successful attempt on a previously reserved slot.
+  void record_task(JobId job, Category category, VertexId vertex, int proc);
+  /// Record a fault-layer incident; `event.t` is stamped with the current
+  /// quantum.
+  void record_fault(FaultEvent event);
+  /// Effective capacity changed: subsequent StepRecords carry `effective`
+  /// and a kCapacityChange FaultEvent is traced.
+  void set_capacity(std::vector<int> effective);
+  /// Stamp StepRecords with `effective` without tracing a change event —
+  /// used at run start when a plan has capacity events (the simulator also
+  /// stamps every step of such runs, starting from the nominal machine).
+  void init_capacity(std::vector<int> effective) {
+    capacity_ = std::move(effective);
+  }
+
   /// Scheduler-facing view of the quantum (desires and allotments in active
   /// order, as in the simulator's StepRecord).
   void record_step(std::vector<JobId> active,
@@ -61,6 +85,7 @@ class RuntimeObserver {
   std::shared_ptr<ScheduleTrace> trace_;  // null when not recording
   std::vector<int> next_proc_;            // per category, reset each quantum
   std::vector<QuantumStats> stats_;
+  std::vector<int> capacity_;             // empty until set_capacity
   Time current_ = 0;
   Work admitted_this_quantum_ = 0;
 };

@@ -10,6 +10,7 @@ RuntimeJob::RuntimeJob(KDag dag, std::string name)
   if (!dag_.sealed()) throw std::logic_error("RuntimeJob: dag must be sealed");
   tasks_.resize(dag_.num_vertices());
   ready_.resize(dag_.num_categories());
+  attempts_.assign(dag_.num_vertices(), 0);
   remaining_work_.resize(dag_.num_categories());
   for (Category a = 0; a < dag_.num_categories(); ++a)
     remaining_work_[a] = dag_.work(a);
@@ -24,11 +25,19 @@ RuntimeJob::RuntimeJob(KDag dag, std::string name)
 }
 
 void RuntimeJob::set_task(VertexId v, TaskFn fn) {
+  if (fn) {
+    tasks_.at(v) = [body = std::move(fn)](const CancellationToken&) { body(); };
+  } else {
+    tasks_.at(v) = nullptr;
+  }
+}
+
+void RuntimeJob::set_task(VertexId v, CancellableTaskFn fn) {
   tasks_.at(v) = std::move(fn);
 }
 
 void RuntimeJob::set_all_tasks(const TaskFn& fn) {
-  for (TaskFn& task : tasks_) task = fn;
+  for (VertexId v = 0; v < dag_.num_vertices(); ++v) set_task(v, fn);
 }
 
 void RuntimeJob::make_ready(VertexId v) {
@@ -55,11 +64,38 @@ VertexId RuntimeJob::pop_ready(Category alpha) {
   return v;
 }
 
-void RuntimeJob::run_task(VertexId v) {
-  if (const TaskFn& task = tasks_[v]) task();
-  // Release successors.  acq_rel: the decrement that reaches zero must
-  // observe all predecessors' closure effects, and the executor's promote
-  // (after the quantum barrier) must observe the push.
+void RuntimeJob::requeue(VertexId v, Time backoff) {
+  if (abandoned_) return;
+  --admitted_;
+  ++remaining_work_[dag_.category(v)];
+  // Ready again once the backoff expires; the +1 accounts for the upcoming
+  // end-of-quantum promote (backoff 0 = ready next quantum), matching
+  // FaultyDagJob's `advances_ + 1 + delay`.
+  cooling_.push_back(PendingRetry{promotes_ + 1 + backoff, v});
+}
+
+void RuntimeJob::abandon(JobOutcome outcome) {
+  abandoned_ = true;
+  outcome_ = outcome;
+  for (auto& queue : ready_) queue.clear();
+  cooling_.clear();
+  {
+    std::lock_guard<std::mutex> lock(enabled_mu_);
+    newly_enabled_.clear();
+  }
+  remaining_work_.assign(dag_.num_categories(), 0);
+  ready_cp_count_.assign(ready_cp_count_.size(), 0);
+  remaining_span_cache_ = 0;
+}
+
+void RuntimeJob::run_closure(VertexId v, const CancellationToken& token) {
+  if (const CancellableTaskFn& task = tasks_[v]) task(token);
+}
+
+void RuntimeJob::release_successors(VertexId v) {
+  // acq_rel: the decrement that reaches zero must observe all predecessors'
+  // closure effects, and the executor's promote (after the quantum barrier)
+  // must observe the push.
   for (VertexId succ : dag_.successors(v)) {
     if (pending_in_degree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(enabled_mu_);
@@ -68,14 +104,32 @@ void RuntimeJob::run_task(VertexId v) {
   }
 }
 
+void RuntimeJob::run_task(VertexId v) {
+  run_closure(v, CancellationToken{});
+  release_successors(v);
+}
+
 void RuntimeJob::promote_enabled() {
-  std::lock_guard<std::mutex> lock(enabled_mu_);
-  for (VertexId v : newly_enabled_) make_ready(v);
-  newly_enabled_.clear();
+  ++promotes_;
+  {
+    std::lock_guard<std::mutex> lock(enabled_mu_);
+    for (VertexId v : newly_enabled_) make_ready(v);
+    newly_enabled_.clear();
+  }
+  // Then retries whose backoff expired, preserving failure order — the same
+  // promotion order as FaultyDagJob::advance.
+  std::size_t kept = 0;
+  for (const PendingRetry& retry : cooling_) {
+    if (retry.due_promotes <= promotes_)
+      make_ready(retry.vertex);
+    else
+      cooling_[kept++] = retry;
+  }
+  cooling_.resize(kept);
 }
 
 bool RuntimeJob::finished() const noexcept {
-  return admitted_ == static_cast<Work>(dag_.num_vertices());
+  return abandoned_ || admitted_ == static_cast<Work>(dag_.num_vertices());
 }
 
 Work RuntimeJob::remaining_work(Category alpha) const {

@@ -9,12 +9,20 @@
 // virtual-clock run is bit-identical to sim::simulate (the determinism
 // cross-check in tests/test_runtime_determinism.cpp).
 //
-// Thread-safety contract: ready queues, desires and admission methods are
-// touched only by the executor thread.  Worker threads call only run_task(),
-// which executes the closure and performs the atomic in-degree decrement of
-// successors; vertices that hit in-degree zero are buffered under a mutex
-// and promoted to ready by the executor at the quantum barrier
-// (promote_enabled), exactly like the simulator's end-of-step advance().
+// Fault support (driven by the executor, see docs/FAULTS.md): each admission
+// registers an attempt; a failed attempt is requeued with a backoff measured
+// in quanta (promote_enabled re-readies it once the backoff expires, after
+// this quantum's newly enabled tasks — the same promotion order as
+// FaultyDagJob::advance), or the whole job is abandoned with a terminal
+// outcome.  Closures may be cancellation-aware: the executor passes a token
+// carrying the run-abort flag and the per-attempt deadline.
+//
+// Thread-safety contract: ready queues, desires, admission, retry and
+// abandonment methods are touched only by the executor thread.  Worker
+// threads call only run_closure() / release_successors(); vertices that hit
+// in-degree zero are buffered under a mutex and promoted to ready by the
+// executor at the quantum barrier (promote_enabled), exactly like the
+// simulator's end-of-step advance().
 
 #include <atomic>
 #include <cstdint>
@@ -25,12 +33,19 @@
 #include <vector>
 
 #include "dag/kdag.hpp"
+#include "fault/cancellation.hpp"
+#include "jobs/job.hpp"
 
 namespace krad {
 
 /// A task body run on a worker thread.  Must not call back into the executor
 /// or the job's executor-side interface.
 using TaskFn = std::function<void()>;
+
+/// Cancellation-aware task body: long-running closures should poll
+/// token.stop_requested() and return early when it flips (run aborted or
+/// per-attempt deadline passed).
+using CancellableTaskFn = std::function<void(const CancellationToken&)>;
 
 class RuntimeJob {
  public:
@@ -39,6 +54,8 @@ class RuntimeJob {
 
   /// Attach the closure run when vertex v executes.
   void set_task(VertexId v, TaskFn fn);
+  /// Cancellation-aware variant.
+  void set_task(VertexId v, CancellableTaskFn fn);
   /// Attach one shared closure to every vertex (e.g. a calibrated spin).
   void set_all_tasks(const TaskFn& fn);
 
@@ -48,12 +65,26 @@ class RuntimeJob {
   Work desire(Category alpha) const;
   /// Admit the FIFO-first ready alpha-vertex (desire(alpha) must be > 0).
   VertexId pop_ready(Category alpha);
-  /// Promote vertices enabled since the last call (quantum barrier; all
-  /// admitted tasks of the quantum must have completed).
+  /// Promote vertices enabled since the last call, then retries whose
+  /// backoff expired (quantum barrier; all admitted tasks of the quantum
+  /// must have completed).
   void promote_enabled();
-  /// All vertices admitted (== completed once the quantum barrier passed).
+  /// All vertices admitted (== completed once the quantum barrier passed),
+  /// or the job was abandoned by the fault layer.
   bool finished() const noexcept;
   Work admitted() const noexcept { return admitted_; }
+
+  // --- fault layer (executor thread; see docs/FAULTS.md) ---------------
+
+  /// Count a new attempt of v; returns the 1-based attempt number.
+  int register_attempt(VertexId v) { return ++attempts_.at(v); }
+  /// Undo the admission of v after a failed attempt; it re-enters the
+  /// ready set `backoff` promote calls after the upcoming one.
+  void requeue(VertexId v, Time backoff);
+  /// Terminally fail or drop the job: clears all pending work, finished()
+  /// becomes true, outcome() reports the reason.
+  void abandon(JobOutcome outcome);
+  JobOutcome outcome() const noexcept { return outcome_; }
 
   // Clairvoyant accessors (same definitions as DagJob).
   Work remaining_work(Category alpha) const;
@@ -61,26 +92,41 @@ class RuntimeJob {
 
   // --- worker-thread interface ---------------------------------------
 
-  /// Run vertex v's closure, then release its successors via atomic
-  /// in-degree decrement.  Safe to call concurrently for distinct vertices.
+  /// Run vertex v's closure with the given cancellation token.  Does NOT
+  /// release successors; safe to call concurrently for distinct vertices.
+  void run_closure(VertexId v, const CancellationToken& token);
+  /// Release v's successors via atomic in-degree decrement.  Call exactly
+  /// once per vertex, only after its closure succeeded.
+  void release_successors(VertexId v);
+  /// run_closure + release_successors — the fault-free fast path.
   void run_task(VertexId v);
 
   const KDag& dag() const noexcept { return dag_; }
   const std::string& name() const noexcept { return name_; }
 
  private:
+  struct PendingRetry {
+    Time due_promotes;  ///< ready again once promotes_ reaches this
+    VertexId vertex;
+  };
+
   void make_ready(VertexId v);
 
   KDag dag_;
   std::string name_;
-  std::vector<TaskFn> tasks_;
+  std::vector<CancellableTaskFn> tasks_;
 
   // Executor-side state.
   std::vector<std::deque<VertexId>> ready_;  // per category, FIFO
+  std::vector<PendingRetry> cooling_;        // in failure order
+  std::vector<int> attempts_;
   std::vector<Work> remaining_work_;
   std::vector<Work> ready_cp_count_;  // histogram of cp_length among ready
   Work remaining_span_cache_ = 0;
   Work admitted_ = 0;
+  Time promotes_ = 0;
+  JobOutcome outcome_ = JobOutcome::kCompleted;
+  bool abandoned_ = false;
 
   // Worker-shared state.
   std::vector<std::atomic<std::uint32_t>> pending_in_degree_;

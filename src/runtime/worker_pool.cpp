@@ -13,13 +13,17 @@ WorkerPool::WorkerPool(std::size_t threads, std::string name)
     threads_.emplace_back([this] { worker_loop(); });
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
 }
 
 void WorkerPool::submit(std::function<void()> task) {

@@ -40,6 +40,10 @@ class WorkerPool {
   /// first captured task exception, if any (clearing it).
   void wait_idle();
 
+  /// Drain remaining queued tasks and join all workers.  Idempotent; the
+  /// destructor calls it.  After shutdown, submit() throws std::logic_error.
+  void shutdown();
+
   std::size_t threads() const noexcept { return threads_.size(); }
   const std::string& name() const noexcept { return name_; }
 

@@ -18,6 +18,9 @@ class Fcfs final : public KScheduler {
   /// arrival), but FCFS consumes them through the clairvoyant view for
   /// interface simplicity.
   bool clairvoyant() const override { return true; }
+  void set_capacity(const MachineConfig& effective) override {
+    machine_ = effective;
+  }
   std::string name() const override { return "FCFS"; }
 
  private:

@@ -19,6 +19,9 @@ class GreedyCp final : public KScheduler {
   void allot(Time now, std::span<const JobView> active,
              const ClairvoyantView* clair, Allotment& out) override;
   bool clairvoyant() const override { return true; }
+  void set_capacity(const MachineConfig& effective) override {
+    machine_ = effective;
+  }
   std::string name() const override { return "GREEDY-CP"; }
 
  private:

@@ -16,6 +16,9 @@ class KDeqOnly final : public KScheduler {
   void reset(const MachineConfig& machine, std::size_t num_jobs) override;
   void allot(Time now, std::span<const JobView> active,
              const ClairvoyantView* clair, Allotment& out) override;
+  void set_capacity(const MachineConfig& effective) override {
+    machine_ = effective;
+  }
   std::string name() const override { return "K-DEQ"; }
 
  private:

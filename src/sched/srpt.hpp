@@ -15,6 +15,9 @@ class Srpt final : public KScheduler {
   void allot(Time now, std::span<const JobView> active,
              const ClairvoyantView* clair, Allotment& out) override;
   bool clairvoyant() const override { return true; }
+  void set_capacity(const MachineConfig& effective) override {
+    machine_ = effective;
+  }
   std::string name() const override { return "SRPT"; }
 
  private:

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+
+#include "fault/faulty_job.hpp"
+#include "fault/injector.hpp"
 
 namespace krad {
 
@@ -22,6 +26,22 @@ class RecordingSink final : public TaskSink {
   void on_task(VertexId vertex, Category category) override {
     trace_->add_event(TaskEvent{t_, job_, category, vertex,
                                 next_proc_[category]++});
+  }
+
+  void on_fault(const FaultNotice& notice) override {
+    FaultEvent event;
+    event.t = t_;
+    event.job = job_;
+    event.kind = notice.kind;
+    event.vertex = notice.vertex;
+    event.category = notice.category;
+    event.attempt = notice.attempt;
+    event.retry_delay = notice.retry_delay;
+    // A failed attempt still burns a processor slot for the step.
+    if (notice.kind == FaultKind::kTaskFailure ||
+        notice.kind == FaultKind::kTaskTimeout)
+      event.proc = next_proc_[notice.category]++;
+    trace_->add_fault(std::move(event));
   }
 
  private:
@@ -58,6 +78,13 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
     trace = std::make_shared<ScheduleTrace>();
     sink = std::make_unique<RecordingSink>(*trace);
   }
+
+  // Fault layer: capacity events shrink/restore the effective machine.
+  std::optional<FaultInjector> injector;
+  if (options.fault_plan != nullptr)
+    injector.emplace(*options.fault_plan, machine);
+  const bool degrading = injector && injector->has_capacity_events();
+  std::vector<int> effective = machine.processors;
 
   // Jobs not yet released, ordered by release time (ascending, stable by id).
   std::vector<JobId> pending(n);
@@ -96,6 +123,23 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       continue;
     }
     std::sort(active.begin(), active.end());
+
+    // Apply capacity events before the scheduler decides: it must see the
+    // degraded (or recovered) machine this step.
+    if (degrading) {
+      const std::vector<int>& cap = injector->capacity(t);
+      if (cap != effective) {
+        effective = cap;
+        scheduler.set_capacity(MachineConfig{effective});
+        if (trace) {
+          FaultEvent event;
+          event.t = t;
+          event.kind = FaultKind::kCapacityChange;
+          event.capacity = effective;
+          trace->add_fault(std::move(event));
+        }
+      }
+    }
 
     // Build views.
     views.clear();
@@ -152,7 +196,7 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
                                  scheduler.name());
         sum += allot[j][a];
       }
-      if (sum > machine.processors[a])
+      if (sum > effective[a])
         throw std::logic_error("simulate: category over-allocated by " +
                                scheduler.name());
       result.allotted[a] += sum;
@@ -175,6 +219,7 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       record.active = active;
       for (const JobView& view : views) record.desire.push_back(view.desire);
       record.allot = allot;
+      if (degrading) record.capacity = effective;
       trace->add_step(std::move(record));
     }
 
@@ -199,6 +244,16 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       throw std::runtime_error("simulate: exceeded max_steps with scheduler " +
                                scheduler.name());
     ++t;
+  }
+
+  result.outcome.assign(n, JobOutcome::kCompleted);
+  for (JobId i = 0; i < n; ++i) {
+    const Job& job = set.job(i);
+    result.outcome[i] = job.outcome();
+    if (const auto* faulty = dynamic_cast<const FaultyDagJob*>(&job)) {
+      result.failed_attempts += faulty->failed_attempts();
+      result.retries += faulty->retries();
+    }
   }
 
   for (const Time r : result.response) result.total_response += r;

@@ -12,6 +12,7 @@
 // Steps where no job is active (idle intervals) are skipped in O(1).
 
 #include "core/scheduler.hpp"
+#include "fault/fault_plan.hpp"
 #include "jobs/job_set.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
@@ -30,6 +31,12 @@ struct SimOptions {
   /// allocation staleness.  A decision is also forced whenever the active
   /// set changes (release or completion).  Period 1 = the paper's model.
   Time decision_period = 1;
+  /// Optional fault plan (must outlive the run).  Capacity events degrade
+  /// the machine mid-run: the scheduler is notified via set_capacity and
+  /// the capacity invariant is checked against the effective vector.  Task
+  /// faults take effect only through FaultyDagJob instances built against a
+  /// FaultInjector over the same plan (see src/fault/faulty_job.hpp).
+  const FaultPlan* fault_plan = nullptr;
 };
 
 /// Run to completion.  The jobs in `set` are consumed (mutated); call

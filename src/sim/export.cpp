@@ -52,12 +52,18 @@ std::string to_json(const SimResult& result) {
   append_array(out, result.allotted);
   out += ",\"utilization\":";
   append_array(out, result.utilization);
+  out += ",\"failed_attempts\":" + std::to_string(result.failed_attempts);
+  out += ",\"retries\":" + std::to_string(result.retries);
   out += ",\"jobs\":[";
   for (std::size_t i = 0; i < result.completion.size(); ++i) {
     if (i != 0) out += ',';
     out += "{\"id\":" + std::to_string(i) +
            ",\"completion\":" + std::to_string(result.completion[i]) +
-           ",\"response\":" + std::to_string(result.response[i]) + "}";
+           ",\"response\":" + std::to_string(result.response[i]);
+    if (i < result.outcome.size())
+      out += std::string(",\"outcome\":\"") + to_string(result.outcome[i]) +
+             "\"";
+    out += "}";
   }
   out += "]}";
   return out;
@@ -76,7 +82,29 @@ std::string to_json(const ScheduleTrace& trace, const MachineConfig& machine) {
            ",\"vertex\":" + std::to_string(event.vertex) +
            ",\"proc\":" + std::to_string(event.proc) + "}";
   }
-  out += "],\"steps\":[";
+  out += ']';
+  if (!trace.faults().empty()) {
+    out += ",\"faults\":[";
+    for (std::size_t i = 0; i < trace.faults().size(); ++i) {
+      const FaultEvent& fault = trace.faults()[i];
+      if (i != 0) out += ',';
+      out += "{\"t\":" + std::to_string(fault.t) +
+             ",\"job\":" + std::to_string(fault.job) + ",\"kind\":\"" +
+             to_string(fault.kind) + "\"" +
+             ",\"vertex\":" + std::to_string(fault.vertex) +
+             ",\"cat\":" + std::to_string(fault.category) +
+             ",\"attempt\":" + std::to_string(fault.attempt) +
+             ",\"proc\":" + std::to_string(fault.proc) +
+             ",\"retry_delay\":" + std::to_string(fault.retry_delay);
+      if (!fault.capacity.empty()) {
+        out += ",\"capacity\":";
+        append_array(out, fault.capacity);
+      }
+      out += '}';
+    }
+    out += ']';
+  }
+  out += ",\"steps\":[";
   for (std::size_t i = 0; i < trace.steps().size(); ++i) {
     const StepRecord& step = trace.steps()[i];
     if (i != 0) out += ',';
@@ -86,6 +114,10 @@ std::string to_json(const ScheduleTrace& trace, const MachineConfig& machine) {
     append_matrix(out, step.desire);
     out += ",\"allot\":";
     append_matrix(out, step.allot);
+    if (!step.capacity.empty()) {
+      out += ",\"capacity\":";
+      append_array(out, step.capacity);
+    }
     out += '}';
   }
   out += "]}";

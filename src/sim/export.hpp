@@ -7,12 +7,18 @@
 //   result: { "makespan": N, "busy_steps": N, "idle_steps": N,
 //             "total_response": N, "mean_response": X,
 //             "executed_work": [..], "allotted": [..], "utilization": [..],
-//             "jobs": [ {"id": i, "completion": N, "response": N}, .. ] }
+//             "failed_attempts": N, "retries": N,
+//             "jobs": [ {"id": i, "completion": N, "response": N,
+//                        "outcome": "completed"}, .. ] }
 //
 //   trace:  { "machine": [P0, P1, ..],
 //             "events": [ {"t":N,"job":N,"cat":N,"vertex":N,"proc":N}, .. ],
+//             "faults": [ {"t":N,"job":N,"kind":"task-failure","vertex":N,
+//                          "cat":N,"attempt":N,"proc":N,"retry_delay":N,
+//                          "capacity":[..]}, .. ],   // absent when empty
 //             "steps":  [ {"t":N,"active":[..],
-//                          "desire":[[..],..], "allot":[[..],..]}, .. ] }
+//                          "desire":[[..],..], "allot":[[..],..],
+//                          "capacity":[..]}, .. ] }  // capacity if degraded
 
 #include <string>
 

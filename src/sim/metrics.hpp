@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dag/types.hpp"
+#include "jobs/job.hpp"  // JobOutcome
 
 namespace krad {
 
@@ -33,6 +34,12 @@ struct SimResult {
   Time idle_steps = 0;
   /// Per-category utilization: executed_work / (P_alpha * busy_steps).
   std::vector<double> utilization;
+  /// Terminal outcome per job (all kCompleted unless a fault plan with a
+  /// fail-job/drop-job policy was active; see src/fault/).
+  std::vector<JobOutcome> outcome;
+  /// Fault-layer counters, summed over FaultyDagJobs (0 without faults).
+  Work failed_attempts = 0;
+  Work retries = 0;
   /// Present iff SimOptions::record_trace.
   std::shared_ptr<const ScheduleTrace> trace;
 };

@@ -18,6 +18,7 @@ std::string ScheduleTrace::gantt(const MachineConfig& machine,
                                  std::size_t max_width) const {
   Time horizon = 0;
   for (const TaskEvent& event : events_) horizon = std::max(horizon, event.t);
+  for (const FaultEvent& fault : faults_) horizon = std::max(horizon, fault.t);
   const auto width =
       std::min<std::size_t>(static_cast<std::size_t>(horizon), max_width);
 
@@ -25,12 +26,29 @@ std::string ScheduleTrace::gantt(const MachineConfig& machine,
   for (Category alpha = 0; alpha < machine.categories(); ++alpha) {
     const auto p = static_cast<std::size_t>(machine.processors[alpha]);
     std::vector<std::string> grid(p, std::string(width, '.'));
+    // Mark processors lost to capacity events ('x') from the step records.
+    for (const StepRecord& step : steps_) {
+      if (step.capacity.empty()) continue;
+      const auto col = static_cast<std::size_t>(step.t - 1);
+      if (col >= width) continue;
+      const auto eff =
+          static_cast<std::size_t>(std::max(0, step.capacity[alpha]));
+      for (std::size_t row = eff; row < p; ++row) grid[row][col] = 'x';
+    }
     for (const TaskEvent& event : events_) {
       if (event.category != alpha) continue;
       const auto col = static_cast<std::size_t>(event.t - 1);
       if (col >= width) continue;
       if (event.proc >= 0 && static_cast<std::size_t>(event.proc) < p)
         grid[static_cast<std::size_t>(event.proc)][col] = job_glyph(event.job);
+    }
+    // Failed attempts burn a slot: render them over the idle glyph.
+    for (const FaultEvent& fault : faults_) {
+      if (fault.category != alpha || fault.proc < 0) continue;
+      const auto col = static_cast<std::size_t>(fault.t - 1);
+      if (col >= width) continue;
+      if (static_cast<std::size_t>(fault.proc) < p)
+        grid[static_cast<std::size_t>(fault.proc)][col] = '!';
     }
     out += "category " + std::to_string(alpha) + " (P=" + std::to_string(p) +
            ")\n";

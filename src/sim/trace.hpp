@@ -8,10 +8,13 @@
 #include <vector>
 
 #include "dag/types.hpp"
+#include "jobs/job.hpp"  // FaultKind
 
 namespace krad {
 
-/// One executed task: tau(v) = t, pi_cat(v) = proc.
+/// One executed task: tau(v) = t, pi_cat(v) = proc.  Recorded for SUCCESSFUL
+/// attempts only; failed attempts appear as FaultEvents (they still occupy a
+/// processor for the step, so proc indices are shared across both streams).
 struct TaskEvent {
   Time t = 0;
   JobId job = kInvalidJob;
@@ -20,29 +23,52 @@ struct TaskEvent {
   int proc = -1;                     ///< 0-based processor within category
 };
 
+/// One fault-layer incident (see src/fault/ and docs/FAULTS.md): a failed
+/// attempt (kTaskFailure / kTaskTimeout, occupying processor `proc`), its
+/// consequence (kRetryScheduled / kJobFailed / kJobDropped), or a machine
+/// capacity change (kCapacityChange, carrying the new effective vector).
+struct FaultEvent {
+  Time t = 0;
+  JobId job = kInvalidJob;
+  FaultKind kind = FaultKind::kTaskFailure;
+  VertexId vertex = kInvalidVertex;
+  Category category = 0;
+  int attempt = 0;
+  int proc = -1;               ///< slot burned by a failed attempt; else -1
+  Time retry_delay = 0;        ///< kRetryScheduled only
+  std::vector<int> capacity;   ///< kCapacityChange only: new effective P
+};
+
 /// Scheduler-facing view of one step (for fairness/invariant tests).
 struct StepRecord {
   Time t = 0;
   std::vector<JobId> active;               // ascending
   std::vector<std::vector<Work>> desire;   // [active index][category]
   std::vector<std::vector<Work>> allot;    // [active index][category]
+  /// Effective per-category capacity at t.  Empty = nominal machine
+  /// capacity (only runs with capacity-loss events populate this).
+  std::vector<int> capacity;
 };
 
 class ScheduleTrace {
  public:
   void add_event(const TaskEvent& event) { events_.push_back(event); }
+  void add_fault(FaultEvent event) { faults_.push_back(std::move(event)); }
   void add_step(StepRecord record) { steps_.push_back(std::move(record)); }
 
   const std::vector<TaskEvent>& events() const noexcept { return events_; }
+  const std::vector<FaultEvent>& faults() const noexcept { return faults_; }
   const std::vector<StepRecord>& steps() const noexcept { return steps_; }
 
   /// ASCII Gantt chart: one block per category, rows = processors,
   /// columns = steps, cells = job ids (mod 62, as [0-9a-zA-Z], '.' = idle).
-  /// `max_width` caps the number of columns rendered.
+  /// Failed attempts render as '!', processors lost to capacity events as
+  /// 'x'.  `max_width` caps the number of columns rendered.
   std::string gantt(const MachineConfig& machine, std::size_t max_width = 120) const;
 
  private:
   std::vector<TaskEvent> events_;
+  std::vector<FaultEvent> faults_;
   std::vector<StepRecord> steps_;
 };
 

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "fault/faulty_job.hpp"
+
 namespace krad {
 
 namespace {
@@ -13,6 +15,14 @@ std::string describe(const TaskEvent& event) {
   std::ostringstream os;
   os << "job " << event.job << " vertex " << event.vertex << " cat "
      << event.category << " t=" << event.t << " proc=" << event.proc;
+  return os.str();
+}
+
+std::string describe(const FaultEvent& event) {
+  std::ostringstream os;
+  os << "fault(" << to_string(event.kind) << ") job " << event.job
+     << " vertex " << event.vertex << " cat " << event.category
+     << " t=" << event.t << " proc=" << event.proc;
   return os.str();
 }
 
@@ -27,9 +37,20 @@ std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,
     if (violations.size() < max_violations) violations.push_back(message);
   };
 
+  // Effective capacity per step, from step records that carry one (runs with
+  // capacity-loss events).  Steps without a record use the nominal machine.
+  std::map<Time, const std::vector<int>*> effective;
+  for (const StepRecord& step : trace.steps())
+    if (!step.capacity.empty()) effective[step.t] = &step.capacity;
+  auto capacity_at = [&](Time t, Category a) {
+    const auto it = effective.find(t);
+    return it != effective.end() ? (*it->second)[a] : machine.processors[a];
+  };
+
   // tau per job vertex.
   std::vector<std::map<VertexId, Time>> tau(jobs.size());
-  // processor occupancy per (category, t, proc).
+  // processor occupancy per (category, t, proc) — successful attempts AND
+  // failed ones, which burn their slot for the step too.
   std::set<std::tuple<Category, Time, int>> booked;
 
   for (const TaskEvent& event : trace.events()) {
@@ -38,7 +59,7 @@ std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,
       continue;
     }
     if (event.category >= machine.categories() || event.proc < 0 ||
-        event.proc >= machine.processors[event.category]) {
+        event.proc >= capacity_at(event.t, event.category)) {
       report("event outside machine: " + describe(event));
       continue;
     }
@@ -50,11 +71,30 @@ std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,
       report("processor double-booked: " + describe(event));
   }
 
+  // Failed attempts occupy processors under the same rules (no tau entry:
+  // the vertex may legitimately execute later on a retry).
+  for (const FaultEvent& fault : trace.faults()) {
+    if (fault.proc < 0) continue;  // consequence/capacity records hold no slot
+    if (fault.job >= jobs.size()) {
+      report("fault for unknown job: " + describe(fault));
+      continue;
+    }
+    if (fault.category >= machine.categories() ||
+        fault.proc >= capacity_at(fault.t, fault.category)) {
+      report("fault outside machine: " + describe(fault));
+      continue;
+    }
+    if (fault.t <= jobs[fault.job].release)
+      report("fault before release: " + describe(fault));
+    if (!booked.emplace(fault.category, fault.t, fault.proc).second)
+      report("processor double-booked: " + describe(fault));
+  }
+
   for (JobId id = 0; id < jobs.size(); ++id) {
     const KDag* dag = jobs[id].dag;
     if (dag == nullptr) continue;  // non-DAG jobs: coverage check only
     const auto& times = tau[id];
-    if (times.size() != dag->num_vertices())
+    if (jobs[id].expect_complete && times.size() != dag->num_vertices())
       report("job " + std::to_string(id) + ": executed " +
              std::to_string(times.size()) + " of " +
              std::to_string(dag->num_vertices()) + " vertices");
@@ -80,16 +120,19 @@ std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,
       report("category mismatch: " + describe(event));
   }
 
-  // Per-step capacity from the scheduler-facing records.
+  // Per-step capacity from the scheduler-facing records, against the
+  // effective machine when the step carries one.
   for (const StepRecord& step : trace.steps()) {
     for (Category a = 0; a < machine.categories(); ++a) {
+      const int limit =
+          step.capacity.empty() ? machine.processors[a] : step.capacity[a];
       Work sum = 0;
       for (const auto& per_job : step.allot)
         sum += a < per_job.size() ? per_job[a] : 0;
-      if (sum > machine.processors[a])
+      if (sum > limit)
         report("step " + std::to_string(step.t) + ": category " +
                std::to_string(a) + " over-allotted (" + std::to_string(sum) +
-               " > " + std::to_string(machine.processors[a]) + ")");
+               " > " + std::to_string(limit) + ")");
     }
   }
 
@@ -103,9 +146,16 @@ std::vector<std::string> validate_schedule(const JobSet& set,
   std::vector<TraceJobInfo> infos;
   infos.reserve(set.size());
   for (JobId id = 0; id < set.size(); ++id) {
-    const auto* dag_job = dynamic_cast<const DagJob*>(&set.job(id));
-    infos.push_back(TraceJobInfo{dag_job ? &dag_job->dag() : nullptr,
-                                 set.release(id)});
+    const Job& job = set.job(id);
+    TraceJobInfo info;
+    info.release = set.release(id);
+    if (const auto* dag_job = dynamic_cast<const DagJob*>(&job)) {
+      info.dag = &dag_job->dag();
+    } else if (const auto* faulty = dynamic_cast<const FaultyDagJob*>(&job)) {
+      info.dag = &faulty->dag();
+      info.expect_complete = faulty->outcome() == JobOutcome::kCompleted;
+    }
+    infos.push_back(info);
   }
   return validate_schedule(std::span<const TraceJobInfo>(infos), machine,
                            trace, max_violations);

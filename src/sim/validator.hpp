@@ -14,6 +14,13 @@
 // in particular the live runtime executor's (runtime/observer.hpp), so a
 // real threaded run is held to the same invariants as a simulated one.
 // Returns human-readable violations; empty = valid.
+//
+// Fault-aware traces (src/fault/) are covered too: failed attempts
+// (FaultEvents with proc >= 0) participate in processor-bound and
+// double-booking checks, steps that carry an effective-capacity vector are
+// checked against it instead of the nominal machine, and jobs marked
+// expect_complete = false (failed/dropped/cancelled) skip only the
+// all-vertices-executed check.
 
 #include <span>
 #include <string>
@@ -28,10 +35,13 @@ namespace krad {
 /// One job's validation-relevant facts, for traces not produced by a JobSet
 /// run.  A null dag skips the coverage/precedence/category checks for that
 /// job (e.g. profile jobs); machine-bounds, release, double-booking and
-/// per-step capacity checks always apply.
+/// per-step capacity checks always apply.  `expect_complete = false` skips
+/// only the coverage (all-vertices-executed) check — set it for jobs the
+/// fault layer failed, dropped, or cancelled (see src/fault/).
 struct TraceJobInfo {
   const KDag* dag = nullptr;
   Time release = 0;
+  bool expect_complete = true;
 };
 
 std::vector<std::string> validate_schedule(std::span<const TraceJobInfo> jobs,

@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include "core/krad.hpp"
 #include "dag/builders.hpp"
@@ -59,6 +61,43 @@ TEST(WorkerPool, RethrowsFirstTaskExceptionAndStaysUsable) {
 
 TEST(WorkerPool, RejectsZeroThreads) {
   EXPECT_THROW(WorkerPool pool(0), std::logic_error);
+}
+
+TEST(WorkerPool, ManyConcurrentFailuresRethrowExactlyOne) {
+  WorkerPool pool(4);
+  std::atomic<int> started{0};
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&started, i] {
+      started.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+  int rethrown = 0;
+  try {
+    pool.wait_idle();
+  } catch (const std::runtime_error&) {
+    ++rethrown;
+  }
+  EXPECT_EQ(rethrown, 1);  // first captured error only, not 32
+  EXPECT_EQ(started.load(), 32);  // the barrier still drained every task
+  // The error slot is cleared: a clean batch afterwards does not throw.
+  std::atomic<int> clean{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&clean] { clean.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(clean.load(), 8);
+}
+
+TEST(WorkerPool, ShutdownIsIdempotentAndRejectsLateSubmits) {
+  WorkerPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.shutdown();  // drains the queue before joining
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(pool.threads(), 0u);
+  pool.shutdown();  // second call is a no-op
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  pool.wait_idle();  // idle pool: still safe to call
 }
 
 // --- RuntimeJob -----------------------------------------------------------
@@ -279,12 +318,65 @@ TEST(Executor, IdleGapsAreSkippedNotSlept) {
 }
 
 TEST(Executor, EmptyRunReturnsZeroedResult) {
+  // A scheduler that counts its invocations: with nothing submitted the
+  // executor must not consult it at all.
+  class Counting final : public KScheduler {
+   public:
+    void reset(const MachineConfig&, std::size_t) override { ++resets; }
+    void allot(Time, std::span<const JobView>, const ClairvoyantView*,
+               Allotment&) override {
+      ++allots;
+    }
+    std::string name() const override { return "counting"; }
+    int resets = 0;
+    int allots = 0;
+  };
+
   Executor executor(MachineConfig{{2, 2}});
-  KRad scheduler;
+  Counting scheduler;
   const RuntimeResult result = executor.run(scheduler);
+  EXPECT_EQ(scheduler.resets, 0);
+  EXPECT_EQ(scheduler.allots, 0);
   EXPECT_EQ(result.makespan, 0);
   EXPECT_EQ(result.busy_quanta, 0);
+  EXPECT_EQ(result.idle_quanta, 0);
   EXPECT_TRUE(result.completion.empty());
+  EXPECT_TRUE(result.outcome.empty());
+  EXPECT_FALSE(result.aborted);
+  ASSERT_EQ(result.utilization.size(), 2u);
+  for (const double u : result.utilization) {
+    EXPECT_FALSE(std::isnan(u));
+    EXPECT_EQ(u, 0.0);
+  }
+  // Still single-shot: the empty run consumed the executor.
+  EXPECT_THROW(executor.run(scheduler), std::logic_error);
+}
+
+TEST(Executor, QuantaLimitCarriesProgressSnapshot) {
+  // A 30-deep chain cannot finish in 5 quanta; the abort must say how far
+  // each job got (docs/RUNTIME.md).
+  ExecutorOptions options;
+  options.inline_execution = true;
+  options.max_quanta = 5;
+  Executor executor(MachineConfig{{2, 2}}, options);
+  executor.submit(
+      std::make_unique<RuntimeJob>(category_chain({0, 1}, 30, 2)));
+  executor.submit(std::make_unique<RuntimeJob>(single_task(0, 2)));
+  KRad scheduler;
+  try {
+    executor.run(scheduler);
+    FAIL() << "expected QuantaLimitError";
+  } catch (const QuantaLimitError& e) {
+    EXPECT_EQ(e.quanta(), 6);
+    ASSERT_EQ(e.progress().size(), 2u);
+    EXPECT_EQ(e.progress()[0].job, 0);
+    EXPECT_FALSE(e.progress()[0].finished);
+    EXPECT_EQ(e.progress()[0].admitted, 6);  // one chain vertex per quantum
+    EXPECT_EQ(e.progress()[0].total, 30);
+    EXPECT_TRUE(e.progress()[1].finished);
+    EXPECT_EQ(e.progress()[1].admitted, 1);
+    EXPECT_NE(std::string(e.what()).find("max_quanta"), std::string::npos);
+  }
 }
 
 TEST(Executor, GuardsAgainstMisuse) {

@@ -15,6 +15,9 @@
 
 #include "core/krad.hpp"
 #include "dag/builders.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_job.hpp"
+#include "fault/injector.hpp"
 #include "jobs/job_set.hpp"
 #include "runtime/executor.hpp"
 #include "sched/kdeq_only.hpp"
@@ -66,6 +69,7 @@ void expect_equal_traces(const ScheduleTrace& sim_trace,
     EXPECT_EQ(a.active, b.active) << "step " << s;
     EXPECT_EQ(a.desire, b.desire) << "step " << s;
     EXPECT_EQ(a.allot, b.allot) << "step " << s;
+    EXPECT_EQ(a.capacity, b.capacity) << "step " << s;
   }
   ASSERT_EQ(sim_trace.events().size(), run_trace.events().size());
   for (std::size_t e = 0; e < sim_trace.events().size(); ++e) {
@@ -76,6 +80,20 @@ void expect_equal_traces(const ScheduleTrace& sim_trace,
     EXPECT_EQ(a.category, b.category) << "event " << e;
     EXPECT_EQ(a.vertex, b.vertex) << "event " << e;
     EXPECT_EQ(a.proc, b.proc) << "event " << e;
+  }
+  ASSERT_EQ(sim_trace.faults().size(), run_trace.faults().size());
+  for (std::size_t f = 0; f < sim_trace.faults().size(); ++f) {
+    const FaultEvent& a = sim_trace.faults()[f];
+    const FaultEvent& b = run_trace.faults()[f];
+    EXPECT_EQ(a.t, b.t) << "fault " << f;
+    EXPECT_EQ(a.job, b.job) << "fault " << f;
+    EXPECT_EQ(a.kind, b.kind) << "fault " << f;
+    EXPECT_EQ(a.vertex, b.vertex) << "fault " << f;
+    EXPECT_EQ(a.category, b.category) << "fault " << f;
+    EXPECT_EQ(a.attempt, b.attempt) << "fault " << f;
+    EXPECT_EQ(a.proc, b.proc) << "fault " << f;
+    EXPECT_EQ(a.retry_delay, b.retry_delay) << "fault " << f;
+    EXPECT_EQ(a.capacity, b.capacity) << "fault " << f;
   }
 }
 
@@ -104,6 +122,51 @@ void run_both(const Workload& w, const MachineConfig& machine) {
   EXPECT_EQ(sim.response, run.response);
   EXPECT_EQ(sim.executed_work, run.executed_work);
   EXPECT_EQ(sim.allotted, run.allotted);
+  ASSERT_NE(sim.trace, nullptr);
+  ASSERT_NE(run.trace, nullptr);
+  expect_equal_traces(*sim.trace, *run.trace);
+}
+
+// Fault-mode cross-check: same FaultPlan + RetryPolicy on both backends.
+// The sim side wraps each DAG in a FaultyDagJob; the executor side gets the
+// plan via ExecutorOptions.  Failure decisions hash (seed, job, vertex,
+// attempt), so they are independent of execution order and the two backends
+// must agree on every step, task event, fault event and outcome.
+template <typename Scheduler>
+void run_both_faulty(const Workload& w, const MachineConfig& machine,
+                     const FaultPlan& plan, const RetryPolicy& policy) {
+  // Simulator side.
+  const FaultInjector injector(plan, machine);
+  JobSet set(w.categories);
+  for (std::size_t i = 0; i < w.dags.size(); ++i)
+    add_faulty(set, w.dags[i], &injector, policy, w.releases[i]);
+  Scheduler sim_sched;
+  SimOptions sim_options;
+  sim_options.record_trace = true;
+  sim_options.fault_plan = &plan;
+  const SimResult sim = simulate(set, sim_sched, machine, sim_options);
+
+  // Runtime side: inline execution, virtual clock, same plan and policy.
+  ExecutorOptions options;
+  options.inline_execution = true;
+  options.fault_plan = &plan;
+  options.retry = policy;
+  Executor executor(machine, options);
+  for (std::size_t i = 0; i < w.dags.size(); ++i)
+    executor.submit(std::make_unique<RuntimeJob>(w.dags[i]), w.releases[i]);
+  Scheduler run_sched;
+  const RuntimeResult run = executor.run(run_sched);
+
+  EXPECT_EQ(sim.makespan, run.makespan);
+  EXPECT_EQ(sim.completion, run.completion);
+  EXPECT_EQ(sim.response, run.response);
+  EXPECT_EQ(sim.executed_work, run.executed_work);
+  EXPECT_EQ(sim.allotted, run.allotted);
+  EXPECT_EQ(sim.failed_attempts, run.failed_attempts);
+  EXPECT_EQ(sim.retries, run.retries);
+  ASSERT_EQ(sim.outcome.size(), run.outcome.size());
+  for (std::size_t j = 0; j < sim.outcome.size(); ++j)
+    EXPECT_EQ(sim.outcome[j], run.outcome[j]) << "job " << j;
   ASSERT_NE(sim.trace, nullptr);
   ASSERT_NE(run.trace, nullptr);
   expect_equal_traces(*sim.trace, *run.trace);
@@ -143,6 +206,98 @@ TEST(RuntimeDeterminism, SeveralSeedsAndMachines) {
     run_both<KRad>(make_workload(seed, seed % 2 == 0),
                    MachineConfig{{2, 3, 1}});
   }
+}
+
+TEST(RuntimeDeterminism, ProbabilityFaultsWithBackoffMatch) {
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.failure_prob = {0.1, 0.15, 0.1};
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.backoff_base = 1;
+  policy.backoff_cap = 4;
+  run_both_faulty<KRad>(make_workload(606, /*staggered=*/true),
+                        MachineConfig{{3, 2, 2}}, plan, policy);
+}
+
+TEST(RuntimeDeterminism, ScriptedFaultsMatch) {
+  // Exact (job, vertex, attempt) triples: vertex 0 of job 0 fails twice,
+  // vertex 2 of job 1 fails once.
+  FaultPlan plan;
+  plan.scripted = {{0, 0, 1}, {0, 0, 2}, {1, 2, 1}};
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  run_both_faulty<KRad>(make_workload(707, /*staggered=*/false),
+                        MachineConfig{{3, 2, 2}}, plan, policy);
+}
+
+TEST(RuntimeDeterminism, CapacityLossAndRecoveryMatch) {
+  // Mid-run outage that keeps at least one processor in every category, plus
+  // a sprinkle of task failures; both backends must degrade identically and
+  // stamp identical capacity vectors on every step.
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.failure_prob = {0.05, 0.05, 0.05};
+  plan.capacity_events = {{8, 0, -2}, {12, 1, -1}, {25, 0, +2}, {30, 1, +1}};
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_base = 1;
+  run_both_faulty<KRad>(make_workload(808, /*staggered=*/true),
+                        MachineConfig{{3, 2, 2}}, plan, policy);
+}
+
+TEST(RuntimeDeterminism, FailJobPolicyMatches) {
+  // Exhausting vertex 0 of job 0 abandons the job on both backends; the
+  // remaining jobs still finish and the outcomes line up.
+  FaultPlan plan;
+  plan.scripted = {{0, 0, 1}, {0, 0, 2}};
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.on_exhausted = ExhaustionAction::kFailJob;
+  run_both_faulty<KRad>(make_workload(909, /*staggered=*/false),
+                        MachineConfig{{3, 2, 2}}, plan, policy);
+}
+
+TEST(RuntimeDeterminism, DropJobPolicyMatches) {
+  FaultPlan plan;
+  plan.scripted = {{2, 1, 1}, {2, 1, 2}, {5, 0, 1}};
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.on_exhausted = ExhaustionAction::kDropJob;
+  run_both_faulty<KRad>(make_workload(111, /*staggered=*/true),
+                        MachineConfig{{3, 2, 2}}, plan, policy);
+}
+
+TEST(RuntimeDeterminism, FaultyExecutorRunTwiceIsBitIdentical) {
+  // Two fresh executors, same plan: byte-for-byte identical traces.
+  const Workload w = make_workload(321, /*staggered=*/false);
+  const MachineConfig machine{{3, 2, 2}};
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.failure_prob = {0.1, 0.1, 0.1};
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_base = 1;
+
+  auto run_once = [&] {
+    ExecutorOptions options;
+    options.inline_execution = true;
+    options.fault_plan = &plan;
+    options.retry = policy;
+    Executor executor(machine, options);
+    for (std::size_t i = 0; i < w.dags.size(); ++i)
+      executor.submit(std::make_unique<RuntimeJob>(w.dags[i]), w.releases[i]);
+    KRad sched;
+    return executor.run(sched);
+  };
+  const RuntimeResult a = run_once();
+  const RuntimeResult b = run_once();
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
+  EXPECT_EQ(a.retries, b.retries);
+  ASSERT_NE(a.trace, nullptr);
+  ASSERT_NE(b.trace, nullptr);
+  expect_equal_traces(*a.trace, *b.trace);
 }
 
 }  // namespace
