@@ -4,7 +4,7 @@
 // JsonReport additionally emits the measured rows as a stable JSON file
 // (BENCH_<name>.json) for downstream tooling.
 
-#include <cstdio>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -13,6 +13,7 @@
 
 #include "bounds/lower_bounds.hpp"
 #include "core/krad.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 
@@ -39,8 +40,10 @@ inline int finish(const std::string& name) {
 }
 
 /// Machine-readable bench output: ordered rows of key/value pairs, written
-/// as one stable JSON document.  Values are stored as preformatted strings;
-/// add() escapes nothing, so keys must be plain identifiers.
+/// as one stable JSON document.  Strings (keys, labels, text values) are
+/// JSON-escaped; doubles are formatted locale-independently via
+/// obs::format_double (a global "de_DE.UTF-8" locale must not turn 0.5 into
+/// 0,5) and non-finite values become null.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
@@ -51,15 +54,15 @@ class JsonReport {
   }
 
   void add(const std::string& key, double value) {
-    char buffer[48];
-    std::snprintf(buffer, sizeof buffer, "%.6g", value);
-    rows_.back().second.emplace_back(key, buffer);
+    rows_.back().second.emplace_back(
+        key, std::isfinite(value) ? obs::format_double(value) : "null");
   }
   void add(const std::string& key, long long value) {
     rows_.back().second.emplace_back(key, std::to_string(value));
   }
   void add(const std::string& key, const std::string& text) {
-    rows_.back().second.emplace_back(key, "\"" + text + "\"");
+    rows_.back().second.emplace_back(key,
+                                     "\"" + obs::json_escape(text) + "\"");
   }
 
   /// Write { "bench": .., "rows": [ {"label": .., k: v, ..}, .. ] }.
@@ -70,12 +73,12 @@ class JsonReport {
       std::cout << "  [warn] could not write " << path << '\n';
       return false;
     }
-    out << "{\"bench\":\"" << bench_ << "\",\"rows\":[";
+    out << "{\"bench\":\"" << obs::json_escape(bench_) << "\",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       if (i != 0) out << ',';
-      out << "{\"label\":\"" << rows_[i].first << "\"";
+      out << "{\"label\":\"" << obs::json_escape(rows_[i].first) << "\"";
       for (const auto& [key, value] : rows_[i].second)
-        out << ",\"" << key << "\":" << value;
+        out << ",\"" << obs::json_escape(key) << "\":" << value;
       out << '}';
     }
     out << "]}\n";

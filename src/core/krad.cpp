@@ -7,6 +7,31 @@ void KRad::reset(const MachineConfig& machine, std::size_t num_jobs) {
   rads_.assign(machine.categories(), Rad{});
   for (Category alpha = 0; alpha < machine.categories(); ++alpha)
     rads_[alpha].reset(alpha, num_jobs);
+  rebind();
+}
+
+void KRad::bind_metrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  rebind();
+}
+
+void KRad::rebind() {
+  if (registry_ == nullptr) {
+    for (Rad& rad : rads_) rad.bind_metrics(nullptr, nullptr, nullptr, nullptr);
+    return;
+  }
+  for (Category alpha = 0; alpha < rads_.size(); ++alpha) {
+    const obs::Labels labels{{"cat", std::to_string(alpha)}};
+    rads_[alpha].bind_metrics(
+        &registry_->counter("krad_deq_satisfied_total", labels,
+                            "jobs fully satisfied on DEQ steps"),
+        &registry_->counter("krad_deq_deprived_total", labels,
+                            "jobs left deprived on DEQ steps"),
+        &registry_->counter("krad_deq_steps_total", labels,
+                            "cycle-completing (DEQ) allot calls"),
+        &registry_->counter("krad_rr_steps_total", labels,
+                            "cycle-continuing (round-robin) allot calls"));
+  }
 }
 
 void KRad::allot(Time /*now*/, std::span<const JobView> active,

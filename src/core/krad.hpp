@@ -33,9 +33,23 @@ class KRad final : public KScheduler {
   /// Whether category alpha is mid round-robin cycle (for tests/metrics).
   bool cycle_open(Category alpha) const { return rads_.at(alpha).cycle_open(); }
 
+  /// Per-category DEQ-step accounting (docs/OBSERVABILITY.md): cumulative
+  /// since the last reset().
+  const Rad& rad(Category alpha) const { return rads_.at(alpha); }
+
+  /// Publish per-category DEQ-step counters into `registry`
+  /// (krad_deq_{satisfied,deprived}_total, krad_deq_steps_total,
+  /// krad_rr_steps_total, each labelled {cat=alpha}).  May be called before
+  /// or after reset(); the binding is re-applied on every reset.  Pass
+  /// nullptr to unbind.
+  void bind_metrics(obs::MetricsRegistry* registry);
+
  private:
+  void rebind();
+
   MachineConfig machine_;
   std::vector<Rad> rads_;
+  obs::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace krad

@@ -7,6 +7,10 @@ namespace krad {
 void Rad::reset(Category alpha, std::size_t num_jobs) {
   alpha_ = alpha;
   state_.reset(num_jobs);
+  deq_steps_ = 0;
+  rr_steps_ = 0;
+  deq_satisfied_ = 0;
+  deq_deprived_ = 0;
 }
 
 void Rad::allot(std::span<const JobView> active, int processors,
@@ -26,11 +30,14 @@ void Rad::allot(std::span<const JobView> active, int processors,
   const auto p = static_cast<std::size_t>(std::max(0, processors));
   if (q_.size() > p) {
     round_robin_allot(q_, processors, alpha_, state_, out);
+    ++rr_steps_;
+    if (rr_steps_counter_ != nullptr) rr_steps_counter_->inc();
     return;
   }
 
   // Cycle completes this step: top Q up from Q' (so processors are not
   // wasted), equi-partition, and unmark everyone for the next cycle.
+  const std::size_t total_active = q_.size() + q_prime_.size();
   const std::size_t moved = std::min(q_prime_.size(), p - q_.size());
   q_.insert(q_.end(), q_prime_.begin(),
             q_prime_.begin() + static_cast<std::ptrdiff_t>(moved));
@@ -40,7 +47,19 @@ void Rad::allot(std::span<const JobView> active, int processors,
     deq_entries_.push_back(DeqEntry{slot, active[slot].desire[alpha_]});
   deq_out_.assign(active.size(), 0);
   deq_allot(deq_entries_, processors, deq_out_);
-  for (const auto& [slot, id] : q_) out[slot][alpha_] = deq_out_[slot];
+  Work satisfied = 0;
+  for (const auto& [slot, id] : q_) {
+    out[slot][alpha_] = deq_out_[slot];
+    if (deq_out_[slot] >= active[slot].desire[alpha_]) ++satisfied;
+  }
+  // Marked jobs not topped up stay deprived (desire > 0, allotment 0).
+  const Work deprived = static_cast<Work>(total_active) - satisfied;
+  ++deq_steps_;
+  deq_satisfied_ += satisfied;
+  deq_deprived_ += deprived;
+  if (deq_steps_counter_ != nullptr) deq_steps_counter_->inc();
+  if (satisfied_counter_ != nullptr) satisfied_counter_->inc(satisfied);
+  if (deprived_counter_ != nullptr) deprived_counter_->inc(deprived);
 
   state_.unmark_all();
 }

@@ -19,6 +19,7 @@
 #include "core/deq.hpp"
 #include "core/round_robin.hpp"
 #include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
 
 namespace krad {
 
@@ -33,9 +34,42 @@ class Rad {
   /// True while a round-robin cycle is in progress (some jobs marked).
   bool cycle_open() const { return state_.num_marked() > 0; }
 
+  // --- DEQ-step accounting (docs/OBSERVABILITY.md) --------------------
+  // On every cycle-completing (DEQ) step, each alpha-active job is either
+  // satisfied (allotment == desire) or deprived (allotment < desire) —
+  // the per-category split the proofs of Lemmas 2/3 reason about.
+  // Cumulative since reset(); optionally mirrored into bound counters.
+
+  /// Steps that took the DEQ (cycle-completing) branch.
+  Time deq_steps() const noexcept { return deq_steps_; }
+  /// Steps that took the round-robin (cycle-continuing) branch.
+  Time rr_steps() const noexcept { return rr_steps_; }
+  /// Jobs fully satisfied across all DEQ steps.
+  Work deq_satisfied() const noexcept { return deq_satisfied_; }
+  /// Jobs left deprived across all DEQ steps.
+  Work deq_deprived() const noexcept { return deq_deprived_; }
+
+  /// Mirror the accounting into registry counters (any may be null).  The
+  /// binding survives until the next bind_metrics call; reset() keeps it.
+  void bind_metrics(obs::Counter* satisfied, obs::Counter* deprived,
+                    obs::Counter* deq_steps, obs::Counter* rr_steps) {
+    satisfied_counter_ = satisfied;
+    deprived_counter_ = deprived;
+    deq_steps_counter_ = deq_steps;
+    rr_steps_counter_ = rr_steps;
+  }
+
  private:
   Category alpha_ = 0;
   RoundRobinState state_;
+  Time deq_steps_ = 0;
+  Time rr_steps_ = 0;
+  Work deq_satisfied_ = 0;
+  Work deq_deprived_ = 0;
+  obs::Counter* satisfied_counter_ = nullptr;
+  obs::Counter* deprived_counter_ = nullptr;
+  obs::Counter* deq_steps_counter_ = nullptr;
+  obs::Counter* rr_steps_counter_ = nullptr;
   // Scratch buffers reused across steps to avoid per-step allocation.
   std::vector<std::pair<std::size_t, JobId>> q_;        // unmarked alpha-active
   std::vector<std::pair<std::size_t, JobId>> q_prime_;  // marked alpha-active

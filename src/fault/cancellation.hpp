@@ -17,6 +17,8 @@ namespace krad {
 
 class CancellationSource;
 
+/// Observer-side stop signal: cheap to copy, polled cooperatively by the
+/// executor (between quanta) and by cancellation-aware task closures.
 class CancellationToken {
  public:
   CancellationToken() = default;
@@ -53,6 +55,8 @@ class CancellationToken {
   bool has_deadline_ = false;
 };
 
+/// Owner-side handle that mints tokens and flips their shared flag; keep
+/// it alive for as long as anything may still poll a token.
 class CancellationSource {
  public:
   CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}

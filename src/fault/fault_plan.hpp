@@ -35,6 +35,10 @@ struct CapacityEvent {
   int delta = 0;
 };
 
+/// A complete fault scenario as pure data.  Copyable, serialisable in
+/// spirit, and engine-agnostic: hand the same plan to sim::simulate (via
+/// FaultyDagJob + SimOptions::fault_plan) and to ExecutorOptions::fault_plan
+/// and both replay identical failures and capacity changes.
 struct FaultPlan {
   /// Seed for the counter-based failure hash (see FaultInjector::fails).
   std::uint64_t seed = 1;

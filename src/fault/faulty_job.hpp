@@ -35,6 +35,11 @@
 
 namespace krad {
 
+/// DAG job whose task attempts can fail and retry — the simulator-side
+/// realisation of a FaultPlan (the Executor implements the same semantics
+/// natively for RuntimeJob).  Reports incidents to the engine through
+/// TaskSink::on_fault so traces account for burned slots, and exposes the
+/// per-job failed_attempts()/retries() tallies that SimResult aggregates.
 class FaultyDagJob final : public Job {
  public:
   /// `id` must be the job's position in its JobSet (the injector keys

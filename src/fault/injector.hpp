@@ -22,6 +22,12 @@
 
 namespace krad {
 
+/// Deterministic oracle for a FaultPlan: answers "does this attempt fail?"
+/// and "what is the effective capacity at time t?" identically across
+/// calls, instances and execution backends.  Shared read-only by every
+/// FaultyDagJob of a run (sim) or owned by the Executor (runtime); must
+/// outlive its users.  The capacity(t) cursor makes the injector stateful
+/// for monotone queries — use one injector per concurrent run.
 class FaultInjector {
  public:
   /// Validates the plan against the machine (probabilities in [0, 1],

@@ -30,6 +30,9 @@ inline const char* to_string(ExhaustionAction action) {
   return "?";
 }
 
+/// How failed task attempts are retried, applied identically by both
+/// backends: attempt budget, exponential backoff in steps/quanta, and the
+/// blast radius once the budget is exhausted.
 struct RetryPolicy {
   /// Total attempts per task (>= 1); attempt numbers are 1-based.
   int max_attempts = 3;

@@ -1,0 +1,362 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace krad::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Inf" : "-Inf";
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  if (ec != std::errc{}) return "0";  // cannot happen with a 64-byte buffer
+  return std::string(buffer, ptr);
+}
+
+namespace {
+
+/// JSON number token: finite doubles as-is, non-finite as null.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return format_double(value);
+}
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + json_escape(labels[i].first) + "\":\"" +
+           json_escape(labels[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Prometheus label block: {k1="v1",k2="v2"} with \ " \n escaped, or ""
+/// when there are no labels.  `extra` appends one preformatted pair.
+std::string labels_prom(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    std::string escaped;
+    for (const char c : value) {
+      if (c == '\\') escaped += "\\\\";
+      else if (c == '"') escaped += "\\\"";
+      else if (c == '\n') escaped += "\\n";
+      else escaped += c;
+    }
+    out += key + "=\"" + escaped + '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::logic_error("Histogram: bucket bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  // First bound >= value (bounds are inclusive); past the end = +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const noexcept {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::merge(const std::vector<std::int64_t>& counts,
+                      double sum) noexcept {
+  std::int64_t total = 0;
+  const std::size_t n = std::min(counts.size(), bounds_.size() + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) continue;
+    buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return;
+  count_.fetch_add(total, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + sum,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+LocalHistogram::LocalHistogram(Histogram* target) : target_(target) {
+  if (target_ != nullptr) counts_.assign(target_->bounds().size() + 1, 0);
+}
+
+void LocalHistogram::observe(double value) noexcept {
+  if (target_ == nullptr) return;
+  const auto& bounds = target_->bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds.begin())];
+  sum_ += value;
+  dirty_ = true;
+}
+
+void LocalHistogram::flush() noexcept {
+  if (target_ == nullptr || !dirty_) return;
+  target_->merge(counts_, sum_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  sum_ = 0.0;
+  dirty_ = false;
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  if (i > bounds_.size())
+    throw std::out_of_range("Histogram::bucket_count: bad bucket index");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (bounds_[i] - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  // Quantile lands in the +Inf bucket: the best finite statement is the
+  // largest finite bound.
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> linear_buckets(double start, double width, int count) {
+  if (count < 1 || width <= 0)
+    throw std::logic_error("linear_buckets: need count >= 1, width > 0");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    bounds.push_back(start + width * static_cast<double>(i));
+  return bounds;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count) {
+  if (count < 1 || start <= 0 || factor <= 1)
+    throw std::logic_error(
+        "exponential_buckets: need count >= 1, start > 0, factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    const Labels& labels) const {
+  for (const Entry& entry : entries_)
+    if (entry.name == name && entry.labels == labels) return &entry;
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* entry = find(name, labels)) {
+    if (entry->kind != Kind::kCounter)
+      throw std::logic_error("MetricsRegistry: " + name +
+                             " already registered as a different type");
+    return counters_[entry->index];
+  }
+  counters_.emplace_back();
+  entries_.push_back(
+      Entry{name, labels, help, Kind::kCounter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* entry = find(name, labels)) {
+    if (entry->kind != Kind::kGauge)
+      throw std::logic_error("MetricsRegistry: " + name +
+                             " already registered as a different type");
+    return gauges_[entry->index];
+  }
+  gauges_.emplace_back();
+  entries_.push_back(
+      Entry{name, labels, help, Kind::kGauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const Labels& labels,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Entry* entry = find(name, labels)) {
+    if (entry->kind != Kind::kHistogram)
+      throw std::logic_error("MetricsRegistry: " + name +
+                             " already registered as a different type");
+    return histograms_[entry->index];
+  }
+  histograms_.emplace_back(std::move(bounds));
+  entries_.push_back(
+      Entry{name, labels, help, Kind::kHistogram, histograms_.size() - 1});
+  return histograms_.back();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + json_escape(entry.name) + "\"";
+    out += ",\"labels\":" + labels_json(entry.labels);
+    if (!entry.help.empty())
+      out += ",\"help\":\"" + json_escape(entry.help) + "\"";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" +
+               std::to_string(counters_[entry.index].value());
+        break;
+      case Kind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" +
+               json_number(gauges_[entry.index].value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[entry.index];
+        out += ",\"type\":\"histogram\",\"count\":" + std::to_string(h.count());
+        out += ",\"sum\":" + json_number(h.sum());
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b <= h.bounds().size(); ++b) {
+          if (b != 0) out += ',';
+          out += "{\"le\":";
+          out += b < h.bounds().size() ? json_number(h.bounds()[b]) : "null";
+          out += ",\"count\":" + std::to_string(h.bucket_count(b)) + "}";
+        }
+        out += "],\"p50\":" + json_number(h.quantile(0.50));
+        out += ",\"p90\":" + json_number(h.quantile(0.90));
+        out += ",\"p99\":" + json_number(h.quantile(0.99));
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::vector<bool> headed(entries_.size(), false);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    // One HELP/TYPE header per family, at the family's first entry; the
+    // rest of the family's series follow immediately (exposition-format
+    // requirement: a family's samples must be contiguous).
+    if (headed[i]) continue;
+    const char* type = entry.kind == Kind::kCounter   ? "counter"
+                       : entry.kind == Kind::kGauge   ? "gauge"
+                                                      : "histogram";
+    if (!entry.help.empty())
+      out += "# HELP " + entry.name + ' ' + entry.help + '\n';
+    out += "# TYPE " + entry.name + ' ' + type + '\n';
+    for (std::size_t j = i; j < entries_.size(); ++j) {
+      const Entry& series = entries_[j];
+      if (series.name != entry.name) continue;
+      headed[j] = true;
+      switch (series.kind) {
+        case Kind::kCounter:
+          out += series.name + labels_prom(series.labels) + ' ' +
+                 std::to_string(counters_[series.index].value()) + '\n';
+          break;
+        case Kind::kGauge:
+          out += series.name + labels_prom(series.labels) + ' ' +
+                 format_double(gauges_[series.index].value()) + '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = histograms_[series.index];
+          std::int64_t cumulative = 0;
+          for (std::size_t b = 0; b <= h.bounds().size(); ++b) {
+            cumulative += h.bucket_count(b);
+            const std::string le =
+                b < h.bounds().size()
+                    ? "le=\"" + format_double(h.bounds()[b]) + '"'
+                    : std::string("le=\"+Inf\"");
+            out += series.name + "_bucket" + labels_prom(series.labels, le) +
+                   ' ' + std::to_string(cumulative) + '\n';
+          }
+          out += series.name + "_sum" + labels_prom(series.labels) + ' ' +
+                 format_double(h.sum()) + '\n';
+          out += series.name + "_count" + labels_prom(series.labels) + ' ' +
+                 std::to_string(h.count()) + '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace krad::obs

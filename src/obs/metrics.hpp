@@ -1,0 +1,200 @@
+#pragma once
+// Lock-cheap metrics registry — the online-visibility half of the
+// observability layer (docs/OBSERVABILITY.md).
+//
+// Registration (name + label set -> handle) takes a mutex once, typically
+// before a run; the handles are stable pointers whose update operations are
+// single relaxed atomics, so instrumented hot paths pay a few nanoseconds
+// per event and never contend.  A registry can be scraped concurrently with
+// updates: exports see a consistent-enough snapshot (each scalar is atomic;
+// cross-metric skew of a few events is acceptable by design, as in every
+// production metrics pipeline).
+//
+// Three instrument kinds, mirroring the Prometheus data model:
+//   Counter    — monotone int64 (events, work units, steps),
+//   Gauge      — instantaneous double (utilization, queue depth, bounds),
+//   Histogram  — fixed upper-bound buckets + count + sum, with quantile
+//                estimates by linear interpolation inside the bucket.
+//
+// Exports: to_json() (one self-contained document) and to_prometheus()
+// (text exposition format v0.0.4, scrapeable by an actual Prometheus).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace krad::obs {
+
+/// Metric labels: ordered (key, value) pairs, e.g. {{"cat", "0"}}.  Two
+/// label sets are the same metric iff they compare equal as written — keep
+/// a consistent key order at every registration site.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Escape a string for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; UTF-8 passes through untouched).
+std::string json_escape(const std::string& text);
+
+/// Locale-independent shortest-round-trip formatting of a double (the "C"
+/// decimal point regardless of the global locale).  Non-finite values
+/// format as "NaN"/"Inf"/"-Inf" — JSON writers must special-case them.
+std::string format_double(double value);
+
+/// Monotonically increasing event count.  inc() is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Instantaneous value.  set() is one relaxed store; add() is a CAS loop
+/// (uncontended in practice: one writer per gauge).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit +Inf bucket appended.  observe() is an upper-bound scan
+/// (buckets are few and cache-resident) plus two relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+
+  /// Ascending upper bounds as given at registration (without +Inf).
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  std::int64_t bucket_count(std::size_t i) const;
+
+  /// Quantile estimate, q in [0, 1]: find the bucket holding the q-th
+  /// observation and interpolate linearly inside it.  Returns the largest
+  /// finite bound when the quantile lands in the +Inf bucket, 0 when empty.
+  double quantile(double q) const;
+
+  /// Fold a batch of pre-bucketed observations in: counts[i] observations
+  /// landed in bucket i (index bounds().size() is the +Inf bucket) and
+  /// their values total `sum`.  Entries past the last bucket are ignored.
+  /// This is the bulk half of LocalHistogram::flush().
+  void merge(const std::vector<std::int64_t>& counts, double sum) noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Single-writer batch aggregator for a Histogram.  observe() updates plain
+/// non-atomic buckets; flush() folds the whole batch into the shared
+/// Histogram with one atomic add per touched bucket.  Use it in hot loops
+/// (one per run or per thread) where per-observation atomic traffic would
+/// be measurable; a default-constructed or null-target instance turns every
+/// call into a no-op, mirroring the disabled-sink convention.
+class LocalHistogram {
+ public:
+  LocalHistogram() = default;
+  /// Mirrors `target`'s bucket layout.  The target must outlive this.
+  explicit LocalHistogram(Histogram* target);
+  ~LocalHistogram() { flush(); }
+
+  LocalHistogram(const LocalHistogram&) = delete;
+  LocalHistogram& operator=(const LocalHistogram&) = delete;
+
+  void observe(double value) noexcept;
+  /// Publish everything recorded since the last flush and reset.
+  void flush() noexcept;
+
+ private:
+  Histogram* target_ = nullptr;
+  std::vector<std::int64_t> counts_;  // target bounds + the +Inf bucket
+  double sum_ = 0.0;
+  bool dirty_ = false;
+};
+
+/// Ready-made bucket layouts.
+std::vector<double> linear_buckets(double start, double width, int count);
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count);
+
+/// Named, labelled instruments with stable handles and text exports.
+class MetricsRegistry {
+ public:
+  /// Get-or-register: the same (name, labels) always returns the same
+  /// handle, so instrumentation sites can re-register idempotently.  `help`
+  /// is kept from the first registration.  Throws std::logic_error if the
+  /// name is already registered as a different metric type.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  /// `bounds` applies on first registration of (name, labels) only.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {},
+                       const std::string& help = "");
+
+  /// Number of registered (name, labels) instruments.
+  std::size_t size() const;
+
+  /// One JSON document:
+  ///   {"metrics":[{"name":..,"type":..,"labels":{..},"value":..}, ...]}
+  /// Histograms carry count/sum/buckets plus p50/p90/p99 estimates.
+  /// Non-finite values are emitted as null.
+  std::string to_json() const;
+
+  /// Prometheus text exposition format v0.0.4 (one # HELP / # TYPE pair per
+  /// family, histogram as _bucket{le=..}/_sum/_count series).
+  std::string to_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind;
+    std::size_t index;  // into the matching deque
+  };
+
+  const Entry* find(const std::string& name, const Labels& labels) const;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;        // registration order (export order)
+  std::deque<Counter> counters_;      // deque: handles must stay stable
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace krad::obs

@@ -1,0 +1,55 @@
+#pragma once
+// Observability injection point (docs/OBSERVABILITY.md).
+//
+// Drivers — sim::simulate and the runtime Executor — accept an
+// `Observability*` through their options; a null pointer (the default) or
+// null members keep the fault-free fast path entirely observation-free:
+// no clock reads, no atomics, no allocations (tests/test_obs.cpp asserts
+// this with a counting allocator).  Attach a MetricsRegistry for online
+// counters/gauges/histograms, a TraceSession for a post-hoc Chrome trace,
+// or both.
+
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+
+namespace krad::obs {
+
+/// Sinks a driver publishes into.  Both members optional and independent.
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  TraceSession* trace = nullptr;
+
+  bool any() const noexcept {
+    return metrics != nullptr || (kTracingEnabled && trace != nullptr);
+  }
+};
+
+/// RAII wall-clock span recorder: times its scope and, when the session is
+/// non-null, records an 'X' event on destruction.  A null session costs a
+/// branch and nothing else (no clock reads).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession* session, const char* name, const char* cat,
+             NumArgs num_args = {})
+      : session_(session), name_(name), cat_(cat),
+        num_args_(std::move(num_args)) {
+    if (session_ != nullptr) start_us_ = session_->now_us();
+  }
+  ~ScopedSpan() {
+    if (session_ != nullptr)
+      session_->complete(name_, cat_, start_us_, session_->now_us() - start_us_,
+                         std::move(num_args_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  const char* cat_;
+  NumArgs num_args_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace krad::obs

@@ -1,0 +1,147 @@
+#include "obs/trace_event.hpp"
+
+#if KRAD_TRACING
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape, format_double
+
+namespace krad::obs {
+
+namespace {
+
+/// JSON number: trace consumers reject NaN/Inf, clamp to 0.
+std::string trace_number(double value) {
+  if (!(value == value) || value > 1e300 || value < -1e300) return "0";
+  return format_double(value);
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceSession::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         1e3;
+}
+
+int TraceSession::tid() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find(thread_ids_.begin(), thread_ids_.end(), self);
+  if (it != thread_ids_.end())
+    return static_cast<int>(it - thread_ids_.begin());
+  thread_ids_.push_back(self);
+  return static_cast<int>(thread_ids_.size() - 1);
+}
+
+void TraceSession::push(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::name_thread(const std::string& name) {
+  Event event;
+  event.name = "thread_name";
+  event.cat = "__metadata";
+  event.phase = 'M';
+  event.ts = 0.0;
+  event.dur = 0.0;
+  event.tid = tid();
+  event.str_args.emplace_back("name", name);
+  push(std::move(event));
+}
+
+void TraceSession::complete(std::string name, const char* cat, double start_us,
+                            double dur_us, NumArgs num_args,
+                            StrArgs str_args) {
+  Event event;
+  event.name = std::move(name);
+  event.cat = cat;
+  event.phase = 'X';
+  event.ts = start_us;
+  event.dur = dur_us < 0 ? 0 : dur_us;
+  event.tid = tid();
+  event.num_args = std::move(num_args);
+  event.str_args = std::move(str_args);
+  push(std::move(event));
+}
+
+void TraceSession::instant(std::string name, const char* cat, NumArgs num_args,
+                           StrArgs str_args) {
+  Event event;
+  event.name = std::move(name);
+  event.cat = cat;
+  event.phase = 'i';
+  event.ts = now_us();
+  event.dur = 0.0;
+  event.tid = tid();
+  event.num_args = std::move(num_args);
+  event.str_args = std::move(str_args);
+  push(std::move(event));
+}
+
+void TraceSession::counter(std::string name, NumArgs series) {
+  Event event;
+  event.name = std::move(name);
+  event.cat = "counter";
+  event.phase = 'C';
+  event.ts = now_us();
+  event.dur = 0.0;
+  event.tid = tid();
+  event.num_args = std::move(series);
+  push(std::move(event));
+}
+
+std::size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSession::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& event = events_[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+        << event.cat << "\",\"ph\":\"" << event.phase << "\",\"ts\":"
+        << trace_number(event.ts);
+    if (event.phase == 'X') out << ",\"dur\":" << trace_number(event.dur);
+    if (event.phase == 'i') out << ",\"s\":\"t\"";  // instant scope: thread
+    out << ",\"pid\":0,\"tid\":" << event.tid;
+    if (!event.num_args.empty() || !event.str_args.empty()) {
+      out << ",\"args\":{";
+      bool first = true;
+      for (const auto& [key, value] : event.num_args) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json_escape(key) << "\":" << trace_number(value);
+      }
+      for (const auto& [key, value] : event.str_args) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json_escape(key) << "\":\"" << json_escape(value)
+            << '"';
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string TraceSession::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace krad::obs
+
+#endif  // KRAD_TRACING

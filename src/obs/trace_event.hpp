@@ -1,0 +1,125 @@
+#pragma once
+// Structured event tracing — the post-hoc-visibility half of the
+// observability layer (docs/OBSERVABILITY.md).
+//
+// A TraceSession collects spans ('X' complete events with a wall duration),
+// instant events ('i'), counter samples ('C') and thread-name metadata
+// ('M'), each carrying a wall timestamp in microseconds since the session
+// started plus, by convention, the virtual step/quantum as a numeric "vt"
+// arg.  to_json() emits the Chrome trace_event format, loadable directly in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Thread safety: record methods may be called from any thread (worker-pool
+// task spans); each append takes a short mutex.  Hot paths that must stay
+// observation-free simply hold a null TraceSession*.
+//
+// Compile-time disablement: configure with -DKRAD_TRACING=OFF and every
+// method becomes an empty inline stub (kTracingEnabled == false), so
+// instrumented call sites behind `if (trace)` fold to nothing — the
+// zero-cost build for latency-critical deployments.
+
+#ifndef KRAD_TRACING
+#define KRAD_TRACING 1
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if KRAD_TRACING
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace krad::obs {
+
+/// True when the tracing API is compiled in (KRAD_TRACING=ON, the default).
+inline constexpr bool kTracingEnabled = KRAD_TRACING != 0;
+
+/// Numeric event arguments, e.g. {{"vt", 12}, {"cat0", 3}}.
+using NumArgs = std::vector<std::pair<std::string, double>>;
+/// String event arguments, e.g. {{"job", "mapreduce-3"}}.
+using StrArgs = std::vector<std::pair<std::string, std::string>>;
+
+#if KRAD_TRACING
+
+/// Collects trace events and serialises them as Chrome trace_event JSON.
+class TraceSession {
+ public:
+  TraceSession();
+
+  /// Microseconds of wall time since the session was constructed.
+  double now_us() const;
+
+  /// Small dense id for the calling thread (assigned on first use).
+  int tid();
+
+  /// Name the calling thread in the trace viewer ('M' metadata event).
+  void name_thread(const std::string& name);
+
+  /// Span: work named `name` ran [start_us, start_us + dur_us) on the
+  /// calling thread.  `cat` groups events for viewer filtering.
+  void complete(std::string name, const char* cat, double start_us,
+                double dur_us, NumArgs num_args = {}, StrArgs str_args = {});
+
+  /// Point-in-time event on the calling thread, stamped now.
+  void instant(std::string name, const char* cat, NumArgs num_args = {},
+               StrArgs str_args = {});
+
+  /// Counter sample: each (series, value) pair becomes a plotted track.
+  void counter(std::string name, NumArgs series);
+
+  /// Events recorded so far.
+  std::size_t size() const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome/Perfetto
+  /// trace format.
+  std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* cat;
+    char phase;
+    double ts;
+    double dur;
+    int tid;
+    NumArgs num_args;
+    StrArgs str_args;
+  };
+
+  void push(Event event);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::thread::id> thread_ids_;  // index = dense tid
+};
+
+#else  // KRAD_TRACING == 0: every operation is a no-op stub.
+
+class TraceSession {
+ public:
+  double now_us() const { return 0.0; }
+  int tid() { return 0; }
+  void name_thread(const std::string&) {}
+  void complete(std::string, const char*, double, double, NumArgs = {},
+                StrArgs = {}) {}
+  void instant(std::string, const char*, NumArgs = {}, StrArgs = {}) {}
+  void counter(std::string, NumArgs) {}
+  std::size_t size() const { return 0; }
+  std::string to_json() const { return "{\"traceEvents\":[]}"; }
+  template <typename Stream>
+  void write_json(Stream& out) const {
+    out << to_json();
+  }
+};
+
+#endif  // KRAD_TRACING
+
+}  // namespace krad::obs

@@ -18,6 +18,69 @@ std::int64_t ns_between(std::chrono::steady_clock::time_point from,
       .count();
 }
 
+/// Resolved observability handles for one Executor::run (see
+/// docs/OBSERVABILITY.md).  Default-constructed = everything off.
+struct RtObs {
+  obs::TraceSession* trace = nullptr;
+  obs::Counter* quanta = nullptr;
+  obs::Histogram* quantum_ns = nullptr;       // wall ns per busy quantum
+  obs::Histogram* sched_latency_ns = nullptr; // wall ns in KScheduler::allot
+  obs::Histogram* barrier_ns = nullptr;       // dispatch + quantum barrier
+  obs::Counter* failed_attempts = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* timeouts = nullptr;
+  std::vector<obs::Counter*> allotted;    // per category
+  std::vector<obs::Counter*> executed;    // per category
+  std::vector<obs::Gauge*> queue_depth;   // per category pool
+  std::vector<obs::Counter*> pool_tasks;  // per category pool
+  std::vector<obs::Gauge*> capacity;      // per category, effective
+
+  bool metrics_on = false;
+  bool on = false;
+
+  RtObs() = default;
+  RtObs(const obs::Observability* sinks, const MachineConfig& machine) {
+    if (sinks == nullptr) return;
+    trace = obs::kTracingEnabled ? sinks->trace : nullptr;
+    obs::MetricsRegistry* reg = sinks->metrics;
+    metrics_on = reg != nullptr;
+    on = metrics_on || trace != nullptr;
+    if (!metrics_on) return;
+    quanta = &reg->counter("krad_rt_quanta_total", {}, "busy quanta executed");
+    quantum_ns = &reg->histogram("krad_rt_quantum_ns",
+                                 obs::exponential_buckets(1000, 4, 12), {},
+                                 "wall ns per busy quantum");
+    sched_latency_ns = &reg->histogram("krad_rt_sched_latency_ns",
+                                       obs::exponential_buckets(250, 4, 10),
+                                       {}, "wall ns per scheduler decision");
+    barrier_ns = &reg->histogram("krad_rt_barrier_ns",
+                                 obs::exponential_buckets(1000, 4, 12), {},
+                                 "wall ns from first dispatch to barrier");
+    failed_attempts = &reg->counter("krad_rt_failed_attempts_total", {},
+                                    "task attempts that failed (any cause)");
+    retries = &reg->counter("krad_rt_retries_total", {},
+                            "failed attempts re-queued under the policy");
+    timeouts = &reg->counter("krad_rt_timeouts_total", {},
+                             "failed attempts caused by the task deadline");
+    const auto k = static_cast<Category>(machine.categories());
+    for (Category a = 0; a < k; ++a) {
+      const obs::Labels labels{{"cat", std::to_string(a)}};
+      allotted.push_back(&reg->counter("krad_rt_allotted_total", labels,
+                                       "allotted processor-quanta"));
+      executed.push_back(&reg->counter("krad_rt_executed_total", labels,
+                                       "task attempts that succeeded"));
+      queue_depth.push_back(&reg->gauge(
+          "krad_rt_queue_depth", labels,
+          "queued + in-flight tasks in the category pool"));
+      pool_tasks.push_back(&reg->counter("krad_rt_pool_tasks_total", labels,
+                                         "closures executed by the pool"));
+      capacity.push_back(&reg->gauge("krad_rt_capacity", labels,
+                                     "effective processors"));
+      capacity.back()->set(machine.processors[a]);
+    }
+  }
+};
+
 /// One dispatched (not injected-failed) attempt of the current quantum,
 /// in admission order.  `proc` was reserved at admission; whether the
 /// attempt succeeded is known only after the quantum barrier.
@@ -124,6 +187,11 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   sched->reset(machine_, n);
   RuntimeObserver observer(machine_, options_.record_trace);
 
+  // Observability: pre-resolve handles; null sinks keep every guard false.
+  const RtObs ro(options_.obs, machine_);
+  if (ro.trace != nullptr) ro.trace->name_thread("executor");
+  Work prev_failed = 0, prev_retries = 0, prev_timeouts = 0;
+
   // Fault layer (docs/FAULTS.md).  Fault mode reroutes admission through
   // attempt tracking; without it the fast path below is untouched.
   const bool fault_mode =
@@ -146,6 +214,8 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
               : static_cast<std::size_t>(machine_.processors[a]);
       pools.push_back(
           std::make_unique<WorkerPool>(threads, "cat" + std::to_string(a)));
+      if (ro.metrics_on)
+        pools.back()->bind_metrics(ro.queue_depth[a], ro.pool_tasks[a]);
     }
   }
 
@@ -205,8 +275,31 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         effective = cap;
         sched->set_capacity(MachineConfig{effective});
         observer.set_capacity(effective);
+        if (ro.metrics_on)
+          for (Category a = 0; a < k; ++a)
+            ro.capacity[a]->set(effective[a]);
+        if (ro.trace != nullptr) {
+          obs::NumArgs args{{"vt", static_cast<double>(t)}};
+          for (Category a = 0; a < k; ++a)
+            args.emplace_back("cap" + std::to_string(a),
+                              static_cast<double>(effective[a]));
+          ro.trace->instant("capacity_change", "fault", std::move(args));
+        }
       }
     }
+
+    // Fault events flow through here so the trace sees them as instants.
+    const auto record_fault = [&](FaultEvent event) {
+      if (ro.trace != nullptr)
+        ro.trace->instant(
+            to_string(event.kind), "fault",
+            {{"vt", static_cast<double>(t)},
+             {"job", static_cast<double>(event.job)},
+             {"vertex", static_cast<double>(event.vertex)},
+             {"attempt", static_cast<double>(event.attempt)},
+             {"retry_delay", static_cast<double>(event.retry_delay)}});
+      observer.record_fault(std::move(event));
+    };
 
     // Observable state: true instantaneous desires.
     views.clear();
@@ -239,6 +332,14 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     const auto sched_begin = SteadyClock::now();
     sched->allot(t, views, clair_ptr, allot);
     const auto sched_end = SteadyClock::now();
+    if (ro.trace != nullptr) {
+      const double us =
+          static_cast<double>(ns_between(sched_begin, sched_end)) / 1000.0;
+      ro.trace->complete("allot", "rt", ro.trace->now_us() - us, us,
+                         {{"vt", static_cast<double>(t)},
+                          {"active", static_cast<double>(active.size())}},
+                         {{"scheduler", sched->name()}});
+    }
 
     // Capacity invariant before anything is enqueued, against the
     // effective (possibly degraded) machine.
@@ -254,6 +355,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         throw std::logic_error("Executor: category over-allocated by " +
                                sched->name());
       result.allotted[a] += sum;
+      if (ro.metrics_on) ro.allotted[a]->inc(sum);
     }
 
     // Admission + dispatch: at most min(a, d) ready alpha-tasks per job.
@@ -267,12 +369,30 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
           for (Work i = 0; i < admit; ++i) {
             const VertexId v = job->pop_ready(a);
             observer.record_admission(id, a, v);
-            if (options_.inline_execution)
+            if (ro.trace != nullptr) {
+              // Tracing wraps the closure in a span; the fast path below
+              // stays allocation- and branch-free per attempt.
+              auto body = [job, v, id, tr = ro.trace,
+                           vt = static_cast<double>(t)] {
+                const double start = tr->now_us();
+                job->run_task(v);
+                tr->complete("task", "rt", start, tr->now_us() - start,
+                             {{"vt", vt},
+                              {"job", static_cast<double>(id)},
+                              {"vertex", static_cast<double>(v)}});
+              };
+              if (options_.inline_execution)
+                body();
+              else
+                pools[a]->submit(std::move(body));
+            } else if (options_.inline_execution) {
               job->run_task(v);
-            else
+            } else {
               pools[a]->submit([job, v] { job->run_task(v); });
+            }
           }
           result.executed_work[a] += admit;
+          if (ro.metrics_on) ro.executed[a]->inc(admit);
         }
       }
     } else {
@@ -297,7 +417,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
             const int proc = observer.reserve_proc(a);
             if (injector && injector->fails(id, v, a, attempt)) {
               ++result.failed_attempts;
-              observer.record_fault(FaultEvent{0, id, FaultKind::kTaskFailure,
+              record_fault(FaultEvent{0, id, FaultKind::kTaskFailure,
                                                v, a, attempt, proc, 0, {}});
               if (attempt >= retry.max_attempts) {
                 switch (retry.on_exhausted) {
@@ -307,13 +427,13 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                     fatal.emplace(id, v, a, attempt);
                     break;
                   case ExhaustionAction::kFailJob:
-                    observer.record_fault(FaultEvent{0, id,
+                    record_fault(FaultEvent{0, id,
                                                      FaultKind::kJobFailed, v,
                                                      a, attempt, -1, 0, {}});
                     job->abandon(JobOutcome::kFailed);
                     break;
                   case ExhaustionAction::kDropJob:
-                    observer.record_fault(FaultEvent{0, id,
+                    record_fault(FaultEvent{0, id,
                                                      FaultKind::kJobDropped, v,
                                                      a, attempt, -1, 0, {}});
                     job->abandon(JobOutcome::kDropped);
@@ -322,7 +442,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                 break;  // job abandoned (or run failing): stop admitting it
               }
               const Time delay = retry_backoff(retry, attempt);
-              observer.record_fault(FaultEvent{0, id,
+              record_fault(FaultEvent{0, id,
                                                FaultKind::kRetryScheduled, v,
                                                a, attempt, -1, delay, {}});
               job->requeue(v, delay);
@@ -333,7 +453,9 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
             attempts.push_back(PendingAttempt{id, job, v, a, attempt, proc});
             auto body = [job, v, seq, &failures, &failures_mu,
                          deadline = options_.task_deadline,
-                         run_token = options_.cancellation] {
+                         run_token = options_.cancellation, tr = ro.trace,
+                         jid = id, vt = static_cast<double>(t)] {
+              const double span_start = tr != nullptr ? tr->now_us() : 0.0;
               const auto start = SteadyClock::now();
               CancellationToken token = run_token;
               if (deadline) token = token.with_deadline(start + *deadline);
@@ -348,6 +470,13 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
               } catch (...) {
                 failed = true;
               }
+              if (tr != nullptr)
+                tr->complete("task", "rt", span_start,
+                             tr->now_us() - span_start,
+                             {{"vt", vt},
+                              {"job", static_cast<double>(jid)},
+                              {"vertex", static_cast<double>(v)},
+                              {"failed", failed ? 1.0 : 0.0}});
               if (!failed) {
                 job->release_successors(v);
               } else {
@@ -386,12 +515,13 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         if (!failed) {
           observer.record_task(pa.id, pa.category, pa.vertex, pa.proc);
           ++result.executed_work[pa.category];
+          if (ro.metrics_on) ro.executed[pa.category]->inc();
           continue;
         }
         const FaultKind kind = failures[next_failure++].kind;
         ++result.failed_attempts;
         if (kind == FaultKind::kTaskTimeout) ++result.timeouts;
-        observer.record_fault(FaultEvent{0, pa.id, kind, pa.vertex,
+        record_fault(FaultEvent{0, pa.id, kind, pa.vertex,
                                          pa.category, pa.attempt, pa.proc, 0,
                                          {}});
         if (pa.attempt >= retry.max_attempts) {
@@ -399,13 +529,13 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
             case ExhaustionAction::kFailFast:
               throw TaskFailedError(pa.id, pa.vertex, pa.category, pa.attempt);
             case ExhaustionAction::kFailJob:
-              observer.record_fault(FaultEvent{0, pa.id, FaultKind::kJobFailed,
+              record_fault(FaultEvent{0, pa.id, FaultKind::kJobFailed,
                                                pa.vertex, pa.category,
                                                pa.attempt, -1, 0, {}});
               pa.job->abandon(JobOutcome::kFailed);
               break;
             case ExhaustionAction::kDropJob:
-              observer.record_fault(FaultEvent{0, pa.id, FaultKind::kJobDropped,
+              record_fault(FaultEvent{0, pa.id, FaultKind::kJobDropped,
                                                pa.vertex, pa.category,
                                                pa.attempt, -1, 0, {}});
               pa.job->abandon(JobOutcome::kDropped);
@@ -413,7 +543,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
           }
         } else {
           const Time delay = retry_backoff(retry, pa.attempt);
-          observer.record_fault(FaultEvent{0, pa.id,
+          record_fault(FaultEvent{0, pa.id,
                                            FaultKind::kRetryScheduled,
                                            pa.vertex, pa.category, pa.attempt,
                                            -1, delay, {}});
@@ -439,6 +569,12 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         result.response[id] = t - releases_[id];
         result.makespan = std::max(result.makespan, t);
         ++finished_count;
+        if (ro.trace != nullptr)
+          ro.trace->instant("complete", "rt",
+                            {{"vt", static_cast<double>(t)},
+                             {"job", static_cast<double>(id)},
+                             {"response",
+                              static_cast<double>(t - releases_[id])}});
         active.erase(active.begin() + static_cast<std::ptrdiff_t>(j));
       } else {
         ++j;
@@ -458,9 +594,30 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                              sched->name());
     }
     clock.advance();
-    observer.end_quantum(ns_between(sched_begin, sched_end),
-                         ns_between(barrier_begin, barrier_end),
-                         ns_between(quantum_begin, SteadyClock::now()));
+    const std::int64_t sched_ns = ns_between(sched_begin, sched_end);
+    const std::int64_t barrier_ns = ns_between(barrier_begin, barrier_end);
+    const std::int64_t quantum_ns =
+        ns_between(quantum_begin, SteadyClock::now());
+    observer.end_quantum(sched_ns, barrier_ns, quantum_ns);
+    if (ro.metrics_on) {
+      ro.quanta->inc();
+      ro.quantum_ns->observe(static_cast<double>(quantum_ns));
+      ro.sched_latency_ns->observe(static_cast<double>(sched_ns));
+      ro.barrier_ns->observe(static_cast<double>(barrier_ns));
+      ro.failed_attempts->inc(result.failed_attempts - prev_failed);
+      ro.retries->inc(result.retries - prev_retries);
+      ro.timeouts->inc(result.timeouts - prev_timeouts);
+      prev_failed = result.failed_attempts;
+      prev_retries = result.retries;
+      prev_timeouts = result.timeouts;
+    }
+    if (ro.trace != nullptr) {
+      const double dur_us = static_cast<double>(quantum_ns) / 1000.0;
+      ro.trace->complete("quantum", "rt", ro.trace->now_us() - dur_us,
+                         dur_us,
+                         {{"vt", static_cast<double>(t)},
+                          {"active", static_cast<double>(active.size())}});
+    }
   }
 
   result.outcome.assign(n, JobOutcome::kCompleted);

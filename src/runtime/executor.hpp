@@ -26,6 +26,7 @@
 
 #include "core/scheduler.hpp"
 #include "fault/cancellation.hpp"
+#include "obs/obs.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/retry.hpp"
 #include "feedback/feedback.hpp"
@@ -78,6 +79,14 @@ struct ExecutorOptions {
   /// aborted = true and unfinished jobs marked kCancelled.  The token is
   /// also forwarded to cancellation-aware closures.
   CancellationToken cancellation;
+
+  /// Optional observability sinks (must outlive the run).  A metrics
+  /// registry receives the krad_rt_* catalog in docs/OBSERVABILITY.md
+  /// (quantum / scheduler-latency / barrier wall histograms, per-category
+  /// allotted/executed counters, pool queue depths, fault counters); a
+  /// trace session records quantum and task-attempt spans plus fault
+  /// instants.  Null (default) keeps the quantum loop observation-free.
+  const obs::Observability* obs = nullptr;
 };
 
 /// Outcome of one executor run; quantum-counted fields are directly

@@ -31,8 +31,21 @@ void WorkerPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) throw std::logic_error("WorkerPool: submit after shutdown");
     queue_.push_back(std::move(task));
+    publish_depth_locked();
   }
   cv_work_.notify_one();
+}
+
+void WorkerPool::bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  depth_gauge_ = queue_depth;
+  tasks_counter_ = tasks;
+  publish_depth_locked();
+}
+
+void WorkerPool::publish_depth_locked() {
+  if (depth_gauge_ != nullptr)
+    depth_gauge_->set(static_cast<double>(queue_.size() + in_flight_));
 }
 
 void WorkerPool::wait_idle() {
@@ -69,6 +82,8 @@ void WorkerPool::worker_loop() {
     lock.lock();
     --in_flight_;
     ++completed_;
+    if (tasks_counter_ != nullptr) tasks_counter_->inc();
+    publish_depth_locked();
     if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
   }
 }

@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace krad {
 
 class WorkerPool {
@@ -50,8 +52,16 @@ class WorkerPool {
   /// Tasks executed over the pool's lifetime (diagnostics).
   std::size_t completed() const;
 
+  /// Publish pool health: `queue_depth` is set to the number of queued +
+  /// in-flight tasks on every transition, `tasks` is incremented per task
+  /// executed.  Either may be null; pass nulls to unbind.  Updates happen
+  /// under the pool mutex, so bind before submitting work.
+  void bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks);
+
  private:
   void worker_loop();
+  /// Refresh the depth gauge; caller holds mu_.
+  void publish_depth_locked();
 
   std::string name_;
   mutable std::mutex mu_;
@@ -62,6 +72,8 @@ class WorkerPool {
   std::size_t completed_ = 0;
   std::exception_ptr first_error_;
   bool stop_ = false;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* tasks_counter_ = nullptr;
   std::vector<std::thread> threads_;
 };
 

@@ -1,9 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "fault/faulty_job.hpp"
 #include "fault/injector.hpp"
@@ -11,6 +14,79 @@
 namespace krad {
 
 namespace {
+
+/// Resolved observability handles for one simulate() run.  Everything is
+/// registered up front so the per-step work is pure atomic updates; a
+/// default-constructed SimObs (null sinks) disables all of it.
+struct SimObs {
+  obs::TraceSession* trace = nullptr;
+  obs::Counter* steps = nullptr;
+  obs::Counter* decisions = nullptr;
+  obs::Histogram* sched_latency = nullptr;  // ns per scheduler.allot call
+  obs::Histogram* active_jobs = nullptr;    // active-set size per step
+  obs::Histogram* ready_tasks = nullptr;    // total desire per step
+  obs::Gauge* lemma2_bound = nullptr;
+  obs::Gauge* virtual_time = nullptr;
+  std::vector<obs::Counter*> desire;     // per category
+  std::vector<obs::Counter*> allotted;   // per category
+  std::vector<obs::Counter*> executed;   // per category
+  std::vector<obs::Counter*> deprived;   // per category, steps
+  std::vector<obs::Counter*> satisfied;  // per category, steps
+  std::vector<obs::Gauge*> utilization;  // per category
+  std::vector<obs::Gauge*> capacity;     // per category, effective
+
+  bool metrics_on = false;
+  bool on = false;  // metrics or tracing
+
+  SimObs() = default;
+  SimObs(const obs::Observability* sinks, const MachineConfig& machine) {
+    if (sinks == nullptr) return;
+    trace = obs::kTracingEnabled ? sinks->trace : nullptr;
+    obs::MetricsRegistry* reg = sinks->metrics;
+    metrics_on = reg != nullptr;
+    on = metrics_on || trace != nullptr;
+    if (!metrics_on) return;
+    steps = &reg->counter("krad_sim_steps_total", {}, "busy steps executed");
+    decisions = &reg->counter("krad_sim_decisions_total", {},
+                              "scheduler allot() invocations");
+    sched_latency = &reg->histogram(
+        "krad_sim_sched_latency_ns", obs::exponential_buckets(250, 4, 10), {},
+        "wall ns per scheduler decision (sampled 1 in 8)");
+    active_jobs = &reg->histogram("krad_sim_active_jobs",
+                                  obs::exponential_buckets(1, 2, 12), {},
+                                  "active jobs per busy step");
+    ready_tasks = &reg->histogram("krad_sim_ready_tasks",
+                                  obs::exponential_buckets(1, 4, 12), {},
+                                  "total ready tasks (desire) per busy step");
+    lemma2_bound = &reg->gauge(
+        "krad_sim_lemma2_bound", {},
+        "running Lemma 2 makespan bound over released jobs");
+    virtual_time = &reg->gauge("krad_sim_virtual_time", {},
+                               "virtual time when the run finished");
+    const auto k = static_cast<Category>(machine.categories());
+    for (Category a = 0; a < k; ++a) {
+      const obs::Labels labels{{"cat", std::to_string(a)}};
+      desire.push_back(&reg->counter("krad_sim_desire_total", labels,
+                                     "summed per-step desires"));
+      allotted.push_back(&reg->counter("krad_sim_allotted_total", labels,
+                                       "allotted processor-steps"));
+      executed.push_back(&reg->counter("krad_sim_executed_total", labels,
+                                       "executed task units"));
+      deprived.push_back(&reg->counter(
+          "krad_sim_deprived_steps_total", labels,
+          "steps with at least one deprived job in this category"));
+      satisfied.push_back(&reg->counter(
+          "krad_sim_satisfied_steps_total", labels,
+          "steps with every job satisfied in this category"));
+      utilization.push_back(&reg->gauge(
+          "krad_sim_utilization", labels,
+          "executed / (P_alpha * busy steps) at end of run"));
+      capacity.push_back(&reg->gauge("krad_sim_capacity", labels,
+                                     "effective processors"));
+      capacity.back()->set(machine.processors[a]);
+    }
+  }
+};
 
 /// TaskSink that stamps engine context (time, job, processor) onto events.
 class RecordingSink final : public TaskSink {
@@ -72,6 +148,37 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
 
   scheduler.reset(machine, n);
 
+  // Observability: pre-resolve handles; null sinks keep every guard false.
+  const SimObs so(options.obs, machine);
+  int pmax = 1;
+  for (int p : machine.processors) pmax = std::max(pmax, p);
+  std::vector<double> released_work(k, 0.0);  // Sum T1(J, alpha) over released
+  double lemma2_tail = 0.0;                   // max_i (T_inf + r)
+  std::vector<Work> step_exec;
+  std::vector<Work> step_desire;
+  // Counter updates are batched into these run-local accumulators and
+  // flushed to the registry once after the main loop, so the per-step
+  // metrics cost is plain integer arithmetic rather than atomic RMWs.
+  std::vector<Work> acc_desire;
+  std::vector<std::int64_t> acc_satisfied;
+  std::vector<std::int64_t> acc_deprived;
+  Time acc_decisions = 0;
+  if (so.on) {
+    step_exec.assign(k, 0);
+    step_desire.assign(k, 0);
+  }
+  if (so.metrics_on) {
+    acc_desire.assign(k, 0);
+    acc_satisfied.assign(k, 0);
+    acc_deprived.assign(k, 0);
+  }
+  // Histogram observations aggregate locally (plain buckets, no atomics)
+  // and fold into the registry when flushed at the end of the run.
+  obs::LocalHistogram lh_sched(so.sched_latency);
+  obs::LocalHistogram lh_active(so.active_jobs);
+  obs::LocalHistogram lh_ready(so.ready_tasks);
+  if (so.trace) so.trace->name_thread("sim");
+
   std::shared_ptr<ScheduleTrace> trace;
   std::unique_ptr<RecordingSink> sink;
   if (options.record_trace) {
@@ -110,8 +217,31 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
   while (finished_count < n) {
     // Admit releases: job available from step r + 1, i.e. active iff r < t.
     while (next_pending < n && set.release(pending[next_pending]) < t) {
-      active.push_back(pending[next_pending]);
+      const JobId id = pending[next_pending];
+      active.push_back(id);
       ++next_pending;
+      if (so.on) {
+        // Maintain the running Lemma 2 bound over the released prefix:
+        //   Sum_alpha T1(J, alpha) / P_alpha + (1 - 1/Pmax) * max_i(T_inf + r).
+        // At admission nothing has executed, so remaining == total.
+        const Job& job = set.job(id);
+        for (Category a = 0; a < k; ++a)
+          released_work[a] += static_cast<double>(job.remaining_work(a));
+        lemma2_tail = std::max(
+            lemma2_tail, static_cast<double>(job.remaining_span() +
+                                             set.release(id)));
+        double bound = 0.0;
+        for (Category a = 0; a < k; ++a)
+          bound += released_work[a] /
+                   static_cast<double>(machine.processors[a]);
+        bound += (1.0 - 1.0 / static_cast<double>(pmax)) * lemma2_tail;
+        if (so.lemma2_bound != nullptr) so.lemma2_bound->set(bound);
+        if (so.trace != nullptr)
+          so.trace->instant("release", "sim",
+                            {{"vt", static_cast<double>(t)},
+                             {"job", static_cast<double>(id)},
+                             {"lemma2_bound", bound}});
+      }
     }
     if (active.empty()) {
       // Idle interval: fast-forward to the next release.
@@ -131,6 +261,16 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       if (cap != effective) {
         effective = cap;
         scheduler.set_capacity(MachineConfig{effective});
+        if (so.metrics_on)
+          for (Category a = 0; a < k; ++a)
+            so.capacity[a]->set(effective[a]);
+        if (so.trace != nullptr) {
+          obs::NumArgs args{{"vt", static_cast<double>(t)}};
+          for (Category a = 0; a < k; ++a)
+            args.emplace_back("cap" + std::to_string(a),
+                              static_cast<double>(effective[a]));
+          so.trace->instant("capacity_change", "fault", std::move(args));
+        }
         if (trace) {
           FaultEvent event;
           event.t = t;
@@ -151,6 +291,30 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       const Job& job = set.job(id);
       for (Category a = 0; a < k; ++a) view.desire[a] = job.desire(a);
       views.push_back(std::move(view));
+    }
+    if (so.metrics_on) {
+      // Per-step desire totals feed krad_sim_desire_total, the satisfied /
+      // deprived split, and the ready-tasks histogram.  The pass runs while
+      // the freshly written desires are cache-hot; register accumulators
+      // (k <= 4 in practice) avoid read-modify-write chains through memory.
+      if (k >= 1 && k <= 4) {
+        Work s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (const JobView& v : views) {
+          const Work* vd = v.desire.data();
+          s0 += vd[0];
+          if (k > 1) s1 += vd[1];
+          if (k > 2) s2 += vd[2];
+          if (k > 3) s3 += vd[3];
+        }
+        step_desire[0] = s0;
+        if (k > 1) step_desire[1] = s1;
+        if (k > 2) step_desire[2] = s2;
+        if (k > 3) step_desire[3] = s3;
+      } else {
+        std::fill(step_desire.begin(), step_desire.end(), 0);
+        for (const JobView& v : views)
+          for (Category a = 0; a < k; ++a) step_desire[a] += v.desire[a];
+      }
     }
     const ClairvoyantView* clair_ptr = nullptr;
     if (wants_clair) {
@@ -176,7 +340,30 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
                         steps_since_decision >= options.decision_period ||
                         active != held_active;
     if (decide) {
-      scheduler.allot(t, views, clair_ptr, allot);
+      // Timing every decision costs two clock reads per step; sample
+      // 1-in-8 for the latency histogram (and always when tracing, where
+      // the allot span needs real timestamps anyway).
+      const bool timed =
+          so.on && (so.trace != nullptr || (acc_decisions & 7) == 0);
+      ++acc_decisions;
+      if (timed) {
+        const double span_start =
+            so.trace != nullptr ? so.trace->now_us() : 0.0;
+        const auto t0 = std::chrono::steady_clock::now();
+        scheduler.allot(t, views, clair_ptr, allot);
+        const auto elapsed = std::chrono::steady_clock::now() - t0;
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+        lh_sched.observe(ns);
+        if (so.trace != nullptr)
+          so.trace->complete("allot", "sim", span_start, ns / 1000.0,
+                             {{"vt", static_cast<double>(t)},
+                              {"active", static_cast<double>(active.size())}},
+                             {{"scheduler", scheduler.name()}});
+      } else {
+        scheduler.allot(t, views, clair_ptr, allot);
+      }
       held = allot;
       held_active = active;
       steps_since_decision = 1;
@@ -204,6 +391,7 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
 
     // Execute.
     if (sink) sink->begin_step(t, k);
+    if (so.on) step_exec.assign(k, 0);
     for (std::size_t j = 0; j < active.size(); ++j) {
       Job& job = set.job(active[j]);
       if (sink) sink->set_job(active[j]);
@@ -211,6 +399,7 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
         if (allot[j][a] <= 0) continue;
         const Work done = job.execute(a, allot[j][a], sink.get());
         result.executed_work[a] += done;
+        if (so.on) step_exec[a] += done;
       }
     }
     if (trace) {
@@ -233,6 +422,12 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
         result.response[id] = t - set.release(id);
         result.makespan = std::max(result.makespan, t);
         ++finished_count;
+        if (so.trace != nullptr)
+          so.trace->instant("complete", "sim",
+                            {{"vt", static_cast<double>(t)},
+                             {"job", static_cast<double>(id)},
+                             {"response",
+                              static_cast<double>(t - set.release(id))}});
         active.erase(active.begin() + static_cast<std::ptrdiff_t>(j));
       } else {
         ++j;
@@ -240,6 +435,29 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
     }
 
     ++result.busy_steps;
+    if (so.metrics_on) {
+      Work total_desire = 0;
+      for (Category a = 0; a < k; ++a) {
+        total_desire += step_desire[a];
+        acc_desire[a] += step_desire[a];
+        // The execute loop ran min(allot, desire) per job, so the category
+        // satisfied every desire this step iff executed == desired.
+        if (step_exec[a] == step_desire[a])
+          ++acc_satisfied[a];
+        else
+          ++acc_deprived[a];
+      }
+      lh_active.observe(static_cast<double>(views.size()));
+      lh_ready.observe(static_cast<double>(total_desire));
+    }
+    if (so.trace != nullptr) {
+      obs::NumArgs series{
+          {"active_jobs", static_cast<double>(active.size())}};
+      for (Category a = 0; a < k; ++a)
+        series.emplace_back("exec" + std::to_string(a),
+                            static_cast<double>(step_exec[a]));
+      so.trace->counter("sim_step", std::move(series));
+    }
     if (result.busy_steps > options.max_steps)
       throw std::runtime_error("simulate: exceeded max_steps with scheduler " +
                                scheduler.name());
@@ -264,6 +482,24 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
                          static_cast<double>(std::max<Time>(1, result.busy_steps));
     result.utilization[a] =
         static_cast<double>(result.executed_work[a]) / denom;
+  }
+
+  // Flush the batched counters: one atomic update per metric per run.
+  if (so.metrics_on) {
+    lh_sched.flush();
+    lh_active.flush();
+    lh_ready.flush();
+    so.steps->inc(result.busy_steps);
+    so.decisions->inc(acc_decisions);
+    so.virtual_time->set(static_cast<double>(result.makespan));
+    for (Category a = 0; a < k; ++a) {
+      so.desire[a]->inc(acc_desire[a]);
+      so.allotted[a]->inc(result.allotted[a]);
+      so.executed[a]->inc(result.executed_work[a]);
+      so.satisfied[a]->inc(acc_satisfied[a]);
+      so.deprived[a]->inc(acc_deprived[a]);
+      so.utilization[a]->set(result.utilization[a]);
+    }
   }
   result.trace = trace;
   return result;

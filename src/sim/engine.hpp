@@ -14,6 +14,7 @@
 #include "core/scheduler.hpp"
 #include "fault/fault_plan.hpp"
 #include "jobs/job_set.hpp"
+#include "obs/obs.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 
@@ -37,6 +38,14 @@ struct SimOptions {
   /// faults take effect only through FaultyDagJob instances built against a
   /// FaultInjector over the same plan (see src/fault/faulty_job.hpp).
   const FaultPlan* fault_plan = nullptr;
+  /// Optional observability sinks (must outlive the run).  With a metrics
+  /// registry attached the engine publishes the catalog in
+  /// docs/OBSERVABILITY.md (per-step scheduler latency, per-category
+  /// desire/allotment/executed counters, deprived/satisfied step counts,
+  /// utilization gauges, the running Lemma-2 bound); with a trace session
+  /// it emits Chrome trace_event spans and counter tracks.  Null (default)
+  /// keeps the hot path observation-free.
+  const obs::Observability* obs = nullptr;
 };
 
 /// Run to completion.  The jobs in `set` are consumed (mutated); call

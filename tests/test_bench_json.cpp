@@ -1,0 +1,130 @@
+// Round-trip tests for bench::JsonReport — the machine-readable bench
+// output must stay valid JSON under hostile strings, non-finite doubles,
+// and non-"C" global locales (historically %.6g produced "0,5" under a
+// comma-decimal locale, breaking every downstream consumer).
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../bench/common.hpp"
+#include "json_check.hpp"
+
+namespace krad {
+namespace {
+
+using testjson::JsonValue;
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+JsonValue write_and_parse(const bench::JsonReport& report,
+                          const std::string& stem) {
+  const std::string path = temp_path(stem);
+  EXPECT_TRUE(report.write(path));
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  return testjson::parse(text);  // throws on malformed output
+}
+
+TEST(BenchJson, RoundTripsPlainRows) {
+  bench::JsonReport report("makespan");
+  report.begin_row("P=8");
+  report.add("ratio", 1.25);
+  report.add("steps", 42LL);
+  report.add("scheduler", std::string("K-RAD"));
+
+  const JsonValue doc = write_and_parse(report, "bench_plain.json");
+  EXPECT_EQ(doc.at("bench").string, "makespan");
+  const auto& rows = doc.at("rows").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("label").string, "P=8");
+  EXPECT_DOUBLE_EQ(rows[0].at("ratio").number, 1.25);
+  EXPECT_DOUBLE_EQ(rows[0].at("steps").number, 42.0);
+  EXPECT_EQ(rows[0].at("scheduler").string, "K-RAD");
+}
+
+TEST(BenchJson, EscapesHostileStrings) {
+  const std::string hostile = "quote\" back\\slash\nnewline\ttab\x01ctl";
+  bench::JsonReport report("bench \"quoted\"");
+  report.begin_row(hostile);
+  report.add("text", hostile);
+
+  const JsonValue doc = write_and_parse(report, "bench_escape.json");
+  EXPECT_EQ(doc.at("bench").string, "bench \"quoted\"");
+  const auto& rows = doc.at("rows").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  // Byte-exact round trip through escaping + parsing.
+  EXPECT_EQ(rows[0].at("label").string, hostile);
+  EXPECT_EQ(rows[0].at("text").string, hostile);
+}
+
+TEST(BenchJson, NonFiniteDoublesBecomeNull) {
+  bench::JsonReport report("edge");
+  report.begin_row("row");
+  report.add("nan", std::numeric_limits<double>::quiet_NaN());
+  report.add("inf", std::numeric_limits<double>::infinity());
+  report.add("ninf", -std::numeric_limits<double>::infinity());
+  report.add("fine", 3.5);
+
+  const JsonValue doc = write_and_parse(report, "bench_nonfinite.json");
+  const auto& row = doc.at("rows").as_array().at(0);
+  EXPECT_TRUE(row.at("nan").is_null());
+  EXPECT_TRUE(row.at("inf").is_null());
+  EXPECT_TRUE(row.at("ninf").is_null());
+  EXPECT_DOUBLE_EQ(row.at("fine").number, 3.5);
+}
+
+TEST(BenchJson, SurvivesCommaDecimalLocale) {
+  // Flip the global C locale to one with ',' as the decimal separator; the
+  // report must still print '.' (std::to_chars is locale-independent).
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* locale = std::setlocale(LC_ALL, "de_DE.UTF-8");
+  if (locale == nullptr) locale = std::setlocale(LC_ALL, "fr_FR.UTF-8");
+  if (locale == nullptr)
+    GTEST_SKIP() << "no comma-decimal locale installed";
+
+  bench::JsonReport report("locale");
+  report.begin_row("row");
+  report.add("half", 0.5);
+  report.add("tiny", 1.5e-9);
+
+  JsonValue doc;
+  try {
+    doc = write_and_parse(report, "bench_locale.json");
+  } catch (...) {
+    std::setlocale(LC_ALL, saved.c_str());
+    throw;
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+  const auto& row = doc.at("rows").as_array().at(0);
+  EXPECT_DOUBLE_EQ(row.at("half").number, 0.5);
+  EXPECT_DOUBLE_EQ(row.at("tiny").number, 1.5e-9);
+}
+
+TEST(BenchJson, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW(testjson::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(testjson::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(testjson::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(testjson::parse("{\"a\":0,5}"), std::runtime_error);
+  EXPECT_THROW(testjson::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(testjson::parse("{} trailing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validate the artifacts written by examples/obs_demo (CI gate).
+
+Usage: check_obs.py [dir]
+
+Checks, against the files in `dir` (default: cwd):
+  obs_metrics.json — parses; required krad_sim_* / krad_rt_* metrics exist;
+                     histograms are internally consistent (sum of buckets ==
+                     count); the runtime capacity invariant holds:
+                     allotted <= capacity * quanta and executed <= allotted
+                     per category.
+  obs_metrics.prom — Prometheus text exposition v0.0.4: every non-comment
+                     line matches the sample grammar, each family has exactly
+                     one # TYPE, histogram buckets are cumulative and end in
+                     a le="+Inf" bucket equal to _count.
+  obs_trace.json   — Chrome trace_event JSON: traceEvents is a list, every
+                     event has name/ph/ts, 'X' events carry dur.  An empty
+                     traceEvents list is accepted (KRAD_TRACING=OFF builds).
+
+Exits 0 when everything holds, 1 with a message per violation otherwise.
+"""
+
+import json
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+FAILURES = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"  [FAIL] {message}")
+
+
+def metric_value(metrics, name, labels=None):
+    """Return the value of the metric with this name + exact label dict."""
+    labels = labels or {}
+    for m in metrics:
+        if m["name"] == name and m.get("labels", {}) == labels:
+            return m
+    return None
+
+
+def check_metrics_json(path: Path):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+        return None
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail(f"{path}: no metrics array")
+        return None
+
+    for required in ("krad_sim_steps_total", "krad_sim_decisions_total",
+                     "krad_rt_quanta_total"):
+        if metric_value(metrics, required) is None:
+            fail(f"{path}: missing metric {required}")
+    for required in ("krad_sim_executed_total", "krad_rt_executed_total",
+                     "krad_deq_steps_total"):
+        if metric_value(metrics, required, {"cat": "0"}) is None:
+            fail(f"{path}: missing metric {required}{{cat=0}}")
+
+    for m in metrics:
+        if m.get("type") != "histogram":
+            continue
+        bucket_total = sum(b["count"] for b in m["buckets"])
+        if bucket_total != m["count"]:
+            fail(f"{path}: histogram {m['name']} buckets sum {bucket_total} "
+                 f"!= count {m['count']}")
+
+    # Runtime capacity invariant, per category, from the metrics alone.
+    quanta = metric_value(metrics, "krad_rt_quanta_total")
+    cat = 0
+    while True:
+        labels = {"cat": str(cat)}
+        allotted = metric_value(metrics, "krad_rt_allotted_total", labels)
+        if allotted is None:
+            break
+        executed = metric_value(metrics, "krad_rt_executed_total", labels)
+        capacity = metric_value(metrics, "krad_rt_capacity", labels)
+        if executed is None or capacity is None or quanta is None:
+            fail(f"{path}: incomplete krad_rt_* catalog for cat {cat}")
+            break
+        limit = capacity["value"] * quanta["value"]
+        if allotted["value"] > limit:
+            fail(f"{path}: cat {cat} allotted {allotted['value']} exceeds "
+                 f"capacity * quanta = {limit}")
+        if executed["value"] > allotted["value"]:
+            fail(f"{path}: cat {cat} executed {executed['value']} exceeds "
+                 f"allotted {allotted['value']}")
+        cat += 1
+    if cat == 0:
+        fail(f"{path}: no krad_rt_allotted_total series found")
+    return metrics
+
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? '
+    r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]?Inf)$')
+
+
+def check_prometheus(path: Path):
+    try:
+        text = path.read_text()
+    except OSError as err:
+        fail(f"{path}: {err}")
+        return
+    type_seen = defaultdict(int)
+    bucket_state = {}  # series key -> last cumulative value
+    count_values = {}
+    inf_values = {}
+    for line_no, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            type_seen[line.split()[2]] += 1
+            continue
+        if line.startswith("#"):
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"{path}:{line_no}: bad sample line: {line!r}")
+            continue
+        name = line.split("{")[0].split()[0]
+        value = float(line.rsplit(" ", 1)[1])
+        if name.endswith("_bucket"):
+            key = line.rsplit(" ", 1)[0]
+            series = re.sub(r'le="[^"]*",?', "", key)
+            last = bucket_state.get(series, 0.0)
+            if value < last:
+                fail(f"{path}:{line_no}: non-cumulative bucket: {line!r}")
+            bucket_state[series] = value
+            if 'le="+Inf"' in line:
+                inf_values[series] = value
+                bucket_state.pop(series, None)
+        elif name.endswith("_count"):
+            count_values[name[:-len("_count")] + "_bucket" +
+                         line[len(name):].rsplit(" ", 1)[0]] = value
+    for family, count in type_seen.items():
+        if count != 1:
+            fail(f"{path}: family {family} has {count} # TYPE lines")
+    for series, inf_value in inf_values.items():
+        expected = count_values.get(series)
+        if expected is not None and expected != inf_value:
+            fail(f"{path}: {series}: le=\"+Inf\" {inf_value} != _count "
+                 f"{expected}")
+    if not type_seen:
+        fail(f"{path}: no # TYPE lines at all")
+
+
+def check_trace(path: Path):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+        return
+    if not events:
+        print(f"  (note) {path}: empty traceEvents — KRAD_TRACING=OFF build")
+        return
+    phases = set()
+    for i, event in enumerate(events):
+        for field in ("name", "ph", "ts"):
+            if field not in event:
+                fail(f"{path}: event {i} missing {field!r}")
+                return
+        phases.add(event["ph"])
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"{path}: complete event {i} has no dur")
+    for expected in ("X", "i", "C"):
+        if expected not in phases:
+            fail(f"{path}: no {expected!r} events recorded")
+
+
+def main() -> int:
+    directory = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    check_metrics_json(directory / "obs_metrics.json")
+    check_prometheus(directory / "obs_metrics.prom")
+    check_trace(directory / "obs_trace.json")
+    if FAILURES:
+        print(f"\n[FAIL] check_obs: {len(FAILURES)} violation(s)")
+        return 1
+    print("[PASS] check_obs: all observability artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
