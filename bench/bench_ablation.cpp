@@ -45,7 +45,7 @@ void ablate_rr_component() {
       RunningStats resp;
       for (Time r : result.response) resp.add(static_cast<double>(r));
       table.row()
-          .cell(static_cast<std::uint64_t>(jobs))
+          .cell(jobs)
           .cell(4)
           .cell(sched.name())
           .cell(*std::min_element(result.completion.begin(),
@@ -143,7 +143,7 @@ void marking_fairness() {
   Table table({"job", "served_in_first_30_steps"});
   Work lo = served[0], hi = served[0];
   for (std::size_t i = 0; i < jobs; ++i) {
-    table.row().cell(static_cast<std::uint64_t>(i)).cell(served[i]);
+    table.row().cell(i).cell(served[i]);
     lo = std::min(lo, served[i]);
     hi = std::max(hi, served[i]);
   }

@@ -35,7 +35,7 @@ void table1_convergence() {
                          static_cast<double>(inst.optimal_makespan);
     table.row()
         .cell(static_cast<std::int64_t>(m))
-        .cell(static_cast<std::uint64_t>(inst.jobs.size()))
+        .cell(inst.jobs.size())
         .cell(inst.optimal_makespan)
         .cell(result.makespan)
         .cell(inst.adversarial_makespan)
@@ -77,7 +77,7 @@ void table2_bound_surface() {
       pvec += (i ? "," : "") + std::to_string(procs[i]);
     pvec += "}";
     table.row()
-        .cell(static_cast<std::uint64_t>(procs.size()))
+        .cell(procs.size())
         .cell(pvec)
         .cell(inst.optimal_makespan)
         .cell(result.makespan)

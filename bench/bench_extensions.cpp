@@ -186,7 +186,7 @@ void e12_unfolding() {
     const double ratio = makespan_ratio(result, bounds);
     table.row()
         .cell(seed)
-        .cell(static_cast<std::uint64_t>(set.size()))
+        .cell(set.size())
         .cell(tasks)
         .cell(max_span)
         .cell(result.makespan)

@@ -57,7 +57,7 @@ void makespan_chain() {
     table.row()
         .cell(static_cast<std::int64_t>(solved))
         .cell(static_cast<std::uint64_t>(k))
-        .cell(static_cast<std::uint64_t>(vertices))
+        .cell(vertices)
         .cell(bounds.lower_bound())
         .cell(*opt)
         .cell(result.makespan)
@@ -108,7 +108,7 @@ void response_chain() {
     table.row()
         .cell(static_cast<std::int64_t>(solved))
         .cell(static_cast<std::uint64_t>(k))
-        .cell(static_cast<std::uint64_t>(vertices))
+        .cell(vertices)
         .cell(bounds.total_lower_bound(), 1)
         .cell(*opt)
         .cell(result.total_response)

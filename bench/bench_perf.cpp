@@ -26,8 +26,7 @@ void BM_DeqAllot(benchmark::State& state) {
     deq_allot(entries, static_cast<int>(n) * 2, out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_DeqAllot)->Arg(8)->Arg(64)->Arg(512);
 
@@ -54,7 +53,7 @@ void BM_KRadDecision(benchmark::State& state) {
     sched.allot(t++, views, nullptr, out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+  state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(jobs));
 }
 BENCHMARK(BM_KRadDecision)->Args({16, 2})->Args({256, 2})->Args({256, 8});

@@ -67,7 +67,7 @@ void e5_mixed_parallelism() {
     for (int i = 0; i < 20; ++i) {
       std::vector<Phase> phases(1);
       phases[0].parts.push_back(
-          {static_cast<Category>(i % k), rng.uniform_int(10, 60), 1});
+          {i % k, rng.uniform_int(10, 60), 1});
       set.add(std::make_unique<ProfileJob>(std::move(phases), k));
     }
     for (int i = 0; i < 6; ++i) {

@@ -108,7 +108,7 @@ void e4_bound_vs_n() {
     const SimResult result = simulate(set, sched, machine);
     const double ratio = response_ratio(result, bounds, jobs);
     table.row()
-        .cell(static_cast<std::uint64_t>(jobs))
+        .cell(jobs)
         .cell(ratio)
         .cell(machine.response_bound_light(jobs))
         .cell(bounds.mean_lower_bound(jobs), 1)

@@ -85,7 +85,7 @@ void sweep_jobs() {
         measure_makespan_ratio(2, 4, jobs, DagShape::kMixed, 20, rng);
     MachineConfig machine{{4, 4}};
     table.row()
-        .cell(static_cast<std::uint64_t>(jobs))
+        .cell(jobs)
         .cell(stats.mean())
         .cell(stats.max())
         .cell(machine.makespan_bound());

@@ -1,0 +1,83 @@
+# Static-analysis wiring (policy and local usage: docs/LINTING.md).
+#
+# Targets:
+#   lint            — clang-tidy over every translation unit, curated checks
+#                     from .clang-tidy, zero findings required
+#   format-check    — clang-format --dry-run -Werror over sources + headers
+#   krad-lint       — repo-specific invariant checker (tools/krad_lint.py):
+#                     determinism bans, metric-catalog sync, header hygiene
+#   static-analysis — umbrella over whichever of the three are available
+#
+# Tool discovery prefers a pinned major (the version CI installs) and falls
+# back to an unsuffixed binary for local trees.  A missing tool degrades to
+# a target that fails with an install hint rather than silently passing —
+# except krad-lint, which only needs the Python 3 already required by tests.
+
+set(KRAD_CLANG_MAJOR 18)  # keep in sync with .github/workflows/ci.yml
+
+find_program(KRAD_CLANG_TIDY
+  NAMES clang-tidy-${KRAD_CLANG_MAJOR} clang-tidy)
+find_program(KRAD_CLANG_FORMAT
+  NAMES clang-format-${KRAD_CLANG_MAJOR} clang-format)
+find_package(Python3 QUIET COMPONENTS Interpreter)
+
+file(GLOB_RECURSE KRAD_LINT_TUS CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.cpp
+  ${CMAKE_SOURCE_DIR}/tests/*.cpp
+  ${CMAKE_SOURCE_DIR}/bench/*.cpp
+  ${CMAKE_SOURCE_DIR}/examples/*.cpp)
+file(GLOB_RECURSE KRAD_FORMAT_FILES CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.cpp ${CMAKE_SOURCE_DIR}/src/*.hpp
+  ${CMAKE_SOURCE_DIR}/tests/*.cpp ${CMAKE_SOURCE_DIR}/tests/*.hpp
+  ${CMAKE_SOURCE_DIR}/bench/*.cpp ${CMAKE_SOURCE_DIR}/bench/*.hpp
+  ${CMAKE_SOURCE_DIR}/examples/*.cpp)
+# Generated lint fixtures carry deliberate violations; keep them out of both
+# sweeps (they are never compiled either).
+list(FILTER KRAD_LINT_TUS EXCLUDE REGEX "tests/lint/")
+list(FILTER KRAD_FORMAT_FILES EXCLUDE REGEX "tests/lint/")
+
+if(KRAD_CLANG_TIDY)
+  add_custom_target(lint
+    COMMAND ${KRAD_CLANG_TIDY} --quiet -p ${CMAKE_BINARY_DIR}
+            ${KRAD_LINT_TUS}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy (curated .clang-tidy set) over all TUs"
+    VERBATIM)
+else()
+  add_custom_target(lint
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "lint: clang-tidy (>= ${KRAD_CLANG_MAJOR} preferred) not found"
+    COMMAND ${CMAKE_COMMAND} -E false
+    COMMENT "clang-tidy missing — failing loudly instead of passing silently"
+    VERBATIM)
+endif()
+
+if(KRAD_CLANG_FORMAT)
+  add_custom_target(format-check
+    COMMAND ${KRAD_CLANG_FORMAT} --dry-run -Werror ${KRAD_FORMAT_FILES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-format check (no reformat)"
+    VERBATIM)
+  add_custom_target(format
+    COMMAND ${KRAD_CLANG_FORMAT} -i ${KRAD_FORMAT_FILES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-format in place"
+    VERBATIM)
+else()
+  add_custom_target(format-check
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "format-check: clang-format (>= ${KRAD_CLANG_MAJOR} preferred) not found"
+    COMMAND ${CMAKE_COMMAND} -E false
+    VERBATIM)
+endif()
+
+if(Python3_FOUND)
+  add_custom_target(krad-lint
+    COMMAND Python3::Interpreter ${CMAKE_SOURCE_DIR}/tools/krad_lint.py
+            --root ${CMAKE_SOURCE_DIR}
+    COMMENT "krad_lint.py: determinism / metric-catalog / header hygiene"
+    VERBATIM)
+  add_custom_target(static-analysis DEPENDS lint format-check krad-lint)
+else()
+  add_custom_target(static-analysis DEPENDS lint format-check)
+endif()

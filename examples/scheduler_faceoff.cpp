@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
                "alloc_eff"});
   for (std::size_t i = 0; i < rows.size(); ++i) {
     table.row()
-        .cell(static_cast<std::uint64_t>(i + 1))
+        .cell(i + 1)
         .cell(rows[i].name)
         .cell(rows[i].result.mean_response, 1)
         .cell(rows[i].result.makespan)

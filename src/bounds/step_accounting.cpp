@@ -21,13 +21,17 @@ StepAccounting account_steps(const JobSet& set, const MachineConfig& machine,
     acc.per_job[id].completion = result.completion[id];
   }
 
+  // Hoisted out of the step loop: a trace can hold millions of steps and
+  // two heap allocations per step dominated this pass.
+  std::vector<Work> used(k, 0);
+  std::vector<bool> any_deprived(k, false);
   for (const StepRecord& step : result.trace->steps()) {
     // Category-level occupancy, counted in USED processor-steps
     // min(allot, desire): the proof's claim is that P_alpha units of
     // alpha-work complete on every alpha-deprived step (a desire-blind
     // scheduler like EQUI can allot everything yet waste it).
-    std::vector<Work> used(k, 0);
-    std::vector<bool> any_deprived(k, false);
+    std::fill(used.begin(), used.end(), 0);
+    std::fill(any_deprived.begin(), any_deprived.end(), false);
     for (std::size_t j = 0; j < step.active.size(); ++j) {
       for (Category a = 0; a < k; ++a) {
         used[a] += std::min(step.allot[j][a], step.desire[j][a]);

@@ -44,7 +44,7 @@ void Rad::allot(std::span<const JobView> active, int processors,
 
   deq_entries_.clear();
   for (const auto& [slot, id] : q_)
-    deq_entries_.push_back(DeqEntry{slot, active[slot].desire[alpha_]});
+    deq_entries_.emplace_back(slot, active[slot].desire[alpha_]);
   deq_out_.assign(active.size(), 0);
   deq_allot(deq_entries_, processors, deq_out_);
   Work satisfied = 0;

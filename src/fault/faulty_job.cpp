@@ -100,7 +100,7 @@ Work FaultyDagJob::execute(Category alpha, Work count, TaskSink* sink) {
       const Time delay = retry_backoff(policy_, attempt);
       if (sink != nullptr)
         sink->on_fault({FaultKind::kRetryScheduled, v, alpha, attempt, delay});
-      cooling_.push_back(PendingRetry{advances_ + 1 + delay, v});
+      cooling_.emplace_back(advances_ + 1 + delay, v);
       ++retries_;
       continue;
     }

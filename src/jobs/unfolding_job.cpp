@@ -79,7 +79,7 @@ Work UnfoldingJob::execute(Category alpha, Work count, TaskSink* sink) {
         break;
       if (children[i] >= spawned_.size())
         throw std::logic_error("UnfoldingJob: spawner returned bad category");
-      enabled_.push_back(Task{child_seed, task.depth + 1, children[i]});
+      enabled_.emplace_back(child_seed, task.depth + 1, children[i]);
     }
   }
   return done;

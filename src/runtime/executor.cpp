@@ -301,15 +301,15 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
       observer.record_fault(std::move(event));
     };
 
-    // Observable state: true instantaneous desires.
-    views.clear();
-    views.reserve(active.size());
-    for (JobId id : active) {
-      JobView view;
+    // Observable state: true instantaneous desires.  Built in place so each
+    // JobView's desire buffer is reused across quanta, not re-allocated.
+    views.resize(active.size());
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      JobView& view = views[j];
+      const JobId id = active[j];
       view.id = id;
       view.desire.resize(k);
       for (Category a = 0; a < k; ++a) view.desire[a] = jobs_[id]->desire(a);
-      views.push_back(std::move(view));
     }
     const ClairvoyantView* clair_ptr = nullptr;
     if (wants_clair) {
@@ -417,8 +417,8 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
             const int proc = observer.reserve_proc(a);
             if (injector && injector->fails(id, v, a, attempt)) {
               ++result.failed_attempts;
-              record_fault(FaultEvent{0, id, FaultKind::kTaskFailure,
-                                               v, a, attempt, proc, 0, {}});
+              record_fault(FaultEvent{0, id, FaultKind::kTaskFailure, v, a,
+                                      attempt, proc, 0, {}});
               if (attempt >= retry.max_attempts) {
                 switch (retry.on_exhausted) {
                   case ExhaustionAction::kFailFast:
@@ -427,30 +427,27 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                     fatal.emplace(id, v, a, attempt);
                     break;
                   case ExhaustionAction::kFailJob:
-                    record_fault(FaultEvent{0, id,
-                                                     FaultKind::kJobFailed, v,
-                                                     a, attempt, -1, 0, {}});
+                    record_fault(FaultEvent{0, id, FaultKind::kJobFailed,
+                                            v, a, attempt, -1, 0, {}});
                     job->abandon(JobOutcome::kFailed);
                     break;
                   case ExhaustionAction::kDropJob:
-                    record_fault(FaultEvent{0, id,
-                                                     FaultKind::kJobDropped, v,
-                                                     a, attempt, -1, 0, {}});
+                    record_fault(FaultEvent{0, id, FaultKind::kJobDropped,
+                                            v, a, attempt, -1, 0, {}});
                     job->abandon(JobOutcome::kDropped);
                     break;
                 }
                 break;  // job abandoned (or run failing): stop admitting it
               }
               const Time delay = retry_backoff(retry, attempt);
-              record_fault(FaultEvent{0, id,
-                                               FaultKind::kRetryScheduled, v,
-                                               a, attempt, -1, delay, {}});
+              record_fault(FaultEvent{0, id, FaultKind::kRetryScheduled, v,
+                                      a, attempt, -1, delay, {}});
               job->requeue(v, delay);
               ++result.retries;
               continue;
             }
             const std::size_t seq = attempts.size();
-            attempts.push_back(PendingAttempt{id, job, v, a, attempt, proc});
+            attempts.emplace_back(id, job, v, a, attempt, proc);
             auto body = [job, v, seq, &failures, &failures_mu,
                          deadline = options_.task_deadline,
                          run_token = options_.cancellation, tr = ro.trace,
@@ -481,7 +478,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                 job->release_successors(v);
               } else {
                 std::lock_guard<std::mutex> lock(failures_mu);
-                failures.push_back(AttemptFailure{seq, kind});
+                failures.emplace_back(seq, kind);
               }
             };
             if (options_.inline_execution)
@@ -521,32 +518,30 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         const FaultKind kind = failures[next_failure++].kind;
         ++result.failed_attempts;
         if (kind == FaultKind::kTaskTimeout) ++result.timeouts;
-        record_fault(FaultEvent{0, pa.id, kind, pa.vertex,
-                                         pa.category, pa.attempt, pa.proc, 0,
-                                         {}});
+        record_fault(FaultEvent{0, pa.id, kind, pa.vertex, pa.category,
+                                pa.attempt, pa.proc, 0, {}});
         if (pa.attempt >= retry.max_attempts) {
           switch (retry.on_exhausted) {
             case ExhaustionAction::kFailFast:
               throw TaskFailedError(pa.id, pa.vertex, pa.category, pa.attempt);
             case ExhaustionAction::kFailJob:
               record_fault(FaultEvent{0, pa.id, FaultKind::kJobFailed,
-                                               pa.vertex, pa.category,
-                                               pa.attempt, -1, 0, {}});
+                                      pa.vertex, pa.category, pa.attempt, -1,
+                                      0, {}});
               pa.job->abandon(JobOutcome::kFailed);
               break;
             case ExhaustionAction::kDropJob:
               record_fault(FaultEvent{0, pa.id, FaultKind::kJobDropped,
-                                               pa.vertex, pa.category,
-                                               pa.attempt, -1, 0, {}});
+                                      pa.vertex, pa.category, pa.attempt, -1,
+                                      0, {}});
               pa.job->abandon(JobOutcome::kDropped);
               break;
           }
         } else {
           const Time delay = retry_backoff(retry, pa.attempt);
-          record_fault(FaultEvent{0, pa.id,
-                                           FaultKind::kRetryScheduled,
-                                           pa.vertex, pa.category, pa.attempt,
-                                           -1, delay, {}});
+          record_fault(FaultEvent{0, pa.id, FaultKind::kRetryScheduled,
+                                  pa.vertex, pa.category, pa.attempt, -1,
+                                  delay, {}});
           pa.job->requeue(pa.vertex, delay);
           ++result.retries;
         }

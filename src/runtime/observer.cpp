@@ -66,8 +66,8 @@ void RuntimeObserver::record_step(std::vector<JobId> active,
 void RuntimeObserver::end_quantum(std::int64_t schedule_ns,
                                   std::int64_t barrier_ns,
                                   std::int64_t total_ns) {
-  stats_.push_back(QuantumStats{current_, admitted_this_quantum_, schedule_ns,
-                                barrier_ns, total_ns});
+  stats_.emplace_back(current_, admitted_this_quantum_, schedule_ns,
+                      barrier_ns, total_ns);
 }
 
 double RuntimeObserver::mean_schedule_ns() const {

@@ -71,7 +71,7 @@ void RuntimeJob::requeue(VertexId v, Time backoff) {
   // Ready again once the backoff expires; the +1 accounts for the upcoming
   // end-of-quantum promote (backoff 0 = ready next quantum), matching
   // FaultyDagJob's `advances_ + 1 + delay`.
-  cooling_.push_back(PendingRetry{promotes_ + 1 + backoff, v});
+  cooling_.emplace_back(promotes_ + 1 + backoff, v);
 }
 
 void RuntimeJob::abandon(JobOutcome outcome) {

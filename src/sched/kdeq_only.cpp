@@ -12,7 +12,7 @@ void KDeqOnly::allot(Time /*now*/, std::span<const JobView> active,
     entries_.clear();
     for (std::size_t j = 0; j < active.size(); ++j)
       if (active[j].desire[alpha] > 0)
-        entries_.push_back(DeqEntry{j, active[j].desire[alpha]});
+        entries_.emplace_back(j, active[j].desire[alpha]);
     if (entries_.empty()) continue;
     scratch_.assign(active.size(), 0);
     deq_allot(entries_, machine_.processors[alpha], scratch_);

@@ -281,16 +281,15 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       }
     }
 
-    // Build views.
-    views.clear();
-    views.reserve(active.size());
-    for (JobId id : active) {
-      JobView view;
-      view.id = id;
+    // Build views in place: resize + overwrite reuses each JobView's desire
+    // buffer across steps instead of re-allocating one per job per step.
+    views.resize(active.size());
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      JobView& view = views[j];
+      view.id = active[j];
       view.desire.resize(k);
-      const Job& job = set.job(id);
+      const Job& job = set.job(active[j]);
       for (Category a = 0; a < k; ++a) view.desire[a] = job.desire(a);
-      views.push_back(std::move(view));
     }
     if (so.metrics_on) {
       // Per-step desire totals feed krad_sim_desire_total, the satisfied /
@@ -406,6 +405,7 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       StepRecord record;
       record.t = t;
       record.active = active;
+      record.desire.reserve(views.size());
       for (const JobView& view : views) record.desire.push_back(view.desire);
       record.allot = allot;
       if (degrading) record.capacity = effective;
@@ -501,7 +501,7 @@ SimResult simulate(JobSet& set, KScheduler& scheduler,
       so.utilization[a]->set(result.utilization[a]);
     }
   }
-  result.trace = trace;
+  result.trace = std::move(trace);
   return result;
 }
 

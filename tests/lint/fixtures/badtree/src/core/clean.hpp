@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: a clean header, the <>-include target for hygiene.hpp.
+namespace krad_fixture {
+inline int zero() { return 0; }
+}  // namespace krad_fixture

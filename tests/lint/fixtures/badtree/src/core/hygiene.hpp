@@ -1,0 +1,7 @@
+// Fixture: header hygiene violations (never compiled).
+#include <core/clean.hpp>
+using namespace krad_fixture;
+struct Fixture {
+	int tabbed;   
+};
+int no_final_newline();

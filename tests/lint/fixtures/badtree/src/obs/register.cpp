@@ -1,0 +1,2 @@
+// Fixture: registers a metric the docs never mention (never compiled).
+const char* fixture_metric_name() { return "krad_fixture_only_total"; }

@@ -1,0 +1,15 @@
+// Fixture: every determinism ban violated once (never compiled).
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+int ambient_seed() { return rand(); }
+
+long wall_seed() { return time(nullptr); }
+
+int decision_from_unordered(const std::unordered_map<int, int>& weights) {
+  std::unordered_map<int, int> local = weights;
+  int winner = 0;
+  for (const auto& entry : local) winner += entry.second;
+  return winner;
+}

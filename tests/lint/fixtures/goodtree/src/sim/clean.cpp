@@ -1,0 +1,19 @@
+// Fixture: a clean determinism-critical file, plus proof that named
+// NOLINT suppressions are honoured (never compiled).
+#include <chrono>
+#include <unordered_map>
+
+long latency_ns() {
+  // steady_clock is the one allowed clock in determinism-critical dirs.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int lookup(const std::unordered_map<int, int>& table, int key) {
+  const auto it = table.find(key);  // point lookup: fine
+  return it == table.end() ? 0 : it->second;
+}
+
+// NOLINTNEXTLINE(krad-determinism-time)
+long suppressed_wall_clock() { return std::time(nullptr); }
+
+int suppressed_rand() { return rand(); }  // NOLINT(krad-determinism-rand)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/krad_lint.py (registered in ctest).
+
+Each rule class has a seeded violation in fixtures/badtree; the lint must
+report every one of them (by rule id, file and — where stable — line) and
+exit 1.  fixtures/goodtree holds clean code plus suppressed violations and
+must exit 0, proving the checker neither under- nor over-fires.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINT = HERE.parent.parent / "tools" / "krad_lint.py"
+
+# (rule id, substring that must appear on the same finding line)
+EXPECTED_BAD = [
+    ("krad-determinism-rand", "src/sim/entropy.cpp:6"),
+    ("krad-determinism-time", "src/sim/entropy.cpp:8"),
+    ("krad-determinism-unordered", "src/sim/entropy.cpp:13"),
+    ("krad-metric-undocumented", "krad_fixture_only_total"),
+    ("krad-metric-stale", "krad_stale_metric_total"),
+    ("krad-header-guard", "src/core/hygiene.hpp"),
+    ("krad-header-using-namespace", "src/core/hygiene.hpp:3"),
+    ("krad-header-include-style", "core/clean.hpp"),
+    ("krad-format-tabs", "src/core/hygiene.hpp:5"),
+    ("krad-format-trailing-ws", "src/core/hygiene.hpp:5"),
+    ("krad-format-crlf", "src/core/hygiene.hpp:6"),
+    ("krad-format-final-newline", "src/core/hygiene.hpp"),
+]
+
+failures = []
+
+
+def expect(condition, message):
+    if not condition:
+        failures.append(message)
+        print(f"  [FAIL] {message}")
+
+
+def run_lint(tree):
+    return subprocess.run(
+        [sys.executable, str(LINT), "--root", str(HERE / "fixtures" / tree)],
+        capture_output=True, text=True, check=False)
+
+
+def main():
+    bad = run_lint("badtree")
+    expect(bad.returncode == 1,
+           f"badtree: expected exit 1, got {bad.returncode}")
+    for rule, context in EXPECTED_BAD:
+        hits = [line for line in bad.stdout.splitlines()
+                if f"[{rule}]" in line and context in line]
+        expect(hits, f"badtree: no [{rule}] finding mentioning {context!r}\n"
+               f"--- lint output ---\n{bad.stdout}")
+
+    good = run_lint("goodtree")
+    expect(good.returncode == 0,
+           f"goodtree: expected exit 0, got {good.returncode}\n"
+           f"--- lint output ---\n{good.stdout}")
+
+    rules = subprocess.run([sys.executable, str(LINT), "--list-rules"],
+                           capture_output=True, text=True, check=False)
+    expect(rules.returncode == 0, "--list-rules: non-zero exit")
+    for rule, _ in EXPECTED_BAD:
+        expect(rule in rules.stdout, f"--list-rules: {rule} missing")
+
+    if failures:
+        print(f"[FAIL] test_krad_lint: {len(failures)} assertion(s) failed")
+        return 1
+    print(f"[PASS] test_krad_lint: all {len(EXPECTED_BAD)} rule classes fire,"
+          " clean tree passes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,7 +236,7 @@ TEST(Integration, RoundRobinFairUnderChurn) {
   // No job's response exceeds what serving it once per full rotation costs.
   for (JobId id = 0; id < set.size(); ++id)
     EXPECT_LE(result.response[id],
-              static_cast<Time>(set.job(id).work(0)) * 5 + 10)
+              set.job(id).work(0) * 5 + 10)
         << "job " << id;
 }
 

@@ -17,7 +17,7 @@ namespace {
 std::vector<JobView> views(const std::vector<std::vector<Work>>& desires) {
   std::vector<JobView> result;
   for (std::size_t i = 0; i < desires.size(); ++i)
-    result.push_back(JobView{static_cast<JobId>(i), desires[i]});
+    result.emplace_back(static_cast<JobId>(i), desires[i]);
   return result;
 }
 

@@ -18,6 +18,9 @@ Checks, against the files in `dir` (default: cwd):
                      traceEvents list is accepted (KRAD_TRACING=OFF builds).
 
 Exits 0 when everything holds, 1 with a message per violation otherwise.
+
+The source <-> docs metric-name catalog sync lives in krad_lint.py
+(krad-metric-* rules); this script only validates exported artifacts.
 """
 
 import json

@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""krad_lint: repo-specific invariant checks generic tools cannot express.
+
+Usage: krad_lint.py [--root DIR] [--list-rules]
+
+Rule classes (docs/LINTING.md has the full policy):
+
+  Determinism bans — the replay-determinism contract (bit-identical
+  sim/runtime replays, test_runtime_determinism) only holds if nothing in
+  the decision path consults ambient entropy.  Inside src/sim, src/core,
+  src/sched and src/bounds the following are banned:
+    krad-determinism-rand       rand()/srand()/std::random_device (seeded
+                                RNG must flow through util/rng + the
+                                workload-generator entry points)
+    krad-determinism-time       time()/std::chrono::system_clock/
+                                high_resolution_clock (steady_clock is fine:
+                                it feeds latency metrics, never decisions)
+    krad-determinism-unordered  iterating an unordered container (its order
+                                is implementation-defined; anything feeding
+                                a scheduling decision must iterate a
+                                deterministic sequence).  Point lookups are
+                                fine.
+
+  Metric-catalog sync — every full krad_* metric name registered in src/
+  must appear in docs/OBSERVABILITY.md and vice versa (this supersedes the
+  name-list half of tools/check_obs.py, which still validates artifacts):
+    krad-metric-undocumented    name registered in src/ missing from docs
+    krad-metric-stale           full name in docs no longer present in src/
+
+  Header hygiene — over every committed .hpp:
+    krad-header-guard           first significant line must be #pragma once
+    krad-header-using-namespace no `using namespace` at any scope
+    krad-header-include-style   project headers included with "", not <>
+
+  Format-lite — cheap mechanical checks that do not need clang-format:
+    krad-format-tabs            no hard tabs in C++ sources
+    krad-format-trailing-ws     no trailing whitespace
+    krad-format-crlf            LF line endings only
+    krad-format-final-newline   files end with exactly one newline
+
+Suppression: append `// NOLINT(krad-<rule>)` to the offending line or put
+`// NOLINTNEXTLINE(krad-<rule>)` on the line above.  A bare NOLINT also
+works but suppresses every rule — prefer the named form.
+
+Exits 0 when the tree is clean, 1 with one line per violation otherwise.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/bounds")
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+# Lint fixtures carry deliberate violations for the fixture tests.
+EXCLUDED_PARTS = ("tests/lint",)
+
+RULES = {
+    "krad-determinism-rand":
+        "rand()/srand()/std::random_device in a determinism-critical dir",
+    "krad-determinism-time":
+        "wall-clock entropy (time()/system_clock) in a determinism-critical "
+        "dir",
+    "krad-determinism-unordered":
+        "iteration over an unordered container in a determinism-critical dir",
+    "krad-metric-undocumented":
+        "krad_* metric registered in src/ but absent from "
+        "docs/OBSERVABILITY.md",
+    "krad-metric-stale":
+        "krad_* metric named in docs/OBSERVABILITY.md but not registered in "
+        "src/",
+    "krad-header-guard": "header does not start with #pragma once",
+    "krad-header-using-namespace": "`using namespace` inside a header",
+    "krad-header-include-style":
+        "project header included with <> instead of \"\"",
+    "krad-format-tabs": "hard tab character",
+    "krad-format-trailing-ws": "trailing whitespace",
+    "krad-format-crlf": "CRLF line ending",
+    "krad-format-final-newline": "missing or duplicated final newline",
+}
+
+FAILURES = []
+
+
+def fail(path, line_no, rule, message):
+    FAILURES.append((path, line_no, rule))
+    location = f"{path}:{line_no}" if line_no else str(path)
+    print(f"  [FAIL] {location}: [{rule}] {message}")
+
+
+def suppressed(lines, index, rule):
+    """NOLINT on the line or NOLINTNEXTLINE on the previous line."""
+    def matches(text, marker):
+        m = re.search(marker + r"(?:\(([^)]*)\))?", text)
+        return m is not None and (m.group(1) is None or rule in m.group(1))
+
+    if matches(lines[index], r"NOLINT(?!NEXTLINE)"):
+        return True
+    return index > 0 and matches(lines[index - 1], r"NOLINTNEXTLINE")
+
+
+def strip_comments_and_strings(code):
+    """Blank out comments and string/char literals, preserving line breaks
+    so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(code)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = code[i]
+        nxt = code[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c in (state, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+RAND_RE = re.compile(r"(?:std::)?random_device\b|(?<![\w.:>])s?rand\s*\(")
+TIME_RE = re.compile(
+    r"std::time\s*\(|(?<![\w.:>])time\s*\(|"
+    r"\b(?:system_clock|high_resolution_clock)\b")
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;({=\[]")
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*\*?\s*(?:this->)?(\w+)\s*\)")
+BEGIN_RE = re.compile(r"\b(\w+)\s*\.\s*(?:c?r?begin)\s*\(")
+
+
+def check_determinism(path, raw_lines):
+    code_lines = strip_comments_and_strings("".join(raw_lines)).splitlines()
+    unordered_vars = set()
+    for line in code_lines:
+        unordered_vars.update(UNORDERED_DECL_RE.findall(line))
+    for i, line in enumerate(code_lines):
+        no = i + 1
+        if RAND_RE.search(line) and not suppressed(raw_lines, i,
+                                                   "krad-determinism-rand"):
+            fail(path, no, "krad-determinism-rand",
+                 "ambient randomness is banned here; route seeds through "
+                 "util/rng and the workload generators")
+        if TIME_RE.search(line) and not suppressed(raw_lines, i,
+                                                   "krad-determinism-time"):
+            fail(path, no, "krad-determinism-time",
+                 "wall-clock entropy is banned here (steady_clock is the "
+                 "only allowed clock, for latency metrics)")
+        iterated = set(RANGE_FOR_RE.findall(line)) | set(
+            BEGIN_RE.findall(line))
+        if (iterated & unordered_vars
+                and not suppressed(raw_lines, i,
+                                   "krad-determinism-unordered")):
+            fail(path, no, "krad-determinism-unordered",
+                 "iteration order of an unordered container is "
+                 "implementation-defined; iterate a sorted/indexed sequence "
+                 "instead")
+
+
+METRIC_LITERAL_RE = re.compile(r'"(krad_[a-z0-9_]*[a-z0-9])"')
+METRIC_DOC_RE = re.compile(r"\bkrad_[a-z0-9_]+\*?")
+
+
+def check_metric_catalog(root, files):
+    registered = {}  # name -> first (path, line)
+    for path in files:
+        if "src" not in path.parts:
+            continue
+        for no, line in enumerate(read_lines(path), 1):
+            for name in METRIC_LITERAL_RE.findall(line):
+                registered.setdefault(name, (path.relative_to(root), no))
+
+    doc_path = root / "docs" / "OBSERVABILITY.md"
+    doc_rel = Path("docs/OBSERVABILITY.md")
+    if not doc_path.exists():
+        fail(doc_rel, 0, "krad-metric-stale", "docs/OBSERVABILITY.md missing")
+        return
+    documented = {}  # full names only; krad_foo_* / krad_foo_ are prefixes
+    prefixes = set()
+    for no, line in enumerate(read_lines(doc_path), 1):
+        for token in METRIC_DOC_RE.findall(line):
+            if token.endswith(("*", "_")):
+                prefixes.add(token.rstrip("*_"))
+            else:
+                documented.setdefault(token, no)
+
+    for name, (path, no) in sorted(registered.items()):
+        if name not in documented:
+            fail(path, no, "krad-metric-undocumented",
+                 f"{name} is not documented in docs/OBSERVABILITY.md")
+    for name, no in sorted(documented.items()):
+        if name in registered:
+            continue
+        # A documented token that is a bare family prefix of real names
+        # (e.g. `krad_sim` from a `krad_sim_*` glob) is not a stale entry.
+        if name in prefixes or any(r.startswith(name + "_")
+                                   for r in registered):
+            continue
+        fail(doc_rel, no, "krad-metric-stale",
+             f"{name} is documented but no src/ registration exists")
+
+
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+
+
+def check_header_hygiene(path, raw_lines, project_headers):
+    code = strip_comments_and_strings("".join(raw_lines))
+    code_lines = code.splitlines()
+    first_significant = next(
+        (line.strip() for line in code_lines if line.strip()), "")
+    if first_significant != "#pragma once":
+        fail(path, 1, "krad-header-guard",
+             "headers must open with #pragma once")
+    for i, line in enumerate(code_lines):
+        if USING_NAMESPACE_RE.search(line) and not suppressed(
+                raw_lines, i, "krad-header-using-namespace"):
+            fail(path, i + 1, "krad-header-using-namespace",
+                 "`using namespace` leaks into every includer")
+
+
+def check_include_style(path, raw_lines, project_headers):
+    for i, line in enumerate(raw_lines):
+        m = INCLUDE_RE.match(line)
+        if m is None or m.group(1) == '"':
+            continue
+        if m.group(2) in project_headers and not suppressed(
+                raw_lines, i, "krad-header-include-style"):
+            fail(path, i + 1, "krad-header-include-style",
+                 f'project header {m.group(2)} must be included with ""')
+
+
+def check_format_lite(path, raw_lines, raw_text):
+    for i, line in enumerate(raw_lines):
+        no = i + 1
+        body = line.rstrip("\n")
+        if "\t" in body and not suppressed(raw_lines, i, "krad-format-tabs"):
+            fail(path, no, "krad-format-tabs", "hard tab")
+        if body.endswith("\r"):
+            fail(path, no, "krad-format-crlf", "CRLF line ending")
+            body = body[:-1]
+        if body != body.rstrip() and not suppressed(
+                raw_lines, i, "krad-format-trailing-ws"):
+            fail(path, no, "krad-format-trailing-ws", "trailing whitespace")
+    if raw_text and (not raw_text.endswith("\n") or raw_text.endswith("\n\n")):
+        fail(path, len(raw_lines), "krad-format-final-newline",
+             "file must end with exactly one newline")
+
+
+def read_text_raw(path):
+    """read_text would translate CRLF to LF (universal newlines); the
+    format checks need the original bytes."""
+    return path.read_bytes().decode("utf-8", errors="replace")
+
+
+def read_lines(path):
+    return read_text_raw(path).splitlines(keepends=True)
+
+
+def excluded(path, root):
+    text = path.relative_to(root).as_posix()
+    return any(text.startswith(part) for part in EXCLUDED_PARTS)
+
+
+def collect(root):
+    files = []
+    for directory in SOURCE_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if (path.suffix in (".cpp", ".hpp", ".h")
+                    and not excluded(path, root)):
+                files.append(path)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path(__file__).parent
+                        .parent, help="repo root to scan (default: repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule:32} {description}")
+        return 0
+
+    root = args.root.resolve()
+    files = collect(root)
+    if not files:
+        print(f"[FAIL] krad_lint: no sources found under {root}")
+        return 1
+
+    project_headers = {
+        p.relative_to(root / "src").as_posix()
+        for p in files if p.suffix == ".hpp" and (root / "src") in p.parents
+    }
+
+    for path in files:
+        raw_text = read_text_raw(path)
+        raw_lines = raw_text.splitlines(keepends=True)
+        rel = path.relative_to(root)
+        if any(rel.as_posix().startswith(d) for d in DETERMINISM_DIRS):
+            check_determinism(rel, raw_lines)
+        if path.suffix in (".hpp", ".h"):
+            check_header_hygiene(rel, raw_lines, project_headers)
+        check_include_style(rel, raw_lines, project_headers)
+        check_format_lite(rel, raw_lines, raw_text)
+
+    check_metric_catalog(root, files)
+
+    if FAILURES:
+        print(f"\n[FAIL] krad_lint: {len(FAILURES)} violation(s)")
+        return 1
+    print(f"[PASS] krad_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
