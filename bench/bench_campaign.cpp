@@ -1,0 +1,140 @@
+// Campaign-engine benchmark: sweep throughput (runs/sec) at 1, 2 and N
+// worker threads over a fixed Theorem-3 style grid, plus the engine's two
+// hard guarantees measured end to end:
+//
+//   * determinism — the record vector produced at 1 thread is byte-identical
+//     (serialized JSONL) to the one produced at N threads;
+//   * accounting — krad_exp_runs_total matches the executed-run count.
+//
+// The speedup bound check only fires on machines with >= 8 hardware threads
+// (CI runners and this container may have fewer; the sweep is embarrassingly
+// parallel, so the scaling headroom is real wherever the cores are).
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "exp/exp.hpp"
+
+namespace krad {
+namespace {
+
+exp::SweepSpec campaign_spec() {
+  exp::SweepSpec spec;
+  spec.name = "campaign";
+  spec.k_values = {1, 2, 3};
+  spec.procs_per_cat = {2, 4};
+  spec.job_counts = {16};
+  spec.arrivals = {exp::ArrivalPattern::kBatched,
+                   exp::ArrivalPattern::kPoisson};
+  spec.family = exp::JobFamily::kDag;
+  spec.dag_params.min_size = 16;
+  spec.dag_params.max_size = 96;
+  spec.trials = 25;
+  spec.base_seed = 90210;
+  return spec;
+}
+
+std::vector<std::string> serialize(const exp::CampaignResult& result) {
+  std::vector<std::string> lines;
+  lines.reserve(result.records.size());
+  for (const exp::RunRecord& record : result.records)
+    lines.push_back(record.to_jsonl());
+  return lines;
+}
+
+void throughput_sweep() {
+  const exp::SweepSpec spec = campaign_spec();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts = {1, 2};
+  if (hw > 2) thread_counts.push_back(std::min(hw, 8u));
+  if (hw > 8) thread_counts.push_back(hw);
+
+  print_banner(std::cout, "Sweep throughput, " + std::to_string(spec.size()) +
+                              " runs per sweep");
+  Table table({"threads", "runs", "seconds", "runs_per_sec", "speedup_vs_1"});
+  bench::JsonReport report("bench_campaign");
+
+  obs::MetricsRegistry metrics;
+  std::vector<std::string> baseline_lines;
+  double baseline_rate = 0.0;
+  double best_speedup = 1.0;
+  unsigned best_threads = 1;
+  for (unsigned threads : thread_counts) {
+    exp::CampaignOptions options;
+    options.threads = threads;
+    options.metrics = &metrics;
+    const exp::CampaignResult result = exp::run_campaign(spec, options);
+    const double rate =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.executed) / result.wall_seconds
+            : 0.0;
+    if (threads == 1) {
+      baseline_lines = serialize(result);
+      baseline_rate = rate;
+    } else {
+      bench::check(serialize(result) == baseline_lines,
+                   "campaign records differ between 1 and " +
+                       std::to_string(threads) + " threads");
+    }
+    const double speedup = baseline_rate > 0.0 ? rate / baseline_rate : 1.0;
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best_threads = threads;
+    }
+    bench::check(result.executed == spec.size(),
+                 "campaign executed " + std::to_string(result.executed) +
+                     " of " + std::to_string(spec.size()) + " runs");
+    table.row()
+        .cell(static_cast<std::uint64_t>(threads))
+        .cell(static_cast<std::uint64_t>(result.executed))
+        .cell(result.wall_seconds)
+        .cell(rate, 1)
+        .cell(speedup, 2);
+    report.begin_row("threads=" + std::to_string(threads));
+    report.add("threads", static_cast<long long>(threads));
+    report.add("runs", static_cast<long long>(result.executed));
+    report.add("seconds", result.wall_seconds);
+    report.add("runs_per_sec", rate);
+    report.add("speedup_vs_1", speedup);
+    report.add("shard_seconds", result.shard_seconds);
+  }
+  table.print(std::cout);
+
+  const auto expected_runs =
+      static_cast<std::int64_t>(spec.size() * thread_counts.size());
+  bench::check(metrics.counter("krad_exp_runs_total").value() == expected_runs,
+               "krad_exp_runs_total does not match executed runs");
+  bench::check(metrics.gauge("krad_exp_shard_seconds").value() > 0.0,
+               "krad_exp_shard_seconds was not accumulated");
+
+  std::cout << "hardware threads: " << hw << "; best speedup "
+            << format_double(best_speedup) << " at " << best_threads
+            << " threads\n";
+  if (hw >= 8) {
+    bench::check(best_speedup >= 3.0,
+                 "sweep throughput speedup below 3x at 8 threads on an "
+                 ">=8-core machine");
+  } else {
+    std::cout << "note: <8 hardware threads, the 3x-speedup bound check is "
+                 "skipped (determinism still verified)\n";
+  }
+
+  report.begin_row("summary");
+  report.add("hardware_threads", static_cast<long long>(hw));
+  report.add("best_speedup", best_speedup);
+  report.add("best_threads", static_cast<long long>(best_threads));
+  report.add("deterministic", static_cast<long long>(1));
+  report.write("BENCH_campaign.json");
+}
+
+}  // namespace
+}  // namespace krad
+
+int main() {
+  std::cout << "Campaign engine - sweep throughput and determinism\n";
+  krad::throughput_sweep();
+  return krad::bench::finish("bench_campaign");
+}

@@ -6,11 +6,15 @@
 //     exceeds K + 1 - 1/Pmax.
 // E3: Lemma 2's explicit no-idle-interval inequality
 //     T <= Sum_alpha T1/P_alpha + (1 - 1/Pmax) max_i (T_inf + r).
+//
+// The E2 sweeps run on the campaign engine (src/exp/): the declarative
+// SweepSpec replaces the nested trial loops and the runner shards the runs
+// across all cores with key-derived per-run seeds (docs/EXPERIMENT_ENGINE.md).
 
 #include <iostream>
 
 #include "common.hpp"
-#include "util/stats.hpp"
+#include "exp/exp.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/random_jobs.hpp"
 #include "workload/scenarios.hpp"
@@ -18,54 +22,61 @@
 namespace krad {
 namespace {
 
-struct SweepRow {
-  std::string label;
-  RunningStats ratio;
-  double bound = 0.0;
-};
+bench::JsonReport g_report("bench_makespan");
+
+void report_cells(const std::string& experiment,
+                  const std::vector<exp::CellStats>& cells) {
+  for (const exp::CellStats& cell : cells) {
+    g_report.begin_row(cell.cell);
+    g_report.add("experiment", experiment);
+    g_report.add("k", static_cast<long long>(cell.k));
+    g_report.add("procs", static_cast<long long>(cell.procs));
+    g_report.add("jobs", static_cast<long long>(cell.jobs));
+    g_report.add("arrivals", cell.arrival);
+    g_report.add("runs", static_cast<long long>(cell.runs));
+    g_report.add("ratio_mean", cell.ratio_mean);
+    g_report.add("ratio_max", cell.ratio_max);
+    g_report.add("bound", cell.bound);
+  }
+}
 
 void e2_dag_sweep() {
   print_banner(std::cout,
                "E2.1  Makespan ratio T/LB, random K-DAG jobs, 20 trials/row");
+  exp::SweepSpec spec;
+  spec.name = "e2.1";
+  spec.k_values = {1, 2, 3, 5};
+  spec.procs_per_cat = {2, 8};
+  spec.job_counts = {12};
+  spec.arrivals = {exp::ArrivalPattern::kBatched, exp::ArrivalPattern::kPoisson,
+                   exp::ArrivalPattern::kBursty};
+  spec.family = exp::JobFamily::kDag;
+  spec.dag_params.min_size = 8;
+  spec.dag_params.max_size = 80;
+  spec.poisson_mean_gap = 5.0;
+  spec.burst_size = 4;
+  spec.burst_gap = 12;
+  spec.trials = 20;
+  spec.base_seed = 2026;
+
+  const exp::CampaignResult result = exp::run_campaign(spec);
+  const auto cells = exp::aggregate(result.records);
+
   Table table({"K", "P/cat", "jobs", "arrivals", "ratio_mean", "ratio_max",
                "bound"});
-  Rng rng(2026);
-  const char* arrival_names[] = {"batched", "poisson", "bursty"};
-  for (Category k : {1u, 2u, 3u, 5u}) {
-    for (int procs : {2, 8}) {
-      for (int arrivals = 0; arrivals < 3; ++arrivals) {
-        MachineConfig machine;
-        machine.processors.assign(k, procs);
-        RunningStats stats;
-        for (int trial = 0; trial < 20; ++trial) {
-          RandomDagJobParams params;
-          params.num_categories = k;
-          params.min_size = 8;
-          params.max_size = 80;
-          const std::size_t jobs = 12;
-          JobSet set = make_dag_job_set(params, jobs, rng);
-          if (arrivals == 1)
-            apply_releases(set, poisson_releases(jobs, 5.0, rng));
-          if (arrivals == 2) apply_releases(set, bursty_releases(jobs, 4, 12));
-          const auto bounds = makespan_bounds(set, machine);
-          KRad sched;
-          const SimResult result = simulate(set, sched, machine);
-          stats.add(makespan_ratio(result, bounds));
-        }
-        table.row()
-            .cell(static_cast<std::uint64_t>(k))
-            .cell(procs)
-            .cell(static_cast<std::uint64_t>(12))
-            .cell(arrival_names[arrivals])
-            .cell(stats.mean())
-            .cell(stats.max())
-            .cell(machine.makespan_bound());
-        bench::check(stats.max() <= machine.makespan_bound() + 1e-9,
-                     "Theorem 3 violated in E2.1");
-      }
-    }
+  for (const exp::CellStats& cell : cells) {
+    table.row()
+        .cell(static_cast<std::uint64_t>(cell.k))
+        .cell(cell.procs)
+        .cell(static_cast<std::uint64_t>(cell.jobs))
+        .cell(cell.arrival)
+        .cell(cell.ratio_mean)
+        .cell(cell.ratio_max)
+        .cell(cell.bound);
+    bench::check(cell.pass(), "Theorem 3 violated in E2.1 (" + cell.cell + ")");
   }
   table.print(std::cout);
+  report_cells("e2.1", cells);
   std::cout << "shape check: every ratio_max is below its bound; typical "
                "ratios are far below (the bound is worst-case)\n";
 }
@@ -73,39 +84,36 @@ void e2_dag_sweep() {
 void e2_profile_sweep() {
   print_banner(std::cout,
                "E2.2  Makespan ratio, profile jobs (large work volumes)");
+  exp::SweepSpec spec;
+  spec.name = "e2.2";
+  spec.k_values = {1, 2, 4};
+  spec.procs_per_cat = {4, 16};
+  spec.job_counts = {30};
+  spec.arrivals = {exp::ArrivalPattern::kPoisson};
+  spec.family = exp::JobFamily::kProfile;
+  spec.profile_params.max_phases = 8;
+  spec.profile_params.max_phase_work = 500;
+  spec.profile_parallelism_factor = 2;
+  spec.poisson_mean_gap = 8.0;
+  spec.trials = 10;
+  spec.base_seed = 777;
+
+  const exp::CampaignResult result = exp::run_campaign(spec);
+  const auto cells = exp::aggregate(result.records);
+
   Table table({"K", "P/cat", "jobs", "ratio_mean", "ratio_max", "bound"});
-  Rng rng(777);
-  for (Category k : {1u, 2u, 4u}) {
-    for (int procs : {4, 16}) {
-      MachineConfig machine;
-      machine.processors.assign(k, procs);
-      RunningStats stats;
-      for (int trial = 0; trial < 10; ++trial) {
-        RandomProfileJobParams params;
-        params.num_categories = k;
-        params.max_phases = 8;
-        params.max_phase_work = 500;
-        params.max_parallelism = 2 * procs;
-        const std::size_t jobs = 30;
-        JobSet set = make_profile_job_set(params, jobs, rng);
-        apply_releases(set, poisson_releases(jobs, 8.0, rng));
-        const auto bounds = makespan_bounds(set, machine);
-        KRad sched;
-        const SimResult result = simulate(set, sched, machine);
-        stats.add(makespan_ratio(result, bounds));
-      }
-      table.row()
-          .cell(static_cast<std::uint64_t>(k))
-          .cell(procs)
-          .cell(static_cast<std::uint64_t>(30))
-          .cell(stats.mean())
-          .cell(stats.max())
-          .cell(machine.makespan_bound());
-      bench::check(stats.max() <= machine.makespan_bound() + 1e-9,
-                   "Theorem 3 violated in E2.2");
-    }
+  for (const exp::CellStats& cell : cells) {
+    table.row()
+        .cell(static_cast<std::uint64_t>(cell.k))
+        .cell(cell.procs)
+        .cell(static_cast<std::uint64_t>(cell.jobs))
+        .cell(cell.ratio_mean)
+        .cell(cell.ratio_max)
+        .cell(cell.bound);
+    bench::check(cell.pass(), "Theorem 3 violated in E2.2 (" + cell.cell + ")");
   }
   table.print(std::cout);
+  report_cells("e2.2", cells);
 }
 
 void e3_lemma2() {
@@ -140,6 +148,14 @@ void e3_lemma2() {
                     bounds.lemma2_rhs,
                 1)
           .cell(result.idle_steps);
+      g_report.begin_row("e3/k=" + std::to_string(k) +
+                         "/p=" + std::to_string(procs));
+      g_report.add("experiment", std::string("e3"));
+      g_report.add("k", static_cast<long long>(k));
+      g_report.add("procs", static_cast<long long>(procs));
+      g_report.add("makespan", static_cast<long long>(result.makespan));
+      g_report.add("lemma2_rhs", bounds.lemma2_rhs);
+      g_report.add("idle_steps", static_cast<long long>(result.idle_steps));
       if (result.idle_steps == 0)
         bench::check(static_cast<double>(result.makespan) <=
                          bounds.lemma2_rhs + 1e-9,
@@ -158,5 +174,6 @@ int main() {
   krad::e2_dag_sweep();
   krad::e2_profile_sweep();
   krad::e3_lemma2();
+  krad::g_report.write("BENCH_makespan.json");
   return krad::bench::finish("bench_makespan");
 }

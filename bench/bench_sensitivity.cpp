@@ -2,58 +2,71 @@
 // model parameter: K, Pmax, job count, DAG shape, and the ratio histogram.
 // The theorems predict the *worst case* grows with K and Pmax; typical-case
 // ratios should stay much flatter.
+//
+// All five sweeps run on the campaign engine (src/exp/): each is one
+// SweepSpec sharded across every core with key-derived per-run seeds, and
+// the per-cell statistics come from exp::aggregate.
 
 #include <iostream>
 
 #include "common.hpp"
-#include "util/parallel.hpp"
+#include "exp/exp.hpp"
 #include "util/stats.hpp"
-#include "workload/arrivals.hpp"
 #include "workload/random_jobs.hpp"
-#include "workload/scenarios.hpp"
 
 namespace krad {
 namespace {
 
-RunningStats measure_makespan_ratio(Category k, int procs, std::size_t jobs,
-                                    DagShape shape, int trials, Rng& rng) {
-  MachineConfig machine;
-  machine.processors.assign(k, procs);
-  RunningStats stats;
-  for (int trial = 0; trial < trials; ++trial) {
-    RandomDagJobParams params;
-    params.num_categories = k;
-    params.shape = shape;
-    params.min_size = 10;
-    params.max_size = 90;
-    JobSet set = make_dag_job_set(params, jobs, rng);
-    const auto bounds = makespan_bounds(set, machine);
-    KRad sched;
-    const SimResult result = simulate(set, sched, machine);
-    const double ratio = makespan_ratio(result, bounds);
-    stats.add(ratio);
-    bench::check(ratio <= machine.makespan_bound() + 1e-9,
-                 "Theorem 3 violated in sensitivity sweep");
+bench::JsonReport g_report("bench_sensitivity");
+
+exp::SweepSpec base_spec(const std::string& name, std::uint64_t seed,
+                         int trials) {
+  exp::SweepSpec spec;
+  spec.name = name;
+  spec.family = exp::JobFamily::kDag;
+  spec.dag_params.min_size = 10;
+  spec.dag_params.max_size = 90;
+  spec.job_counts = {16};
+  spec.trials = trials;
+  spec.base_seed = seed;
+  return spec;
+}
+
+std::vector<exp::CellStats> run_and_check(const exp::SweepSpec& spec,
+                                          const std::string& what) {
+  const exp::CampaignResult result = exp::run_campaign(spec);
+  const auto cells = exp::aggregate(result.records);
+  for (const exp::CellStats& cell : cells) {
+    bench::check(cell.pass(), what + " (" + cell.cell + ")");
+    g_report.begin_row(cell.cell);
+    g_report.add("experiment", spec.name);
+    g_report.add("k", static_cast<long long>(cell.k));
+    g_report.add("procs", static_cast<long long>(cell.procs));
+    g_report.add("jobs", static_cast<long long>(cell.jobs));
+    g_report.add("shape", cell.shape);
+    g_report.add("runs", static_cast<long long>(cell.runs));
+    g_report.add("ratio_mean", cell.ratio_mean);
+    g_report.add("ratio_max", cell.ratio_max);
+    g_report.add("ratio_p95", cell.ratio_p95);
+    g_report.add("bound", cell.bound);
   }
-  return stats;
+  return cells;
 }
 
 void sweep_k() {
   print_banner(std::cout, "E8.1  Ratio vs K (P = 4/cat, 16 jobs, mixed DAGs)");
+  exp::SweepSpec spec = base_spec("e8.1", 8001, 30);
+  spec.k_values = {1, 2, 3, 4, 5, 6};
+  spec.procs_per_cat = {4};
+  const auto cells = run_and_check(spec, "Theorem 3 violated in E8.1");
   Table table({"K", "ratio_mean", "ci95", "ratio_max", "bound"});
-  Rng rng(8001);
-  for (Category k = 1; k <= 6; ++k) {
-    const auto stats =
-        measure_makespan_ratio(k, 4, 16, DagShape::kMixed, 30, rng);
-    MachineConfig machine;
-    machine.processors.assign(k, 4);
+  for (const exp::CellStats& cell : cells)
     table.row()
-        .cell(static_cast<std::uint64_t>(k))
-        .cell(stats.mean())
-        .cell("+-" + format_double(stats.mean_ci_halfwidth()))
-        .cell(stats.max())
-        .cell(machine.makespan_bound());
-  }
+        .cell(static_cast<std::uint64_t>(cell.k))
+        .cell(cell.ratio_mean)
+        .cell("+-" + format_double(cell.ratio_ci95))
+        .cell(cell.ratio_max)
+        .cell(cell.bound);
   table.print(std::cout);
   std::cout << "shape check: the bound grows linearly in K; typical ratios "
                "grow sublinearly\n";
@@ -61,54 +74,54 @@ void sweep_k() {
 
 void sweep_pmax() {
   print_banner(std::cout, "E8.2  Ratio vs P (K = 2, 16 jobs)");
+  exp::SweepSpec spec = base_spec("e8.2", 8002, 30);
+  spec.k_values = {2};
+  spec.procs_per_cat = {1, 2, 4, 8, 16, 32};
+  const auto cells = run_and_check(spec, "Theorem 3 violated in E8.2");
   Table table({"P/cat", "ratio_mean", "ratio_max", "bound"});
-  Rng rng(8002);
-  for (int procs : {1, 2, 4, 8, 16, 32}) {
-    const auto stats =
-        measure_makespan_ratio(2, procs, 16, DagShape::kMixed, 30, rng);
-    MachineConfig machine{{procs, procs}};
+  for (const exp::CellStats& cell : cells)
     table.row()
-        .cell(procs)
-        .cell(stats.mean())
-        .cell(stats.max())
-        .cell(machine.makespan_bound());
-  }
+        .cell(cell.procs)
+        .cell(cell.ratio_mean)
+        .cell(cell.ratio_max)
+        .cell(cell.bound);
   table.print(std::cout);
 }
 
 void sweep_jobs() {
   print_banner(std::cout, "E8.3  Ratio vs job count (K = 2, P = 4/cat)");
+  exp::SweepSpec spec = base_spec("e8.3", 8003, 20);
+  spec.k_values = {2};
+  spec.procs_per_cat = {4};
+  spec.job_counts = {1, 2, 4, 8, 16, 32, 64};
+  const auto cells = run_and_check(spec, "Theorem 3 violated in E8.3");
   Table table({"jobs", "ratio_mean", "ratio_max", "bound"});
-  Rng rng(8003);
-  for (std::size_t jobs : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    const auto stats =
-        measure_makespan_ratio(2, 4, jobs, DagShape::kMixed, 20, rng);
-    MachineConfig machine{{4, 4}};
+  for (const exp::CellStats& cell : cells)
     table.row()
-        .cell(jobs)
-        .cell(stats.mean())
-        .cell(stats.max())
-        .cell(machine.makespan_bound());
-  }
+        .cell(static_cast<std::uint64_t>(cell.jobs))
+        .cell(cell.ratio_mean)
+        .cell(cell.ratio_max)
+        .cell(cell.bound);
   table.print(std::cout);
 }
 
 void sweep_shape() {
   print_banner(std::cout, "E8.4  Ratio vs DAG family (K = 2, P = 4, 16 jobs)");
+  exp::SweepSpec spec = base_spec("e8.4", 8004, 25);
+  spec.k_values = {2};
+  spec.procs_per_cat = {4};
+  spec.shapes = {DagShape::kLayered,        DagShape::kForkJoin,
+                 DagShape::kChain,          DagShape::kSeriesParallel,
+                 DagShape::kMapReduce,      DagShape::kWavefront,
+                 DagShape::kTreeReduction};
+  const auto cells = run_and_check(spec, "Theorem 3 violated in E8.4");
   Table table({"shape", "ratio_mean", "ratio_max", "bound"});
-  Rng rng(8004);
-  for (DagShape shape :
-       {DagShape::kLayered, DagShape::kForkJoin, DagShape::kChain,
-        DagShape::kSeriesParallel, DagShape::kMapReduce, DagShape::kWavefront,
-        DagShape::kTreeReduction}) {
-    const auto stats = measure_makespan_ratio(2, 4, 16, shape, 25, rng);
-    MachineConfig machine{{4, 4}};
+  for (const exp::CellStats& cell : cells)
     table.row()
-        .cell(to_string(shape))
-        .cell(stats.mean())
-        .cell(stats.max())
-        .cell(machine.makespan_bound());
-  }
+        .cell(cell.shape)
+        .cell(cell.ratio_mean)
+        .cell(cell.ratio_max)
+        .cell(cell.bound);
   table.print(std::cout);
 }
 
@@ -116,31 +129,34 @@ void ratio_histogram() {
   print_banner(std::cout,
                "E8.5  Distribution of T/LB over 300 random instances "
                "(K = 2, P = 4, 12 jobs, Poisson arrivals)");
+  exp::SweepSpec spec = base_spec("e8.5", 8005, 300);
+  spec.k_values = {2};
+  spec.procs_per_cat = {4};
+  spec.job_counts = {12};
+  spec.arrivals = {exp::ArrivalPattern::kPoisson};
+  spec.poisson_mean_gap = 5.0;
+  spec.dag_params.min_size = 8;
+  spec.dag_params.max_size = 60;
+  const exp::CampaignResult result = exp::run_campaign(spec);
+
   Histogram hist(1.0, 3.0, 20);
-  MachineConfig machine{{4, 4}};
-  constexpr std::size_t kTrials = 300;
-  std::vector<double> ratios(kTrials);
-  // Embarrassingly parallel: per-trial seeds keep the sweep deterministic
-  // regardless of thread count (see util/parallel.hpp).
-  parallel_for(0, kTrials, [&](std::size_t trial) {
-    Rng rng(8005 + trial);
-    RandomDagJobParams params;
-    params.num_categories = 2;
-    params.min_size = 8;
-    params.max_size = 60;
-    JobSet set = make_dag_job_set(params, 12, rng);
-    apply_releases(set, poisson_releases(12, 5.0, rng));
-    const auto bounds = makespan_bounds(set, machine);
-    KRad sched;
-    const SimResult result = simulate(set, sched, machine);
-    ratios[trial] = makespan_ratio(result, bounds);
-  });
-  for (double r : ratios) hist.add(r);
+  for (const exp::RunRecord& record : result.records) hist.add(record.ratio);
   std::cout << hist.render();
+  MachineConfig machine{{4, 4}};
   std::cout << "bound = " << format_double(machine.makespan_bound())
             << "; no mass should appear above it\n";
   bench::check(hist.overflow() == 0,
                "ratios above 3.0 found (bound is 2.75 here)");
+  const auto cells = exp::aggregate(result.records);
+  for (const exp::CellStats& cell : cells) {
+    g_report.begin_row(cell.cell);
+    g_report.add("experiment", spec.name);
+    g_report.add("runs", static_cast<long long>(cell.runs));
+    g_report.add("ratio_mean", cell.ratio_mean);
+    g_report.add("ratio_max", cell.ratio_max);
+    g_report.add("ratio_p95", cell.ratio_p95);
+    g_report.add("bound", cell.bound);
+  }
 }
 
 }  // namespace
@@ -153,5 +169,6 @@ int main() {
   krad::sweep_jobs();
   krad::sweep_shape();
   krad::ratio_histogram();
+  krad::g_report.write("BENCH_sensitivity.json");
   return krad::bench::finish("bench_sensitivity");
 }

@@ -1,34 +1,69 @@
 #!/usr/bin/env bash
-# Regenerate every experiment in EXPERIMENTS.md.
+# Regenerate experiments in EXPERIMENTS.md.
 #
-#   scripts/run_experiments.sh [build-dir] [results-dir]
+#   scripts/run_experiments.sh [build-dir] [results-dir] [bench ...]
 #
-# Builds (if needed), runs the test suite, then every bench binary, teeing
-# each output into the results directory.  Exits non-zero if any bench's
-# internal bound checks fail.
+# Builds (if needed), runs the test suite, then the selected bench binaries
+# (all of them when none are named), teeing each output into the results
+# directory.  Benches run with the results directory as their working
+# directory, so BENCH_*.json artifacts land there too.  Exits non-zero if
+# the tests or any bench's internal bound checks fail.
+#
+# Environment:
+#   KRAD_SKIP_TESTS=1   skip the ctest phase (CI runs tests in its own job)
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 RESULTS_DIR="${2:-results}"
+shift $(( $# > 2 ? 2 : $# ))
+SELECTED=("$@")
 
-cmake -B "$BUILD_DIR" -G Ninja
-cmake --build "$BUILD_DIR"
+# Respect an existing build directory's generator: forcing -G Ninja onto a
+# Makefiles build dir makes cmake error out.  Only pass -G for a fresh dir,
+# and only when ninja is actually available.
+GENERATOR_ARGS=()
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1
+then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" "${GENERATOR_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 mkdir -p "$RESULTS_DIR"
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+RESULTS_DIR="$(cd "$RESULTS_DIR" && pwd)"
 
-echo "== tests"
-ctest --test-dir "$BUILD_DIR" --output-on-failure | tee "$RESULTS_DIR/ctest.txt" | tail -2
+if [[ "${KRAD_SKIP_TESTS:-0}" != "1" ]]; then
+  echo "== tests"
+  # pipefail propagates a ctest failure through the tee.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    | tee "$RESULTS_DIR/ctest.txt" | tail -2
+fi
+
+BENCHES=()
+if [[ ${#SELECTED[@]} -eq 0 ]]; then
+  for bench in "$BUILD_DIR"/bench/bench_*; do
+    [[ -x "$bench" ]] && BENCHES+=("$bench")
+  done
+else
+  for name in "${SELECTED[@]}"; do
+    BENCHES+=("$BUILD_DIR/bench/$name")
+  done
+fi
 
 status=0
-for bench in "$BUILD_DIR"/bench/bench_*; do
+for bench in "${BENCHES[@]}"; do
   name="$(basename "$bench")"
   echo "== $name"
-  if ! "$bench" > "$RESULTS_DIR/$name.txt" 2>&1; then
+  # Run from the results dir so BENCH_*.json lands next to the logs; with
+  # pipefail the bench's own exit code survives the tee.
+  if (cd "$RESULTS_DIR" && "$bench" 2>&1 | tee "$name.txt" > /dev/null); then
+    grep -E "^\[PASS\]|benchmark" "$RESULTS_DIR/$name.txt" | tail -1 || true
+  else
     echo "   FAILED (see $RESULTS_DIR/$name.txt)"
     status=1
-  else
-    grep -E "^\[PASS\]|benchmark" "$RESULTS_DIR/$name.txt" | tail -1 || true
   fi
 done
 

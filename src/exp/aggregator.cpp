@@ -1,0 +1,50 @@
+#include "exp/aggregator.hpp"
+
+#include <map>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace krad::exp {
+
+std::vector<CellStats> aggregate(std::span<const RunRecord> records) {
+  std::vector<CellStats> cells;
+  std::vector<RunningStats> stats;
+  std::vector<std::vector<double>> ratios;
+  std::map<std::string, std::size_t> index;
+
+  for (const RunRecord& record : records) {
+    auto [it, inserted] = index.emplace(record.cell, cells.size());
+    if (inserted) {
+      CellStats cell;
+      cell.cell = record.cell;
+      cell.scheduler = record.scheduler;
+      cell.arrival = record.arrival;
+      cell.shape = record.shape;
+      cell.family = record.family;
+      cell.k = record.k;
+      cell.procs = record.procs;
+      cell.jobs = record.jobs;
+      cells.push_back(std::move(cell));
+      stats.emplace_back();
+      ratios.emplace_back();
+    }
+    CellStats& cell = cells[it->second];
+    ++cell.runs;
+    if (record.bound > cell.bound) cell.bound = record.bound;
+    if (!record.aux_ok) ++cell.aux_failures;
+    stats[it->second].add(record.ratio);
+    ratios[it->second].push_back(record.ratio);
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].ratio_mean = stats[i].mean();
+    cells[i].ratio_max = stats[i].max();
+    cells[i].ratio_ci95 = stats[i].mean_ci_halfwidth();
+    cells[i].ratio_p50 = percentile(ratios[i], 0.5);
+    cells[i].ratio_p95 = percentile(ratios[i], 0.95);
+  }
+  return cells;
+}
+
+}  // namespace krad::exp

@@ -1,0 +1,48 @@
+#pragma once
+// Per-cell aggregation of campaign records: competitive-ratio statistics
+// (mean, max, percentiles, CI) plus the PASS/FAIL bound check each bench
+// previously computed inline with RunningStats.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/record.hpp"
+
+namespace krad::exp {
+
+struct CellStats {
+  std::string cell;  ///< RunPoint::cell() of every aggregated record
+  // Representative identity (identical across the cell's records).
+  std::string scheduler;
+  std::string arrival;
+  std::string shape;
+  std::string family;
+  std::uint32_t k = 0;
+  int procs = 0;
+  std::int64_t jobs = 0;
+
+  std::size_t runs = 0;
+  double ratio_mean = 0.0;
+  double ratio_max = 0.0;
+  double ratio_p50 = 0.0;
+  double ratio_p95 = 0.0;
+  /// 95% normal-approximation CI half-width of the mean.
+  double ratio_ci95 = 0.0;
+  /// Theorem bound (identical across the cell's records; max taken).
+  double bound = 0.0;
+  /// Records whose family-specific side invariant failed (aux_ok == false).
+  std::size_t aux_failures = 0;
+
+  /// ratio_max <= bound + eps and no aux failures.
+  bool pass(double eps = 1e-9) const {
+    return aux_failures == 0 && ratio_max <= bound + eps;
+  }
+};
+
+/// Group records by cell (first-appearance order preserved) and compute the
+/// per-cell statistics above.
+std::vector<CellStats> aggregate(std::span<const RunRecord> records);
+
+}  // namespace krad::exp

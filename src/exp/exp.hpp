@@ -1,0 +1,11 @@
+#pragma once
+// Umbrella header for the experiment-campaign engine
+// (docs/EXPERIMENT_ENGINE.md): declarative sweeps, the sharded runner, the
+// append-only result store and the per-cell aggregator.
+
+#include "exp/aggregator.hpp"
+#include "exp/record.hpp"
+#include "exp/result_store.hpp"
+#include "exp/runner.hpp"
+#include "exp/standard_run.hpp"
+#include "exp/sweep.hpp"

@@ -1,0 +1,74 @@
+#include "exp/record.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace krad::exp {
+namespace {
+
+void field(std::string& out, const char* name, const std::string& text) {
+  out += '"';
+  out += name;
+  out += "\":\"";
+  out += obs::json_escape(text);
+  out += "\",";
+}
+
+void field(std::string& out, const char* name, std::int64_t value) {
+  out += '"';
+  out += name;
+  out += "\":";
+  out += std::to_string(value);
+  out += ',';
+}
+
+void field(std::string& out, const char* name, double value) {
+  out += '"';
+  out += name;
+  out += "\":";
+  out += std::isfinite(value) ? obs::format_double(value) : "null";
+  out += ',';
+}
+
+}  // namespace
+
+std::string RunRecord::to_jsonl() const {
+  std::string out;
+  out.reserve(256);
+  out += '{';
+  field(out, "key", key);
+  field(out, "cell", cell);
+  field(out, "campaign", campaign);
+  field(out, "scheduler", scheduler);
+  field(out, "arrival", arrival);
+  field(out, "shape", shape);
+  field(out, "family", family);
+  field(out, "k", static_cast<std::int64_t>(k));
+  field(out, "procs", static_cast<std::int64_t>(procs));
+  field(out, "jobs", jobs);
+  field(out, "trial", static_cast<std::int64_t>(trial));
+  field(out, "seed", static_cast<std::int64_t>(seed));
+  field(out, "makespan", static_cast<std::int64_t>(makespan));
+  field(out, "busy_steps", static_cast<std::int64_t>(busy_steps));
+  field(out, "idle_steps", static_cast<std::int64_t>(idle_steps));
+  field(out, "total_response", total_response);
+  field(out, "mean_response", mean_response);
+  field(out, "ratio", ratio);
+  field(out, "bound", bound);
+  field(out, "aux_ok", static_cast<std::int64_t>(aux_ok ? 1 : 0));
+  out.back() = '}';  // replace the trailing comma
+  return out;
+}
+
+std::optional<std::string> key_of_line(const std::string& line) {
+  static const std::string marker = "\"key\":\"";
+  const std::size_t start = line.find(marker);
+  if (start == std::string::npos) return std::nullopt;
+  const std::size_t from = start + marker.size();
+  const std::size_t end = line.find('"', from);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(from, end - from);
+}
+
+}  // namespace krad::exp

@@ -1,0 +1,55 @@
+#pragma once
+// One campaign run's measured outcome, serializable as a single JSONL line.
+//
+// Records are the unit of the append-only ResultStore: every line is one
+// self-contained JSON object keyed by the run's stable key, so a store can
+// be resumed (skip keys already present), merged (concatenate files) and
+// compared across thread counts (sort lines, compare bytes).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dag/types.hpp"
+
+namespace krad::exp {
+
+struct RunRecord {
+  // Identity (mirrors RunPoint).
+  std::string key;
+  std::string cell;
+  std::string campaign;
+  std::string scheduler;
+  std::string arrival;
+  std::string shape;
+  std::string family;
+  std::uint32_t k = 0;
+  int procs = 0;
+  std::int64_t jobs = 0;
+  int trial = 0;
+  std::uint64_t seed = 0;
+
+  // Measured quantities.
+  Time makespan = 0;
+  Time busy_steps = 0;
+  Time idle_steps = 0;
+  std::int64_t total_response = 0;
+  double mean_response = 0.0;
+  /// Primary competitive ratio of the run's family: T/LB for makespan
+  /// families, mean-response ratio for the light-load family.
+  double ratio = 0.0;
+  /// Matching theorem bound the ratio is checked against.
+  double bound = 0.0;
+  /// Family-specific side invariant (Theorem 5's Inequality (5) for light
+  /// load); true when not applicable.
+  bool aux_ok = true;
+
+  /// One JSON object, no trailing newline, fixed field order.
+  std::string to_jsonl() const;
+};
+
+/// Extract the "key" field from a serialized record line (cheap scan, no
+/// full JSON parse).  Empty optional when the line carries none.
+std::optional<std::string> key_of_line(const std::string& line);
+
+}  // namespace krad::exp

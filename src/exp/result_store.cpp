@@ -1,0 +1,64 @@
+#include "exp/result_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace krad::exp {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  if (!in) return lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  for (const std::string& line : read_lines(path_))
+    if (auto key = key_of_line(line)) keys_.insert(*std::move(key));
+  out_.open(path_, std::ios::app);
+  if (!out_)
+    throw std::runtime_error("ResultStore: cannot open " + path_ +
+                             " for append");
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.count(key) != 0;
+}
+
+bool ResultStore::append(const RunRecord& record) {
+  const std::string line = record.to_jsonl();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!keys_.insert(record.key).second) return false;
+  if (out_.is_open()) {
+    out_ << line << '\n';
+    out_.flush();
+  } else {
+    lines_.push_back(line);
+  }
+  return true;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
+std::vector<std::string> ResultStore::sorted_lines() const {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines = path_.empty() ? lines_ : read_lines(path_);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace krad::exp

@@ -1,0 +1,64 @@
+#pragma once
+// Append-only JSONL result store with stable run keys.
+//
+// One line per completed run.  Opening a store re-reads the existing file
+// and indexes its keys, so an interrupted campaign resumes by skipping
+// every run already on disk — re-running a finished campaign is a no-op.
+// append() is thread-safe and flushes each line, so a killed process loses
+// at most the line being written (a torn trailing line without a key is
+// ignored on reload and overwritten content-identically on resume, because
+// records are deterministic).
+//
+// Lines are appended in completion order, which varies with thread count;
+// the determinism contract is therefore on the *sorted* line set (see
+// docs/EXPERIMENT_ENGINE.md and tests/test_exp.cpp).
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exp/record.hpp"
+
+namespace krad::exp {
+
+class ResultStore {
+ public:
+  /// In-memory only (no file): keys are tracked, lines are kept internally.
+  ResultStore() = default;
+  /// File-backed: loads existing keys from `path` (missing file = empty
+  /// store) and appends subsequent records to it.  Throws std::runtime_error
+  /// when the file exists but cannot be read, or cannot be opened to append.
+  explicit ResultStore(std::string path);
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Whether a record with this key is already stored.
+  bool contains(const std::string& key) const;
+
+  /// Append one record (serialized as a JSONL line) and remember its key.
+  /// Returns false (and writes nothing) when the key is already present.
+  bool append(const RunRecord& record);
+
+  /// Number of stored records (pre-existing + appended).
+  std::size_t size() const;
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// All lines of a store file, sorted — the thread-count-independent view.
+  /// In-memory stores sort their internal lines; file-backed stores re-read
+  /// the file.
+  std::vector<std::string> sorted_lines() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  std::ofstream out_;
+  std::unordered_set<std::string> keys_;  // point lookups only
+  std::vector<std::string> lines_;        // in-memory stores only
+};
+
+}  // namespace krad::exp

@@ -1,0 +1,83 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+
+#include "exp/standard_run.hpp"
+#include "util/parallel.hpp"
+
+namespace krad::exp {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const SweepSpec& spec,
+                            const CampaignOptions& options) {
+  const std::vector<RunPoint> points = spec.expand();
+
+  CampaignResult result;
+  std::vector<const RunPoint*> todo;
+  todo.reserve(points.size());
+  for (const RunPoint& point : points) {
+    if (options.store != nullptr && options.store->contains(point.key())) {
+      ++result.skipped;
+      continue;
+    }
+    if (options.max_runs != 0 && todo.size() >= options.max_runs) {
+      ++result.pending;
+      continue;
+    }
+    todo.push_back(&point);
+  }
+
+  obs::Counter* runs_total = nullptr;
+  obs::Counter* runs_skipped = nullptr;
+  obs::Gauge* shard_seconds = nullptr;
+  if (options.metrics != nullptr) {
+    runs_total = &options.metrics->counter(
+        "krad_exp_runs_total", {},
+        "campaign runs executed by exp::run_campaign");
+    runs_skipped = &options.metrics->counter(
+        "krad_exp_runs_skipped_total", {},
+        "campaign runs skipped because their key was already stored");
+    shard_seconds = &options.metrics->gauge(
+        "krad_exp_shard_seconds", {},
+        "accumulated per-run execution seconds across all campaign shards");
+  }
+  if (runs_skipped != nullptr)
+    runs_skipped->inc(static_cast<std::int64_t>(result.skipped));
+
+  const std::function<RunRecord(const RunPoint&)>& run =
+      options.run ? options.run
+                  : static_cast<RunRecord (*)(const RunPoint&)>(standard_run);
+
+  // Each index writes only its own slot; completion-order effects (store
+  // appends, metric increments) are thread-safe and order-insensitive.
+  std::vector<RunRecord> records(todo.size());
+  std::vector<double> run_seconds(todo.size(), 0.0);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  parallel_for(
+      0, todo.size(),
+      [&](std::size_t i) {
+        const auto run_start = std::chrono::steady_clock::now();
+        records[i] = run(*todo[i]);
+        run_seconds[i] = seconds_since(run_start);
+        if (options.store != nullptr) options.store->append(records[i]);
+        if (runs_total != nullptr) runs_total->inc();
+        if (shard_seconds != nullptr) shard_seconds->add(run_seconds[i]);
+      },
+      options.threads);
+  result.wall_seconds = seconds_since(sweep_start);
+  for (double s : run_seconds) result.shard_seconds += s;
+
+  result.executed = todo.size();
+  result.records = std::move(records);
+  return result;
+}
+
+}  // namespace krad::exp

@@ -1,0 +1,64 @@
+#pragma once
+// CampaignRunner — shard a SweepSpec's run list across a worker pool.
+//
+// Determinism contract: results are a pure function of the spec.  Each run
+// derives its RNG from its key-derived seed (sweep.hpp) and writes only its
+// own slot of the result vector, so `records` is byte-identical at any
+// thread count; a file-backed ResultStore receives the same line *set* in a
+// completion order that may vary (sort to compare).  Proven by
+// tests/test_exp.cpp, mirroring test_runtime_determinism.
+//
+// Resume contract: with a file-backed store, runs whose keys are already on
+// disk are skipped, so an interrupted campaign continues where it stopped
+// and a finished one is a no-op.  `max_runs` exists to exercise exactly
+// that path (and to smoke-test a huge spec cheaply).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/record.hpp"
+#include "exp/result_store.hpp"
+#include "exp/sweep.hpp"
+#include "obs/metrics.hpp"
+
+namespace krad::exp {
+
+struct CampaignOptions {
+  /// Worker threads for the sharded sweep (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Execute at most this many runs this invocation (0 = no limit).  Runs
+  /// skipped via the store do not count.  The prefix of the (deterministic)
+  /// pending list is executed, so two invocations with max_runs = N and
+  /// N' >= N agree on the first N runs.
+  std::size_t max_runs = 0;
+  /// Optional store: already-recorded runs are skipped, fresh results are
+  /// appended as they complete.  Must outlive the call.
+  ResultStore* store = nullptr;
+  /// Optional metrics sink (krad_exp_* catalog, docs/OBSERVABILITY.md).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Run executor; defaults to exp::standard_run.  Must be thread-safe for
+  /// distinct points.
+  std::function<RunRecord(const RunPoint&)> run;
+};
+
+struct CampaignResult {
+  /// Records of the runs executed by THIS invocation, in expansion order
+  /// (independent of thread count).
+  std::vector<RunRecord> records;
+  /// Runs executed / skipped because their key was already in the store /
+  /// left pending because max_runs cut the invocation short.
+  std::size_t executed = 0;
+  std::size_t skipped = 0;
+  std::size_t pending = 0;
+  /// Wall-clock seconds of the sharded section (steady_clock).
+  double wall_seconds = 0.0;
+  /// Sum over runs of their individual execution seconds — the aggregate
+  /// shard work; wall_seconds * threads ~= shard_seconds at full efficiency.
+  double shard_seconds = 0.0;
+};
+
+CampaignResult run_campaign(const SweepSpec& spec,
+                            const CampaignOptions& options = {});
+
+}  // namespace krad::exp

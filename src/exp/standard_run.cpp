@@ -1,0 +1,129 @@
+#include "exp/standard_run.hpp"
+
+#include <stdexcept>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/krad.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy_cp.hpp"
+#include "sched/kdeq_only.hpp"
+#include "sched/kequi.hpp"
+#include "sched/kround_robin.hpp"
+#include "sched/random_allot.hpp"
+#include "sched/srpt.hpp"
+#include "sim/engine.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/scenarios.hpp"
+
+namespace krad::exp {
+
+std::unique_ptr<KScheduler> make_scheduler(const std::string& name) {
+  if (name == "krad") return std::make_unique<KRad>();
+  if (name == "kdeq") return std::make_unique<KDeqOnly>();
+  if (name == "kequi") return std::make_unique<KEqui>();
+  if (name == "krr") return std::make_unique<KRoundRobin>();
+  if (name == "greedy_cp") return std::make_unique<GreedyCp>();
+  if (name == "fcfs") return std::make_unique<Fcfs>();
+  if (name == "random") return std::make_unique<RandomAllot>();
+  if (name == "srpt") return std::make_unique<Srpt>();
+  throw std::invalid_argument("exp::make_scheduler: unknown scheduler '" +
+                              name + "'");
+}
+
+namespace {
+
+JobSet make_jobs(const RunPoint& point, const MachineConfig& machine,
+                 Rng& rng) {
+  switch (point.family) {
+    case JobFamily::kDag:
+      return make_dag_job_set(point.dag_params, point.jobs, rng);
+    case JobFamily::kProfile: {
+      RandomProfileJobParams params = point.profile_params;
+      if (point.profile_parallelism_factor > 0)
+        params.max_parallelism =
+            static_cast<Work>(point.profile_parallelism_factor) * point.procs;
+      return make_profile_job_set(params, point.jobs, rng);
+    }
+    case JobFamily::kLightLoad:
+      return make_light_load_set(machine, point.jobs,
+                                 point.light_min_phase_work,
+                                 point.light_max_phase_work,
+                                 point.light_max_phases, rng);
+  }
+  throw std::logic_error("exp::standard_run: unhandled job family");
+}
+
+void apply_arrivals(const RunPoint& point, JobSet& set, Rng& rng) {
+  // Light load is the batched Theorem-5 setting; response_bounds would
+  // reject released jobs.
+  if (point.family == JobFamily::kLightLoad) return;
+  switch (point.arrival) {
+    case ArrivalPattern::kBatched:
+      break;
+    case ArrivalPattern::kPoisson:
+      apply_releases(set,
+                     poisson_releases(point.jobs, point.poisson_mean_gap, rng));
+      break;
+    case ArrivalPattern::kBursty:
+      apply_releases(
+          set, bursty_releases(point.jobs, point.burst_size, point.burst_gap));
+      break;
+    case ArrivalPattern::kUniform:
+      apply_releases(
+          set, uniform_releases(point.jobs, point.uniform_horizon, rng));
+      break;
+  }
+}
+
+}  // namespace
+
+RunRecord standard_run(const RunPoint& point) {
+  Rng rng(point.seed);
+  const MachineConfig machine = point.machine();
+  JobSet set = make_jobs(point, machine, rng);
+  apply_arrivals(point, set, rng);
+
+  const MakespanBounds mk_bounds = makespan_bounds(set, machine);
+  const ResponseBounds resp_bounds = point.family == JobFamily::kLightLoad
+                                         ? response_bounds(set, machine)
+                                         : ResponseBounds{};
+
+  const std::unique_ptr<KScheduler> scheduler =
+      make_scheduler(point.scheduler);
+  const SimResult result = simulate(set, *scheduler, machine);
+
+  RunRecord record;
+  record.key = point.key();
+  record.cell = point.cell();
+  record.campaign = point.campaign;
+  record.scheduler = point.scheduler;
+  record.arrival = to_string(point.arrival);
+  record.shape = krad::to_string(point.shape);
+  record.family = to_string(point.family);
+  record.k = point.k;
+  record.procs = point.procs;
+  record.jobs = static_cast<std::int64_t>(point.jobs);
+  record.trial = point.trial;
+  record.seed = point.seed;
+  record.makespan = result.makespan;
+  record.busy_steps = result.busy_steps;
+  record.idle_steps = result.idle_steps;
+  record.total_response = result.total_response;
+  record.mean_response = result.mean_response;
+
+  if (point.family == JobFamily::kLightLoad) {
+    record.ratio = response_ratio(result, resp_bounds, set.size());
+    record.bound = machine.response_bound_light(set.size());
+    // Proof Inequality (5): R(J) <= (2 - 2/(n+1)) Sum swa + T_inf.
+    const double n = static_cast<double>(set.size());
+    const double rhs = (2.0 - 2.0 / (n + 1.0)) * resp_bounds.sum_swa +
+                       static_cast<double>(resp_bounds.aggregate_span);
+    record.aux_ok = static_cast<double>(result.total_response) <= rhs + 1e-9;
+  } else {
+    record.ratio = makespan_ratio(result, mk_bounds);
+    record.bound = machine.makespan_bound();
+  }
+  return record;
+}
+
+}  // namespace krad::exp

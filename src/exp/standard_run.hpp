@@ -1,0 +1,29 @@
+#pragma once
+// The default RunPoint executor: generate the point's workload from its
+// key-derived seed, simulate it under the named scheduler, and measure the
+// family's competitive ratio against the paper's lower bounds.  Pure
+// function of the RunPoint — no shared state — so the CampaignRunner can
+// invoke it from any worker thread.
+
+#include <memory>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "exp/record.hpp"
+#include "exp/sweep.hpp"
+
+namespace krad::exp {
+
+/// Scheduler factory by short name: "krad", "kdeq", "kequi", "krr",
+/// "greedy_cp", "fcfs", "random", "srpt".  Throws std::invalid_argument on
+/// an unknown name.
+std::unique_ptr<KScheduler> make_scheduler(const std::string& name);
+
+/// Execute one run.  kDag/kProfile families measure the makespan ratio
+/// T/LB against the Theorem 3 bound; kLightLoad measures the mean-response
+/// ratio against the Theorem 5 bound and additionally checks the proof's
+/// Inequality (5) (RunRecord::aux_ok).  Light-load points ignore the
+/// arrival pattern (the theorem's setting is batched).
+RunRecord standard_run(const RunPoint& point);
+
+}  // namespace krad::exp

@@ -1,0 +1,128 @@
+#include "exp/sweep.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace krad::exp {
+
+const char* to_string(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kBatched: return "batched";
+    case ArrivalPattern::kPoisson: return "poisson";
+    case ArrivalPattern::kBursty: return "bursty";
+    case ArrivalPattern::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+const char* to_string(JobFamily family) {
+  switch (family) {
+    case JobFamily::kDag: return "dag";
+    case JobFamily::kProfile: return "profile";
+    case JobFamily::kLightLoad: return "light";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a64(const std::string& text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string RunPoint::cell() const {
+  std::string out;
+  out.reserve(96);
+  out += campaign;
+  out += "/sched=";
+  out += scheduler;
+  out += "/k=" + std::to_string(k);
+  out += "/p=" + std::to_string(procs);
+  out += "/jobs=" + std::to_string(jobs);
+  out += "/arr=";
+  out += to_string(arrival);
+  out += "/shape=";
+  out += krad::to_string(shape);
+  out += "/fam=";
+  out += to_string(family);
+  return out;
+}
+
+std::string RunPoint::key() const {
+  return cell() + "/trial=" + std::to_string(trial);
+}
+
+MachineConfig RunPoint::machine() const {
+  MachineConfig config;
+  config.processors.assign(k, procs);
+  return config;
+}
+
+std::size_t SweepSpec::size() const {
+  const std::size_t cell_count =
+      cells.empty() ? k_values.size() * procs_per_cat.size() * job_counts.size()
+                    : cells.size();
+  return schedulers.size() * cell_count * arrivals.size() * shapes.size() *
+         static_cast<std::size_t>(trials > 0 ? trials : 0);
+}
+
+std::vector<RunPoint> SweepSpec::expand() const {
+  if (trials <= 0) throw std::invalid_argument("SweepSpec: trials must be > 0");
+  std::vector<CellOverride> grid = cells;
+  if (grid.empty()) {
+    grid.reserve(k_values.size() * procs_per_cat.size() * job_counts.size());
+    for (Category k : k_values)
+      for (int procs : procs_per_cat)
+        for (std::size_t jobs : job_counts)
+          grid.push_back(CellOverride{k, procs, jobs});
+  }
+
+  std::vector<RunPoint> points;
+  points.reserve(size());
+  for (const std::string& sched : schedulers) {
+    for (const CellOverride& cell : grid) {
+      for (ArrivalPattern arrival : arrivals) {
+        for (DagShape shape : shapes) {
+          for (int trial = 0; trial < trials; ++trial) {
+            RunPoint point;
+            point.campaign = name;
+            point.scheduler = sched;
+            point.k = cell.k;
+            point.procs = cell.procs;
+            point.jobs = cell.jobs;
+            point.arrival = arrival;
+            point.shape = shape;
+            point.family = family;
+            point.trial = trial;
+            point.dag_params = dag_params;
+            point.dag_params.num_categories = cell.k;
+            point.dag_params.shape = shape;
+            point.profile_params = profile_params;
+            point.profile_params.num_categories = cell.k;
+            point.profile_parallelism_factor = profile_parallelism_factor;
+            point.light_min_phase_work = light_min_phase_work;
+            point.light_max_phase_work = light_max_phase_work;
+            point.light_max_phases = light_max_phases;
+            point.poisson_mean_gap = poisson_mean_gap;
+            point.burst_size = burst_size;
+            point.burst_gap = burst_gap;
+            point.uniform_horizon = uniform_horizon;
+            // Key-derived seeding: mixing the key hash with base_seed via
+            // splitmix64 keeps per-run streams independent of both grid
+            // position and thread count.
+            std::uint64_t mix = base_seed ^ fnv1a64(point.key());
+            point.seed = splitmix64(mix);
+            points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace krad::exp

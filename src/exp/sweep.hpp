@@ -1,0 +1,127 @@
+#pragma once
+// Declarative experiment sweeps (docs/EXPERIMENT_ENGINE.md).
+//
+// A SweepSpec names a cartesian grid over the model's axes — K, processors
+// per category, job count, arrival pattern, scheduler, DAG family/shape and
+// a trial (seed) range — and expands it into a flat, deterministically
+// ordered run list.  Each RunPoint is self-contained (it copies the
+// generation parameters it needs) so runs can execute on any worker thread
+// in any order; its seed is derived from the run *key*, never from the
+// position in the list or from shared RNG state, which is what makes a
+// campaign's results independent of thread count and of grid edits that
+// only add or remove points.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/types.hpp"
+#include "workload/random_jobs.hpp"
+
+namespace krad::exp {
+
+/// Release-time process applied to a freshly generated job set.
+enum class ArrivalPattern { kBatched, kPoisson, kBursty, kUniform };
+
+const char* to_string(ArrivalPattern pattern);
+
+/// Which generator family produces the jobs of a run.
+enum class JobFamily {
+  kDag,       ///< explicit K-DAG jobs (workload/random_jobs)
+  kProfile,   ///< phase-profile jobs (large work volumes)
+  kLightLoad  ///< Theorem-5 light-load profile sets (always batched)
+};
+
+const char* to_string(JobFamily family);
+
+/// One fully resolved run: grid coordinates plus copies of every generation
+/// parameter, so executing it needs nothing but this struct.
+struct RunPoint {
+  std::string campaign;
+  std::string scheduler;  ///< factory name, see exp::make_scheduler
+  Category k = 2;
+  int procs = 4;  ///< processors per category (uniform machines)
+  std::size_t jobs = 16;
+  ArrivalPattern arrival = ArrivalPattern::kBatched;
+  DagShape shape = DagShape::kMixed;  ///< kDag family only
+  JobFamily family = JobFamily::kDag;
+  int trial = 0;
+
+  // Generation parameters copied from the spec (num_categories and shape
+  // are overwritten per point at expansion).
+  RandomDagJobParams dag_params;
+  RandomProfileJobParams profile_params;
+  /// When > 0, profile max_parallelism is `factor * procs` instead of
+  /// profile_params.max_parallelism (E2.2 scales parallelism with P).
+  int profile_parallelism_factor = 0;
+  Work light_min_phase_work = 10;
+  Work light_max_phase_work = 400;
+  std::size_t light_max_phases = 6;
+  double poisson_mean_gap = 5.0;
+  std::size_t burst_size = 4;
+  Time burst_gap = 12;
+  Time uniform_horizon = 50;
+
+  /// Derived from key() and the spec's base seed; filled by expand().
+  std::uint64_t seed = 0;
+
+  /// Stable identity of the grid cell (everything except the trial), e.g.
+  /// "e2.1/sched=krad/k=2/p=8/jobs=12/arr=poisson/shape=mixed/fam=dag".
+  std::string cell() const;
+  /// Stable identity of the run: cell() + "/trial=N".  ResultStore keys.
+  std::string key() const;
+  /// The uniform machine this point runs on.
+  MachineConfig machine() const;
+};
+
+/// Fixed (K, procs, jobs) combination overriding the cartesian product of
+/// those three axes — for sweeps whose cells must satisfy a joint
+/// precondition (e.g. light load requires jobs <= min_alpha P_alpha).
+struct CellOverride {
+  Category k = 1;
+  int procs = 8;
+  std::size_t jobs = 4;
+};
+
+/// Declarative cartesian sweep.  Expansion order is fixed and documented:
+/// scheduler (outermost) -> k -> procs -> jobs -> arrival -> shape ->
+/// trial (innermost); with `cells` set, (k, procs, jobs) iterate that list
+/// in order instead of their product.
+struct SweepSpec {
+  std::string name = "campaign";
+  std::vector<std::string> schedulers = {"krad"};
+  std::vector<Category> k_values = {2};
+  std::vector<int> procs_per_cat = {4};
+  std::vector<std::size_t> job_counts = {16};
+  std::vector<CellOverride> cells;  ///< non-empty: replaces the three above
+  std::vector<ArrivalPattern> arrivals = {ArrivalPattern::kBatched};
+  std::vector<DagShape> shapes = {DagShape::kMixed};
+  JobFamily family = JobFamily::kDag;
+  int trials = 10;
+  std::uint64_t base_seed = 1;
+
+  // Per-family generation parameters, copied into every RunPoint.
+  RandomDagJobParams dag_params;
+  RandomProfileJobParams profile_params;
+  int profile_parallelism_factor = 0;
+  Work light_min_phase_work = 10;
+  Work light_max_phase_work = 400;
+  std::size_t light_max_phases = 6;
+  double poisson_mean_gap = 5.0;
+  std::size_t burst_size = 4;
+  Time burst_gap = 12;
+  Time uniform_horizon = 50;
+
+  /// Number of points expand() will produce.
+  std::size_t size() const;
+
+  /// The full deterministic run list.  Every key is unique; seeds depend
+  /// only on (base_seed, key), not on list position.
+  std::vector<RunPoint> expand() const;
+};
+
+/// FNV-1a 64-bit hash of a string — the stable run-key -> seed map.
+std::uint64_t fnv1a64(const std::string& text) noexcept;
+
+}  // namespace krad::exp

@@ -1,0 +1,345 @@
+// Campaign engine (src/exp/): sweep expansion, key-derived seeding, the
+// sharded runner's determinism contract (1 thread vs 8 threads, byte
+// identical), resumable JSONL result stores, and per-cell aggregation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exp/exp.hpp"
+
+namespace krad {
+namespace {
+
+exp::SweepSpec small_spec() {
+  exp::SweepSpec spec;
+  spec.name = "t";
+  spec.schedulers = {"krad"};
+  spec.k_values = {1, 2};
+  spec.procs_per_cat = {2, 4};
+  spec.job_counts = {6};
+  spec.arrivals = {exp::ArrivalPattern::kBatched,
+                   exp::ArrivalPattern::kPoisson};
+  spec.family = exp::JobFamily::kDag;
+  spec.dag_params.min_size = 4;
+  spec.dag_params.max_size = 16;
+  spec.trials = 3;
+  spec.base_seed = 42;
+  return spec;
+}
+
+std::string temp_store_path(const std::string& stem) {
+  const std::string path = testing::TempDir() + stem;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> to_lines(const exp::CampaignResult& result) {
+  std::vector<std::string> lines;
+  for (const exp::RunRecord& record : result.records)
+    lines.push_back(record.to_jsonl());
+  return lines;
+}
+
+TEST(SweepSpec, ExpandsTheFullCartesianGrid) {
+  const exp::SweepSpec spec = small_spec();
+  const auto points = spec.expand();
+  EXPECT_EQ(points.size(), spec.size());
+  EXPECT_EQ(points.size(), 2u * 2u * 2u * 3u);  // k x procs x arrivals x trials
+
+  std::set<std::string> keys;
+  for (const auto& point : points) keys.insert(point.key());
+  EXPECT_EQ(keys.size(), points.size()) << "run keys must be unique";
+}
+
+TEST(SweepSpec, CellOverridesReplaceTheGrid) {
+  exp::SweepSpec spec = small_spec();
+  spec.cells = {{1, 8, 4}, {2, 8, 6}, {3, 16, 12}};
+  const auto points = spec.expand();
+  EXPECT_EQ(points.size(), 3u * 2u * 3u);  // cells x arrivals x trials
+  EXPECT_EQ(points.front().k, 1u);
+  EXPECT_EQ(points.front().procs, 8);
+  EXPECT_EQ(points.front().jobs, 4u);
+}
+
+TEST(SweepSpec, SeedsDependOnIdentityNotPosition) {
+  const exp::SweepSpec narrow = small_spec();
+  exp::SweepSpec wide = small_spec();
+  wide.k_values = {1, 2, 3};  // adds points; shared points must keep seeds
+
+  const auto a = narrow.expand();
+  const auto b = wide.expand();
+  for (const auto& pa : a) {
+    const auto match =
+        std::find_if(b.begin(), b.end(), [&](const exp::RunPoint& pb) {
+          return pb.key() == pa.key();
+        });
+    ASSERT_NE(match, b.end()) << pa.key();
+    EXPECT_EQ(match->seed, pa.seed) << pa.key();
+  }
+}
+
+TEST(SweepSpec, MachineIsUniformPerCategory) {
+  exp::RunPoint point;
+  point.k = 3;
+  point.procs = 5;
+  const MachineConfig machine = point.machine();
+  EXPECT_EQ(machine.categories(), 3u);
+  EXPECT_EQ(machine.at(0), 5);
+  EXPECT_EQ(machine.at(2), 5);
+}
+
+TEST(RunRecord, JsonlRoundTripsKey) {
+  exp::RunRecord record;
+  record.key = "t/sched=krad/k=1/p=2/jobs=6/arr=batched/trial=0";
+  record.ratio = 1.5;
+  const std::string line = record.to_jsonl();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  const auto key = exp::key_of_line(line);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, record.key);
+  EXPECT_FALSE(exp::key_of_line("{\"nokey\":1}").has_value());
+}
+
+TEST(ResultStore, InMemoryDeduplicatesByKey) {
+  exp::ResultStore store;
+  exp::RunRecord record;
+  record.key = "a";
+  EXPECT_TRUE(store.append(record));
+  EXPECT_FALSE(store.append(record));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("b"));
+}
+
+TEST(ResultStore, FileBackedReloadsKeys) {
+  const std::string path = temp_store_path("exp_store_reload.jsonl");
+  exp::RunRecord record;
+  record.key = "run-1";
+  {
+    exp::ResultStore store(path);
+    EXPECT_TRUE(store.append(record));
+  }
+  exp::ResultStore reopened(path);
+  EXPECT_TRUE(reopened.contains("run-1"));
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_FALSE(reopened.append(record)) << "reloaded key must deduplicate";
+  std::remove(path.c_str());
+}
+
+// The tentpole guarantee, mirroring test_runtime_determinism: a campaign's
+// results are a pure function of its spec — the record vector is
+// byte-identical at 1 and 8 threads, and the JSONL stores agree as sorted
+// line sets.
+TEST(CampaignRunner, OneThreadAndEightThreadsAreByteIdentical) {
+  const exp::SweepSpec spec = small_spec();
+
+  const std::string path1 = temp_store_path("exp_det_1.jsonl");
+  const std::string path8 = temp_store_path("exp_det_8.jsonl");
+  exp::ResultStore store1(path1);
+  exp::ResultStore store8(path8);
+
+  exp::CampaignOptions serial;
+  serial.threads = 1;
+  serial.store = &store1;
+  exp::CampaignOptions sharded;
+  sharded.threads = 8;
+  sharded.store = &store8;
+
+  const exp::CampaignResult a = exp::run_campaign(spec, serial);
+  const exp::CampaignResult b = exp::run_campaign(spec, sharded);
+
+  EXPECT_EQ(a.executed, spec.size());
+  EXPECT_EQ(b.executed, spec.size());
+  EXPECT_EQ(to_lines(a), to_lines(b));
+  EXPECT_EQ(store1.sorted_lines(), store8.sorted_lines());
+  std::remove(path1.c_str());
+  std::remove(path8.c_str());
+}
+
+// Resume: cut a campaign short after N runs, rerun, and the final store is
+// indistinguishable from an uninterrupted one — no duplicates, no holes.
+TEST(CampaignRunner, ResumesWithoutDuplicatesOrHoles) {
+  const exp::SweepSpec spec = small_spec();
+  const std::size_t total = spec.size();
+  constexpr std::size_t kFirstBatch = 5;
+
+  const std::string resumed_path = temp_store_path("exp_resume.jsonl");
+  {
+    exp::ResultStore store(resumed_path);
+    exp::CampaignOptions options;
+    options.threads = 2;
+    options.store = &store;
+    options.max_runs = kFirstBatch;  // "killed" after N runs
+    const exp::CampaignResult first = exp::run_campaign(spec, options);
+    EXPECT_EQ(first.executed, kFirstBatch);
+    EXPECT_EQ(first.pending, total - kFirstBatch);
+    EXPECT_EQ(store.size(), kFirstBatch);
+  }
+  {
+    exp::ResultStore store(resumed_path);  // reopen, as a fresh process would
+    exp::CampaignOptions options;
+    options.threads = 2;
+    options.store = &store;
+    const exp::CampaignResult second = exp::run_campaign(spec, options);
+    EXPECT_EQ(second.skipped, kFirstBatch);
+    EXPECT_EQ(second.executed, total - kFirstBatch);
+    EXPECT_EQ(store.size(), total);
+  }
+
+  const std::string oneshot_path = temp_store_path("exp_oneshot.jsonl");
+  exp::ResultStore oneshot(oneshot_path);
+  exp::CampaignOptions options;
+  options.threads = 2;
+  options.store = &oneshot;
+  exp::run_campaign(spec, options);
+
+  exp::ResultStore resumed(resumed_path);
+  const auto resumed_lines = resumed.sorted_lines();
+  EXPECT_EQ(resumed_lines, oneshot.sorted_lines());
+
+  std::set<std::string> keys;
+  for (const std::string& line : resumed_lines) {
+    const auto key = exp::key_of_line(line);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_TRUE(keys.insert(*key).second) << "duplicate key " << *key;
+  }
+  EXPECT_EQ(keys.size(), total);
+  std::remove(resumed_path.c_str());
+  std::remove(oneshot_path.c_str());
+}
+
+TEST(CampaignRunner, RerunningAFinishedCampaignIsANoOp) {
+  exp::SweepSpec spec = small_spec();
+  spec.trials = 1;
+  const std::string path = temp_store_path("exp_noop.jsonl");
+  exp::ResultStore store(path);
+  exp::CampaignOptions options;
+  options.threads = 1;
+  options.store = &store;
+  exp::run_campaign(spec, options);
+  const exp::CampaignResult again = exp::run_campaign(spec, options);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.skipped, spec.size());
+  EXPECT_TRUE(again.records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CampaignRunner, PublishesRunCountersAndShardSeconds) {
+  exp::SweepSpec spec = small_spec();
+  spec.trials = 1;
+  obs::MetricsRegistry metrics;
+  exp::CampaignOptions options;
+  options.threads = 1;
+  options.metrics = &metrics;
+  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  EXPECT_EQ(metrics.counter("krad_exp_runs_total").value(),
+            static_cast<std::int64_t>(result.executed));
+  EXPECT_EQ(metrics.counter("krad_exp_runs_skipped_total").value(), 0);
+  EXPECT_GT(metrics.gauge("krad_exp_shard_seconds").value(), 0.0);
+  EXPECT_GT(result.shard_seconds, 0.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(CampaignRunner, CustomRunFunctionIsUsed) {
+  exp::SweepSpec spec = small_spec();
+  spec.trials = 1;
+  exp::CampaignOptions options;
+  options.threads = 2;
+  options.run = [](const exp::RunPoint& point) {
+    exp::RunRecord record;
+    record.key = point.key();
+    record.cell = point.cell();
+    record.ratio = 1.0;
+    record.bound = 2.0;
+    return record;
+  };
+  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  ASSERT_EQ(result.records.size(), spec.size());
+  for (const auto& record : result.records) EXPECT_EQ(record.ratio, 1.0);
+}
+
+TEST(Aggregator, GroupsByCellAndComputesStats) {
+  std::vector<exp::RunRecord> records;
+  for (int trial = 0; trial < 4; ++trial) {
+    exp::RunRecord record;
+    record.cell = "cell-a";
+    record.k = 2;
+    record.procs = 4;
+    record.jobs = 8;
+    record.scheduler = "krad";
+    record.trial = trial;
+    record.ratio = 1.0 + 0.5 * trial;  // 1.0 1.5 2.0 2.5
+    record.bound = 2.75;
+    records.push_back(record);
+  }
+  exp::RunRecord other;
+  other.cell = "cell-b";
+  other.ratio = 3.0;
+  other.bound = 2.75;
+  other.aux_ok = false;
+  records.push_back(other);
+
+  const auto cells = exp::aggregate(records);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].cell, "cell-a");
+  EXPECT_EQ(cells[0].runs, 4u);
+  EXPECT_DOUBLE_EQ(cells[0].ratio_mean, 1.75);
+  EXPECT_DOUBLE_EQ(cells[0].ratio_max, 2.5);
+  EXPECT_DOUBLE_EQ(cells[0].bound, 2.75);
+  EXPECT_TRUE(cells[0].pass());
+  EXPECT_EQ(cells[0].k, 2u);
+  EXPECT_EQ(cells[0].scheduler, "krad");
+
+  EXPECT_EQ(cells[1].cell, "cell-b");
+  EXPECT_EQ(cells[1].aux_failures, 1u);
+  EXPECT_FALSE(cells[1].pass()) << "ratio above bound and aux failure";
+}
+
+TEST(StandardRun, MakesAllKnownSchedulers) {
+  for (const char* name : {"krad", "kdeq", "kequi", "krr", "greedy_cp",
+                           "fcfs", "random", "srpt"}) {
+    const auto scheduler = exp::make_scheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+  EXPECT_THROW(exp::make_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(StandardRun, LightLoadFamilyMeasuresResponseRatio) {
+  exp::SweepSpec spec;
+  spec.name = "light";
+  spec.family = exp::JobFamily::kLightLoad;
+  spec.cells = {{2, 8, 6}};
+  spec.trials = 2;
+  spec.base_seed = 7;
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u);
+  const exp::RunRecord record = exp::standard_run(points[0]);
+  EXPECT_EQ(record.family, "light");
+  EXPECT_GT(record.ratio, 0.0);
+  EXPECT_DOUBLE_EQ(record.bound,
+                   points[0].machine().response_bound_light(6));
+  EXPECT_LE(record.ratio, record.bound + 1e-9) << "Theorem 5";
+  EXPECT_TRUE(record.aux_ok) << "Inequality (5)";
+}
+
+TEST(StandardRun, DagFamilyStaysUnderTheoremThreeBound) {
+  exp::SweepSpec spec = small_spec();
+  spec.trials = 2;
+  for (const auto& point : spec.expand()) {
+    const exp::RunRecord record = exp::standard_run(point);
+    EXPECT_EQ(record.key, point.key());
+    EXPECT_GT(record.makespan, 0);
+    EXPECT_LE(record.ratio, record.bound + 1e-9) << point.key();
+  }
+}
+
+}  // namespace
+}  // namespace krad

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/bench_compare.py (registered in ctest).
+
+Synthesizes baseline/fresh BENCH_*.json pairs in a temp directory and
+asserts the comparator's verdict for each scenario: clean pass,
+within-tolerance drift, >10% ratio regression, improvement, missing row,
+missing file, non-numeric gated value, and malformed JSON.  This pins the
+gate's own pass/fail logic so CI can trust its exit code.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+COMPARE = HERE.parent.parent / "tools" / "bench_compare.py"
+
+failures = []
+
+
+def expect(condition, message):
+    if not condition:
+        failures.append(message)
+        print(f"  [FAIL] {message}")
+
+
+def bench_doc(rows):
+    return {"bench": "fixture", "rows": rows}
+
+
+def run_compare(tmp, baseline_rows, fresh_rows, *, fresh_missing=False,
+                fresh_text=None, name="BENCH_fixture.json", tolerance=None):
+    base_dir = Path(tmp) / "baselines"
+    fresh_dir = Path(tmp) / "fresh"
+    base_dir.mkdir(exist_ok=True)
+    fresh_dir.mkdir(exist_ok=True)
+    for stale in list(base_dir.glob("*")) + list(fresh_dir.glob("*")):
+        stale.unlink()
+    (base_dir / name).write_text(json.dumps(bench_doc(baseline_rows)))
+    if not fresh_missing:
+        text = fresh_text if fresh_text is not None else json.dumps(
+            bench_doc(fresh_rows))
+        (fresh_dir / name).write_text(text)
+    cmd = [sys.executable, str(COMPARE), "--baseline-dir", str(base_dir),
+           "--fresh-dir", str(fresh_dir)]
+    if tolerance is not None:
+        cmd += ["--tolerance", str(tolerance)]
+    return subprocess.run(cmd, capture_output=True, text=True, check=False)
+
+
+def main():
+    base_row = {"label": "k=2", "ratio_mean": 1.20, "ratio_max": 1.50,
+                "bound": 2.75, "runs_per_sec": 1000.0}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_compare(tmp, [base_row], [dict(base_row)])
+        expect(result.returncode == 0,
+               f"identical results must pass:\n{result.stdout}")
+
+        drifted = dict(base_row, ratio_mean=1.25, ratio_max=1.57)
+        result = run_compare(tmp, [base_row], [drifted])
+        expect(result.returncode == 0,
+               f"<10% drift must pass:\n{result.stdout}")
+
+        regressed = dict(base_row, ratio_max=1.70)
+        result = run_compare(tmp, [base_row], [regressed])
+        expect(result.returncode == 1, "13% ratio_max regression must fail")
+        expect("ratio_max regressed" in result.stdout,
+               f"regression must be named:\n{result.stdout}")
+
+        improved = dict(base_row, ratio_mean=1.05, ratio_max=1.10)
+        result = run_compare(tmp, [base_row], [improved])
+        expect(result.returncode == 0,
+               f"improvements must pass:\n{result.stdout}")
+
+        slower = dict(base_row, runs_per_sec=10.0)
+        result = run_compare(tmp, [base_row], [slower])
+        expect(result.returncode == 0,
+               "host-dependent keys (runs_per_sec) must not be gated")
+
+        result = run_compare(tmp, [base_row],
+                             [dict(base_row, label="k=3")])
+        expect(result.returncode == 1, "missing baseline row must fail")
+        expect("missing from fresh results" in result.stdout,
+               f"missing row must be named:\n{result.stdout}")
+
+        result = run_compare(tmp, [base_row], [], fresh_missing=True)
+        expect(result.returncode == 1, "missing fresh file must fail")
+
+        broken = dict(base_row, ratio_max="oops")
+        result = run_compare(tmp, [base_row], [broken])
+        expect(result.returncode == 1,
+               "non-numeric gated value in fresh results must fail")
+
+        result = run_compare(tmp, [base_row], [], fresh_text="{not json")
+        expect(result.returncode == 1, "malformed fresh JSON must fail")
+
+        tight = dict(base_row, ratio_max=1.53)
+        result = run_compare(tmp, [base_row], [tight], tolerance=0.01)
+        expect(result.returncode == 1,
+               "--tolerance must tighten the gate (2% at 1%)")
+
+    if failures:
+        print(f"\n[FAIL] test_bench_compare: {len(failures)} failure(s)")
+        return 1
+    print("[PASS] test_bench_compare: all comparator scenarios verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""bench_compare: gate fresh BENCH_*.json results against committed baselines.
+
+Usage: bench_compare.py [--baseline-dir bench/baselines] [--fresh-dir results]
+                        [--tolerance 0.10]
+
+For every BENCH_<name>.json in the baseline directory the fresh directory
+must contain a file of the same name, the fresh file must contain every
+baseline row (matched by "label"), and every gated metric must not regress
+by more than the tolerance.
+
+Gated metrics are the competitive-ratio keys — "ratio", "ratio_mean",
+"ratio_max", "ratio_p95" — where LOWER is better: a fresh value above
+baseline * (1 + tolerance) fails.  Throughput-style keys (runs_per_sec,
+seconds, speedup_vs_1) are deliberately NOT gated: they measure the host,
+not the algorithms, and would flake on shared CI runners.  Ratios are safe
+to gate tightly because the benches are bit-deterministic given their
+built-in seeds — a >10% ratio move means the code changed behaviour.
+
+Extra fresh rows and extra fresh keys are fine (benches may grow); missing
+ones are not (silent coverage loss).  Exits 0 when clean, 1 otherwise.
+
+Baseline update workflow: docs/EXPERIMENT_ENGINE.md ("Updating baselines").
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_KEYS = ("ratio", "ratio_mean", "ratio_max", "ratio_p95")
+
+FAILURES = []
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"  [FAIL] {message}")
+
+
+def load_rows(path):
+    """BENCH json -> {label: row dict}.  Duplicate labels keep the first."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows.setdefault(row.get("label", ""), row)
+    return rows
+
+
+def compare_file(name, baseline_path, fresh_path, tolerance):
+    baseline_rows = load_rows(baseline_path)
+    fresh_rows = load_rows(fresh_path)
+    checked = 0
+    for label, baseline_row in baseline_rows.items():
+        fresh_row = fresh_rows.get(label)
+        if fresh_row is None:
+            fail(f"{name}: row '{label}' missing from fresh results")
+            continue
+        for key in GATED_KEYS:
+            if key not in baseline_row:
+                continue
+            base = baseline_row[key]
+            if not isinstance(base, (int, float)) or base is True:
+                continue
+            fresh = fresh_row.get(key)
+            if not isinstance(fresh, (int, float)) or fresh is True:
+                fail(f"{name}: row '{label}' key '{key}' missing or "
+                     f"non-numeric in fresh results")
+                continue
+            checked += 1
+            if fresh > base * (1.0 + tolerance) + 1e-12:
+                fail(f"{name}: row '{label}' {key} regressed "
+                     f"{base:.4f} -> {fresh:.4f} "
+                     f"(> {100 * tolerance:.0f}% worse)")
+    print(f"  {name}: {len(baseline_rows)} baseline rows, "
+          f"{checked} gated values")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path(__file__).parent.parent / "bench"
+                        / "baselines",
+                        help="committed baseline snapshots")
+    parser.add_argument("--fresh-dir", type=Path, default=Path("results"),
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative ratio regression (default 0.10)")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        fail(f"no BENCH_*.json baselines under {args.baseline_dir}")
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            fail(f"{baseline_path.name}: fresh result missing from "
+                 f"{args.fresh_dir}")
+            continue
+        try:
+            compare_file(baseline_path.name, baseline_path, fresh_path,
+                         args.tolerance)
+        except (json.JSONDecodeError, OSError) as error:
+            fail(f"{baseline_path.name}: cannot compare ({error})")
+
+    if FAILURES:
+        print(f"\n[FAIL] bench_compare: {len(FAILURES)} problem(s)")
+        return 1
+    print(f"[PASS] bench_compare: {len(baselines)} bench file(s) within "
+          f"{100 * args.tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

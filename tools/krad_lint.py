@@ -50,7 +50,8 @@ import re
 import sys
 from pathlib import Path
 
-DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/bounds")
+DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/bounds",
+                    "src/exp")
 SOURCE_DIRS = ("src", "tests", "bench", "examples")
 # Lint fixtures carry deliberate violations for the fixture tests.
 EXCLUDED_PARTS = ("tests/lint",)
