@@ -1,0 +1,358 @@
+// Service latency-vs-offered-load curves (docs/SERVICE.md).
+//
+// Part 1 (gated): the Service in its deterministic configuration — virtual
+// clock, inline execution, arrivals scripted through the pacing hook on the
+// executor thread — so per-job response times in quanta are bit-identical
+// across runs.  A seeded open-loop arrival process offers lambda jobs per
+// quantum at four load levels under two schedulers; each row reports
+// p50/p95/p99 response quanta and the slowdown ratio response/span, whose
+// mean and p95 are gated against bench/baselines (ratio_* keys, 10%).
+//
+// Part 2 (informational): the same protocol over a real TCP socket with a
+// wall clock — a closed-loop client holds a fixed number of submissions in
+// flight and measures submit-to-completion-event wall latency.  Those
+// latency_us_* keys measure the host and are deliberately NOT gated.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "svc/svc.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace krad::bench {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// One synthetic K-DAG job: a fork-join of `width` parallel category-0
+/// tasks between a category-1 source and sink, or a plain chain.
+KDag synthetic_dag(Rng& rng) {
+  KDag dag(2);
+  if (rng.chance(0.5)) {
+    const int width = static_cast<int>(rng.uniform_int(2, 8));
+    const VertexId source = dag.add_vertex(1);
+    const VertexId sink = dag.add_vertex(1);
+    for (int i = 0; i < width; ++i) {
+      const VertexId mid = dag.add_vertex(0);
+      dag.add_edge(source, mid);
+      dag.add_edge(mid, sink);
+    }
+  } else {
+    const auto length = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    dag.add_chain(rng.chance(0.5) ? 0 : 1, length);
+  }
+  dag.seal();
+  return dag;
+}
+
+struct LoadPoint {
+  long long completed = 0;
+  long long rejected = 0;
+  std::vector<double> response;  ///< per completed job, quanta
+  std::vector<double> ratio;     ///< response / span (slowdown)
+};
+
+/// Deterministic open-loop run: offer ~`lambda` jobs per quantum for
+/// `horizon` quanta (floor(lambda) plus a Bernoulli of the fraction), then
+/// wait for every accepted job to finish and drain.  The pacing hook blocks
+/// the first quantum until the Service handle is published, so arrivals
+/// always start at the same quantum and the whole run — arrivals,
+/// admission, scheduling, completion — is one deterministic
+/// single-threaded sequence on the executor thread.
+LoadPoint run_virtual_load(const std::string& scheduler, double lambda,
+                           Time horizon, std::uint64_t seed) {
+  svc::ServiceConfig config;
+  config.machine = MachineConfig{{3, 3}};
+  config.tenants = {{"load", 1.0, 64}};
+  config.scheduler = scheduler;
+  config.live_slots = 32;
+  config.clock = ClockMode::kVirtual;
+  config.inline_execution = true;
+
+  LoadPoint point;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t terminal = 0;
+  std::size_t accepted = 0;
+  bool horizon_done = false;
+
+  Rng rng(seed);
+  std::unique_ptr<svc::Service> service;
+  std::atomic<bool> ready{false};
+  config.pacing_hook = [&](Time now) {
+    while (!ready.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (now > horizon) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!horizon_done) {
+        horizon_done = true;
+        cv.notify_all();
+      }
+      return;
+    }
+    const double whole = std::floor(lambda);
+    long long count = static_cast<long long>(whole);
+    if (rng.chance(lambda - whole)) ++count;
+    for (long long i = 0; i < count; ++i) {
+      svc::SubmitRequest request;
+      request.tenant = "load";
+      request.dag = synthetic_dag(rng);
+      const auto span = static_cast<double>(request.dag.span());
+      const svc::SubmitOutcome outcome = service->submit(
+          std::move(request), [&, span](const svc::TicketStatus& status) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++terminal;
+            if (status.state == svc::TicketState::kDone &&
+                status.response_quanta.has_value()) {
+              ++point.completed;
+              const auto response =
+                  static_cast<double>(*status.response_quanta);
+              point.response.push_back(response);
+              point.ratio.push_back(response / span);
+            }
+            cv.notify_all();
+          });
+      std::lock_guard<std::mutex> lock(mu);
+      if (outcome.accepted) {
+        ++accepted;
+      } else {
+        ++point.rejected;
+      }
+    }
+  };
+
+  service = std::make_unique<svc::Service>(config);
+  ready.store(true, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return horizon_done && terminal == accepted; });
+  }
+  service->drain();
+  service->join();
+  service.reset();
+  return point;
+}
+
+void virtual_part(JsonReport& report) {
+  print_banner(std::cout, "deterministic response-vs-load (virtual clock)");
+  const double kLoads[] = {0.5, 1.0, 2.0, 3.0};  // jobs per quantum
+  const char* kSchedulers[] = {"krad", "kequi"};
+  constexpr Time kHorizon = 400;
+
+  Table table({"sched", "lambda", "completed", "rejected", "p50", "p95",
+               "p99", "ratio_mean", "ratio_p95"});
+  for (const char* scheduler : kSchedulers) {
+    for (const double lambda : kLoads) {
+      const LoadPoint point =
+          run_virtual_load(scheduler, lambda, kHorizon, 0xC0FFEE);
+      const double p50 = percentile(point.response, 0.50);
+      const double p95 = percentile(point.response, 0.95);
+      const double p99 = percentile(point.response, 0.99);
+      double ratio_mean = 0.0;
+      for (const double r : point.ratio) ratio_mean += r;
+      if (!point.ratio.empty()) {
+        ratio_mean /= static_cast<double>(point.ratio.size());
+      }
+      const double ratio_p95 = percentile(point.ratio, 0.95);
+
+      table.row()
+          .cell(scheduler)
+          .cell(lambda, 1)
+          .cell(static_cast<std::int64_t>(point.completed))
+          .cell(static_cast<std::int64_t>(point.rejected))
+          .cell(p50, 1)
+          .cell(p95, 1)
+          .cell(p99, 1)
+          .cell(ratio_mean)
+          .cell(ratio_p95);
+
+      report.begin_row(std::string("virtual ") + scheduler +
+                       " lambda=" + format_double(lambda, 1));
+      report.add("scheduler", std::string(scheduler));
+      report.add("offered_load", lambda);
+      report.add("completed", static_cast<long long>(point.completed));
+      report.add("rejected", static_cast<long long>(point.rejected));
+      report.add("resp_p50", p50);
+      report.add("resp_p95", p95);
+      report.add("resp_p99", p99);
+      report.add("ratio_mean", ratio_mean);
+      report.add("ratio_p95", ratio_p95);
+
+      check(point.completed > 0,
+            "completions at lambda=" + format_double(lambda, 1) +
+                " under " + scheduler);
+      check(ratio_mean >= 1.0 - 1e-9,
+            "slowdown ratio below 1 (impossible) under " +
+                std::string(scheduler));
+      check(p50 <= p95 && p95 <= p99,
+            "percentile ordering under " + std::string(scheduler));
+    }
+  }
+  table.print(std::cout);
+}
+
+/// Closed-loop socket client: keeps `concurrency` submissions in flight on
+/// one connection until `total` jobs have terminated; returns per-job
+/// submit-to-completion-event wall latencies in microseconds.
+std::vector<double> socket_closed_loop(std::uint16_t port, int total,
+                                       int concurrency) {
+  using Clock = std::chrono::steady_clock;
+  svc::SpecLimits limits;
+  std::vector<double> latencies_us;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return latencies_us;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return latencies_us;
+  }
+
+  // Acks arrive in request order on this single connection, so a FIFO of
+  // unacked send timestamps pairs each ack's ticket with its submit time.
+  std::deque<Clock::time_point> unacked;
+  std::map<std::int64_t, Clock::time_point> sent_at;
+  std::string rx;
+  int submitted = 0;
+  int completed = 0;
+
+  const auto submit_one = [&] {
+    const std::string line =
+        R"({"op":"submit","tenant":"load","job":{"categories":1,)"
+        R"("vertices":[0,0,0],"edges":[[0,1],[1,2]]},"task_us":50})"
+        "\n";
+    const auto t0 = Clock::now();
+    if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(line.size())) {
+      return false;
+    }
+    unacked.push_back(t0);
+    ++submitted;
+    return true;
+  };
+
+  for (int i = 0; i < concurrency && submitted < total; ++i) {
+    if (!submit_one()) break;
+  }
+
+  char chunk[4096];
+  while (completed < submitted) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    rx.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl = 0;
+    while ((nl = rx.find('\n')) != std::string::npos) {
+      const std::string line = rx.substr(0, nl);
+      rx.erase(0, nl + 1);
+      const svc::JsonValue reply = svc::parse_json(line, limits.json);
+      if (const svc::JsonValue* ok = reply.find("ok"); ok != nullptr) {
+        if (ok->as_bool() && reply.find("ticket") != nullptr) {
+          if (!unacked.empty()) {
+            sent_at[reply.find("ticket")->as_int()] = unacked.front();
+            unacked.pop_front();
+          }
+        } else if (!ok->as_bool()) {
+          // Rejected submission: leaves the closed loop unreplaced.
+          if (!unacked.empty()) unacked.pop_front();
+          ++completed;
+        }
+        continue;
+      }
+      if (const svc::JsonValue* event = reply.find("event");
+          event != nullptr && event->as_string() == "complete") {
+        const std::int64_t ticket = reply.find("ticket")->as_int();
+        if (const auto it = sent_at.find(ticket); it != sent_at.end()) {
+          latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        it->second)
+                  .count());
+          sent_at.erase(it);
+        }
+        ++completed;
+        if (submitted < total) submit_one();
+      }
+    }
+  }
+  ::close(fd);
+  return latencies_us;
+}
+
+void socket_part(JsonReport& report) {
+  print_banner(std::cout, "socket wall latency (informational, not gated)");
+  svc::ServiceConfig config;
+  config.machine = MachineConfig{{2}};
+  config.tenants = {{"load", 1.0, 64}};
+  config.scheduler = "krad";
+  config.live_slots = 16;
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 500us;
+  config.threads_per_category = 1;
+  svc::Service service(config);
+  svc::Server server(service, svc::ServerConfig{});
+  server.start();
+
+  Table table({"concurrency", "jobs", "p50_us", "p95_us", "p99_us"});
+  for (const int concurrency : {2, 8}) {
+    const std::vector<double> latencies =
+        socket_closed_loop(server.port(), 60, concurrency);
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+    table.row()
+        .cell(concurrency)
+        .cell(static_cast<std::int64_t>(latencies.size()))
+        .cell(p50, 0)
+        .cell(p95, 0)
+        .cell(p99, 0);
+    report.begin_row("socket krad c" + std::to_string(concurrency));
+    report.add("concurrency", static_cast<long long>(concurrency));
+    report.add("completed", static_cast<long long>(latencies.size()));
+    report.add("latency_us_p50", p50);
+    report.add("latency_us_p95", p95);
+    report.add("latency_us_p99", p99);
+    check(!latencies.empty(), "socket completions at concurrency " +
+                                  std::to_string(concurrency));
+  }
+  table.print(std::cout);
+
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+}  // namespace
+}  // namespace krad::bench
+
+int main() {
+  using namespace krad::bench;
+  std::cout << "bench_service: NDJSON front door, response latency vs "
+               "offered load\n";
+  JsonReport report("service");
+  virtual_part(report);
+  socket_part(report);
+  report.write("BENCH_service.json");
+  return finish("bench_service");
+}

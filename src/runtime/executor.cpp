@@ -128,6 +128,7 @@ Executor::Executor(MachineConfig machine, ExecutorOptions options)
     if (p < 1) throw std::logic_error("Executor: category with no processors");
   if (options_.retry.max_attempts < 1)
     throw std::logic_error("Executor: retry.max_attempts must be >= 1");
+  if (options_.live) live_ = std::make_unique<LiveState>();
 }
 
 JobId Executor::submit(std::unique_ptr<RuntimeJob> job, Time release) {
@@ -141,7 +142,59 @@ JobId Executor::submit(std::unique_ptr<RuntimeJob> job, Time release) {
   return static_cast<JobId>(jobs_.size() - 1);
 }
 
+bool Executor::submit_live(std::unique_ptr<RuntimeJob> job,
+                           std::uint64_t ticket) {
+  if (!options_.live)
+    throw std::logic_error("Executor::submit_live: not a live executor");
+  if (job == nullptr) throw std::logic_error("Executor: null job");
+  if (job->dag().num_categories() != machine_.categories())
+    throw std::logic_error("Executor: job / machine category mismatch");
+  {
+    std::lock_guard<std::mutex> lock(live_->mu);
+    if (live_->drain) return false;
+    live_->inbox.push_back(LiveSubmission{std::move(job), ticket});
+  }
+  live_->cv.notify_one();
+  return true;
+}
+
+void Executor::cancel_live(std::uint64_t ticket) {
+  if (!options_.live)
+    throw std::logic_error("Executor::cancel_live: not a live executor");
+  {
+    std::lock_guard<std::mutex> lock(live_->mu);
+    live_->cancel_requests.push_back(ticket);
+  }
+  live_->cv.notify_one();
+}
+
+void Executor::drain() {
+  if (!options_.live)
+    throw std::logic_error("Executor::drain: not a live executor");
+  {
+    std::lock_guard<std::mutex> lock(live_->mu);
+    live_->drain = true;
+  }
+  live_->cv.notify_one();
+}
+
+bool Executor::draining() const {
+  if (!options_.live) return false;
+  std::lock_guard<std::mutex> lock(live_->mu);
+  return live_->drain;
+}
+
+std::size_t Executor::live_load() const {
+  if (!options_.live) return 0;
+  std::lock_guard<std::mutex> lock(live_->mu);
+  return live_->inbox.size() + live_->resident;
+}
+
 std::vector<TraceJobInfo> Executor::validation_inputs() const {
+  if (options_.live)
+    throw std::logic_error(
+        "Executor::validation_inputs: batch mode only (live slots are "
+        "reused across jobs)");
   std::vector<TraceJobInfo> infos;
   infos.reserve(jobs_.size());
   for (JobId id = 0; id < jobs_.size(); ++id) {
@@ -164,6 +217,21 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     throw std::logic_error("Executor::run: jobs already consumed by a run");
   ran_ = true;
 
+  const bool live = options_.live;
+  if (live) {
+    if (!jobs_.empty())
+      throw std::logic_error(
+          "Executor: live mode takes jobs via submit_live, not submit");
+    if (options_.live_slots < 1)
+      throw std::logic_error("Executor: live_slots must be >= 1");
+    if (options_.fault_plan != nullptr || options_.task_deadline.has_value())
+      throw std::logic_error(
+          "Executor: live mode is incompatible with fault_plan/task_deadline");
+    jobs_.resize(options_.live_slots);
+    releases_.assign(options_.live_slots, 0);
+  }
+  const bool record_trace = options_.record_trace && !live;
+
   const auto k = static_cast<Category>(machine_.categories());
   const std::size_t n = jobs_.size();
   RuntimeResult result;
@@ -185,7 +253,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   }
 
   sched->reset(machine_, n);
-  RuntimeObserver observer(machine_, options_.record_trace);
+  RuntimeObserver observer(machine_, record_trace);
 
   // Observability: pre-resolve handles; null sinks keep every guard false.
   const RtObs ro(options_.obs, machine_);
@@ -220,13 +288,34 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   }
 
   // Jobs not yet released, by release time (ascending, stable by id) —
-  // the same admission order as the simulator.
-  std::vector<JobId> pending(n);
-  for (JobId i = 0; i < n; ++i) pending[i] = i;
-  std::stable_sort(pending.begin(), pending.end(), [&](JobId a, JobId b) {
-    return releases_[a] < releases_[b];
-  });
+  // the same admission order as the simulator.  Live mode has no pre-known
+  // releases: submissions stream through the inbox instead.
+  std::vector<JobId> pending;
   std::size_t next_pending = 0;
+  if (!live) {
+    pending.resize(n);
+    for (JobId i = 0; i < n; ++i) pending[i] = i;
+    std::stable_sort(pending.begin(), pending.end(), [&](JobId a, JobId b) {
+      return releases_[a] < releases_[b];
+    });
+  }
+
+  // Live-mode slot bookkeeping: free slots kept as a min-heap so the
+  // lowest slot is assigned first (deterministic under a scripted pump).
+  std::vector<JobId> free_slots;
+  std::vector<std::uint64_t> tickets(live ? n : 0, 0);
+  std::vector<std::uint64_t> cancels;
+  std::vector<std::pair<std::uint64_t, JobId>> accepted;
+  std::vector<LiveCompletion> dropped;  // inbox jobs cancelled before a slot
+  if (live) {
+    free_slots.reserve(n);
+    for (JobId i = 0; i < n; ++i) free_slots.push_back(i);
+    std::make_heap(free_slots.begin(), free_slots.end(),
+                   std::greater<JobId>{});
+  }
+  const auto notify_complete = [&](const LiveCompletion& done) {
+    if (options_.on_complete) options_.on_complete(done);
+  };
 
   std::vector<JobId> active;
   std::vector<JobView> views;
@@ -244,24 +333,97 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   clock.start();
 
   std::size_t finished_count = 0;
-  while (finished_count < n) {
+  while (live || finished_count < n) {
     const Time t = clock.now();
     // Cooperative run abort: stop between quanta, return a partial result.
     if (options_.cancellation.stop_requested()) {
       result.aborted = true;
       break;
     }
-    while (next_pending < n && releases_[pending[next_pending]] < t) {
-      active.push_back(pending[next_pending]);
-      ++next_pending;
-    }
-    if (active.empty()) {
-      if (next_pending >= n)
-        throw std::logic_error("Executor: no active or pending jobs left");
-      const Time next_t = releases_[pending[next_pending]] + 1;
-      result.idle_quanta += next_t - t;
-      clock.skip_to(next_t);
-      continue;
+    if (!live) {
+      while (next_pending < n && releases_[pending[next_pending]] < t) {
+        active.push_back(pending[next_pending]);
+        ++next_pending;
+      }
+      if (active.empty()) {
+        if (next_pending >= n)
+          throw std::logic_error("Executor: no active or pending jobs left");
+        const Time next_t = releases_[pending[next_pending]] + 1;
+        result.idle_quanta += next_t - t;
+        clock.skip_to(next_t);
+        continue;
+      }
+    } else {
+      // Pacing/pump hook first: a scripted loadgen submits this quantum's
+      // arrivals here, on the executor thread, so the run is reproducible.
+      if (options_.on_quantum_begin) options_.on_quantum_begin(t);
+
+      // Admission: slot inbox jobs (lowest free slot first) and snapshot
+      // cancellation requests.  A job accepted at quantum t is released at
+      // t - 1, mirroring the simulator's "release r, first allotments at
+      // r + 1" convention, so response >= 1.
+      cancels.clear();
+      accepted.clear();
+      bool drain_now = false;
+      {
+        std::lock_guard<std::mutex> lock(live_->mu);
+        std::swap(cancels, live_->cancel_requests);
+        while (!live_->inbox.empty() && !free_slots.empty()) {
+          std::pop_heap(free_slots.begin(), free_slots.end(),
+                        std::greater<JobId>{});
+          const JobId slot = free_slots.back();
+          free_slots.pop_back();
+          jobs_[slot] = std::move(live_->inbox.front().job);
+          tickets[slot] = live_->inbox.front().ticket;
+          live_->inbox.pop_front();
+          releases_[slot] = t - 1;
+          active.push_back(slot);
+          accepted.emplace_back(tickets[slot], slot);
+          ++live_->resident;
+        }
+        // Cancel inbox jobs that never reached a slot (callbacks fire
+        // after the lock is released).
+        for (const std::uint64_t ticket : cancels) {
+          for (auto it = live_->inbox.begin(); it != live_->inbox.end();
+               ++it) {
+            if (it->ticket != ticket) continue;
+            dropped.push_back(
+                LiveCompletion{ticket, JobOutcome::kCancelled, 0, 0, 0});
+            live_->inbox.erase(it);
+            break;
+          }
+        }
+        drain_now = live_->drain && live_->inbox.empty();
+      }
+      if (options_.on_accept)
+        for (const auto& [ticket, slot] : accepted)
+          options_.on_accept(ticket, slot);
+      for (const LiveCompletion& done : dropped) notify_complete(done);
+      dropped.clear();
+      // Cancel resident jobs at the quantum boundary: abandon() empties
+      // the ready queues, so the completion scan below reports kCancelled
+      // this quantum without running another task.
+      for (const std::uint64_t ticket : cancels)
+        for (const JobId slot : active)
+          if (jobs_[slot] != nullptr && tickets[slot] == ticket &&
+              !jobs_[slot]->finished()) {
+            jobs_[slot]->abandon(JobOutcome::kCancelled);
+            break;
+          }
+      if (active.empty()) {
+        if (drain_now) break;
+        if (options_.on_quantum_begin) {
+          // Hook-paced idle tick: future arrivals are the hook's business.
+          ++result.idle_quanta;
+          clock.advance();
+        } else {
+          std::unique_lock<std::mutex> lock(live_->mu);
+          if (live_->inbox.empty() && !live_->drain &&
+              live_->cancel_requests.empty())
+            live_->cv.wait_for(lock, std::chrono::milliseconds(20));
+        }
+        continue;
+      }
     }
     std::sort(active.begin(), active.end());
     const auto quantum_begin = SteadyClock::now();
@@ -570,6 +732,19 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                              {"job", static_cast<double>(id)},
                              {"response",
                               static_cast<double>(t - releases_[id])}});
+        if (live) {
+          notify_complete(LiveCompletion{tickets[id], jobs_[id]->outcome(),
+                                         releases_[id], t,
+                                         t - releases_[id]});
+          jobs_[id].reset();
+          {
+            std::lock_guard<std::mutex> lock(live_->mu);
+            --live_->resident;
+          }
+          free_slots.push_back(id);
+          std::push_heap(free_slots.begin(), free_slots.end(),
+                         std::greater<JobId>{});
+        }
         active.erase(active.begin() + static_cast<std::ptrdiff_t>(j));
       } else {
         ++j;
@@ -577,7 +752,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     }
 
     ++result.busy_quanta;
-    if (result.busy_quanta > options_.max_quanta) {
+    if (!live && result.busy_quanta > options_.max_quanta) {
       std::vector<JobProgress> progress;
       progress.reserve(n);
       for (JobId i = 0; i < n; ++i)
@@ -616,9 +791,32 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   }
 
   result.outcome.assign(n, JobOutcome::kCompleted);
-  for (JobId i = 0; i < n; ++i)
-    result.outcome[i] =
-        jobs_[i]->finished() ? jobs_[i]->outcome() : JobOutcome::kCancelled;
+  if (live) {
+    // Terminal flush: anything still resident or in the inbox when the
+    // loop exits (cancelled run) is reported as cancelled so no ticket is
+    // left dangling.
+    std::deque<LiveSubmission> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(live_->mu);
+      live_->drain = true;  // no further submissions can land
+      leftovers.swap(live_->inbox);
+    }
+    for (const LiveSubmission& sub : leftovers)
+      notify_complete(LiveCompletion{sub.ticket, JobOutcome::kCancelled, 0,
+                                     0, 0});
+    for (JobId i = 0; i < n; ++i) {
+      if (jobs_[i] == nullptr) continue;
+      notify_complete(LiveCompletion{tickets[i], JobOutcome::kCancelled,
+                                     releases_[i], 0, 0});
+      jobs_[i].reset();
+      std::lock_guard<std::mutex> lock(live_->mu);
+      --live_->resident;
+    }
+  } else {
+    for (JobId i = 0; i < n; ++i)
+      result.outcome[i] =
+          jobs_[i]->finished() ? jobs_[i]->outcome() : JobOutcome::kCancelled;
+  }
 
   for (Category a = 0; a < k; ++a) {
     const double denom =

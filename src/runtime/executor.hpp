@@ -19,7 +19,12 @@
 // precedence, no double-booking, release times) on live runs.
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -36,6 +41,16 @@
 #include "sim/validator.hpp"
 
 namespace krad {
+
+/// Terminal report for one live-mode job, delivered on the executor thread
+/// via ExecutorOptions::on_complete.
+struct LiveCompletion {
+  std::uint64_t ticket = 0;  ///< caller's correlation id from submit_live()
+  JobOutcome outcome = JobOutcome::kCompleted;
+  Time release = 0;     ///< virtual release quantum (acceptance - 1)
+  Time completion = 0;  ///< quantum of the terminal state (0 if never run)
+  Time response = 0;    ///< completion - release, in quanta (0 if never run)
+};
 
 struct ExecutorOptions {
   ClockMode clock = ClockMode::kVirtual;
@@ -79,6 +94,34 @@ struct ExecutorOptions {
   /// aborted = true and unfinished jobs marked kCancelled.  The token is
   /// also forwarded to cancellation-aware closures.
   CancellationToken cancellation;
+
+  // --- live serving mode (docs/SERVICE.md) -----------------------------
+  // Live mode turns run() into a long-lived serve loop: jobs stream in
+  // through submit_live() (thread-safe), each occupying one of live_slots
+  // reusable JobId slots, and leave through the on_complete callback.  The
+  // scheduler is reset once with live_slots jobs, so any unmodified
+  // KScheduler keeps working — its per-job state is per-slot.  A job
+  // accepted at the top of quantum t behaves like a sim job released at
+  // t - 1 (first allotments at quantum t, response >= 1).
+
+  /// Serve streaming submissions until drain().  Incompatible with pre-run
+  /// submit(), fault_plan and task_deadline (run() throws); record_trace
+  /// is forced off — slot reuse would conflate successive jobs in a trace.
+  bool live = false;
+  /// Slot count: max concurrently resident live jobs (>= 1).  Submissions
+  /// beyond it wait in the inbox; bounded admission lives in src/svc/.
+  std::size_t live_slots = 256;
+  /// Called at the top of every quantum on the executor thread, before the
+  /// inbox is drained — a deterministic pacing/pump hook.  When set, an
+  /// idle serve loop keeps ticking quanta through the hook instead of
+  /// blocking, so a virtual-clock serving run is reproducible.
+  std::function<void(Time)> on_quantum_begin;
+  /// Called on the executor thread when a live submission takes a slot,
+  /// before that quantum's scheduling decision — lets a composite
+  /// scheduler (svc::FairShareScheduler) learn the ticket -> slot binding.
+  std::function<void(std::uint64_t ticket, JobId slot)> on_accept;
+  /// Terminal-state callback (completed / cancelled), executor thread.
+  std::function<void(const LiveCompletion&)> on_complete;
 
   /// Optional observability sinks (must outlive the run).  A metrics
   /// registry receives the krad_rt_* catalog in docs/OBSERVABILITY.md
@@ -167,14 +210,56 @@ class Executor {
   RuntimeResult run(KScheduler& scheduler);
 
   /// Per-job validation facts for validate_schedule on a recorded trace.
+  /// Batch mode only (live mode reuses JobId slots, so a trace would
+  /// conflate successive residents of a slot).
   std::vector<TraceJobInfo> validation_inputs() const;
 
+  // --- live serving interface (thread-safe; requires options.live) ------
+
+  /// Hand a job to the running serve loop.  Returns false — and destroys
+  /// the job without running it — once drain() was called.  `ticket` is an
+  /// opaque caller correlation id echoed in the LiveCompletion.
+  bool submit_live(std::unique_ptr<RuntimeJob> job, std::uint64_t ticket);
+
+  /// Request cancellation of a live ticket, whether still in the inbox or
+  /// already resident.  Takes effect at the next quantum boundary (the
+  /// LiveCompletion reports kCancelled); unknown/finished tickets are
+  /// ignored.  Safe from any thread, including on_quantum_begin.
+  void cancel_live(std::uint64_t ticket);
+
+  /// Stop accepting submissions; the serve loop exits once every accepted
+  /// job reached a terminal state.  Idempotent, safe from any thread.
+  void drain();
+  bool draining() const;
+
+  /// Live jobs currently resident in slots plus waiting in the inbox.
+  std::size_t live_load() const;
+
  private:
+  struct LiveSubmission {
+    std::unique_ptr<RuntimeJob> job;
+    std::uint64_t ticket = 0;
+  };
+
+  /// Live-mode shared state: sessions/pumps push under mu, the executor
+  /// thread drains at quantum boundaries and waits on cv while idle.
+  /// resident counts occupied slots (executor thread writes, under mu, so
+  /// live_load() is consistent).  Heap-allocated so Executor stays movable.
+  struct LiveState {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<LiveSubmission> inbox;
+    std::vector<std::uint64_t> cancel_requests;
+    std::size_t resident = 0;
+    bool drain = false;
+  };
+
   MachineConfig machine_;
   ExecutorOptions options_;
   std::vector<std::unique_ptr<RuntimeJob>> jobs_;
   std::vector<Time> releases_;
   bool ran_ = false;
+  std::unique_ptr<LiveState> live_;  ///< non-null iff options_.live
 };
 
 }  // namespace krad

@@ -1,0 +1,70 @@
+#include "svc/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace krad::svc {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity,
+                               std::uint64_t fallback_retry_ms)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      fallback_retry_ms_(fallback_retry_ms) {}
+
+PushResult AdmissionQueue::push(QueuedJob item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.size() >= capacity_) {
+    return PushResult{false, retry_hint_locked()};
+  }
+  queue_.push_back(std::move(item));
+  return PushResult{true, 0};
+}
+
+std::optional<QueuedJob> AdmissionQueue::pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  QueuedJob item = std::move(queue_.front());
+  queue_.pop_front();
+
+  const auto now = std::chrono::steady_clock::now();
+  if (popped_once_) {
+    const double interval_us =
+        std::chrono::duration<double, std::micro>(now - last_pop_).count();
+    // Light smoothing: recent service rate dominates, one outlier doesn't.
+    constexpr double kAlpha = 0.25;
+    ewma_pop_interval_us_ = ewma_pop_interval_us_ == 0.0
+                                ? interval_us
+                                : kAlpha * interval_us +
+                                      (1.0 - kAlpha) * ewma_pop_interval_us_;
+  }
+  last_pop_ = now;
+  popped_once_ = true;
+  return item;
+}
+
+bool AdmissionQueue::cancel(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->ticket == ticket) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t AdmissionQueue::retry_hint_locked() const {
+  if (ewma_pop_interval_us_ <= 0.0) return fallback_retry_ms_;
+  // Time until one slot frees ~= depth * mean service interval; round up so
+  // the hint is never 0 ms (which clients would read as "retry now").
+  const double eta_ms =
+      std::ceil(static_cast<double>(queue_.size()) * ewma_pop_interval_us_ /
+                1000.0);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(eta_ms));
+}
+
+}  // namespace krad::svc

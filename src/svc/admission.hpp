@@ -1,0 +1,75 @@
+#pragma once
+// Bounded per-tenant admission queue — the backpressure layer between
+// network sessions and the executor's live inbox.
+//
+// Sessions push parsed jobs; the service pump (running on the executor
+// thread at quantum boundaries) pops them.  When the queue is full the push
+// is rejected immediately with a retry-after hint, so a hot tenant learns
+// to back off instead of ballooning server memory: the hint estimates how
+// long until a slot frees up, from an EWMA of recent pop intervals times
+// the current depth.
+//
+// Thread-safety: all methods are safe from any thread; the pump is the only
+// popper in practice but the queue does not rely on that.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "runtime/runtime_job.hpp"
+
+namespace krad::svc {
+
+/// One queued submission awaiting executor capacity.
+struct QueuedJob {
+  std::unique_ptr<RuntimeJob> job;
+  std::uint64_t ticket = 0;
+};
+
+/// Result of AdmissionQueue::push.
+struct PushResult {
+  bool accepted = false;
+  /// Backoff hint for the client when rejected (kQueueFull reply).
+  std::uint64_t retry_after_ms = 0;
+};
+
+class AdmissionQueue {
+ public:
+  /// `capacity` >= 1.  `fallback_retry_ms` is the hint before any pop
+  /// interval has been observed.
+  explicit AdmissionQueue(std::size_t capacity,
+                          std::uint64_t fallback_retry_ms = 50);
+
+  /// Enqueue, or reject with a retry-after estimate when full.
+  PushResult push(QueuedJob item);
+
+  /// Dequeue the oldest entry; nullopt when empty.  Feeds the pop-interval
+  /// EWMA that prices retry-after hints.
+  std::optional<QueuedJob> pop();
+
+  /// Remove a queued ticket before it reaches the executor.  Returns true
+  /// iff the ticket was found (and its job destroyed unrun).
+  bool cancel(std::uint64_t ticket);
+
+  std::size_t depth() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::uint64_t retry_hint_locked() const;
+
+  const std::size_t capacity_;
+  const std::uint64_t fallback_retry_ms_;
+
+  mutable std::mutex mu_;
+  std::deque<QueuedJob> queue_;
+  /// EWMA of the wall time between consecutive pops, in microseconds
+  /// (0 until two pops happened).
+  double ewma_pop_interval_us_ = 0.0;
+  std::chrono::steady_clock::time_point last_pop_{};
+  bool popped_once_ = false;
+};
+
+}  // namespace krad::svc

@@ -1,0 +1,146 @@
+#include "svc/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace krad::svc {
+
+FairShareScheduler::FairShareScheduler(std::vector<double> shares,
+                                       InnerFactory factory)
+    : shares_(std::move(shares)), factory_(std::move(factory)) {
+  if (shares_.empty()) {
+    throw std::invalid_argument("FairShareScheduler: need at least one tenant");
+  }
+  for (double share : shares_) {
+    if (!(share > 0.0) || !std::isfinite(share)) {
+      throw std::invalid_argument(
+          "FairShareScheduler: shares must be finite and > 0");
+    }
+  }
+  if (!factory_) {
+    throw std::invalid_argument("FairShareScheduler: factory must be set");
+  }
+  // Probe the inner scheduler type once for clairvoyance and display name.
+  std::unique_ptr<KScheduler> probe = factory_();
+  clairvoyant_ = probe->clairvoyant();
+  inner_name_ = probe->name();
+}
+
+void FairShareScheduler::reset(const MachineConfig& machine,
+                               std::size_t num_jobs) {
+  machine_ = machine;
+  effective_ = machine;
+  inner_.clear();
+  for (std::size_t t = 0; t < shares_.size(); ++t) {
+    inner_.push_back(factory_());
+    inner_.back()->reset(machine, num_jobs);
+  }
+  slot_tenant_.assign(num_jobs, 0);
+  last_quota_.clear();
+}
+
+void FairShareScheduler::set_capacity(const MachineConfig& effective) {
+  effective_ = effective;
+}
+
+void FairShareScheduler::assign(JobId slot, TenantId tenant) {
+  if (tenant >= shares_.size()) {
+    throw std::out_of_range("FairShareScheduler::assign: bad tenant");
+  }
+  slot_tenant_.at(slot) = tenant;
+}
+
+std::string FairShareScheduler::name() const {
+  return "fair-share(" + inner_name_ + ")";
+}
+
+void FairShareScheduler::allot(Time now, std::span<const JobView> active,
+                               const ClairvoyantView* clair, Allotment& out) {
+  const std::size_t num_tenants = shares_.size();
+  const std::size_t num_categories = effective_.categories();
+
+  // Group active indices by tenant (active is sorted by JobId; the groups
+  // inherit that order, so inner schedulers see a well-formed active span).
+  std::vector<std::vector<std::size_t>> group(num_tenants);
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    group[slot_tenant_.at(active[j].id)].push_back(j);
+  }
+
+  // Apportion each category's capacity among busy tenants by share, with
+  // largest-remainder rounding (deterministic tie-break: lower tenant id).
+  double busy_weight = 0.0;
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    if (!group[t].empty()) busy_weight += shares_[t];
+  }
+  last_quota_.assign(num_tenants, std::vector<int>(num_categories, 0));
+  if (busy_weight > 0.0) {
+    for (std::size_t a = 0; a < num_categories; ++a) {
+      const int capacity = effective_.at(static_cast<Category>(a));
+      int assigned = 0;
+      std::vector<std::pair<double, std::size_t>> remainders;
+      for (std::size_t t = 0; t < num_tenants; ++t) {
+        if (group[t].empty()) continue;
+        const double exact =
+            static_cast<double>(capacity) * shares_[t] / busy_weight;
+        const int floor_quota = static_cast<int>(std::floor(exact));
+        last_quota_[t][a] = floor_quota;
+        assigned += floor_quota;
+        remainders.emplace_back(exact - std::floor(exact), t);
+      }
+      std::stable_sort(remainders.begin(), remainders.end(),
+                       [](const auto& lhs, const auto& rhs) {
+                         if (lhs.first != rhs.first) {
+                           return lhs.first > rhs.first;
+                         }
+                         return lhs.second < rhs.second;
+                       });
+      for (std::size_t i = 0; assigned < capacity && i < remainders.size();
+           ++i, ++assigned) {
+        ++last_quota_[remainders[i].second][a];
+      }
+    }
+  }
+
+  // Delegate each busy tenant's slice to its inner scheduler under its
+  // partitioned machine, then scatter the rows back.
+  std::vector<JobView> sub_active;
+  Allotment sub_out;
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    if (group[t].empty()) continue;
+
+    MachineConfig tenant_machine;
+    tenant_machine.processors.assign(num_categories, 0);
+    for (std::size_t a = 0; a < num_categories; ++a) {
+      tenant_machine.processors[a] = last_quota_[t][a];
+    }
+    inner_[t]->set_capacity(tenant_machine);
+
+    sub_active.clear();
+    sub_out.clear();
+    for (std::size_t j : group[t]) {
+      sub_active.push_back(active[j]);
+      sub_out.emplace_back(num_categories, 0);
+    }
+
+    ClairvoyantView sub_clair;
+    const ClairvoyantView* sub_clair_ptr = nullptr;
+    if (clair != nullptr) {
+      for (std::size_t j : group[t]) {
+        sub_clair.remaining_span.push_back(clair->remaining_span.at(j));
+        sub_clair.remaining_work.push_back(clair->remaining_work.at(j));
+        sub_clair.release.push_back(clair->release.at(j));
+      }
+      sub_clair_ptr = &sub_clair;
+    }
+
+    inner_[t]->allot(now, sub_active, sub_clair_ptr, sub_out);
+
+    for (std::size_t i = 0; i < group[t].size(); ++i) {
+      out.at(group[t][i]) = std::move(sub_out[i]);
+    }
+  }
+}
+
+}  // namespace krad::svc

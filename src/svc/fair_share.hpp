@@ -1,0 +1,73 @@
+#pragma once
+// FairShareScheduler — multi-tenant capacity partitioning on top of any
+// unmodified KScheduler.
+//
+// Each tenant gets its own inner scheduler instance (from a factory, e.g.
+// exp::make_scheduler).  Every quantum, the machine's per-category capacity
+// is apportioned among the tenants that currently have resident jobs,
+// weighted by their configured shares, using largest-remainder rounding
+// (deterministic: ties break toward the lower tenant id).  Idle tenants
+// hold no capacity — their entitlement redistributes to busy ones, so the
+// machine never idles while anyone has work (work-conservation across
+// tenants; within a tenant it is the inner scheduler's property).
+//
+// The partition reaches each inner scheduler through the existing
+// KScheduler::set_capacity hook — the same mechanism the fault layer uses
+// for processor loss — so K-RAD, K-DEQ, FCFS etc. participate untouched.
+// Sum_alpha of any quantum's allotments across tenants respects P_alpha by
+// construction, because the per-tenant machines partition it.
+//
+// Slot -> tenant binding comes from the executor's on_accept hook (the
+// service calls assign() there); allot() and assign() both run on the
+// executor thread, matching KScheduler's single-threaded contract.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "svc/tenants.hpp"
+
+namespace krad::svc {
+
+class FairShareScheduler : public KScheduler {
+ public:
+  using InnerFactory = std::function<std::unique_ptr<KScheduler>()>;
+
+  /// One share per tenant (finite, > 0; same order as TenantId).  The
+  /// factory is invoked once per tenant at reset().
+  FairShareScheduler(std::vector<double> shares, InnerFactory factory);
+
+  void reset(const MachineConfig& machine, std::size_t num_jobs) override;
+  void allot(Time now, std::span<const JobView> active,
+             const ClairvoyantView* clair, Allotment& out) override;
+  void set_capacity(const MachineConfig& effective) override;
+  bool clairvoyant() const override { return clairvoyant_; }
+  std::string name() const override;
+
+  /// Bind a slot to a tenant (executor thread, from on_accept).  Slots keep
+  /// their binding until reassigned; stale bindings of freed slots are
+  /// harmless because freed slots are not in the active span.
+  void assign(JobId slot, TenantId tenant);
+
+  /// The capacity partition computed by the last allot() call:
+  /// quota[tenant][category] (empty before the first call).  Test hook.
+  const std::vector<std::vector<int>>& last_quota() const {
+    return last_quota_;
+  }
+
+ private:
+  std::vector<double> shares_;
+  InnerFactory factory_;
+  bool clairvoyant_ = false;
+  std::string inner_name_;
+
+  std::vector<std::unique_ptr<KScheduler>> inner_;  // one per tenant
+  std::vector<TenantId> slot_tenant_;               // per slot
+  MachineConfig machine_;    // as of reset()
+  MachineConfig effective_;  // after set_capacity()
+  std::vector<std::vector<int>> last_quota_;
+};
+
+}  // namespace krad::svc

@@ -1,0 +1,505 @@
+#include "svc/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metrics.hpp"  // json_escape, format_double
+
+namespace krad::svc {
+
+// ---------------------------------------------------------------------------
+// JsonValue
+
+bool JsonValue::as_bool() const {
+  require(Kind::kBool, "bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  require(Kind::kNumber, "number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  require(Kind::kNumber, "number");
+  if (!integral_) throw JsonError(0, "number is not an exact integer");
+  return int_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(Kind::kString, "string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  require(Kind::kArray, "array");
+  return items_;
+}
+
+const JsonValue::Members& JsonValue::members() const {
+  require(Kind::kObject, "object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  require(Kind::kObject, "object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_int(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = static_cast<double>(i);
+  v.int_ = i;
+  v.integral_ = true;
+  return v;
+}
+
+JsonValue JsonValue::make_double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(Members members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+void JsonValue::require(Kind kind, const char* what) const {
+  if (kind_ != kind) {
+    throw JsonError(0, std::string("expected ") + what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  JsonValue parse_document() {
+    if (text_.size() > limits_.max_bytes) {
+      throw JsonError(limits_.max_bytes, "input exceeds max_bytes");
+    }
+    skip_ws();
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw JsonError(pos_, "trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) {
+      throw JsonError(pos_, "nesting exceeds max_depth");
+    }
+    if (++values_ > limits_.max_values) {
+      throw JsonError(pos_, "value count exceeds max_values");
+    }
+    if (pos_ >= text_.size()) throw JsonError(pos_, "unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case 't':
+        expect_word("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_word("false");
+        return JsonValue::make_bool(false);
+      case 'n':
+        expect_word("null");
+        return JsonValue::make_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    const std::size_t start = pos_;
+    ++pos_;  // '{'
+    JsonValue::Members members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') throw JsonError(pos_, "expected object key string");
+      std::string key = parse_string();
+      for (const auto& [existing, unused] : members) {
+        (void)unused;
+        if (existing == key) {
+          throw JsonError(pos_, "duplicate object key \"" + key + "\"");
+        }
+      }
+      skip_ws();
+      if (peek() != ':') throw JsonError(pos_, "expected ':' after key");
+      ++pos_;
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      throw JsonError(pos_, "expected ',' or '}' in object started at byte " +
+                                std::to_string(start));
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    const std::size_t start = pos_;
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(items));
+      }
+      throw JsonError(pos_, "expected ',' or ']' in array started at byte " +
+                                std::to_string(start));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw JsonError(pos_, "unterminated string");
+      }
+      if (out.size() > limits_.max_string) {
+        throw JsonError(pos_, "string exceeds max_string");
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw JsonError(pos_, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        throw JsonError(pos_, "unterminated escape sequence");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default:
+          throw JsonError(pos_ - 1, "invalid escape character");
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: require the paired low surrogate.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        throw JsonError(pos_, "unpaired high surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        throw JsonError(pos_, "invalid low surrogate");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      throw JsonError(pos_, "unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      throw JsonError(pos_, "truncated \\u escape");
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        throw JsonError(pos_ - 1, "invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+      throw JsonError(start, "invalid number");
+    }
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        is_digit(text_[pos_ + 1])) {
+      throw JsonError(start, "leading zero in number");
+    }
+    while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        throw JsonError(pos_, "expected digit after decimal point");
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        throw JsonError(pos_, "expected digit in exponent");
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE || end != token.c_str() + token.size()) {
+        throw JsonError(start, "integer out of range");
+      }
+      return JsonValue::make_int(static_cast<std::int64_t>(parsed));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      throw JsonError(start, "number is not finite");
+    }
+    return JsonValue::make_double(parsed);
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      throw JsonError(pos_, "invalid literal");
+    }
+    pos_ += word.size();
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw JsonError(pos_, "unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  std::size_t pos_ = 0;
+  std::size_t values_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  first_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  this->key(key);
+  out_ += '[';
+  first_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  first_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  this->key(key);
+  out_ += '"';
+  out_ += obs::json_escape(std::string(value));
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  this->key(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t value) {
+  this->key(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  this->key(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  this->key(key);
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    out_ += obs::format_double(value);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_raw(std::string_view key, std::string_view json) {
+  this->key(key);
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::element_raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+void JsonWriter::comma() {
+  if (!first_) out_ += ',';
+  first_ = false;
+}
+
+void JsonWriter::key(std::string_view key) {
+  comma();
+  out_ += '"';
+  out_ += obs::json_escape(std::string(key));
+  out_ += "\":";
+}
+
+}  // namespace krad::svc

@@ -1,0 +1,135 @@
+#pragma once
+// Minimal dependency-free JSON for the service front door (docs/SERVICE.md).
+//
+// The parser is deliberately strict — the protocol is newline-delimited
+// JSON from untrusted clients, so every malformed input must become a
+// structured error reply, never a crash or a silent default:
+//   * hard input limits (bytes, nesting depth, total values) so a hostile
+//     line cannot exhaust memory or stack;
+//   * duplicate keys inside one object are rejected (a spec that says
+//     "categories" twice is ambiguous, not "last one wins");
+//   * numbers must be finite; integers are tracked exactly so ids and
+//     counts never round through a double;
+//   * trailing garbage after the top-level value is an error.
+// All failures throw JsonError carrying a byte offset and message; the
+// protocol layer turns that into an error reply (tests/test_svc.cpp pins
+// the negative cases).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace krad::svc {
+
+/// Parse failure: what went wrong and where (byte offset into the input).
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(std::size_t offset, const std::string& message)
+      : std::runtime_error(message + " (at byte " + std::to_string(offset) +
+                           ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Input limits enforced while parsing (defaults sized for job specs).
+struct JsonLimits {
+  std::size_t max_bytes = 1 << 20;    ///< whole input
+  std::size_t max_depth = 32;         ///< nesting of arrays/objects
+  std::size_t max_values = 1 << 20;   ///< total parsed values
+  std::size_t max_string = 1 << 16;   ///< one string literal, decoded bytes
+};
+
+/// One JSON value.  Object members keep their textual order; duplicate keys
+/// never survive parsing (JsonError), so first-match lookup is exact.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// The number, which must have been written as an integer that fits
+  /// std::int64_t exactly (no "1.5", no "1e30"); throws JsonError otherwise.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const Members& members() const;
+
+  /// First (only, post-parse) member with this key; null if absent.
+  const JsonValue* find(std::string_view key) const;
+
+  // Construction (parser + tests).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_int(std::int64_t i);
+  static JsonValue make_double(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(Members members);
+
+ private:
+  void require(Kind kind, const char* what) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  Members members_;
+};
+
+/// Parse exactly one JSON value spanning the whole input (leading/trailing
+/// whitespace allowed, anything else after the value is an error).
+JsonValue parse_json(std::string_view text, const JsonLimits& limits = {});
+
+/// Append-style writer for one-line replies/events.  Keys and string
+/// values are escaped; doubles are locale-independent (obs::format_double)
+/// and non-finite values become null.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, double value);
+  /// Raw JSON fragment (already encoded) as the value of `key`.
+  JsonWriter& field_raw(std::string_view key, std::string_view json);
+  /// One array element, already encoded.
+  JsonWriter& element_raw(std::string_view json);
+
+  /// The document built so far.
+  std::string str() const { return out_; }
+
+ private:
+  void comma();
+  void key(std::string_view key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace krad::svc

@@ -1,0 +1,253 @@
+#include "svc/protocol.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace krad::svc {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownTenant: return "unknown_tenant";
+    case ErrorCode::kUnknownTicket: return "unknown_ticket";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string_view ticket_state_name(TicketState state) {
+  switch (state) {
+    case TicketState::kQueued: return "queued";
+    case TicketState::kRunning: return "running";
+    case TicketState::kDone: return "done";
+    case TicketState::kCancelled: return "cancelled";
+    case TicketState::kRejected: return "rejected";
+  }
+  return "queued";
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ProtocolError(ErrorCode::kBadRequest, message);
+}
+
+const JsonValue& require_member(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) bad("missing field \"" + std::string(key) + '"');
+  return *value;
+}
+
+std::string require_string(const JsonValue& object, std::string_view key) {
+  const JsonValue& value = require_member(object, key);
+  if (!value.is_string()) bad('"' + std::string(key) + "\" must be a string");
+  return value.as_string();
+}
+
+std::int64_t require_int(const JsonValue& object, std::string_view key,
+                         std::int64_t min, std::int64_t max) {
+  const JsonValue& value = require_member(object, key);
+  if (!value.is_number()) bad('"' + std::string(key) + "\" must be a number");
+  std::int64_t n = 0;
+  try {
+    n = value.as_int();
+  } catch (const JsonError&) {
+    bad('"' + std::string(key) + "\" must be an integer");
+  }
+  if (n < min || n > max) {
+    bad('"' + std::string(key) + "\" out of range [" + std::to_string(min) +
+        ", " + std::to_string(max) + ']');
+  }
+  return n;
+}
+
+std::uint64_t require_ticket(const JsonValue& object) {
+  return static_cast<std::uint64_t>(require_int(
+      object, "ticket", 0, std::numeric_limits<std::int64_t>::max()));
+}
+
+KDag parse_dag(const JsonValue& spec, const SpecLimits& limits) {
+  if (!spec.is_object()) bad("\"job\" must be an object");
+  const std::int64_t categories =
+      require_int(spec, "categories", 1,
+                  static_cast<std::int64_t>(limits.max_categories));
+
+  const JsonValue& vertices = require_member(spec, "vertices");
+  if (!vertices.is_array()) bad("\"vertices\" must be an array");
+  if (vertices.items().empty()) bad("\"vertices\" must be non-empty");
+  if (vertices.items().size() > limits.max_vertices) {
+    bad("\"vertices\" exceeds max_vertices (" +
+        std::to_string(limits.max_vertices) + ')');
+  }
+
+  KDag dag(static_cast<Category>(categories));
+  for (const JsonValue& v : vertices.items()) {
+    std::int64_t category = -1;
+    if (v.is_number()) {
+      try {
+        category = v.as_int();
+      } catch (const JsonError&) {
+        category = -1;
+      }
+    }
+    if (category < 0 || category >= categories) {
+      bad("vertex category out of range [0, " + std::to_string(categories) +
+          ')');
+    }
+    dag.add_vertex(static_cast<Category>(category));
+  }
+
+  if (const JsonValue* edges = spec.find("edges"); edges != nullptr) {
+    if (!edges->is_array()) bad("\"edges\" must be an array");
+    if (edges->items().size() > limits.max_edges) {
+      bad("\"edges\" exceeds max_edges (" + std::to_string(limits.max_edges) +
+          ')');
+    }
+    const std::int64_t n = static_cast<std::int64_t>(vertices.items().size());
+    for (const JsonValue& edge : edges->items()) {
+      if (!edge.is_array() || edge.items().size() != 2) {
+        bad("each edge must be a [from, to] pair");
+      }
+      std::int64_t endpoints[2];
+      for (int i = 0; i < 2; ++i) {
+        const JsonValue& e = edge.items()[static_cast<std::size_t>(i)];
+        std::int64_t id = -1;
+        if (e.is_number()) {
+          try {
+            id = e.as_int();
+          } catch (const JsonError&) {
+            id = -1;
+          }
+        }
+        if (id < 0 || id >= n) bad("edge endpoint out of range");
+        endpoints[i] = id;
+      }
+      if (endpoints[0] == endpoints[1]) bad("self-loop edge");
+      dag.add_edge(static_cast<VertexId>(endpoints[0]),
+                   static_cast<VertexId>(endpoints[1]));
+    }
+  }
+
+  try {
+    dag.seal();
+  } catch (const std::logic_error& e) {
+    bad(std::string("invalid job dag: ") + e.what());
+  }
+  return dag;
+}
+
+Request parse_submit(const JsonValue& root, const SpecLimits& limits) {
+  SubmitRequest req;
+  req.tenant = require_string(root, "tenant");
+  if (req.tenant.empty()) bad("\"tenant\" must be non-empty");
+  req.dag = parse_dag(require_member(root, "job"), limits);
+  if (const JsonValue* name = require_member(root, "job").find("name");
+      name != nullptr) {
+    if (!name->is_string()) bad("\"name\" must be a string");
+    req.name = name->as_string();
+  }
+  if (root.find("task_us") != nullptr) {
+    req.task_us = static_cast<std::uint64_t>(
+        require_int(root, "task_us", 0,
+                    static_cast<std::int64_t>(limits.max_task_us)));
+  }
+  return req;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line, const SpecLimits& limits) {
+  JsonValue root;
+  try {
+    root = parse_json(line, limits.json);
+  } catch (const JsonError& e) {
+    throw ProtocolError(ErrorCode::kParseError, e.what());
+  }
+  if (!root.is_object()) bad("request must be a JSON object");
+  const std::string op = require_string(root, "op");
+  if (op == "submit") return parse_submit(root, limits);
+  if (op == "status") return StatusRequest{require_ticket(root)};
+  if (op == "cancel") return CancelRequest{require_ticket(root)};
+  if (op == "stats") return StatsRequest{};
+  if (op == "drain") return DrainRequest{};
+  throw ProtocolError(ErrorCode::kUnknownOp, "unknown op \"" + op + '"');
+}
+
+std::string render_error(ErrorCode code, std::string_view message,
+                         std::optional<std::uint64_t> retry_after_ms) {
+  JsonWriter w;
+  w.begin_object()
+      .field("ok", false)
+      .field("error", error_code_name(code))
+      .field("message", message);
+  if (retry_after_ms.has_value()) {
+    w.field("retry_after_ms", *retry_after_ms);
+  }
+  return w.end_object().str();
+}
+
+std::string render_submit_ok(std::uint64_t ticket) {
+  JsonWriter w;
+  return w.begin_object()
+      .field("ok", true)
+      .field("op", "submit")
+      .field("ticket", ticket)
+      .end_object()
+      .str();
+}
+
+std::string render_cancel_ok(std::uint64_t ticket, bool cancelled) {
+  JsonWriter w;
+  return w.begin_object()
+      .field("ok", true)
+      .field("op", "cancel")
+      .field("ticket", ticket)
+      .field("cancelled", cancelled)
+      .end_object()
+      .str();
+}
+
+std::string render_drain_ok() {
+  JsonWriter w;
+  return w.begin_object()
+      .field("ok", true)
+      .field("op", "drain")
+      .end_object()
+      .str();
+}
+
+namespace {
+
+void append_ticket_fields(JsonWriter& w, const TicketStatus& status) {
+  w.field("ticket", status.ticket)
+      .field("state", ticket_state_name(status.state))
+      .field("tenant", status.tenant);
+  if (!status.name.empty()) w.field("name", status.name);
+  if (status.outcome.has_value()) w.field("outcome", *status.outcome);
+  if (status.response_quanta.has_value()) {
+    w.field("response_quanta",
+            static_cast<std::int64_t>(*status.response_quanta));
+  }
+}
+
+}  // namespace
+
+std::string render_status(const TicketStatus& status) {
+  JsonWriter w;
+  w.begin_object().field("ok", true).field("op", "status");
+  append_ticket_fields(w, status);
+  return w.end_object().str();
+}
+
+std::string render_completion_event(const TicketStatus& status) {
+  JsonWriter w;
+  w.begin_object().field("event", "complete");
+  append_ticket_fields(w, status);
+  return w.end_object().str();
+}
+
+}  // namespace krad::svc

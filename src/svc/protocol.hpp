@@ -1,0 +1,128 @@
+#pragma once
+// Newline-delimited JSON protocol of the service front door.
+//
+// One request per line, one JSON object each, discriminated by "op":
+//
+//   {"op":"submit","tenant":"acme","job":{"categories":2,
+//        "vertices":[0,1,0],"edges":[[0,1],[1,2]],"name":"j7"},
+//        "task_us":50}
+//   {"op":"status","ticket":12}
+//   {"op":"cancel","ticket":12}
+//   {"op":"stats"}
+//   {"op":"drain"}
+//
+// Replies are one line each: {"ok":true,...} on success, or
+// {"ok":false,"error":"<code>","message":"..."} on failure — with
+// "retry_after_ms" added for queue_full backpressure rejections.
+// Completion events are pushed asynchronously on the submitting
+// connection: {"event":"complete","ticket":12,"outcome":"completed",...}.
+//
+// Parsing is total: every malformed line maps to ProtocolError (carrying a
+// structured code), never a crash or a silently defaulted field.  See
+// docs/SERVICE.md for the full grammar.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "dag/kdag.hpp"
+#include "svc/json.hpp"
+
+namespace krad::svc {
+
+/// Structured error codes carried in the "error" field of failure replies.
+enum class ErrorCode {
+  kParseError,     ///< line is not valid JSON (or exceeds input limits)
+  kBadRequest,     ///< valid JSON, invalid request shape or job spec
+  kUnknownOp,      ///< "op" is none of submit/status/cancel/stats/drain
+  kUnknownTenant,  ///< submit for a tenant the service doesn't know
+  kUnknownTicket,  ///< status/cancel for a ticket never issued
+  kQueueFull,      ///< tenant admission queue full (reply has retry_after_ms)
+  kDraining,       ///< submit after drain
+  kInternal,       ///< unexpected server-side failure
+};
+
+/// Wire name of a code, e.g. "queue_full".
+std::string_view error_code_name(ErrorCode code);
+
+/// Raised by parse_request; the session layer renders it as an error reply.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Hard caps on submitted job specs, enforced during parsing.
+struct SpecLimits {
+  JsonLimits json;  ///< raw-line limits (bytes, depth, values)
+  std::size_t max_categories = 16;
+  std::size_t max_vertices = 65536;
+  std::size_t max_edges = 262144;
+  std::uint64_t max_task_us = 1'000'000;  ///< per-task spin cap (1 s)
+};
+
+struct SubmitRequest {
+  std::string tenant;
+  KDag dag;          ///< sealed (cycles rejected at parse time)
+  std::string name;  ///< optional client label, echoed in events
+  /// Busy-work per task in microseconds (wall-clock servers only; the
+  /// in-process virtual-clock bench keeps it 0).
+  std::uint64_t task_us = 0;
+};
+
+struct StatusRequest {
+  std::uint64_t ticket = 0;
+};
+
+struct CancelRequest {
+  std::uint64_t ticket = 0;
+};
+
+struct StatsRequest {};
+
+struct DrainRequest {};
+
+using Request = std::variant<SubmitRequest, StatusRequest, CancelRequest,
+                             StatsRequest, DrainRequest>;
+
+/// Parse one request line.  Throws ProtocolError (kParseError for JSON
+/// syntax/limit violations, kBadRequest for shape/spec violations,
+/// kUnknownOp for an unrecognised op).
+Request parse_request(std::string_view line, const SpecLimits& limits = {});
+
+// --- reply / event renderers (no trailing newline) -----------------------
+
+std::string render_error(ErrorCode code, std::string_view message,
+                         std::optional<std::uint64_t> retry_after_ms = {});
+std::string render_submit_ok(std::uint64_t ticket);
+std::string render_cancel_ok(std::uint64_t ticket, bool cancelled);
+std::string render_drain_ok();
+
+/// Lifecycle state names used in status replies and completion events.
+enum class TicketState { kQueued, kRunning, kDone, kCancelled, kRejected };
+std::string_view ticket_state_name(TicketState state);
+
+struct TicketStatus {
+  std::uint64_t ticket = 0;
+  TicketState state = TicketState::kQueued;
+  std::string tenant;
+  std::string name;
+  /// Set once the ticket reached a terminal state.
+  std::optional<std::string> outcome;
+  std::optional<Time> response_quanta;
+};
+
+std::string render_status(const TicketStatus& status);
+
+/// The asynchronous completion event pushed to the submitting connection.
+std::string render_completion_event(const TicketStatus& status);
+
+}  // namespace krad::svc

@@ -1,0 +1,312 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace krad::svc {
+
+/// One live connection.  The reader thread owns parsing; completion
+/// callbacks from the executor thread write events through the same
+/// write mutex.  `open` flips under `write_mu` before the fd closes, so no
+/// writer ever touches a dead descriptor.
+struct Server::Session {
+  int fd = -1;
+  std::mutex write_mu;
+  bool open = true;           // guarded by write_mu
+  std::atomic<bool> done{false};  // reader thread exited
+
+  /// Serialised line write (appends '\n').  Returns false once the peer is
+  /// gone or the session closed.
+  bool write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open) return false;
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close_fd() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (open) {
+      open = false;
+      ::close(fd);
+    }
+  }
+
+  void shutdown_read() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (open) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+Server::Server(Service& service, ServerConfig config,
+               obs::MetricsRegistry* metrics)
+    : service_(service), config_(std::move(config)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    connections_total_ = &metrics_->counter("krad_svc_connections_total", {},
+                                            "Connections accepted");
+    connections_active_ = &metrics_->gauge("krad_svc_connections_active", {},
+                                           "Currently open connections");
+    requests_total_ = &metrics_->counter("krad_svc_requests_total", {},
+                                         "Request lines dispatched");
+    protocol_errors_ =
+        &metrics_->counter("krad_svc_protocol_errors_total", {},
+                           "Request lines rejected with an error reply");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start called twice");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("Server: bad IPv4 host \"" + config_.host + '"');
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("Server: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: bind: " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Server: listen: " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+    threads.swap(session_threads_);
+  }
+  for (const auto& session : sessions) session->shutdown_read();
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  for (const auto& session : sessions) session->close_fd();
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::size_t active = 0;
+  for (const auto& session : sessions_) {
+    if (!session->done.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+void Server::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    bool refused = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      reap_finished_locked();
+      if (sessions_.size() >= config_.max_connections) {
+        refused = true;
+      } else {
+        sessions_.push_back(session);
+        session_threads_.emplace_back(
+            [this, session] { session_loop(session); });
+      }
+    }
+    if (refused) {
+      session->write_line(
+          render_error(ErrorCode::kInternal, "too many connections"));
+      session->close_fd();
+      continue;
+    }
+    if (connections_total_ != nullptr) connections_total_->inc();
+    if (connections_active_ != nullptr) {
+      connections_active_->set(static_cast<double>(active_connections()));
+    }
+  }
+}
+
+void Server::reap_finished_locked() {
+  // Joining finished reader threads opportunistically keeps a long-lived
+  // server from accumulating one dead thread per past connection.
+  for (std::size_t i = 0; i < sessions_.size();) {
+    if (sessions_[i]->done.load(std::memory_order_acquire)) {
+      if (session_threads_[i].joinable()) session_threads_[i].join();
+      sessions_[i]->close_fd();
+      sessions_.erase(sessions_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      session_threads_.erase(session_threads_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Server::session_loop(std::shared_ptr<Session> session) {
+  std::string buffer;
+  char chunk[4096];
+  bool discarding = false;  // inside an oversized line
+
+  while (true) {
+    const ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      const char c = chunk[i];
+      if (c == '\n') {
+        if (discarding) {
+          discarding = false;
+        } else if (!buffer.empty()) {
+          // Tolerate CRLF framing from naive clients.
+          if (buffer.back() == '\r') buffer.pop_back();
+          if (!buffer.empty()) {
+            const std::string reply = dispatch(session, buffer);
+            if (!session->write_line(reply)) {
+              buffer.clear();
+              goto done;
+            }
+          }
+        }
+        buffer.clear();
+        continue;
+      }
+      if (discarding) continue;
+      if (buffer.size() >= config_.max_line_bytes) {
+        if (protocol_errors_ != nullptr) protocol_errors_->inc();
+        session->write_line(render_error(
+            ErrorCode::kParseError, "request line exceeds max_line_bytes"));
+        buffer.clear();
+        discarding = true;
+        continue;
+      }
+      buffer += c;
+    }
+  }
+done:
+  session->done.store(true, std::memory_order_release);
+  if (connections_active_ != nullptr) {
+    connections_active_->set(static_cast<double>(active_connections()));
+  }
+}
+
+std::string Server::dispatch(const std::shared_ptr<Session>& session,
+                             std::string_view line) {
+  if (requests_total_ != nullptr) requests_total_->inc();
+  Request request;
+  try {
+    request = parse_request(line, service_.limits());
+  } catch (const ProtocolError& e) {
+    if (protocol_errors_ != nullptr) protocol_errors_->inc();
+    return render_error(e.code(), e.what());
+  }
+
+  if (auto* submit = std::get_if<SubmitRequest>(&request)) {
+    // The event callback holds a weak_ptr: a completion after the client
+    // disconnected is dropped, never written to a reused descriptor.
+    std::weak_ptr<Session> weak = session;
+    const SubmitOutcome outcome = service_.submit(
+        std::move(*submit), [weak](const TicketStatus& status) {
+          if (auto s = weak.lock()) {
+            s->write_line(render_completion_event(status));
+          }
+        });
+    if (outcome.accepted) return render_submit_ok(outcome.ticket);
+    if (protocol_errors_ != nullptr) protocol_errors_->inc();
+    if (outcome.error == ErrorCode::kQueueFull) {
+      return render_error(outcome.error, "tenant admission queue full",
+                          outcome.retry_after_ms);
+    }
+    return render_error(outcome.error,
+                        outcome.error == ErrorCode::kDraining
+                            ? "service is draining"
+                            : "unknown tenant");
+  }
+  if (auto* status = std::get_if<StatusRequest>(&request)) {
+    const std::optional<TicketStatus> snapshot =
+        service_.status(status->ticket);
+    if (!snapshot.has_value()) {
+      if (protocol_errors_ != nullptr) protocol_errors_->inc();
+      return render_error(ErrorCode::kUnknownTicket, "unknown ticket");
+    }
+    return render_status(*snapshot);
+  }
+  if (auto* cancel = std::get_if<CancelRequest>(&request)) {
+    if (service_.cancel(cancel->ticket)) {
+      return render_cancel_ok(cancel->ticket, true);
+    }
+    if (service_.status(cancel->ticket).has_value()) {
+      return render_cancel_ok(cancel->ticket, false);  // already terminal
+    }
+    if (protocol_errors_ != nullptr) protocol_errors_->inc();
+    return render_error(ErrorCode::kUnknownTicket, "unknown ticket");
+  }
+  if (std::get_if<StatsRequest>(&request) != nullptr) {
+    return service_.stats_json();
+  }
+  service_.drain();  // DrainRequest
+  return render_drain_ok();
+}
+
+}  // namespace krad::svc

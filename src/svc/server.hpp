@@ -1,0 +1,97 @@
+#pragma once
+// TCP front door: a thread-per-connection NDJSON server wrapping a Service.
+//
+// Plain POSIX sockets, no external dependencies.  One acceptor thread plus
+// one thread per connection; each connection reads newline-delimited
+// requests, dispatches them to the shared Service, and writes one reply
+// line per request.  Completion events for tickets submitted on a
+// connection are pushed asynchronously to that same connection (a
+// per-session write mutex serialises replies and events; sessions are
+// reference-counted so an event arriving after the client hung up is
+// dropped, not written to a dead descriptor).
+//
+// Thread-per-connection is the right trade here: the expected client count
+// is small (load generators, operators), the protocol is line-oriented
+// blocking reads, and the latency-critical path — scheduling — lives on the
+// executor thread either way.  An epoll reactor would buy nothing but
+// complexity at this fan-in.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/service.hpp"
+
+namespace krad::svc {
+
+struct ServerConfig {
+  /// Numeric IPv4 listen address (no name resolution by design).
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read the actual one from port().
+  std::uint16_t port = 0;
+  /// A request line longer than this is answered with a parse_error reply
+  /// and the remainder of the line is discarded.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Connections beyond this are refused with an error line.
+  std::size_t max_connections = 64;
+};
+
+class Server {
+ public:
+  /// `service` and `metrics` (optional) must outlive the Server.
+  Server(Service& service, ServerConfig config,
+         obs::MetricsRegistry* metrics = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the acceptor.  Throws std::runtime_error on
+  /// socket failures (address in use, bad host, ...).
+  void start();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Close the listener and all sessions, join all threads.  Idempotent.
+  /// Does NOT drain the Service — callers decide whether in-flight work
+  /// should finish.
+  void stop();
+
+  std::size_t active_connections() const;
+
+ private:
+  struct Session;
+
+  void accept_loop();
+  void session_loop(std::shared_ptr<Session> session);
+  std::string dispatch(const std::shared_ptr<Session>& session,
+                       std::string_view line);
+  void reap_finished_locked();
+
+  Service& service_;
+  ServerConfig config_;
+  obs::MetricsRegistry* metrics_;
+
+  obs::Counter* connections_total_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+};
+
+}  // namespace krad::svc

@@ -1,0 +1,373 @@
+#include "svc/service.hpp"
+
+#include <utility>
+
+#include "exp/standard_run.hpp"  // make_scheduler
+#include "jobs/job.hpp"          // to_string(JobOutcome)
+
+namespace krad::svc {
+
+namespace {
+
+/// Busy-spin closure for wall-clock servers: real work of a known length,
+/// cancellation-aware so drain/cancel never waits a full task out.
+CancellableTaskFn make_spin_task(std::uint64_t task_us) {
+  return [task_us](const CancellationToken& token) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(task_us);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (token.stop_requested()) return;
+    }
+  };
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  registry_ = std::make_unique<TenantRegistry>(config_.tenants);
+
+  std::vector<double> shares;
+  shares.reserve(registry_->size());
+  for (TenantId t = 0; t < registry_->size(); ++t) {
+    shares.push_back(registry_->config(t).share);
+  }
+  const std::string inner = config_.scheduler;
+  scheduler_ = std::make_unique<FairShareScheduler>(
+      shares, [inner] { return exp::make_scheduler(inner); });
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    const std::vector<double> quanta_buckets =
+        obs::exponential_buckets(1.0, 2.0, 14);
+    const std::vector<double> us_buckets =
+        obs::exponential_buckets(100.0, 2.0, 18);
+    for (TenantId t = 0; t < registry_->size(); ++t) {
+      const obs::Labels labels = {{"tenant", registry_->config(t).name}};
+      TenantMetrics tm;
+      tm.accepted = &m.counter("krad_svc_accepted_total", labels,
+                               "Submissions admitted to the tenant queue");
+      tm.rejected = &m.counter("krad_svc_rejected_total", labels,
+                               "Submissions rejected with backpressure");
+      tm.completed = &m.counter("krad_svc_completed_total", labels,
+                                "Tickets that completed successfully");
+      tm.cancelled = &m.counter("krad_svc_cancelled_total", labels,
+                                "Tickets cancelled before completion");
+      tm.queue_depth = &m.gauge("krad_svc_queue_depth", labels,
+                                "Jobs waiting in the tenant admission queue");
+      tm.response_quanta =
+          &m.histogram("krad_svc_response_quanta", quanta_buckets, labels,
+                       "Accept-to-complete response time in quanta");
+      tm.latency_us =
+          &m.histogram("krad_svc_latency_us", us_buckets, labels,
+                       "Submit-to-complete wall latency in microseconds");
+      tenant_metrics_.push_back(tm);
+    }
+    inflight_gauge_ = &m.gauge("krad_svc_inflight", {},
+                               "Live jobs resident in executor slots + inbox");
+    drains_counter_ =
+        &m.counter("krad_svc_drains_total", {}, "Drain requests observed");
+  } else {
+    tenant_metrics_.resize(registry_->size());
+  }
+
+  ExecutorOptions options;
+  options.clock = config_.clock;
+  options.quantum_length = config_.quantum_length;
+  options.inline_execution = config_.inline_execution;
+  options.threads_per_category = config_.threads_per_category;
+  options.live = true;
+  options.live_slots = config_.live_slots;
+  options.on_quantum_begin = [this](Time now) { pump(now); };
+  options.on_accept = [this](std::uint64_t ticket, JobId slot) {
+    on_accept(ticket, slot);
+  };
+  options.on_complete = [this](const LiveCompletion& completion) {
+    on_complete(completion);
+  };
+  executor_ = std::make_unique<Executor>(config_.machine, options);
+
+  loop_ = std::thread([this] {
+    try {
+      RuntimeResult result = executor_->run(*scheduler_);
+      std::lock_guard<std::mutex> lock(result_mu_);
+      result_ = std::move(result);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(result_mu_);
+      loop_error_ = std::current_exception();
+    }
+  });
+}
+
+Service::~Service() {
+  drain();
+  if (loop_.joinable()) loop_.join();
+}
+
+SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
+  SubmitOutcome outcome;
+  const std::optional<TenantId> tenant = registry_->find(request.tenant);
+  if (!tenant.has_value()) {
+    outcome.error = ErrorCode::kUnknownTenant;
+    return outcome;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    outcome.error = ErrorCode::kDraining;
+    return outcome;
+  }
+  // The executor requires job K == machine categories; reject the mismatch
+  // here instead of letting a bad spec take the serve loop down.
+  if (request.dag.num_categories() !=
+      static_cast<Category>(config_.machine.categories())) {
+    outcome.error = ErrorCode::kBadRequest;
+    return outcome;
+  }
+
+  auto job = std::make_unique<RuntimeJob>(
+      std::move(request.dag),
+      request.name.empty() ? "svc-job" : request.name);
+  if (request.task_us > 0) {
+    const CancellableTaskFn spin = make_spin_task(request.task_us);
+    for (VertexId v = 0;
+         v < static_cast<VertexId>(job->dag().num_vertices()); ++v) {
+      job->set_task(v, spin);
+    }
+  }
+
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    ticket = next_ticket_++;
+    TicketRecord record;
+    record.tenant = *tenant;
+    record.name = request.name;
+    record.on_done = std::move(on_done);
+    record.submitted_at = std::chrono::steady_clock::now();
+    tickets_.emplace(ticket, std::move(record));
+  }
+
+  const PushResult push =
+      registry_->queue(*tenant).push(QueuedJob{std::move(job), ticket});
+  TenantMetrics& tm = tenant_metrics_[*tenant];
+  if (!push.accepted) {
+    {
+      std::lock_guard<std::mutex> lock(tickets_mu_);
+      tickets_.erase(ticket);
+    }
+    if (tm.rejected != nullptr) tm.rejected->inc();
+    outcome.error = ErrorCode::kQueueFull;
+    outcome.retry_after_ms = push.retry_after_ms;
+    return outcome;
+  }
+  if (tm.accepted != nullptr) tm.accepted->inc();
+  outcome.accepted = true;
+  outcome.ticket = ticket;
+  return outcome;
+}
+
+bool Service::cancel(std::uint64_t ticket) {
+  TenantId tenant = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) return false;
+    if (it->second.state == TicketState::kDone ||
+        it->second.state == TicketState::kCancelled) {
+      return false;
+    }
+    tenant = it->second.tenant;
+  }
+  // Still waiting in the admission queue?  Remove it there; otherwise it is
+  // in the executor (inbox or resident) and cancel_live handles it at the
+  // next quantum boundary.
+  if (registry_->queue(tenant).cancel(ticket)) {
+    finish_cancelled(ticket);
+    return true;
+  }
+  executor_->cancel_live(ticket);
+  return true;
+}
+
+std::optional<TicketStatus> Service::status(std::uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return std::nullopt;
+  return snapshot_locked(ticket, it->second);
+}
+
+void Service::drain() {
+  if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+    if (drains_counter_ != nullptr) drains_counter_->inc();
+  }
+}
+
+bool Service::draining() const noexcept {
+  return draining_.load(std::memory_order_acquire);
+}
+
+const RuntimeResult& Service::join() {
+  if (loop_.joinable()) loop_.join();
+  std::lock_guard<std::mutex> lock(result_mu_);
+  if (loop_error_ != nullptr) std::rethrow_exception(loop_error_);
+  return result_;
+}
+
+std::size_t Service::completed_total() const {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  return completed_;
+}
+
+std::string Service::stats_json() const {
+  JsonWriter w;
+  w.begin_object().field("ok", true).field("op", "stats");
+  w.field("scheduler", scheduler_->name());
+  w.field("draining", draining());
+  w.field("inflight", static_cast<std::uint64_t>(executor_->live_load()));
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    w.field("completed", completed_).field("cancelled", cancelled_);
+  }
+  w.begin_array("tenants");
+  for (TenantId t = 0; t < registry_->size(); ++t) {
+    JsonWriter tenant;
+    tenant.begin_object()
+        .field("name", registry_->config(t).name)
+        .field("share", registry_->config(t).share)
+        .field("queue_depth",
+               static_cast<std::uint64_t>(registry_->queue(t).depth()))
+        .field("queue_capacity",
+               static_cast<std::uint64_t>(registry_->queue(t).capacity()))
+        .end_object();
+    w.element_raw(tenant.str());
+  }
+  w.end_array();
+  return w.end_object().str();
+}
+
+void Service::pump(Time now) {
+  if (config_.pacing_hook) config_.pacing_hook(now);
+
+  const std::size_t num_tenants = registry_->size();
+  for (TenantId t = 0; t < num_tenants; ++t) {
+    if (tenant_metrics_[t].queue_depth != nullptr) {
+      tenant_metrics_[t].queue_depth->set(
+          static_cast<double>(registry_->queue(t).depth()));
+    }
+  }
+
+  // Feed the executor round-robin across tenants while slots are free.  The
+  // starting tenant rotates so no tenant owns the front of every quantum.
+  while (executor_->live_load() < config_.live_slots) {
+    bool fed = false;
+    for (std::size_t i = 0; i < num_tenants; ++i) {
+      const TenantId t = static_cast<TenantId>((pump_rr_ + i) % num_tenants);
+      std::optional<QueuedJob> item = registry_->queue(t).pop();
+      if (!item.has_value()) continue;
+      fed = true;
+      const std::uint64_t ticket = item->ticket;
+      if (!executor_->submit_live(std::move(item->job), ticket)) {
+        // The executor began draining under us (drain raced acceptance);
+        // the job never ran, surface it as cancelled.
+        finish_cancelled(ticket);
+      }
+    }
+    ++pump_rr_;
+    if (!fed) break;
+  }
+
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->set(static_cast<double>(executor_->live_load()));
+  }
+
+  // Drain protocol: once submissions stopped and every accepted job reached
+  // the executor, ask the loop to exit after the resident set finishes.
+  if (draining_.load(std::memory_order_acquire) &&
+      registry_->total_depth() == 0 && !executor_->draining()) {
+    executor_->drain();
+  }
+}
+
+void Service::on_accept(std::uint64_t ticket, JobId slot) {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return;
+  scheduler_->assign(slot, it->second.tenant);
+  it->second.state = TicketState::kRunning;
+}
+
+void Service::on_complete(const LiveCompletion& completion) {
+  CompletionFn on_done;
+  TicketStatus status;
+  double latency_us = 0.0;
+  TenantId tenant = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(completion.ticket);
+    if (it == tickets_.end()) return;
+    TicketRecord& record = it->second;
+    tenant = record.tenant;
+    record.state = completion.outcome == JobOutcome::kCompleted
+                       ? TicketState::kDone
+                       : TicketState::kCancelled;
+    record.outcome = to_string(completion.outcome);
+    record.response_quanta = completion.response;
+    if (completion.outcome == JobOutcome::kCompleted) {
+      ++completed_;
+    } else {
+      ++cancelled_;
+    }
+    latency_us = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - record.submitted_at)
+                     .count();
+    on_done = std::move(record.on_done);
+    record.on_done = nullptr;
+    status = snapshot_locked(completion.ticket, record);
+  }
+  TenantMetrics& tm = tenant_metrics_[tenant];
+  if (completion.outcome == JobOutcome::kCompleted) {
+    if (tm.completed != nullptr) tm.completed->inc();
+  } else if (tm.cancelled != nullptr) {
+    tm.cancelled->inc();
+  }
+  if (tm.response_quanta != nullptr) {
+    tm.response_quanta->observe(static_cast<double>(completion.response));
+  }
+  if (tm.latency_us != nullptr) tm.latency_us->observe(latency_us);
+  if (on_done) on_done(status);
+}
+
+void Service::finish_cancelled(std::uint64_t ticket) {
+  CompletionFn on_done;
+  TicketStatus status;
+  TenantId tenant = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) return;
+    TicketRecord& record = it->second;
+    tenant = record.tenant;
+    record.state = TicketState::kCancelled;
+    record.outcome = to_string(JobOutcome::kCancelled);
+    ++cancelled_;
+    on_done = std::move(record.on_done);
+    record.on_done = nullptr;
+    status = snapshot_locked(ticket, record);
+  }
+  if (tenant_metrics_[tenant].cancelled != nullptr) {
+    tenant_metrics_[tenant].cancelled->inc();
+  }
+  if (on_done) on_done(status);
+}
+
+TicketStatus Service::snapshot_locked(std::uint64_t ticket,
+                                      const TicketRecord& record) const {
+  TicketStatus status;
+  status.ticket = ticket;
+  status.state = record.state;
+  status.tenant = registry_->config(record.tenant).name;
+  status.name = record.name;
+  status.outcome = record.outcome;
+  status.response_quanta = record.response_quanta;
+  return status;
+}
+
+}  // namespace krad::svc

@@ -1,0 +1,168 @@
+#pragma once
+// Service — the in-process core of the scheduling front door, independent
+// of any transport.  A TCP Server (svc/server.hpp) drives it over sockets;
+// tests and the bench drive it directly.
+//
+// Lifecycle: the constructor starts a live-mode Executor serve loop on a
+// dedicated thread, under a FairShareScheduler wrapping the configured
+// inner scheduler.  submit() goes
+//
+//   parse  ->  per-tenant bounded AdmissionQueue  ->  pump  ->  executor
+//
+// The pump runs as the executor's on_quantum_begin hook — on the executor
+// thread, once per quantum — popping queued jobs round-robin across tenants
+// into the executor while free slots exist.  Backpressure is therefore
+// layered: slots bound the resident set, admission queues bound the
+// waiting set per tenant, and a full queue rejects immediately with a
+// retry-after hint (the client's signal to back off).
+//
+// drain() stops new submissions but honours everything already accepted:
+// the pump keeps feeding queued jobs until the queues are empty, then asks
+// the executor to drain; join() returns once the loop exits.
+//
+// Exposes the krad_svc_* metric catalog (docs/OBSERVABILITY.md) when a
+// MetricsRegistry is configured.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/executor.hpp"
+#include "svc/fair_share.hpp"
+#include "svc/protocol.hpp"
+#include "svc/tenants.hpp"
+
+namespace krad::svc {
+
+struct ServiceConfig {
+  MachineConfig machine{{2, 2}};
+  std::vector<TenantConfig> tenants{{"default", 1.0, 64}};
+  /// Inner scheduler short name (exp::make_scheduler): "krad", "kdeq", ...
+  std::string scheduler = "krad";
+  /// Executor slot count: max concurrently resident jobs.
+  std::size_t live_slots = 64;
+  ClockMode clock = ClockMode::kWall;
+  std::chrono::microseconds quantum_length{1000};
+  /// Run task closures inline on the executor thread (deterministic; the
+  /// virtual-clock bench configuration).
+  bool inline_execution = false;
+  unsigned threads_per_category = 1;
+  SpecLimits limits;
+  /// Optional krad_svc_* sink; must outlive the Service.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Invoked at the top of every quantum, on the executor thread, before
+  /// the pump — the bench uses it to script deterministic arrivals.
+  std::function<void(Time)> pacing_hook;
+};
+
+/// Result of Service::submit.
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t ticket = 0;  ///< valid iff accepted
+  ErrorCode error = ErrorCode::kInternal;
+  std::uint64_t retry_after_ms = 0;  ///< set for kQueueFull
+};
+
+class Service {
+ public:
+  /// Terminal-event callback, invoked once per accepted ticket (state kDone
+  /// or kCancelled) on the executor thread.  Must not re-enter the Service.
+  using CompletionFn = std::function<void(const TicketStatus&)>;
+
+  explicit Service(ServiceConfig config);
+  /// Drains (cancelling nothing that was accepted) and joins the loop.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Thread-safe.  On acceptance the ticket is queued; `on_done` fires when
+  /// it reaches a terminal state.  Rejections (unknown tenant, queue full,
+  /// draining) report an ErrorCode and never fire `on_done`.
+  SubmitOutcome submit(SubmitRequest request, CompletionFn on_done = {});
+
+  /// Cancel a queued or running ticket; returns false for unknown/finished
+  /// tickets.  The terminal kCancelled event still goes through `on_done`.
+  bool cancel(std::uint64_t ticket);
+
+  /// Snapshot of one ticket; nullopt if the ticket was never accepted.
+  std::optional<TicketStatus> status(std::uint64_t ticket) const;
+
+  /// Stop accepting; accepted work completes.  Idempotent, thread-safe.
+  void drain();
+  bool draining() const noexcept;
+
+  /// Wait for the serve loop to exit (requires a prior drain() — otherwise
+  /// this blocks until someone calls it).  Rethrows a loop failure.
+  const RuntimeResult& join();
+
+  /// One-line JSON stats document (the "stats" op reply body).
+  std::string stats_json() const;
+
+  const SpecLimits& limits() const noexcept { return config_.limits; }
+  const TenantRegistry& tenants() const noexcept { return *registry_; }
+  std::size_t completed_total() const;
+
+ private:
+  struct TicketRecord {
+    TenantId tenant = 0;
+    std::string name;
+    TicketState state = TicketState::kQueued;
+    std::optional<std::string> outcome;
+    std::optional<Time> response_quanta;
+    CompletionFn on_done;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void pump(Time now);
+  void on_accept(std::uint64_t ticket, JobId slot);
+  void on_complete(const LiveCompletion& completion);
+  /// Terminal transition outside the executor (rejected pump handoff).
+  void finish_cancelled(std::uint64_t ticket);
+  TicketStatus snapshot_locked(std::uint64_t ticket,
+                               const TicketRecord& record) const;
+
+  ServiceConfig config_;
+  std::unique_ptr<TenantRegistry> registry_;
+  std::unique_ptr<FairShareScheduler> scheduler_;
+  std::unique_ptr<Executor> executor_;
+
+  mutable std::mutex tickets_mu_;
+  std::unordered_map<std::uint64_t, TicketRecord> tickets_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+
+  std::atomic<bool> draining_{false};
+  std::size_t pump_rr_ = 0;  ///< round-robin cursor (executor thread only)
+
+  std::thread loop_;
+  std::mutex result_mu_;
+  RuntimeResult result_;
+  std::exception_ptr loop_error_;
+
+  // Metric handles (null when config_.metrics is null).
+  struct TenantMetrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* response_quanta = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  std::vector<TenantMetrics> tenant_metrics_;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Counter* drains_counter_ = nullptr;
+};
+
+}  // namespace krad::svc

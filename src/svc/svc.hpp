@@ -1,0 +1,12 @@
+#pragma once
+// Umbrella header for the serving subsystem (docs/SERVICE.md): NDJSON
+// protocol + bounded multi-tenant admission + fair-share capacity
+// partitioning + live-executor service core + TCP front door.
+
+#include "svc/admission.hpp"
+#include "svc/fair_share.hpp"
+#include "svc/json.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/tenants.hpp"

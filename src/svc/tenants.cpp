@@ -1,0 +1,44 @@
+#include "svc/tenants.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace krad::svc {
+
+TenantRegistry::TenantRegistry(std::vector<TenantConfig> configs)
+    : configs_(std::move(configs)) {
+  if (configs_.empty()) {
+    throw std::invalid_argument("TenantRegistry: at least one tenant required");
+  }
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    const TenantConfig& cfg = configs_[i];
+    if (cfg.name.empty()) {
+      throw std::invalid_argument("TenantRegistry: tenant name must be non-empty");
+    }
+    if (!(cfg.share > 0.0) || !std::isfinite(cfg.share)) {
+      throw std::invalid_argument("TenantRegistry: share must be finite and > 0");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (configs_[j].name == cfg.name) {
+        throw std::invalid_argument("TenantRegistry: duplicate tenant \"" +
+                                    cfg.name + '"');
+      }
+    }
+    queues_.push_back(std::make_unique<AdmissionQueue>(cfg.queue_capacity));
+  }
+}
+
+std::optional<TenantId> TenantRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (configs_[i].name == name) return static_cast<TenantId>(i);
+  }
+  return std::nullopt;
+}
+
+std::size_t TenantRegistry::total_depth() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q->depth();
+  return total;
+}
+
+}  // namespace krad::svc

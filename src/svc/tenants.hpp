@@ -1,0 +1,52 @@
+#pragma once
+// Tenant registry: the static multi-tenancy configuration of one service
+// instance — who may submit, how much capacity they are entitled to, and
+// how deep their admission queue is.
+//
+// Shares are relative weights, not percentages: a tenant with share 2 is
+// entitled to twice the per-category processors of a tenant with share 1
+// whenever both have resident jobs (FairShareScheduler does the actual
+// apportionment, redistributing idle tenants' capacity to busy ones).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/admission.hpp"
+
+namespace krad::svc {
+
+struct TenantConfig {
+  std::string name;
+  double share = 1.0;               ///< relative capacity weight (> 0)
+  std::size_t queue_capacity = 64;  ///< admission queue depth (>= 1)
+};
+
+/// Index of a tenant within the registry (dense, 0-based).
+using TenantId = std::uint32_t;
+
+class TenantRegistry {
+ public:
+  /// Validates names (non-empty, unique) and shares (> 0, finite); throws
+  /// std::invalid_argument otherwise.  At least one tenant is required.
+  explicit TenantRegistry(std::vector<TenantConfig> configs);
+
+  std::size_t size() const noexcept { return configs_.size(); }
+  const TenantConfig& config(TenantId id) const { return configs_.at(id); }
+  AdmissionQueue& queue(TenantId id) { return *queues_.at(id); }
+  const AdmissionQueue& queue(TenantId id) const { return *queues_.at(id); }
+
+  /// Lookup by name; nullopt for unknown tenants.
+  std::optional<TenantId> find(const std::string& name) const;
+
+  /// Sum of all queued jobs across tenants.
+  std::size_t total_depth() const;
+
+ private:
+  std::vector<TenantConfig> configs_;
+  std::vector<std::unique_ptr<AdmissionQueue>> queues_;
+};
+
+}  // namespace krad::svc

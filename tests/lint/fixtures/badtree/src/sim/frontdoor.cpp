@@ -1,0 +1,3 @@
+// Seeded layering violation: determinism-critical code must not depend on
+#include "svc/service.hpp"
+// the service layer, which is allowed wall clocks and sockets.

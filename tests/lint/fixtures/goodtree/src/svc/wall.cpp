@@ -1,0 +1,19 @@
+// src/svc is outside the determinism dirs: wall clocks and ambient entropy
+// are allowed here (the boundary layer talks to real sockets and real
+// time), so none of the determinism bans may fire on this file.
+#include <chrono>
+#include <ctime>
+
+namespace krad::svc {
+
+long long wall_seconds() {
+  return static_cast<long long>(std::time(nullptr));
+}
+
+double wall_epoch() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace krad::svc

@@ -19,6 +19,7 @@ EXPECTED_BAD = [
     ("krad-determinism-rand", "src/sim/entropy.cpp:6"),
     ("krad-determinism-time", "src/sim/entropy.cpp:8"),
     ("krad-determinism-unordered", "src/sim/entropy.cpp:13"),
+    ("krad-layering-svc-include", "src/sim/frontdoor.cpp:2"),
     ("krad-metric-undocumented", "krad_fixture_only_total"),
     ("krad-metric-stale", "krad_stale_metric_total"),
     ("krad-header-guard", "src/core/hygiene.hpp"),

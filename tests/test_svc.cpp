@@ -1,0 +1,1036 @@
+// Serving subsystem tests (docs/SERVICE.md): JSON codec hardening, protocol
+// negative cases, bounded admission with retry-after backpressure, tenant
+// fair-share capacity partitioning, live-service lifecycle (submit / cancel
+// / drain under concurrency — the TSan target), and a real-socket server
+// round trip.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/svc.hpp"
+
+namespace krad::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// JSON codec (satellite: malformed input never crashes, always structured)
+
+TEST(SvcJson, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v = parse_json(
+      R"({"a": 1, "b": -2.5, "c": "x\ny", "d": [true, false, null], "e": {}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.find("b")->as_double(), -2.5);
+  EXPECT_EQ(v.find("c")->as_string(), "x\ny");
+  ASSERT_EQ(v.find("d")->items().size(), 3u);
+  EXPECT_TRUE(v.find("d")->items()[0].as_bool());
+  EXPECT_TRUE(v.find("d")->items()[2].is_null());
+  EXPECT_TRUE(v.find("e")->members().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(SvcJson, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(parse_json(R"("Aé€")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW(parse_json(R"("\ud83d")"), JsonError);       // unpaired high
+  EXPECT_THROW(parse_json(R"("\ude00")"), JsonError);       // unpaired low
+  EXPECT_THROW(parse_json(R"("\ud83dX")"), JsonError);
+  EXPECT_THROW(parse_json(R"("\u12g4")"), JsonError);
+}
+
+TEST(SvcJson, MalformedInputsThrowStructuredErrors) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,",
+      "[1 2]",
+      R"({"a" 1})",
+      R"({"a":1,})",
+      R"({'a':1})",
+      "tru",
+      "nul",
+      "+1",
+      "01",
+      "1.",
+      "1e",
+      ".5",
+      "\"abc",
+      "\"a\x01z\"",
+      R"("\q")",
+      "{} {}",
+      "1 trailing",
+      "nan",
+      "Infinity",
+      "1e999",  // overflows to inf -> rejected as non-finite
+  };
+  for (const char* input : bad) {
+    EXPECT_THROW(parse_json(input), JsonError) << "input: " << input;
+  }
+}
+
+TEST(SvcJson, DuplicateObjectKeysAreRejected) {
+  try {
+    parse_json(R"({"categories": 1, "categories": 2})");
+    FAIL() << "duplicate key accepted";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(SvcJson, LimitsAreEnforced) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_THROW(parse_json("[1,2,3,4,5,6,7,8,9]", limits), JsonError);
+
+  limits = JsonLimits{};
+  limits.max_depth = 3;
+  EXPECT_NO_THROW(parse_json("[[[1]]]", limits));
+  EXPECT_THROW(parse_json("[[[[1]]]]", limits), JsonError);
+
+  limits = JsonLimits{};
+  limits.max_values = 4;
+  EXPECT_THROW(parse_json("[1,2,3,4,5]", limits), JsonError);
+
+  limits = JsonLimits{};
+  limits.max_string = 4;
+  EXPECT_THROW(parse_json("\"abcdefgh\"", limits), JsonError);
+}
+
+TEST(SvcJson, IntegerExactness) {
+  EXPECT_EQ(parse_json("9007199254740993").as_int(), 9007199254740993LL);
+  EXPECT_THROW(parse_json("1.5").as_int(), JsonError);
+  EXPECT_THROW(parse_json("1e3").as_int(), JsonError);
+  EXPECT_THROW(parse_json("99999999999999999999"), JsonError);  // > int64
+}
+
+TEST(SvcJson, ErrorsCarryByteOffsets) {
+  try {
+    parse_json("[1, 2, oops]");
+    FAIL();
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.offset(), 7u);
+  }
+}
+
+TEST(SvcJson, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "a\"b\\c\nd")
+      .field("i", std::int64_t{-3})
+      .field("b", true)
+      .field("d", 1.25)
+      .begin_array("xs");
+  w.element_raw("1").element_raw("\"two\"");
+  w.end_array().end_object();
+  const std::string doc = w.str();
+  // Round-trips through our own parser.
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(v.find("i")->as_int(), -3);
+  EXPECT_TRUE(v.find("b")->as_bool());
+  EXPECT_DOUBLE_EQ(v.find("d")->as_double(), 1.25);
+  EXPECT_EQ(v.find("xs")->items().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol parsing
+
+std::string chain_submit_line(const std::string& tenant, int length,
+                              const std::string& name = "") {
+  std::string vertices = "[";
+  for (int i = 0; i < length; ++i) {
+    if (i > 0) vertices += ',';
+    vertices += '0';
+  }
+  vertices += ']';
+  std::string edges = "[";
+  for (int i = 0; i + 1 < length; ++i) {
+    if (i > 0) edges += ',';
+    edges += '[' + std::to_string(i) + ',' + std::to_string(i + 1) + ']';
+  }
+  edges += ']';
+  std::string line = R"({"op":"submit","tenant":")" + tenant +
+                     R"(","job":{"categories":1,"vertices":)" + vertices +
+                     R"(,"edges":)" + edges;
+  if (!name.empty()) line += R"(,"name":")" + name + '"';
+  line += "}}";
+  return line;
+}
+
+TEST(SvcProtocol, ParsesSubmit) {
+  const Request request = parse_request(chain_submit_line("acme", 3, "j1"));
+  const auto& submit = std::get<SubmitRequest>(request);
+  EXPECT_EQ(submit.tenant, "acme");
+  EXPECT_EQ(submit.name, "j1");
+  EXPECT_EQ(submit.dag.num_vertices(), 3u);
+  EXPECT_EQ(submit.dag.span(), 3);
+  EXPECT_TRUE(submit.dag.sealed());
+  EXPECT_EQ(submit.task_us, 0u);
+}
+
+TEST(SvcProtocol, ParsesControlOps) {
+  EXPECT_TRUE(std::holds_alternative<StatusRequest>(
+      parse_request(R"({"op":"status","ticket":7})")));
+  EXPECT_TRUE(std::holds_alternative<CancelRequest>(
+      parse_request(R"({"op":"cancel","ticket":7})")));
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(
+      parse_request(R"({"op":"stats"})")));
+  EXPECT_TRUE(std::holds_alternative<DrainRequest>(
+      parse_request(R"({"op":"drain"})")));
+}
+
+void expect_protocol_error(const std::string& line, ErrorCode code) {
+  try {
+    parse_request(line);
+    FAIL() << "accepted: " << line;
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), code) << "line: " << line << " -> " << e.what();
+  }
+}
+
+TEST(SvcProtocol, RejectsMalformedRequests) {
+  expect_protocol_error("not json", ErrorCode::kParseError);
+  expect_protocol_error("{\"op\":\"submit\"", ErrorCode::kParseError);
+  expect_protocol_error("[]", ErrorCode::kBadRequest);
+  expect_protocol_error("{}", ErrorCode::kBadRequest);
+  expect_protocol_error(R"({"op":42})", ErrorCode::kBadRequest);
+  expect_protocol_error(R"({"op":"fly"})", ErrorCode::kUnknownOp);
+  expect_protocol_error(R"({"op":"status"})", ErrorCode::kBadRequest);
+  expect_protocol_error(R"({"op":"status","ticket":-1})",
+                        ErrorCode::kBadRequest);
+  expect_protocol_error(R"({"op":"status","ticket":1.5})",
+                        ErrorCode::kBadRequest);
+  // Duplicate fields are a parse error, not last-one-wins.
+  expect_protocol_error(R"({"op":"stats","op":"drain"})",
+                        ErrorCode::kParseError);
+}
+
+TEST(SvcProtocol, RejectsBadJobSpecs) {
+  const ErrorCode bad = ErrorCode::kBadRequest;
+  expect_protocol_error(R"({"op":"submit","tenant":"t"})", bad);
+  expect_protocol_error(R"({"op":"submit","tenant":"","job":{}})", bad);
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":{"categories":1}})", bad);
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":{"categories":0,"vertices":[0]}})",
+      bad);
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":{"categories":1,"vertices":[]}})",
+      bad);
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":{"categories":1,"vertices":[1]}})",
+      bad);
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":{"categories":1,"vertices":[-1]}})",
+      bad);
+  // Edge endpoint out of range, self-loop, wrong arity, cycle.
+  expect_protocol_error(R"({"op":"submit","tenant":"t","job":)"
+                        R"({"categories":1,"vertices":[0,0],"edges":[[0,5]]}})",
+                        bad);
+  expect_protocol_error(R"({"op":"submit","tenant":"t","job":)"
+                        R"({"categories":1,"vertices":[0,0],"edges":[[1,1]]}})",
+                        bad);
+  expect_protocol_error(R"({"op":"submit","tenant":"t","job":)"
+                        R"({"categories":1,"vertices":[0,0],"edges":[[0]]}})",
+                        bad);
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":)"
+      R"({"categories":1,"vertices":[0,0],"edges":[[0,1],[1,0]]}})",
+      bad);
+  // task_us above the cap.
+  expect_protocol_error(
+      R"({"op":"submit","tenant":"t","job":)"
+      R"({"categories":1,"vertices":[0]},"task_us":99999999})",
+      bad);
+}
+
+TEST(SvcProtocol, RejectsOversizedSpecs) {
+  SpecLimits limits;
+  limits.max_vertices = 4;
+  try {
+    parse_request(chain_submit_line("t", 5), limits);
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+    EXPECT_NE(std::string(e.what()).find("max_vertices"), std::string::npos);
+  }
+}
+
+TEST(SvcProtocol, RendersRepliesAsValidJson) {
+  const std::string err =
+      render_error(ErrorCode::kQueueFull, "full", 120);
+  const JsonValue e = parse_json(err);
+  EXPECT_FALSE(e.find("ok")->as_bool());
+  EXPECT_EQ(e.find("error")->as_string(), "queue_full");
+  EXPECT_EQ(e.find("retry_after_ms")->as_int(), 120);
+
+  const JsonValue ok = parse_json(render_submit_ok(42));
+  EXPECT_TRUE(ok.find("ok")->as_bool());
+  EXPECT_EQ(ok.find("ticket")->as_int(), 42);
+
+  TicketStatus status;
+  status.ticket = 7;
+  status.state = TicketState::kDone;
+  status.tenant = "acme";
+  status.outcome = "completed";
+  status.response_quanta = 5;
+  const JsonValue s = parse_json(render_status(status));
+  EXPECT_EQ(s.find("state")->as_string(), "done");
+  EXPECT_EQ(s.find("response_quanta")->as_int(), 5);
+  const JsonValue ev = parse_json(render_completion_event(status));
+  EXPECT_EQ(ev.find("event")->as_string(), "complete");
+  EXPECT_EQ(ev.find("ticket")->as_int(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue backpressure
+
+std::unique_ptr<RuntimeJob> tiny_job() {
+  KDag dag(1);
+  dag.add_vertex(0);
+  dag.seal();
+  return std::make_unique<RuntimeJob>(std::move(dag));
+}
+
+TEST(SvcAdmission, BoundedFifoWithRetryAfter) {
+  AdmissionQueue queue(2, /*fallback_retry_ms=*/33);
+  EXPECT_TRUE(queue.push({tiny_job(), 1}).accepted);
+  EXPECT_TRUE(queue.push({tiny_job(), 2}).accepted);
+  const PushResult rejected = queue.push({tiny_job(), 3});
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.retry_after_ms, 33u);  // no pop observed yet
+  EXPECT_EQ(queue.depth(), 2u);
+
+  auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->ticket, 1u);  // FIFO
+  std::this_thread::sleep_for(2ms);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+
+  // With a measured pop interval the hint scales with depth and is >= 1.
+  EXPECT_TRUE(queue.push({tiny_job(), 4}).accepted);
+  EXPECT_TRUE(queue.push({tiny_job(), 5}).accepted);
+  const PushResult priced = queue.push({tiny_job(), 6});
+  EXPECT_FALSE(priced.accepted);
+  EXPECT_GE(priced.retry_after_ms, 1u);
+}
+
+TEST(SvcAdmission, CancelRemovesQueuedTicket) {
+  AdmissionQueue queue(4);
+  EXPECT_TRUE(queue.push({tiny_job(), 1}).accepted);
+  EXPECT_TRUE(queue.push({tiny_job(), 2}).accepted);
+  EXPECT_TRUE(queue.cancel(1));
+  EXPECT_FALSE(queue.cancel(1));
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.pop()->ticket, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant registry
+
+TEST(SvcTenants, ValidatesConfiguration) {
+  EXPECT_THROW(TenantRegistry({}), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry({{"", 1.0, 4}}), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry({{"a", 0.0, 4}}), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry({{"a", -1.0, 4}}), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry({{"a", 1.0, 4}, {"a", 1.0, 4}}),
+               std::invalid_argument);
+
+  TenantRegistry registry({{"a", 3.0, 4}, {"b", 1.0, 8}});
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.find("b"), TenantId{1});
+  EXPECT_FALSE(registry.find("c").has_value());
+  EXPECT_EQ(registry.queue(1).capacity(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Fair-share capacity partitioning
+
+/// Inner stub: grants each job its full desire (capped by the capacity it
+/// was last given, spread greedily in order) and records the capacities
+/// received through set_capacity.
+class RecordingScheduler : public KScheduler {
+ public:
+  void reset(const MachineConfig& machine, std::size_t) override {
+    capacity_ = machine;
+  }
+  void set_capacity(const MachineConfig& effective) override {
+    capacity_ = effective;
+    history.push_back(effective.processors);
+  }
+  void allot(Time, std::span<const JobView> active, const ClairvoyantView*,
+             Allotment& out) override {
+    std::vector<int> left = capacity_.processors;
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      for (std::size_t a = 0; a < left.size(); ++a) {
+        const Work grant = std::min<Work>(active[j].desire[a], left[a]);
+        out[j][a] = grant;
+        left[a] -= static_cast<int>(grant);
+      }
+    }
+  }
+  std::string name() const override { return "recording"; }
+
+  std::vector<std::vector<int>> history;
+  MachineConfig capacity_;
+};
+
+JobView view(JobId id, std::vector<Work> desire) {
+  JobView v;
+  v.id = id;
+  v.desire = std::move(desire);
+  return v;
+}
+
+TEST(SvcFairShare, PartitionsCapacityByShares) {
+  std::vector<RecordingScheduler*> inners;
+  FairShareScheduler fs({3.0, 1.0}, [&inners] {
+    auto s = std::make_unique<RecordingScheduler>();
+    inners.push_back(s.get());
+    return s;
+  });
+  const MachineConfig machine{{8, 4}};
+  fs.reset(machine, 8);
+  ASSERT_EQ(inners.size(), 3u);  // probe + one per tenant
+
+  fs.assign(0, 0);
+  fs.assign(1, 0);
+  fs.assign(2, 1);
+
+  std::vector<JobView> active = {view(0, {10, 10}), view(1, {10, 10}),
+                                 view(2, {10, 10})};
+  Allotment out(active.size(), std::vector<Work>(2, 0));
+  fs.allot(1, active, nullptr, out);
+
+  // Shares 3:1 over P = [8, 4] -> [6, 3] and [2, 1].
+  ASSERT_EQ(fs.last_quota().size(), 2u);
+  EXPECT_EQ(fs.last_quota()[0], (std::vector<int>{6, 3}));
+  EXPECT_EQ(fs.last_quota()[1], (std::vector<int>{2, 1}));
+
+  // Allotments land on the right rows and stay within tenant quota.
+  EXPECT_EQ(out[0][0] + out[1][0], 6);
+  EXPECT_EQ(out[2][0], 2);
+  EXPECT_EQ(out[0][1] + out[1][1], 3);
+  EXPECT_EQ(out[2][1], 1);
+}
+
+TEST(SvcFairShare, IdleTenantCapacityRedistributes) {
+  FairShareScheduler fs({3.0, 1.0},
+                        [] { return std::make_unique<RecordingScheduler>(); });
+  fs.reset(MachineConfig{{8}}, 4);
+  fs.assign(0, 1);  // only tenant 1 is busy
+
+  std::vector<JobView> active = {view(0, {10})};
+  Allotment out(1, std::vector<Work>(1, 0));
+  fs.allot(1, active, nullptr, out);
+  EXPECT_EQ(fs.last_quota()[1], (std::vector<int>{8}));
+  EXPECT_EQ(fs.last_quota()[0], (std::vector<int>{0}));
+  EXPECT_EQ(out[0][0], 8);
+}
+
+TEST(SvcFairShare, LargestRemainderNeverExceedsCapacity) {
+  // 3 equal tenants over 7 processors: quotas must sum to exactly 7 and
+  // differ by at most 1 (largest remainder), deterministically.
+  FairShareScheduler fs({1.0, 1.0, 1.0},
+                        [] { return std::make_unique<RecordingScheduler>(); });
+  fs.reset(MachineConfig{{7}}, 3);
+  fs.assign(0, 0);
+  fs.assign(1, 1);
+  fs.assign(2, 2);
+  std::vector<JobView> active = {view(0, {9}), view(1, {9}), view(2, {9})};
+  Allotment out(3, std::vector<Work>(1, 0));
+  fs.allot(1, active, nullptr, out);
+  int total = 0;
+  for (std::size_t t = 0; t < 3; ++t) total += fs.last_quota()[t][0];
+  EXPECT_EQ(total, 7);
+  EXPECT_EQ(fs.last_quota()[0], (std::vector<int>{3}));  // tie -> lower id
+  EXPECT_EQ(fs.last_quota()[1], (std::vector<int>{2}));
+  EXPECT_EQ(fs.last_quota()[2], (std::vector<int>{2}));
+}
+
+TEST(SvcFairShare, RespectsSetCapacityFromFaultLayer) {
+  FairShareScheduler fs({1.0, 1.0},
+                        [] { return std::make_unique<RecordingScheduler>(); });
+  fs.reset(MachineConfig{{8}}, 4);
+  fs.set_capacity(MachineConfig{{4}});  // half the machine lost
+  fs.assign(0, 0);
+  fs.assign(1, 1);
+  std::vector<JobView> active = {view(0, {9}), view(1, {9})};
+  Allotment out(2, std::vector<Work>(1, 0));
+  fs.allot(1, active, nullptr, out);
+  EXPECT_EQ(fs.last_quota()[0][0] + fs.last_quota()[1][0], 4);
+}
+
+// ---------------------------------------------------------------------------
+// Service lifecycle (in-process)
+
+KDag wide_dag(int width) {
+  KDag dag(1);
+  for (int i = 0; i < width; ++i) dag.add_vertex(0);
+  dag.seal();
+  return dag;
+}
+
+KDag chain_dag(int length) {
+  KDag dag(1);
+  dag.add_chain(0, static_cast<std::size_t>(length));
+  dag.seal();
+  return dag;
+}
+
+SubmitRequest submit_of(const std::string& tenant, KDag dag,
+                        const std::string& name = "") {
+  SubmitRequest request;
+  request.tenant = tenant;
+  request.dag = std::move(dag);
+  request.name = name;
+  return request;
+}
+
+/// Collects terminal events; join() on the Service guarantees quiescence.
+struct EventLog {
+  std::mutex mu;
+  std::map<std::uint64_t, TicketStatus> events;
+
+  Service::CompletionFn sink() {
+    return [this](const TicketStatus& status) {
+      std::lock_guard<std::mutex> lock(mu);
+      events.emplace(status.ticket, status);
+    };
+  }
+};
+
+ServiceConfig virtual_config() {
+  ServiceConfig config;
+  config.machine = MachineConfig{{4}};
+  config.tenants = {{"acme", 1.0, 16}};
+  config.scheduler = "kequi";
+  config.live_slots = 8;
+  config.clock = ClockMode::kVirtual;
+  config.inline_execution = true;
+  return config;
+}
+
+TEST(SvcService, SubmitRunsToCompletion) {
+  EventLog log;
+  Service service(virtual_config());
+  const SubmitOutcome outcome =
+      service.submit(submit_of("acme", chain_dag(5), "c5"), log.sink());
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_GE(outcome.ticket, 1u);
+  service.drain();
+  service.join();
+
+  ASSERT_EQ(log.events.size(), 1u);
+  const TicketStatus& status = log.events.at(outcome.ticket);
+  EXPECT_EQ(status.state, TicketState::kDone);
+  EXPECT_EQ(status.outcome, "completed");
+  EXPECT_EQ(status.tenant, "acme");
+  EXPECT_EQ(status.name, "c5");
+  ASSERT_TRUE(status.response_quanta.has_value());
+  EXPECT_GE(*status.response_quanta, 5);  // a 5-chain needs 5 quanta
+
+  const auto snapshot = service.status(outcome.ticket);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->state, TicketState::kDone);
+  EXPECT_EQ(service.completed_total(), 1u);
+}
+
+TEST(SvcService, RejectsUnknownTenantAndDraining) {
+  Service service(virtual_config());
+  EXPECT_EQ(service.submit(submit_of("ghost", wide_dag(1))).error,
+            ErrorCode::kUnknownTenant);
+  service.drain();
+  const SubmitOutcome after = service.submit(submit_of("acme", wide_dag(1)));
+  EXPECT_FALSE(after.accepted);
+  EXPECT_EQ(after.error, ErrorCode::kDraining);
+  service.join();
+}
+
+TEST(SvcService, RejectsCategoryCountMismatchAsBadRequest) {
+  // virtual_config()'s machine has one category; a two-category job must
+  // be refused at submit, not handed to the executor (where the mismatch
+  // would throw and take the serve loop down).
+  Service service(virtual_config());
+  KDag two_cat(2);
+  two_cat.add_vertex(0);
+  two_cat.add_vertex(1);
+  two_cat.seal();
+  const SubmitOutcome outcome =
+      service.submit(submit_of("acme", std::move(two_cat)));
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.error, ErrorCode::kBadRequest);
+  service.drain();
+  service.join();
+}
+
+TEST(SvcService, BackpressureRejectsWithRetryAfter) {
+  ServiceConfig config = virtual_config();
+  config.tenants = {{"acme", 1.0, 2}};  // queue depth 2
+  config.live_slots = 1;                // at most one job in the executor
+  // Freeze the serve loop (the hook runs before the pump) until the whole
+  // burst has landed, so the queue cannot drain mid-burst and the
+  // overflow arithmetic is exact: 2 queued, 2 rejected.
+  std::atomic<bool> burst_done{false};
+  config.pacing_hook = [&](Time) {
+    while (!burst_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+  EventLog log;
+  Service service(config);
+
+  std::vector<std::uint64_t> accepted;
+  int rejections = 0;
+  std::uint64_t retry_hint = 0;
+  for (int i = 0; i < 4; ++i) {
+    const SubmitOutcome outcome =
+        service.submit(submit_of("acme", chain_dag(2000)), log.sink());
+    if (outcome.accepted) {
+      accepted.push_back(outcome.ticket);
+    } else {
+      ASSERT_EQ(outcome.error, ErrorCode::kQueueFull);
+      retry_hint = outcome.retry_after_ms;
+      ++rejections;
+    }
+  }
+  EXPECT_EQ(rejections, 2);
+  EXPECT_EQ(accepted.size(), 2u);
+  EXPECT_GE(retry_hint, 1u);
+
+  for (const std::uint64_t ticket : accepted) service.cancel(ticket);
+  burst_done.store(true, std::memory_order_release);
+  service.drain();
+  service.join();
+  EXPECT_EQ(log.events.size(), accepted.size());  // one terminal event each
+}
+
+TEST(SvcService, CancelQueuedAndRunningTickets) {
+  ServiceConfig config = virtual_config();
+  config.live_slots = 1;
+  // Script the interleaving: the first hook pass holds the loop until
+  // both submissions landed (the pump then slots job 1, which becomes
+  // kRunning at that same quantum top), and every later pass holds it
+  // until the cancels are issued — so the virtual clock cannot race the
+  // chains to completion before the cancels arrive.
+  std::atomic<bool> submitted{false};
+  std::atomic<bool> cancels_issued{false};
+  std::atomic<int> passes{0};
+  config.pacing_hook = [&](Time) {
+    if (passes.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      while (!submitted.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      return;
+    }
+    while (!cancels_issued.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+  EventLog log;
+  Service service(config);
+
+  const SubmitOutcome running =
+      service.submit(submit_of("acme", chain_dag(5000)), log.sink());
+  const SubmitOutcome queued =
+      service.submit(submit_of("acme", chain_dag(5000)), log.sink());
+  ASSERT_TRUE(running.accepted);
+  ASSERT_TRUE(queued.accepted);
+  submitted.store(true, std::memory_order_release);
+
+  // The single slot takes the first ticket; the second stays queued.
+  while (service.status(running.ticket)->state != TicketState::kRunning) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(service.status(queued.ticket)->state, TicketState::kQueued);
+
+  EXPECT_TRUE(service.cancel(queued.ticket));
+  EXPECT_TRUE(service.cancel(running.ticket));
+  EXPECT_FALSE(service.cancel(999999));  // unknown
+  cancels_issued.store(true, std::memory_order_release);
+
+  service.drain();
+  service.join();
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.events.at(running.ticket).state, TicketState::kCancelled);
+  EXPECT_EQ(log.events.at(queued.ticket).state, TicketState::kCancelled);
+  EXPECT_FALSE(service.cancel(running.ticket));  // already terminal
+}
+
+TEST(SvcService, DrainHonoursAcceptedQueuedJobs) {
+  ServiceConfig config = virtual_config();
+  config.live_slots = 1;  // forces the later submissions to queue
+  EventLog log;
+  Service service(config);
+  std::vector<std::uint64_t> tickets;
+  for (int i = 0; i < 3; ++i) {
+    const SubmitOutcome outcome =
+        service.submit(submit_of("acme", chain_dag(50)), log.sink());
+    ASSERT_TRUE(outcome.accepted);
+    tickets.push_back(outcome.ticket);
+  }
+  service.drain();
+  service.join();
+  ASSERT_EQ(log.events.size(), 3u);
+  for (const std::uint64_t ticket : tickets) {
+    EXPECT_EQ(log.events.at(ticket).state, TicketState::kDone);
+  }
+}
+
+TEST(SvcService, StatsDocumentIsValidJson) {
+  Service service(virtual_config());
+  const JsonValue stats = parse_json(service.stats_json());
+  EXPECT_TRUE(stats.find("ok")->as_bool());
+  EXPECT_EQ(stats.find("tenants")->items().size(), 1u);
+  EXPECT_EQ(stats.find("tenants")->items()[0].find("name")->as_string(),
+            "acme");
+  service.drain();
+  service.join();
+}
+
+TEST(SvcService, RunsUnderClairvoyantInnerScheduler) {
+  // FCFS is clairvoyant: exercises the per-tenant ClairvoyantView slicing.
+  ServiceConfig config = virtual_config();
+  config.scheduler = "fcfs";
+  config.tenants = {{"a", 1.0, 16}, {"b", 2.0, 16}};
+  EventLog log;
+  Service service(config);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        service.submit(submit_of("a", chain_dag(4)), log.sink()).accepted);
+    ASSERT_TRUE(
+        service.submit(submit_of("b", wide_dag(6)), log.sink()).accepted);
+  }
+  service.drain();
+  service.join();
+  EXPECT_EQ(log.events.size(), 6u);
+  for (const auto& [ticket, status] : log.events) {
+    EXPECT_EQ(status.state, TicketState::kDone) << "ticket " << ticket;
+  }
+}
+
+// Satellite: two tenants at unequal shares must observe their configured
+// capacity share within tolerance.
+TEST(SvcService, TenantsObserveConfiguredCapacityShares) {
+  constexpr int kJobsPerTenant = 10;
+  constexpr int kWidth = 60;  // independent unit tasks per job
+  constexpr double kTotalWork = kJobsPerTenant * kWidth;  // per tenant
+  constexpr int kProcs = 8;
+
+  ServiceConfig config;
+  config.machine = MachineConfig{{kProcs}};
+  config.tenants = {{"gold", 3.0, 64}, {"bronze", 1.0, 64}};
+  config.scheduler = "kequi";
+  config.live_slots = 64;  // everything resident from the first quantum
+  config.clock = ClockMode::kVirtual;
+  config.inline_execution = true;
+
+  // Gate the serve loop until the whole batch is queued, so every job is
+  // accepted in the same quantum and responses share one time origin.
+  std::atomic<bool> go{false};
+  config.pacing_hook = [&go](Time) {
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(100us);
+    }
+  };
+
+  EventLog log;
+  Service service(config);
+  std::map<std::uint64_t, std::string> tenant_of;
+  for (int i = 0; i < kJobsPerTenant; ++i) {
+    for (const char* tenant : {"gold", "bronze"}) {
+      const SubmitOutcome outcome =
+          service.submit(submit_of(tenant, wide_dag(kWidth)), log.sink());
+      ASSERT_TRUE(outcome.accepted);
+      tenant_of[outcome.ticket] = tenant;
+    }
+  }
+  go.store(true, std::memory_order_release);
+  service.drain();
+  service.join();
+  ASSERT_EQ(log.events.size(), 2u * kJobsPerTenant);
+
+  Time gold_end = 0;
+  Time bronze_end = 0;
+  for (const auto& [ticket, status] : log.events) {
+    ASSERT_EQ(status.state, TicketState::kDone);
+    ASSERT_TRUE(status.response_quanta.has_value());
+    Time& end = tenant_of.at(ticket) == "gold" ? gold_end : bronze_end;
+    end = std::max(end, *status.response_quanta);
+  }
+
+  // Gold saturates its 3/4 partition until it finishes: observed share =
+  // W / (P * T_gold).  Bronze then inherits the full machine; its share
+  // during the contended window is (W - P*(T_bronze - T_gold)) / (P*T_gold).
+  const double observed_gold =
+      kTotalWork / (kProcs * static_cast<double>(gold_end));
+  const double contended_bronze_work =
+      kTotalWork -
+      kProcs * static_cast<double>(bronze_end - gold_end);
+  const double observed_bronze =
+      contended_bronze_work / (kProcs * static_cast<double>(gold_end));
+
+  EXPECT_NEAR(observed_gold, 0.75, 0.08)
+      << "gold_end=" << gold_end << " bronze_end=" << bronze_end;
+  EXPECT_NEAR(observed_bronze, 0.25, 0.08)
+      << "gold_end=" << gold_end << " bronze_end=" << bronze_end;
+  EXPECT_LT(gold_end, bronze_end);
+}
+
+// Satellite: concurrent submit + cancel + drain teardown with in-flight
+// jobs must be race-free (run under TSan in CI) and account for every
+// accepted ticket exactly once.
+TEST(SvcService, ConcurrentSubmitCancelDrainIsSafe) {
+  ServiceConfig config;
+  config.machine = MachineConfig{{2, 2}};
+  config.tenants = {{"a", 1.0, 32}, {"b", 1.0, 32}};
+  config.scheduler = "krad";
+  config.live_slots = 8;
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 200us;
+  config.threads_per_category = 1;
+
+  EventLog log;
+  Service service(config);
+  std::atomic<std::uint64_t> accepted_count{0};
+  std::mutex tickets_mu;
+  std::vector<std::uint64_t> tickets;
+
+  auto submitter = [&](const std::string& tenant) {
+    for (int i = 0; i < 40; ++i) {
+      KDag dag(2);
+      const auto [first, last] = dag.add_chain(0, 2);
+      (void)first;
+      dag.add_chain(1, 2, last);
+      dag.seal();
+      SubmitRequest request;
+      request.tenant = tenant;
+      request.dag = std::move(dag);
+      const SubmitOutcome outcome =
+          service.submit(std::move(request), log.sink());
+      if (outcome.accepted) {
+        accepted_count.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        tickets.push_back(outcome.ticket);
+      }
+      std::this_thread::sleep_for(50us);
+    }
+  };
+  auto canceller = [&] {
+    for (int i = 0; i < 60; ++i) {
+      std::uint64_t victim = 0;
+      {
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        if (!tickets.empty()) {
+          victim = tickets[static_cast<std::size_t>(i) % tickets.size()];
+        }
+      }
+      if (victim != 0) service.cancel(victim);
+      std::this_thread::sleep_for(100us);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.emplace_back(submitter, "a");
+  workers.emplace_back(submitter, "b");
+  workers.emplace_back(submitter, "a");
+  workers.emplace_back(canceller);
+  std::this_thread::sleep_for(3ms);
+  service.drain();  // drain races the submitters — later submits bounce
+  for (std::thread& t : workers) t.join();
+  service.join();
+
+  // Every accepted ticket reached exactly one terminal state.
+  std::lock_guard<std::mutex> lock(log.mu);
+  EXPECT_EQ(log.events.size(), accepted_count.load());
+  for (const auto& [ticket, status] : log.events) {
+    EXPECT_TRUE(status.state == TicketState::kDone ||
+                status.state == TicketState::kCancelled)
+        << "ticket " << ticket;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TCP server round trip (real socket)
+
+/// Minimal blocking NDJSON client for tests.
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next full line, waiting up to `timeout`; empty string on timeout/EOF.
+  std::string recv_line(std::chrono::milliseconds timeout = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return "";
+      pollfd pfd{fd_, POLLIN, 0};
+      const int remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count());
+      if (::poll(&pfd, 1, std::max(1, remaining_ms)) <= 0) return "";
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(SvcServer, SocketRoundTripWithEventsAndErrors) {
+  ServiceConfig config;
+  config.machine = MachineConfig{{2}};
+  config.tenants = {{"acme", 1.0, 16}};
+  config.scheduler = "krad";
+  config.live_slots = 4;
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 200us;
+  config.threads_per_category = 1;
+  Service service(config);
+
+  obs::MetricsRegistry metrics;
+  Server server(service, ServerConfig{}, &metrics);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  RawClient client(server.port());
+
+  // Malformed line -> structured parse error, connection stays usable.
+  client.send_line("this is not json");
+  JsonValue reply = parse_json(client.recv_line());
+  EXPECT_FALSE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("error")->as_string(), "parse_error");
+
+  // Unknown tenant.
+  client.send_line(chain_submit_line("ghost", 2));
+  reply = parse_json(client.recv_line());
+  EXPECT_EQ(reply.find("error")->as_string(), "unknown_tenant");
+
+  // Valid submit -> ticket, then an async completion event.
+  client.send_line(chain_submit_line("acme", 3, "sock-job"));
+  reply = parse_json(client.recv_line());
+  ASSERT_TRUE(reply.find("ok")->as_bool()) << reply.find("ok");
+  const std::int64_t ticket = reply.find("ticket")->as_int();
+  const JsonValue event = parse_json(client.recv_line());
+  EXPECT_EQ(event.find("event")->as_string(), "complete");
+  EXPECT_EQ(event.find("ticket")->as_int(), ticket);
+  EXPECT_EQ(event.find("state")->as_string(), "done");
+  EXPECT_EQ(event.find("name")->as_string(), "sock-job");
+
+  // Status of the finished ticket.
+  client.send_line(R"({"op":"status","ticket":)" + std::to_string(ticket) +
+                   '}');
+  reply = parse_json(client.recv_line());
+  EXPECT_EQ(reply.find("state")->as_string(), "done");
+
+  // Unknown ticket.
+  client.send_line(R"({"op":"status","ticket":424242})");
+  reply = parse_json(client.recv_line());
+  EXPECT_EQ(reply.find("error")->as_string(), "unknown_ticket");
+
+  // Stats document.
+  client.send_line(R"({"op":"stats"})");
+  reply = parse_json(client.recv_line());
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("tenants")->items().size(), 1u);
+
+  // Drain over the wire, then submissions bounce.
+  client.send_line(R"({"op":"drain"})");
+  reply = parse_json(client.recv_line());
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  client.send_line(chain_submit_line("acme", 2));
+  reply = parse_json(client.recv_line());
+  EXPECT_EQ(reply.find("error")->as_string(), "draining");
+
+  service.join();
+  server.stop();
+  EXPECT_GE(metrics.counter("krad_svc_requests_total").value(), 8);
+}
+
+TEST(SvcServer, OversizedLineGetsErrorAndConnectionSurvives) {
+  ServiceConfig config;
+  config.machine = MachineConfig{{1}};
+  config.tenants = {{"acme", 1.0, 4}};
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 200us;
+  config.threads_per_category = 1;
+  Service service(config);
+
+  ServerConfig server_config;
+  server_config.max_line_bytes = 256;
+  Server server(service, server_config);
+  server.start();
+
+  RawClient client(server.port());
+  client.send_line(std::string(1000, 'x'));
+  const JsonValue reply = parse_json(client.recv_line());
+  EXPECT_EQ(reply.find("error")->as_string(), "parse_error");
+
+  // The session resynchronised on the newline: next request works.
+  client.send_line(R"({"op":"stats"})");
+  EXPECT_TRUE(parse_json(client.recv_line()).find("ok")->as_bool());
+
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+}  // namespace
+}  // namespace krad::svc

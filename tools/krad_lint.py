@@ -8,7 +8,10 @@ Rule classes (docs/LINTING.md has the full policy):
   Determinism bans — the replay-determinism contract (bit-identical
   sim/runtime replays, test_runtime_determinism) only holds if nothing in
   the decision path consults ambient entropy.  Inside src/sim, src/core,
-  src/sched and src/bounds the following are banned:
+  src/sched and src/bounds the following are banned (src/svc is the
+  deliberately-exempt boundary layer: the networked service front door may
+  use wall clocks and sockets, which is exactly why determinism-critical
+  code must never depend on it — see the layering rule below):
     krad-determinism-rand       rand()/srand()/std::random_device (seeded
                                 RNG must flow through util/rng + the
                                 workload-generator entry points)
@@ -20,6 +23,13 @@ Rule classes (docs/LINTING.md has the full policy):
                                 a scheduling decision must iterate a
                                 deterministic sequence).  Point lookups are
                                 fine.
+
+  Layering — the service layer depends on the deterministic layers, never
+  the reverse:
+    krad-layering-svc-include   a determinism-critical dir includes a
+                                svc/ header (svc may use wall clocks and
+                                sockets, so such an edge would silently
+                                void the replay contract)
 
   Metric-catalog sync — every full krad_* metric name registered in src/
   must appear in docs/OBSERVABILITY.md and vice versa (this supersedes the
@@ -64,6 +74,9 @@ RULES = {
         "dir",
     "krad-determinism-unordered":
         "iteration over an unordered container in a determinism-critical dir",
+    "krad-layering-svc-include":
+        "determinism-critical dir includes a svc/ header (svc may use wall "
+        "clocks/sockets)",
     "krad-metric-undocumented":
         "krad_* metric registered in src/ but absent from "
         "docs/OBSERVABILITY.md",
@@ -232,6 +245,18 @@ def check_metric_catalog(root, files):
              f"{name} is documented but no src/ registration exists")
 
 
+SVC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"svc/')
+
+
+def check_svc_layering(path, raw_lines):
+    for i, line in enumerate(raw_lines):
+        if SVC_INCLUDE_RE.match(line) and not suppressed(
+                raw_lines, i, "krad-layering-svc-include"):
+            fail(path, i + 1, "krad-layering-svc-include",
+                 "svc/ may use wall clocks and sockets; a dependency from a "
+                 "determinism-critical dir voids the replay contract")
+
+
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
 
@@ -336,6 +361,7 @@ def main():
         rel = path.relative_to(root)
         if any(rel.as_posix().startswith(d) for d in DETERMINISM_DIRS):
             check_determinism(rel, raw_lines)
+            check_svc_layering(rel, raw_lines)
         if path.suffix in (".hpp", ".h"):
             check_header_hygiene(rel, raw_lines, project_headers)
         check_include_style(rel, raw_lines, project_headers)

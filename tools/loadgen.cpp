@@ -1,0 +1,254 @@
+// krad_loadgen — closed-loop NDJSON socket client for krad_svcd
+// (docs/SERVICE.md).
+//
+// Keeps --concurrency submissions in flight on one connection until --jobs
+// have reached a terminal reply, then prints completion counts and
+// p50/p95/p99 submit-to-completion-event wall latency.  Exit status is 0
+// only when at least one job completed (the CI smoke contract); 1 when the
+// run produced no completions; 2 on usage or connection errors.
+//
+// Usage:
+//   krad_loadgen --port N [--host A.B.C.D] [--tenant NAME] [--jobs N]
+//                [--concurrency N] [--task-us N] [--chain N] [--drain]
+//
+// --drain additionally sends {"op":"drain"} after the run, telling the
+// daemon to finish accepted work and exit.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace krad;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string tenant = "default";
+  int jobs = 100;
+  int concurrency = 8;
+  long long task_us = 50;
+  int chain = 3;
+  /// Must equal the daemon machine's category count or submissions are
+  /// rejected as bad requests (2 matches krad_svcd's default --machine 2,2).
+  int categories = 2;
+  bool drain = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "krad_loadgen: " << message << '\n'
+            << "usage: krad_loadgen --port N [--host ADDR] [--tenant NAME]"
+               " [--jobs N] [--concurrency N] [--task-us N] [--chain N]"
+               " [--categories K] [--drain]\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--drain") {
+      options.drain = true;
+      continue;
+    }
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--port") {
+      options.port = std::atoi(value().c_str());
+    } else if (flag == "--host") {
+      options.host = value();
+    } else if (flag == "--tenant") {
+      options.tenant = value();
+    } else if (flag == "--jobs") {
+      options.jobs = std::atoi(value().c_str());
+    } else if (flag == "--concurrency") {
+      options.concurrency = std::atoi(value().c_str());
+    } else if (flag == "--task-us") {
+      options.task_us = std::atoll(value().c_str());
+    } else if (flag == "--chain") {
+      options.chain = std::atoi(value().c_str());
+    } else if (flag == "--categories") {
+      options.categories = std::atoi(value().c_str());
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  if (options.port <= 0 || options.port > 65535) {
+    usage_error("--port is required (1..65535)");
+  }
+  if (options.jobs <= 0 || options.concurrency <= 0 || options.chain <= 0 ||
+      options.categories <= 0) {
+    usage_error(
+        "--jobs, --concurrency, --chain and --categories must be positive");
+  }
+  return options;
+}
+
+/// A chain job spec of `chain` vertices cycling through the categories.
+std::string submit_line(const Options& options) {
+  svc::JsonWriter job;
+  job.begin_object().field("categories",
+                           static_cast<std::int64_t>(options.categories));
+  job.begin_array("vertices");
+  for (int i = 0; i < options.chain; ++i) {
+    job.element_raw(std::to_string(i % options.categories));
+  }
+  job.end_array();
+  job.begin_array("edges");
+  for (int i = 0; i + 1 < options.chain; ++i) {
+    job.element_raw("[" + std::to_string(i) + "," + std::to_string(i + 1) +
+                    "]");
+  }
+  job.end_array().end_object();
+
+  svc::JsonWriter w;
+  w.begin_object()
+      .field("op", "submit")
+      .field("tenant", options.tenant)
+      .field_raw("job", job.str())
+      .field("task_us", static_cast<std::int64_t>(options.task_us))
+      .end_object();
+  return w.str() + "\n";
+}
+
+int connect_to(const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  const int fd = connect_to(options);
+  if (fd < 0) {
+    std::cerr << "krad_loadgen: cannot connect to " << options.host << ':'
+              << options.port << '\n';
+    return 2;
+  }
+
+  const std::string line = submit_line(options);
+  const svc::JsonLimits limits;
+  std::deque<Clock::time_point> unacked;
+  std::map<std::int64_t, Clock::time_point> sent_at;
+  std::vector<double> latencies_us;
+  std::string rx;
+  int submitted = 0;
+  int terminated = 0;
+  int rejected = 0;
+
+  const auto submit_one = [&] {
+    const auto t0 = Clock::now();
+    if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(line.size())) {
+      return false;
+    }
+    unacked.push_back(t0);
+    ++submitted;
+    return true;
+  };
+
+  for (int i = 0; i < options.concurrency && submitted < options.jobs; ++i) {
+    if (!submit_one()) break;
+  }
+
+  char chunk[4096];
+  bool dead = false;
+  while (!dead && terminated < submitted) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    rx.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl = 0;
+    while ((nl = rx.find('\n')) != std::string::npos) {
+      const std::string reply_line = rx.substr(0, nl);
+      rx.erase(0, nl + 1);
+      svc::JsonValue reply;
+      try {
+        reply = svc::parse_json(reply_line, limits);
+      } catch (const svc::JsonError&) {
+        continue;  // not our reply; skip defensively
+      }
+      if (const svc::JsonValue* ok = reply.find("ok"); ok != nullptr) {
+        if (ok->as_bool() && reply.find("ticket") != nullptr) {
+          // Submit ack: acks arrive in request order on one connection.
+          if (!unacked.empty()) {
+            sent_at[reply.find("ticket")->as_int()] = unacked.front();
+            unacked.pop_front();
+          }
+        } else if (!ok->as_bool()) {
+          // Rejection (queue full / draining): closed loop shrinks.
+          if (!unacked.empty()) unacked.pop_front();
+          ++rejected;
+          ++terminated;
+        }
+        continue;
+      }
+      if (const svc::JsonValue* event = reply.find("event");
+          event != nullptr && event->as_string() == "complete") {
+        const std::int64_t ticket = reply.find("ticket")->as_int();
+        if (const auto it = sent_at.find(ticket); it != sent_at.end()) {
+          latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        it->second)
+                  .count());
+          sent_at.erase(it);
+        }
+        ++terminated;
+        if (submitted < options.jobs && !submit_one()) dead = true;
+      }
+    }
+  }
+
+  if (options.drain) {
+    const std::string drain_line = "{\"op\":\"drain\"}\n";
+    (void)::send(fd, drain_line.data(), drain_line.size(), MSG_NOSIGNAL);
+  }
+  ::close(fd);
+
+  const auto completed = static_cast<long long>(latencies_us.size());
+  Table table({"submitted", "completed", "rejected", "p50_us", "p95_us",
+               "p99_us"});
+  table.row()
+      .cell(static_cast<std::int64_t>(submitted))
+      .cell(static_cast<std::int64_t>(completed))
+      .cell(static_cast<std::int64_t>(rejected))
+      .cell(percentile(latencies_us, 0.50), 0)
+      .cell(percentile(latencies_us, 0.95), 0)
+      .cell(percentile(latencies_us, 0.99), 0);
+  table.print(std::cout);
+
+  if (completed == 0) {
+    std::cout << "[FAIL] krad_loadgen: no completions\n";
+    return 1;
+  }
+  std::cout << "[PASS] krad_loadgen: " << completed << " completion(s)\n";
+  return 0;
+}

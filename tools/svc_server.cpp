@@ -1,0 +1,138 @@
+// krad_svcd — standalone scheduling-service daemon (docs/SERVICE.md).
+//
+// Binds a TCP Server around a live Service and runs until a client sends
+// {"op":"drain"}: the service then finishes everything it accepted, the
+// serve loop exits, and the daemon shuts the listener down and exits 0.
+// The bound address is printed as `listening on <host>:<port>` (flushed)
+// so callers using an ephemeral port (--port 0) can scrape it.
+//
+// Usage:
+//   krad_svcd [--port N] [--host A.B.C.D] [--scheduler NAME]
+//             [--machine P0,P1,...] [--tenants name:share:queue,...]
+//             [--slots N] [--quantum-us N]
+//
+// Example:
+//   krad_svcd --port 0 --scheduler krad --machine 2,2 \
+//             --tenants gold:3:64,bronze:1:64
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/svc.hpp"
+
+namespace {
+
+using namespace krad;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "krad_svcd: " << message << '\n'
+            << "usage: krad_svcd [--port N] [--host ADDR] [--scheduler NAME]"
+               " [--machine P0,P1,...]"
+               " [--tenants name:share:queue,...] [--slots N]"
+               " [--quantum-us N]\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+MachineConfig parse_machine(const std::string& text) {
+  MachineConfig machine;
+  for (const std::string& part : split(text, ',')) {
+    const int processors = std::atoi(part.c_str());
+    if (processors <= 0) usage_error("bad --machine entry '" + part + "'");
+    machine.processors.push_back(processors);
+  }
+  if (machine.processors.empty()) usage_error("--machine is empty");
+  return machine;
+}
+
+std::vector<svc::TenantConfig> parse_tenants(const std::string& text) {
+  std::vector<svc::TenantConfig> tenants;
+  for (const std::string& entry : split(text, ',')) {
+    const std::vector<std::string> fields = split(entry, ':');
+    if (fields.empty() || fields.size() > 3 || fields[0].empty()) {
+      usage_error("bad --tenants entry '" + entry + "'");
+    }
+    svc::TenantConfig tenant;
+    tenant.name = fields[0];
+    if (fields.size() > 1) tenant.share = std::atof(fields[1].c_str());
+    if (fields.size() > 2) {
+      tenant.queue_capacity =
+          static_cast<std::size_t>(std::atoll(fields[2].c_str()));
+    }
+    if (tenant.share <= 0.0) usage_error("share must be > 0 in " + entry);
+    if (tenant.queue_capacity == 0) {
+      usage_error("queue capacity must be >= 1 in " + entry);
+    }
+    tenants.push_back(std::move(tenant));
+  }
+  return tenants;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServiceConfig service_config;
+  svc::ServerConfig server_config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--port") {
+      server_config.port = static_cast<std::uint16_t>(std::atoi(
+          value().c_str()));
+    } else if (flag == "--host") {
+      server_config.host = value();
+    } else if (flag == "--scheduler") {
+      service_config.scheduler = value();
+    } else if (flag == "--machine") {
+      service_config.machine = parse_machine(value());
+    } else if (flag == "--tenants") {
+      service_config.tenants = parse_tenants(value());
+    } else if (flag == "--slots") {
+      service_config.live_slots =
+          static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--quantum-us") {
+      service_config.quantum_length =
+          std::chrono::microseconds(std::atoll(value().c_str()));
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+
+  try {
+    obs::MetricsRegistry metrics;
+    service_config.metrics = &metrics;
+    svc::Service service(service_config);
+    svc::Server server(service, server_config, &metrics);
+    server.start();
+    std::cout << "listening on " << server_config.host << ':'
+              << server.port() << std::endl;
+    std::cout << "scheduler " << service_config.scheduler << ", "
+              << service_config.tenants.size() << " tenant(s); send "
+              << R"({"op":"drain"} to shut down)" << std::endl;
+
+    // Blocks until a drain request lets the serve loop run dry.
+    service.join();
+    server.stop();
+    std::cout << "drained: " << service.completed_total()
+              << " job(s) completed" << std::endl;
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "krad_svcd: fatal: " << error.what() << '\n';
+    return 1;
+  }
+}
