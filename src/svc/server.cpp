@@ -8,30 +8,82 @@
 
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
 #include <utility>
 #include <variant>
 
 namespace krad::svc {
 
-/// One live connection.  The reader thread owns parsing; completion
-/// callbacks from the executor thread write events through the same
-/// write mutex.  `open` flips under `write_mu` before the fd closes, so no
-/// writer ever touches a dead descriptor.
+/// One live connection.  The reader thread owns parsing; every outgoing
+/// line — replies from the reader, completion events from the executor
+/// thread — is enqueued on a bounded outbox drained by a dedicated writer
+/// thread, so producers never block on the peer's socket buffer.  `open`
+/// flips under `mu` before the fd closes, so nothing touches a dead
+/// descriptor; only the writer thread (and the acceptor, for refused
+/// sessions that never start one) performs blocking sends.
 struct Server::Session {
   int fd = -1;
-  std::mutex write_mu;
-  bool open = true;           // guarded by write_mu
-  std::atomic<bool> done{false};  // reader thread exited
+  std::size_t max_outbox = 0;
 
-  /// Serialised line write (appends '\n').  Returns false once the peer is
-  /// gone or the session closed.
-  bool write_line(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mu);
-    if (!open) return false;
-    std::string framed = line;
-    framed += '\n';
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> outbox;  // framed lines awaiting the writer
+  bool open = true;                // guarded by mu: fd not yet closed
+  bool shutting = false;           // guarded by mu: no further enqueues
+  std::atomic<bool> done{false};   // reader thread exited (writer joined)
+  std::thread writer;
+
+  /// Queue one line (framed with '\n') for the writer thread.  Never
+  /// blocks: a peer that stops reading fills the outbox, at which point
+  /// the session is dropped instead of stalling the caller — this is what
+  /// makes it safe to deliver events from the executor thread.  Returns
+  /// false once the session no longer accepts output.
+  bool enqueue_line(const std::string& line) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!open || shutting) return false;
+      if (outbox.size() >= max_outbox) {
+        shutting = true;            // slow consumer: drop the connection
+        ::shutdown(fd, SHUT_RDWR);  // unblocks reader recv and writer send
+        cv.notify_all();
+        return false;
+      }
+      std::string framed = line;
+      framed += '\n';
+      outbox.push_back(std::move(framed));
+    }
+    cv.notify_one();
+    return true;
+  }
+
+  /// Writer thread: drains the outbox with blocking sends.  Exits once the
+  /// session is shutting and the outbox is empty (so pending replies are
+  /// flushed on a clean close) or a send fails.
+  void writer_loop() {
+    for (;;) {
+      std::string framed;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return !outbox.empty() || shutting || !open; });
+        if (outbox.empty()) return;  // shutting/closed with nothing pending
+        framed = std::move(outbox.front());
+        outbox.pop_front();
+      }
+      if (!send_all(framed)) {
+        std::lock_guard<std::mutex> lock(mu);
+        shutting = true;
+        outbox.clear();
+        if (open) ::shutdown(fd, SHUT_RDWR);  // stop the reader too
+        return;
+      }
+    }
+  }
+
+  /// Blocking send of one framed line.
+  bool send_all(const std::string& framed) {
     std::size_t sent = 0;
     while (sent < framed.size()) {
       const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
@@ -46,16 +98,19 @@ struct Server::Session {
   }
 
   void close_fd() {
-    std::lock_guard<std::mutex> lock(write_mu);
+    std::lock_guard<std::mutex> lock(mu);
     if (open) {
       open = false;
       ::close(fd);
     }
+    cv.notify_all();
   }
 
   void shutdown_read() {
-    std::lock_guard<std::mutex> lock(write_mu);
+    std::lock_guard<std::mutex> lock(mu);
+    shutting = true;
     if (open) ::shutdown(fd, SHUT_RDWR);
+    cv.notify_all();
   }
 };
 
@@ -162,10 +217,12 @@ void Server::accept_loop() {
 
     auto session = std::make_shared<Session>();
     session->fd = fd;
+    session->max_outbox = config_.max_outbox_lines;
     bool refused = false;
+    std::vector<std::thread> finished;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
-      reap_finished_locked();
+      reap_finished_locked(finished);
       if (sessions_.size() >= config_.max_connections) {
         refused = true;
       } else {
@@ -174,9 +231,17 @@ void Server::accept_loop() {
             [this, session] { session_loop(session); });
       }
     }
+    // Join reaped readers only after releasing sessions_mu_: an exiting
+    // reader locks it to refresh the gauge, so joining under the lock
+    // would deadlock the acceptor.
+    for (std::thread& t : finished) {
+      if (t.joinable()) t.join();
+    }
     if (refused) {
-      session->write_line(
-          render_error(ErrorCode::kInternal, "too many connections"));
+      // Never started a reader/writer pair, so a direct send is safe here:
+      // one short line into an empty socket buffer.
+      session->send_all(
+          render_error(ErrorCode::kInternal, "too many connections") + "\n");
       session->close_fd();
       continue;
     }
@@ -187,12 +252,14 @@ void Server::accept_loop() {
   }
 }
 
-void Server::reap_finished_locked() {
-  // Joining finished reader threads opportunistically keeps a long-lived
-  // server from accumulating one dead thread per past connection.
+void Server::reap_finished_locked(std::vector<std::thread>& finished) {
+  // Detaching finished sessions opportunistically keeps a long-lived
+  // server from accumulating one dead thread per past connection.  A done
+  // session's writer is already joined (the reader joins it on exit), so
+  // closing the fd here cannot race a blocking send.
   for (std::size_t i = 0; i < sessions_.size();) {
     if (sessions_[i]->done.load(std::memory_order_acquire)) {
-      if (session_threads_[i].joinable()) session_threads_[i].join();
+      finished.push_back(std::move(session_threads_[i]));
       sessions_[i]->close_fd();
       sessions_.erase(sessions_.begin() +
                       static_cast<std::ptrdiff_t>(i));
@@ -205,6 +272,8 @@ void Server::reap_finished_locked() {
 }
 
 void Server::session_loop(std::shared_ptr<Session> session) {
+  session->writer = std::thread([session] { session->writer_loop(); });
+
   std::string buffer;
   char chunk[4096];
   bool discarding = false;  // inside an oversized line
@@ -221,12 +290,9 @@ void Server::session_loop(std::shared_ptr<Session> session) {
         } else if (!buffer.empty()) {
           // Tolerate CRLF framing from naive clients.
           if (buffer.back() == '\r') buffer.pop_back();
-          if (!buffer.empty()) {
-            const std::string reply = dispatch(session, buffer);
-            if (!session->write_line(reply)) {
-              buffer.clear();
-              goto done;
-            }
+          if (!buffer.empty() && !dispatch(session, buffer)) {
+            buffer.clear();
+            goto done;
           }
         }
         buffer.clear();
@@ -235,8 +301,12 @@ void Server::session_loop(std::shared_ptr<Session> session) {
       if (discarding) continue;
       if (buffer.size() >= config_.max_line_bytes) {
         if (protocol_errors_ != nullptr) protocol_errors_->inc();
-        session->write_line(render_error(
-            ErrorCode::kParseError, "request line exceeds max_line_bytes"));
+        if (!session->enqueue_line(render_error(
+                ErrorCode::kParseError,
+                "request line exceeds max_line_bytes"))) {
+          buffer.clear();
+          goto done;
+        }
         buffer.clear();
         discarding = true;
         continue;
@@ -245,68 +315,107 @@ void Server::session_loop(std::shared_ptr<Session> session) {
     }
   }
 done:
+  // Flush-and-stop the writer before announcing exit: once done is set the
+  // acceptor may reap this session and close the fd.
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->shutting = true;
+  }
+  session->cv.notify_all();
+  if (session->writer.joinable()) session->writer.join();
   session->done.store(true, std::memory_order_release);
   if (connections_active_ != nullptr) {
     connections_active_->set(static_cast<double>(active_connections()));
   }
 }
 
-std::string Server::dispatch(const std::shared_ptr<Session>& session,
-                             std::string_view line) {
+bool Server::dispatch(const std::shared_ptr<Session>& session,
+                      std::string_view line) {
   if (requests_total_ != nullptr) requests_total_->inc();
   Request request;
   try {
     request = parse_request(line, service_.limits());
   } catch (const ProtocolError& e) {
     if (protocol_errors_ != nullptr) protocol_errors_->inc();
-    return render_error(e.code(), e.what());
+    return session->enqueue_line(render_error(e.code(), e.what()));
   }
 
   if (auto* submit = std::get_if<SubmitRequest>(&request)) {
     // The event callback holds a weak_ptr: a completion after the client
-    // disconnected is dropped, never written to a reused descriptor.
+    // disconnected is dropped, never written to a reused descriptor.  The
+    // gate keeps the wire ordering sane for fast jobs: the completion can
+    // fire on the executor thread before this thread has queued the submit
+    // reply, so the event is parked until the reply (with the ticket id)
+    // is in the outbox.
+    struct EventGate {
+      std::mutex mu;
+      bool reply_enqueued = false;
+      std::string parked;
+    };
+    auto gate = std::make_shared<EventGate>();
     std::weak_ptr<Session> weak = session;
     const SubmitOutcome outcome = service_.submit(
-        std::move(*submit), [weak](const TicketStatus& status) {
-          if (auto s = weak.lock()) {
-            s->write_line(render_completion_event(status));
+        std::move(*submit), [weak, gate](const TicketStatus& status) {
+          std::string event = render_completion_event(status);
+          {
+            std::lock_guard<std::mutex> lock(gate->mu);
+            if (!gate->reply_enqueued) {
+              gate->parked = std::move(event);
+              return;
+            }
           }
+          if (auto s = weak.lock()) s->enqueue_line(event);
         });
-    if (outcome.accepted) return render_submit_ok(outcome.ticket);
+    if (outcome.accepted) {
+      const bool alive =
+          session->enqueue_line(render_submit_ok(outcome.ticket));
+      std::string parked;
+      {
+        std::lock_guard<std::mutex> lock(gate->mu);
+        gate->reply_enqueued = true;
+        parked = std::move(gate->parked);
+      }
+      if (alive && !parked.empty()) session->enqueue_line(parked);
+      return alive;
+    }
     if (protocol_errors_ != nullptr) protocol_errors_->inc();
     if (outcome.error == ErrorCode::kQueueFull) {
-      return render_error(outcome.error, "tenant admission queue full",
-                          outcome.retry_after_ms);
+      return session->enqueue_line(render_error(
+          outcome.error, "tenant admission queue full",
+          outcome.retry_after_ms));
     }
-    return render_error(outcome.error,
-                        outcome.error == ErrorCode::kDraining
-                            ? "service is draining"
-                            : "unknown tenant");
+    return session->enqueue_line(
+        render_error(outcome.error, outcome.error == ErrorCode::kDraining
+                                        ? "service is draining"
+                                        : "unknown tenant"));
   }
   if (auto* status = std::get_if<StatusRequest>(&request)) {
     const std::optional<TicketStatus> snapshot =
         service_.status(status->ticket);
     if (!snapshot.has_value()) {
       if (protocol_errors_ != nullptr) protocol_errors_->inc();
-      return render_error(ErrorCode::kUnknownTicket, "unknown ticket");
+      return session->enqueue_line(
+          render_error(ErrorCode::kUnknownTicket, "unknown ticket"));
     }
-    return render_status(*snapshot);
+    return session->enqueue_line(render_status(*snapshot));
   }
   if (auto* cancel = std::get_if<CancelRequest>(&request)) {
     if (service_.cancel(cancel->ticket)) {
-      return render_cancel_ok(cancel->ticket, true);
+      return session->enqueue_line(render_cancel_ok(cancel->ticket, true));
     }
     if (service_.status(cancel->ticket).has_value()) {
-      return render_cancel_ok(cancel->ticket, false);  // already terminal
+      return session->enqueue_line(
+          render_cancel_ok(cancel->ticket, false));  // already terminal
     }
     if (protocol_errors_ != nullptr) protocol_errors_->inc();
-    return render_error(ErrorCode::kUnknownTicket, "unknown ticket");
+    return session->enqueue_line(
+        render_error(ErrorCode::kUnknownTicket, "unknown ticket"));
   }
   if (std::get_if<StatsRequest>(&request) != nullptr) {
-    return service_.stats_json();
+    return session->enqueue_line(service_.stats_json());
   }
   service_.drain();  // DrainRequest
-  return render_drain_ok();
+  return session->enqueue_line(render_drain_ok());
 }
 
 }  // namespace krad::svc

@@ -2,13 +2,16 @@
 // TCP front door: a thread-per-connection NDJSON server wrapping a Service.
 //
 // Plain POSIX sockets, no external dependencies.  One acceptor thread plus
-// one thread per connection; each connection reads newline-delimited
-// requests, dispatches them to the shared Service, and writes one reply
-// line per request.  Completion events for tickets submitted on a
-// connection are pushed asynchronously to that same connection (a
-// per-session write mutex serialises replies and events; sessions are
-// reference-counted so an event arriving after the client hung up is
-// dropped, not written to a dead descriptor).
+// two threads per connection: a reader that parses newline-delimited
+// requests and dispatches them to the shared Service, and a writer that
+// drains a bounded per-session outbox of reply/event lines.  All socket
+// writes go through the outbox, so callers — in particular the executor
+// thread delivering completion events — never block on a slow client; a
+// peer that stops reading fills its outbox and is dropped instead of
+// stalling scheduling.  Sessions are reference-counted so an event
+// arriving after the client hung up is dropped, not written to a dead
+// descriptor, and the submit reply carrying a ticket id is always queued
+// before any completion event for that ticket.
 //
 // Thread-per-connection is the right trade here: the expected client count
 // is small (load generators, operators), the protocol is line-oriented
@@ -39,6 +42,11 @@ struct ServerConfig {
   std::size_t max_line_bytes = 1 << 20;
   /// Connections beyond this are refused with an error line.
   std::size_t max_connections = 64;
+  /// Per-session outbox bound (reply + event lines queued for the writer
+  /// thread).  A client that stops reading accumulates up to this many
+  /// pending lines and is then disconnected — writes never block the
+  /// threads that produce them.
+  std::size_t max_outbox_lines = 1024;
 };
 
 class Server {
@@ -70,9 +78,17 @@ class Server {
 
   void accept_loop();
   void session_loop(std::shared_ptr<Session> session);
-  std::string dispatch(const std::shared_ptr<Session>& session,
-                       std::string_view line);
-  void reap_finished_locked();
+  /// Handle one request line; all replies go through the session outbox.
+  /// Returns false once the session can no longer accept output (the
+  /// reader loop then exits).
+  bool dispatch(const std::shared_ptr<Session>& session,
+                std::string_view line);
+  /// Detach finished sessions from the registries (sessions_mu_ held) and
+  /// hand their reader threads back to the caller, which must join them
+  /// AFTER releasing sessions_mu_ — exiting readers take sessions_mu_ to
+  /// refresh the active-connections gauge, so joining under the lock
+  /// deadlocks.
+  void reap_finished_locked(std::vector<std::thread>& finished);
 
   Service& service_;
   ServerConfig config_;

@@ -259,6 +259,11 @@ void Service::pump(Time now) {
   while (executor_->live_load() < config_.live_slots) {
     bool fed = false;
     for (std::size_t i = 0; i < num_tenants; ++i) {
+      // Recheck per pop: each rotation feeds one job per tenant, and
+      // without this a wide tenant set could overfill the inbox by up to
+      // num_tenants-1 jobs beyond the free slots, skewing queue-depth
+      // accounting and the retry_after_ms backpressure hint.
+      if (executor_->live_load() >= config_.live_slots) break;
       const TenantId t = static_cast<TenantId>((pump_rr_ + i) % num_tenants);
       std::optional<QueuedJob> item = registry_->queue(t).pop();
       if (!item.has_value()) continue;
@@ -321,6 +326,7 @@ void Service::on_complete(const LiveCompletion& completion) {
     on_done = std::move(record.on_done);
     record.on_done = nullptr;
     status = snapshot_locked(completion.ticket, record);
+    retire_ticket_locked(completion.ticket);
   }
   TenantMetrics& tm = tenant_metrics_[tenant];
   if (completion.outcome == JobOutcome::kCompleted) {
@@ -351,11 +357,23 @@ void Service::finish_cancelled(std::uint64_t ticket) {
     on_done = std::move(record.on_done);
     record.on_done = nullptr;
     status = snapshot_locked(ticket, record);
+    retire_ticket_locked(ticket);
   }
   if (tenant_metrics_[tenant].cancelled != nullptr) {
     tenant_metrics_[tenant].cancelled->inc();
   }
   if (on_done) on_done(status);
+}
+
+void Service::retire_ticket_locked(std::uint64_t ticket) {
+  // Without eviction the ticket table grows with every submission ever
+  // accepted; keep the most recent terminal tickets for status queries and
+  // drop the rest.  Live (queued/running) tickets are never in the FIFO.
+  terminal_fifo_.push_back(ticket);
+  while (terminal_fifo_.size() > config_.terminal_ticket_retention) {
+    tickets_.erase(terminal_fifo_.front());
+    terminal_fifo_.pop_front();
+  }
 }
 
 TicketStatus Service::snapshot_locked(std::uint64_t ticket,

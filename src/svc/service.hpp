@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,11 @@ struct ServiceConfig {
   bool inline_execution = false;
   unsigned threads_per_category = 1;
   SpecLimits limits;
+  /// Terminal tickets (done/cancelled) retained for status queries.  Older
+  /// terminal tickets are evicted FIFO so a long-lived service's ticket
+  /// table stays bounded; status/cancel on an evicted ticket report
+  /// unknown_ticket.
+  std::size_t terminal_ticket_retention = 4096;
   /// Optional krad_svc_* sink; must outlive the Service.
   obs::MetricsRegistry* metrics = nullptr;
   /// Invoked at the top of every quantum, on the executor thread, before
@@ -128,6 +134,9 @@ class Service {
   void on_complete(const LiveCompletion& completion);
   /// Terminal transition outside the executor (rejected pump handoff).
   void finish_cancelled(std::uint64_t ticket);
+  /// Record `ticket` as terminal and evict the oldest terminal tickets
+  /// beyond the retention bound (tickets_mu_ held).
+  void retire_ticket_locked(std::uint64_t ticket);
   TicketStatus snapshot_locked(std::uint64_t ticket,
                                const TicketRecord& record) const;
 
@@ -138,6 +147,9 @@ class Service {
 
   mutable std::mutex tickets_mu_;
   std::unordered_map<std::uint64_t, TicketRecord> tickets_;
+  /// Terminal tickets in completion order; bounds tickets_ via
+  /// terminal_ticket_retention.  Guarded by tickets_mu_.
+  std::deque<std::uint64_t> terminal_fifo_;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;

@@ -699,6 +699,32 @@ TEST(SvcService, DrainHonoursAcceptedQueuedJobs) {
   }
 }
 
+TEST(SvcService, EvictsOldestTerminalTicketsBeyondRetention) {
+  ServiceConfig config = virtual_config();
+  config.live_slots = 1;  // completes tickets in submission order
+  config.terminal_ticket_retention = 2;
+  EventLog log;
+  Service service(config);
+  std::vector<std::uint64_t> tickets;
+  for (int i = 0; i < 3; ++i) {
+    const SubmitOutcome outcome =
+        service.submit(submit_of("acme", chain_dag(3)), log.sink());
+    ASSERT_TRUE(outcome.accepted);
+    tickets.push_back(outcome.ticket);
+  }
+  service.drain();
+  service.join();
+
+  // Every ticket still reported its terminal event and counted as
+  // completed; only the status table is bounded.
+  ASSERT_EQ(log.events.size(), 3u);
+  EXPECT_EQ(service.completed_total(), 3u);
+  EXPECT_FALSE(service.status(tickets[0]).has_value());  // evicted
+  EXPECT_TRUE(service.status(tickets[1]).has_value());
+  EXPECT_TRUE(service.status(tickets[2]).has_value());
+  EXPECT_FALSE(service.cancel(tickets[0]));  // evicted == unknown
+}
+
 TEST(SvcService, StatsDocumentIsValidJson) {
   Service service(virtual_config());
   const JsonValue stats = parse_json(service.stats_json());
@@ -878,9 +904,14 @@ TEST(SvcService, ConcurrentSubmitCancelDrainIsSafe) {
 /// Minimal blocking NDJSON client for tests.
 class RawClient {
  public:
-  explicit RawClient(std::uint16_t port) {
+  /// `rcvbuf` > 0 clamps SO_RCVBUF before connecting (shrinks the receive
+  /// window so a non-reading client exerts backpressure quickly).
+  explicit RawClient(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -895,14 +926,24 @@ class RawClient {
   }
 
   void send_line(const std::string& line) {
+    ASSERT_TRUE(try_send_line(line));
+  }
+
+  /// send_line that tolerates a dropped connection (returns false instead
+  /// of failing the test) — for tests where the server closes on purpose.
+  bool try_send_line(const std::string& line) {
     std::string framed = line + "\n";
     std::size_t sent = 0;
     while (sent < framed.size()) {
       const ssize_t n =
           ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-      ASSERT_GT(n, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
       sent += static_cast<std::size_t>(n);
     }
+    return true;
   }
 
   /// Next full line, waiting up to `timeout`; empty string on timeout/EOF.
@@ -1030,6 +1071,109 @@ TEST(SvcServer, OversizedLineGetsErrorAndConnectionSurvives) {
   server.stop();
   service.drain();
   service.join();
+}
+
+TEST(SvcServer, SubmitReplyAlwaysPrecedesCompletionEvent) {
+  ServiceConfig config;
+  config.machine = MachineConfig{{2}};
+  config.tenants = {{"acme", 1.0, 16}};
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 100us;
+  config.threads_per_category = 1;
+  Service service(config);
+  Server server(service, ServerConfig{});
+  server.start();
+  RawClient client(server.port());
+
+  // Single-vertex jobs complete almost immediately, racing the executor's
+  // event push against the reader's submit reply — the client must still
+  // see the ticket id before the completion event, every time.
+  for (int i = 0; i < 25; ++i) {
+    client.send_line(chain_submit_line("acme", 1));
+    const JsonValue reply = parse_json(client.recv_line());
+    ASSERT_EQ(reply.find("event"), nullptr) << "event overtook submit reply";
+    ASSERT_TRUE(reply.find("ok")->as_bool());
+    const std::int64_t ticket = reply.find("ticket")->as_int();
+    const JsonValue event = parse_json(client.recv_line());
+    ASSERT_EQ(event.find("event")->as_string(), "complete");
+    EXPECT_EQ(event.find("ticket")->as_int(), ticket);
+  }
+
+  service.drain();
+  service.join();
+  server.stop();
+}
+
+TEST(SvcServer, SlowConsumerIsDroppedWithoutStallingService) {
+  ServiceConfig config;
+  config.machine = MachineConfig{{1}};
+  config.tenants = {{"acme", 1.0, 4}, {"beta", 1.0, 4}};
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 200us;
+  config.threads_per_category = 1;
+  Service service(config);
+
+  ServerConfig server_config;
+  server_config.max_outbox_lines = 8;
+  Server server(service, server_config);
+  server.start();
+
+  // A client that submits jobs and never reads: replies and completion
+  // events fill its socket buffers (kept tiny via SO_RCVBUF), then the
+  // bounded outbox.  The server must drop the session — the executor
+  // thread delivering events must never block on a dead-beat peer.
+  RawClient slow(server.port(), /*rcvbuf=*/1024);
+  for (int i = 0; i < 20000; ++i) {
+    if (!slow.try_send_line(chain_submit_line("acme", 1))) break;
+  }
+
+  // The service still serves a well-behaved tenant end to end: the submit
+  // reply comes from its own reader and the completion event from the
+  // executor thread, which would be wedged if the slow session could
+  // block it.
+  RawClient healthy(server.port());
+  healthy.send_line(chain_submit_line("beta", 2, "after-slow"));
+  const JsonValue reply = parse_json(healthy.recv_line());
+  ASSERT_NE(reply.find("ok"), nullptr);
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+  const JsonValue event = parse_json(healthy.recv_line());
+  ASSERT_NE(event.find("event"), nullptr);
+  EXPECT_EQ(event.find("event")->as_string(), "complete");
+  EXPECT_EQ(event.find("name")->as_string(), "after-slow");
+
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+TEST(SvcServer, ConnectionChurnWithMetricsStaysLive) {
+  // Regression: the acceptor used to join exiting reader threads while
+  // holding the session registry lock, deadlocking against readers taking
+  // the same lock to refresh the active-connections gauge on exit.  Churn
+  // connections with metrics wired to exercise that reap path.
+  ServiceConfig config;
+  config.machine = MachineConfig{{1}};
+  config.tenants = {{"acme", 1.0, 4}};
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 200us;
+  config.threads_per_category = 1;
+  Service service(config);
+
+  obs::MetricsRegistry metrics;
+  Server server(service, ServerConfig{}, &metrics);
+  server.start();
+
+  for (int i = 0; i < 40; ++i) {
+    RawClient client(server.port());
+    client.send_line(R"({"op":"stats"})");
+    ASSERT_TRUE(parse_json(client.recv_line()).find("ok")->as_bool())
+        << "server stopped answering after " << i << " churned connections";
+  }
+
+  server.stop();
+  service.drain();
+  service.join();
+  EXPECT_GE(metrics.counter("krad_svc_connections_total").value(), 40);
 }
 
 }  // namespace
