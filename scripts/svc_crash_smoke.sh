@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Crash-restart smoke test of the service write-ahead journal
+# (docs/SERVICE.md "Durability"; the CI svc-crash-smoke job).
+#
+#   scripts/svc_crash_smoke.sh [build-dir]
+#
+# Starts krad_svcd with a journal, drives load, kill -9's the daemon
+# mid-run, restarts it from the same journal, and asserts the durability
+# contract:
+#   - the restarted daemon recovers a nonzero number of journaled jobs,
+#   - the re-attaching load generator resolves every acked ticket to a
+#     terminal state by polling {"op":"status"} with its original ids,
+#   - after a clean drain, `krad_journal verify --require-complete` proves
+#     exactly-once accounting: every journaled submit has exactly one
+#     terminal record, no duplicates.
+#
+# On failure the journal is preserved (path printed, and copied to
+# $SMOKE_ARTIFACT_DIR when set) so CI can upload it for post-mortem.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SVCD="$BUILD_DIR/tools/krad_svcd"
+LOADGEN="$BUILD_DIR/tools/krad_loadgen"
+JOURNAL_TOOL="$BUILD_DIR/tools/krad_journal"
+
+for binary in "$SVCD" "$LOADGEN" "$JOURNAL_TOOL"; do
+  if [[ ! -x "$binary" ]]; then
+    echo "svc_crash_smoke: missing $binary (build krad_svcd, krad_loadgen" \
+         "and krad_journal first)" >&2
+    exit 2
+  fi
+done
+
+WORK_DIR="$(mktemp -d)"
+JOURNAL="$WORK_DIR/service.wal"
+SVCD_LOG="$WORK_DIR/svcd.log"
+LOADGEN_LOG="$WORK_DIR/loadgen.log"
+SVCD_PID=""
+FAILED=1
+
+cleanup() {
+  if [[ -n "$SVCD_PID" ]] && kill -0 "$SVCD_PID" 2>/dev/null; then
+    kill -9 "$SVCD_PID" 2>/dev/null || true
+    wait "$SVCD_PID" 2>/dev/null || true
+  fi
+  if [[ "$FAILED" -ne 0 ]]; then
+    echo "svc_crash_smoke: FAILED — journal preserved at $JOURNAL" >&2
+    [[ -f "$SVCD_LOG" ]] && cat "$SVCD_LOG" >&2
+    [[ -f "$LOADGEN_LOG" ]] && cat "$LOADGEN_LOG" >&2
+    if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+      mkdir -p "$SMOKE_ARTIFACT_DIR"
+      cp -f "$JOURNAL" "$SVCD_LOG" "$LOADGEN_LOG" "$SMOKE_ARTIFACT_DIR/" \
+          2>/dev/null || true
+    fi
+  else
+    rm -rf "$WORK_DIR"
+  fi
+}
+trap cleanup EXIT
+
+# A fixed port (not --port 0): the re-attach client must find the
+# RESTARTED daemon at the address it first connected to.  SO_REUSEADDR on
+# the listener makes the immediate rebind after kill -9 safe.
+PORT=$((20000 + RANDOM % 20000))
+
+start_daemon() {
+  : > "$SVCD_LOG"
+  "$SVCD" --port "$PORT" --scheduler krad --machine 2,2 \
+          --tenants gold:3:256,bronze:1:256 \
+          --journal "$JOURNAL" >> "$SVCD_LOG" 2>&1 &
+  SVCD_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on " "$SVCD_LOG" && return 0
+    if ! kill -0 "$SVCD_PID" 2>/dev/null; then
+      echo "svc_crash_smoke: krad_svcd died during startup:" >&2
+      cat "$SVCD_LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "svc_crash_smoke: no listening banner from krad_svcd" >&2
+  cat "$SVCD_LOG" >&2
+  exit 1
+}
+
+echo "== starting krad_svcd with journal $JOURNAL"
+start_daemon
+echo "   port $PORT"
+
+# Long-ish tasks keep work in flight so the kill lands mid-load; the
+# re-attach client polls status against the restarted daemon.
+echo "== driving load, crashing the daemon mid-run"
+"$LOADGEN" --port "$PORT" --tenant gold --jobs 200 --concurrency 16 \
+           --task-us 2000 --reattach --reattach-timeout-ms 30000 \
+           > "$LOADGEN_LOG" 2>&1 &
+LOADGEN_PID=$!
+
+# Wait until the journal has accepted submits, then kill -9 (no chance to
+# flush, drain, or checkpoint — the torn-tail + replay path must cope).
+for _ in $(seq 1 100); do
+  SIZE=$(stat -c %s "$JOURNAL" 2>/dev/null || echo 0)
+  [[ "$SIZE" -gt 4096 ]] && break
+  sleep 0.05
+done
+kill -9 "$SVCD_PID"
+wait "$SVCD_PID" 2>/dev/null || true
+SVCD_PID=""
+echo "   killed daemon with journal at $SIZE bytes"
+
+echo "== restarting from the journal"
+start_daemon
+echo "   port $PORT"
+if ! grep -Eq "recovered [0-9]+ job\(s\)" "$SVCD_LOG"; then
+  echo "svc_crash_smoke: restarted daemon printed no recovery banner" >&2
+  exit 1
+fi
+grep "recovered" "$SVCD_LOG" | tail -1
+
+echo "== waiting for the re-attach client"
+LOADGEN_STATUS=0
+wait "$LOADGEN_PID" || LOADGEN_STATUS=$?
+cat "$LOADGEN_LOG"
+if [[ "$LOADGEN_STATUS" -ne 0 ]]; then
+  echo "svc_crash_smoke: krad_loadgen --reattach exited $LOADGEN_STATUS" >&2
+  exit 1
+fi
+
+echo "== draining the restarted daemon"
+"$LOADGEN" --port "$PORT" --tenant bronze --jobs 5 --concurrency 2 --drain \
+           >> "$LOADGEN_LOG" 2>&1
+SVCD_STATUS=0
+wait "$SVCD_PID" || SVCD_STATUS=$?
+SVCD_PID=""
+if [[ "$SVCD_STATUS" -ne 0 ]]; then
+  echo "svc_crash_smoke: restarted krad_svcd exited $SVCD_STATUS:" >&2
+  cat "$SVCD_LOG" >&2
+  exit 1
+fi
+
+echo "== verifying exactly-once accounting"
+"$JOURNAL_TOOL" verify "$JOURNAL" --require-complete
+
+FAILED=0
+echo "[PASS] svc_crash_smoke: kill -9 lost nothing, exactly-once holds"

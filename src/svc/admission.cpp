@@ -19,6 +19,11 @@ PushResult AdmissionQueue::push(QueuedJob item) {
   return PushResult{true, 0};
 }
 
+void AdmissionQueue::restore(QueuedJob item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(item));
+}
+
 std::optional<QueuedJob> AdmissionQueue::pop() {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return std::nullopt;

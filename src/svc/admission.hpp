@@ -46,6 +46,12 @@ class AdmissionQueue {
   /// Enqueue, or reject with a retry-after estimate when full.
   PushResult push(QueuedJob item);
 
+  /// Enqueue ignoring capacity — journal recovery re-admitting work that
+  /// was already accepted before the crash.  Rejecting it again would
+  /// break the exactly-once contract, so the bound is allowed to overshoot
+  /// transiently; new submissions still go through push().
+  void restore(QueuedJob item);
+
   /// Dequeue the oldest entry; nullopt when empty.  Feeds the pop-interval
   /// EWMA that prices retry-after hints.
   std::optional<QueuedJob> pop();

@@ -1,0 +1,150 @@
+#include "svc/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace krad::svc {
+
+namespace {
+
+// Fault-kind salts keep the verdicts for different fault classes on the
+// same operation independent (same idiom as FaultInjector::fails).
+enum Salt : std::uint64_t {
+  kSaltShortRead = 0x5352,
+  kSaltGarbage = 0x4742,
+  kSaltReadDrop = 0x5244,
+  kSaltSegment = 0x5357,
+  kSaltWriteDrop = 0x5744,
+  kSaltDelay = 0x444C,
+  kSaltSize = 0x535A,
+};
+
+std::uint64_t chaos_hash(std::uint64_t seed, std::uint64_t connection,
+                         std::uint64_t op, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (0x6a09e667f3bcc909ULL + connection);
+  std::uint64_t h = splitmix64(state);
+  state = h ^ (0xbb67ae8584caa73bULL + op);
+  h = splitmix64(state);
+  state = h ^ (0x3c6ef372fe94f82bULL + salt);
+  return splitmix64(state);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner,
+                               ChaosConfig config,
+                               std::uint64_t connection_index)
+    : inner_(std::move(inner)),
+      config_(config),
+      connection_(connection_index) {}
+
+bool ChaosTransport::decide(const ChaosConfig& config, std::uint64_t connection,
+                            std::uint64_t op, std::uint64_t salt, double p) {
+  if (p <= 0.0) return false;
+  return to_unit(chaos_hash(config.seed, connection, op, salt)) < p;
+}
+
+std::uint64_t ChaosTransport::roll(const ChaosConfig& config,
+                                   std::uint64_t connection, std::uint64_t op,
+                                   std::uint64_t salt, std::uint64_t bound) {
+  if (bound == 0) return 0;
+  return 1 + chaos_hash(config.seed, connection, op, salt ^ kSaltSize) % bound;
+}
+
+void ChaosTransport::maybe_delay(std::uint64_t op, std::uint64_t salt) {
+  if (!decide(config_, connection_, op, salt ^ kSaltDelay, config_.p_delay)) {
+    return;
+  }
+  const std::uint64_t us =
+      roll(config_, connection_, op, salt ^ kSaltDelay, config_.max_delay_us);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+int ChaosTransport::recv_some(char* buf, std::size_t len) {
+  const std::uint64_t op =
+      recv_ops_.fetch_add(1, std::memory_order_relaxed);
+  maybe_delay(op, kSaltShortRead);
+
+  if (decide(config_, connection_, op, kSaltReadDrop, config_.p_read_drop)) {
+    broken_.store(true, std::memory_order_relaxed);
+    inner_->shutdown_rw();  // the peer sees a reset, not a clean close
+    return kError;
+  }
+
+  if (len > 0 &&
+      decide(config_, connection_, op, kSaltGarbage, config_.p_garbage)) {
+    // Splice bytes the peer never sent into the inbound stream.  Mix of
+    // binary junk and newlines so some garbage terminates a frame (a
+    // corrupted request the parser must reject) and some corrupts the
+    // *next* real frame mid-line.
+    const std::size_t count = static_cast<std::size_t>(
+        roll(config_, connection_, op, kSaltGarbage,
+             std::min<std::uint64_t>(config_.max_garbage_bytes, len)));
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t b = chaos_hash(config_.seed, connection_,
+                                         op ^ (i << 20), kSaltGarbage);
+      buf[i] = (b & 7U) == 0 ? '\n' : static_cast<char>(b & 0xFFU);
+    }
+    return static_cast<int>(count);
+  }
+
+  if (decide(config_, connection_, op, kSaltShortRead,
+             config_.p_short_read)) {
+    len = 1;  // starve the line assembler one byte at a time
+  }
+  return inner_->recv_some(buf, len);
+}
+
+bool ChaosTransport::send_all(const char* data, std::size_t len) {
+  const std::uint64_t op =
+      send_ops_.fetch_add(1, std::memory_order_relaxed);
+  maybe_delay(op, kSaltSegment);
+
+  if (decide(config_, connection_, op, kSaltWriteDrop,
+             config_.p_write_drop)) {
+    // Mid-frame disconnect: a prefix of the frame reaches the peer, then
+    // the connection breaks.
+    const std::size_t prefix = len == 0 ? 0
+                                        : static_cast<std::size_t>(
+                                              roll(config_, connection_, op,
+                                                   kSaltWriteDrop, len)) -
+                                              1;
+    if (prefix > 0) inner_->send_all(data, prefix);
+    broken_.store(true, std::memory_order_relaxed);
+    inner_->shutdown_rw();
+    return false;
+  }
+
+  if (decide(config_, connection_, op, kSaltSegment,
+             config_.p_segment_write)) {
+    // Segmented frame: byte-sized sends with tiny pauses, exercising
+    // reassembly on the peer and partial-write handling here.
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!inner_->send_all(data + i, 1)) return false;
+      if ((i & 15U) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(1));
+      }
+    }
+    return true;
+  }
+  return inner_->send_all(data, len);
+}
+
+TransportShim chaos_shim(ChaosConfig config) {
+  return [config](std::unique_ptr<Transport> inner,
+                  std::uint64_t connection_index) -> std::unique_ptr<Transport> {
+    return std::make_unique<ChaosTransport>(std::move(inner), config,
+                                            connection_index);
+  };
+}
+
+}  // namespace krad::svc

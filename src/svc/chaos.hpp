@@ -1,0 +1,85 @@
+#pragma once
+// Seeded, deterministic network-fault injection for server sessions.
+//
+// ChaosTransport wraps a session's Transport and perturbs the byte stream:
+// short reads, garbage bytes spliced into the inbound stream, segmented
+// and delayed outbound frames, and disconnects mid-read or mid-write.
+// Like src/fault/injector.hpp, every decision is COUNTER-BASED: the
+// verdict for the k-th read (or write) of connection c is a pure hash of
+// (seed, c, k, fault-kind), never a draw from a shared sequential RNG — so
+// a given seed produces the same fault schedule regardless of thread
+// interleaving, and a failing chaos test replays from its seed alone.
+//
+// Install via ServerConfig::transport_shim (see chaos_shim below); the
+// server wraps each accepted connection without knowing chaos is present.
+// tests/test_svc_chaos.cpp asserts the server survives every fault class.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "svc/transport.hpp"
+
+namespace krad::svc {
+
+/// Per-operation fault probabilities (each in [0, 1]) and shaping knobs.
+/// The defaults make every class of fault common enough that a few dozen
+/// connections exercise all of them.
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+
+  // Inbound (recv) faults.
+  double p_short_read = 0.25;   ///< deliver at most one byte
+  double p_garbage = 0.05;      ///< splice junk bytes the peer never sent
+  double p_read_drop = 0.02;    ///< fail the read (peer reset mid-frame)
+
+  // Outbound (send) faults.
+  double p_segment_write = 0.25;  ///< split one send into byte-sized sends
+  double p_write_drop = 0.02;     ///< send a prefix, then break the pipe
+
+  // Either direction.
+  double p_delay = 0.10;           ///< sleep before the operation
+  std::uint64_t max_delay_us = 2000;  ///< delay is in [1, max_delay_us]
+  std::size_t max_garbage_bytes = 16;
+};
+
+/// Decorator implementing the fault schedule over an inner transport.
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, ChaosConfig config,
+                 std::uint64_t connection_index);
+
+  int recv_some(char* buf, std::size_t len) override;
+  bool send_all(const char* data, std::size_t len) override;
+  void shutdown_rw() override { inner_->shutdown_rw(); }
+  void close() override { inner_->close(); }
+
+  /// Pure fault verdict for operation `op` of kind `salt` on this
+  /// connection: hash(seed, connection, op, salt) < p.  Exposed so tests
+  /// can predict the schedule for a seed.
+  static bool decide(const ChaosConfig& config, std::uint64_t connection,
+                     std::uint64_t op, std::uint64_t salt, double p);
+
+  /// Deterministic value in [1, bound] for sizing delays/garbage.
+  static std::uint64_t roll(const ChaosConfig& config, std::uint64_t connection,
+                            std::uint64_t op, std::uint64_t salt,
+                            std::uint64_t bound);
+
+ private:
+  void maybe_delay(std::uint64_t op, std::uint64_t salt);
+
+  std::unique_ptr<Transport> inner_;
+  ChaosConfig config_;
+  std::uint64_t connection_;
+  // Reader and writer threads each own one counter; atomics only so that
+  // TSan-visible teardown orders are clean.
+  std::atomic<std::uint64_t> recv_ops_{0};
+  std::atomic<std::uint64_t> send_ops_{0};
+  std::atomic<bool> broken_{false};  ///< an injected disconnect happened
+};
+
+/// A ServerConfig::transport_shim wrapping every accepted session in a
+/// ChaosTransport with the given config.
+TransportShim chaos_shim(ChaosConfig config);
+
+}  // namespace krad::svc

@@ -1,0 +1,432 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace krad::svc {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'R', 'A', 'D', 'W', 'A', 'L', '1'};
+constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32_le(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xFFU);
+  out[1] = static_cast<char>((value >> 8) & 0xFFU);
+  out[2] = static_cast<char>((value >> 16) & 0xFFU);
+  out[3] = static_cast<char>((value >> 24) & 0xFFU);
+}
+
+std::uint32_t get_u32_le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw JournalError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Read exactly `size` bytes at `offset`; returns bytes read (< size at EOF).
+std::size_t pread_full(int fd, char* out, std::size_t size, off_t offset) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::pread(fd, out + got, size - got, offset + static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError(std::string("journal read failed: ") +
+                         std::strerror(errno));
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+// --- record codec helpers -------------------------------------------------
+
+[[noreturn]] void malformed(const std::string& message) {
+  throw JournalError("malformed journal record: " + message);
+}
+
+const JsonValue& require_member(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) malformed("missing field \"" + std::string(key) + '"');
+  return *value;
+}
+
+std::string require_string(const JsonValue& object, std::string_view key) {
+  const JsonValue& value = require_member(object, key);
+  if (!value.is_string()) {
+    malformed('"' + std::string(key) + "\" must be a string");
+  }
+  return value.as_string();
+}
+
+std::uint64_t require_u64(const JsonValue& object, std::string_view key) {
+  const JsonValue& value = require_member(object, key);
+  if (!value.is_number()) {
+    malformed('"' + std::string(key) + "\" must be a number");
+  }
+  std::int64_t n = 0;
+  try {
+    n = value.as_int();
+  } catch (const JsonError&) {
+    malformed('"' + std::string(key) + "\" must be an integer");
+  }
+  if (n < 0) malformed('"' + std::string(key) + "\" must be non-negative");
+  return static_cast<std::uint64_t>(n);
+}
+
+TicketState parse_terminal_state(const std::string& name) {
+  if (name == "done") return TicketState::kDone;
+  if (name == "cancelled") return TicketState::kCancelled;
+  if (name == "rejected") return TicketState::kRejected;
+  malformed("\"state\" must be terminal (done/cancelled/rejected), got \"" +
+            name + '"');
+}
+
+JournalRecord decode_submit(const JsonValue& root, const SpecLimits& limits) {
+  JournalSubmit rec;
+  rec.ticket = require_u64(root, "ticket");
+  rec.tenant = require_string(root, "tenant");
+  if (const JsonValue* name = root.find("name"); name != nullptr) {
+    if (!name->is_string()) malformed("\"name\" must be a string");
+    rec.name = name->as_string();
+  }
+  if (root.find("task_us") != nullptr) {
+    rec.task_us = require_u64(root, "task_us");
+  }
+  try {
+    rec.dag = parse_job_spec(require_member(root, "job"), limits);
+  } catch (const ProtocolError& e) {
+    malformed(std::string("invalid job spec: ") + e.what());
+  }
+  return rec;
+}
+
+JournalRecord decode_terminal(const JsonValue& root) {
+  JournalTerminal rec;
+  rec.ticket = require_u64(root, "ticket");
+  rec.tenant = require_string(root, "tenant");
+  if (const JsonValue* name = root.find("name"); name != nullptr) {
+    if (!name->is_string()) malformed("\"name\" must be a string");
+    rec.name = name->as_string();
+  }
+  rec.state = parse_terminal_state(require_string(root, "state"));
+  if (const JsonValue* outcome = root.find("outcome"); outcome != nullptr) {
+    if (!outcome->is_string()) malformed("\"outcome\" must be a string");
+    rec.outcome = outcome->as_string();
+  }
+  if (root.find("response_quanta") != nullptr) {
+    rec.response_quanta =
+        static_cast<Time>(require_u64(root, "response_quanta"));
+  }
+  return rec;
+}
+
+JournalRecord decode_checkpoint(const JsonValue& root) {
+  JournalCheckpoint rec;
+  rec.next_ticket = require_u64(root, "next_ticket");
+  if (root.find("completed") != nullptr) {
+    rec.completed = require_u64(root, "completed");
+  }
+  if (root.find("cancelled") != nullptr) {
+    rec.cancelled = require_u64(root, "cancelled");
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static constexpr std::array<std::uint32_t, 256> kTable = make_crc32_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::string encode_record(const JournalRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  if (const auto* submit = std::get_if<JournalSubmit>(&record)) {
+    w.field("rec", "submit")
+        .field("ticket", submit->ticket)
+        .field("tenant", submit->tenant);
+    if (!submit->name.empty()) w.field("name", submit->name);
+    if (submit->task_us != 0) w.field("task_us", submit->task_us);
+    w.field_raw("job", render_job_spec(submit->dag));
+  } else if (const auto* term = std::get_if<JournalTerminal>(&record)) {
+    w.field("rec", "terminal")
+        .field("ticket", term->ticket)
+        .field("tenant", term->tenant);
+    if (!term->name.empty()) w.field("name", term->name);
+    w.field("state", ticket_state_name(term->state));
+    if (!term->outcome.empty()) w.field("outcome", term->outcome);
+    if (term->response_quanta.has_value()) {
+      w.field("response_quanta",
+              static_cast<std::int64_t>(*term->response_quanta));
+    }
+  } else {
+    const auto& cp = std::get<JournalCheckpoint>(record);
+    w.field("rec", "checkpoint")
+        .field("next_ticket", cp.next_ticket)
+        .field("completed", cp.completed)
+        .field("cancelled", cp.cancelled);
+  }
+  return w.end_object().str();
+}
+
+JournalRecord decode_record(std::string_view payload,
+                            const SpecLimits& limits) {
+  // The journal is a CRC-verified file this process wrote; its records may
+  // legitimately exceed the wire-input JsonLimits (a max-size job spec
+  // renders to a few MiB), so decode under limits sized to our own output.
+  JsonLimits json = limits.json;
+  json.max_bytes = std::max(json.max_bytes, payload.size());
+  json.max_values =
+      std::max<std::size_t>(json.max_values,
+                            4 * (limits.max_edges + limits.max_vertices) + 64);
+  JsonValue root;
+  try {
+    root = parse_json(payload, json);
+  } catch (const JsonError& e) {
+    malformed(e.what());
+  }
+  if (!root.is_object()) malformed("record must be a JSON object");
+  const std::string rec = require_string(root, "rec");
+  if (rec == "submit") return decode_submit(root, limits);
+  if (rec == "terminal") return decode_terminal(root);
+  if (rec == "checkpoint") return decode_checkpoint(root);
+  malformed("unknown record type \"" + rec + '"');
+}
+
+// --- the log itself -------------------------------------------------------
+
+Journal::Journal(JournalConfig config, JournalCounters counters)
+    : config_(std::move(config)), counters_(counters) {}
+
+Journal::~Journal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (unsynced_ > 0) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Journal::OpenStats Journal::open(
+    const std::function<void(std::string_view)>& replay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opened_) throw JournalError("journal already opened: " + config_.path);
+
+  fd_ = ::open(config_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open journal", config_.path);
+
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) throw_errno("cannot stat journal", config_.path);
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+
+  OpenStats stats;
+  if (file_size < sizeof(kMagic)) {
+    // Empty, or the creation-time magic write itself was torn by power
+    // loss before any record landed: (re)initialise.
+    if (::ftruncate(fd_, 0) != 0) {
+      throw_errno("cannot truncate journal", config_.path);
+    }
+    write_all_locked(kMagic, sizeof(kMagic));
+    fsync_locked();
+    size_ = sizeof(kMagic);
+    opened_ = true;
+    return stats;
+  }
+
+  char magic[sizeof(kMagic)];
+  if (pread_full(fd_, magic, sizeof(magic), 0) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw JournalError("not a journal (bad magic): " + config_.path);
+  }
+
+  std::uint64_t offset = sizeof(kMagic);
+  std::string payload;
+  while (offset < file_size) {
+    char header[kHeaderBytes];
+    if (offset + kHeaderBytes > file_size ||
+        pread_full(fd_, header, kHeaderBytes, static_cast<off_t>(offset)) !=
+            kHeaderBytes) {
+      break;  // torn header
+    }
+    const std::uint32_t length = get_u32_le(header);
+    const std::uint32_t crc = get_u32_le(header + 4);
+    if (length == 0 || length > config_.max_record_bytes ||
+        offset + kHeaderBytes + length > file_size) {
+      break;  // implausible length or torn payload
+    }
+    payload.resize(length);
+    if (pread_full(fd_, payload.data(), length,
+                   static_cast<off_t>(offset + kHeaderBytes)) != length) {
+      break;
+    }
+    if (crc32(payload) != crc) break;  // corrupt payload
+    replay(payload);
+    ++stats.records;
+    offset += kHeaderBytes + length;
+  }
+
+  if (offset < file_size) {
+    stats.truncated_bytes = file_size - offset;
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      throw_errno("cannot truncate journal", config_.path);
+    }
+    // Make the truncation itself durable before new appends land after it.
+    if (::fsync(fd_) != 0) throw_errno("cannot fsync journal", config_.path);
+  }
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    throw_errno("cannot seek journal", config_.path);
+  }
+  size_ = offset;
+  opened_ = true;
+  return stats;
+}
+
+void Journal::append(std::string_view payload) {
+  if (payload.empty() || payload.size() > config_.max_record_bytes) {
+    throw JournalError("record payload size out of range: " +
+                       std::to_string(payload.size()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) throw JournalError("journal not opened: " + config_.path);
+
+  std::string frame;
+  frame.resize(kHeaderBytes + payload.size());
+  put_u32_le(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(frame.data() + 4, crc32(payload));
+  std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  write_all_locked(frame.data(), frame.size());
+
+  size_ += frame.size();
+  ++appended_;
+  ++unsynced_;
+  if (counters_.records != nullptr) counters_.records->inc();
+  if (unsynced_ >= std::max<std::size_t>(std::size_t{1}, config_.fsync_every)) {
+    fsync_locked();
+  }
+}
+
+void Journal::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return;
+  if (unsynced_ > 0) fsync_locked();
+}
+
+void Journal::rewrite(const std::vector<std::string>& payloads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) throw JournalError("journal not opened: " + config_.path);
+
+  const std::string tmp_path = config_.path + ".tmp";
+  const int tmp =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp < 0) throw_errno("cannot open journal temp", tmp_path);
+
+  std::string buffer(kMagic, sizeof(kMagic));
+  for (const std::string& payload : payloads) {
+    char header[kHeaderBytes];
+    put_u32_le(header, static_cast<std::uint32_t>(payload.size()));
+    put_u32_le(header + 4, crc32(payload));
+    buffer.append(header, kHeaderBytes);
+    buffer.append(payload);
+  }
+  std::size_t written = 0;
+  while (written < buffer.size()) {
+    const ssize_t n = ::write(tmp, buffer.data() + written,
+                              buffer.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(tmp);
+      ::unlink(tmp_path.c_str());
+      throw_errno("cannot write journal temp", tmp_path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(tmp) != 0) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    throw_errno("cannot fsync journal temp", tmp_path);
+  }
+  ::close(tmp);
+
+  if (::rename(tmp_path.c_str(), config_.path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    throw_errno("cannot rename journal temp over", config_.path);
+  }
+  // fsync the directory so the rename survives power loss.
+  std::string dir = config_.path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+
+  const int fresh =
+      ::open(config_.path.c_str(), O_RDWR | O_CLOEXEC | O_APPEND, 0644);
+  if (fresh < 0) throw_errno("cannot reopen journal", config_.path);
+  ::close(fd_);
+  fd_ = fresh;
+  size_ = buffer.size();
+  appended_ += payloads.size();
+  unsynced_ = 0;
+}
+
+std::uint64_t Journal::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+std::uint64_t Journal::appended_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+void Journal::write_all_locked(const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot write journal", config_.path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void Journal::fsync_locked() {
+  if (::fsync(fd_) != 0) throw_errno("cannot fsync journal", config_.path);
+  unsynced_ = 0;
+  if (counters_.fsyncs != nullptr) counters_.fsyncs->inc();
+}
+
+}  // namespace krad::svc

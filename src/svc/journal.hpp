@@ -1,0 +1,170 @@
+#pragma once
+// Write-ahead journal of the service front door (docs/SERVICE.md).
+//
+// A crash or kill -9 of the daemon must not lose accepted work: every
+// admitted submission and every terminal outcome is appended here BEFORE
+// the client sees the corresponding reply, so a restarted Service can
+// replay the log and re-submit exactly the accepted-but-unfinished jobs.
+//
+// The file is a sequence of length-prefixed, CRC32-checksummed records:
+//
+//   [8-byte magic "KRADWAL1"]                    (file header, once)
+//   [u32 payload_len][u32 crc32(payload)][payload]   repeated
+//
+// Integers are little-endian; payloads are one-line JSON documents encoded
+// with the svc codec (encode_record / decode_record below).  Appends go
+// straight to write(2) — no user-space buffering — so records survive
+// process death the instant append() returns; fsync is batched
+// (fsync_every) and only matters for power loss, the documented trade.
+//
+// open() scans the log forward and TRUNCATES the torn tail: the first
+// record whose header is short, whose length is implausible, or whose
+// checksum mismatches marks the end of the valid prefix, and everything
+// after it is discarded (a crash mid-append leaves exactly such a tail).
+// Corruption never aborts recovery; it only bounds it.
+//
+// Thread-safety: append()/sync() may be called from any thread (one writer
+// mutex); open() and rewrite() are exclusive setup/maintenance operations.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/protocol.hpp"
+
+namespace krad::svc {
+
+/// Unrecoverable journal failure: I/O errors, a path that is not a journal
+/// (bad magic), or an undecodable record payload handed to decode_record.
+class JournalError : public std::runtime_error {
+ public:
+  explicit JournalError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `data`.
+/// Exposed for tests and the journal-inspection tool.
+std::uint32_t crc32(std::string_view data);
+
+// --- typed records --------------------------------------------------------
+
+/// An accepted submission; written before the submit reply is sent, so an
+/// acked ticket is always recoverable.
+struct JournalSubmit {
+  std::uint64_t ticket = 0;
+  std::string tenant;
+  std::string name;
+  std::uint64_t task_us = 0;
+  KDag dag;  ///< sealed
+};
+
+/// A ticket reaching a terminal state (done / cancelled / rejected).
+/// Self-contained (tenant/name repeated) so terminal tickets can be
+/// restored for status queries without consulting the submit record.
+struct JournalTerminal {
+  std::uint64_t ticket = 0;
+  std::string tenant;
+  std::string name;
+  TicketState state = TicketState::kDone;
+  std::string outcome;  ///< empty for rejected tickets
+  std::optional<Time> response_quanta;
+};
+
+/// Clean-shutdown marker: carries the ticket counter so IDs stay unique
+/// across restarts even after the log is compacted.
+struct JournalCheckpoint {
+  std::uint64_t next_ticket = 1;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+};
+
+using JournalRecord =
+    std::variant<JournalSubmit, JournalTerminal, JournalCheckpoint>;
+
+/// One-line JSON payload for a record.
+std::string encode_record(const JournalRecord& record);
+
+/// Inverse of encode_record; throws JournalError on any malformed payload
+/// (unknown "rec", missing fields, invalid job spec).
+JournalRecord decode_record(std::string_view payload,
+                            const SpecLimits& limits = {});
+
+// --- the log itself -------------------------------------------------------
+
+struct JournalConfig {
+  std::string path;
+  /// Records per fsync batch; 0 forces an fsync on every append.  The
+  /// default trades power-loss durability of the last few records for
+  /// throughput; process crashes (kill -9) never lose an appended record
+  /// either way.
+  std::size_t fsync_every = 64;
+  /// A record claiming a payload longer than this is treated as the torn
+  /// tail (and refused by append()).
+  std::size_t max_record_bytes = 1 << 22;
+};
+
+/// Optional metric hooks (must outlive the Journal).
+struct JournalCounters {
+  obs::Counter* records = nullptr;  ///< krad_svc_journal_records
+  obs::Counter* fsyncs = nullptr;   ///< krad_svc_journal_fsyncs
+};
+
+class Journal {
+ public:
+  explicit Journal(JournalConfig config, JournalCounters counters = {});
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  struct OpenStats {
+    std::size_t records = 0;          ///< valid records replayed
+    std::uint64_t truncated_bytes = 0;  ///< torn tail discarded
+  };
+
+  /// Open (creating an empty journal if needed), invoke `replay` for every
+  /// valid record payload in order, truncate the torn tail, and leave the
+  /// file positioned for append().  Must be called exactly once, before
+  /// any append().  Throws JournalError on I/O failure or bad magic.
+  OpenStats open(const std::function<void(std::string_view)>& replay);
+
+  /// Append one record payload; the write(2) has happened when this
+  /// returns.  Thread-safe.
+  void append(std::string_view payload);
+
+  /// Force an fsync of everything appended so far.  Thread-safe.
+  void sync();
+
+  /// Atomically replace the journal with `payloads` (write to a temp file,
+  /// fsync, rename over).  Compaction: recovery uses it to re-seed the log
+  /// with a checkpoint + the still-live records when the file has grown
+  /// past its bound.  Not concurrency-safe with append().
+  void rewrite(const std::vector<std::string>& payloads);
+
+  std::uint64_t size_bytes() const;
+  std::uint64_t appended_records() const;
+  const std::string& path() const noexcept { return config_.path; }
+
+ private:
+  void write_all_locked(const char* data, std::size_t size);
+  void fsync_locked();
+
+  JournalConfig config_;
+  JournalCounters counters_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::uint64_t appended_ = 0;
+  std::size_t unsynced_ = 0;
+  bool opened_ = false;
+};
+
+}  // namespace krad::svc

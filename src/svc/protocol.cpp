@@ -70,7 +70,9 @@ std::uint64_t require_ticket(const JsonValue& object) {
       object, "ticket", 0, std::numeric_limits<std::int64_t>::max()));
 }
 
-KDag parse_dag(const JsonValue& spec, const SpecLimits& limits) {
+}  // namespace
+
+KDag parse_job_spec(const JsonValue& spec, const SpecLimits& limits) {
   if (!spec.is_object()) bad("\"job\" must be an object");
   const std::int64_t categories =
       require_int(spec, "categories", 1,
@@ -140,11 +142,32 @@ KDag parse_dag(const JsonValue& spec, const SpecLimits& limits) {
   return dag;
 }
 
+std::string render_job_spec(const KDag& dag) {
+  JsonWriter w;
+  w.begin_object().field(
+      "categories", static_cast<std::int64_t>(dag.num_categories()));
+  w.begin_array("vertices");
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+    w.element_raw(std::to_string(dag.category(v)));
+  }
+  w.end_array();
+  w.begin_array("edges");
+  for (VertexId u = 0; u < dag.num_vertices(); ++u) {
+    for (VertexId v : dag.successors(u)) {
+      w.element_raw('[' + std::to_string(u) + ',' + std::to_string(v) + ']');
+    }
+  }
+  w.end_array();
+  return w.end_object().str();
+}
+
+namespace {
+
 Request parse_submit(const JsonValue& root, const SpecLimits& limits) {
   SubmitRequest req;
   req.tenant = require_string(root, "tenant");
   if (req.tenant.empty()) bad("\"tenant\" must be non-empty");
-  req.dag = parse_dag(require_member(root, "job"), limits);
+  req.dag = parse_job_spec(require_member(root, "job"), limits);
   if (const JsonValue* name = require_member(root, "job").find("name");
       name != nullptr) {
     if (!name->is_string()) bad("\"name\" must be a string");
@@ -174,6 +197,7 @@ Request parse_request(std::string_view line, const SpecLimits& limits) {
   if (op == "cancel") return CancelRequest{require_ticket(root)};
   if (op == "stats") return StatsRequest{};
   if (op == "drain") return DrainRequest{};
+  if (op == "health") return HealthRequest{};
   throw ProtocolError(ErrorCode::kUnknownOp, "unknown op \"" + op + '"');
 }
 
@@ -248,6 +272,20 @@ std::string render_completion_event(const TicketStatus& status) {
   w.begin_object().field("event", "complete");
   append_ticket_fields(w, status);
   return w.end_object().str();
+}
+
+std::string render_health(const HealthStatus& health) {
+  JsonWriter w;
+  return w.begin_object()
+      .field("ok", true)
+      .field("op", "health")
+      .field("ready", health.ready)
+      .field("draining", health.draining)
+      .field("inflight", health.inflight)
+      .field("completed", health.completed)
+      .field("recovered", health.recovered)
+      .end_object()
+      .str();
 }
 
 }  // namespace krad::svc

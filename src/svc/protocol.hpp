@@ -10,6 +10,7 @@
 //   {"op":"cancel","ticket":12}
 //   {"op":"stats"}
 //   {"op":"drain"}
+//   {"op":"health"}
 //
 // Replies are one line each: {"ok":true,...} on success, or
 // {"ok":false,"error":"<code>","message":"..."} on failure — with
@@ -37,7 +38,7 @@ namespace krad::svc {
 enum class ErrorCode {
   kParseError,     ///< line is not valid JSON (or exceeds input limits)
   kBadRequest,     ///< valid JSON, invalid request shape or job spec
-  kUnknownOp,      ///< "op" is none of submit/status/cancel/stats/drain
+  kUnknownOp,      ///< "op" is none of submit/status/cancel/stats/drain/health
   kUnknownTenant,  ///< submit for a tenant the service doesn't know
   kUnknownTicket,  ///< status/cancel for a ticket never issued
   kQueueFull,      ///< tenant admission queue full (reply has retry_after_ms)
@@ -90,13 +91,26 @@ struct StatsRequest {};
 
 struct DrainRequest {};
 
+/// Readiness probe; the reply says whether the daemon still accepts work.
+struct HealthRequest {};
+
 using Request = std::variant<SubmitRequest, StatusRequest, CancelRequest,
-                             StatsRequest, DrainRequest>;
+                             StatsRequest, DrainRequest, HealthRequest>;
 
 /// Parse one request line.  Throws ProtocolError (kParseError for JSON
 /// syntax/limit violations, kBadRequest for shape/spec violations,
 /// kUnknownOp for an unrecognised op).
 Request parse_request(std::string_view line, const SpecLimits& limits = {});
+
+/// Parse one `"job"` spec object ({"categories":K,"vertices":[...],
+/// "edges":[[u,v],...]}) into a sealed KDag, enforcing `limits`.  Throws
+/// ProtocolError(kBadRequest) on any violation.  Shared by submit parsing
+/// and the journal codec (src/svc/journal.hpp).
+KDag parse_job_spec(const JsonValue& spec, const SpecLimits& limits = {});
+
+/// Inverse of parse_job_spec: render a sealed KDag as a job-spec JSON
+/// object, round-trippable through parse_job_spec.
+std::string render_job_spec(const KDag& dag);
 
 // --- reply / event renderers (no trailing newline) -----------------------
 
@@ -124,5 +138,17 @@ std::string render_status(const TicketStatus& status);
 
 /// The asynchronous completion event pushed to the submitting connection.
 std::string render_completion_event(const TicketStatus& status);
+
+/// Reply to {"op":"health"}: `ready` is the load-balancer signal (false
+/// once draining), the counters give a cheap liveness picture.
+struct HealthStatus {
+  bool ready = true;
+  bool draining = false;
+  std::uint64_t inflight = 0;   ///< accepted (queued + resident), not terminal
+  std::uint64_t completed = 0;  ///< tickets finished successfully
+  std::uint64_t recovered = 0;  ///< jobs re-queued from the journal
+};
+
+std::string render_health(const HealthStatus& health);
 
 }  // namespace krad::svc

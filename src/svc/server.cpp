@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -25,7 +27,7 @@ namespace krad::svc {
 /// descriptor; only the writer thread (and the acceptor, for refused
 /// sessions that never start one) performs blocking sends.
 struct Server::Session {
-  int fd = -1;
+  std::unique_ptr<Transport> transport;
   std::size_t max_outbox = 0;
 
   std::mutex mu;
@@ -34,6 +36,10 @@ struct Server::Session {
   bool open = true;                // guarded by mu: fd not yet closed
   bool shutting = false;           // guarded by mu: no further enqueues
   std::atomic<bool> done{false};   // reader thread exited (writer joined)
+  /// Tickets submitted on this connection that have not reached a terminal
+  /// state.  A session waiting on completion events is exempt from the
+  /// idle-read timeout — silence from the client is expected then.
+  std::atomic<std::size_t> inflight{0};
   std::thread writer;
 
   /// Queue one line (framed with '\n') for the writer thread.  Never
@@ -46,8 +52,8 @@ struct Server::Session {
       std::lock_guard<std::mutex> lock(mu);
       if (!open || shutting) return false;
       if (outbox.size() >= max_outbox) {
-        shutting = true;            // slow consumer: drop the connection
-        ::shutdown(fd, SHUT_RDWR);  // unblocks reader recv and writer send
+        shutting = true;  // slow consumer: drop the connection
+        transport->shutdown_rw();  // unblocks reader recv and writer send
         cv.notify_all();
         return false;
       }
@@ -76,7 +82,7 @@ struct Server::Session {
         std::lock_guard<std::mutex> lock(mu);
         shutting = true;
         outbox.clear();
-        if (open) ::shutdown(fd, SHUT_RDWR);  // stop the reader too
+        if (open) transport->shutdown_rw();  // stop the reader too
         return;
       }
     }
@@ -84,24 +90,14 @@ struct Server::Session {
 
   /// Blocking send of one framed line.
   bool send_all(const std::string& framed) {
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    return true;
+    return transport->send_all(framed.data(), framed.size());
   }
 
   void close_fd() {
     std::lock_guard<std::mutex> lock(mu);
     if (open) {
       open = false;
-      ::close(fd);
+      transport->close();
     }
     cv.notify_all();
   }
@@ -109,7 +105,7 @@ struct Server::Session {
   void shutdown_read() {
     std::lock_guard<std::mutex> lock(mu);
     shutting = true;
-    if (open) ::shutdown(fd, SHUT_RDWR);
+    if (open) transport->shutdown_rw();
     cv.notify_all();
   }
 };
@@ -127,6 +123,12 @@ Server::Server(Service& service, ServerConfig config,
     protocol_errors_ =
         &metrics_->counter("krad_svc_protocol_errors_total", {},
                            "Request lines rejected with an error reply");
+    accept_errors_ =
+        &metrics_->counter("krad_svc_accept_errors", {},
+                           "Transient accept() failures retried after backoff");
+    idle_timeouts_ =
+        &metrics_->counter("krad_svc_idle_timeouts", {},
+                           "Sessions disconnected by the idle-read timeout");
   }
 }
 
@@ -178,6 +180,9 @@ void Server::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
 
+  // Flag first: accept() failing because the fd below closes must read as
+  // "stop", not as a transient error to retry.
+  stopping_.store(true, std::memory_order_release);
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
@@ -206,17 +211,37 @@ std::size_t Server::active_connections() const {
 }
 
 void Server::accept_loop() {
+  std::uint64_t backoff_ms = 1;
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
       if (errno == EINTR) continue;
-      return;  // listener closed by stop()
+      // Every other failure is treated as transient — EMFILE/ENFILE (fd
+      // exhaustion), ENOBUFS/ENOMEM (kernel pressure), ECONNABORTED (peer
+      // gone before accept) all clear up; exiting here would permanently
+      // deafen the server while sessions still run.  Back off so an
+      // exhausted-fd loop doesn't spin, and only stop() ends the loop.
+      if (accept_errors_ != nullptr) accept_errors_->inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 100);
+      continue;
     }
+    backoff_ms = 1;
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+    auto transport = std::make_unique<SocketTransport>(fd);
+    if (config_.idle_timeout_ms > 0) {
+      transport->set_recv_timeout_ms(config_.idle_timeout_ms);
+    }
     auto session = std::make_shared<Session>();
-    session->fd = fd;
+    session->transport = std::move(transport);
+    if (config_.transport_shim) {
+      session->transport = config_.transport_shim(
+          std::move(session->transport), next_connection_index_);
+    }
+    ++next_connection_index_;
     session->max_outbox = config_.max_outbox_lines;
     bool refused = false;
     std::vector<std::thread> finished;
@@ -278,11 +303,33 @@ void Server::session_loop(std::shared_ptr<Session> session) {
   char chunk[4096];
   bool discarding = false;  // inside an oversized line
 
+  using Clock = std::chrono::steady_clock;
+  const std::chrono::milliseconds idle_limit(config_.idle_timeout_ms);
+  Clock::time_point line_start = Clock::now();
+
   while (true) {
-    const ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    for (ssize_t i = 0; i < n; ++i) {
+    const int n = session->transport->recv_some(chunk, sizeof(chunk));
+    if (n == Transport::kError) break;
+    if (n == Transport::kTimeout) {
+      // No bytes for a full idle_timeout_ms.  A session with in-flight
+      // tickets is quietly waiting for completion events — that's the
+      // protocol working; everyone else is pinning a reader slot.
+      if (session->inflight.load(std::memory_order_acquire) > 0) continue;
+      if (idle_timeouts_ != nullptr) idle_timeouts_->inc();
+      break;
+    }
+    if (n == 0) break;  // EOF
+    if (config_.idle_timeout_ms > 0) {
+      if (buffer.empty() && !discarding) line_start = Clock::now();
+      // Byte-dripping defeats the per-recv timeout (each byte re-arms
+      // SO_RCVTIMEO), so also bound the age of an unterminated line.
+      if ((!buffer.empty() || discarding) &&
+          Clock::now() - line_start > idle_limit) {
+        if (idle_timeouts_ != nullptr) idle_timeouts_->inc();
+        break;
+      }
+    }
+    for (int i = 0; i < n; ++i) {
       const char c = chunk[i];
       if (c == '\n') {
         if (discarding) {
@@ -323,6 +370,10 @@ done:
   }
   session->cv.notify_all();
   if (session->writer.joinable()) session->writer.join();
+  // Shut the socket down now that the writer has flushed: the peer must
+  // see FIN when the session ends (idle timeout included), not whenever
+  // the acceptor next happens to reap this session and close the fd.
+  session->shutdown_read();
   session->done.store(true, std::memory_order_release);
   if (connections_active_ != nullptr) {
     connections_active_->set(static_cast<double>(active_connections()));
@@ -354,8 +405,15 @@ bool Server::dispatch(const std::shared_ptr<Session>& session,
     };
     auto gate = std::make_shared<EventGate>();
     std::weak_ptr<Session> weak = session;
+    // Count the ticket in-flight before submit: with a wall clock the
+    // completion (which decrements) can fire on the executor thread before
+    // submit() even returns.  Rejected submits never invoke the callback,
+    // so the count is undone below.
+    session->inflight.fetch_add(1, std::memory_order_acq_rel);
     const SubmitOutcome outcome = service_.submit(
         std::move(*submit), [weak, gate](const TicketStatus& status) {
+          auto s = weak.lock();
+          if (s) s->inflight.fetch_sub(1, std::memory_order_acq_rel);
           std::string event = render_completion_event(status);
           {
             std::lock_guard<std::mutex> lock(gate->mu);
@@ -364,8 +422,11 @@ bool Server::dispatch(const std::shared_ptr<Session>& session,
               return;
             }
           }
-          if (auto s = weak.lock()) s->enqueue_line(event);
+          if (s) s->enqueue_line(event);
         });
+    if (!outcome.accepted) {
+      session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
     if (outcome.accepted) {
       const bool alive =
           session->enqueue_line(render_submit_ok(outcome.ticket));
@@ -413,6 +474,9 @@ bool Server::dispatch(const std::shared_ptr<Session>& session,
   }
   if (std::get_if<StatsRequest>(&request) != nullptr) {
     return session->enqueue_line(service_.stats_json());
+  }
+  if (std::get_if<HealthRequest>(&request) != nullptr) {
+    return session->enqueue_line(render_health(service_.health()));
   }
   service_.drain();  // DrainRequest
   return session->enqueue_line(render_drain_ok());

@@ -19,6 +19,7 @@
 // executor thread either way.  An epoll reactor would buy nothing but
 // complexity at this fan-in.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,7 @@
 
 #include "obs/metrics.hpp"
 #include "svc/service.hpp"
+#include "svc/transport.hpp"
 
 namespace krad::svc {
 
@@ -47,6 +49,16 @@ struct ServerConfig {
   /// pending lines and is then disconnected — writes never block the
   /// threads that produce them.
   std::size_t max_outbox_lines = 1024;
+  /// Slow-loris defence: a session with no in-flight tickets that sends no
+  /// complete request line for this long is disconnected, so an idle or
+  /// byte-dripping peer cannot pin a reader thread against
+  /// max_connections.  Sessions awaiting completion events are exempt.
+  /// 0 disables (krad_svcd defaults it on, see tools/svc_server.cpp).
+  std::uint64_t idle_timeout_ms = 0;
+  /// Optional wrapper around each accepted session's transport, in accept
+  /// order — the chaos-injection seam (src/svc/chaos.hpp).  Unset means
+  /// sessions use the plain socket transport.
+  TransportShim transport_shim;
 };
 
 class Server {
@@ -98,12 +110,18 @@ class Server {
   obs::Gauge* connections_active_ = nullptr;
   obs::Counter* requests_total_ = nullptr;
   obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* accept_errors_ = nullptr;
+  obs::Counter* idle_timeouts_ = nullptr;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread acceptor_;
   bool started_ = false;
   bool stopped_ = false;
+  /// Set by stop() before the listener closes: the accept loop's signal
+  /// that an accept() failure means "shut down", not "transient error".
+  std::atomic<bool> stopping_{false};
+  std::uint64_t next_connection_index_ = 0;  // acceptor thread only
 
   mutable std::mutex sessions_mu_;
   std::vector<std::shared_ptr<Session>> sessions_;

@@ -1,5 +1,7 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "exp/standard_run.hpp"  // make_scheduler
@@ -19,6 +21,23 @@ CancellableTaskFn make_spin_task(std::uint64_t task_us) {
       if (token.stop_requested()) return;
     }
   };
+}
+
+/// Build the executable job for a submission — shared by the live submit
+/// path and journal recovery, so a recovered job runs exactly what the
+/// original would have.
+std::unique_ptr<RuntimeJob> make_runtime_job(KDag dag, const std::string& name,
+                                             std::uint64_t task_us) {
+  auto job = std::make_unique<RuntimeJob>(std::move(dag),
+                                          name.empty() ? "svc-job" : name);
+  if (task_us > 0) {
+    const CancellableTaskFn spin = make_spin_task(task_us);
+    for (VertexId v = 0; v < static_cast<VertexId>(job->dag().num_vertices());
+         ++v) {
+      job->set_task(v, spin);
+    }
+  }
+  return job;
 }
 
 }  // namespace
@@ -66,8 +85,27 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
                                "Live jobs resident in executor slots + inbox");
     drains_counter_ =
         &m.counter("krad_svc_drains_total", {}, "Drain requests observed");
+    recovered_counter_ =
+        &m.counter("krad_svc_recovered_jobs", {},
+                   "Incomplete jobs re-queued from the journal at startup");
   } else {
     tenant_metrics_.resize(registry_->size());
+  }
+
+  if (!config_.journal_path.empty()) {
+    JournalConfig jc;
+    jc.path = config_.journal_path;
+    jc.fsync_every = config_.journal_fsync_every;
+    JournalCounters counters;
+    if (config_.metrics != nullptr) {
+      counters.records =
+          &config_.metrics->counter("krad_svc_journal_records", {},
+                                    "Records appended to the write-ahead journal");
+      counters.fsyncs = &config_.metrics->counter(
+          "krad_svc_journal_fsyncs", {}, "Journal fsync batches flushed");
+    }
+    journal_ = std::make_unique<Journal>(std::move(jc), counters);
+    recover();  // no threads yet: tickets_/queues mutate lock-free here
   }
 
   ExecutorOptions options;
@@ -122,16 +160,8 @@ SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
     return outcome;
   }
 
-  auto job = std::make_unique<RuntimeJob>(
-      std::move(request.dag),
-      request.name.empty() ? "svc-job" : request.name);
-  if (request.task_us > 0) {
-    const CancellableTaskFn spin = make_spin_task(request.task_us);
-    for (VertexId v = 0;
-         v < static_cast<VertexId>(job->dag().num_vertices()); ++v) {
-      job->set_task(v, spin);
-    }
-  }
+  auto job =
+      make_runtime_job(std::move(request.dag), request.name, request.task_us);
 
   std::uint64_t ticket = 0;
   {
@@ -145,6 +175,20 @@ SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
     tickets_.emplace(ticket, std::move(record));
   }
 
+  // Journal the submit BEFORE the queue push: once the job is in the queue
+  // the executor may complete it (and journal its terminal record) at any
+  // moment, and a terminal record must never precede its submit — recovery
+  // would re-run the job and a client would see it complete twice.
+  if (journal_ != nullptr) {
+    JournalSubmit rec;
+    rec.ticket = ticket;
+    rec.tenant = request.tenant;
+    rec.name = request.name;
+    rec.task_us = request.task_us;
+    rec.dag = job->dag();
+    journal_->append(encode_record(JournalRecord{std::move(rec)}));
+  }
+
   const PushResult push =
       registry_->queue(*tenant).push(QueuedJob{std::move(job), ticket});
   TenantMetrics& tm = tenant_metrics_[*tenant];
@@ -152,6 +196,16 @@ SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
     {
       std::lock_guard<std::mutex> lock(tickets_mu_);
       tickets_.erase(ticket);
+    }
+    // Balance the already-journaled submit so replay doesn't resurrect a
+    // job the client was told to retry.
+    if (journal_ != nullptr) {
+      JournalTerminal rec;
+      rec.ticket = ticket;
+      rec.tenant = request.tenant;
+      rec.name = request.name;
+      rec.state = TicketState::kRejected;
+      journal_->append(encode_record(JournalRecord{std::move(rec)}));
     }
     if (tm.rejected != nullptr) tm.rejected->inc();
     outcome.error = ErrorCode::kQueueFull;
@@ -243,6 +297,168 @@ std::string Service::stats_json() const {
   return w.end_object().str();
 }
 
+void Service::journal_append(const JournalRecord& record) {
+  if (journal_ != nullptr) journal_->append(encode_record(record));
+}
+
+JournalTerminal Service::terminal_record(const TicketStatus& status) {
+  JournalTerminal rec;
+  rec.ticket = status.ticket;
+  rec.tenant = status.tenant;
+  rec.name = status.name;
+  rec.state = status.state;
+  rec.outcome = status.outcome.value_or("");
+  rec.response_quanta = status.response_quanta;
+  return rec;
+}
+
+void Service::recover() {
+  // Replay: pending = submits with no terminal record yet (std::map so
+  // re-queueing preserves accept order); terminals in completion order.
+  std::map<std::uint64_t, JournalSubmit> pending;
+  std::vector<JournalTerminal> terminals;
+  std::uint64_t max_ticket = 0;
+  std::uint64_t next_ticket_hint = 1;
+
+  journal_->open([&](std::string_view payload) {
+    JournalRecord record = decode_record(payload, config_.limits);
+    if (auto* submit = std::get_if<JournalSubmit>(&record)) {
+      max_ticket = std::max(max_ticket, submit->ticket);
+      pending.emplace(submit->ticket, std::move(*submit));
+    } else if (auto* term = std::get_if<JournalTerminal>(&record)) {
+      max_ticket = std::max(max_ticket, term->ticket);
+      pending.erase(term->ticket);
+      if (term->state == TicketState::kDone) {
+        ++completed_;
+      } else if (term->state == TicketState::kCancelled) {
+        ++cancelled_;
+      }
+      terminals.push_back(std::move(*term));
+    } else {
+      // A checkpoint's totals are authoritative as of when it was written;
+      // compaction emits retained terminals BEFORE the checkpoint so the
+      // replay-accumulated counts above are simply overridden here.
+      const auto& cp = std::get<JournalCheckpoint>(record);
+      next_ticket_hint = std::max(next_ticket_hint, cp.next_ticket);
+      completed_ = cp.completed;
+      cancelled_ = cp.cancelled;
+    }
+  });
+  next_ticket_ = std::max(max_ticket + 1, next_ticket_hint);
+
+  // Restore the most recent terminal tickets so reconnecting clients can
+  // re-attach via status.  Rejected tickets never had a table entry, and a
+  // tenant dropped from the config has no TenantId to attribute to.
+  const std::size_t keep =
+      std::min(terminals.size(), config_.terminal_ticket_retention);
+  for (std::size_t i = terminals.size() - keep; i < terminals.size(); ++i) {
+    const JournalTerminal& term = terminals[i];
+    if (term.state == TicketState::kRejected) continue;
+    const std::optional<TenantId> tenant = registry_->find(term.tenant);
+    if (!tenant.has_value()) continue;
+    TicketRecord record;
+    record.tenant = *tenant;
+    record.name = term.name;
+    record.state = term.state;
+    if (!term.outcome.empty()) record.outcome = term.outcome;
+    record.response_quanta = term.response_quanta;
+    record.submitted_at = std::chrono::steady_clock::now();
+    if (tickets_.emplace(term.ticket, std::move(record)).second) {
+      terminal_fifo_.push_back(term.ticket);
+    }
+  }
+
+  // Incomplete submits that can no longer run — tenant removed from the
+  // config, or a machine with a different category count — are closed out
+  // as cancelled so the log stays exactly-once instead of replaying them
+  // forever.
+  for (auto it = pending.begin(); it != pending.end();) {
+    const JournalSubmit& submit = it->second;
+    const bool runnable =
+        registry_->find(submit.tenant).has_value() &&
+        submit.dag.num_categories() ==
+            static_cast<Category>(config_.machine.categories());
+    if (runnable) {
+      ++it;
+      continue;
+    }
+    JournalTerminal term;
+    term.ticket = submit.ticket;
+    term.tenant = submit.tenant;
+    term.name = submit.name;
+    term.state = TicketState::kCancelled;
+    term.outcome = to_string(JobOutcome::kCancelled);
+    journal_append(JournalRecord{term});
+    ++cancelled_;
+    terminals.push_back(std::move(term));
+    it = pending.erase(it);
+  }
+
+  // Compact an oversized log: retained terminals, then the checkpoint that
+  // makes their counts authoritative, then the still-pending submits.
+  if (journal_->size_bytes() > config_.journal_compact_min_bytes) {
+    std::vector<std::string> payloads;
+    const std::size_t first =
+        terminals.size() -
+        std::min(terminals.size(), config_.terminal_ticket_retention);
+    for (std::size_t i = first; i < terminals.size(); ++i) {
+      payloads.push_back(encode_record(JournalRecord{terminals[i]}));
+    }
+    payloads.push_back(encode_record(
+        JournalRecord{JournalCheckpoint{next_ticket_, completed_, cancelled_}}));
+    for (const auto& [ticket, submit] : pending) {
+      payloads.push_back(encode_record(JournalRecord{submit}));
+    }
+    journal_->rewrite(payloads);
+  }
+
+  // Re-queue the incomplete jobs, bypassing admission capacity: they were
+  // already accepted once, and rejecting them now would break the
+  // exactly-once contract.  Ticket ids are reused verbatim.
+  for (auto& [ticket, submit] : pending) {
+    const TenantId tenant = *registry_->find(submit.tenant);
+    TicketRecord record;
+    record.tenant = tenant;
+    record.name = submit.name;
+    record.submitted_at = std::chrono::steady_clock::now();
+    tickets_.emplace(ticket, std::move(record));
+    auto job =
+        make_runtime_job(std::move(submit.dag), submit.name, submit.task_us);
+    registry_->queue(tenant).restore(QueuedJob{std::move(job), ticket});
+    ++recovered_;
+  }
+  if (recovered_counter_ != nullptr && recovered_ > 0) {
+    recovered_counter_->inc(static_cast<std::int64_t>(recovered_));
+  }
+}
+
+HealthStatus Service::health() const {
+  HealthStatus h;
+  h.draining = draining();
+  h.ready = !h.draining;
+  h.inflight = static_cast<std::uint64_t>(executor_->live_load()) +
+               static_cast<std::uint64_t>(registry_->total_depth());
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    h.completed = completed_;
+  }
+  h.recovered = recovered_;
+  return h;
+}
+
+void Service::checkpoint() {
+  if (journal_ == nullptr) return;
+  JournalCheckpoint cp;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    cp.next_ticket = next_ticket_;
+    cp.completed = completed_;
+    cp.cancelled = cancelled_;
+  }
+  journal_->append(encode_record(JournalRecord{cp}));
+  journal_->sync();
+}
+
 void Service::pump(Time now) {
   if (config_.pacing_hook) config_.pacing_hook(now);
 
@@ -328,6 +544,12 @@ void Service::on_complete(const LiveCompletion& completion) {
     status = snapshot_locked(completion.ticket, record);
     retire_ticket_locked(completion.ticket);
   }
+  // Journal the terminal outcome before anyone (event stream, callback)
+  // learns of it: a crash after the client saw "done" but before the record
+  // landed would replay the job — a duplicate completion.
+  if (journal_ != nullptr) {
+    journal_->append(encode_record(JournalRecord{terminal_record(status)}));
+  }
   TenantMetrics& tm = tenant_metrics_[tenant];
   if (completion.outcome == JobOutcome::kCompleted) {
     if (tm.completed != nullptr) tm.completed->inc();
@@ -358,6 +580,9 @@ void Service::finish_cancelled(std::uint64_t ticket) {
     record.on_done = nullptr;
     status = snapshot_locked(ticket, record);
     retire_ticket_locked(ticket);
+  }
+  if (journal_ != nullptr) {
+    journal_->append(encode_record(JournalRecord{terminal_record(status)}));
   }
   if (tenant_metrics_[tenant].cancelled != nullptr) {
     tenant_metrics_[tenant].cancelled->inc();

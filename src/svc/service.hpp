@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/executor.hpp"
 #include "svc/fair_share.hpp"
+#include "svc/journal.hpp"
 #include "svc/protocol.hpp"
 #include "svc/tenants.hpp"
 
@@ -63,6 +64,21 @@ struct ServiceConfig {
   /// table stays bounded; status/cancel on an evicted ticket report
   /// unknown_ticket.
   std::size_t terminal_ticket_retention = 4096;
+  /// Write-ahead journal path; empty disables durability.  With a journal,
+  /// every accepted submit and every terminal outcome is logged before the
+  /// client learns of it, and construction REPLAYS an existing log:
+  /// accepted-but-unfinished jobs are re-queued exactly once (stable ticket
+  /// ids, so clients re-attach via status after reconnecting), terminal
+  /// tickets are restored up to terminal_ticket_retention.  See
+  /// docs/SERVICE.md "Durability".
+  std::string journal_path;
+  /// Journal fsync batching (records per fsync; 0 = every record).  Batch
+  /// size trades power-loss durability of the last few records for
+  /// throughput; kill -9 loses nothing either way.
+  std::size_t journal_fsync_every = 64;
+  /// Compact the journal at construction when it exceeds this size:
+  /// rewrite to retained terminals + checkpoint + pending submits.
+  std::uint64_t journal_compact_min_bytes = 4ULL << 20;
   /// Optional krad_svc_* sink; must outlive the Service.
   obs::MetricsRegistry* metrics = nullptr;
   /// Invoked at the top of every quantum, on the executor thread, before
@@ -114,9 +130,19 @@ class Service {
   /// One-line JSON stats document (the "stats" op reply body).
   std::string stats_json() const;
 
+  /// Readiness snapshot (the "health" op reply body).
+  HealthStatus health() const;
+
+  /// Append a checkpoint record (ticket counter + totals) and fsync.  The
+  /// daemon calls this after a clean drain so the next start resumes ticket
+  /// ids without replaying completions.  No-op without a journal.
+  void checkpoint();
+
   const SpecLimits& limits() const noexcept { return config_.limits; }
   const TenantRegistry& tenants() const noexcept { return *registry_; }
   std::size_t completed_total() const;
+  /// Jobs re-queued from the journal at construction.
+  std::size_t recovered_total() const noexcept { return recovered_; }
 
  private:
   struct TicketRecord {
@@ -128,6 +154,15 @@ class Service {
     CompletionFn on_done;
     std::chrono::steady_clock::time_point submitted_at;
   };
+
+  /// Open + replay the journal (constructor, before the serve loop starts):
+  /// restore terminal tickets, re-queue incomplete submits, resume the
+  /// ticket counter, compact an oversized log.
+  void recover();
+  /// Append one record if journaling is on.
+  void journal_append(const JournalRecord& record);
+  /// The terminal record for a ticket snapshot.
+  static JournalTerminal terminal_record(const TicketStatus& status);
 
   void pump(Time now);
   void on_accept(std::uint64_t ticket, JobId slot);
@@ -143,6 +178,8 @@ class Service {
   ServiceConfig config_;
   std::unique_ptr<TenantRegistry> registry_;
   std::unique_ptr<FairShareScheduler> scheduler_;
+  std::unique_ptr<Journal> journal_;
+  std::size_t recovered_ = 0;  ///< set during recover(), then immutable
   std::unique_ptr<Executor> executor_;
 
   mutable std::mutex tickets_mu_;
@@ -175,6 +212,7 @@ class Service {
   std::vector<TenantMetrics> tenant_metrics_;
   obs::Gauge* inflight_gauge_ = nullptr;
   obs::Counter* drains_counter_ = nullptr;
+  obs::Counter* recovered_counter_ = nullptr;
 };
 
 }  // namespace krad::svc

@@ -4,9 +4,12 @@
 // partitioning + live-executor service core + TCP front door.
 
 #include "svc/admission.hpp"
+#include "svc/chaos.hpp"
 #include "svc/fair_share.hpp"
+#include "svc/journal.hpp"
 #include "svc/json.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 #include "svc/tenants.hpp"
+#include "svc/transport.hpp"

@@ -1,0 +1,52 @@
+#include "svc/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace krad::svc {
+
+SocketTransport::~SocketTransport() { close(); }
+
+void SocketTransport::set_recv_timeout_ms(std::uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+int SocketTransport::recv_some(char* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<int>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kTimeout;
+    return kError;
+  }
+}
+
+bool SocketTransport::send_all(const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void SocketTransport::shutdown_rw() { ::shutdown(fd_, SHUT_RDWR); }
+
+void SocketTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace krad::svc

@@ -1,0 +1,75 @@
+#pragma once
+// Byte-stream abstraction under the server's per-session I/O.
+//
+// The server historically called recv/send on the raw fd; routing every
+// session's bytes through this interface instead buys two things:
+//   * an idle-session read timeout (SocketTransport + SO_RCVTIMEO) so a
+//     slow-loris peer cannot pin a reader thread forever, and
+//   * a seam for deterministic fault injection — ChaosTransport
+//     (src/svc/chaos.hpp) wraps the socket and perturbs the byte stream
+//     without the server knowing.
+//
+// Contract mirrors the underlying socket: one thread reads, one thread
+// writes; shutdown_rw() may be called from any thread to unblock both.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace krad::svc {
+
+class Transport {
+ public:
+  /// recv_some failure modes (success is a positive byte count, 0 is EOF).
+  static constexpr int kError = -1;    ///< connection broken
+  static constexpr int kTimeout = -2;  ///< receive timeout expired, no data
+
+  virtual ~Transport() = default;
+
+  /// Blocking read of up to `len` bytes into `buf`.  Returns the byte
+  /// count, 0 on orderly EOF, kTimeout when a configured receive timeout
+  /// expired with nothing read, kError otherwise.  Retries EINTR itself.
+  virtual int recv_some(char* buf, std::size_t len) = 0;
+
+  /// Blocking write of exactly `len` bytes; false on any failure.
+  virtual bool send_all(const char* data, std::size_t len) = 0;
+
+  /// Shut down both directions, unblocking a reader and writer mid-call.
+  /// Safe to call from any thread, repeatedly.
+  virtual void shutdown_rw() = 0;
+
+  /// Close the descriptor.  Call only after reader/writer are done.
+  virtual void close() = 0;
+};
+
+/// The real thing: a connected TCP socket.
+class SocketTransport final : public Transport {
+ public:
+  /// Takes ownership of `fd`.
+  explicit SocketTransport(int fd) : fd_(fd) {}
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Arm SO_RCVTIMEO: recv_some returns kTimeout after `ms` with no data.
+  /// 0 disables (fully blocking reads).
+  void set_recv_timeout_ms(std::uint64_t ms);
+
+  int recv_some(char* buf, std::size_t len) override;
+  bool send_all(const char* data, std::size_t len) override;
+  void shutdown_rw() override;
+  void close() override;
+
+ private:
+  int fd_;
+};
+
+/// Hook for wrapping each accepted session's transport (chaos injection in
+/// tests).  Receives the socket transport and the 0-based index of the
+/// connection in accept order; returns the transport the session will use.
+using TransportShim = std::function<std::unique_ptr<Transport>(
+    std::unique_ptr<Transport>, std::uint64_t connection_index)>;
+
+}  // namespace krad::svc

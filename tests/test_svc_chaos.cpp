@@ -1,0 +1,507 @@
+// Network-chaos tests (docs/SERVICE.md "Chaos harness"): deterministic
+// seeded fault schedules, a server that survives every injected fault
+// class without wedging healthy tenants, a seeded NDJSON fuzzer over
+// parse_request (ASan target), and the idle-timeout / slow-loris defence.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/svc.hpp"
+#include "util/rng.hpp"
+
+namespace krad::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Helpers (mirrors test_svc.cpp)
+
+std::string chain_submit_line(const std::string& tenant, int length,
+                              const std::string& name = "") {
+  std::string vertices = "[";
+  for (int i = 0; i < length; ++i) {
+    if (i > 0) vertices += ',';
+    vertices += '0';
+  }
+  vertices += ']';
+  std::string edges = "[";
+  for (int i = 0; i + 1 < length; ++i) {
+    if (i > 0) edges += ',';
+    edges += '[' + std::to_string(i) + ',' + std::to_string(i + 1) + ']';
+  }
+  edges += ']';
+  std::string line = R"({"op":"submit","tenant":")" + tenant +
+                     R"(","job":{"categories":1,"vertices":)" + vertices +
+                     R"(,"edges":)" + edges;
+  if (!name.empty()) line += R"(,"name":")" + name + '"';
+  line += "}}";
+  return line;
+}
+
+ServiceConfig wall_config() {
+  ServiceConfig config;
+  config.machine = MachineConfig{{2}};
+  config.tenants = {{"acme", 1.0, 64}, {"beta", 1.0, 64}};
+  config.scheduler = "krad";
+  config.live_slots = 16;
+  config.clock = ClockMode::kWall;
+  config.quantum_length = 200us;
+  config.threads_per_category = 1;
+  return config;
+}
+
+/// Minimal blocking NDJSON client (poll-based recv with deadline).
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool try_send_line(const std::string& line) {
+    std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool try_send_bytes(const char* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next full line, waiting up to `timeout`; empty string on timeout/EOF.
+  std::string recv_line(std::chrono::milliseconds timeout = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return "";
+      pollfd pfd{fd_, POLLIN, 0};
+      const int remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count());
+      if (::poll(&pfd, 1, std::max(1, remaining_ms)) <= 0) return "";
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True once the peer closed or reset the connection (drains any
+  /// buffered bytes first), polling up to `timeout`.
+  bool wait_closed(std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Determinism of the fault schedule
+
+TEST(SvcChaos, FaultScheduleIsAPureFunctionOfTheSeed) {
+  ChaosConfig config;
+  config.seed = 0xFEEDu;
+  // The verdict for (connection, op, salt, p) never changes between calls
+  // — no hidden RNG state.
+  for (std::uint64_t connection = 0; connection < 4; ++connection) {
+    for (std::uint64_t op = 0; op < 64; ++op) {
+      for (const std::uint64_t salt : {0x5352ull, 0x4742ull, 0x5744ull}) {
+        const bool first =
+            ChaosTransport::decide(config, connection, op, salt, 0.3);
+        const bool second =
+            ChaosTransport::decide(config, connection, op, salt, 0.3);
+        EXPECT_EQ(first, second);
+        const std::uint64_t r1 =
+            ChaosTransport::roll(config, connection, op, salt, 16);
+        const std::uint64_t r2 =
+            ChaosTransport::roll(config, connection, op, salt, 16);
+        EXPECT_EQ(r1, r2);
+        EXPECT_GE(r1, 1u);
+        EXPECT_LE(r1, 16u);
+      }
+    }
+  }
+
+  // Edge probabilities are exact, not approximate.
+  EXPECT_FALSE(ChaosTransport::decide(config, 0, 0, 1, 0.0));
+  EXPECT_TRUE(ChaosTransport::decide(config, 0, 0, 1, 1.0));
+
+  // Different seeds and different connections give different schedules.
+  const auto schedule = [](std::uint64_t seed, std::uint64_t connection) {
+    ChaosConfig c;
+    c.seed = seed;
+    std::vector<bool> verdicts;
+    for (std::uint64_t op = 0; op < 256; ++op) {
+      verdicts.push_back(ChaosTransport::decide(c, connection, op, 1, 0.5));
+    }
+    return verdicts;
+  };
+  EXPECT_NE(schedule(1, 0), schedule(2, 0));
+  EXPECT_NE(schedule(1, 0), schedule(1, 1));
+  EXPECT_EQ(schedule(7, 3), schedule(7, 3));
+}
+
+/// Scripted in-memory transport: recv_some serves a fixed byte stream,
+/// send_all records what was written — the observable effect of a
+/// ChaosTransport run is then a deterministic function of the seed.
+class ScriptedTransport final : public Transport {
+ public:
+  explicit ScriptedTransport(std::string inbound)
+      : inbound_(std::move(inbound)) {}
+
+  int recv_some(char* buf, std::size_t len) override {
+    if (shut_down || offset_ >= inbound_.size()) return 0;  // EOF
+    const std::size_t n = std::min(len, inbound_.size() - offset_);
+    std::memcpy(buf, inbound_.data() + offset_, n);
+    offset_ += n;
+    return static_cast<int>(n);
+  }
+  bool send_all(const char* data, std::size_t len) override {
+    if (shut_down) return false;
+    outbound.append(data, len);
+    return true;
+  }
+  void shutdown_rw() override { shut_down = true; }
+  void close() override {}
+
+  std::string outbound;
+  bool shut_down = false;
+
+ private:
+  std::string inbound_;
+  std::size_t offset_ = 0;
+};
+
+TEST(SvcChaos, SameSeedSameConnectionReplaysTheExactByteStream) {
+  ChaosConfig config;
+  config.seed = 42;
+  config.p_delay = 0.0;  // keep the replay fast; delays don't change bytes
+  config.p_garbage = 0.3;
+  config.p_short_read = 0.4;
+  config.p_read_drop = 0.05;
+
+  const std::string inbound(256, 'z');
+  const auto run = [&](std::uint64_t connection) {
+    ChaosTransport chaos(std::make_unique<ScriptedTransport>(inbound), config,
+                         connection);
+    std::string observed;
+    char buf[64];
+    for (int i = 0; i < 200; ++i) {
+      const int n = chaos.recv_some(buf, sizeof(buf));
+      if (n == Transport::kError) {
+        observed += "<ERR>";
+        break;
+      }
+      if (n == 0) break;
+      observed.append(buf, static_cast<std::size_t>(n));
+    }
+    return observed;
+  };
+
+  const std::string first = run(0);
+  EXPECT_EQ(first, run(0));       // bit-identical replay
+  EXPECT_NE(first, run(1));       // another connection, another schedule
+  EXPECT_NE(first, inbound);      // chaos actually perturbed the stream
+}
+
+// ---------------------------------------------------------------------------
+// The server survives a chaos storm
+
+TEST(SvcChaos, ServerSurvivesAllFaultClassesAndHealthyTenantProgresses) {
+  Service service(wall_config());
+  obs::MetricsRegistry metrics;
+
+  ServerConfig server_config;
+  ChaosConfig chaos;
+  chaos.seed = 1337;
+  chaos.max_delay_us = 300;  // keep injected latency test-sized
+  server_config.transport_shim = chaos_shim(chaos);
+  Server server(service, server_config, &metrics);
+  server.start();
+
+  // A storm of chaos-wrapped connections.  Any individual client may see
+  // garbage replies, resets, or stalls — the invariants are that the
+  // server never crashes or wedges, and work keeps completing.
+  std::atomic<int> events_seen{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 24; ++c) {
+    clients.emplace_back([&, c] {
+      RawClient client(server.port());
+      for (int j = 0; j < 4; ++j) {
+        if (!client.try_send_line(chain_submit_line(
+                c % 2 == 0 ? "acme" : "beta", 2,
+                "storm-" + std::to_string(c) + "-" + std::to_string(j)))) {
+          return;  // injected disconnect
+        }
+      }
+      // Read whatever makes it through the chaos until EOF/timeout.
+      while (true) {
+        const std::string line = client.recv_line(2000ms);
+        if (line.empty()) return;
+        try {
+          const JsonValue reply = parse_json(line);
+          if (const JsonValue* event = reply.find("event");
+              event != nullptr && event->as_string() == "complete") {
+            events_seen.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const JsonError&) {
+          // Outbound garbage/segmentation corrupted this line: expected.
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // The service behind the chaos front door made real progress...
+  EXPECT_GT(service.completed_total(), 0u);
+  // ...and some completions survived the return path intact.
+  EXPECT_GT(events_seen.load(), 0);
+
+  // The server still answers a (chaos-wrapped) probe after the storm, and
+  // tears down cleanly with sessions in every broken state.
+  RawClient probe(server.port());
+  if (probe.try_send_line(R"({"op":"health"})")) {
+    (void)probe.recv_line(1000ms);
+  }
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded NDJSON fuzz over parse_request (runs under ASan in CI)
+
+TEST(SvcChaos, FuzzedRequestLinesNeverEscapeProtocolError) {
+  std::uint64_t state = 0xC0FFEEULL;
+  const auto rnd = [&state] { return splitmix64(state); };
+
+  const std::string seeds[] = {
+      chain_submit_line("acme", 3, "fuzz"),
+      R"({"op":"status","ticket":7})",
+      R"({"op":"cancel","ticket":7})",
+      R"({"op":"stats"})",
+      R"({"op":"drain"})",
+      R"({"op":"health"})",
+      R"({"op":"submit","tenant":"acme","job":{"categories":2,)"
+      R"("vertices":[0,1],"edges":[[0,1]]},"task_us":10})",
+  };
+
+  int parsed = 0;
+  int rejected = 0;
+  for (int iteration = 0; iteration < 4000; ++iteration) {
+    std::string line = seeds[rnd() % std::size(seeds)];
+    // A handful of byte-level mutations: flips, truncation, splices of
+    // arbitrary (incl. non-UTF-8) bytes, duplication.
+    const int mutations = 1 + static_cast<int>(rnd() % 4);
+    for (int m = 0; m < mutations && !line.empty(); ++m) {
+      switch (rnd() % 5) {
+        case 0:
+          line[rnd() % line.size()] = static_cast<char>(rnd() & 0xFF);
+          break;
+        case 1:
+          line.resize(rnd() % line.size());
+          break;
+        case 2:
+          line.insert(rnd() % line.size(), 1,
+                      static_cast<char>(rnd() & 0xFF));
+          break;
+        case 3:
+          line += line.substr(rnd() % line.size());
+          break;
+        case 4:
+          std::reverse(line.begin(),
+                       line.begin() +
+                           static_cast<long>(rnd() % (line.size() + 1)));
+          break;
+      }
+    }
+    // Contract: every line either parses into a Request or raises a
+    // structured ProtocolError — never another exception type, never a
+    // crash, regardless of input bytes.
+    try {
+      (void)parse_request(line);
+      ++parsed;
+    } catch (const ProtocolError&) {
+      ++rejected;
+    }
+  }
+  // The corpus exercised both sides of the contract.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Idle-session timeout (slow-loris defence)
+
+TEST(SvcChaos, IdleConnectionIsReapedAfterTimeout) {
+  Service service(wall_config());
+  obs::MetricsRegistry metrics;
+  ServerConfig server_config;
+  server_config.idle_timeout_ms = 100;
+  Server server(service, server_config, &metrics);
+  server.start();
+
+  RawClient idle(server.port());  // connects, then says nothing
+  EXPECT_TRUE(idle.wait_closed(5000ms));
+  EXPECT_GE(metrics.counter("krad_svc_idle_timeouts").value(), 1);
+
+  // An active client on the same server is unaffected by the reaping.
+  RawClient active(server.port());
+  ASSERT_TRUE(active.try_send_line(R"({"op":"stats"})"));
+  const JsonValue reply = parse_json(active.recv_line());
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+TEST(SvcChaos, SlowLorisByteDripIsBounded) {
+  Service service(wall_config());
+  obs::MetricsRegistry metrics;
+  ServerConfig server_config;
+  server_config.idle_timeout_ms = 100;
+  Server server(service, server_config, &metrics);
+  server.start();
+
+  // Drip a valid request one byte at a time, never finishing the line.
+  // Each byte re-arms the socket timeout, so only the LINE-AGE bound can
+  // stop this classic slow-loris hold.
+  RawClient loris(server.port());
+  const std::string line = chain_submit_line("acme", 2);
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  std::size_t dripped = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!loris.try_send_bytes(line.data() + (dripped % line.size()), 1)) {
+      break;  // server shut the session down
+    }
+    ++dripped;
+    std::this_thread::sleep_for(10ms);
+    if (loris.wait_closed(1ms)) break;
+  }
+  EXPECT_TRUE(loris.wait_closed(2000ms));
+  EXPECT_GE(metrics.counter("krad_svc_idle_timeouts").value(), 1);
+
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+TEST(SvcChaos, InflightWorkExemptsASilentClientFromIdleTimeout) {
+  Service service(wall_config());
+  ServerConfig server_config;
+  server_config.idle_timeout_ms = 50;
+  Server server(service, server_config);
+  server.start();
+
+  // The job takes ~400 quanta * 200us = far longer than the idle timeout;
+  // the client goes silent after submitting.  A session awaiting a
+  // completion event is NOT idle — it must survive until the event lands.
+  RawClient client(server.port());
+  ASSERT_TRUE(client.try_send_line(chain_submit_line("acme", 400, "long")));
+  const JsonValue reply = parse_json(client.recv_line());
+  ASSERT_NE(reply.find("ok"), nullptr);
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+
+  const std::string event_line = client.recv_line(30000ms);
+  ASSERT_FALSE(event_line.empty())
+      << "idle timeout dropped a session with in-flight work";
+  const JsonValue event = parse_json(event_line);
+  EXPECT_EQ(event.find("event")->as_string(), "complete");
+  EXPECT_EQ(event.find("name")->as_string(), "long");
+
+  server.stop();
+  service.drain();
+  service.join();
+}
+
+// ---------------------------------------------------------------------------
+// Health probe over the wire
+
+TEST(SvcChaos, HealthProbeReportsReadinessAndDraining) {
+  Service service(wall_config());
+  Server server(service, ServerConfig{});
+  server.start();
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.try_send_line(R"({"op":"health"})"));
+  JsonValue reply = parse_json(client.recv_line());
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_TRUE(reply.find("ready")->as_bool());
+  EXPECT_FALSE(reply.find("draining")->as_bool());
+  EXPECT_EQ(reply.find("recovered")->as_int(), 0);
+
+  service.drain();
+  ASSERT_TRUE(client.try_send_line(R"({"op":"health"})"));
+  reply = parse_json(client.recv_line());
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_FALSE(reply.find("ready")->as_bool());
+  EXPECT_TRUE(reply.find("draining")->as_bool());
+
+  service.join();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace krad::svc

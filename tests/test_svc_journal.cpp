@@ -1,0 +1,538 @@
+// Write-ahead journal tests (docs/SERVICE.md "Durability"): CRC framing,
+// record codec, torn-tail truncation, compaction, and Service-level crash
+// recovery — exactly-once re-queueing, stable ticket ids for re-attach,
+// checkpoint resume, and rejected-submit balance.
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/svc.hpp"
+
+namespace krad::svc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "krad_" + name + ".wal";
+  std::remove(path.c_str());
+  return path;
+}
+
+KDag chain_dag(int length, Category categories = 1) {
+  KDag dag(categories);
+  dag.add_chain(0, static_cast<std::size_t>(length));
+  dag.seal();
+  return dag;
+}
+
+SubmitRequest submit_of(const std::string& tenant, KDag dag,
+                        const std::string& name = "") {
+  SubmitRequest request;
+  request.tenant = tenant;
+  request.dag = std::move(dag);
+  request.name = name;
+  return request;
+}
+
+ServiceConfig journaled_config(const std::string& path) {
+  ServiceConfig config;
+  config.machine = MachineConfig{{4}};
+  config.tenants = {{"acme", 1.0, 16}};
+  config.scheduler = "kequi";
+  config.live_slots = 8;
+  config.clock = ClockMode::kVirtual;
+  config.inline_execution = true;
+  config.journal_path = path;
+  config.journal_fsync_every = 0;  // fsync every record: worst-case path
+  return config;
+}
+
+JournalConfig file_config(const std::string& path) {
+  JournalConfig config;
+  config.path = path;
+  config.fsync_every = 0;
+  return config;
+}
+
+std::vector<std::string> replay_payloads(const std::string& path) {
+  Journal journal(file_config(path));
+  std::vector<std::string> payloads;
+  journal.open([&](std::string_view payload) {
+    payloads.emplace_back(payload);
+  });
+  return payloads;
+}
+
+std::vector<JournalRecord> replay_records(const std::string& path) {
+  std::vector<JournalRecord> records;
+  for (const std::string& payload : replay_payloads(path)) {
+    records.push_back(decode_record(payload));
+  }
+  return records;
+}
+
+/// ticket -> number of terminal records in the log (the exactly-once gauge).
+std::map<std::uint64_t, int> terminal_counts(const std::string& path) {
+  std::map<std::uint64_t, int> counts;
+  for (const JournalRecord& record : replay_records(path)) {
+    if (const auto* term = std::get_if<JournalTerminal>(&record)) {
+      ++counts[term->ticket];
+    }
+  }
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+
+TEST(SvcJournal, Crc32KnownAnswers) {
+  // The standard CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_NE(crc32("journal"), crc32("journa l"));
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+
+TEST(SvcJournal, SubmitRecordRoundTrips) {
+  JournalSubmit submit;
+  submit.ticket = 42;
+  submit.tenant = "acme";
+  submit.name = "job \"7\"\n";  // escaping must survive
+  submit.task_us = 1500;
+  submit.dag = chain_dag(3, 2);
+
+  const JournalRecord decoded =
+      decode_record(encode_record(JournalRecord{submit}));
+  const auto& out = std::get<JournalSubmit>(decoded);
+  EXPECT_EQ(out.ticket, 42u);
+  EXPECT_EQ(out.tenant, "acme");
+  EXPECT_EQ(out.name, "job \"7\"\n");
+  EXPECT_EQ(out.task_us, 1500u);
+  ASSERT_EQ(out.dag.num_vertices(), 3u);
+  EXPECT_EQ(out.dag.num_categories(), Category{2});
+  EXPECT_TRUE(out.dag.sealed());
+  ASSERT_EQ(out.dag.successors(0).size(), 1u);
+  EXPECT_EQ(out.dag.successors(0)[0], VertexId{1});
+  EXPECT_EQ(out.dag.successors(2).size(), 0u);
+}
+
+TEST(SvcJournal, TerminalAndCheckpointRecordsRoundTrip) {
+  JournalTerminal term;
+  term.ticket = 7;
+  term.tenant = "acme";
+  term.name = "t";
+  term.state = TicketState::kDone;
+  term.outcome = "completed";
+  term.response_quanta = 12;
+  auto decoded = decode_record(encode_record(JournalRecord{term}));
+  const auto& t = std::get<JournalTerminal>(decoded);
+  EXPECT_EQ(t.ticket, 7u);
+  EXPECT_EQ(t.state, TicketState::kDone);
+  EXPECT_EQ(t.outcome, "completed");
+  ASSERT_TRUE(t.response_quanta.has_value());
+  EXPECT_EQ(*t.response_quanta, 12);
+
+  // Rejected terminals have no outcome/quanta — optional fields stay unset.
+  JournalTerminal rejected;
+  rejected.ticket = 8;
+  rejected.tenant = "acme";
+  rejected.state = TicketState::kRejected;
+  decoded = decode_record(encode_record(JournalRecord{rejected}));
+  const auto& r = std::get<JournalTerminal>(decoded);
+  EXPECT_EQ(r.state, TicketState::kRejected);
+  EXPECT_TRUE(r.outcome.empty());
+  EXPECT_FALSE(r.response_quanta.has_value());
+
+  JournalCheckpoint cp{101, 55, 4};
+  decoded = decode_record(encode_record(JournalRecord{cp}));
+  const auto& c = std::get<JournalCheckpoint>(decoded);
+  EXPECT_EQ(c.next_ticket, 101u);
+  EXPECT_EQ(c.completed, 55u);
+  EXPECT_EQ(c.cancelled, 4u);
+}
+
+TEST(SvcJournal, DecodeRejectsMalformedPayloads) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "[]",
+      "{}",
+      R"({"rec":"alien"})",
+      R"({"rec":"submit"})",                              // missing fields
+      R"({"rec":"submit","ticket":1,"tenant":"t"})",      // no job
+      R"({"rec":"submit","ticket":-1,"tenant":"t","job":)"
+      R"({"categories":1,"vertices":[0]},"task_us":0})",  // negative ticket
+      R"({"rec":"submit","ticket":1,"tenant":"t","job":)"
+      R"({"categories":1,"vertices":[5]},"task_us":0})",  // invalid spec
+      R"({"rec":"terminal","ticket":1,"tenant":"t","state":"queued"})",
+      R"({"rec":"terminal","ticket":1,"tenant":"t","state":"flying"})",
+      R"({"rec":"checkpoint"})",
+  };
+  for (const char* payload : bad) {
+    EXPECT_THROW(decode_record(payload), JournalError)
+        << "payload: " << payload;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The log file
+
+TEST(SvcJournal, AppendThenReplayRoundTrips) {
+  const std::string path = temp_journal("roundtrip");
+  {
+    Journal journal(file_config(path));
+    const auto stats = journal.open([](std::string_view) { FAIL(); });
+    EXPECT_EQ(stats.records, 0u);
+    EXPECT_EQ(stats.truncated_bytes, 0u);
+    journal.append("alpha");
+    journal.append(R"({"rec":"checkpoint","next_ticket":9})");
+    journal.append(std::string(3000, 'x'));  // spans several write sizes
+    EXPECT_EQ(journal.appended_records(), 3u);
+  }
+  const std::vector<std::string> payloads = replay_payloads(path);
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "alpha");
+  EXPECT_EQ(payloads[2], std::string(3000, 'x'));
+}
+
+TEST(SvcJournal, TornTailIsTruncatedOnOpen) {
+  const std::string path = temp_journal("torn");
+  {
+    Journal journal(file_config(path));
+    journal.open([](std::string_view) {});
+    journal.append("first");
+    journal.append("second");
+  }
+  const auto size_before = [&] {
+    struct stat st {};
+    EXPECT_EQ(::stat(path.c_str(), &st), 0);
+    return st.st_size;
+  }();
+
+  // A crash mid-append leaves a partial frame: a plausible header claiming
+  // more payload than exists.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char torn[] = {0x40, 0x00, 0x00, 0x00, 0x11, 0x22, 0x33, 0x44,
+                         'p',  'a',  'r',  't'};
+    out.write(torn, sizeof(torn));
+  }
+
+  {
+    Journal journal(file_config(path));
+    std::vector<std::string> seen;
+    const auto stats =
+        journal.open([&](std::string_view p) { seen.emplace_back(p); });
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.truncated_bytes, 12u);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1], "second");
+    // The file was truncated back to the valid prefix and appends resume.
+    EXPECT_EQ(journal.size_bytes(), static_cast<std::uint64_t>(size_before));
+    journal.append("third");
+  }
+  const std::vector<std::string> payloads = replay_payloads(path);
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[2], "third");
+}
+
+TEST(SvcJournal, CorruptChecksumEndsTheValidPrefix) {
+  const std::string path = temp_journal("badcrc");
+  {
+    Journal journal(file_config(path));
+    journal.open([](std::string_view) {});
+    journal.append("kept");
+    journal.append("mangled");
+    journal.append("after");
+  }
+  // Flip one payload byte of the second record: its CRC now mismatches, so
+  // it AND everything after it are discarded (a prefix is all that is
+  // trustworthy once the stream desynchronises).
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    // magic(8) + frame("kept": 8+4) + header(8) -> first byte of "mangled".
+    file.seekp(8 + 12 + 8);
+    file.put('M');
+  }
+  Journal journal(file_config(path));
+  std::vector<std::string> seen;
+  const auto stats =
+      journal.open([&](std::string_view p) { seen.emplace_back(p); });
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_GT(stats.truncated_bytes, 0u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "kept");
+}
+
+TEST(SvcJournal, ShortAndAlienFilesAreHandled) {
+  // A file shorter than the magic is a torn creation: reinitialised.
+  const std::string stub = temp_journal("stub");
+  {
+    std::ofstream out(stub, std::ios::binary);
+    out.write("KRA", 3);
+  }
+  Journal journal(file_config(stub));
+  EXPECT_EQ(journal.open([](std::string_view) { FAIL(); }).records, 0u);
+  journal.append("works");
+
+  // A file with a full-length alien header is NOT a journal: refuse loudly
+  // rather than truncating someone else's data.
+  const std::string alien = temp_journal("alien");
+  {
+    std::ofstream out(alien, std::ios::binary);
+    out.write("NOTAWAL0 more bytes", 19);
+  }
+  Journal other(file_config(alien));
+  EXPECT_THROW(other.open([](std::string_view) {}), JournalError);
+}
+
+TEST(SvcJournal, RewriteReplacesContentsAtomically) {
+  const std::string path = temp_journal("rewrite");
+  {
+    Journal journal(file_config(path));
+    journal.open([](std::string_view) {});
+    for (int i = 0; i < 5; ++i) journal.append("old-" + std::to_string(i));
+    journal.rewrite({"new-a", "new-b"});
+    journal.append("new-c");  // appends continue on the rewritten file
+  }
+  const std::vector<std::string> payloads = replay_payloads(path);
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "new-a");
+  EXPECT_EQ(payloads[1], "new-b");
+  EXPECT_EQ(payloads[2], "new-c");
+}
+
+// ---------------------------------------------------------------------------
+// Service-level recovery
+
+TEST(SvcJournalService, RequeuesIncompleteSubmitsExactlyOnce) {
+  const std::string path = temp_journal("recover");
+  // A journal as a crashed daemon would leave it: three accepted submits,
+  // only the first completed, no checkpoint.
+  {
+    Journal journal(file_config(path));
+    journal.open([](std::string_view) {});
+    for (std::uint64_t ticket = 1; ticket <= 3; ++ticket) {
+      JournalSubmit submit;
+      submit.ticket = ticket;
+      submit.tenant = "acme";
+      submit.name = "job-" + std::to_string(ticket);
+      submit.dag = chain_dag(3);
+      journal.append(encode_record(JournalRecord{submit}));
+    }
+    JournalTerminal done;
+    done.ticket = 1;
+    done.tenant = "acme";
+    done.name = "job-1";
+    done.state = TicketState::kDone;
+    done.outcome = "completed";
+    done.response_quanta = 3;
+    journal.append(encode_record(JournalRecord{done}));
+  }
+
+  std::uint64_t new_ticket = 0;
+  {
+    Service service(journaled_config(path));
+    EXPECT_EQ(service.recovered_total(), 2u);
+
+    // Re-attach contract: the finished ticket is queryable, the recovered
+    // ones exist under their ORIGINAL ids.
+    ASSERT_TRUE(service.status(1).has_value());
+    EXPECT_EQ(service.status(1)->state, TicketState::kDone);
+    EXPECT_EQ(service.status(1)->name, "job-1");
+    ASSERT_TRUE(service.status(2).has_value());
+    ASSERT_TRUE(service.status(3).has_value());
+
+    // The ticket counter resumed past the journal's max.
+    const SubmitOutcome outcome =
+        service.submit(submit_of("acme", chain_dag(2), "fresh"));
+    ASSERT_TRUE(outcome.accepted);
+    EXPECT_EQ(outcome.ticket, 4u);
+    new_ticket = outcome.ticket;
+
+    service.drain();
+    service.join();
+    EXPECT_EQ(service.status(2)->state, TicketState::kDone);
+    EXPECT_EQ(service.status(3)->state, TicketState::kDone);
+    // 1 replayed completion + 2 recovered + 1 fresh.
+    EXPECT_EQ(service.completed_total(), 4u);
+  }
+
+  // Exactly-once on disk: one terminal per ticket, no duplicates.
+  const auto counts = terminal_counts(path);
+  ASSERT_EQ(counts.size(), 4u);
+  for (std::uint64_t ticket = 1; ticket <= new_ticket; ++ticket) {
+    EXPECT_EQ(counts.at(ticket), 1) << "ticket " << ticket;
+  }
+}
+
+TEST(SvcJournalService, CheckpointResumesCountersAndTicketIds) {
+  const std::string path = temp_journal("checkpoint");
+  std::uint64_t first = 0, second = 0;
+  {
+    Service service(journaled_config(path));
+    first = service.submit(submit_of("acme", chain_dag(2), "a")).ticket;
+    second = service.submit(submit_of("acme", chain_dag(2), "b")).ticket;
+    service.drain();
+    service.join();
+    service.checkpoint();
+  }
+  {
+    Service service(journaled_config(path));
+    EXPECT_EQ(service.recovered_total(), 0u);  // nothing was incomplete
+    EXPECT_EQ(service.completed_total(), 2u);  // counters survive restart
+    // Terminal tickets restored for late status queries...
+    ASSERT_TRUE(service.status(first).has_value());
+    EXPECT_EQ(service.status(first)->state, TicketState::kDone);
+    EXPECT_EQ(service.status(second)->name, "b");
+    // ...and ids never recycle across restarts.
+    const SubmitOutcome outcome = service.submit(submit_of("acme", chain_dag(2)));
+    ASSERT_TRUE(outcome.accepted);
+    EXPECT_EQ(outcome.ticket, second + 1);
+    service.drain();
+    service.join();
+  }
+}
+
+TEST(SvcJournalService, RejectedSubmitLeavesBalancedJournal) {
+  const std::string path = temp_journal("rejected");
+  std::uint64_t accepted_ticket = 0, rejected_ticket = 0;
+  {
+    ServiceConfig config = journaled_config(path);
+    config.tenants = {{"acme", 1.0, 1}};  // queue depth 1
+    // Freeze the pump so the queue cannot drain between the two submits.
+    std::atomic<bool> go{false};
+    config.pacing_hook = [&go](Time) {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    };
+    Service service(config);
+    const SubmitOutcome ok = service.submit(submit_of("acme", chain_dag(2)));
+    ASSERT_TRUE(ok.accepted);
+    accepted_ticket = ok.ticket;
+    const SubmitOutcome full = service.submit(submit_of("acme", chain_dag(2)));
+    ASSERT_FALSE(full.accepted);
+    ASSERT_EQ(full.error, ErrorCode::kQueueFull);
+    go.store(true, std::memory_order_release);
+    service.drain();
+    service.join();
+  }
+
+  // The rejected submit was journaled before the queue said no, so a
+  // compensating rejected-terminal must balance it — replay must NOT
+  // resurrect a job the client was told did not get in.
+  rejected_ticket = accepted_ticket + 1;
+  const auto counts = terminal_counts(path);
+  EXPECT_EQ(counts.at(accepted_ticket), 1);
+  EXPECT_EQ(counts.at(rejected_ticket), 1);
+  {
+    Service service(journaled_config(path));
+    EXPECT_EQ(service.recovered_total(), 0u);
+    EXPECT_FALSE(service.status(rejected_ticket).has_value());
+    service.drain();
+    service.join();
+  }
+}
+
+TEST(SvcJournalService, UnrunnableRecoveredSubmitsAreCancelledOnce) {
+  const std::string path = temp_journal("unrunnable");
+  {
+    Journal journal(file_config(path));
+    journal.open([](std::string_view) {});
+    JournalSubmit ghost;  // tenant no longer configured
+    ghost.ticket = 5;
+    ghost.tenant = "ghost";
+    ghost.dag = chain_dag(2);
+    journal.append(encode_record(JournalRecord{ghost}));
+    JournalSubmit mismatched;  // category count != machine's
+    mismatched.ticket = 6;
+    mismatched.tenant = "acme";
+    mismatched.dag = chain_dag(2, 2);
+    journal.append(encode_record(JournalRecord{mismatched}));
+  }
+  {
+    Service service(journaled_config(path));
+    EXPECT_EQ(service.recovered_total(), 0u);  // neither can run
+    service.drain();
+    service.join();
+  }
+  // Both were closed out as cancelled — exactly one terminal each, and a
+  // second restart replays them as terminals instead of cancelling again.
+  auto counts = terminal_counts(path);
+  EXPECT_EQ(counts.at(5), 1);
+  EXPECT_EQ(counts.at(6), 1);
+  {
+    Service service(journaled_config(path));
+    EXPECT_EQ(service.recovered_total(), 0u);
+    // Ticket 6's tenant still exists, so its terminal is re-attachable.
+    ASSERT_TRUE(service.status(6).has_value());
+    EXPECT_EQ(service.status(6)->state, TicketState::kCancelled);
+    service.drain();
+    service.join();
+  }
+  counts = terminal_counts(path);
+  EXPECT_EQ(counts.at(5), 1);
+  EXPECT_EQ(counts.at(6), 1);
+}
+
+TEST(SvcJournalService, OversizedLogIsCompactedOnOpen) {
+  const std::string path = temp_journal("compact");
+  std::uint64_t last_ticket = 0;
+  {
+    Service service(journaled_config(path));
+    for (int i = 0; i < 5; ++i) {
+      const SubmitOutcome outcome =
+          service.submit(submit_of("acme", chain_dag(2)));
+      ASSERT_TRUE(outcome.accepted);
+      last_ticket = outcome.ticket;
+    }
+    service.drain();
+    service.join();
+  }
+  ASSERT_EQ(replay_payloads(path).size(), 10u);  // 5 submits + 5 terminals
+
+  ServiceConfig config = journaled_config(path);
+  config.journal_compact_min_bytes = 1;  // force compaction
+  config.terminal_ticket_retention = 2;
+  {
+    Service service(config);
+    EXPECT_EQ(service.completed_total(), 5u);
+    service.drain();
+    service.join();
+  }
+  // Compacted to: 2 retained terminals + the authoritative checkpoint.
+  const auto records = replay_records(path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<JournalTerminal>(records[0]));
+  EXPECT_TRUE(std::holds_alternative<JournalTerminal>(records[1]));
+  const auto& cp = std::get<JournalCheckpoint>(records[2]);
+  EXPECT_EQ(cp.completed, 5u);
+  EXPECT_EQ(cp.next_ticket, last_ticket + 1);
+
+  // Counters and ids still line up after the rewrite.
+  {
+    Service service(journaled_config(path));
+    EXPECT_EQ(service.completed_total(), 5u);
+    const SubmitOutcome outcome = service.submit(submit_of("acme", chain_dag(2)));
+    ASSERT_TRUE(outcome.accepted);
+    EXPECT_EQ(outcome.ticket, last_ticket + 1);
+    service.drain();
+    service.join();
+  }
+}
+
+}  // namespace
+}  // namespace krad::svc

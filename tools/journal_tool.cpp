@@ -1,0 +1,220 @@
+// krad_journal — offline inspection of a krad_svcd write-ahead journal
+// (src/svc/journal.hpp, docs/SERVICE.md "Durability").
+//
+// Unlike the daemon's recovery path this tool is strictly READ-ONLY: a torn
+// tail is reported, never truncated, so it is safe to point at the journal
+// of a crashed (or live) daemon.
+//
+// Usage:
+//   krad_journal dump PATH
+//       Print every valid record payload as NDJSON (one JSON document per
+//       line, exactly as journaled); scan summary goes to stderr.
+//   krad_journal verify PATH [--require-complete]
+//       Check the exactly-once accounting the crash-smoke relies on:
+//       duplicate submits for one ticket and multiple terminal records for
+//       one ticket are violations; terminals without a submit are tolerated
+//       (the submit was dropped by compaction).  --require-complete
+//       additionally demands every submit reached exactly one terminal
+//       state (the post-drain invariant).
+//
+// Exit status: 0 clean, 1 violations found, 2 usage / I/O / format errors.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "svc/journal.hpp"
+
+namespace {
+
+using namespace krad;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "krad_journal: " << message << '\n'
+            << "usage: krad_journal dump PATH\n"
+               "       krad_journal verify PATH [--require-complete]\n";
+  std::exit(2);
+}
+
+constexpr char kMagic[8] = {'K', 'R', 'A', 'D', 'W', 'A', 'L', '1'};
+
+std::uint32_t get_u32_le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+struct Scan {
+  std::vector<std::string> payloads;
+  std::uint64_t torn_bytes = 0;  ///< unparseable tail (crash artifact)
+  std::string torn_reason;
+};
+
+/// Read-only scan of the journal file; throws std::runtime_error on I/O or
+/// magic failures (a non-journal path), never on a torn tail.
+Scan scan_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + " is not a krad journal (bad magic)");
+  }
+
+  Scan scan;
+  std::size_t offset = sizeof(kMagic);
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < 8) {
+      scan.torn_reason = "short record header";
+      break;
+    }
+    const auto* header =
+        reinterpret_cast<const unsigned char*>(bytes.data() + offset);
+    const std::uint32_t length = get_u32_le(header);
+    const std::uint32_t checksum = get_u32_le(header + 4);
+    if (length == 0 || length > (1u << 22)) {
+      scan.torn_reason = "implausible record length";
+      break;
+    }
+    if (bytes.size() - offset - 8 < length) {
+      scan.torn_reason = "truncated payload";
+      break;
+    }
+    const std::string_view payload(bytes.data() + offset + 8, length);
+    if (svc::crc32(payload) != checksum) {
+      scan.torn_reason = "checksum mismatch";
+      break;
+    }
+    scan.payloads.emplace_back(payload);
+    offset += 8 + length;
+  }
+  scan.torn_bytes = bytes.size() - offset;
+  return scan;
+}
+
+int run_dump(const std::string& path) {
+  const Scan scan = scan_journal(path);
+  for (const std::string& payload : scan.payloads) {
+    std::cout << payload << '\n';
+  }
+  std::cerr << "krad_journal: " << scan.payloads.size() << " record(s)";
+  if (scan.torn_bytes > 0) {
+    std::cerr << ", torn tail of " << scan.torn_bytes << " byte(s) ("
+              << scan.torn_reason << ")";
+  }
+  std::cerr << '\n';
+  return 0;
+}
+
+int run_verify(const std::string& path, bool require_complete) {
+  const Scan scan = scan_journal(path);
+
+  std::map<std::uint64_t, int> submits;    // ticket -> submit records seen
+  std::map<std::uint64_t, int> terminals;  // ticket -> terminal records seen
+  std::uint64_t done = 0, cancelled = 0, rejected = 0, checkpoints = 0;
+  std::vector<std::string> violations;
+
+  for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+    svc::JournalRecord record;
+    try {
+      record = svc::decode_record(scan.payloads[i]);
+    } catch (const svc::JournalError& error) {
+      // A CRC-valid record that does not decode is a writer bug, not a
+      // crash artifact.
+      violations.push_back("record " + std::to_string(i) +
+                           " undecodable: " + error.what());
+      continue;
+    }
+    if (const auto* submit = std::get_if<svc::JournalSubmit>(&record)) {
+      if (++submits[submit->ticket] > 1) {
+        violations.push_back("ticket " + std::to_string(submit->ticket) +
+                             " submitted more than once");
+      }
+    } else if (const auto* terminal =
+                   std::get_if<svc::JournalTerminal>(&record)) {
+      if (++terminals[terminal->ticket] > 1) {
+        violations.push_back("ticket " + std::to_string(terminal->ticket) +
+                             " reached a terminal state more than once");
+      }
+      switch (terminal->state) {
+        case svc::TicketState::kDone: ++done; break;
+        case svc::TicketState::kCancelled: ++cancelled; break;
+        case svc::TicketState::kRejected: ++rejected; break;
+        default: break;
+      }
+    } else {
+      ++checkpoints;
+    }
+  }
+
+  std::uint64_t pending = 0, orphan_terminals = 0;
+  for (const auto& [ticket, count] : submits) {
+    (void)count;
+    if (terminals.find(ticket) == terminals.end()) {
+      ++pending;
+      if (require_complete) {
+        violations.push_back("ticket " + std::to_string(ticket) +
+                             " has no terminal record");
+      }
+    }
+  }
+  for (const auto& [ticket, count] : terminals) {
+    (void)count;
+    // Tolerated: compaction drops submit records of terminal tickets.
+    if (submits.find(ticket) == submits.end()) ++orphan_terminals;
+  }
+
+  std::cout << "records=" << scan.payloads.size()
+            << " submits=" << submits.size() << " done=" << done
+            << " cancelled=" << cancelled << " rejected=" << rejected
+            << " checkpoints=" << checkpoints << " pending=" << pending
+            << " orphan_terminals=" << orphan_terminals
+            << " torn_bytes=" << scan.torn_bytes << '\n';
+  if (scan.torn_bytes > 0) {
+    std::cout << "note: torn tail (" << scan.torn_reason
+              << ") — expected after a crash, recovery truncates it\n";
+  }
+  if (!violations.empty()) {
+    for (const std::string& violation : violations) {
+      std::cout << "[VIOLATION] " << violation << '\n';
+    }
+    std::cout << "[FAIL] krad_journal: " << violations.size()
+              << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "[PASS] krad_journal: exactly-once accounting holds\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage_error("expected a command and a journal path");
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  bool require_complete = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--require-complete") {
+      require_complete = true;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  try {
+    if (command == "dump") return run_dump(path);
+    if (command == "verify") return run_verify(path, require_complete);
+    usage_error("unknown command '" + command + "'");
+  } catch (const std::exception& error) {
+    std::cerr << "krad_journal: " << error.what() << '\n';
+    return 2;
+  }
+}

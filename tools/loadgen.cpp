@@ -10,9 +10,19 @@
 // Usage:
 //   krad_loadgen --port N [--host A.B.C.D] [--tenant NAME] [--jobs N]
 //                [--concurrency N] [--task-us N] [--chain N] [--drain]
+//                [--reattach] [--reattach-timeout-ms N]
 //
 // --drain additionally sends {"op":"drain"} after the run, telling the
 // daemon to finish accepted work and exit.
+//
+// --reattach exercises the journal re-attach contract (docs/SERVICE.md
+// "Durability"): when the connection dies mid-run (daemon crashed or was
+// killed), the client stops submitting, reconnects with retries, and polls
+// {"op":"status"} for every acked-but-unfinished ticket until each reaches
+// a terminal state — ticket ids are stable across a journal-backed restart,
+// so the poll resolves work accepted before the crash.  Submits that were
+// sent but never acked are reported as `unacked` (their fate is decided by
+// the journal, not the client).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -25,7 +35,9 @@
 #include <deque>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "svc/json.hpp"
@@ -49,13 +61,16 @@ struct Options {
   /// rejected as bad requests (2 matches krad_svcd's default --machine 2,2).
   int categories = 2;
   bool drain = false;
+  bool reattach = false;
+  long long reattach_timeout_ms = 30000;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
   std::cerr << "krad_loadgen: " << message << '\n'
             << "usage: krad_loadgen --port N [--host ADDR] [--tenant NAME]"
                " [--jobs N] [--concurrency N] [--task-us N] [--chain N]"
-               " [--categories K] [--drain]\n";
+               " [--categories K] [--drain] [--reattach]"
+               " [--reattach-timeout-ms N]\n";
   std::exit(2);
 }
 
@@ -65,6 +80,10 @@ Options parse_options(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--drain") {
       options.drain = true;
+      continue;
+    }
+    if (flag == "--reattach") {
+      options.reattach = true;
       continue;
     }
     const auto value = [&]() -> std::string {
@@ -87,6 +106,8 @@ Options parse_options(int argc, char** argv) {
       options.chain = std::atoi(value().c_str());
     } else if (flag == "--categories") {
       options.categories = std::atoi(value().c_str());
+    } else if (flag == "--reattach-timeout-ms") {
+      options.reattach_timeout_ms = std::atoll(value().c_str());
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -142,6 +163,34 @@ int connect_to(const Options& options) {
     return -1;
   }
   return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of one newline-terminated line (buffered in `rx`); empty
+/// optional when the connection dies first.
+std::optional<std::string> read_line(int fd, std::string& rx) {
+  for (;;) {
+    const std::size_t nl = rx.find('\n');
+    if (nl != std::string::npos) {
+      std::string out = rx.substr(0, nl);
+      rx.erase(0, nl + 1);
+      return out;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return std::nullopt;
+    rx.append(chunk, static_cast<std::size_t>(n));
+  }
 }
 
 }  // namespace
@@ -227,6 +276,77 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --reattach: the connection died with acked tickets unresolved — poll
+  // status on a fresh connection (the restarted daemon replays its journal,
+  // so the original ticket ids are still valid) until each is terminal.
+  int reattach_resolved = 0;
+  int reattach_unknown = 0;
+  const auto unacked_lost = static_cast<int>(unacked.size());
+  if (options.reattach && !sent_at.empty()) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options.reattach_timeout_ms);
+    int rfd = -1;
+    std::string rbuf;
+    while (!sent_at.empty() && Clock::now() < deadline) {
+      if (rfd < 0) {
+        rfd = connect_to(options);
+        if (rfd < 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          continue;
+        }
+        rbuf.clear();
+      }
+      bool progressed = false;
+      for (auto it = sent_at.begin(); it != sent_at.end();) {
+        const std::string request = "{\"op\":\"status\",\"ticket\":" +
+                                    std::to_string(it->first) + "}\n";
+        std::optional<std::string> reply_line;
+        if (send_all(rfd, request)) reply_line = read_line(rfd, rbuf);
+        if (!reply_line) {  // died again (daemon still restarting); retry
+          ::close(rfd);
+          rfd = -1;
+          break;
+        }
+        svc::JsonValue reply;
+        try {
+          reply = svc::parse_json(*reply_line, limits);
+          if (const svc::JsonValue* ok = reply.find("ok");
+              ok != nullptr && !ok->as_bool()) {
+            // unknown_ticket: evicted from retention or lost — give up.
+            ++reattach_unknown;
+            ++terminated;
+            it = sent_at.erase(it);
+            progressed = true;
+            continue;
+          }
+          const svc::JsonValue* state = reply.find("state");
+          const std::string name =
+              state != nullptr ? state->as_string() : std::string();
+          if (name == "done" || name == "cancelled" || name == "rejected") {
+            if (name == "done") {
+              latencies_us.push_back(
+                  std::chrono::duration<double, std::micro>(Clock::now() -
+                                                            it->second)
+                      .count());
+            }
+            ++reattach_resolved;
+            ++terminated;
+            it = sent_at.erase(it);
+            progressed = true;
+            continue;
+          }
+        } catch (const svc::JsonError&) {
+          // fall through: treat as still pending
+        }
+        ++it;
+      }
+      if (rfd >= 0 && !sent_at.empty() && !progressed) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    if (rfd >= 0) ::close(rfd);
+  }
+
   if (options.drain) {
     const std::string drain_line = "{\"op\":\"drain\"}\n";
     (void)::send(fd, drain_line.data(), drain_line.size(), MSG_NOSIGNAL);
@@ -245,6 +365,16 @@ int main(int argc, char** argv) {
       .cell(percentile(latencies_us, 0.99), 0);
   table.print(std::cout);
 
+  if (options.reattach) {
+    std::cout << "reattach: " << reattach_resolved << " resolved, "
+              << reattach_unknown << " unknown, " << unacked_lost
+              << " unacked, " << sent_at.size() << " unresolved\n";
+    if (!sent_at.empty()) {
+      std::cout << "[FAIL] krad_loadgen: " << sent_at.size()
+                << " acked ticket(s) never reached a terminal state\n";
+      return 1;
+    }
+  }
   if (completed == 0) {
     std::cout << "[FAIL] krad_loadgen: no completions\n";
     return 1;

@@ -1,25 +1,38 @@
 // krad_svcd — standalone scheduling-service daemon (docs/SERVICE.md).
 //
 // Binds a TCP Server around a live Service and runs until a client sends
-// {"op":"drain"}: the service then finishes everything it accepted, the
-// serve loop exits, and the daemon shuts the listener down and exits 0.
-// The bound address is printed as `listening on <host>:<port>` (flushed)
-// so callers using an ephemeral port (--port 0) can scrape it.
+// {"op":"drain"} or the process receives SIGTERM/SIGINT: the service then
+// finishes everything it accepted (under --drain-timeout-ms for signals),
+// journals a checkpoint when --journal is set, and exits 0.  The bound
+// address is printed as `listening on <host>:<port>` (flushed) so callers
+// using an ephemeral port (--port 0) can scrape it.
+//
+// With --journal PATH the daemon is crash-safe: accepted submits and
+// terminal outcomes are write-ahead logged, and a restart replays the log,
+// re-queueing accepted-but-unfinished jobs exactly once with their
+// original ticket ids (clients re-attach via {"op":"status"}).
 //
 // Usage:
 //   krad_svcd [--port N] [--host A.B.C.D] [--scheduler NAME]
 //             [--machine P0,P1,...] [--tenants name:share:queue,...]
-//             [--slots N] [--quantum-us N]
+//             [--slots N] [--quantum-us N] [--journal PATH]
+//             [--drain-timeout-ms N] [--idle-timeout-ms N]
 //
 // Example:
-//   krad_svcd --port 0 --scheduler krad --machine 2,2 \
-//             --tenants gold:3:64,bronze:1:64
+//   krad_svcd --port 0 --scheduler krad --machine 2,2
+//             --tenants gold:3:64,bronze:1:64 --journal /var/tmp/krad.wal
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "svc/svc.hpp"
@@ -33,7 +46,8 @@ using namespace krad;
             << "usage: krad_svcd [--port N] [--host ADDR] [--scheduler NAME]"
                " [--machine P0,P1,...]"
                " [--tenants name:share:queue,...] [--slots N]"
-               " [--quantum-us N]\n";
+               " [--quantum-us N] [--journal PATH]"
+               " [--drain-timeout-ms N] [--idle-timeout-ms N]\n";
   std::exit(2);
 }
 
@@ -84,6 +98,8 @@ std::vector<svc::TenantConfig> parse_tenants(const std::string& text) {
 int main(int argc, char** argv) {
   svc::ServiceConfig service_config;
   svc::ServerConfig server_config;
+  server_config.idle_timeout_ms = 60000;  // slow-loris defence on by default
+  std::uint64_t drain_timeout_ms = 10000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -108,10 +124,28 @@ int main(int argc, char** argv) {
     } else if (flag == "--quantum-us") {
       service_config.quantum_length =
           std::chrono::microseconds(std::atoll(value().c_str()));
+    } else if (flag == "--journal") {
+      service_config.journal_path = value();
+    } else if (flag == "--drain-timeout-ms") {
+      drain_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(value().c_str()));
+    } else if (flag == "--idle-timeout-ms") {
+      server_config.idle_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(value().c_str()));
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
   }
+
+  // Block the shutdown signals BEFORE any thread exists so every thread the
+  // Service/Server spawn inherits the mask; a dedicated thread then owns
+  // shutdown via sigwait.  This is the only signal-safe way to run
+  // arbitrary code (drain + deadline) in response to SIGTERM.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGTERM);
+  sigaddset(&shutdown_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
 
   try {
     obs::MetricsRegistry metrics;
@@ -119,15 +153,51 @@ int main(int argc, char** argv) {
     svc::Service service(service_config);
     svc::Server server(service, server_config, &metrics);
     server.start();
+    if (!service_config.journal_path.empty()) {
+      std::cout << "journal " << service_config.journal_path << ": recovered "
+                << service.recovered_total() << " job(s)" << std::endl;
+    }
     std::cout << "listening on " << server_config.host << ':'
               << server.port() << std::endl;
     std::cout << "scheduler " << service_config.scheduler << ", "
               << service_config.tenants.size() << " tenant(s); send "
-              << R"({"op":"drain"} to shut down)" << std::endl;
+              << R"({"op":"drain"} or SIGTERM to shut down)" << std::endl;
 
-    // Blocks until a drain request lets the serve loop run dry.
-    service.join();
+    std::atomic<bool> finished{false};
+    std::thread signal_thread([&] {
+      int sig = 0;
+      sigwait(&shutdown_signals, &sig);
+      if (finished.load(std::memory_order_acquire)) return;  // clean exit
+      std::cout << "signal " << sig << ": draining (deadline "
+                << drain_timeout_ms << " ms)" << std::endl;
+      service.drain();
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(drain_timeout_ms);
+      while (!finished.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          std::cerr << "krad_svcd: drain deadline exceeded, exiting hard"
+                    << std::endl;
+          std::_Exit(3);  // in-flight work is journaled; restart replays it
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    const auto release_signal_thread = [&] {
+      finished.store(true, std::memory_order_release);
+      ::kill(::getpid(), SIGTERM);  // wake sigwait if no signal ever came
+      signal_thread.join();
+    };
+
+    // Blocks until a drain request or signal lets the serve loop run dry.
+    try {
+      service.join();
+    } catch (...) {
+      release_signal_thread();
+      throw;
+    }
+    release_signal_thread();
     server.stop();
+    service.checkpoint();
     std::cout << "drained: " << service.completed_total()
               << " job(s) completed" << std::endl;
     return 0;
