@@ -6,20 +6,50 @@
 //     (serialized JSONL) to the one produced at N threads;
 //   * accounting — krad_exp_runs_total matches the executed-run count.
 //
+// Throughput is reported twice: end-to-end (wall clock, includes workload
+// generation) and simulate-only (the RunRecord setup/sim split), so engine
+// speedups are not diluted by generator cost.
+//
+// Two further sections exercise the sparse engine (docs/SIMULATOR.md):
+//
+//   * engine_faceoff — the same profile-heavy point set under the dense
+//     oracle and the sparse engine; records must be byte-identical and the
+//     sparse engine must be >= 10x faster on simulate-only seconds;
+//   * million_task — a single billion-task profile run the sparse engine
+//     finishes outright while the dense cost is extrapolated from a
+//     1000x-scaled-down copy of the same instance.
+//
 // The speedup bound check only fires on machines with >= 8 hardware threads
 // (CI runners and this container may have fewer; the sweep is embarrassingly
 // parallel, so the scaling headroom is real wherever the cores are).
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "exp/exp.hpp"
+#include "jobs/profile_job.hpp"
+#include "sched/kequi.hpp"
 
 namespace krad {
 namespace {
+
+// Machine-neutral floors committed with the baseline (bench/baselines/):
+// bench_compare.py gates fresh `<key>` >= baseline `min_<key>` with no
+// tolerance.  Conservative on purpose — they catch order-of-magnitude
+// engine regressions, not host jitter.
+constexpr double kMinRunsPerSec = 25.0;
+constexpr double kMinSpeedupVsDense = 10.0;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 exp::SweepSpec campaign_spec() {
   exp::SweepSpec spec;
@@ -37,6 +67,30 @@ exp::SweepSpec campaign_spec() {
   return spec;
 }
 
+// Long steady phases and forever-steady schedulers: the regime the sparse
+// engine collapses into a handful of epochs while the dense oracle pays a
+// loop iteration per unit-time step.  KRad is deliberately absent — its Rad
+// components drop to horizon 0 whenever a job is marked (the RR branch is
+// never steady), which measures the scheduler's steadiness, not the
+// engine's; the differential suite still covers KRad for correctness.
+exp::SweepSpec faceoff_spec() {
+  exp::SweepSpec spec;
+  spec.name = "faceoff";
+  spec.schedulers = {"kequi", "kdeq"};
+  spec.k_values = {2};
+  spec.procs_per_cat = {4};
+  spec.job_counts = {8};
+  spec.family = exp::JobFamily::kProfile;
+  spec.profile_params.min_phases = 2;
+  spec.profile_params.max_phases = 4;
+  spec.profile_params.min_phase_work = 20'000;
+  spec.profile_params.max_phase_work = 60'000;
+  spec.profile_params.max_parallelism = 8;
+  spec.trials = 4;
+  spec.base_seed = 424242;
+  return spec;
+}
+
 std::vector<std::string> serialize(const exp::CampaignResult& result) {
   std::vector<std::string> lines;
   lines.reserve(result.records.size());
@@ -45,7 +99,7 @@ std::vector<std::string> serialize(const exp::CampaignResult& result) {
   return lines;
 }
 
-void throughput_sweep() {
+void throughput_sweep(bench::JsonReport& report) {
   const exp::SweepSpec spec = campaign_spec();
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> thread_counts = {1, 2};
@@ -54,8 +108,8 @@ void throughput_sweep() {
 
   print_banner(std::cout, "Sweep throughput, " + std::to_string(spec.size()) +
                               " runs per sweep");
-  Table table({"threads", "runs", "seconds", "runs_per_sec", "speedup_vs_1"});
-  bench::JsonReport report("bench_campaign");
+  Table table({"threads", "runs", "seconds", "setup_s", "sim_s",
+               "runs_per_sec", "sim_runs_per_sec", "speedup_vs_1"});
 
   obs::MetricsRegistry metrics;
   std::vector<std::string> baseline_lines;
@@ -70,6 +124,12 @@ void throughput_sweep() {
     const double rate =
         result.wall_seconds > 0.0
             ? static_cast<double>(result.executed) / result.wall_seconds
+            : 0.0;
+    // Simulate-only throughput: per-run sim seconds summed across the
+    // shards, i.e. a per-core engine rate independent of thread count.
+    const double sim_rate =
+        result.sim_seconds > 0.0
+            ? static_cast<double>(result.executed) / result.sim_seconds
             : 0.0;
     if (threads == 1) {
       baseline_lines = serialize(result);
@@ -91,17 +151,27 @@ void throughput_sweep() {
         .cell(static_cast<std::uint64_t>(threads))
         .cell(static_cast<std::uint64_t>(result.executed))
         .cell(result.wall_seconds)
+        .cell(result.setup_seconds)
+        .cell(result.sim_seconds)
         .cell(rate, 1)
+        .cell(sim_rate, 1)
         .cell(speedup, 2);
     report.begin_row("threads=" + std::to_string(threads));
     report.add("threads", static_cast<long long>(threads));
     report.add("runs", static_cast<long long>(result.executed));
     report.add("seconds", result.wall_seconds);
+    report.add("setup_seconds", result.setup_seconds);
+    report.add("sim_seconds", result.sim_seconds);
     report.add("runs_per_sec", rate);
+    report.add("sim_runs_per_sec", sim_rate);
     report.add("speedup_vs_1", speedup);
     report.add("shard_seconds", result.shard_seconds);
+    if (threads == 1) report.add("min_runs_per_sec", kMinRunsPerSec);
   }
   table.print(std::cout);
+
+  bench::check(baseline_rate >= kMinRunsPerSec,
+               "single-thread campaign throughput below the committed floor");
 
   const auto expected_runs =
       static_cast<std::int64_t>(spec.size() * thread_counts.size());
@@ -127,7 +197,119 @@ void throughput_sweep() {
   report.add("best_speedup", best_speedup);
   report.add("best_threads", static_cast<long long>(best_threads));
   report.add("deterministic", static_cast<long long>(1));
-  report.write("BENCH_campaign.json");
+}
+
+void engine_faceoff(bench::JsonReport& report) {
+  const exp::SweepSpec spec = faceoff_spec();
+  print_banner(std::cout, "Engine faceoff, dense oracle vs sparse, " +
+                              std::to_string(spec.size()) + " runs");
+
+  exp::CampaignOptions dense_options;
+  dense_options.run = [](const exp::RunPoint& point) {
+    return exp::standard_run(point, EngineKind::kDense);
+  };
+  const exp::CampaignResult dense = exp::run_campaign(spec, dense_options);
+
+  exp::CampaignOptions sparse_options;
+  sparse_options.run = [](const exp::RunPoint& point) {
+    return exp::standard_run(point, EngineKind::kSparse);
+  };
+  const exp::CampaignResult sparse = exp::run_campaign(spec, sparse_options);
+
+  const bool identical = serialize(dense) == serialize(sparse);
+  bench::check(identical,
+               "dense and sparse campaign records are not byte-identical");
+  const double speedup =
+      sparse.sim_seconds > 0.0 ? dense.sim_seconds / sparse.sim_seconds : 0.0;
+  bench::check(speedup >= kMinSpeedupVsDense,
+               "sparse engine under 10x the dense oracle on simulate-only "
+               "seconds");
+
+  Table table({"engine", "runs", "sim_s", "speedup_vs_dense"});
+  table.row()
+      .cell("dense")
+      .cell(static_cast<std::uint64_t>(dense.executed))
+      .cell(dense.sim_seconds)
+      .cell(1.0, 2);
+  table.row()
+      .cell("sparse")
+      .cell(static_cast<std::uint64_t>(sparse.executed))
+      .cell(sparse.sim_seconds)
+      .cell(speedup, 1);
+  table.print(std::cout);
+
+  report.begin_row("engine_faceoff");
+  report.add("runs", static_cast<long long>(sparse.executed));
+  report.add("dense_sim_seconds", dense.sim_seconds);
+  report.add("sparse_sim_seconds", sparse.sim_seconds);
+  report.add("speedup_vs_dense", speedup);
+  report.add("min_speedup_vs_dense", kMinSpeedupVsDense);
+  report.add("identical_records", static_cast<long long>(identical ? 1 : 0));
+}
+
+// `scale` divides every phase's work: scale 1 is the real instance (one
+// billion unit tasks), scale 1000 is the miniature the dense oracle is
+// timed on to extrapolate its full-size cost.
+JobSet million_task_set(Work scale) {
+  JobSet set;
+  for (int j = 0; j < 4; ++j) {
+    Phase phase;
+    phase.parts.push_back(PhasePart{0, 250'000'000 / scale, 2});
+    set.add(std::make_unique<ProfileJob>(std::vector<Phase>{phase}, 1,
+                                         "giant-" + std::to_string(j)));
+  }
+  return set;
+}
+
+void million_task_run(bench::JsonReport& report) {
+  print_banner(std::cout, "Million-task run (10^9 unit tasks, sparse only)");
+  const MachineConfig machine{{8}};
+  SimOptions options;
+  options.max_steps = 200'000'000;  // makespan is 1.25e8 > the default cap
+
+  // Sparse engine, full-size instance: 4 jobs x 2.5e8 tasks at parallelism
+  // 2 on 8 processors -> makespan 1.25e8 steps, covered by a handful of
+  // steady windows.
+  JobSet full = million_task_set(1);
+  const Work total_tasks = full.total_work(0);
+  KEqui kequi_full;
+  const auto sparse_start = std::chrono::steady_clock::now();
+  const SimResult sparse = simulate(full, kequi_full, machine, options);
+  const double sparse_seconds = seconds_since(sparse_start);
+  bench::check(sparse.makespan == 125'000'000,
+               "million-task sparse makespan is not the closed-form 1.25e8");
+
+  // Dense oracle, 1000x smaller copy of the same instance; its cost is
+  // linear in makespan, so full-size dense ~= measured * 1000.
+  JobSet mini = million_task_set(1000);
+  KEqui kequi_mini;
+  options.engine = EngineKind::kDense;
+  const auto dense_start = std::chrono::steady_clock::now();
+  const SimResult dense = simulate(mini, kequi_mini, machine, options);
+  const double dense_mini_seconds = seconds_since(dense_start);
+  bench::check(dense.makespan * 1000 == sparse.makespan,
+               "scaled-down dense makespan does not extrapolate to sparse");
+  const double dense_est_seconds = dense_mini_seconds * 1000.0;
+  const double est_speedup =
+      sparse_seconds > 0.0 ? dense_est_seconds / sparse_seconds : 0.0;
+
+  Table table({"tasks", "makespan", "sparse_s", "dense_est_s", "est_speedup"});
+  table.row()
+      .cell(static_cast<std::uint64_t>(total_tasks))
+      .cell(static_cast<std::uint64_t>(sparse.makespan))
+      .cell(sparse_seconds)
+      .cell(dense_est_seconds)
+      .cell(est_speedup, 0);
+  table.print(std::cout);
+  std::cout << "dense estimate from a 1000x-scaled instance ("
+            << format_double(dense_mini_seconds) << " s measured)\n";
+
+  report.begin_row("million_task");
+  report.add("tasks", static_cast<long long>(total_tasks));
+  report.add("makespan", static_cast<long long>(sparse.makespan));
+  report.add("sparse_seconds", sparse_seconds);
+  report.add("dense_est_seconds", dense_est_seconds);
+  report.add("est_speedup_vs_dense", est_speedup);
 }
 
 }  // namespace
@@ -135,6 +317,10 @@ void throughput_sweep() {
 
 int main() {
   std::cout << "Campaign engine - sweep throughput and determinism\n";
-  krad::throughput_sweep();
+  krad::bench::JsonReport report("bench_campaign");
+  krad::throughput_sweep(report);
+  krad::engine_faceoff(report);
+  krad::million_task_run(report);
+  report.write("BENCH_campaign.json");
   return krad::bench::finish("bench_campaign");
 }

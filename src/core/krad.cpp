@@ -40,4 +40,14 @@ void KRad::allot(Time /*now*/, std::span<const JobView> active,
     rads_[alpha].allot(active, machine_.processors[alpha], out);
 }
 
+Time KRad::steady_horizon() const {
+  for (const Rad& rad : rads_)
+    if (!rad.steady()) return 0;
+  return kForeverSteady;
+}
+
+void KRad::note_steady_steps(Time steps) {
+  for (Rad& rad : rads_) rad.note_steady_steps(steps);
+}
+
 }  // namespace krad

@@ -25,6 +25,11 @@ class KRad final : public KScheduler {
   void set_capacity(const MachineConfig& effective) override {
     machine_ = effective;
   }
+  /// Steady iff every category's last call was a DEQ fixed point (entered
+  /// unmarked, took the DEQ branch) — the Theorem 5 light-load regime.  Any
+  /// RR-branch category pins the horizon to 0: its marks change per call.
+  Time steady_horizon() const override;
+  void note_steady_steps(Time steps) override;
   std::string name() const override { return "K-RAD"; }
 
   /// Number of categories currently configured (after reset).

@@ -11,10 +11,26 @@ void Rad::reset(Category alpha, std::size_t num_jobs) {
   rr_steps_ = 0;
   deq_satisfied_ = 0;
   deq_deprived_ = 0;
+  last_call_steady_ = false;
+  last_satisfied_ = 0;
+  last_deprived_ = 0;
+}
+
+void Rad::note_steady_steps(Time steps) {
+  if (steps <= 0) return;
+  deq_steps_ += steps;
+  deq_satisfied_ += last_satisfied_ * steps;
+  deq_deprived_ += last_deprived_ * steps;
+  if (deq_steps_counter_ != nullptr) deq_steps_counter_->inc(steps);
+  if (satisfied_counter_ != nullptr)
+    satisfied_counter_->inc(last_satisfied_ * steps);
+  if (deprived_counter_ != nullptr)
+    deprived_counter_->inc(last_deprived_ * steps);
 }
 
 void Rad::allot(std::span<const JobView> active, int processors,
                 Allotment& out) {
+  const bool entered_unmarked = state_.num_marked() == 0;
   q_.clear();
   q_prime_.clear();
   for (std::size_t j = 0; j < active.size(); ++j) {
@@ -32,6 +48,7 @@ void Rad::allot(std::span<const JobView> active, int processors,
     round_robin_allot(q_, processors, alpha_, state_, out);
     ++rr_steps_;
     if (rr_steps_counter_ != nullptr) rr_steps_counter_->inc();
+    last_call_steady_ = false;  // marks changed; a repeat call would differ
     return;
   }
 
@@ -57,6 +74,11 @@ void Rad::allot(std::span<const JobView> active, int processors,
   ++deq_steps_;
   deq_satisfied_ += satisfied;
   deq_deprived_ += deprived;
+  // A DEQ step entered with no marks is a fixed point: unmark_all leaves
+  // the (already unmarked) state untouched, so identical views replay.
+  last_call_steady_ = entered_unmarked;
+  last_satisfied_ = satisfied;
+  last_deprived_ = deprived;
   if (deq_steps_counter_ != nullptr) deq_steps_counter_->inc();
   if (satisfied_counter_ != nullptr) satisfied_counter_->inc(satisfied);
   if (deprived_counter_ != nullptr) deprived_counter_->inc(deprived);

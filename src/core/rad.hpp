@@ -34,6 +34,17 @@ class Rad {
   /// True while a round-robin cycle is in progress (some jobs marked).
   bool cycle_open() const { return state_.num_marked() > 0; }
 
+  /// Whether the last allot() call was a fixed point: it entered with no
+  /// marks and took the DEQ branch, so a repeat call with bit-identical
+  /// views reproduces the allotment and the (unchanged) state.  RR-branch
+  /// calls mark jobs and are never steady (docs/SIMULATOR.md).
+  bool steady() const noexcept { return last_call_steady_; }
+
+  /// Fold `steps` skipped (steady, DEQ-branch) allot calls into the
+  /// accounting: the engine replayed the last allotment that many more
+  /// times, so each skipped call repeats the last satisfied/deprived split.
+  void note_steady_steps(Time steps);
+
   // --- DEQ-step accounting (docs/OBSERVABILITY.md) --------------------
   // On every cycle-completing (DEQ) step, each alpha-active job is either
   // satisfied (allotment == desire) or deprived (allotment < desire) —
@@ -66,6 +77,9 @@ class Rad {
   Time rr_steps_ = 0;
   Work deq_satisfied_ = 0;
   Work deq_deprived_ = 0;
+  bool last_call_steady_ = false;
+  Work last_satisfied_ = 0;
+  Work last_deprived_ = 0;
   obs::Counter* satisfied_counter_ = nullptr;
   obs::Counter* deprived_counter_ = nullptr;
   obs::Counter* deq_steps_counter_ = nullptr;

@@ -66,6 +66,25 @@ class KScheduler {
   /// Whether the scheduler wants the ClairvoyantView.
   virtual bool clairvoyant() const { return false; }
 
+  // --- steady-state contract (event-driven engine, docs/SIMULATOR.md) ---
+
+  /// After an allot() call: for how many FURTHER consecutive steps would
+  /// bit-identical views produce a bit-identical allotment and leave the
+  /// scheduler in the same internal state?  The sparse engine may then skip
+  /// that many allot() calls and replay the row.  0 (the default) means
+  /// "re-ask every step" and is always correct; stateless schedulers return
+  /// kForeverSteady; per-call-stateful ones (round-robin marking, RNG
+  /// draws) must keep 0.  Clairvoyant schedulers are never skipped anyway:
+  /// their views change as work retires, and the engine only coalesces
+  /// steps whose views are provably identical.
+  virtual Time steady_horizon() const { return 0; }
+
+  /// Bulk-accounting hook: the engine replayed the last allotment for
+  /// `steps` additional steps without calling allot().  Schedulers that
+  /// keep per-call statistics (K-RAD's DEQ/RR step accounting) fold the
+  /// skipped calls in here so their totals match a dense run exactly.
+  virtual void note_steady_steps(Time steps) { (void)steps; }
+
   virtual std::string name() const = 0;
 };
 

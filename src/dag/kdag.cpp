@@ -76,11 +76,40 @@ void KDag::seal() {
   for (VertexId v = 0; v < n; ++v)
     if (in_degree_[v] == 0) span_ = std::max(span_, cp_length_[v]);
 
+  // Flatten the adjacency into CSR form and release the per-vertex vectors:
+  // after seal the graph is immutable and every traversal (engine hot paths,
+  // validator, precedes) walks the contiguous arrays.
+  succ_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v)
+    succ_offsets_[v + 1] = succ_offsets_[v] + out_edges_[v].size();
+  succ_flat_.clear();
+  succ_flat_.reserve(num_edges_);
+  for (VertexId v = 0; v < n; ++v)
+    succ_flat_.insert(succ_flat_.end(), out_edges_[v].begin(),
+                      out_edges_[v].end());
+  out_edges_ = {};
+
+  // Straight-line run lengths (reverse topological): run_len_[v] counts how
+  // many successive same-category vertices form a chain with no fan-in or
+  // fan-out starting at v — the window a single-ready-vertex DagJob can
+  // execute under one frozen allotment (docs/SIMULATOR.md).
+  run_len_.assign(n, 1);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const VertexId v = *it;
+    if (succ_offsets_[v + 1] - succ_offsets_[v] != 1) continue;
+    const VertexId succ = succ_flat_[succ_offsets_[v]];
+    if (in_degree_[succ] == 1 && categories_[succ] == categories_[v])
+      run_len_[v] = run_len_[succ] + 1;
+  }
+
   sealed_ = true;
 }
 
 std::span<const VertexId> KDag::successors(VertexId v) const {
-  return out_edges_.at(v);
+  if (!sealed_) return out_edges_.at(v);
+  const std::size_t begin = succ_offsets_.at(v);
+  const std::size_t end = succ_offsets_.at(v + 1);
+  return {succ_flat_.data() + begin, end - begin};
 }
 
 Work KDag::work(Category category) const {
@@ -108,7 +137,7 @@ bool KDag::precedes(VertexId u, VertexId v) const {
   while (!stack.empty()) {
     const VertexId cur = stack.back();
     stack.pop_back();
-    for (VertexId succ : out_edges_[cur]) {
+    for (VertexId succ : successors(cur)) {
       if (succ == v) return true;
       if (!seen[succ]) {
         seen[succ] = true;

@@ -58,6 +58,13 @@ class KDag {
   Work span() const noexcept { return span_; }
   /// Longest chain starting at v, counting v itself (>= 1).
   Work cp_length(VertexId v) const { return cp_length_.at(v); }
+  /// Length of the maximal straight-line run starting at v: successive
+  /// vertices with out-degree 1 whose successor has in-degree 1 and the
+  /// same category.  While such a run is the only ready work of a job its
+  /// desire vector is constant, so the event-driven engine can replay one
+  /// allotment for run_length(v) steps (Job::steady_window,
+  /// docs/SIMULATOR.md).  >= 1; requires sealed().
+  Work run_length(VertexId v) const { return run_len_.at(v); }
   /// Vertices in a valid topological order.
   std::span<const VertexId> topological_order() const;
   /// Source vertices (in-degree 0).
@@ -75,15 +82,22 @@ class KDag {
 
   Category num_categories_ = 1;
   std::vector<Category> categories_;
+  /// Adjacency under construction only; seal() flattens it into the CSR
+  /// arrays below and releases this storage.
   std::vector<std::vector<VertexId>> out_edges_;
   std::vector<std::size_t> in_degree_;
   std::size_t num_edges_ = 0;
   bool sealed_ = false;
 
-  // Derived by seal():
+  // Derived by seal().  Successor lists live in one flat CSR pair so the
+  // engines walk contiguous memory: successors(v) is
+  // succ_flat_[succ_offsets_[v] .. succ_offsets_[v + 1]).
+  std::vector<std::size_t> succ_offsets_;  // num_vertices() + 1 entries
+  std::vector<VertexId> succ_flat_;        // num_edges() entries
   std::vector<VertexId> topo_;
   std::vector<Work> work_per_category_;
   std::vector<Work> cp_length_;
+  std::vector<Work> run_len_;
   Work span_ = 0;
 };
 

@@ -32,6 +32,13 @@ using Work = std::int64_t;
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
 
+/// "Unbounded" steady-state horizon/window sentinel for the event-driven
+/// engine (docs/SIMULATOR.md).  Jobs and schedulers return it from
+/// steady_window()/steady_horizon() to mean "my answer stays bit-identical
+/// for as long as my inputs do".  Kept far below Time's max so the engine
+/// can add it to the current step without overflow.
+inline constexpr Time kForeverSteady = std::numeric_limits<Time>::max() / 4;
+
 /// Number of processors per category: P[alpha] = P_alpha.
 struct MachineConfig {
   std::vector<int> processors;

@@ -44,7 +44,17 @@ struct RunRecord {
   /// load); true when not applicable.
   bool aux_ok = true;
 
-  /// One JSON object, no trailing newline, fixed field order.
+  // Timing split, filled by standard_run.  Deliberately NOT serialized by
+  // to_jsonl(): records must stay byte-identical across hosts and thread
+  // counts (the store/determinism contract), and wall-clock measurements
+  // are neither.  Benches read them straight off the in-memory records.
+  /// Workload generation + bounds + scheduler construction.
+  double setup_seconds = 0.0;
+  /// The simulate() call alone.
+  double sim_seconds = 0.0;
+
+  /// One JSON object, no trailing newline, fixed field order.  Timing
+  /// fields are excluded (see above).
   std::string to_jsonl() const;
 };
 

@@ -74,6 +74,10 @@ CampaignResult run_campaign(const SweepSpec& spec,
       options.threads);
   result.wall_seconds = seconds_since(sweep_start);
   for (double s : run_seconds) result.shard_seconds += s;
+  for (const RunRecord& record : records) {
+    result.setup_seconds += record.setup_seconds;
+    result.sim_seconds += record.sim_seconds;
+  }
 
   result.executed = todo.size();
   result.records = std::move(records);

@@ -56,6 +56,11 @@ struct CampaignResult {
   /// Sum over runs of their individual execution seconds — the aggregate
   /// shard work; wall_seconds * threads ~= shard_seconds at full efficiency.
   double shard_seconds = 0.0;
+  /// How shard_seconds splits between workload construction and the
+  /// simulate() calls (sums of the records' setup_seconds / sim_seconds;
+  /// zero when a custom `run` hook does not fill them).
+  double setup_seconds = 0.0;
+  double sim_seconds = 0.0;
 };
 
 CampaignResult run_campaign(const SweepSpec& spec,

@@ -1,5 +1,6 @@
 #include "exp/standard_run.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "bounds/lower_bounds.hpp"
@@ -75,9 +76,20 @@ void apply_arrivals(const RunPoint& point, JobSet& set, Rng& rng) {
   }
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 RunRecord standard_run(const RunPoint& point) {
+  return standard_run(point, SimOptions{}.engine);
+}
+
+RunRecord standard_run(const RunPoint& point, EngineKind engine) {
+  const auto setup_start = std::chrono::steady_clock::now();
   Rng rng(point.seed);
   const MachineConfig machine = point.machine();
   JobSet set = make_jobs(point, machine, rng);
@@ -90,7 +102,13 @@ RunRecord standard_run(const RunPoint& point) {
 
   const std::unique_ptr<KScheduler> scheduler =
       make_scheduler(point.scheduler);
-  const SimResult result = simulate(set, *scheduler, machine);
+  const double setup_seconds = seconds_since(setup_start);
+
+  SimOptions options;
+  options.engine = engine;
+  const auto sim_start = std::chrono::steady_clock::now();
+  const SimResult result = simulate(set, *scheduler, machine, options);
+  const double sim_seconds = seconds_since(sim_start);
 
   RunRecord record;
   record.key = point.key();
@@ -110,6 +128,8 @@ RunRecord standard_run(const RunPoint& point) {
   record.idle_steps = result.idle_steps;
   record.total_response = result.total_response;
   record.mean_response = result.mean_response;
+  record.setup_seconds = setup_seconds;
+  record.sim_seconds = sim_seconds;
 
   if (point.family == JobFamily::kLightLoad) {
     record.ratio = response_ratio(result, resp_bounds, set.size());

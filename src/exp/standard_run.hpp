@@ -11,6 +11,7 @@
 #include "core/scheduler.hpp"
 #include "exp/record.hpp"
 #include "exp/sweep.hpp"
+#include "sim/engine.hpp"
 
 namespace krad::exp {
 
@@ -23,7 +24,14 @@ std::unique_ptr<KScheduler> make_scheduler(const std::string& name);
 /// T/LB against the Theorem 3 bound; kLightLoad measures the mean-response
 /// ratio against the Theorem 5 bound and additionally checks the proof's
 /// Inequality (5) (RunRecord::aux_ok).  Light-load points ignore the
-/// arrival pattern (the theorem's setting is batched).
+/// arrival pattern (the theorem's setting is batched).  Fills the record's
+/// setup_seconds / sim_seconds timing split (steady_clock).
 RunRecord standard_run(const RunPoint& point);
+
+/// Same run, pinned to a specific simulation engine.  Results are identical
+/// by the engines' bit-equality contract (docs/SIMULATOR.md); the overload
+/// exists so benches can face the two off on the same point set and gate
+/// the sparse engine's speedup.
+RunRecord standard_run(const RunPoint& point, EngineKind engine);
 
 }  // namespace krad::exp

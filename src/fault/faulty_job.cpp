@@ -1,5 +1,6 @@
 #include "fault/faulty_job.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -142,6 +143,28 @@ Work FaultyDagJob::remaining_span() const {
 
 Work FaultyDagJob::remaining_work(Category alpha) const {
   return remaining_work_.at(alpha);
+}
+
+Time FaultyDagJob::steady_window(std::span<const Work> allot) const {
+  if (!cooling_.empty()) return 1;  // a backoff expiry changes desires
+  for (Category a = 0; a < dag_.num_categories(); ++a)
+    if (std::min(allot[a], static_cast<Work>(ready_[a].size())) > 0)
+      return 1;  // executing work may fail; never coalesce fault steps
+  return kForeverSteady;
+}
+
+void FaultyDagJob::run_steady(std::span<const Work> allot, Time steps) {
+  if (steps <= 0) return;
+  Work total_exec = 0;
+  for (Category a = 0; a < dag_.num_categories(); ++a)
+    total_exec += std::min(allot[a], static_cast<Work>(ready_[a].size()));
+  if (total_exec == 0 && cooling_.empty()) {
+    // The loop would only tick the advance counter; newly_enabled_ is
+    // empty between steps, so this is the whole state change.
+    advances_ += steps;
+    return;
+  }
+  Job::run_steady(allot, steps);
 }
 
 JobId add_faulty(JobSet& set, KDag dag, const FaultInjector* injector,

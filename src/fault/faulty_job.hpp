@@ -52,6 +52,12 @@ class FaultyDagJob final : public Job {
   Work execute(Category alpha, Work count, TaskSink* sink) override;
   void advance() override;
   bool finished() const override;
+  /// Steady windows (sparse engine): any step that executes work may fail
+  /// and fork the state, so the window is 1 unless nothing executes AND no
+  /// retry is cooling down — then only the advance counter moves and the
+  /// job is steady forever (run_steady bulk-advances the counter).
+  Time steady_window(std::span<const Work> allot) const override;
+  void run_steady(std::span<const Work> allot, Time steps) override;
   JobOutcome outcome() const override { return outcome_; }
   bool try_reset() override {
     reset();

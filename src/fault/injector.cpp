@@ -80,4 +80,11 @@ std::vector<int> FaultInjector::capacity_at(Time t) const {
   return capacity;
 }
 
+Time FaultInjector::next_capacity_change_after(Time t) const {
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), t,
+      [](Time value, const CapacityEvent& event) { return value < event.t; });
+  return it == events_.end() ? kForeverSteady : it->t;
+}
+
 }  // namespace krad

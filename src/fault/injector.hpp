@@ -46,6 +46,12 @@ class FaultInjector {
   /// Random-access variant of capacity(t) (validator and tests).
   std::vector<int> capacity_at(Time t) const;
 
+  /// Earliest scripted capacity-event time strictly after t, or
+  /// kForeverSteady when none remain.  Pure (no cursor): the sparse engine
+  /// uses it to bound how far a steady window may jump before the effective
+  /// machine could change (docs/SIMULATOR.md).
+  Time next_capacity_change_after(Time t) const;
+
   bool has_task_faults() const noexcept { return has_task_faults_; }
   bool has_capacity_events() const noexcept { return !events_.empty(); }
   const std::vector<int>& nominal() const noexcept { return nominal_; }

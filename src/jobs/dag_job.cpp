@@ -1,5 +1,6 @@
 #include "jobs/dag_job.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace krad {
@@ -115,6 +116,44 @@ Work DagJob::remaining_span() const {
 
 Work DagJob::remaining_work(Category alpha) const {
   return remaining_work_.at(alpha);
+}
+
+Time DagJob::steady_window(std::span<const Work> allot) const {
+  Work total_ready = 0;
+  Work total_exec = 0;
+  Category exec_cat = 0;
+  for (Category a = 0; a < dag_.num_categories(); ++a) {
+    const auto ready = static_cast<Work>(ready_[a].size());
+    total_ready += ready;
+    const Work x = std::min(allot[a], ready);
+    if (x > 0) {
+      total_exec += x;
+      exec_cat = a;
+    }
+  }
+  // Nothing executes: desires and ready heaps are untouched and advance()
+  // is a no-op (newly_enabled_ is empty between steps), so the state is
+  // frozen until the allotment changes.
+  if (total_exec == 0) return kForeverSteady;
+  // One ready vertex in the whole job, and it gets a processor: each step
+  // retires the head of a straight-line run and readies the next link, so
+  // the desire vector is constant for the run's length.
+  if (total_ready == 1 && total_exec == 1)
+    return dag_.run_length(ready_[exec_cat].top().vertex);
+  return 1;
+}
+
+void DagJob::run_steady(std::span<const Work> allot, Time steps) {
+  Work total_exec = 0;
+  for (Category a = 0; a < dag_.num_categories(); ++a)
+    total_exec +=
+        std::min(allot[a], static_cast<Work>(ready_[a].size()));
+  if (total_exec == 0) return;  // frozen window: nothing to replay
+  // Chain runs replay the per-step loop so the selection policy's state
+  // (arrival order, RNG draws for kRandom) stays bit-identical with the
+  // dense engine; the engine-side savings (no view rebuild, no allot call)
+  // already happened.
+  Job::run_steady(allot, steps);
 }
 
 }  // namespace krad

@@ -39,6 +39,13 @@ class DagJob final : public Job {
   void advance() override;
   bool finished() const override;
 
+  /// Steady windows for the sparse engine: kForeverSteady when the
+  /// allotment executes nothing (a deprived job is frozen until the
+  /// scheduler changes its mind), dag().run_length(v) when the single ready
+  /// vertex v heads a straight-line same-category run, else 1.
+  Time steady_window(std::span<const Work> allot) const override;
+  void run_steady(std::span<const Work> allot, Time steps) override;
+
   Work work(Category alpha) const override { return dag_.work(alpha); }
   Work span() const override { return dag_.span(); }
   Work remaining_span() const override;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "dag/types.hpp"
@@ -103,6 +104,39 @@ class Job {
   /// Restore the job to its initial state for a rerun; return false if the
   /// job type does not support it (JobSet::reset_all then throws).
   virtual bool try_reset() { return false; }
+
+  // --- steady-state contract (event-driven engine, docs/SIMULATOR.md) ---
+  //
+  // The sparse engine replays one allotment row for a window of steps
+  // instead of rebuilding views and re-invoking the scheduler every step.
+  // A window of m is only valid if repeating
+  //   { execute(a, allot[a]) for every category; advance(); }
+  // m times (a) leaves the desire vector bit-identical at the first m - 1
+  // step boundaries, (b) executes exactly min(allot[a], desire(a)) tasks
+  // per category on every step of the window, and (c) does not finish the
+  // job before the final step.  The default of 1 is always correct: jobs
+  // that do not opt in are stepped exactly like the dense engine.
+
+  /// Largest valid window under `allot` (one entry per category, the row
+  /// this job was just allotted).  Return kForeverSteady when the job's
+  /// state cannot change under this allotment (e.g. nothing executes).
+  virtual Time steady_window(std::span<const Work> allot) const {
+    (void)allot;
+    return 1;
+  }
+
+  /// Apply `steps` repetitions of { execute all categories; advance() }
+  /// with no sink.  Called by the sparse engine only with
+  /// steps <= steady_window(allot) and only on untraced runs; overrides may
+  /// replace the loop with closed-form bulk updates but must land in the
+  /// exact state the loop would produce.
+  virtual void run_steady(std::span<const Work> allot, Time steps) {
+    for (Time s = 0; s < steps; ++s) {
+      for (Category a = 0; a < num_categories(); ++a)
+        if (allot[a] > 0) execute(a, allot[a], nullptr);
+      advance();
+    }
+  }
 
   // --- offline accessors (bounds, clairvoyant baselines, reporting) ---
 

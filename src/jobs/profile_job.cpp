@@ -106,6 +106,38 @@ Work ProfileJob::remaining_work(Category alpha) const {
   return remaining_.at(alpha);
 }
 
+Time ProfileJob::steady_window(std::span<const Work> allot) const {
+  if (phase_ >= phases_.size()) return 1;
+  Time window = kForeverSteady;
+  for (Category a = 0; a < static_cast<Category>(work_.size()); ++a) {
+    const Work rem = phase_remaining_[a];
+    const Work h = phase_parallelism_[a];
+    const Work x = std::min(allot[a], std::min(rem, h));
+    if (x <= 0) continue;
+    // desire = min(rem, h).  While rem - s*x >= h the desire stays pinned
+    // at h; once rem < h every step changes it, so the window is 1.
+    const Time w = rem >= h ? 1 + (rem - h) / x : 1;
+    window = std::min(window, w);
+  }
+  // All-zero execution freezes the job (phase barriers only resolve once
+  // the phase's work is done, so advance() is a no-op too).
+  return window;
+}
+
+void ProfileJob::run_steady(std::span<const Work> allot, Time steps) {
+  if (steps <= 0 || phase_ >= phases_.size()) return;
+  for (Category a = 0; a < static_cast<Category>(work_.size()); ++a) {
+    const Work x =
+        std::min(allot[a], std::min(phase_remaining_[a], phase_parallelism_[a]));
+    if (x <= 0) continue;
+    phase_remaining_[a] -= x * steps;
+    remaining_[a] -= x * steps;
+  }
+  // Intermediate advance() calls are no-ops inside a valid window (the
+  // phase cannot complete before the final step); apply the last one.
+  advance();
+}
+
 std::string ProfileJob::describe_phases() const {
   // Built with repeated += (not chained +) to sidestep a GCC 12 -Wrestrict
   // false positive on temporary-string concatenation.

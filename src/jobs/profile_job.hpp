@@ -46,6 +46,14 @@ class ProfileJob final : public Job {
   void advance() override;
   bool finished() const override;
 
+  /// Steady windows are closed-form here: executing x = min(allot, desire)
+  /// tasks per step keeps desire(alpha) = min(remaining, h) constant while
+  /// remaining - s * x >= h, so a whole phase prefix collapses into
+  /// 1 + (remaining - h) / x steps of pure arithmetic — the reason
+  /// million-task profile runs cost the sparse engine microseconds.
+  Time steady_window(std::span<const Work> allot) const override;
+  void run_steady(std::span<const Work> allot, Time steps) override;
+
   Work work(Category alpha) const override { return work_.at(alpha); }
   Work span() const override { return span_; }
   Work remaining_span() const override;

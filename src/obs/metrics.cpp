@@ -143,6 +143,15 @@ void LocalHistogram::observe(double value) noexcept {
   dirty_ = true;
 }
 
+void LocalHistogram::observe_n(double value, std::int64_t count) noexcept {
+  if (target_ == nullptr || count <= 0) return;
+  const auto& bounds = target_->bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds.begin())] += count;
+  sum_ += value * static_cast<double>(count);
+  dirty_ = true;
+}
+
 void LocalHistogram::flush() noexcept {
   if (target_ == nullptr || !dirty_) return;
   target_->merge(counts_, sum_);

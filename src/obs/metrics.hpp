@@ -134,6 +134,10 @@ class LocalHistogram {
   LocalHistogram& operator=(const LocalHistogram&) = delete;
 
   void observe(double value) noexcept;
+  /// Record `count` observations of the same value in one bucket update —
+  /// the batch shape of the sparse engine's steady windows, where one
+  /// per-step statistic repeats for a whole coalesced window.
+  void observe_n(double value, std::int64_t count) noexcept;
   /// Publish everything recorded since the last flush and reset.
   void flush() noexcept;
 

@@ -19,6 +19,8 @@ class KDeqOnly final : public KScheduler {
   void set_capacity(const MachineConfig& effective) override {
     machine_ = effective;
   }
+  /// Stateless pure function of the views: identical views always replay.
+  Time steady_horizon() const override { return kForeverSteady; }
   std::string name() const override { return "K-DEQ"; }
 
  private:

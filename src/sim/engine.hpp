@@ -1,6 +1,6 @@
 #pragma once
-// Time-stepped simulation engine — executes a job set under a scheduler on a
-// K-resource machine, step by step, exactly per the paper's model:
+// Simulation engine — executes a job set under a scheduler on a K-resource
+// machine, exactly per the paper's model:
 //
 //   each step t = 1, 2, ...:
 //     1. jobs with r(Ji) < t and not finished are active;
@@ -9,7 +9,16 @@
 //     3. each job executes min(a, d) ready alpha-tasks (its selection policy
 //        chooses which); tasks enabled this step become ready at t + 1.
 //
-// Steps where no job is active (idle intervals) are skipped in O(1).
+// Two interchangeable engines realise these semantics behind simulate()
+// (docs/SIMULATOR.md):
+//   * kSparse (default) — event-driven: jumps directly from one
+//     allotment-changing instant to the next (release, subjob completion,
+//     RR re-quantum, fault/recovery, capacity change) and replays the
+//     frozen allotment across each steady window in bulk;
+//   * kDense — the literal step-per-unit-time loop, retained as the
+//     differential-testing oracle (tests/test_sparse_differential.cpp).
+// Both produce bit-identical results and traces; idle intervals are
+// skipped in O(1) by either.
 
 #include "core/scheduler.hpp"
 #include "fault/fault_plan.hpp"
@@ -20,7 +29,32 @@
 
 namespace krad {
 
+/// Which engine realises the model's semantics for this run.
+enum class EngineKind {
+  /// Event-driven: coalesces steady windows, the production default.
+  kSparse,
+  /// Literal unit-step loop: the differential-testing oracle.
+  kDense,
+};
+
+inline const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSparse: return "sparse";
+    case EngineKind::kDense: return "dense";
+  }
+  return "?";
+}
+
 struct SimOptions {
+  /// Engine selection.  Both engines are bit-identical in results and
+  /// traces (per-step work/desire/satisfied metric totals too); only the
+  /// decision-rate instruments differ, because the sparse engine honestly
+  /// invokes the scheduler fewer times (docs/OBSERVABILITY.md).  kDense is
+  /// kept as the oracle for differential testing and costs O(makespan)
+  /// even when nothing changes step to step.
+  /// decision_period != 1 always runs dense (the held-allotment machinery
+  /// is inherently per-step).
+  EngineKind engine = EngineKind::kSparse;
   /// Record the full schedule chi and per-step matrices (memory-heavy).
   bool record_trace = false;
   /// Abort (throw std::runtime_error) if the run exceeds this many busy

@@ -1,0 +1,141 @@
+#pragma once
+// Shared internals of the two simulate() engines (docs/SIMULATOR.md).
+//
+// SimObs resolves observability handles once per run; RecordingSink stamps
+// engine context onto trace events.  Both engines must treat these
+// identically — per-category processor indices, fault-slot accounting —
+// or traces stop being bit-comparable across engines.  Intended for
+// inclusion by src/sim/*.cpp only; the public surface is sim/engine.hpp.
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace krad::detail {
+
+/// Resolved observability handles for one simulate() run.  Everything is
+/// registered up front so the per-step work is pure atomic updates; a
+/// default-constructed SimObs (null sinks) disables all of it.
+struct SimObs {
+  obs::TraceSession* trace = nullptr;
+  obs::Counter* steps = nullptr;
+  obs::Counter* decisions = nullptr;
+  obs::Histogram* sched_latency = nullptr;  // ns per scheduler.allot call
+  obs::Histogram* active_jobs = nullptr;    // active-set size per step
+  obs::Histogram* ready_tasks = nullptr;    // total desire per step
+  obs::Gauge* lemma2_bound = nullptr;
+  obs::Gauge* virtual_time = nullptr;
+  std::vector<obs::Counter*> desire;     // per category
+  std::vector<obs::Counter*> allotted;   // per category
+  std::vector<obs::Counter*> executed;   // per category
+  std::vector<obs::Counter*> deprived;   // per category, steps
+  std::vector<obs::Counter*> satisfied;  // per category, steps
+  std::vector<obs::Gauge*> utilization;  // per category
+  std::vector<obs::Gauge*> capacity;     // per category, effective
+
+  bool metrics_on = false;
+  bool on = false;  // metrics or tracing
+
+  SimObs() = default;
+  SimObs(const obs::Observability* sinks, const MachineConfig& machine) {
+    if (sinks == nullptr) return;
+    trace = obs::kTracingEnabled ? sinks->trace : nullptr;
+    obs::MetricsRegistry* reg = sinks->metrics;
+    metrics_on = reg != nullptr;
+    on = metrics_on || trace != nullptr;
+    if (!metrics_on) return;
+    steps = &reg->counter("krad_sim_steps_total", {}, "busy steps executed");
+    decisions = &reg->counter("krad_sim_decisions_total", {},
+                              "scheduler allot() invocations");
+    sched_latency = &reg->histogram(
+        "krad_sim_sched_latency_ns", obs::exponential_buckets(250, 4, 10), {},
+        "wall ns per scheduler decision (sampled 1 in 8)");
+    active_jobs = &reg->histogram("krad_sim_active_jobs",
+                                  obs::exponential_buckets(1, 2, 12), {},
+                                  "active jobs per busy step");
+    ready_tasks = &reg->histogram("krad_sim_ready_tasks",
+                                  obs::exponential_buckets(1, 4, 12), {},
+                                  "total ready tasks (desire) per busy step");
+    lemma2_bound = &reg->gauge(
+        "krad_sim_lemma2_bound", {},
+        "running Lemma 2 makespan bound over released jobs");
+    virtual_time = &reg->gauge("krad_sim_virtual_time", {},
+                               "virtual time when the run finished");
+    const auto k = static_cast<Category>(machine.categories());
+    for (Category a = 0; a < k; ++a) {
+      const obs::Labels labels{{"cat", std::to_string(a)}};
+      desire.push_back(&reg->counter("krad_sim_desire_total", labels,
+                                     "summed per-step desires"));
+      allotted.push_back(&reg->counter("krad_sim_allotted_total", labels,
+                                       "allotted processor-steps"));
+      executed.push_back(&reg->counter("krad_sim_executed_total", labels,
+                                       "executed task units"));
+      deprived.push_back(&reg->counter(
+          "krad_sim_deprived_steps_total", labels,
+          "steps with at least one deprived job in this category"));
+      satisfied.push_back(&reg->counter(
+          "krad_sim_satisfied_steps_total", labels,
+          "steps with every job satisfied in this category"));
+      utilization.push_back(&reg->gauge(
+          "krad_sim_utilization", labels,
+          "executed / (P_alpha * busy steps) at end of run"));
+      capacity.push_back(&reg->gauge("krad_sim_capacity", labels,
+                                     "effective processors"));
+      capacity.back()->set(machine.processors[a]);
+    }
+  }
+};
+
+/// TaskSink that stamps engine context (time, job, processor) onto events.
+class RecordingSink final : public TaskSink {
+ public:
+  explicit RecordingSink(ScheduleTrace& trace) : trace_(&trace) {}
+
+  void begin_step(Time t, std::size_t categories) {
+    t_ = t;
+    next_proc_.assign(categories, 0);
+  }
+  void set_job(JobId job) { job_ = job; }
+
+  void on_task(VertexId vertex, Category category) override {
+    trace_->add_event(TaskEvent{t_, job_, category, vertex,
+                                next_proc_[category]++});
+  }
+
+  void on_fault(const FaultNotice& notice) override {
+    FaultEvent event;
+    event.t = t_;
+    event.job = job_;
+    event.kind = notice.kind;
+    event.vertex = notice.vertex;
+    event.category = notice.category;
+    event.attempt = notice.attempt;
+    event.retry_delay = notice.retry_delay;
+    // A failed attempt still burns a processor slot for the step.
+    if (notice.kind == FaultKind::kTaskFailure ||
+        notice.kind == FaultKind::kTaskTimeout)
+      event.proc = next_proc_[notice.category]++;
+    trace_->add_fault(std::move(event));
+  }
+
+ private:
+  ScheduleTrace* trace_;
+  Time t_ = 0;
+  JobId job_ = kInvalidJob;
+  std::vector<int> next_proc_;
+};
+
+/// The literal unit-step loop (the oracle).  Implements SimOptions fully,
+/// including decision_period.
+SimResult simulate_dense(JobSet& set, KScheduler& scheduler,
+                         const MachineConfig& machine,
+                         const SimOptions& options);
+
+/// The event-driven engine.  Requires decision_period == 1 (the dispatcher
+/// in engine.cpp routes other periods to the dense loop).
+SimResult simulate_sparse(JobSet& set, KScheduler& scheduler,
+                          const MachineConfig& machine,
+                          const SimOptions& options);
+
+}  // namespace krad::detail

@@ -1,0 +1,17 @@
+// Fixture: every krad-hotloop-alloc violation class once (never compiled).
+#include <memory>
+#include <vector>
+
+int run(std::vector<int>& out) {
+  int total = 0;
+  // krad-lint: hot-loop-begin
+  for (int step = 0; step < 1000; ++step) {
+    int* scratch = new int[4];
+    auto owned = std::make_unique<int>(step);
+    out.push_back(step);
+    total += scratch[0] + *owned;
+    delete[] scratch;
+  }
+  // krad-lint: hot-loop-end
+  return total;
+}

@@ -1,0 +1,22 @@
+// Fixture: a clean hot-loop section — reserved growth and a suppressed
+// allocation pass; code outside the markers is unrestricted (never
+// compiled).
+#include <memory>
+#include <vector>
+
+int run(std::vector<int>& out, std::vector<int>& scratch) {
+  out.reserve(1000);
+  auto warmup = std::make_unique<int>(0);  // before the loop: fine
+  int total = *warmup;
+  // krad-lint: hot-loop-begin
+  for (int step = 0; step < 1000; ++step) {
+    scratch.assign(4, step);  // reuse-in-place: fine
+    out.push_back(step);      // receiver has a file-wide reserve: fine
+    // NOLINTNEXTLINE(krad-hotloop-alloc)
+    auto spill = std::make_unique<int>(step);
+    total += scratch[0] + *spill;
+  }
+  // krad-lint: hot-loop-end
+  auto epilogue = std::make_unique<int>(total);  // after the loop: fine
+  return *epilogue;
+}

@@ -22,6 +22,9 @@ EXPECTED_BAD = [
     ("krad-layering-svc-include", "src/sim/frontdoor.cpp:2"),
     ("krad-metric-undocumented", "krad_fixture_only_total"),
     ("krad-metric-stale", "krad_stale_metric_total"),
+    ("krad-hotloop-alloc", "src/sim/hotloop.cpp:9"),
+    ("krad-hotloop-alloc", "src/sim/hotloop.cpp:10"),
+    ("krad-hotloop-alloc", "src/sim/hotloop.cpp:11"),
     ("krad-header-guard", "src/core/hygiene.hpp"),
     ("krad-header-using-namespace", "src/core/hygiene.hpp:3"),
     ("krad-header-include-style", "core/clean.hpp"),

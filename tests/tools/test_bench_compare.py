@@ -4,8 +4,10 @@
 Synthesizes baseline/fresh BENCH_*.json pairs in a temp directory and
 asserts the comparator's verdict for each scenario: clean pass,
 within-tolerance drift, >10% ratio regression, improvement, missing row,
-missing file, non-numeric gated value, and malformed JSON.  This pins the
-gate's own pass/fail logic so CI can trust its exit code.
+missing file, non-numeric gated value, malformed JSON, and the min_<key>
+floor gates (pass above the floor, fail below it, fail when the floored key
+is absent, zero tolerance).  This pins the gate's own pass/fail logic so CI
+can trust its exit code.
 """
 
 import json
@@ -101,6 +103,38 @@ def main():
         result = run_compare(tmp, [base_row], [tight], tolerance=0.01)
         expect(result.returncode == 1,
                "--tolerance must tighten the gate (2% at 1%)")
+
+        # min_<key> floor gates: baseline declares a hard lower bound on the
+        # fresh row's <key>; no tolerance applies.
+        floor_base = {"label": "engine", "min_speedup_vs_dense": 10.0,
+                      "speedup_vs_dense": 900.0}
+        result = run_compare(tmp, [floor_base],
+                             [dict(floor_base, speedup_vs_dense=12.0)])
+        expect(result.returncode == 0,
+               f"fresh value above the floor must pass:\n{result.stdout}")
+
+        result = run_compare(tmp, [floor_base],
+                             [dict(floor_base, speedup_vs_dense=8.0)])
+        expect(result.returncode == 1, "fresh value below the floor must fail")
+        expect("below floor" in result.stdout,
+               f"floor violation must be named:\n{result.stdout}")
+
+        absent = dict(floor_base)
+        del absent["speedup_vs_dense"]
+        result = run_compare(tmp, [floor_base], [absent])
+        expect(result.returncode == 1,
+               "fresh row missing the floor-gated key must fail")
+
+        result = run_compare(tmp, [floor_base],
+                             [dict(floor_base, speedup_vs_dense="oops")])
+        expect(result.returncode == 1,
+               "non-numeric floor-gated value must fail")
+
+        result = run_compare(tmp, [floor_base],
+                             [dict(floor_base, speedup_vs_dense=9.995)],
+                             tolerance=0.10)
+        expect(result.returncode == 1,
+               "floor gates must ignore --tolerance (9.995 < 10 fails)")
 
     if failures:
         print(f"\n[FAIL] test_bench_compare: {len(failures)} failure(s)")

@@ -12,10 +12,20 @@ by more than the tolerance.
 Gated metrics are the competitive-ratio keys — "ratio", "ratio_mean",
 "ratio_max", "ratio_p95" — where LOWER is better: a fresh value above
 baseline * (1 + tolerance) fails.  Throughput-style keys (runs_per_sec,
-seconds, speedup_vs_1) are deliberately NOT gated: they measure the host,
-not the algorithms, and would flake on shared CI runners.  Ratios are safe
-to gate tightly because the benches are bit-deterministic given their
-built-in seeds — a >10% ratio move means the code changed behaviour.
+seconds, speedup_vs_1) are deliberately NOT gated against their baseline
+values: they measure the host, not the algorithms, and would flake on
+shared CI runners.  Ratios are safe to gate tightly because the benches are
+bit-deterministic given their built-in seeds — a >10% ratio move means the
+code changed behaviour.
+
+Floor gates: a baseline key "min_<key>" declares a hard lower bound on the
+fresh row's "<key>" — fresh must satisfy fresh[<key>] >= baseline[min_<key>]
+with NO tolerance.  This is how host-dependent quantities get gated safely:
+the bench commits a conservative, machine-neutral floor (e.g.
+min_speedup_vs_dense = 10 for the sparse engine, docs/SIMULATOR.md) instead
+of its measured value, so the gate catches order-of-magnitude engine
+regressions without flaking on hardware jitter.  A fresh row missing the
+target key fails the gate.
 
 Extra fresh rows and extra fresh keys are fine (benches may grow); missing
 ones are not (silent coverage loss).  Exits 0 when clean, 1 otherwise.
@@ -73,6 +83,21 @@ def compare_file(name, baseline_path, fresh_path, tolerance):
                 fail(f"{name}: row '{label}' {key} regressed "
                      f"{base:.4f} -> {fresh:.4f} "
                      f"(> {100 * tolerance:.0f}% worse)")
+        for key, floor in baseline_row.items():
+            if not key.startswith("min_") or len(key) <= 4:
+                continue
+            if not isinstance(floor, (int, float)) or floor is True:
+                continue
+            target = key[4:]
+            fresh = fresh_row.get(target)
+            if not isinstance(fresh, (int, float)) or fresh is True:
+                fail(f"{name}: row '{label}' key '{target}' (floor-gated "
+                     f"by '{key}') missing or non-numeric in fresh results")
+                continue
+            checked += 1
+            if fresh < floor - 1e-12:
+                fail(f"{name}: row '{label}' {target} below floor "
+                     f"{key}={floor:.4f}: {fresh:.4f}")
     print(f"  {name}: {len(baseline_rows)} baseline rows, "
           f"{checked} gated values")
 

@@ -83,6 +83,10 @@ RULES = {
     "krad-metric-stale":
         "krad_* metric named in docs/OBSERVABILITY.md but not registered in "
         "src/",
+    "krad-hotloop-alloc":
+        "heap allocation (new/make_unique/make_shared, or push_back/"
+        "emplace_back without a file-wide reserve) inside a "
+        "`// krad-lint: hot-loop-begin` section",
     "krad-header-guard": "header does not start with #pragma once",
     "krad-header-using-namespace": "`using namespace` inside a header",
     "krad-header-include-style":
@@ -245,6 +249,68 @@ def check_metric_catalog(root, files):
              f"{name} is documented but no src/ registration exists")
 
 
+HOTLOOP_BEGIN_RE = re.compile(r"krad-lint:\s*hot-loop-begin")
+HOTLOOP_END_RE = re.compile(r"krad-lint:\s*hot-loop-end")
+HOTLOOP_NEW_RE = re.compile(r"(?<![\w.:>])new\b")
+HOTLOOP_MAKE_RE = re.compile(r"\bmake_(?:unique|shared)\s*<")
+HOTLOOP_GROW_RE = re.compile(
+    r"([A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*)\s*\.\s*"
+    r"(?:push_back|emplace_back)\s*\(")
+
+
+def check_hotloop_alloc(path, raw_lines):
+    """Engine hot loops must be allocation-free in steady state: between
+    `// krad-lint: hot-loop-begin` and `// krad-lint: hot-loop-end` markers,
+    operator new and make_unique/make_shared are banned outright, and
+    push_back/emplace_back is allowed only when the receiver has a
+    `.reserve(` call somewhere in the same file (amortised growth on a
+    pre-reserved buffer settles after warm-up; unreserved growth reallocates
+    forever).  Markers live on raw lines so the stripped code stays clean."""
+    code = strip_comments_and_strings("".join(raw_lines))
+    code_lines = code.splitlines()
+    in_region = False
+    begin_line = 0
+    for i, raw in enumerate(raw_lines):
+        no = i + 1
+        if HOTLOOP_BEGIN_RE.search(raw):
+            if in_region:
+                fail(path, no, "krad-hotloop-alloc",
+                     "nested hot-loop-begin marker")
+            in_region = True
+            begin_line = no
+            continue
+        if HOTLOOP_END_RE.search(raw):
+            if not in_region:
+                fail(path, no, "krad-hotloop-alloc",
+                     "hot-loop-end without a matching hot-loop-begin")
+            in_region = False
+            continue
+        if not in_region:
+            continue
+        line = code_lines[i] if i < len(code_lines) else ""
+        if suppressed(raw_lines, i, "krad-hotloop-alloc"):
+            continue
+        if HOTLOOP_NEW_RE.search(line):
+            fail(path, no, "krad-hotloop-alloc",
+                 "operator new inside a hot-loop section; reuse an "
+                 "arena-style buffer hoisted out of the loop")
+        if HOTLOOP_MAKE_RE.search(line):
+            fail(path, no, "krad-hotloop-alloc",
+                 "make_unique/make_shared allocates inside a hot-loop "
+                 "section; construct it before the loop")
+        for m in HOTLOOP_GROW_RE.finditer(line):
+            recv = m.group(1)
+            if f"{recv}.reserve(" in code:
+                continue
+            fail(path, no, "krad-hotloop-alloc",
+                 f"{recv} grows inside a hot-loop section without a "
+                 f"file-wide {recv}.reserve(); unreserved growth "
+                 "reallocates on every high-water mark")
+    if in_region:
+        fail(path, begin_line, "krad-hotloop-alloc",
+             "hot-loop-begin without a matching hot-loop-end")
+
+
 SVC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"svc/')
 
 
@@ -365,6 +431,7 @@ def main():
         if path.suffix in (".hpp", ".h"):
             check_header_hygiene(rel, raw_lines, project_headers)
         check_include_style(rel, raw_lines, project_headers)
+        check_hotloop_alloc(rel, raw_lines)
         check_format_lite(rel, raw_lines, raw_text)
 
     check_metric_catalog(root, files)
