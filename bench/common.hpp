@@ -5,6 +5,7 @@
 // (BENCH_<name>.json) for downstream tooling.
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -27,6 +28,17 @@ inline void check(bool ok, const std::string& what) {
     ++g_failures;
     std::cout << "  [FAIL] " << what << '\n';
   }
+}
+
+/// KRAD_BENCH_SMOKE=1 shrinks a bench to a seconds-long correctness pass:
+/// sweep sizes drop and machine-calibrated perf gates are skipped, while
+/// every determinism/accounting check still runs.  Used by the sanitizer
+/// CI jobs, where timing bounds are meaningless (TSan is ~10x slower).
+/// Read once from main() before any worker threads exist.
+inline bool smoke_mode() {
+  // Pre-thread, read-only env access, so the MT-unsafety cannot bite.
+  const char* value = std::getenv("KRAD_BENCH_SMOKE");  // NOLINT(concurrency-mt-unsafe)
+  return value != nullptr && *value != '\0' && *value != '0';
 }
 
 inline int finish(const std::string& name) {

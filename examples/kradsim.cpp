@@ -62,7 +62,8 @@ using namespace krad;
       "               [--arrivals batched|poisson:G|bursty:S,G]\n"
       "               [--dag-file PATH]... [--seed S]\n"
       "               [--gantt] [--validate] [--csv]\n";
-  std::exit(error.empty() ? 0 : 2);
+  // Single-threaded CLI entry: exit() before any worker threads spawn.
+  std::exit(error.empty() ? 0 : 2);  // NOLINT(concurrency-mt-unsafe)
 }
 
 std::unique_ptr<KScheduler> make_scheduler(const std::string& name,

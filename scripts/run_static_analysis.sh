@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# One-shot local mirror of the CI static-analysis job (docs/LINTING.md):
+#
+#   scripts/run_static_analysis.sh [build-dir]
+#
+# Runs, in order, failing fast on the first broken layer:
+#
+#   1. krad_lint            — repo invariants (determinism bans, layering
+#                             DAG, raw-mutex ban, suppression hygiene, ...)
+#                             plus its own fixture suite
+#   2. clang-format check   — formatting, pinned major
+#   3. clang-tidy           — curated .clang-tidy set over every TU
+#   4. thread-safety build  — whole tree under clang with
+#                             -Wthread-safety -Werror=thread-safety
+#                             (added automatically by CMakeLists on Clang)
+#
+# Tool pinning matches cmake/StaticAnalysis.cmake and CI (CLANG_MAJOR):
+# a clang-NN binary is preferred, an unsuffixed one accepted with a
+# warning, and a missing tool fails the run — a skipped layer passing
+# silently is exactly the failure mode this script exists to prevent.
+# Python 3 and cmake are assumed (the test suite already requires both).
+
+set -euo pipefail
+
+CLANG_MAJOR=18  # keep in sync with cmake/StaticAnalysis.cmake and ci.yml
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-static-analysis}"
+
+note()  { printf '\n== %s ==\n' "$*"; }
+fatal() { printf 'run_static_analysis: %s\n' "$*" >&2; exit 1; }
+
+# Pinned-first tool lookup: pick_tool clang-tidy -> clang-tidy-18 or
+# clang-tidy (with a drift warning), else fail with an install hint.
+pick_tool() {
+  local base="$1"
+  if command -v "${base}-${CLANG_MAJOR}" >/dev/null 2>&1; then
+    echo "${base}-${CLANG_MAJOR}"
+  elif command -v "${base}" >/dev/null 2>&1; then
+    printf 'warning: %s-%s not found, using unpinned %s (results may drift from CI)\n' \
+      "${base}" "${CLANG_MAJOR}" "${base}" >&2
+    echo "${base}"
+  else
+    fatal "${base} not found; install ${base}-${CLANG_MAJOR} to match CI"
+  fi
+}
+
+cd "$ROOT"
+
+note "krad_lint (tree + fixtures)"
+python3 tools/krad_lint.py --root "$ROOT"
+python3 tests/lint/test_krad_lint.py
+
+CLANG_FORMAT="$(pick_tool clang-format)"
+note "clang-format check ($("$CLANG_FORMAT" --version | head -1))"
+# Same file set as the format-check target (lint fixtures excluded).
+find src tests bench examples \( -name '*.cpp' -o -name '*.hpp' \) \
+    -not -path 'tests/lint/*' -print0 |
+  xargs -0 "$CLANG_FORMAT" --dry-run -Werror
+
+CLANG_TIDY="$(pick_tool clang-tidy)"
+CLANGXX="$(pick_tool clang++)"
+
+note "configure ($BUILD_DIR, clang++ for the thread-safety build)"
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_CXX_COMPILER="$CLANGXX" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+note "clang-tidy ($("$CLANG_TIDY" --version | sed -n 's/.*version/version/p' | head -1))"
+cmake --build "$BUILD_DIR" --target lint
+
+note "thread-safety analysis build (-Wthread-safety -Werror=thread-safety)"
+cmake --build "$BUILD_DIR" -j
+
+note "all static-analysis layers clean"

@@ -29,13 +29,13 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
 }
 
 bool ResultStore::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return keys_.count(key) != 0;
 }
 
 bool ResultStore::append(const RunRecord& record) {
   const std::string line = record.to_jsonl();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!keys_.insert(record.key).second) return false;
   if (out_.is_open()) {
     out_ << line << '\n';
@@ -47,14 +47,14 @@ bool ResultStore::append(const RunRecord& record) {
 }
 
 std::size_t ResultStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return keys_.size();
 }
 
 std::vector<std::string> ResultStore::sorted_lines() const {
   std::vector<std::string> lines;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lines = path_.empty() ? lines_ : read_lines(path_);
   }
   std::sort(lines.begin(), lines.end());

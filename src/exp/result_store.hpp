@@ -15,12 +15,13 @@
 
 #include <cstddef>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "exp/record.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad::exp {
 
@@ -54,11 +55,13 @@ class ResultStore {
   std::vector<std::string> sorted_lines() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::string path_;
-  std::ofstream out_;
-  std::unordered_set<std::string> keys_;  // point lookups only
-  std::vector<std::string> lines_;        // in-memory stores only
+  std::ofstream out_ KRAD_GUARDED_BY(mu_);
+  // point lookups only
+  std::unordered_set<std::string> keys_ KRAD_GUARDED_BY(mu_);
+  // in-memory stores only
+  std::vector<std::string> lines_ KRAD_GUARDED_BY(mu_);
 };
 
 }  // namespace krad::exp

@@ -223,7 +223,7 @@ const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (const Entry* entry = find(name, labels)) {
     if (entry->kind != Kind::kCounter)
       throw std::logic_error("MetricsRegistry: " + name +
@@ -238,7 +238,7 @@ Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (const Entry* entry = find(name, labels)) {
     if (entry->kind != Kind::kGauge)
       throw std::logic_error("MetricsRegistry: " + name +
@@ -255,7 +255,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const Labels& labels,
                                       const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (const Entry* entry = find(name, labels)) {
     if (entry->kind != Kind::kHistogram)
       throw std::logic_error("MetricsRegistry: " + name +
@@ -269,12 +269,12 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"metrics\":[";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& entry = entries_[i];
@@ -316,7 +316,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   std::vector<bool> headed(entries_.size(), false);
   for (std::size_t i = 0; i < entries_.size(); ++i) {

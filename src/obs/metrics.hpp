@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad::obs {
 
@@ -192,13 +194,16 @@ class MetricsRegistry {
     std::size_t index;  // into the matching deque
   };
 
-  const Entry* find(const std::string& name, const Labels& labels) const;
+  const Entry* find(const std::string& name, const Labels& labels) const
+      KRAD_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;        // registration order (export order)
-  std::deque<Counter> counters_;      // deque: handles must stay stable
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
+  mutable Mutex mu_;
+  // registration order (export order)
+  std::vector<Entry> entries_ KRAD_GUARDED_BY(mu_);
+  // deques: handles must stay stable
+  std::deque<Counter> counters_ KRAD_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ KRAD_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ KRAD_GUARDED_BY(mu_);
 };
 
 }  // namespace krad::obs

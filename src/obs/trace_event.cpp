@@ -32,7 +32,7 @@ double TraceSession::now_us() const {
 
 int TraceSession::tid() {
   const std::thread::id self = std::this_thread::get_id();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = std::find(thread_ids_.begin(), thread_ids_.end(), self);
   if (it != thread_ids_.end())
     return static_cast<int>(it - thread_ids_.begin());
@@ -41,7 +41,7 @@ int TraceSession::tid() {
 }
 
 void TraceSession::push(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -99,12 +99,12 @@ void TraceSession::counter(std::string name, NumArgs series) {
 }
 
 std::size_t TraceSession::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void TraceSession::write_json(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out << "{\"traceEvents\":[";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const Event& event = events_[i];

@@ -31,8 +31,10 @@
 #if KRAD_TRACING
 #include <chrono>
 #include <iosfwd>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #endif
 
 namespace krad::obs {
@@ -96,9 +98,10 @@ class TraceSession {
   void push(Event event);
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  std::vector<std::thread::id> thread_ids_;  // index = dense tid
+  mutable Mutex mu_;
+  std::vector<Event> events_ KRAD_GUARDED_BY(mu_);
+  // index = dense tid
+  std::vector<std::thread::id> thread_ids_ KRAD_GUARDED_BY(mu_);
 };
 
 #else  // KRAD_TRACING == 0: every operation is a no-op stub.

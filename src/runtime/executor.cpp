@@ -1,7 +1,6 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -150,7 +149,7 @@ bool Executor::submit_live(std::unique_ptr<RuntimeJob> job,
   if (job->dag().num_categories() != machine_.categories())
     throw std::logic_error("Executor: job / machine category mismatch");
   {
-    std::lock_guard<std::mutex> lock(live_->mu);
+    MutexLock lock(live_->mu);
     if (live_->drain) return false;
     live_->inbox.push_back(LiveSubmission{std::move(job), ticket});
   }
@@ -162,7 +161,7 @@ void Executor::cancel_live(std::uint64_t ticket) {
   if (!options_.live)
     throw std::logic_error("Executor::cancel_live: not a live executor");
   {
-    std::lock_guard<std::mutex> lock(live_->mu);
+    MutexLock lock(live_->mu);
     live_->cancel_requests.push_back(ticket);
   }
   live_->cv.notify_one();
@@ -172,7 +171,7 @@ void Executor::drain() {
   if (!options_.live)
     throw std::logic_error("Executor::drain: not a live executor");
   {
-    std::lock_guard<std::mutex> lock(live_->mu);
+    MutexLock lock(live_->mu);
     live_->drain = true;
   }
   live_->cv.notify_one();
@@ -180,13 +179,13 @@ void Executor::drain() {
 
 bool Executor::draining() const {
   if (!options_.live) return false;
-  std::lock_guard<std::mutex> lock(live_->mu);
+  MutexLock lock(live_->mu);
   return live_->drain;
 }
 
 std::size_t Executor::live_load() const {
   if (!options_.live) return 0;
-  std::lock_guard<std::mutex> lock(live_->mu);
+  MutexLock lock(live_->mu);
   return live_->inbox.size() + live_->resident;
 }
 
@@ -326,7 +325,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   // Per-quantum fault bookkeeping (reused across quanta).
   std::vector<PendingAttempt> attempts;
   std::vector<AttemptFailure> failures;
-  std::mutex failures_mu;
+  Mutex failures_mu;
   std::optional<TaskFailedError> fatal;
 
   QuantumClock clock(options_.clock, options_.quantum_length);
@@ -366,7 +365,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
       accepted.clear();
       bool drain_now = false;
       {
-        std::lock_guard<std::mutex> lock(live_->mu);
+        MutexLock lock(live_->mu);
         std::swap(cancels, live_->cancel_requests);
         while (!live_->inbox.empty() && !free_slots.empty()) {
           std::pop_heap(free_slots.begin(), free_slots.end(),
@@ -417,7 +416,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
           ++result.idle_quanta;
           clock.advance();
         } else {
-          std::unique_lock<std::mutex> lock(live_->mu);
+          MutexLock lock(live_->mu);
           if (live_->inbox.empty() && !live_->drain &&
               live_->cancel_requests.empty())
             live_->cv.wait_for(lock, std::chrono::milliseconds(20));
@@ -639,7 +638,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
               if (!failed) {
                 job->release_successors(v);
               } else {
-                std::lock_guard<std::mutex> lock(failures_mu);
+                MutexLock lock(failures_mu);
                 failures.emplace_back(seq, kind);
               }
             };
@@ -738,7 +737,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                                          t - releases_[id]});
           jobs_[id].reset();
           {
-            std::lock_guard<std::mutex> lock(live_->mu);
+            MutexLock lock(live_->mu);
             --live_->resident;
           }
           free_slots.push_back(id);
@@ -797,7 +796,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     // left dangling.
     std::deque<LiveSubmission> leftovers;
     {
-      std::lock_guard<std::mutex> lock(live_->mu);
+      MutexLock lock(live_->mu);
       live_->drain = true;  // no further submissions can land
       leftovers.swap(live_->inbox);
     }
@@ -809,7 +808,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
       notify_complete(LiveCompletion{tickets[i], JobOutcome::kCancelled,
                                      releases_[i], 0, 0});
       jobs_[i].reset();
-      std::lock_guard<std::mutex> lock(live_->mu);
+      MutexLock lock(live_->mu);
       --live_->resident;
     }
   } else {

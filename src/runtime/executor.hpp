@@ -19,12 +19,10 @@
 // precedence, no double-booking, release times) on live runs.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -39,6 +37,8 @@
 #include "runtime/observer.hpp"
 #include "runtime/runtime_job.hpp"
 #include "sim/validator.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad {
 
@@ -246,12 +246,12 @@ class Executor {
   /// resident counts occupied slots (executor thread writes, under mu, so
   /// live_load() is consistent).  Heap-allocated so Executor stays movable.
   struct LiveState {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::deque<LiveSubmission> inbox;
-    std::vector<std::uint64_t> cancel_requests;
-    std::size_t resident = 0;
-    bool drain = false;
+    mutable Mutex mu;
+    CondVar cv;
+    std::deque<LiveSubmission> inbox KRAD_GUARDED_BY(mu);
+    std::vector<std::uint64_t> cancel_requests KRAD_GUARDED_BY(mu);
+    std::size_t resident KRAD_GUARDED_BY(mu) = 0;
+    bool drain KRAD_GUARDED_BY(mu) = false;
   };
 
   MachineConfig machine_;

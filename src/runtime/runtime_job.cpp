@@ -80,7 +80,7 @@ void RuntimeJob::abandon(JobOutcome outcome) {
   for (auto& queue : ready_) queue.clear();
   cooling_.clear();
   {
-    std::lock_guard<std::mutex> lock(enabled_mu_);
+    MutexLock lock(enabled_mu_);
     newly_enabled_.clear();
   }
   remaining_work_.assign(dag_.num_categories(), 0);
@@ -98,7 +98,7 @@ void RuntimeJob::release_successors(VertexId v) {
   // must observe the push.
   for (VertexId succ : dag_.successors(v)) {
     if (pending_in_degree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(enabled_mu_);
+      MutexLock lock(enabled_mu_);
       newly_enabled_.push_back(succ);
     }
   }
@@ -112,7 +112,7 @@ void RuntimeJob::run_task(VertexId v) {
 void RuntimeJob::promote_enabled() {
   ++promotes_;
   {
-    std::lock_guard<std::mutex> lock(enabled_mu_);
+    MutexLock lock(enabled_mu_);
     for (VertexId v : newly_enabled_) make_ready(v);
     newly_enabled_.clear();
   }

@@ -28,13 +28,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dag/kdag.hpp"
 #include "fault/cancellation.hpp"
 #include "jobs/job.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad {
 
@@ -130,8 +131,8 @@ class RuntimeJob {
 
   // Worker-shared state.
   std::vector<std::atomic<std::uint32_t>> pending_in_degree_;
-  std::mutex enabled_mu_;
-  std::vector<VertexId> newly_enabled_;
+  Mutex enabled_mu_;
+  std::vector<VertexId> newly_enabled_ KRAD_GUARDED_BY(enabled_mu_);
 };
 
 }  // namespace krad

@@ -17,7 +17,7 @@ WorkerPool::~WorkerPool() { shutdown(); }
 
 void WorkerPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -28,7 +28,7 @@ void WorkerPool::shutdown() {
 
 void WorkerPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) throw std::logic_error("WorkerPool: submit after shutdown");
     queue_.push_back(std::move(task));
     publish_depth_locked();
@@ -37,7 +37,7 @@ void WorkerPool::submit(std::function<void()> task) {
 }
 
 void WorkerPool::bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   depth_gauge_ = queue_depth;
   tasks_counter_ = tasks;
   publish_depth_locked();
@@ -49,8 +49,8 @@ void WorkerPool::publish_depth_locked() {
 }
 
 void WorkerPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) cv_idle_.wait(lock);
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -59,14 +59,14 @@ void WorkerPool::wait_idle() {
 }
 
 std::size_t WorkerPool::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return completed_;
 }
 
 void WorkerPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) cv_work_.wait(lock);
     if (queue_.empty()) return;  // stop_ and drained
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();

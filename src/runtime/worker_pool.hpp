@@ -12,17 +12,17 @@
 // on the calling thread after the barrier (remaining queued tasks still run,
 // so the pool stays consistent and the executor can unwind cleanly).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad {
 
@@ -61,19 +61,19 @@ class WorkerPool {
  private:
   void worker_loop();
   /// Refresh the depth gauge; caller holds mu_.
-  void publish_depth_locked();
+  void publish_depth_locked() KRAD_REQUIRES(mu_);
 
   std::string name_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  std::size_t completed_ = 0;
-  std::exception_ptr first_error_;
-  bool stop_ = false;
-  obs::Gauge* depth_gauge_ = nullptr;
-  obs::Counter* tasks_counter_ = nullptr;
+  mutable Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ KRAD_GUARDED_BY(mu_);
+  std::size_t in_flight_ KRAD_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ KRAD_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ KRAD_GUARDED_BY(mu_);
+  bool stop_ KRAD_GUARDED_BY(mu_) = false;
+  obs::Gauge* depth_gauge_ KRAD_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* tasks_counter_ KRAD_GUARDED_BY(mu_) = nullptr;
   std::vector<std::thread> threads_;
 };
 

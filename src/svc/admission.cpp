@@ -11,7 +11,7 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity,
       fallback_retry_ms_(fallback_retry_ms) {}
 
 PushResult AdmissionQueue::push(QueuedJob item) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.size() >= capacity_) {
     return PushResult{false, retry_hint_locked()};
   }
@@ -20,12 +20,12 @@ PushResult AdmissionQueue::push(QueuedJob item) {
 }
 
 void AdmissionQueue::restore(QueuedJob item) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_.push_back(std::move(item));
 }
 
 std::optional<QueuedJob> AdmissionQueue::pop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.empty()) return std::nullopt;
   QueuedJob item = std::move(queue_.front());
   queue_.pop_front();
@@ -47,7 +47,7 @@ std::optional<QueuedJob> AdmissionQueue::pop() {
 }
 
 bool AdmissionQueue::cancel(std::uint64_t ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->ticket == ticket) {
       queue_.erase(it);
@@ -58,7 +58,7 @@ bool AdmissionQueue::cancel(std::uint64_t ticket) {
 }
 
 std::size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

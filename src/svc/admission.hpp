@@ -16,10 +16,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "runtime/runtime_job.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad::svc {
 
@@ -64,18 +65,18 @@ class AdmissionQueue {
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  std::uint64_t retry_hint_locked() const;
+  std::uint64_t retry_hint_locked() const KRAD_REQUIRES(mu_);
 
   const std::size_t capacity_;
   const std::uint64_t fallback_retry_ms_;
 
-  mutable std::mutex mu_;
-  std::deque<QueuedJob> queue_;
+  mutable Mutex mu_;
+  std::deque<QueuedJob> queue_ KRAD_GUARDED_BY(mu_);
   /// EWMA of the wall time between consecutive pops, in microseconds
   /// (0 until two pops happened).
-  double ewma_pop_interval_us_ = 0.0;
-  std::chrono::steady_clock::time_point last_pop_{};
-  bool popped_once_ = false;
+  double ewma_pop_interval_us_ KRAD_GUARDED_BY(mu_) = 0.0;
+  std::chrono::steady_clock::time_point last_pop_ KRAD_GUARDED_BY(mu_){};
+  bool popped_once_ KRAD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace krad::svc

@@ -8,6 +8,7 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 #include <utility>
 
 namespace krad::svc {
@@ -44,7 +45,8 @@ std::uint32_t get_u32_le(const char* in) {
 }
 
 [[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
-  throw JournalError(what + " " + path + ": " + std::strerror(errno));
+  throw JournalError(what + " " + path + ": " +
+                     std::system_category().message(errno));
 }
 
 /// Read exactly `size` bytes at `offset`; returns bytes read (< size at EOF).
@@ -54,8 +56,8 @@ std::size_t pread_full(int fd, char* out, std::size_t size, off_t offset) {
     const ssize_t n = ::pread(fd, out + got, size - got, offset + static_cast<off_t>(got));
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw JournalError(std::string("journal read failed: ") +
-                         std::strerror(errno));
+      throw JournalError("journal read failed: " +
+                         std::system_category().message(errno));
     }
     if (n == 0) break;
     got += static_cast<std::size_t>(n);
@@ -229,7 +231,7 @@ Journal::Journal(JournalConfig config, JournalCounters counters)
     : config_(std::move(config)), counters_(counters) {}
 
 Journal::~Journal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ >= 0) {
     if (unsynced_ > 0) ::fsync(fd_);
     ::close(fd_);
@@ -239,7 +241,7 @@ Journal::~Journal() {
 
 Journal::OpenStats Journal::open(
     const std::function<void(std::string_view)>& replay) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (opened_) throw JournalError("journal already opened: " + config_.path);
 
   fd_ = ::open(config_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -316,7 +318,7 @@ void Journal::append(std::string_view payload) {
     throw JournalError("record payload size out of range: " +
                        std::to_string(payload.size()));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!opened_) throw JournalError("journal not opened: " + config_.path);
 
   std::string frame;
@@ -336,13 +338,13 @@ void Journal::append(std::string_view payload) {
 }
 
 void Journal::sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!opened_) return;
   if (unsynced_ > 0) fsync_locked();
 }
 
 void Journal::rewrite(const std::vector<std::string>& payloads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!opened_) throw JournalError("journal not opened: " + config_.path);
 
   const std::string tmp_path = config_.path + ".tmp";
@@ -402,12 +404,12 @@ void Journal::rewrite(const std::vector<std::string>& payloads) {
 }
 
 std::uint64_t Journal::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return size_;
 }
 
 std::uint64_t Journal::appended_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return appended_;
 }
 

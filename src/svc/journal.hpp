@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -38,6 +37,8 @@
 
 #include "obs/metrics.hpp"
 #include "svc/protocol.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad::svc {
 
@@ -153,18 +154,19 @@ class Journal {
   const std::string& path() const noexcept { return config_.path; }
 
  private:
-  void write_all_locked(const char* data, std::size_t size);
-  void fsync_locked();
+  void write_all_locked(const char* data, std::size_t size)
+      KRAD_REQUIRES(mu_);
+  void fsync_locked() KRAD_REQUIRES(mu_);
 
   JournalConfig config_;
   JournalCounters counters_;
 
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  std::uint64_t size_ = 0;
-  std::uint64_t appended_ = 0;
-  std::size_t unsynced_ = 0;
-  bool opened_ = false;
+  mutable Mutex mu_;
+  int fd_ KRAD_GUARDED_BY(mu_) = -1;
+  std::uint64_t size_ KRAD_GUARDED_BY(mu_) = 0;
+  std::uint64_t appended_ KRAD_GUARDED_BY(mu_) = 0;
+  std::size_t unsynced_ KRAD_GUARDED_BY(mu_) = 0;
+  bool opened_ KRAD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace krad::svc

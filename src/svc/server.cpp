@@ -10,10 +10,9 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
-#include <cstring>
 #include <deque>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 #include <variant>
 
@@ -30,11 +29,12 @@ struct Server::Session {
   std::unique_ptr<Transport> transport;
   std::size_t max_outbox = 0;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::string> outbox;  // framed lines awaiting the writer
-  bool open = true;                // guarded by mu: fd not yet closed
-  bool shutting = false;           // guarded by mu: no further enqueues
+  Mutex mu;
+  CondVar cv;
+  // framed lines awaiting the writer
+  std::deque<std::string> outbox KRAD_GUARDED_BY(mu);
+  bool open KRAD_GUARDED_BY(mu) = true;        // fd not yet closed
+  bool shutting KRAD_GUARDED_BY(mu) = false;   // no further enqueues
   std::atomic<bool> done{false};   // reader thread exited (writer joined)
   /// Tickets submitted on this connection that have not reached a terminal
   /// state.  A session waiting on completion events is exempt from the
@@ -49,7 +49,7 @@ struct Server::Session {
   /// false once the session no longer accepts output.
   bool enqueue_line(const std::string& line) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!open || shutting) return false;
       if (outbox.size() >= max_outbox) {
         shutting = true;  // slow consumer: drop the connection
@@ -72,14 +72,14 @@ struct Server::Session {
     for (;;) {
       std::string framed;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [this] { return !outbox.empty() || shutting || !open; });
+        MutexLock lock(mu);
+        while (outbox.empty() && !shutting && open) cv.wait(lock);
         if (outbox.empty()) return;  // shutting/closed with nothing pending
         framed = std::move(outbox.front());
         outbox.pop_front();
       }
       if (!send_all(framed)) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         shutting = true;
         outbox.clear();
         if (open) transport->shutdown_rw();  // stop the reader too
@@ -94,7 +94,7 @@ struct Server::Session {
   }
 
   void close_fd() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (open) {
       open = false;
       transport->close();
@@ -103,7 +103,7 @@ struct Server::Session {
   }
 
   void shutdown_read() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     shutting = true;
     if (open) transport->shutdown_rw();
     cv.notify_all();
@@ -146,20 +146,20 @@ void Server::start() {
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("Server: socket: ") +
-                             std::strerror(errno));
+    throw std::runtime_error("Server: socket: " +
+                             std::system_category().message(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::system_category().message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("Server: bind: " + err);
   }
   if (::listen(listen_fd_, 64) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::system_category().message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("Server: listen: " + err);
@@ -190,7 +190,7 @@ void Server::stop() {
   std::vector<std::shared_ptr<Session>> sessions;
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions.swap(sessions_);
     threads.swap(session_threads_);
   }
@@ -202,7 +202,7 @@ void Server::stop() {
 }
 
 std::size_t Server::active_connections() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   std::size_t active = 0;
   for (const auto& session : sessions_) {
     if (!session->done.load(std::memory_order_acquire)) ++active;
@@ -246,7 +246,7 @@ void Server::accept_loop() {
     bool refused = false;
     std::vector<std::thread> finished;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      MutexLock lock(sessions_mu_);
       reap_finished_locked(finished);
       if (sessions_.size() >= config_.max_connections) {
         refused = true;
@@ -365,7 +365,7 @@ done:
   // Flush-and-stop the writer before announcing exit: once done is set the
   // acceptor may reap this session and close the fd.
   {
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(session->mu);
     session->shutting = true;
   }
   session->cv.notify_all();
@@ -399,9 +399,9 @@ bool Server::dispatch(const std::shared_ptr<Session>& session,
     // reply, so the event is parked until the reply (with the ticket id)
     // is in the outbox.
     struct EventGate {
-      std::mutex mu;
-      bool reply_enqueued = false;
-      std::string parked;
+      Mutex mu;
+      bool reply_enqueued KRAD_GUARDED_BY(mu) = false;
+      std::string parked KRAD_GUARDED_BY(mu);
     };
     auto gate = std::make_shared<EventGate>();
     std::weak_ptr<Session> weak = session;
@@ -416,7 +416,7 @@ bool Server::dispatch(const std::shared_ptr<Session>& session,
           if (s) s->inflight.fetch_sub(1, std::memory_order_acq_rel);
           std::string event = render_completion_event(status);
           {
-            std::lock_guard<std::mutex> lock(gate->mu);
+            MutexLock lock(gate->mu);
             if (!gate->reply_enqueued) {
               gate->parked = std::move(event);
               return;
@@ -432,7 +432,7 @@ bool Server::dispatch(const std::shared_ptr<Session>& session,
           session->enqueue_line(render_submit_ok(outcome.ticket));
       std::string parked;
       {
-        std::lock_guard<std::mutex> lock(gate->mu);
+        MutexLock lock(gate->mu);
         gate->reply_enqueued = true;
         parked = std::move(gate->parked);
       }

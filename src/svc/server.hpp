@@ -22,7 +22,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -31,6 +30,8 @@
 #include "obs/metrics.hpp"
 #include "svc/service.hpp"
 #include "svc/transport.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad::svc {
 
@@ -100,7 +101,8 @@ class Server {
   /// AFTER releasing sessions_mu_ — exiting readers take sessions_mu_ to
   /// refresh the active-connections gauge, so joining under the lock
   /// deadlocks.
-  void reap_finished_locked(std::vector<std::thread>& finished);
+  void reap_finished_locked(std::vector<std::thread>& finished)
+      KRAD_REQUIRES(sessions_mu_);
 
   Service& service_;
   ServerConfig config_;
@@ -123,9 +125,10 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::uint64_t next_connection_index_ = 0;  // acceptor thread only
 
-  mutable std::mutex sessions_mu_;
-  std::vector<std::shared_ptr<Session>> sessions_;
-  std::vector<std::thread> session_threads_;
+  mutable Mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_
+      KRAD_GUARDED_BY(sessions_mu_);
+  std::vector<std::thread> session_threads_ KRAD_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace krad::svc

@@ -105,7 +105,9 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
           "krad_svc_journal_fsyncs", {}, "Journal fsync batches flushed");
     }
     journal_ = std::make_unique<Journal>(std::move(jc), counters);
-    recover();  // no threads yet: tickets_/queues mutate lock-free here
+    // No threads yet (the serve loop starts below); recover() still takes
+    // tickets_mu_ so the lock discipline is uniform and checkable.
+    recover();
   }
 
   ExecutorOptions options;
@@ -127,10 +129,10 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
   loop_ = std::thread([this] {
     try {
       RuntimeResult result = executor_->run(*scheduler_);
-      std::lock_guard<std::mutex> lock(result_mu_);
+      MutexLock lock(result_mu_);
       result_ = std::move(result);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(result_mu_);
+      MutexLock lock(result_mu_);
       loop_error_ = std::current_exception();
     }
   });
@@ -165,7 +167,7 @@ SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
 
   std::uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     ticket = next_ticket_++;
     TicketRecord record;
     record.tenant = *tenant;
@@ -194,7 +196,7 @@ SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
   TenantMetrics& tm = tenant_metrics_[*tenant];
   if (!push.accepted) {
     {
-      std::lock_guard<std::mutex> lock(tickets_mu_);
+      MutexLock lock(tickets_mu_);
       tickets_.erase(ticket);
     }
     // Balance the already-journaled submit so replay doesn't resurrect a
@@ -221,7 +223,7 @@ SubmitOutcome Service::submit(SubmitRequest request, CompletionFn on_done) {
 bool Service::cancel(std::uint64_t ticket) {
   TenantId tenant = 0;
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     auto it = tickets_.find(ticket);
     if (it == tickets_.end()) return false;
     if (it->second.state == TicketState::kDone ||
@@ -242,7 +244,7 @@ bool Service::cancel(std::uint64_t ticket) {
 }
 
 std::optional<TicketStatus> Service::status(std::uint64_t ticket) const {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  MutexLock lock(tickets_mu_);
   auto it = tickets_.find(ticket);
   if (it == tickets_.end()) return std::nullopt;
   return snapshot_locked(ticket, it->second);
@@ -260,13 +262,13 @@ bool Service::draining() const noexcept {
 
 const RuntimeResult& Service::join() {
   if (loop_.joinable()) loop_.join();
-  std::lock_guard<std::mutex> lock(result_mu_);
+  MutexLock lock(result_mu_);
   if (loop_error_ != nullptr) std::rethrow_exception(loop_error_);
   return result_;
 }
 
 std::size_t Service::completed_total() const {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  MutexLock lock(tickets_mu_);
   return completed_;
 }
 
@@ -277,7 +279,7 @@ std::string Service::stats_json() const {
   w.field("draining", draining());
   w.field("inflight", static_cast<std::uint64_t>(executor_->live_load()));
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     w.field("completed", completed_).field("cancelled", cancelled_);
   }
   w.begin_array("tenants");
@@ -313,6 +315,9 @@ JournalTerminal Service::terminal_record(const TicketStatus& status) {
 }
 
 void Service::recover() {
+  // Runs from the constructor before the serve loop exists; the lock is
+  // uncontended and held across the replay for analysis uniformity.
+  MutexLock lock(tickets_mu_);
   // Replay: pending = submits with no terminal record yet (std::map so
   // re-queueing preserves accept order); terminals in completion order.
   std::map<std::uint64_t, JournalSubmit> pending;
@@ -439,7 +444,7 @@ HealthStatus Service::health() const {
   h.inflight = static_cast<std::uint64_t>(executor_->live_load()) +
                static_cast<std::uint64_t>(registry_->total_depth());
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     h.completed = completed_;
   }
   h.recovered = recovered_;
@@ -450,7 +455,7 @@ void Service::checkpoint() {
   if (journal_ == nullptr) return;
   JournalCheckpoint cp;
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     cp.next_ticket = next_ticket_;
     cp.completed = completed_;
     cp.cancelled = cancelled_;
@@ -508,7 +513,7 @@ void Service::pump(Time now) {
 }
 
 void Service::on_accept(std::uint64_t ticket, JobId slot) {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  MutexLock lock(tickets_mu_);
   auto it = tickets_.find(ticket);
   if (it == tickets_.end()) return;
   scheduler_->assign(slot, it->second.tenant);
@@ -521,7 +526,7 @@ void Service::on_complete(const LiveCompletion& completion) {
   double latency_us = 0.0;
   TenantId tenant = 0;
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     auto it = tickets_.find(completion.ticket);
     if (it == tickets_.end()) return;
     TicketRecord& record = it->second;
@@ -568,7 +573,7 @@ void Service::finish_cancelled(std::uint64_t ticket) {
   TicketStatus status;
   TenantId tenant = 0;
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
+    MutexLock lock(tickets_mu_);
     auto it = tickets_.find(ticket);
     if (it == tickets_.end()) return;
     TicketRecord& record = it->second;

@@ -29,7 +29,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -42,6 +41,8 @@
 #include "svc/journal.hpp"
 #include "svc/protocol.hpp"
 #include "svc/tenants.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace krad::svc {
 
@@ -171,9 +172,11 @@ class Service {
   void finish_cancelled(std::uint64_t ticket);
   /// Record `ticket` as terminal and evict the oldest terminal tickets
   /// beyond the retention bound (tickets_mu_ held).
-  void retire_ticket_locked(std::uint64_t ticket);
+  void retire_ticket_locked(std::uint64_t ticket)
+      KRAD_REQUIRES(tickets_mu_);
   TicketStatus snapshot_locked(std::uint64_t ticket,
-                               const TicketRecord& record) const;
+                               const TicketRecord& record) const
+      KRAD_REQUIRES(tickets_mu_);
 
   ServiceConfig config_;
   std::unique_ptr<TenantRegistry> registry_;
@@ -182,22 +185,23 @@ class Service {
   std::size_t recovered_ = 0;  ///< set during recover(), then immutable
   std::unique_ptr<Executor> executor_;
 
-  mutable std::mutex tickets_mu_;
-  std::unordered_map<std::uint64_t, TicketRecord> tickets_;
+  mutable Mutex tickets_mu_;
+  std::unordered_map<std::uint64_t, TicketRecord> tickets_
+      KRAD_GUARDED_BY(tickets_mu_);
   /// Terminal tickets in completion order; bounds tickets_ via
-  /// terminal_ticket_retention.  Guarded by tickets_mu_.
-  std::deque<std::uint64_t> terminal_fifo_;
-  std::uint64_t next_ticket_ = 1;
-  std::uint64_t completed_ = 0;
-  std::uint64_t cancelled_ = 0;
+  /// terminal_ticket_retention.
+  std::deque<std::uint64_t> terminal_fifo_ KRAD_GUARDED_BY(tickets_mu_);
+  std::uint64_t next_ticket_ KRAD_GUARDED_BY(tickets_mu_) = 1;
+  std::uint64_t completed_ KRAD_GUARDED_BY(tickets_mu_) = 0;
+  std::uint64_t cancelled_ KRAD_GUARDED_BY(tickets_mu_) = 0;
 
   std::atomic<bool> draining_{false};
   std::size_t pump_rr_ = 0;  ///< round-robin cursor (executor thread only)
 
   std::thread loop_;
-  std::mutex result_mu_;
-  RuntimeResult result_;
-  std::exception_ptr loop_error_;
+  Mutex result_mu_;
+  RuntimeResult result_ KRAD_GUARDED_BY(result_mu_);
+  std::exception_ptr loop_error_ KRAD_GUARDED_BY(result_mu_);
 
   // Metric handles (null when config_.metrics is null).
   struct TenantMetrics {

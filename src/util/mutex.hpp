@@ -1,0 +1,102 @@
+#pragma once
+// Annotated lock primitives for the concurrent layers (runtime, svc, obs,
+// exp).  Thin wrappers over the std types that carry the Clang
+// thread-safety capability attributes from util/thread_annotations.hpp, so
+// `-Wthread-safety` can prove at compile time that every KRAD_GUARDED_BY
+// field is only touched under its lock.  Zero overhead: each call forwards
+// to the std member, and the attributes vanish on non-Clang compilers.
+//
+// Idioms (docs/LINTING.md#thread-safety-annotations):
+//
+//   krad::Mutex mu_;
+//   int x_ KRAD_GUARDED_BY(mu_);
+//
+//   { krad::MutexLock lock(mu_); x_ += 1; }        // scoped section
+//
+//   void f_locked() KRAD_REQUIRES(mu_);            // caller holds mu_
+//
+//   krad::MutexLock lock(mu_);                     // long-lived lock with
+//   while (!ready_) cv_.wait(lock);                // explicit-loop waits
+//   lock.unlock();  work();  lock.lock();          // windowed release
+//
+// CondVar deliberately has no predicate-lambda overloads: a lambda body is
+// a separate function to the analysis, so guarded reads inside it would
+// warn.  Write the `while (!pred) cv.wait(lock);` loop instead — it is the
+// same code the std overload expands to.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace krad {
+
+/// Annotated std::mutex.  Prefer MutexLock over calling lock()/unlock()
+/// directly; the raw calls exist for completeness and for adapters.
+class KRAD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() KRAD_ACQUIRE() { mu_.lock(); }
+  void unlock() KRAD_RELEASE() { mu_.unlock(); }
+  bool try_lock() KRAD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop (CondVar waits through it).
+  /// Bypasses the analysis — do not lock through this directly.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a krad::Mutex — an annotated std::unique_lock.  Locks on
+/// construction; unlock()/lock() give the windowed-release idiom worker
+/// loops use around task execution, and CondVar waits through it.
+class KRAD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KRAD_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() KRAD_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() KRAD_ACQUIRE() { lock_.lock(); }
+  void unlock() KRAD_RELEASE() { lock_.unlock(); }
+  bool owns_lock() const noexcept { return lock_.owns_lock(); }
+
+  /// The wrapped std::unique_lock, for CondVar interop only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with krad::Mutex via MutexLock.  wait()
+/// releases and reacquires the lock internally; to the static analysis the
+/// capability is held throughout, which is exactly the guarantee the
+/// caller observes on both sides of the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.native(), dur);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace krad

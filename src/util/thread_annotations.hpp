@@ -1,0 +1,68 @@
+#pragma once
+// Clang thread-safety annotation macros (docs/LINTING.md has the policy).
+//
+// Under Clang with -Wthread-safety these expand to the capability
+// attributes, letting the compiler prove lock discipline at build time:
+// every field marked KRAD_GUARDED_BY is only touched while its mutex is
+// held, every *_locked() helper marked KRAD_REQUIRES is only called under
+// the lock, and acquire/release pairing is checked on every path.  On any
+// other compiler (GCC builds the tier-1 tree) they expand to nothing, so
+// the annotations are free documentation.
+//
+// The annotated lock types themselves live in util/mutex.hpp
+// (krad::Mutex / krad::MutexLock / krad::CondVar); concurrent code in
+// src/{runtime,svc,obs,exp} must use those instead of raw std types —
+// enforced by the krad-mutex-raw lint rule.
+
+#if defined(__clang__) && !defined(SWIG)
+#define KRAD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define KRAD_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// A type that acts as a lock: krad::Mutex carries KRAD_CAPABILITY("mutex").
+#define KRAD_CAPABILITY(x) KRAD_THREAD_ANNOTATION_(capability(x))
+
+// An RAII type whose constructor acquires and destructor releases:
+// krad::MutexLock.
+#define KRAD_SCOPED_CAPABILITY KRAD_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members that may only be read or written while `x` is held.
+#define KRAD_GUARDED_BY(x) KRAD_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer members whose *pointee* is protected by `x` (the pointer itself
+// may be read freely).
+#define KRAD_PT_GUARDED_BY(x) KRAD_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// The caller must hold the listed capabilities — the contract of every
+// *_locked() helper.
+#define KRAD_REQUIRES(...) \
+  KRAD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// The function acquires / releases the listed capabilities (no argument
+// means `this`, for the lock types' own lock()/unlock()).
+#define KRAD_ACQUIRE(...) \
+  KRAD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define KRAD_RELEASE(...) \
+  KRAD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns the given value.
+#define KRAD_TRY_ACQUIRE(...) \
+  KRAD_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the listed capabilities (guards against
+// self-deadlock when a public entry point takes the lock itself).
+#define KRAD_EXCLUDES(...) KRAD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code reachable both
+// under and outside the lock after a runtime check).
+#define KRAD_ASSERT_CAPABILITY(x) \
+  KRAD_THREAD_ANNOTATION_(assert_capability(x))
+
+// The function returns a reference to the given capability.
+#define KRAD_RETURN_CAPABILITY(x) KRAD_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function.  Every use must
+// carry a comment explaining why the analysis cannot see the invariant.
+#define KRAD_NO_THREAD_SAFETY_ANALYSIS \
+  KRAD_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,5 @@
+// Seeded layering violation: core sits below sim in the layering DAG, so
+#include "sim/engine.hpp"
+// an upward include edge must be rejected even though it never touches
+// svc/ (the old rule only guarded the svc boundary).
+#include "dag/graph.hpp"

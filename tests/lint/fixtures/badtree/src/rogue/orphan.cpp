@@ -1,0 +1,4 @@
+// Seeded violation: src/rogue is not declared in ALLOWED_INCLUDES, so the
+// layering check must demand the table (and docs diagram) be updated
+// before the subsystem can exist.
+#include "util/rng.hpp"

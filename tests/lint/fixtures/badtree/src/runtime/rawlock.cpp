@@ -1,0 +1,16 @@
+// Seeded lock-discipline violations: raw std lock types in a concurrent
+// subsystem (src/runtime) defeat the -Wthread-safety annotations and must
+// be rejected in favour of krad::Mutex/MutexLock/CondVar.  Mentions in
+// comments or strings ("std::mutex") must NOT fire.
+#include <mutex>
+
+namespace krad::runtime {
+
+std::mutex raw_mu;
+
+int bump(int* counter) {
+  std::lock_guard<std::mutex> lock(raw_mu);
+  return ++*counter;
+}
+
+}  // namespace krad::runtime

@@ -1,0 +1,11 @@
+// Seeded suppression-hygiene violations: named krad-* NOLINTs on lines
+// where the named rule no longer fires are dead weight and must be
+// reported, on both the same-line and NEXTLINE forms.
+#include <chrono>
+
+long clean_latency_ns() {  // NOLINT(krad-determinism-time)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// NOLINTNEXTLINE(krad-determinism-rand)
+int deterministic_answer() { return 42; }

@@ -1,0 +1,23 @@
+// Fixture: lock discipline done right in a concurrent subsystem (never
+// compiled).  The annotated wrappers pass, downward layering edges pass,
+// and a *used* named suppression keeps a deliberate raw-mutex escape out
+// of the stale-suppression report.
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+
+namespace krad::runtime {
+
+Mutex mu;
+int guarded_value KRAD_GUARDED_BY(mu) = 0;
+
+int bump() {
+  MutexLock lock(mu);
+  return ++guarded_value;
+}
+
+// Deliberate, documented escape: interop with a C callback API that hands
+// out a raw std::mutex.  The named suppression is exercised, so the
+// krad-nolint-unused pass must leave it alone.
+std::mutex interop_mu;  // NOLINT(krad-mutex-raw)
+
+}  // namespace krad::runtime

@@ -19,7 +19,13 @@ EXPECTED_BAD = [
     ("krad-determinism-rand", "src/sim/entropy.cpp:6"),
     ("krad-determinism-time", "src/sim/entropy.cpp:8"),
     ("krad-determinism-unordered", "src/sim/entropy.cpp:13"),
-    ("krad-layering-svc-include", "src/sim/frontdoor.cpp:2"),
+    ("krad-layering-dag", "src/sim/frontdoor.cpp:2"),
+    ("krad-layering-dag", "src/core/uplink.cpp:2"),
+    ("krad-layering-dag", "src/rogue/orphan.cpp"),
+    ("krad-mutex-raw", "src/runtime/rawlock.cpp:9"),
+    ("krad-mutex-raw", "src/runtime/rawlock.cpp:12"),
+    ("krad-nolint-unused", "src/sim/stale_nolint.cpp:6"),
+    ("krad-nolint-unused", "src/sim/stale_nolint.cpp:10"),
     ("krad-metric-undocumented", "krad_fixture_only_total"),
     ("krad-metric-stale", "krad_stale_metric_total"),
     ("krad-hotloop-alloc", "src/sim/hotloop.cpp:9"),
@@ -69,6 +75,19 @@ def main():
     expect(rules.returncode == 0, "--list-rules: non-zero exit")
     for rule, _ in EXPECTED_BAD:
         expect(rule in rules.stdout, f"--list-rules: {rule} missing")
+
+    # The docs diagram is generated from the same table the checker
+    # enforces; a few load-bearing edges (and one forbidden non-edge) keep
+    # the dump honest.
+    dot = subprocess.run([sys.executable, str(LINT), "--layering-dot"],
+                         capture_output=True, text=True, check=False)
+    expect(dot.returncode == 0, "--layering-dot: non-zero exit")
+    expect(dot.stdout.startswith("digraph krad_layering"),
+           "--layering-dot: not a digraph")
+    for edge in ("svc -> runtime;", "runtime -> sim;", "obs -> util;"):
+        expect(edge in dot.stdout, f"--layering-dot: missing edge {edge!r}")
+    expect("-> svc;" not in dot.stdout,
+           "--layering-dot: nothing may depend on svc")
 
     if failures:
         print(f"[FAIL] test_krad_lint: {len(failures)} assertion(s) failed")

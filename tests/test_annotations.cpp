@@ -1,0 +1,172 @@
+// Compile-and-behave checks for the thread-safety annotation layer
+// (util/thread_annotations.hpp + util/mutex.hpp, docs/LINTING.md).
+//
+// Two guarantees, both enforced on every tier-1 compiler:
+//
+//   1. The KRAD_* macros expand to no-ops outside Clang, so annotating a
+//      field or function costs nothing on GCC — this file compiles
+//      warning-clean with every macro exercised in a real position.
+//   2. krad::Mutex / MutexLock / CondVar behave exactly like the std types
+//      they wrap: mutual exclusion, windowed unlock/lock, try_lock, and
+//      condvar wakeups all work, so the sweep of src/{runtime,svc,obs,exp}
+//      onto them changed no semantics.
+//
+// The Clang half of the story — that the annotations are *correct* — is
+// covered by the CI static-analysis job, which builds the whole tree with
+// -Wthread-safety -Werror=thread-safety.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace krad {
+namespace {
+
+// Every annotation used in its natural position: a class that is a
+// capability, a scoped wrapper, guarded fields, and the full set of
+// function attributes.  Compiling this TU (on GCC: with all macros blank)
+// is the test.
+class KRAD_CAPABILITY("mutex") AnnotatedFlag {
+ public:
+  void lock() KRAD_ACQUIRE() { mu_.lock(); }
+  void unlock() KRAD_RELEASE() { mu_.unlock(); }
+  bool try_lock() KRAD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;  // unannotated std type: the wrapper IS the capability
+};
+
+class Annotated {
+ public:
+  void set(int v) KRAD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    set_locked(v);
+  }
+
+  int get() KRAD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+  // The escape hatch must also expand cleanly.
+  int racy_peek() KRAD_NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  void set_locked(int v) KRAD_REQUIRES(mu_) {
+    value_ = v;
+    boxed_ = &value_;
+  }
+
+  Mutex mu_;
+  int value_ KRAD_GUARDED_BY(mu_) = 0;
+  int* boxed_ KRAD_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+TEST(Annotations, MacrosExpandToNoOpsAndCompile) {
+  Annotated a;
+  a.set(41);
+  EXPECT_EQ(a.get(), 41);
+  EXPECT_EQ(a.racy_peek(), 41);
+
+  // try_lock results are branched on explicitly: the thread-safety
+  // analysis only tracks the acquisition through a direct branch, not
+  // through the EXPECT_* machinery.
+  AnnotatedFlag flag;
+  const bool acquired = flag.try_lock();
+  EXPECT_TRUE(acquired);
+  if (acquired) flag.unlock();
+}
+
+TEST(Mutex, MutualExclusionAcrossThreads) {
+  Mutex mu;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Mutex, TryLockReflectsOwnership) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    EXPECT_TRUE(lock.owns_lock());
+    // Probe from another thread: try_lock on a mutex this thread already
+    // holds would (rightly) be a double-acquire to the analysis.
+    bool stolen = true;
+    std::thread prober([&] {
+      stolen = mu.try_lock();
+      if (stolen) mu.unlock();
+    });
+    prober.join();
+    EXPECT_FALSE(stolen);
+  }
+  const bool acquired = mu.try_lock();
+  EXPECT_TRUE(acquired);
+  if (acquired) mu.unlock();
+}
+
+TEST(Mutex, WindowedUnlockRelock) {
+  // The worker-loop idiom: hold, release around work, reacquire.
+  Mutex mu;
+  int shared = 0;
+  MutexLock lock(mu);
+  shared = 1;
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  {
+    MutexLock other(mu);  // must not deadlock: the window is real
+    shared = 2;
+  }
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+  EXPECT_EQ(shared, 2);
+}
+
+TEST(CondVar, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(lock);
+    observed = 7;
+  });
+
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(CondVar, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto status = cv.wait_for(lock, std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+}  // namespace
+}  // namespace krad

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <map>
 #include <set>
+#include <system_error>
 #include <thread>
 #include <variant>
 #include <vector>
@@ -919,7 +920,7 @@ class RawClient {
     EXPECT_EQ(
         ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
         0)
-        << std::strerror(errno);
+        << std::system_category().message(errno);
   }
   ~RawClient() {
     if (fd_ >= 0) ::close(fd_);

@@ -16,6 +16,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -79,7 +80,7 @@ class RawClient {
     EXPECT_EQ(
         ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
         0)
-        << std::strerror(errno);
+        << std::system_category().message(errno);
   }
   ~RawClient() {
     if (fd_ >= 0) ::close(fd_);

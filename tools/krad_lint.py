@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """krad_lint: repo-specific invariant checks generic tools cannot express.
 
-Usage: krad_lint.py [--root DIR] [--list-rules]
+Usage: krad_lint.py [--root DIR] [--list-rules] [--layering-dot]
 
 Rule classes (docs/LINTING.md has the full policy):
 
@@ -24,12 +24,28 @@ Rule classes (docs/LINTING.md has the full policy):
                                 deterministic sequence).  Point lookups are
                                 fine.
 
-  Layering — the service layer depends on the deterministic layers, never
-  the reverse:
-    krad-layering-svc-include   a determinism-critical dir includes a
-                                svc/ header (svc may use wall clocks and
-                                sockets, so such an edge would silently
-                                void the replay contract)
+  Layering — dependencies between src/ subsystems flow strictly downward
+  through the declarative DAG in ALLOWED_INCLUDES (one table; the docs
+  diagram in docs/ARCHITECTURE.md is generated from it via --layering-dot):
+    krad-layering-dag           a src/ file includes a header from a
+                                subsystem its directory is not allowed to
+                                depend on.  Subsumes the old
+                                krad-layering-svc-include rule: svc sits on
+                                top (it may use wall clocks and sockets),
+                                so no other subsystem lists it — an edge
+                                into svc/ from determinism-critical code
+                                would silently void the replay contract.
+
+  Lock discipline — concurrent subsystems must use the annotated lock
+  types (util/mutex.hpp) so Clang -Wthread-safety can prove the locking:
+    krad-mutex-raw              raw std::mutex / std::lock_guard /
+                                std::unique_lock / std::condition_variable
+                                (and friends) in src/{runtime,svc,obs,exp};
+                                use krad::Mutex / MutexLock / CondVar
+
+  Suppression hygiene — suppressions must not outlive their findings:
+    krad-nolint-unused          a named NOLINT(krad-*) comment on a line
+                                where that rule no longer fires; delete it
 
   Metric-catalog sync — every full krad_* metric name registered in src/
   must appear in docs/OBSERVABILITY.md and vice versa (this supersedes the
@@ -62,9 +78,50 @@ from pathlib import Path
 
 DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/bounds",
                     "src/exp")
+# Concurrent subsystems swept onto krad::Mutex (docs/LINTING.md): raw std
+# lock/condvar types are banned here so the thread-safety annotations
+# cannot rot.  util/ itself is exempt — util/mutex.hpp wraps the std types.
+MUTEX_RAW_DIRS = ("src/runtime", "src/svc", "src/obs", "src/exp")
 SOURCE_DIRS = ("src", "tests", "bench", "examples")
 # Lint fixtures carry deliberate violations for the fixture tests.
 EXCLUDED_PARTS = ("tests/lint",)
+
+# The include-layering DAG: for every src/ subsystem, the subsystems its
+# files may #include from.  Edges flow strictly downward through the layer
+# order (src/CMakeLists.txt mirrors it as link dependencies):
+#
+#   util < obs < dag < jobs < fault < core < sched < sim < bounds
+#        < workload < exp
+#
+# with the extensions feedback (on core), hetero (on sim), runtime (on
+# sim + feedback) and svc on top (on runtime + exp).  svc appears in no
+# entry: it owns wall clocks and sockets, so any edge into it from below
+# would void the replay-determinism contract.  A new subsystem must be
+# added here (and to the docs/ARCHITECTURE.md diagram via --layering-dot)
+# before it can be included from anywhere.
+ALLOWED_INCLUDES = {
+    "util": (),
+    "obs": ("util",),
+    "dag": ("obs", "util"),
+    "jobs": ("dag", "obs", "util"),
+    "fault": ("dag", "jobs", "obs", "util"),
+    "core": ("dag", "fault", "jobs", "obs", "util"),
+    "sched": ("core", "dag", "fault", "jobs", "obs", "util"),
+    "feedback": ("core", "dag", "fault", "jobs", "obs", "util"),
+    "sim": ("core", "dag", "fault", "jobs", "obs", "sched", "util"),
+    "hetero": ("core", "dag", "fault", "jobs", "obs", "sched", "sim",
+               "util"),
+    "bounds": ("core", "dag", "fault", "jobs", "obs", "sched", "sim",
+               "util"),
+    "workload": ("bounds", "core", "dag", "fault", "jobs", "obs", "sched",
+                 "sim", "util"),
+    "exp": ("bounds", "core", "dag", "fault", "jobs", "obs", "sched",
+            "sim", "util", "workload"),
+    "runtime": ("core", "dag", "fault", "feedback", "jobs", "obs", "sched",
+                "sim", "util"),
+    "svc": ("bounds", "core", "dag", "exp", "fault", "feedback", "jobs",
+            "obs", "runtime", "sched", "sim", "util", "workload"),
+}
 
 RULES = {
     "krad-determinism-rand":
@@ -74,9 +131,15 @@ RULES = {
         "dir",
     "krad-determinism-unordered":
         "iteration over an unordered container in a determinism-critical dir",
-    "krad-layering-svc-include":
-        "determinism-critical dir includes a svc/ header (svc may use wall "
-        "clocks/sockets)",
+    "krad-layering-dag":
+        "include edge between src/ subsystems that the declarative layering "
+        "DAG (ALLOWED_INCLUDES) forbids",
+    "krad-mutex-raw":
+        "raw std::mutex/lock/condition_variable in a concurrent subsystem; "
+        "use the annotated krad::Mutex/MutexLock/CondVar (util/mutex.hpp)",
+    "krad-nolint-unused":
+        "named NOLINT(krad-*) suppression whose rule no longer fires on "
+        "that line",
     "krad-metric-undocumented":
         "krad_* metric registered in src/ but absent from "
         "docs/OBSERVABILITY.md",
@@ -99,6 +162,12 @@ RULES = {
 
 FAILURES = []
 
+# (path, line_no, rule) of every named suppression that actually silenced a
+# finding this run — the complement of krad-nolint-unused.
+USED_SUPPRESSIONS = set()
+
+NOLINT_SITE_RE = re.compile(r"NOLINT(?:NEXTLINE)?\(([^)]*)\)")
+
 
 def fail(path, line_no, rule, message):
     FAILURES.append((path, line_no, rule))
@@ -106,15 +175,42 @@ def fail(path, line_no, rule, message):
     print(f"  [FAIL] {location}: [{rule}] {message}")
 
 
-def suppressed(lines, index, rule):
-    """NOLINT on the line or NOLINTNEXTLINE on the previous line."""
+def nolint_rules(arglist):
+    """The krad-* rule names inside a NOLINT(...) argument list."""
+    return [token.strip() for token in arglist.split(",")
+            if token.strip().startswith("krad-")]
+
+
+def suppressed(path, lines, index, rule):
+    """NOLINT on the line or NOLINTNEXTLINE on the previous line.  Named
+    suppressions that fire are recorded so stale ones can be reported."""
     def matches(text, marker):
         m = re.search(marker + r"(?:\(([^)]*)\))?", text)
-        return m is not None and (m.group(1) is None or rule in m.group(1))
+        if m is None:
+            return False
+        return m.group(1) is None or rule in nolint_rules(m.group(1))
 
     if matches(lines[index], r"NOLINT(?!NEXTLINE)"):
+        USED_SUPPRESSIONS.add((str(path), index + 1, rule))
         return True
-    return index > 0 and matches(lines[index - 1], r"NOLINTNEXTLINE")
+    if index > 0 and matches(lines[index - 1], r"NOLINTNEXTLINE"):
+        USED_SUPPRESSIONS.add((str(path), index, rule))
+        return True
+    return False
+
+
+def check_nolint_sites(path, raw_lines):
+    """Collect every named krad-* suppression site in the file; after all
+    checks ran, sites absent from USED_SUPPRESSIONS are stale (the rule no
+    longer fires there) and reported as errors, so suppressions cannot
+    accumulate.  Bare NOLINTs and non-krad (clang-tidy) names are not
+    tracked.  Returns (path, line_no, rule) tuples."""
+    sites = []
+    for i, line in enumerate(raw_lines):
+        for m in NOLINT_SITE_RE.finditer(line):
+            for rule in nolint_rules(m.group(1)):
+                sites.append((str(path), i + 1, rule))
+    return sites
 
 
 def strip_comments_and_strings(code):
@@ -185,20 +281,20 @@ def check_determinism(path, raw_lines):
         unordered_vars.update(UNORDERED_DECL_RE.findall(line))
     for i, line in enumerate(code_lines):
         no = i + 1
-        if RAND_RE.search(line) and not suppressed(raw_lines, i,
-                                                   "krad-determinism-rand"):
+        if RAND_RE.search(line) and not suppressed(
+                path, raw_lines, i, "krad-determinism-rand"):
             fail(path, no, "krad-determinism-rand",
                  "ambient randomness is banned here; route seeds through "
                  "util/rng and the workload generators")
-        if TIME_RE.search(line) and not suppressed(raw_lines, i,
-                                                   "krad-determinism-time"):
+        if TIME_RE.search(line) and not suppressed(
+                path, raw_lines, i, "krad-determinism-time"):
             fail(path, no, "krad-determinism-time",
                  "wall-clock entropy is banned here (steady_clock is the "
                  "only allowed clock, for latency metrics)")
         iterated = set(RANGE_FOR_RE.findall(line)) | set(
             BEGIN_RE.findall(line))
         if (iterated & unordered_vars
-                and not suppressed(raw_lines, i,
+                and not suppressed(path, raw_lines, i,
                                    "krad-determinism-unordered")):
             fail(path, no, "krad-determinism-unordered",
                  "iteration order of an unordered container is "
@@ -288,39 +384,104 @@ def check_hotloop_alloc(path, raw_lines):
         if not in_region:
             continue
         line = code_lines[i] if i < len(code_lines) else ""
-        if suppressed(raw_lines, i, "krad-hotloop-alloc"):
-            continue
+        # Match first, consult suppressed() only on a hit: a suppression on
+        # a line where nothing fires must stay unrecorded so the stale-
+        # suppression pass (krad-nolint-unused) can flag it.
+        messages = []
         if HOTLOOP_NEW_RE.search(line):
-            fail(path, no, "krad-hotloop-alloc",
-                 "operator new inside a hot-loop section; reuse an "
-                 "arena-style buffer hoisted out of the loop")
+            messages.append(
+                "operator new inside a hot-loop section; reuse an "
+                "arena-style buffer hoisted out of the loop")
         if HOTLOOP_MAKE_RE.search(line):
-            fail(path, no, "krad-hotloop-alloc",
-                 "make_unique/make_shared allocates inside a hot-loop "
-                 "section; construct it before the loop")
+            messages.append(
+                "make_unique/make_shared allocates inside a hot-loop "
+                "section; construct it before the loop")
         for m in HOTLOOP_GROW_RE.finditer(line):
             recv = m.group(1)
             if f"{recv}.reserve(" in code:
                 continue
-            fail(path, no, "krad-hotloop-alloc",
-                 f"{recv} grows inside a hot-loop section without a "
-                 f"file-wide {recv}.reserve(); unreserved growth "
-                 "reallocates on every high-water mark")
+            messages.append(
+                f"{recv} grows inside a hot-loop section without a "
+                f"file-wide {recv}.reserve(); unreserved growth "
+                "reallocates on every high-water mark")
+        if messages and suppressed(path, raw_lines, i, "krad-hotloop-alloc"):
+            continue
+        for message in messages:
+            fail(path, no, "krad-hotloop-alloc", message)
     if in_region:
         fail(path, begin_line, "krad-hotloop-alloc",
              "hot-loop-begin without a matching hot-loop-end")
 
 
-SVC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"svc/')
+PROJECT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 
 
-def check_svc_layering(path, raw_lines):
+def check_layering_dag(path, raw_lines):
+    """Enforce ALLOWED_INCLUDES over every `#include "sub/..."` edge in
+    src/.  `path` is repo-relative, so parts[1] is the source subsystem."""
+    src_dir = path.parts[1]
+    if src_dir not in ALLOWED_INCLUDES:
+        fail(path, 0, "krad-layering-dag",
+             f"src/{src_dir}/ is not in the layering DAG; add it to "
+             "ALLOWED_INCLUDES (tools/krad_lint.py) and regenerate the "
+             "docs/ARCHITECTURE.md diagram with --layering-dot")
+        return
+    allowed = ALLOWED_INCLUDES[src_dir]
     for i, line in enumerate(raw_lines):
-        if SVC_INCLUDE_RE.match(line) and not suppressed(
-                raw_lines, i, "krad-layering-svc-include"):
-            fail(path, i + 1, "krad-layering-svc-include",
-                 "svc/ may use wall clocks and sockets; a dependency from a "
-                 "determinism-critical dir voids the replay contract")
+        m = PROJECT_INCLUDE_RE.match(line)
+        if m is None or "/" not in m.group(1):
+            continue
+        dst = m.group(1).split("/", 1)[0]
+        if dst == src_dir or dst not in ALLOWED_INCLUDES:
+            continue  # self-edges and non-subsystem paths are out of scope
+        if dst in allowed:
+            continue
+        if suppressed(path, raw_lines, i, "krad-layering-dag"):
+            continue
+        fail(path, i + 1, "krad-layering-dag",
+             f'src/{src_dir}/ may not include "{m.group(1)}": the layering '
+             f"DAG has no {src_dir} -> {dst} edge (allowed: "
+             f"{', '.join(allowed) if allowed else 'none'})")
+
+
+MUTEX_RAW_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b")
+
+
+def check_mutex_raw(path, raw_lines):
+    code_lines = strip_comments_and_strings("".join(raw_lines)).splitlines()
+    for i, line in enumerate(code_lines):
+        m = MUTEX_RAW_RE.search(line)
+        if m is None:
+            continue
+        if suppressed(path, raw_lines, i, "krad-mutex-raw"):
+            continue
+        fail(path, i + 1, "krad-mutex-raw",
+             f"std::{m.group(1)} is banned in this dir: use the annotated "
+             "krad::Mutex/MutexLock/CondVar (util/mutex.hpp) so "
+             "-Wthread-safety can prove the locking")
+
+
+def layering_dot():
+    """The ALLOWED_INCLUDES table as a Graphviz digraph (transitively
+    reduced: an edge is drawn only when no longer allowed path implies it),
+    for embedding in docs/ARCHITECTURE.md."""
+    lines = ["digraph krad_layering {",
+             "  rankdir=BT;  // dependencies point downward on the page",
+             "  node [shape=box, fontname=\"monospace\"];"]
+    for sub in ALLOWED_INCLUDES:
+        lines.append(f"  {sub};")
+    for sub, allowed in ALLOWED_INCLUDES.items():
+        for dep in allowed:
+            # Skip edges implied transitively through another dependency.
+            if any(dep in ALLOWED_INCLUDES[mid] for mid in allowed
+                   if mid != dep):
+                continue
+            lines.append(f"  {sub} -> {dep};")
+    lines.append("}")
+    return "\n".join(lines)
 
 
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
@@ -337,7 +498,7 @@ def check_header_hygiene(path, raw_lines, project_headers):
              "headers must open with #pragma once")
     for i, line in enumerate(code_lines):
         if USING_NAMESPACE_RE.search(line) and not suppressed(
-                raw_lines, i, "krad-header-using-namespace"):
+                path, raw_lines, i, "krad-header-using-namespace"):
             fail(path, i + 1, "krad-header-using-namespace",
                  "`using namespace` leaks into every includer")
 
@@ -348,7 +509,7 @@ def check_include_style(path, raw_lines, project_headers):
         if m is None or m.group(1) == '"':
             continue
         if m.group(2) in project_headers and not suppressed(
-                raw_lines, i, "krad-header-include-style"):
+                path, raw_lines, i, "krad-header-include-style"):
             fail(path, i + 1, "krad-header-include-style",
                  f'project header {m.group(2)} must be included with ""')
 
@@ -357,13 +518,14 @@ def check_format_lite(path, raw_lines, raw_text):
     for i, line in enumerate(raw_lines):
         no = i + 1
         body = line.rstrip("\n")
-        if "\t" in body and not suppressed(raw_lines, i, "krad-format-tabs"):
+        if "\t" in body and not suppressed(path, raw_lines, i,
+                                           "krad-format-tabs"):
             fail(path, no, "krad-format-tabs", "hard tab")
         if body.endswith("\r"):
             fail(path, no, "krad-format-crlf", "CRLF line ending")
             body = body[:-1]
         if body != body.rstrip() and not suppressed(
-                raw_lines, i, "krad-format-trailing-ws"):
+                path, raw_lines, i, "krad-format-trailing-ws"):
             fail(path, no, "krad-format-trailing-ws", "trailing whitespace")
     if raw_text and (not raw_text.endswith("\n") or raw_text.endswith("\n\n")):
         fail(path, len(raw_lines), "krad-format-final-newline",
@@ -404,10 +566,16 @@ def main():
                         .parent, help="repo root to scan (default: repo)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print every rule id and exit")
+    parser.add_argument("--layering-dot", action="store_true",
+                        help="print the include-layering DAG as Graphviz "
+                        "dot (the docs/ARCHITECTURE.md diagram) and exit")
     args = parser.parse_args()
     if args.list_rules:
         for rule, description in RULES.items():
             print(f"{rule:32} {description}")
+        return 0
+    if args.layering_dot:
+        print(layering_dot())
         return 0
 
     root = args.root.resolve()
@@ -421,13 +589,19 @@ def main():
         for p in files if p.suffix == ".hpp" and (root / "src") in p.parents
     }
 
+    nolint_sites = []
     for path in files:
         raw_text = read_text_raw(path)
         raw_lines = raw_text.splitlines(keepends=True)
         rel = path.relative_to(root)
-        if any(rel.as_posix().startswith(d) for d in DETERMINISM_DIRS):
+        rel_posix = rel.as_posix()
+        nolint_sites.extend(check_nolint_sites(rel, raw_lines))
+        if any(rel_posix.startswith(d) for d in DETERMINISM_DIRS):
             check_determinism(rel, raw_lines)
-            check_svc_layering(rel, raw_lines)
+        if rel_posix.startswith("src/") and len(rel.parts) > 2:
+            check_layering_dag(rel, raw_lines)
+        if any(rel_posix.startswith(d) for d in MUTEX_RAW_DIRS):
+            check_mutex_raw(rel, raw_lines)
         if path.suffix in (".hpp", ".h"):
             check_header_hygiene(rel, raw_lines, project_headers)
         check_include_style(rel, raw_lines, project_headers)
@@ -435,6 +609,16 @@ def main():
         check_format_lite(rel, raw_lines, raw_text)
 
     check_metric_catalog(root, files)
+
+    # Stale-suppression pass: every named krad-* NOLINT site must have
+    # silenced a real finding in this run, else it is dead weight hiding
+    # nothing — report it so suppressions cannot accumulate.
+    for site_path, no, rule in sorted(set(nolint_sites)):
+        if (site_path, no, rule) in USED_SUPPRESSIONS:
+            continue
+        fail(Path(site_path), no, "krad-nolint-unused",
+             f"NOLINT({rule}) suppresses nothing here; the rule no longer "
+             "fires on this line — delete the suppression")
 
     if FAILURES:
         print(f"\n[FAIL] krad_lint: {len(FAILURES)} violation(s)")
