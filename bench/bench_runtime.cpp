@@ -10,12 +10,24 @@
 //
 // A virtual-clock run (quantum = 0) anchors the curve: it is the fastest the
 // executor can go, bounded only by task execution and barrier cost.
+//
+// The second half is the backend faceoff (docs/RUNTIME.md "The steal
+// backend"): the same high-fan-out workload driven through the per-category
+// WorkerPool backend and the work-stealing backend, empty closures so the
+// measured ns/task is pure dispatch machinery.  Rows land in
+// BENCH_runtime.json; the committed baseline floors the steal-vs-pool
+// speedup on the largest configuration (min_speedup_steal_vs_pool,
+// tools/bench_compare.py), which is how CI catches a steal-path regression
+// without flaking on host jitter.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "common.hpp"
 #include "dag/builders.hpp"
@@ -36,6 +48,59 @@ void spin_task() {
     h ^= h << 17;
   }
   g_sink.fetch_add(h, std::memory_order_relaxed);
+}
+
+/// One faceoff configuration: `jobs` DAGs of `layers` x `width` vertices
+/// with empty closures, so every measured nanosecond is backend overhead.
+struct FaceoffConfig {
+  const char* label;
+  int jobs;
+  std::size_t layers;
+  std::size_t width;
+  std::size_t tasks() const {
+    return static_cast<std::size_t>(jobs) * layers * width;
+  }
+};
+
+Executor build_faceoff(const FaceoffConfig& config, ExecutorBackend backend) {
+  ExecutorOptions options;
+  options.record_trace = false;
+  options.backend = backend;
+  Executor executor(MachineConfig{{16, 16}}, options);
+  Rng rng(7);  // same seed per backend: identical DAGs, identical schedule
+  for (int i = 0; i < config.jobs; ++i) {
+    LayeredParams params;
+    params.layers = config.layers;
+    params.min_width = config.width;
+    params.max_width = config.width;
+    params.num_categories = 2;
+    auto job = std::make_unique<RuntimeJob>(layered_random(params, rng),
+                                            "faceoff-" + std::to_string(i));
+    job->set_all_tasks([] {});
+    executor.submit(std::move(job), /*release=*/0);
+  }
+  return executor;
+}
+
+/// Best-of-`reps` wall seconds for one backend (fresh executor per rep —
+/// a run is single-shot).  Returns {min wall seconds, makespan}.
+std::pair<double, Time> run_faceoff(const FaceoffConfig& config,
+                                    ExecutorBackend backend, int reps) {
+  using krad::bench::check;
+  double best = 0.0;
+  Time makespan = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Executor executor = build_faceoff(config, backend);
+    KRad scheduler;
+    const RuntimeResult r = executor.run(scheduler);
+    Work executed = 0;
+    for (const Work w : r.executed_work) executed += w;
+    check(static_cast<std::size_t>(executed) == config.tasks(),
+          std::string(config.label) + ": all tasks executed");
+    if (rep == 0 || r.wall_seconds < best) best = r.wall_seconds;
+    makespan = r.makespan;
+  }
+  return {best, makespan};
 }
 
 Executor build_workload(ExecutorOptions options) {
@@ -133,5 +198,52 @@ int main() {
   std::cout << "\nreading the curve: overhead_% = mean allot() time / quantum "
                "budget; pick the\nshortest quantum whose overhead share is "
                "acceptable — longer only adds staleness.\n";
+
+  // ---- backend faceoff: WorkerPool vs work-stealing, empty closures ----
+  const bool smoke = krad::bench::smoke_mode();
+  print_banner(std::cout, "backend faceoff: per-category pools vs work stealing");
+  Table faceoff({"config", "tasks", "pool_ns/task", "steal_ns/task",
+                 "steal_speedup"});
+  krad::bench::JsonReport report("bench_runtime");
+  const std::vector<FaceoffConfig> configs =
+      smoke ? std::vector<FaceoffConfig>{{"faceoff_large", 1, 10, 128}}
+            : std::vector<FaceoffConfig>{{"faceoff_small", 2, 25, 160},
+                                         {"faceoff_large", 4, 100, 320}};
+  const int reps = smoke ? 1 : 3;
+  for (const FaceoffConfig& config : configs) {
+    // Interleaving would not help here: each backend's best-of-reps already
+    // discards one-off noise, and a fresh executor per rep resets all state.
+    const auto [pool_wall, pool_makespan] =
+        run_faceoff(config, ExecutorBackend::kPool, reps);
+    const auto [steal_wall, steal_makespan] =
+        run_faceoff(config, ExecutorBackend::kSteal, reps);
+    check(pool_makespan == steal_makespan,
+          std::string(config.label) +
+              ": virtual-clock makespan identical across backends (pool " +
+              std::to_string(pool_makespan) + ", steal " +
+              std::to_string(steal_makespan) + ")");
+    const double tasks = static_cast<double>(config.tasks());
+    const double pool_ns = pool_wall * 1e9 / tasks;
+    const double steal_ns = steal_wall * 1e9 / tasks;
+    const double speedup = steal_wall > 0.0 ? pool_wall / steal_wall : 0.0;
+    faceoff.row()
+        .cell(config.label)
+        .cell(static_cast<std::int64_t>(config.tasks()))
+        .cell(pool_ns, 1)
+        .cell(steal_ns, 1)
+        .cell(speedup, 3);
+    report.begin_row(config.label);
+    report.add("tasks", static_cast<long long>(config.tasks()));
+    report.add("pool_ns_per_task", pool_ns);
+    report.add("steal_ns_per_task", steal_ns);
+    report.add("speedup_steal_vs_pool", speedup);
+    report.add("makespan", static_cast<long long>(pool_makespan));
+  }
+  faceoff.print(std::cout);
+  std::cout << "\nthe committed floor lives in bench/baselines/"
+               "BENCH_runtime.json (min_speedup_steal_vs_pool):\nthe gate "
+               "catches a steal-path regression, not host jitter — the "
+               "measured\nvalues above are informational.\n";
+  report.write("BENCH_runtime.json");
   return krad::bench::finish("bench_runtime");
 }

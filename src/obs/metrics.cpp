@@ -92,6 +92,7 @@ std::string labels_prom(const Labels& labels, const std::string& extra = {}) {
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end()))
     throw std::logic_error("Histogram: bucket bounds must be ascending");
+  // NOLINTNEXTLINE(krad-mutex-raw) - allocates the protocol cells (metrics.hpp)
   buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
 }

@@ -57,7 +57,9 @@ class Counter {
   }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  // Protocol: relaxed monotonic counter; scrapes tolerate torn totals
+  // across metrics, each single value is atomic.
+  std::atomic<std::int64_t> value_{0};  // NOLINT(krad-mutex-raw)
 };
 
 /// Instantaneous value.  set() is one relaxed store; add() is a CAS loop
@@ -78,7 +80,8 @@ class Gauge {
   }
 
  private:
-  std::atomic<double> value_{0.0};
+  // Protocol: relaxed last-writer-wins cell (one writer per gauge).
+  std::atomic<double> value_{0.0};  // NOLINT(krad-mutex-raw)
 };
 
 /// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
@@ -114,9 +117,11 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
-  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds_.size()+1
-  std::atomic<std::int64_t> count_{0};
-  std::atomic<double> sum_{0.0};
+  // Protocol: relaxed per-bucket counters sized bounds_.size()+1; scrapes
+  // accept cross-bucket tears, per-cell updates are atomic.
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // NOLINT(krad-mutex-raw)
+  std::atomic<std::int64_t> count_{0};  // NOLINT(krad-mutex-raw)
+  std::atomic<double> sum_{0.0};        // NOLINT(krad-mutex-raw)
 };
 
 /// Single-writer batch aggregator for a Histogram.  observe() updates plain

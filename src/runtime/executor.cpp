@@ -1,10 +1,13 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "fault/injector.hpp"
+#include "runtime/steal_pool.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace krad {
@@ -28,10 +31,16 @@ struct RtObs {
   obs::Counter* failed_attempts = nullptr;
   obs::Counter* retries = nullptr;
   obs::Counter* timeouts = nullptr;
+  // Steal-backend counters (zero under kPool / inline execution).
+  obs::Counter* steal_tasks = nullptr;
+  obs::Counter* steal_failed = nullptr;
+  obs::Counter* steal_parks = nullptr;
+  obs::Counter* steal_wakes = nullptr;
   std::vector<obs::Counter*> allotted;    // per category
   std::vector<obs::Counter*> executed;    // per category
   std::vector<obs::Gauge*> queue_depth;   // per category pool
   std::vector<obs::Counter*> pool_tasks;  // per category pool
+  std::vector<obs::Counter*> pool_wakes;  // per category pool
   std::vector<obs::Gauge*> capacity;      // per category, effective
 
   bool metrics_on = false;
@@ -61,6 +70,14 @@ struct RtObs {
                             "failed attempts re-queued under the policy");
     timeouts = &reg->counter("krad_rt_timeouts_total", {},
                              "failed attempts caused by the task deadline");
+    steal_tasks = &reg->counter("krad_rt_steal_tasks_total", {},
+                                "tasks stolen from sibling worker deques");
+    steal_failed = &reg->counter("krad_rt_steal_failed_total", {},
+                                 "steal attempts that lost the claiming race");
+    steal_parks = &reg->counter("krad_rt_steal_parks_total", {},
+                                "steal workers that parked after spinning");
+    steal_wakes = &reg->counter("krad_rt_steal_wakes_total", {},
+                                "notifies issued to parked steal workers");
     const auto k = static_cast<Category>(machine.categories());
     for (Category a = 0; a < k; ++a) {
       const obs::Labels labels{{"cat", std::to_string(a)}};
@@ -73,6 +90,8 @@ struct RtObs {
           "queued + in-flight tasks in the category pool"));
       pool_tasks.push_back(&reg->counter("krad_rt_pool_tasks_total", labels,
                                          "closures executed by the pool"));
+      pool_wakes.push_back(&reg->counter("krad_rt_pool_wakes_total", labels,
+                                         "worker wakeups issued by submit"));
       capacity.push_back(&reg->gauge("krad_rt_capacity", labels,
                                      "effective processors"));
       capacity.back()->set(machine.processors[a]);
@@ -271,8 +290,19 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   if (degrading) observer.init_capacity(effective);
   const RetryPolicy& retry = options_.retry;
 
+  const bool use_steal = !options_.inline_execution &&
+                         options_.backend == ExecutorBackend::kSteal;
   std::vector<std::unique_ptr<WorkerPool>> pools;
-  if (!options_.inline_execution) {
+  std::unique_ptr<StealPool> steal;
+  if (use_steal) {
+    std::vector<int> workers_per_category(k);
+    for (Category a = 0; a < k; ++a)
+      workers_per_category[a] =
+          options_.threads_per_category != 0
+              ? static_cast<int>(options_.threads_per_category)
+              : machine_.processors[a];
+    steal = std::make_unique<StealPool>(workers_per_category);
+  } else if (!options_.inline_execution) {
     pools.reserve(k);
     for (Category a = 0; a < k; ++a) {
       const std::size_t threads =
@@ -282,7 +312,8 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
       pools.push_back(
           std::make_unique<WorkerPool>(threads, "cat" + std::to_string(a)));
       if (ro.metrics_on)
-        pools.back()->bind_metrics(ro.queue_depth[a], ro.pool_tasks[a]);
+        pools.back()->bind_metrics(ro.queue_depth[a], ro.pool_tasks[a],
+                                   ro.pool_wakes[a]);
     }
   }
 
@@ -327,6 +358,67 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
   std::vector<AttemptFailure> failures;
   Mutex failures_mu;
   std::optional<TaskFailedError> fatal;
+
+  // Steal-backend dispatch state.  steal_vt carries the current virtual
+  // quantum to worker-side trace spans: the executor's store is sequenced
+  // before the batch enqueue, whose mutex/atomic chain synchronizes-with
+  // the worker's take, so relaxed suffices and TSan agrees.
+  std::atomic<std::int64_t> steal_vt{0};  // NOLINT(krad-mutex-raw)
+  std::vector<std::uint64_t> tag_batch;
+  std::vector<VertexId> batch_vertices;
+  if (use_steal) {
+    steal->set_runner([this, &failures, &failures_mu, &steal_vt, fault_mode,
+                       tr = ro.trace, deadline = options_.task_deadline,
+                       run_token = options_.cancellation](const TaskTag& tag) {
+      RuntimeJob* job = jobs_[tag.job].get();
+      if (!fault_mode) {
+        if (tr != nullptr) {
+          const double start = tr->now_us();
+          job->run_closure(tag.vertex, CancellationToken{});
+          tr->complete("task", "rt", start, tr->now_us() - start,
+                       {{"vt", static_cast<double>(
+                                   steal_vt.load(std::memory_order_relaxed))},
+                        {"job", static_cast<double>(tag.job)},
+                        {"vertex", static_cast<double>(tag.vertex)}});
+        } else {
+          job->run_closure(tag.vertex, CancellationToken{});
+        }
+        return;
+      }
+      // Fault mode: mirror the WorkerPool attempt body.  tag.seq indexes
+      // the quantum's pending-attempt vector; outcomes are resolved on the
+      // executor thread after the barrier.
+      const double span_start = tr != nullptr ? tr->now_us() : 0.0;
+      const auto start = SteadyClock::now();
+      CancellationToken token = run_token;
+      if (deadline) token = token.with_deadline(start + *deadline);
+      bool failed = false;
+      FaultKind kind = FaultKind::kTaskFailure;
+      try {
+        job->run_closure(tag.vertex, token);
+        if (deadline && SteadyClock::now() - start > *deadline) {
+          failed = true;
+          kind = FaultKind::kTaskTimeout;
+        }
+      } catch (...) {
+        failed = true;
+      }
+      if (tr != nullptr)
+        tr->complete("task", "rt", span_start, tr->now_us() - span_start,
+                     {{"vt", static_cast<double>(
+                                 steal_vt.load(std::memory_order_relaxed))},
+                      {"job", static_cast<double>(tag.job)},
+                      {"vertex", static_cast<double>(tag.vertex)},
+                      {"failed", failed ? 1.0 : 0.0}});
+      if (failed) {
+        MutexLock lock(failures_mu);
+        failures.emplace_back(static_cast<std::size_t>(tag.seq), kind);
+      }
+    });
+  }
+  // Previous flush points for the per-quantum steal-counter deltas.
+  std::uint64_t prev_steals = 0, prev_steal_failed = 0, prev_steal_parks = 0,
+                prev_steal_wakes = 0;
 
   QuantumClock clock(options_.clock, options_.quantum_length);
   clock.start();
@@ -425,6 +517,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
       }
     }
     std::sort(active.begin(), active.end());
+    if (use_steal) steal_vt.store(t, std::memory_order_relaxed);
     const auto quantum_begin = SteadyClock::now();
     observer.begin_quantum(t);
 
@@ -527,29 +620,53 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         RuntimeJob* job = jobs_[id].get();
         for (Category a = 0; a < k; ++a) {
           const Work admit = std::min(allot[j][a], views[j].desire[a]);
-          for (Work i = 0; i < admit; ++i) {
-            const VertexId v = job->pop_ready(a);
-            observer.record_admission(id, a, v);
-            if (ro.trace != nullptr) {
-              // Tracing wraps the closure in a span; the fast path below
-              // stays allocation- and branch-free per attempt.
-              auto body = [job, v, id, tr = ro.trace,
-                           vt = static_cast<double>(t)] {
-                const double start = tr->now_us();
-                job->run_task(v);
-                tr->complete("task", "rt", start, tr->now_us() - start,
-                             {{"vt", vt},
-                              {"job", static_cast<double>(id)},
-                              {"vertex", static_cast<double>(v)}});
-              };
-              if (options_.inline_execution)
-                body();
-              else
-                pools[a]->submit(std::move(body));
-            } else if (options_.inline_execution) {
-              job->run_task(v);
-            } else {
-              pools[a]->submit([job, v] { job->run_task(v); });
+          if (use_steal) {
+            // One injection-FIFO push per (job, category): tasks travel as
+            // packed tags, successor release stays here in admission order
+            // (the determinism contract in runtime_job.hpp).
+            tag_batch.clear();
+            batch_vertices.clear();
+            for (Work i = 0; i < admit; ++i) {
+              const VertexId v = job->pop_ready(a);
+              observer.record_admission(id, a, v);
+              tag_batch.push_back(TaskTag{id, v, 0, a}.encode());
+              batch_vertices.push_back(v);
+            }
+            if (!tag_batch.empty()) {
+              steal->submit_batch(a, tag_batch.data(), tag_batch.size());
+              for (const VertexId v : batch_vertices)
+                job->release_successors(v);
+            }
+          } else {
+            for (Work i = 0; i < admit; ++i) {
+              const VertexId v = job->pop_ready(a);
+              observer.record_admission(id, a, v);
+              if (ro.trace != nullptr) {
+                // Tracing wraps the closure in a span; the fast path below
+                // stays allocation- and branch-free per attempt.
+                auto body = [job, v, id, tr = ro.trace,
+                             vt = static_cast<double>(t)] {
+                  const double start = tr->now_us();
+                  job->run_closure(v, CancellationToken{});
+                  tr->complete("task", "rt", start, tr->now_us() - start,
+                               {{"vt", vt},
+                                {"job", static_cast<double>(id)},
+                                {"vertex", static_cast<double>(v)}});
+                };
+                if (options_.inline_execution)
+                  body();
+                else
+                  pools[a]->submit(std::move(body));
+              } else if (options_.inline_execution) {
+                job->run_closure(v, CancellationToken{});
+              } else {
+                pools[a]->submit(
+                    [job, v] { job->run_closure(v, CancellationToken{}); });
+              }
+              // Executor-side release in admission order; for inline mode
+              // this is sequenced after the closure, so a throwing task
+              // skips it exactly like the old run_task did.
+              job->release_successors(v);
             }
           }
           result.executed_work[a] += admit;
@@ -609,6 +726,15 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
             }
             const std::size_t seq = attempts.size();
             attempts.emplace_back(id, job, v, a, attempt, proc);
+            if (use_steal) {
+              // tag.seq routes the worker-side outcome back to this
+              // attempt; encode() throws if a quantum somehow admits more
+              // than 2^16 attempts (machines here are orders smaller).
+              const std::uint64_t packed =
+                  TaskTag{id, v, static_cast<std::uint32_t>(seq), a}.encode();
+              steal->submit_batch(a, &packed, 1);
+              continue;
+            }
             auto body = [job, v, seq, &failures, &failures_mu,
                          deadline = options_.task_deadline,
                          run_token = options_.cancellation, tr = ro.trace,
@@ -635,9 +761,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
                               {"job", static_cast<double>(jid)},
                               {"vertex", static_cast<double>(v)},
                               {"failed", failed ? 1.0 : 0.0}});
-              if (!failed) {
-                job->release_successors(v);
-              } else {
+              if (failed) {
                 MutexLock lock(failures_mu);
                 failures.emplace_back(seq, kind);
               }
@@ -652,13 +776,16 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
     }
     // Quantum barrier: every admitted task completes before desires are
     // recomputed, so a quantum behaves like one synchronous unit step.
-    if (!options_.inline_execution)
+    if (use_steal)
+      steal->wait_idle();
+    else if (!options_.inline_execution)
       for (auto& pool : pools) pool->wait_idle();
     const auto barrier_end = SteadyClock::now();
     if (fatal) throw *fatal;
 
     if (fault_mode) {
-      // Resolve dispatched attempts in admission order: successes become
+      // Resolve dispatched attempts in admission order: successes release
+      // their successors (executor-side, deterministic) and become
       // TaskEvents on their reserved slots, failures go through the retry
       // policy exactly like injected ones.
       std::sort(failures.begin(), failures.end(),
@@ -671,6 +798,7 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
         const bool failed = next_failure < failures.size() &&
                             failures[next_failure].seq == seq;
         if (!failed) {
+          pa.job->release_successors(pa.vertex);
           observer.record_task(pa.id, pa.category, pa.vertex, pa.proc);
           ++result.executed_work[pa.category];
           if (ro.metrics_on) ro.executed[pa.category]->inc();
@@ -779,6 +907,22 @@ RuntimeResult Executor::run(KScheduler& scheduler) {
       prev_failed = result.failed_attempts;
       prev_retries = result.retries;
       prev_timeouts = result.timeouts;
+      if (use_steal) {
+        // Flush the pool's lifetime counters as per-quantum deltas, on the
+        // executor thread (the counters themselves are relaxed atomics).
+        const std::uint64_t s = steal->steals();
+        const std::uint64_t f = steal->failed_steals();
+        const std::uint64_t p = steal->parks();
+        const std::uint64_t w = steal->wakes();
+        ro.steal_tasks->inc(static_cast<std::int64_t>(s - prev_steals));
+        ro.steal_failed->inc(static_cast<std::int64_t>(f - prev_steal_failed));
+        ro.steal_parks->inc(static_cast<std::int64_t>(p - prev_steal_parks));
+        ro.steal_wakes->inc(static_cast<std::int64_t>(w - prev_steal_wakes));
+        prev_steals = s;
+        prev_steal_failed = f;
+        prev_steal_parks = p;
+        prev_steal_wakes = w;
+      }
     }
     if (ro.trace != nullptr) {
       const double dur_us = static_cast<double>(quantum_ns) / 1000.0;

@@ -52,6 +52,17 @@ struct LiveCompletion {
   Time response = 0;    ///< completion - release, in quanta (0 if never run)
 };
 
+/// Threaded execution backend (docs/RUNTIME.md "Execution backends").
+enum class ExecutorBackend {
+  /// One WorkerPool (shared FIFO + condvar) per resource category.
+  kPool,
+  /// One StealPool for the whole machine: per-worker Chase-Lev deques with
+  /// category-tagged tasks, steal-half batching, spin-then-park idling.
+  /// Workers only ever pop/steal tasks of the category they serve, so
+  /// functional heterogeneity is preserved under stealing.
+  kSteal,
+};
+
 struct ExecutorOptions {
   ClockMode clock = ClockMode::kVirtual;
   /// Minimum quantum duration in wall mode (ignored in virtual mode).
@@ -65,6 +76,11 @@ struct ExecutorOptions {
   /// Worker threads per category pool; 0 = P_alpha (one thread per
   /// modelled processor, the faithful configuration).
   unsigned threads_per_category = 0;
+  /// Threaded backend selection; ignored under inline_execution.  Both
+  /// backends are deterministic for virtual-clock runs: successor release
+  /// and trace recording happen on the executor thread in admission order,
+  /// so worker completion order is invisible.
+  ExecutorBackend backend = ExecutorBackend::kPool;
   /// When set, wrap the scheduler in FeedbackScheduler: desires presented
   /// to it are A-GREEDY-style requests instead of true ready counts.
   std::optional<FeedbackParams> feedback;

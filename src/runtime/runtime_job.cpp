@@ -15,10 +15,9 @@ RuntimeJob::RuntimeJob(KDag dag, std::string name)
   for (Category a = 0; a < dag_.num_categories(); ++a)
     remaining_work_[a] = dag_.work(a);
   ready_cp_count_.assign(static_cast<std::size_t>(dag_.span()) + 1, 0);
-  pending_in_degree_ = std::vector<std::atomic<std::uint32_t>>(dag_.num_vertices());
+  pending_in_degree_.resize(dag_.num_vertices());
   for (VertexId v = 0; v < dag_.num_vertices(); ++v)
-    pending_in_degree_[v].store(static_cast<std::uint32_t>(dag_.in_degree(v)),
-                                std::memory_order_relaxed);
+    pending_in_degree_[v] = static_cast<std::uint32_t>(dag_.in_degree(v));
   // Sources become ready in vertex-id order, matching DagJob::reset.
   for (VertexId v = 0; v < dag_.num_vertices(); ++v)
     if (dag_.in_degree(v) == 0) make_ready(v);
@@ -79,10 +78,7 @@ void RuntimeJob::abandon(JobOutcome outcome) {
   outcome_ = outcome;
   for (auto& queue : ready_) queue.clear();
   cooling_.clear();
-  {
-    MutexLock lock(enabled_mu_);
-    newly_enabled_.clear();
-  }
+  newly_enabled_.clear();
   remaining_work_.assign(dag_.num_categories(), 0);
   ready_cp_count_.assign(ready_cp_count_.size(), 0);
   remaining_span_cache_ = 0;
@@ -93,15 +89,12 @@ void RuntimeJob::run_closure(VertexId v, const CancellationToken& token) {
 }
 
 void RuntimeJob::release_successors(VertexId v) {
-  // acq_rel: the decrement that reaches zero must observe all predecessors'
-  // closure effects, and the executor's promote (after the quantum barrier)
-  // must observe the push.
-  for (VertexId succ : dag_.successors(v)) {
-    if (pending_in_degree_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      MutexLock lock(enabled_mu_);
-      newly_enabled_.push_back(succ);
-    }
-  }
+  // Executor thread only (header contract), so plain arithmetic suffices;
+  // after an abandon the in-degree table is stale by design, so late
+  // releases of already-dispatched vertices must not resurrect work.
+  if (abandoned_) return;
+  for (VertexId succ : dag_.successors(v))
+    if (--pending_in_degree_[succ] == 0) newly_enabled_.push_back(succ);
 }
 
 void RuntimeJob::run_task(VertexId v) {
@@ -111,11 +104,8 @@ void RuntimeJob::run_task(VertexId v) {
 
 void RuntimeJob::promote_enabled() {
   ++promotes_;
-  {
-    MutexLock lock(enabled_mu_);
-    for (VertexId v : newly_enabled_) make_ready(v);
-    newly_enabled_.clear();
-  }
+  for (VertexId v : newly_enabled_) make_ready(v);
+  newly_enabled_.clear();
   // Then retries whose backoff expired, preserving failure order — the same
   // promotion order as FaultyDagJob::advance.
   std::size_t kept = 0;

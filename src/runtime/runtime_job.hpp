@@ -17,14 +17,18 @@
 // outcome.  Closures may be cancellation-aware: the executor passes a token
 // carrying the run-abort flag and the per-attempt deadline.
 //
-// Thread-safety contract: ready queues, desires, admission, retry and
-// abandonment methods are touched only by the executor thread.  Worker
-// threads call only run_closure() / release_successors(); vertices that hit
-// in-degree zero are buffered under a mutex and promoted to ready by the
-// executor at the quantum barrier (promote_enabled), exactly like the
-// simulator's end-of-step advance().
+// Thread-safety contract: worker threads call ONLY run_closure(), which
+// touches nothing but the vertex's immutable closure.  Everything else —
+// ready queues, desires, admission, retry, abandonment, and successor
+// release — belongs to the executor thread.  The executor releases each
+// admitted vertex's successors itself, in admission order, right after
+// dispatching the closure: successors only become ready at the quantum
+// barrier (promote_enabled), after every dispatched closure completed, so
+// the early release is invisible — and because the release order no longer
+// depends on worker completion order, threaded virtual-clock runs are
+// bit-identical to sim::simulate under both the pool and steal backends
+// (tests/test_runtime_determinism.cpp).
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -34,8 +38,6 @@
 #include "dag/kdag.hpp"
 #include "fault/cancellation.hpp"
 #include "jobs/job.hpp"
-#include "util/mutex.hpp"
-#include "util/thread_annotations.hpp"
 
 namespace krad {
 
@@ -95,11 +97,17 @@ class RuntimeJob {
 
   /// Run vertex v's closure with the given cancellation token.  Does NOT
   /// release successors; safe to call concurrently for distinct vertices.
+  /// The ONLY method worker threads may call.
   void run_closure(VertexId v, const CancellationToken& token);
-  /// Release v's successors via atomic in-degree decrement.  Call exactly
-  /// once per vertex, only after its closure succeeded.
+
+  // --- executor-thread dispatch helpers --------------------------------
+
+  /// Decrement v's successors' in-degrees, buffering those that hit zero
+  /// for the next promote_enabled().  Executor thread only, exactly once
+  /// per admitted vertex, in admission order (the determinism contract in
+  /// the header comment).  No-op after abandon().
   void release_successors(VertexId v);
-  /// run_closure + release_successors — the fault-free fast path.
+  /// run_closure + release_successors — the inline-execution fast path.
   void run_task(VertexId v);
 
   const KDag& dag() const noexcept { return dag_; }
@@ -128,11 +136,8 @@ class RuntimeJob {
   Time promotes_ = 0;
   JobOutcome outcome_ = JobOutcome::kCompleted;
   bool abandoned_ = false;
-
-  // Worker-shared state.
-  std::vector<std::atomic<std::uint32_t>> pending_in_degree_;
-  Mutex enabled_mu_;
-  std::vector<VertexId> newly_enabled_ KRAD_GUARDED_BY(enabled_mu_);
+  std::vector<std::uint32_t> pending_in_degree_;
+  std::vector<VertexId> newly_enabled_;  // in release order, per quantum
 };
 
 }  // namespace krad

@@ -1,0 +1,132 @@
+#include "runtime/steal_queue.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace krad {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap *= 2;
+  return cap;
+}
+
+void check_field(std::uint64_t value, std::uint64_t max, const char* name) {
+  if (value > max)
+    throw std::logic_error(std::string("TaskTag: ") + name + " " +
+                           std::to_string(value) + " exceeds packed budget " +
+                           std::to_string(max));
+}
+
+}  // namespace
+
+std::uint64_t TaskTag::encode() const {
+  check_field(job, kMaxJob, "job");
+  check_field(vertex, kMaxVertex, "vertex");
+  check_field(seq, kMaxSeq, "seq");
+  check_field(category, kMaxCategory, "category");
+  return (static_cast<std::uint64_t>(job) << 44) |
+         (static_cast<std::uint64_t>(vertex) << 20) |
+         (static_cast<std::uint64_t>(seq) << 4) |
+         static_cast<std::uint64_t>(category);
+}
+
+TaskTag TaskTag::decode(std::uint64_t packed) noexcept {
+  TaskTag tag;
+  tag.job = static_cast<JobId>((packed >> 44) & kMaxJob);
+  tag.vertex = static_cast<VertexId>((packed >> 20) & kMaxVertex);
+  tag.seq = static_cast<std::uint32_t>((packed >> 4) & kMaxSeq);
+  tag.category = static_cast<Category>(packed & kMaxCategory);
+  return tag;
+}
+
+StealQueue::StealQueue(std::size_t capacity)
+    : live_(std::make_unique<Buffer>(round_up_pow2(capacity))) {
+  buffer_.store(live_.get(), std::memory_order_release);
+}
+
+std::size_t StealQueue::capacity() const noexcept {
+  return buffer_.load(std::memory_order_acquire)->mask + 1;
+}
+
+std::size_t StealQueue::size_estimate() const noexcept {
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  const std::int64_t t = top_.load(std::memory_order_seq_cst);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+void StealQueue::grow(std::int64_t top, std::int64_t bottom) {
+  Buffer* old = live_.get();
+  auto grown = std::make_unique<Buffer>(2 * (old->mask + 1));
+  for (std::int64_t i = top; i < bottom; ++i)
+    grown->slots[static_cast<std::uint64_t>(i) & grown->mask].store(
+        old->slots[static_cast<std::uint64_t>(i) & old->mask].load(
+            std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  // Publish, then retire (never free) the old buffer: a thief that loaded
+  // the stale pointer reads a stale-but-identical copy of any index it can
+  // still claim — see the protocol header in steal_queue.hpp.
+  buffer_.store(grown.get(), std::memory_order_release);
+  retired_.push_back(std::move(live_));
+  live_ = std::move(grown);
+}
+
+void StealQueue::push_bottom(std::uint64_t tag) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = live_.get();
+  if (b - t >= static_cast<std::int64_t>(buf->mask + 1)) {
+    grow(t, b);
+    buf = live_.get();
+  }
+  buf->slots[static_cast<std::uint64_t>(b) & buf->mask].store(
+      tag, std::memory_order_relaxed);
+  // seq_cst publication of the slot write (protocol header: release would
+  // suffice here; one uniform ordering for the whole deque).
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+std::optional<std::uint64_t> StealQueue::pop_bottom() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = live_.get();
+  // seq_cst store/load pair: globally ordered against a thief's top-then-
+  // bottom loads so the last element cannot be taken twice.
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {
+    // Already empty: undo the reservation.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return std::nullopt;
+  }
+  const std::uint64_t tag =
+      buf->slots[static_cast<std::uint64_t>(b) & buf->mask].load(
+          std::memory_order_relaxed);
+  if (t < b) return tag;  // more than one element: no race possible
+  // Last element: race the thieves via the claiming CAS on top_.
+  const bool won = top_.compare_exchange_strong(
+      t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+  if (won) return tag;
+  return std::nullopt;
+}
+
+StealQueue::StealResult StealQueue::steal_top(std::uint64_t& out) {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return StealResult::kEmpty;
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  // Read before the claiming CAS: discarded on failure, proven ours on
+  // success (protocol header in steal_queue.hpp).
+  const std::uint64_t tag =
+      buf->slots[static_cast<std::uint64_t>(t) & buf->mask].load(
+          std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return StealResult::kAborted;
+  out = tag;
+  return StealResult::kStolen;
+}
+
+}  // namespace krad

@@ -1,0 +1,126 @@
+#pragma once
+// Chase-Lev work-stealing deque over packed 64-bit task tags, plus the tag
+// encoding itself (docs/RUNTIME.md "The steal backend").
+//
+// One StealQueue belongs to one worker thread (the *owner*): only the owner
+// may push_bottom()/pop_bottom() (LIFO).  Any other thread may steal_top()
+// (FIFO), so the oldest — usually largest-subtree — work migrates first.
+// Elements are raw std::uint64_t tags so every slot is a lock-free atomic:
+// a thief may read a slot it then fails to claim, which is only sound for
+// trivially-copyable values it can discard.  TaskTag packs (job, vertex,
+// attempt seq, category) into those 64 bits; encode() range-checks each
+// field and throws on overflow rather than silently truncating.
+//
+// Memory-ordering protocol (documented here once; the implementation sites
+// reference it).  We deviate from the fence-based Le et al. formulation in
+// one deliberate way: top_/bottom_ use seq_cst operations instead of
+// standalone atomic_thread_fence, because ThreadSanitizer does not model
+// fences and the runtime-stress CI job runs this code under TSan.
+//   * push_bottom: slot store may be relaxed; the seq_cst bottom_ store
+//     that follows publishes it to thieves (release would suffice for the
+//     publication edge; seq_cst keeps one protocol for the whole deque).
+//   * pop_bottom: the seq_cst bottom_ store must be globally ordered
+//     before the seq_cst top_ load, so owner and thief cannot both miss
+//     each other and take the same last element.
+//   * steal_top: seq_cst top_ load then seq_cst bottom_ load (same global
+//     order argument, from the thief's side); the slot is read *before*
+//     the claiming CAS — on CAS failure the value is discarded, on success
+//     the slot provably held that value (grow-on-full means the owner
+//     never overwrites an unconsumed index).
+//   * the claiming CAS on top_ is seq_cst; it is the linearisation point
+//     of a successful steal.
+// Slot loads/stores are relaxed: slots are only *interpreted* after a
+// synchronising top_/bottom_ operation proves ownership.
+//
+// Growth: when the ring is full the owner copies live elements into a
+// buffer of twice the capacity and publishes it with a release store; the
+// old buffer is retired (kept until queue destruction), so a thief holding
+// a stale buffer pointer reads a stale-but-identical copy of any index it
+// can still successfully claim — never freed memory.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dag/types.hpp"
+
+namespace krad {
+
+/// One schedulable task attempt, packed into 64 bits so deque slots stay
+/// lock-free atomics: job 20 bits | vertex 24 bits | seq 16 bits |
+/// category 4 bits.  `seq` is the executor's per-quantum admission index
+/// (fault mode resolves outcomes by it); the fast path passes 0.
+struct TaskTag {
+  JobId job = 0;
+  VertexId vertex = 0;
+  std::uint32_t seq = 0;
+  Category category = 0;
+
+  static constexpr std::uint64_t kMaxJob = (1u << 20) - 1;
+  static constexpr std::uint64_t kMaxVertex = (1u << 24) - 1;
+  static constexpr std::uint64_t kMaxSeq = (1u << 16) - 1;
+  static constexpr std::uint64_t kMaxCategory = (1u << 4) - 1;
+
+  /// Throws std::logic_error when a field exceeds its bit budget.
+  std::uint64_t encode() const;
+  static TaskTag decode(std::uint64_t packed) noexcept;
+};
+
+/// Growable single-owner Chase-Lev deque of packed task tags.
+class StealQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2).
+  explicit StealQueue(std::size_t capacity = 256);
+
+  StealQueue(const StealQueue&) = delete;
+  StealQueue& operator=(const StealQueue&) = delete;
+
+  // --- owner-only interface -------------------------------------------
+
+  /// Append at the bottom (the owner's LIFO end).  Grows when full.
+  void push_bottom(std::uint64_t tag);
+  /// Take the most recently pushed element, or nullopt when empty.
+  std::optional<std::uint64_t> pop_bottom();
+
+  // --- any-thread interface -------------------------------------------
+
+  /// Claim the oldest element.  kEmpty: nothing to take; kAborted: lost a
+  /// race (caller may retry or move to the next victim).
+  enum class StealResult { kStolen, kEmpty, kAborted };
+  StealResult steal_top(std::uint64_t& out);
+
+  /// Racy size estimate (exact when called by the owner).
+  std::size_t size_estimate() const noexcept;
+  std::size_t capacity() const noexcept;
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : mask(cap - 1),
+          // Protocol header: slots are atomics only so claimed-then-
+          // discarded thief reads are not data races; they carry no
+          // ordering of their own.
+          slots(new std::atomic<std::uint64_t>[cap]) {  // NOLINT(krad-mutex-raw)
+      for (std::size_t i = 0; i < cap; ++i)
+        slots[i].store(0, std::memory_order_relaxed);
+    }
+    std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;  // NOLINT(krad-mutex-raw)
+  };
+
+  /// Owner-only: double the buffer, copy live indices, publish, retire.
+  void grow(std::int64_t top, std::int64_t bottom);
+
+  // Protocol header at the top of this file: seq_cst counters (TSan models
+  // them; standalone fences it does not), release-published buffer.
+  std::atomic<std::int64_t> top_{0};     // NOLINT(krad-mutex-raw)
+  std::atomic<std::int64_t> bottom_{0};  // NOLINT(krad-mutex-raw)
+  std::atomic<Buffer*> buffer_;          // NOLINT(krad-mutex-raw)
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only
+  std::unique_ptr<Buffer> live_;
+};
+
+}  // namespace krad

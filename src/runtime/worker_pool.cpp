@@ -27,19 +27,30 @@ void WorkerPool::shutdown() {
 }
 
 void WorkerPool::submit(std::function<void()> task) {
+  bool wake = false;
   {
     MutexLock lock(mu_);
     if (stop_) throw std::logic_error("WorkerPool: submit after shutdown");
     queue_.push_back(std::move(task));
     publish_depth_locked();
+    // Wake exactly one worker, and only when one is actually parked: a
+    // spinning-between-tasks worker picks the task up on its own, and a
+    // notify with no waiter is a wasted syscall on the submit path.
+    if (waiting_ > 0) {
+      wake = true;
+      ++wakes_;
+      if (wakes_counter_ != nullptr) wakes_counter_->inc();
+    }
   }
-  cv_work_.notify_one();
+  if (wake) cv_work_.notify_one();
 }
 
-void WorkerPool::bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks) {
+void WorkerPool::bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks,
+                              obs::Counter* wakes) {
   MutexLock lock(mu_);
   depth_gauge_ = queue_depth;
   tasks_counter_ = tasks;
+  wakes_counter_ = wakes;
   publish_depth_locked();
 }
 
@@ -63,10 +74,24 @@ std::size_t WorkerPool::completed() const {
   return completed_;
 }
 
+std::size_t WorkerPool::wakes() const {
+  MutexLock lock(mu_);
+  return wakes_;
+}
+
+std::size_t WorkerPool::waiting() const {
+  MutexLock lock(mu_);
+  return waiting_;
+}
+
 void WorkerPool::worker_loop() {
   MutexLock lock(mu_);
   for (;;) {
-    while (!stop_ && queue_.empty()) cv_work_.wait(lock);
+    while (!stop_ && queue_.empty()) {
+      ++waiting_;
+      cv_work_.wait(lock);
+      --waiting_;
+    }
     if (queue_.empty()) return;  // stop_ and drained
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();

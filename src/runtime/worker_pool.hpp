@@ -51,12 +51,21 @@ class WorkerPool {
 
   /// Tasks executed over the pool's lifetime (diagnostics).
   std::size_t completed() const;
+  /// Worker wakeups issued by submit() over the pool's lifetime.  A submit
+  /// notifies only when a worker is actually waiting (waiter-count gate),
+  /// so wakes() <= tasks submitted — the regression bound test_parallel
+  /// asserts via the krad_rt_pool_wakes_total metric.
+  std::size_t wakes() const;
+  /// Workers currently parked in the condvar (diagnostics/tests).
+  std::size_t waiting() const;
 
   /// Publish pool health: `queue_depth` is set to the number of queued +
   /// in-flight tasks on every transition, `tasks` is incremented per task
-  /// executed.  Either may be null; pass nulls to unbind.  Updates happen
-  /// under the pool mutex, so bind before submitting work.
-  void bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks);
+  /// executed, `wakes` per condvar notify issued by submit().  Any may be
+  /// null; pass nulls to unbind.  Updates happen under the pool mutex, so
+  /// bind before submitting work.
+  void bind_metrics(obs::Gauge* queue_depth, obs::Counter* tasks,
+                    obs::Counter* wakes = nullptr);
 
  private:
   void worker_loop();
@@ -70,10 +79,13 @@ class WorkerPool {
   std::deque<std::function<void()>> queue_ KRAD_GUARDED_BY(mu_);
   std::size_t in_flight_ KRAD_GUARDED_BY(mu_) = 0;
   std::size_t completed_ KRAD_GUARDED_BY(mu_) = 0;
+  std::size_t waiting_ KRAD_GUARDED_BY(mu_) = 0;
+  std::size_t wakes_ KRAD_GUARDED_BY(mu_) = 0;
   std::exception_ptr first_error_ KRAD_GUARDED_BY(mu_);
   bool stop_ KRAD_GUARDED_BY(mu_) = false;
   obs::Gauge* depth_gauge_ KRAD_GUARDED_BY(mu_) = nullptr;
   obs::Counter* tasks_counter_ KRAD_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* wakes_counter_ KRAD_GUARDED_BY(mu_) = nullptr;
   std::vector<std::thread> threads_;
 };
 

@@ -71,11 +71,12 @@ class ChaosTransport final : public Transport {
   std::unique_ptr<Transport> inner_;
   ChaosConfig config_;
   std::uint64_t connection_;
-  // Reader and writer threads each own one counter; atomics only so that
-  // TSan-visible teardown orders are clean.
-  std::atomic<std::uint64_t> recv_ops_{0};
-  std::atomic<std::uint64_t> send_ops_{0};
-  std::atomic<bool> broken_{false};  ///< an injected disconnect happened
+  // Protocol: reader and writer threads each own one relaxed counter;
+  // atomics only so that TSan-visible teardown orders are clean.
+  std::atomic<std::uint64_t> recv_ops_{0};  // NOLINT(krad-mutex-raw)
+  std::atomic<std::uint64_t> send_ops_{0};  // NOLINT(krad-mutex-raw)
+  // Protocol: monotonic false->true, set by whichever side injects first.
+  std::atomic<bool> broken_{false};  // NOLINT(krad-mutex-raw) disconnect hit
 };
 
 /// A ServerConfig::transport_shim wrapping every accepted session in a

@@ -35,11 +35,15 @@ struct Server::Session {
   std::deque<std::string> outbox KRAD_GUARDED_BY(mu);
   bool open KRAD_GUARDED_BY(mu) = true;        // fd not yet closed
   bool shutting KRAD_GUARDED_BY(mu) = false;   // no further enqueues
-  std::atomic<bool> done{false};   // reader thread exited (writer joined)
+  // Protocol: monotonic false->true flag, set once by the reader thread
+  // after the writer joined; readers only poll it (no ordering payload).
+  std::atomic<bool> done{false};  // NOLINT(krad-mutex-raw)
   /// Tickets submitted on this connection that have not reached a terminal
   /// state.  A session waiting on completion events is exempt from the
   /// idle-read timeout — silence from the client is expected then.
-  std::atomic<std::size_t> inflight{0};
+  /// Protocol: relaxed counter; cross-thread visibility rides on the
+  /// ticket-table mutex, the value is only a heuristic for the timeout.
+  std::atomic<std::size_t> inflight{0};  // NOLINT(krad-mutex-raw)
   std::thread writer;
 
   /// Queue one line (framed with '\n') for the writer thread.  Never

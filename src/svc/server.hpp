@@ -122,7 +122,9 @@ class Server {
   bool stopped_ = false;
   /// Set by stop() before the listener closes: the accept loop's signal
   /// that an accept() failure means "shut down", not "transient error".
-  std::atomic<bool> stopping_{false};
+  /// Protocol: monotonic false->true, ordered by the close() syscall it
+  /// precedes; a condvar would deadlock against the blocking accept().
+  std::atomic<bool> stopping_{false};  // NOLINT(krad-mutex-raw)
   std::uint64_t next_connection_index_ = 0;  // acceptor thread only
 
   mutable Mutex sessions_mu_;

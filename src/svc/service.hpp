@@ -195,7 +195,10 @@ class Service {
   std::uint64_t completed_ KRAD_GUARDED_BY(tickets_mu_) = 0;
   std::uint64_t cancelled_ KRAD_GUARDED_BY(tickets_mu_) = 0;
 
-  std::atomic<bool> draining_{false};
+  // Protocol: monotonic false->true drain latch; admission checks it
+  // racily (a request that slips past completes normally), so no ordering
+  // stronger than the flag itself is needed.
+  std::atomic<bool> draining_{false};  // NOLINT(krad-mutex-raw)
   std::size_t pump_rr_ = 0;  ///< round-robin cursor (executor thread only)
 
   std::thread loop_;

@@ -1,0 +1,20 @@
+// Fixture: raw atomics in a concurrent subsystem (never compiled).  A
+// std::atomic field, a standalone fence, and an atomic_flag must all be
+// rejected by krad-mutex-raw — they escape the -Wthread-safety proof and
+// are only acceptable behind a named suppression sitting next to a
+// written memory-ordering protocol (see goodtree/src/runtime/locks.cpp).
+// Mentions in comments ("std::atomic") must NOT fire.
+#include <atomic>
+
+namespace krad::runtime {
+
+std::atomic<int> unguarded_counter{0};
+
+int bump() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  return unguarded_counter.fetch_add(1);
+}
+
+std::atomic_flag spinlock = ATOMIC_FLAG_INIT;
+
+}  // namespace krad::runtime

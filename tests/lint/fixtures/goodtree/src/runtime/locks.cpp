@@ -20,4 +20,9 @@ int bump() {
 // krad-nolint-unused pass must leave it alone.
 std::mutex interop_mu;  // NOLINT(krad-mutex-raw)
 
+// Deliberate lock-free escape with its protocol written down: a monotonic
+// relaxed counter whose readers tolerate staleness.  The named suppression
+// on an atomic must be honoured exactly like the mutex one above.
+std::atomic<int> lockfree_counter{0};  // NOLINT(krad-mutex-raw)
+
 }  // namespace krad::runtime

@@ -24,6 +24,9 @@ EXPECTED_BAD = [
     ("krad-layering-dag", "src/rogue/orphan.cpp"),
     ("krad-mutex-raw", "src/runtime/rawlock.cpp:9"),
     ("krad-mutex-raw", "src/runtime/rawlock.cpp:12"),
+    ("krad-mutex-raw", "src/runtime/lockfree.cpp:11"),
+    ("krad-mutex-raw", "src/runtime/lockfree.cpp:14"),
+    ("krad-mutex-raw", "src/runtime/lockfree.cpp:18"),
     ("krad-nolint-unused", "src/sim/stale_nolint.cpp:6"),
     ("krad-nolint-unused", "src/sim/stale_nolint.cpp:10"),
     ("krad-metric-undocumented", "krad_fixture_only_total"),

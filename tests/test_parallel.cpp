@@ -3,14 +3,26 @@
 // smoke tests in test_util.cpp with the edge cases of the contract:
 // exception capture/rethrow fidelity, empty and reversed ranges, explicit
 // threads = 1, and oversubscription (threads > range size).
+//
+// Also home of the WorkerPool wake-discipline regressions (this suite runs
+// in the runtime-stress TSan CI job): submit() must wake at most one worker
+// per task, and only when one is actually parked.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/krad.hpp"
+#include "dag/builders.hpp"
+#include "obs/obs.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/parallel.hpp"
 
 namespace krad {
@@ -105,6 +117,77 @@ TEST(ParallelForEdge, FailureStopsHandingOutNewIndices) {
                    /*threads=*/4),
                std::runtime_error);
   EXPECT_LT(done.load(), 1u << 20);
+}
+
+// --- WorkerPool wake discipline (krad_rt_pool_wakes_total) -----------------
+
+TEST(WorkerPoolWake, ParkedWorkersGetExactlyOneWakePerTask) {
+  obs::MetricsRegistry registry;
+  obs::Counter& wakes = registry.counter("krad_rt_pool_wakes_total",
+                                         {{"cat", "0"}}, "test wakes");
+  WorkerPool pool(3, "wake-test");
+  pool.bind_metrics(nullptr, nullptr, &wakes);
+
+  // Let every worker park (they hold no work and wait on the condvar).
+  while (pool.waiting() < pool.threads())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(pool.wakes(), 0u);
+
+  // One task against a fully parked pool: exactly one notify, not a
+  // thundering herd.
+  pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_EQ(pool.wakes(), 1u);
+  EXPECT_EQ(wakes.value(), 1);
+
+  // A burst never issues more wakes than tasks (the gate may skip notifies
+  // for workers that pick work up on their own, never add extras).
+  for (int i = 0; i < 100; ++i) pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_LE(pool.wakes(), 101u);
+  EXPECT_GE(pool.wakes(), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(wakes.value()), pool.wakes());
+}
+
+TEST(WorkerPoolWake, ExecutorRunKeepsWakesBoundedByTasks) {
+  // End-to-end regression on the krad_rt_* metrics: across a multi-quantum
+  // pool-backend run, every wake corresponds to a submitted closure, so
+  // sum(krad_rt_pool_wakes_total) <= sum(krad_rt_pool_tasks_total); and the
+  // quantum barrier guarantees parked workers between quanta, so at least
+  // one wake must have been issued.
+  obs::MetricsRegistry registry;
+  obs::Observability sinks;
+  sinks.metrics = &registry;
+
+  const Category categories = 2;
+  ExecutorOptions options;
+  options.backend = ExecutorBackend::kPool;
+  options.obs = &sinks;
+  const MachineConfig machine{{2, 2}};
+  Executor executor(machine, options);
+  Rng rng(99);
+  for (int i = 0; i < 3; ++i) {
+    LayeredParams params;
+    params.layers = 6;
+    params.max_width = 4;
+    params.num_categories = categories;
+    executor.submit(std::make_unique<RuntimeJob>(layered_random(params, rng)));
+  }
+  KRad scheduler;
+  const RuntimeResult result = executor.run(scheduler);
+  ASSERT_GT(result.busy_quanta, 1);
+
+  std::int64_t total_wakes = 0, total_tasks = 0;
+  for (Category a = 0; a < categories; ++a) {
+    const obs::Labels labels{{"cat", std::to_string(a)}};
+    total_wakes +=
+        registry.counter("krad_rt_pool_wakes_total", labels).value();
+    total_tasks +=
+        registry.counter("krad_rt_pool_tasks_total", labels).value();
+  }
+  EXPECT_GT(total_tasks, 0);
+  EXPECT_GE(total_wakes, 1);
+  EXPECT_LE(total_wakes, total_tasks);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
-// Determinism cross-check: a single-threaded (inline) runtime executor with
-// virtual-clock quanta is the SAME machine as the discrete-time simulator.
+// Determinism cross-check: a virtual-clock runtime executor is the SAME
+// machine as the discrete-time simulator — under EVERY execution backend.
 //
 // For identical job sets (same K-DAGs, FIFO selection, same releases), the
 // same scheduler and the same machine, the executor's per-quantum desires
@@ -7,6 +7,13 @@
 // its makespan must match sim::simulate bit for bit.  This pins the runtime
 // to the paper's model: whatever the simulator proves about a scheduler
 // transfers to the live quantum loop.
+//
+// Every scenario sweeps three modes: inline (single-threaded), the
+// per-category WorkerPool backend, and the work-stealing StealPool backend.
+// The threaded modes stay bit-identical because successor release and trace
+// recording happen on the executor thread in admission order — worker
+// completion order is invisible (runtime_job.hpp) — and this suite is the
+// proof: it runs under TSan in the runtime-stress CI job.
 
 #include <gtest/gtest.h>
 
@@ -33,6 +40,39 @@ struct Workload {
   std::vector<Time> releases;
   Category categories = 3;
 };
+
+/// Execution modes every determinism scenario sweeps.
+enum class ExecMode { kInline, kPool, kSteal };
+constexpr ExecMode kAllModes[] = {ExecMode::kInline, ExecMode::kPool,
+                                  ExecMode::kSteal};
+
+const char* mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kInline:
+      return "inline";
+    case ExecMode::kPool:
+      return "pool backend";
+    case ExecMode::kSteal:
+      return "steal backend";
+  }
+  return "?";
+}
+
+void apply_mode(ExecutorOptions& options, ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kInline:
+      options.inline_execution = true;
+      break;
+    case ExecMode::kPool:
+      options.inline_execution = false;
+      options.backend = ExecutorBackend::kPool;
+      break;
+    case ExecMode::kSteal:
+      options.inline_execution = false;
+      options.backend = ExecutorBackend::kSteal;
+      break;
+  }
+}
 
 Workload make_workload(std::uint64_t seed, bool staggered) {
   Workload w;
@@ -106,25 +146,28 @@ void run_both(const Workload& w, const MachineConfig& machine) {
   sim_options.record_trace = true;
   const SimResult sim = simulate(set, sim_sched, machine, sim_options);
 
-  // Runtime side: inline execution, virtual clock.
-  ExecutorOptions options;
-  options.inline_execution = true;
-  Executor executor(machine, options);
-  for (std::size_t i = 0; i < w.dags.size(); ++i)
-    executor.submit(std::make_unique<RuntimeJob>(w.dags[i]), w.releases[i]);
-  Scheduler run_sched;
-  const RuntimeResult run = executor.run(run_sched);
+  // Runtime side, once per execution mode, each against the same sim run.
+  for (const ExecMode mode : kAllModes) {
+    SCOPED_TRACE(mode_name(mode));
+    ExecutorOptions options;
+    apply_mode(options, mode);
+    Executor executor(machine, options);
+    for (std::size_t i = 0; i < w.dags.size(); ++i)
+      executor.submit(std::make_unique<RuntimeJob>(w.dags[i]), w.releases[i]);
+    Scheduler run_sched;
+    const RuntimeResult run = executor.run(run_sched);
 
-  EXPECT_EQ(sim.makespan, run.makespan);
-  EXPECT_EQ(sim.busy_steps, run.busy_quanta);
-  EXPECT_EQ(sim.idle_steps, run.idle_quanta);
-  EXPECT_EQ(sim.completion, run.completion);
-  EXPECT_EQ(sim.response, run.response);
-  EXPECT_EQ(sim.executed_work, run.executed_work);
-  EXPECT_EQ(sim.allotted, run.allotted);
-  ASSERT_NE(sim.trace, nullptr);
-  ASSERT_NE(run.trace, nullptr);
-  expect_equal_traces(*sim.trace, *run.trace);
+    EXPECT_EQ(sim.makespan, run.makespan);
+    EXPECT_EQ(sim.busy_steps, run.busy_quanta);
+    EXPECT_EQ(sim.idle_steps, run.idle_quanta);
+    EXPECT_EQ(sim.completion, run.completion);
+    EXPECT_EQ(sim.response, run.response);
+    EXPECT_EQ(sim.executed_work, run.executed_work);
+    EXPECT_EQ(sim.allotted, run.allotted);
+    ASSERT_NE(sim.trace, nullptr);
+    ASSERT_NE(run.trace, nullptr);
+    expect_equal_traces(*sim.trace, *run.trace);
+  }
 }
 
 // Fault-mode cross-check: same FaultPlan + RetryPolicy on both backends.
@@ -146,30 +189,33 @@ void run_both_faulty(const Workload& w, const MachineConfig& machine,
   sim_options.fault_plan = &plan;
   const SimResult sim = simulate(set, sim_sched, machine, sim_options);
 
-  // Runtime side: inline execution, virtual clock, same plan and policy.
-  ExecutorOptions options;
-  options.inline_execution = true;
-  options.fault_plan = &plan;
-  options.retry = policy;
-  Executor executor(machine, options);
-  for (std::size_t i = 0; i < w.dags.size(); ++i)
-    executor.submit(std::make_unique<RuntimeJob>(w.dags[i]), w.releases[i]);
-  Scheduler run_sched;
-  const RuntimeResult run = executor.run(run_sched);
+  // Runtime side, once per execution mode, same plan and policy each time.
+  for (const ExecMode mode : kAllModes) {
+    SCOPED_TRACE(mode_name(mode));
+    ExecutorOptions options;
+    apply_mode(options, mode);
+    options.fault_plan = &plan;
+    options.retry = policy;
+    Executor executor(machine, options);
+    for (std::size_t i = 0; i < w.dags.size(); ++i)
+      executor.submit(std::make_unique<RuntimeJob>(w.dags[i]), w.releases[i]);
+    Scheduler run_sched;
+    const RuntimeResult run = executor.run(run_sched);
 
-  EXPECT_EQ(sim.makespan, run.makespan);
-  EXPECT_EQ(sim.completion, run.completion);
-  EXPECT_EQ(sim.response, run.response);
-  EXPECT_EQ(sim.executed_work, run.executed_work);
-  EXPECT_EQ(sim.allotted, run.allotted);
-  EXPECT_EQ(sim.failed_attempts, run.failed_attempts);
-  EXPECT_EQ(sim.retries, run.retries);
-  ASSERT_EQ(sim.outcome.size(), run.outcome.size());
-  for (std::size_t j = 0; j < sim.outcome.size(); ++j)
-    EXPECT_EQ(sim.outcome[j], run.outcome[j]) << "job " << j;
-  ASSERT_NE(sim.trace, nullptr);
-  ASSERT_NE(run.trace, nullptr);
-  expect_equal_traces(*sim.trace, *run.trace);
+    EXPECT_EQ(sim.makespan, run.makespan);
+    EXPECT_EQ(sim.completion, run.completion);
+    EXPECT_EQ(sim.response, run.response);
+    EXPECT_EQ(sim.executed_work, run.executed_work);
+    EXPECT_EQ(sim.allotted, run.allotted);
+    EXPECT_EQ(sim.failed_attempts, run.failed_attempts);
+    EXPECT_EQ(sim.retries, run.retries);
+    ASSERT_EQ(sim.outcome.size(), run.outcome.size());
+    for (std::size_t j = 0; j < sim.outcome.size(); ++j)
+      EXPECT_EQ(sim.outcome[j], run.outcome[j]) << "job " << j;
+    ASSERT_NE(sim.trace, nullptr);
+    ASSERT_NE(run.trace, nullptr);
+    expect_equal_traces(*sim.trace, *run.trace);
+  }
 }
 
 TEST(RuntimeDeterminism, KRadBatchedMatchesSimulatorExactly) {
@@ -269,7 +315,8 @@ TEST(RuntimeDeterminism, DropJobPolicyMatches) {
 }
 
 TEST(RuntimeDeterminism, FaultyExecutorRunTwiceIsBitIdentical) {
-  // Two fresh executors, same plan: byte-for-byte identical traces.
+  // Fresh executors, same plan: byte-for-byte identical traces, within a
+  // mode (re-run stability) and across all modes (backend independence).
   const Workload w = make_workload(321, /*staggered=*/false);
   const MachineConfig machine{{3, 2, 2}};
   FaultPlan plan;
@@ -279,9 +326,9 @@ TEST(RuntimeDeterminism, FaultyExecutorRunTwiceIsBitIdentical) {
   policy.max_attempts = 10;
   policy.backoff_base = 1;
 
-  auto run_once = [&] {
+  auto run_once = [&](ExecMode mode) {
     ExecutorOptions options;
-    options.inline_execution = true;
+    apply_mode(options, mode);
     options.fault_plan = &plan;
     options.retry = policy;
     Executor executor(machine, options);
@@ -290,14 +337,17 @@ TEST(RuntimeDeterminism, FaultyExecutorRunTwiceIsBitIdentical) {
     KRad sched;
     return executor.run(sched);
   };
-  const RuntimeResult a = run_once();
-  const RuntimeResult b = run_once();
-  EXPECT_EQ(a.makespan, b.makespan);
-  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
-  EXPECT_EQ(a.retries, b.retries);
-  ASSERT_NE(a.trace, nullptr);
-  ASSERT_NE(b.trace, nullptr);
-  expect_equal_traces(*a.trace, *b.trace);
+  const RuntimeResult base = run_once(ExecMode::kInline);
+  ASSERT_NE(base.trace, nullptr);
+  for (const ExecMode mode : kAllModes) {
+    SCOPED_TRACE(mode_name(mode));
+    const RuntimeResult again = run_once(mode);
+    EXPECT_EQ(base.makespan, again.makespan);
+    EXPECT_EQ(base.failed_attempts, again.failed_attempts);
+    EXPECT_EQ(base.retries, again.retries);
+    ASSERT_NE(again.trace, nullptr);
+    expect_equal_traces(*base.trace, *again.trace);
+  }
 }
 
 }  // namespace

@@ -41,7 +41,14 @@ Rule classes (docs/LINTING.md has the full policy):
     krad-mutex-raw              raw std::mutex / std::lock_guard /
                                 std::unique_lock / std::condition_variable
                                 (and friends) in src/{runtime,svc,obs,exp};
-                                use krad::Mutex / MutexLock / CondVar
+                                use krad::Mutex / MutexLock / CondVar.
+                                Also fires on raw std::atomic/_flag/_ref and
+                                the standalone fences: atomics escape the
+                                -Wthread-safety proof, so every deliberate
+                                lock-free site carries a named NOLINT next
+                                to a written memory-ordering protocol
+                                (TSan does not model fences — seq_cst
+                                operations are the portable substitute)
 
   Suppression hygiene — suppressions must not outlive their findings:
     krad-nolint-unused          a named NOLINT(krad-*) comment on a line
@@ -135,8 +142,9 @@ RULES = {
         "include edge between src/ subsystems that the declarative layering "
         "DAG (ALLOWED_INCLUDES) forbids",
     "krad-mutex-raw":
-        "raw std::mutex/lock/condition_variable in a concurrent subsystem; "
-        "use the annotated krad::Mutex/MutexLock/CondVar (util/mutex.hpp)",
+        "raw std::mutex/lock/condition_variable/atomic in a concurrent "
+        "subsystem; use the annotated krad::Mutex/MutexLock/CondVar "
+        "(util/mutex.hpp), or NOLINT a documented lock-free protocol",
     "krad-nolint-unused":
         "named NOLINT(krad-*) suppression whose rule no longer fires on "
         "that line",
@@ -447,7 +455,8 @@ def check_layering_dag(path, raw_lines):
 MUTEX_RAW_RE = re.compile(
     r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
-    r"shared_lock|condition_variable(?:_any)?)\b")
+    r"shared_lock|condition_variable(?:_any)?|"
+    r"atomic(?:_flag|_ref|_thread_fence|_signal_fence)?)\b")
 
 
 def check_mutex_raw(path, raw_lines):
@@ -458,10 +467,17 @@ def check_mutex_raw(path, raw_lines):
             continue
         if suppressed(path, raw_lines, i, "krad-mutex-raw"):
             continue
-        fail(path, i + 1, "krad-mutex-raw",
-             f"std::{m.group(1)} is banned in this dir: use the annotated "
-             "krad::Mutex/MutexLock/CondVar (util/mutex.hpp) so "
-             "-Wthread-safety can prove the locking")
+        if m.group(1).startswith("atomic"):
+            fail(path, i + 1, "krad-mutex-raw",
+                 f"std::{m.group(1)} escapes the -Wthread-safety proof: "
+                 "prefer a krad::Mutex-guarded field; a genuinely lock-free "
+                 "protocol needs a written memory-ordering argument plus a "
+                 "named NOLINT(krad-mutex-raw) on the line")
+        else:
+            fail(path, i + 1, "krad-mutex-raw",
+                 f"std::{m.group(1)} is banned in this dir: use the annotated "
+                 "krad::Mutex/MutexLock/CondVar (util/mutex.hpp) so "
+                 "-Wthread-safety can prove the locking")
 
 
 def layering_dot():
